@@ -1,0 +1,66 @@
+// Ablation: the adaptive planner (Algorithm::kAuto) against the fixed
+// paper algorithms across overlap regimes. Figure 11's crossover is the
+// motivation: the indexed algorithms win at low overlap, the sorted nested
+// loop at high overlap; kAuto should track the winner on both sides.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/adaptive.h"
+
+namespace galaxy::bench {
+namespace {
+
+void RegisterAll() {
+  struct AlgoVariant {
+    const char* name;
+    core::Algorithm algorithm;
+  };
+  const AlgoVariant algos[] = {
+      {"SI", core::Algorithm::kSorted},
+      {"IN", core::Algorithm::kIndexed},
+      {"LO", core::Algorithm::kIndexedBbox},
+      {"AUTO", core::Algorithm::kAuto},
+  };
+  for (int spread_pct : {10, 50, 90}) {
+    for (const AlgoVariant& algo : algos) {
+      std::string name = "ablation-adaptive/overlap=" +
+                         std::to_string(spread_pct) + "%/" + algo.name;
+      datagen::GroupedWorkloadConfig config;
+      config.num_records = 10000;
+      config.avg_records_per_group = 100;
+      config.dims = 5;
+      config.distribution = datagen::Distribution::kAntiCorrelated;
+      config.spread = spread_pct / 100.0;
+      config.seed = 42;
+      core::Algorithm algorithm = algo.algorithm;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [config, algorithm](benchmark::State& state) {
+            const core::GroupedDataset& dataset = CachedWorkload(config);
+            core::AggregateSkylineOptions options;
+            options.gamma = 0.5;
+            options.algorithm = algorithm;
+            RunAggregateSkyline(state, dataset, options);
+            if (algorithm == core::Algorithm::kAuto) {
+              core::AggregateSkylineResult once =
+                  core::ComputeAggregateSkyline(dataset, options);
+              state.SetLabel(std::string("chose ") +
+                             core::AlgorithmToString(once.algorithm_used));
+            }
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::bench
+
+int main(int argc, char** argv) {
+  galaxy::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

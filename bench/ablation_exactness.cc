@@ -1,0 +1,79 @@
+// Ablation: the weak-transitivity gap. The paper's TR/SI/IN/LO skip
+// strongly-dominated groups; weak transitivity (Proposition 5) justifies
+// this only for γ̄-γ̄ chains, so the pruned algorithms may return a
+// superset of the exact skyline (DESIGN.md). This bench measures both the
+// cost of the exact "safe mode" (prune_strongly_dominated = false) and the
+// observed surplus, per distribution.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace galaxy::bench {
+namespace {
+
+void RegisterAll() {
+  struct Variant {
+    const char* name;
+    bool pruned;
+    bool proven_bar;
+  };
+  const Variant variants[] = {
+      {"/pruned", true, false},
+      {"/pruned-proven-bar", true, true},
+      {"/safe-mode", false, false},
+  };
+  for (const auto& [dist_name, dist] : PaperDistributions()) {
+    for (const Variant& variant : variants) {
+      std::string name =
+          std::string("ablation-exactness/") + dist_name + variant.name;
+      datagen::GroupedWorkloadConfig config;
+      config.num_records = 10000;
+      config.avg_records_per_group = 100;
+      config.dims = 5;
+      config.distribution = dist;
+      config.spread = 0.2;
+      config.seed = 42;
+      bool use_pruning = variant.pruned;
+      bool proven_bar = variant.proven_bar;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [config, use_pruning, proven_bar](benchmark::State& state) {
+            const core::GroupedDataset& dataset = CachedWorkload(config);
+            core::AggregateSkylineOptions options;
+            options.gamma = 0.5;
+            options.algorithm = core::Algorithm::kTransitive;
+            options.prune_strongly_dominated = use_pruning;
+            options.use_proven_gamma_bar = proven_bar;
+            RunAggregateSkyline(state, dataset, options);
+
+            // Report the surplus of the pruned result over the exact one.
+            if (use_pruning) {
+              core::AggregateSkylineOptions exact = options;
+              exact.prune_strongly_dominated = false;
+              size_t exact_size =
+                  core::ComputeAggregateSkyline(dataset, exact)
+                      .skyline.size();
+              size_t pruned_size =
+                  core::ComputeAggregateSkyline(dataset, options)
+                      .skyline.size();
+              state.counters["surplus"] =
+                  static_cast<double>(pruned_size - exact_size);
+            }
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::bench
+
+int main(int argc, char** argv) {
+  galaxy::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

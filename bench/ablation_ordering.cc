@@ -1,0 +1,71 @@
+// Ablation: group access orderings for the sorted algorithm — the paper's
+// corner-distance order (Algorithm 4) versus the global
+// small-groups-first heuristic (Section 3.4), on uniform and Zipfian group
+// sizes. The Zipf workload is where small-first should pay: the few huge
+// groups are pruned before their quadratic comparisons are paid.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace galaxy::bench {
+namespace {
+
+void RegisterAll() {
+  struct OrderingVariant {
+    const char* name;
+    core::GroupOrdering ordering;
+  };
+  const OrderingVariant orderings[] = {
+      {"corner-distance", core::GroupOrdering::kCornerDistance},
+      {"smallest-first", core::GroupOrdering::kSmallestFirst},
+      {"smallest-then-corner",
+       core::GroupOrdering::kSmallestFirstThenCorner},
+  };
+  struct SizeVariant {
+    const char* name;
+    datagen::GroupSizeModel model;
+  };
+  const SizeVariant sizes[] = {
+      {"uniform", datagen::GroupSizeModel::kUniform},
+      {"zipf", datagen::GroupSizeModel::kZipf},
+  };
+  for (const SizeVariant& size : sizes) {
+    for (const OrderingVariant& ordering : orderings) {
+      std::string name = std::string("ablation-ordering/") + size.name + "/" +
+                         ordering.name;
+      datagen::GroupedWorkloadConfig config;
+      config.num_records = 10000;
+      config.avg_records_per_group = 100;
+      config.dims = 5;
+      config.distribution = datagen::Distribution::kAntiCorrelated;
+      config.spread = 0.2;
+      config.size_model = size.model;
+      config.zipf_theta = 1.0;
+      config.seed = 42;
+      core::GroupOrdering group_ordering = ordering.ordering;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [config, group_ordering](benchmark::State& state) {
+            const core::GroupedDataset& dataset = CachedWorkload(config);
+            core::AggregateSkylineOptions options;
+            options.gamma = 0.5;
+            options.algorithm = core::Algorithm::kSorted;
+            options.ordering = group_ordering;
+            RunAggregateSkyline(state, dataset, options);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::bench
+
+int main(int argc, char** argv) {
+  galaxy::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: thread scaling of the parallel exact operator versus the
+// single-threaded nested loop, on the default workload per distribution.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/parallel.h"
+
+namespace galaxy::bench {
+namespace {
+
+void RegisterAll() {
+  for (const auto& [dist_name, dist] : PaperDistributions()) {
+    datagen::GroupedWorkloadConfig config;
+    config.num_records = 10000;
+    config.avg_records_per_group = 100;
+    config.dims = 5;
+    config.distribution = dist;
+    config.spread = 0.2;
+    config.seed = 42;
+
+    benchmark::RegisterBenchmark(
+        (std::string("ablation-parallel/") + dist_name + "/NL-1thread")
+            .c_str(),
+        [config](benchmark::State& state) {
+          const core::GroupedDataset& dataset = CachedWorkload(config);
+          core::AggregateSkylineOptions options;
+          options.gamma = 0.5;
+          options.algorithm = core::Algorithm::kNestedLoop;
+          RunAggregateSkyline(state, dataset, options);
+        })
+        ->Unit(benchmark::kMillisecond);
+
+    for (size_t threads : {1, 2, 4, 8}) {
+      std::string name = std::string("ablation-parallel/") + dist_name +
+                         "/parallel-" + std::to_string(threads) + "threads";
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [config, threads](benchmark::State& state) {
+            const core::GroupedDataset& dataset = CachedWorkload(config);
+            core::ParallelOptions options;
+            options.gamma = 0.5;
+            options.num_threads = threads;
+            size_t skyline = 0;
+            for (auto _ : state) {
+              core::AggregateSkylineResult result =
+                  core::ComputeAggregateSkylineParallel(dataset, options);
+              benchmark::DoNotOptimize(result.skyline.data());
+              skyline = result.skyline.size();
+            }
+            state.counters["skyline"] = static_cast<double>(skyline);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::bench
+
+int main(int argc, char** argv) {
+  galaxy::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,88 @@
+#ifndef GALAXY_BENCH_BENCH_COMMON_H_
+#define GALAXY_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the figure-reproduction benchmarks. Each bench binary
+// regenerates one table/figure of the paper: every google-benchmark row is
+// one data point of the figure (series encoded in the benchmark name), so
+// the paper's plots can be rebuilt directly from the console output.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "core/aggregate_skyline.h"
+#include "datagen/groups.h"
+
+namespace galaxy::bench {
+
+/// Returns a memoized grouped dataset for the given generator config, so
+/// that repeated benchmark iterations (and algorithms sharing a workload)
+/// do not pay generation cost inside the timed region.
+inline const core::GroupedDataset& CachedWorkload(
+    const datagen::GroupedWorkloadConfig& config) {
+  static auto* cache =
+      new std::map<std::string, core::GroupedDataset>();
+  std::string key = std::to_string(config.num_records) + "/" +
+                    std::to_string(config.avg_records_per_group) + "/" +
+                    std::to_string(config.dims) + "/" +
+                    datagen::DistributionToString(config.distribution) + "/" +
+                    std::to_string(config.spread) + "/" +
+                    datagen::GroupSizeModelToString(config.size_model) + "/" +
+                    std::to_string(config.zipf_theta) + "/" +
+                    std::to_string(config.seed);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, datagen::GenerateGrouped(config)).first;
+  }
+  return it->second;
+}
+
+/// Runs one aggregate-skyline configuration inside a benchmark loop and
+/// reports skyline size and record-comparison counts as counters.
+inline void RunAggregateSkyline(benchmark::State& state,
+                                const core::GroupedDataset& dataset,
+                                const core::AggregateSkylineOptions& options) {
+  uint64_t record_cmps = 0;
+  size_t skyline_size = 0;
+  for (auto _ : state) {
+    core::AggregateSkylineResult result =
+        core::ComputeAggregateSkyline(dataset, options);
+    benchmark::DoNotOptimize(result.skyline.data());
+    record_cmps = result.stats.record_comparisons;
+    skyline_size = result.skyline.size();
+  }
+  state.counters["skyline"] = static_cast<double>(skyline_size);
+  state.counters["rec_cmps"] = static_cast<double>(record_cmps);
+  state.counters["groups"] = static_cast<double>(dataset.num_groups());
+}
+
+/// The five paper algorithms in presentation order.
+inline const std::vector<std::pair<std::string, core::Algorithm>>&
+PaperAlgorithms() {
+  static auto* algos =
+      new std::vector<std::pair<std::string, core::Algorithm>>{
+          {"NL", core::Algorithm::kNestedLoop},
+          {"TR", core::Algorithm::kTransitive},
+          {"SI", core::Algorithm::kSorted},
+          {"IN", core::Algorithm::kIndexed},
+          {"LO", core::Algorithm::kIndexedBbox},
+      };
+  return *algos;
+}
+
+/// The three record distributions used throughout Section 4.1.
+inline const std::vector<std::pair<std::string, datagen::Distribution>>&
+PaperDistributions() {
+  static auto* dists =
+      new std::vector<std::pair<std::string, datagen::Distribution>>{
+          {"anti", datagen::Distribution::kAntiCorrelated},
+          {"indep", datagen::Distribution::kIndependent},
+          {"corr", datagen::Distribution::kCorrelated},
+      };
+  return *dists;
+}
+
+}  // namespace galaxy::bench
+
+#endif  // GALAXY_BENCH_BENCH_COMMON_H_

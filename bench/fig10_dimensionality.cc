@@ -1,0 +1,51 @@
+// Figure 10: runtime vs dimensionality (d = 2..7) for anti-correlated,
+// independent and correlated distributions; records uniformly distributed
+// into classes. Defaults per Section 4: 10 000 records, 100 records/class,
+// spread 20%, gamma = 0.5.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace galaxy::bench {
+namespace {
+
+void RegisterAll() {
+  for (const auto& [dist_name, dist] : PaperDistributions()) {
+    for (size_t dims : {2, 3, 4, 5, 6, 7}) {
+      for (const auto& [algo_name, algo] : PaperAlgorithms()) {
+        std::string name = "fig10/" + dist_name + "/d=" +
+                           std::to_string(dims) + "/" + algo_name;
+        datagen::GroupedWorkloadConfig config;
+        config.num_records = 10000;
+        config.avg_records_per_group = 100;
+        config.dims = dims;
+        config.distribution = dist;
+        config.spread = 0.2;
+        config.seed = 42;
+        core::Algorithm algorithm = algo;
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [config, algorithm](benchmark::State& state) {
+              const core::GroupedDataset& dataset = CachedWorkload(config);
+              core::AggregateSkylineOptions options;
+              options.gamma = 0.5;
+              options.algorithm = algorithm;
+              RunAggregateSkyline(state, dataset, options);
+            })
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::bench
+
+int main(int argc, char** argv) {
+  galaxy::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

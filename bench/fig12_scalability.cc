@@ -1,0 +1,49 @@
+// Figure 12: scalability in the number of records (records uniformly
+// distributed into classes of ~100) for the three distributions.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace galaxy::bench {
+namespace {
+
+void RegisterAll() {
+  for (const auto& [dist_name, dist] : PaperDistributions()) {
+    for (size_t records : {2000, 5000, 10000, 20000, 50000}) {
+      for (const auto& [algo_name, algo] : PaperAlgorithms()) {
+        std::string name = "fig12/" + dist_name + "/n=" +
+                           std::to_string(records) + "/" + algo_name;
+        datagen::GroupedWorkloadConfig config;
+        config.num_records = records;
+        config.avg_records_per_group = 100;
+        config.dims = 5;
+        config.distribution = dist;
+        config.spread = 0.2;
+        config.seed = 42;
+        core::Algorithm algorithm = algo;
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [config, algorithm](benchmark::State& state) {
+              const core::GroupedDataset& dataset = CachedWorkload(config);
+              core::AggregateSkylineOptions options;
+              options.gamma = 0.5;
+              options.algorithm = algorithm;
+              RunAggregateSkyline(state, dataset, options);
+            })
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::bench
+
+int main(int argc, char** argv) {
+  galaxy::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 13: anti-correlated scalability with (a) Zipfian records-per-class
+// and growing n, (b) index-based methods over a wider n range, and (c) a
+// sweep of records-per-class at fixed n. The Zipf series is where the
+// global optimization (processing small groups first) pays off.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace galaxy::bench {
+namespace {
+
+datagen::GroupedWorkloadConfig BaseConfig() {
+  datagen::GroupedWorkloadConfig config;
+  config.num_records = 10000;
+  config.avg_records_per_group = 100;
+  config.dims = 5;
+  config.distribution = datagen::Distribution::kAntiCorrelated;
+  config.spread = 0.2;
+  config.seed = 42;
+  return config;
+}
+
+void Register(const std::string& name,
+              const datagen::GroupedWorkloadConfig& config,
+              core::Algorithm algorithm,
+              core::GroupOrdering ordering =
+                  core::GroupOrdering::kCornerDistance) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [config, algorithm, ordering](benchmark::State& state) {
+        const core::GroupedDataset& dataset = CachedWorkload(config);
+        core::AggregateSkylineOptions options;
+        options.gamma = 0.5;
+        options.algorithm = algorithm;
+        options.ordering = ordering;
+        RunAggregateSkyline(state, dataset, options);
+      })
+      ->Unit(benchmark::kMillisecond);
+}
+
+void RegisterAll() {
+  // (a) Zipfian records-per-class, n sweep, all algorithms.
+  for (size_t records : {2000, 5000, 10000, 20000}) {
+    for (const auto& [algo_name, algo] : PaperAlgorithms()) {
+      datagen::GroupedWorkloadConfig config = BaseConfig();
+      config.num_records = records;
+      config.size_model = datagen::GroupSizeModel::kZipf;
+      config.zipf_theta = 1.0;
+      Register("fig13a/zipf/n=" + std::to_string(records) + "/" + algo_name,
+               config, algo);
+    }
+    // The sorted algorithm with the global small-groups-first ordering
+    // (Section 3.4) — the paper's motivation for the Zipf series.
+    datagen::GroupedWorkloadConfig config = BaseConfig();
+    config.num_records = records;
+    config.size_model = datagen::GroupSizeModel::kZipf;
+    config.zipf_theta = 1.0;
+    Register("fig13a/zipf/n=" + std::to_string(records) + "/SI-small-first",
+             config, core::Algorithm::kSorted,
+             core::GroupOrdering::kSmallestFirstThenCorner);
+  }
+
+  // (b) Index methods over a wider range of n.
+  for (size_t records : {20000, 50000, 100000, 200000}) {
+    for (const auto& [algo_name, algo] :
+         std::vector<std::pair<std::string, core::Algorithm>>{
+             {"IN", core::Algorithm::kIndexed},
+             {"LO", core::Algorithm::kIndexedBbox}}) {
+      datagen::GroupedWorkloadConfig config = BaseConfig();
+      config.num_records = records;
+      Register("fig13b/uniform/n=" + std::to_string(records) + "/" + algo_name,
+               config, algo);
+    }
+  }
+
+  // (c) Varying records per class at fixed n = 10 000.
+  for (size_t per_class : {10, 50, 100, 250, 500, 1000}) {
+    for (const auto& [algo_name, algo] : PaperAlgorithms()) {
+      datagen::GroupedWorkloadConfig config = BaseConfig();
+      config.avg_records_per_group = per_class;
+      Register("fig13c/uniform/perclass=" + std::to_string(per_class) + "/" +
+                   algo_name,
+               config, algo);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::bench
+
+int main(int argc, char** argv) {
+  galaxy::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

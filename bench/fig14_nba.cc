@@ -1,0 +1,89 @@
+// Figure 14: efficiency on the (synthetic substitute of the) real NBA
+// dataset, grouped by different attributes with different numbers of
+// skyline attributes. Mirrors the paper's six panels: fine-grained
+// groupings with many small groups (player, player+year) behave like a
+// record skyline where group optimizations matter less; coarse groupings
+// (year, team) produce few large groups where they shine.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "nba/nba_gen.h"
+
+namespace galaxy::bench {
+namespace {
+
+const Table& NbaTable() {
+  static const Table* table = [] {
+    nba::NbaConfig config;
+    return new Table(nba::ToTable(nba::GenerateLeagueHistory(config)));
+  }();
+  return *table;
+}
+
+const core::GroupedDataset& CachedNba(
+    const std::vector<std::string>& group_by, size_t num_attrs) {
+  static auto* cache = new std::map<std::string, core::GroupedDataset>();
+  std::string key;
+  for (const auto& g : group_by) key += g + ",";
+  key += "#" + std::to_string(num_attrs);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    std::vector<std::string> attrs(nba::StatColumns().begin(),
+                                   nba::StatColumns().begin() +
+                                       static_cast<long>(num_attrs));
+    auto ds = core::GroupedDataset::FromTable(NbaTable(), group_by, attrs);
+    it = cache->emplace(key, std::move(ds).value()).first;
+  }
+  return it->second;
+}
+
+struct Panel {
+  std::string name;
+  std::vector<std::string> group_by;
+  size_t num_attrs;
+};
+
+void RegisterAll() {
+  // Six panels: grouping attribute(s) x number of skyline attributes,
+  // echoing the paper's "grouped by different attributes / number of
+  // skyline attributes used in each query".
+  const std::vector<Panel> panels = {
+      {"by-year/attrs=8", {"year"}, 8},
+      {"by-team/attrs=4", {"team"}, 4},
+      {"by-pos/attrs=8", {"pos"}, 8},
+      {"by-team-year/attrs=4", {"team", "year"}, 4},
+      {"by-player/attrs=8", {"player"}, 8},
+      {"by-player/attrs=2", {"player"}, 2},
+  };
+  for (const Panel& panel : panels) {
+    for (const auto& [algo_name, algo] : PaperAlgorithms()) {
+      std::string name = "fig14/" + panel.name + "/" + algo_name;
+      std::vector<std::string> group_by = panel.group_by;
+      size_t num_attrs = panel.num_attrs;
+      core::Algorithm algorithm = algo;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [group_by, num_attrs, algorithm](benchmark::State& state) {
+            const core::GroupedDataset& dataset =
+                CachedNba(group_by, num_attrs);
+            core::AggregateSkylineOptions options;
+            options.gamma = 0.5;
+            options.algorithm = algorithm;
+            RunAggregateSkyline(state, dataset, options);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::bench
+
+int main(int argc, char** argv) {
+  galaxy::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

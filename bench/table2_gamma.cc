@@ -1,0 +1,82 @@
+// Table 2: p(S ≻ R) for the director pairs of Figure 5, computed on the
+// reconstructed filmographies (see src/datagen/movies.h for the
+// substitution note). The harness prints the six probabilities the paper
+// tabulates and times the exact pair-probability computation.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/gamma.h"
+#include "datagen/movies.h"
+
+namespace galaxy::bench {
+namespace {
+
+void BM_Table2(benchmark::State& state) {
+  core::GroupedDataset ds = datagen::DirectorFilmographies();
+  const core::Group& tarantino =
+      ds.group(ds.FindByLabel(datagen::kTarantino).value());
+  const core::Group& wiseau =
+      ds.group(ds.FindByLabel(datagen::kWiseau).value());
+  const core::Group& fleischer =
+      ds.group(ds.FindByLabel(datagen::kFleischer).value());
+  const core::Group& jackson =
+      ds.group(ds.FindByLabel(datagen::kJackson).value());
+
+  double p[6];
+  for (auto _ : state) {
+    p[0] = core::DominationProbability(tarantino, wiseau);
+    p[1] = core::DominationProbability(tarantino, fleischer);
+    p[2] = core::DominationProbability(tarantino, jackson);
+    p[3] = core::DominationProbability(wiseau, tarantino);
+    p[4] = core::DominationProbability(fleischer, tarantino);
+    p[5] = core::DominationProbability(jackson, tarantino);
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["T>W"] = p[0];
+  state.counters["T>F"] = p[1];
+  state.counters["T>J"] = p[2];
+  state.counters["W>T"] = p[3];
+  state.counters["F>T"] = p[4];
+  state.counters["J>T"] = p[5];
+}
+
+}  // namespace
+}  // namespace galaxy::bench
+
+BENCHMARK(galaxy::bench::BM_Table2)
+    ->Name("table2/domination-probabilities")
+    ->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  // Print the table itself (paper values in parentheses).
+  auto ds = galaxy::datagen::DirectorFilmographies();
+  auto p = [&](const char* s, const char* r) {
+    return galaxy::core::DominationProbability(
+        ds.group(ds.FindByLabel(s).value()),
+        ds.group(ds.FindByLabel(r).value()));
+  };
+  using galaxy::datagen::kFleischer;
+  using galaxy::datagen::kJackson;
+  using galaxy::datagen::kTarantino;
+  using galaxy::datagen::kWiseau;
+  std::printf("Table 2: p(S > R)            measured   (paper)\n");
+  std::printf("  Tarantino > Wiseau     :   %.4f     (1.00)\n",
+              p(kTarantino, kWiseau));
+  std::printf("  Tarantino > Fleischer  :   %.4f     (0.94)\n",
+              p(kTarantino, kFleischer));
+  std::printf("  Tarantino > Jackson    :   %.4f     (0.68)\n",
+              p(kTarantino, kJackson));
+  std::printf("  Wiseau    > Tarantino  :   %.4f     (0.00)\n",
+              p(kWiseau, kTarantino));
+  std::printf("  Fleischer > Tarantino  :   %.4f     (0.06)\n",
+              p(kFleischer, kTarantino));
+  std::printf("  Jackson   > Tarantino  :   %.4f     (0.26)\n",
+              p(kJackson, kTarantino));
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// SQL front end demo: the same aggregate skyline computed three ways —
+// the paper's direct SQL formulation (Algorithm 1) executed by the
+// from-scratch SQL engine, the SKYLINE OF syntax extension, and the native
+// operator — with wall-clock times showing why the paper bothered to build
+// dedicated algorithms (Figure 8's point).
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "core/aggregate_skyline.h"
+#include "datagen/groups.h"
+#include "sql/catalog.h"
+#include "sql/skyline_query.h"
+
+using galaxy::Table;
+using galaxy::core::AggregateSkylineOptions;
+using galaxy::core::Algorithm;
+
+int main() {
+  // A modest workload: 1 500 records in 50 classes, 2 attributes (the
+  // SQL baseline is quadratic in records, so keep it demo-sized).
+  galaxy::datagen::GroupedWorkloadConfig config;
+  config.num_records = 1500;
+  config.avg_records_per_group = 30;
+  config.dims = 2;
+  config.seed = 7;
+  auto dataset = galaxy::datagen::GenerateGrouped(config);
+  Table table = galaxy::datagen::GroupedDatasetToTable(dataset);
+
+  galaxy::sql::Database db;
+  db.Register("data", table);
+
+  // --- 1. Algorithm 1: the direct SQL formulation. ----------------------
+  std::string algorithm1 = galaxy::sql::BuildAggregateSkylineSql(
+      "data", "class", "num", {"a0", "a1"}, 0.5);
+  std::printf("Algorithm 1 SQL:\n  %s\n\n", algorithm1.c_str());
+
+  galaxy::WallTimer t1;
+  auto sql_result = db.Query(algorithm1);
+  double sql_seconds = t1.ElapsedSeconds();
+  if (!sql_result.ok()) {
+    std::fprintf(stderr, "SQL failed: %s\n",
+                 sql_result.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- 2. The SKYLINE OF extension (native operator behind SQL). --------
+  galaxy::WallTimer t2;
+  auto ext_result = db.Query(
+      "SELECT class FROM data GROUP BY class SKYLINE OF a0 MAX, a1 MAX");
+  double ext_seconds = t2.ElapsedSeconds();
+  if (!ext_result.ok()) {
+    std::fprintf(stderr, "SKYLINE OF failed: %s\n",
+                 ext_result.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- 3. The native operator on the grouped dataset. -------------------
+  AggregateSkylineOptions options;
+  options.algorithm = Algorithm::kIndexed;
+  galaxy::WallTimer t3;
+  auto native = galaxy::core::ComputeAggregateSkyline(dataset, options);
+  double native_seconds = t3.ElapsedSeconds();
+
+  std::printf("results: SQL=%zu rows, SKYLINE OF=%zu rows, native=%zu "
+              "groups (must all agree)\n",
+              sql_result->num_rows(), ext_result->num_rows(),
+              native.skyline.size());
+  std::printf("timing:  SQL=%.3fs   SKYLINE OF=%.3fs   native(IN)=%.4fs\n",
+              sql_seconds, ext_seconds, native_seconds);
+  std::printf("speedup of the native operator over direct SQL: %.0fx\n",
+              sql_seconds / (native_seconds > 0 ? native_seconds : 1e-9));
+  return 0;
+}

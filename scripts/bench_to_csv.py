@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Converts galaxy bench console output into tidy CSV for plotting.
+
+Usage:
+    python3 scripts/bench_to_csv.py bench_output.txt > results.csv
+    ./build/bench/fig10_dimensionality | python3 scripts/bench_to_csv.py -
+
+Each google-benchmark row like
+
+    fig10/anti/d=5/IN    69.1 ms    66.1 ms    10 groups=100 rec_cmps=5.5M
+
+becomes a CSV row with the slash-separated name parts split into columns
+(name, part0, part1, ...), the wall/CPU times normalized to milliseconds,
+and every UserCounter as its own column.
+"""
+
+import csv
+import re
+import sys
+
+ROW = re.compile(
+    r"^(?P<name>\S+)\s+(?P<time>[0-9.]+)\s+(?P<time_unit>ns|us|ms|s)\s+"
+    r"(?P<cpu>[0-9.]+)\s+(?P<cpu_unit>ns|us|ms|s)\s+(?P<iters>\d+)"
+    r"(?P<rest>.*)$"
+)
+COUNTER = re.compile(r"([\w><]+)=([0-9.]+[kMG]?)")
+
+UNIT_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+SUFFIX = {"k": 1e3, "M": 1e6, "G": 1e9}
+
+
+def parse_value(text):
+    if text and text[-1] in SUFFIX:
+        return float(text[:-1]) * SUFFIX[text[-1]]
+    return float(text)
+
+
+def main():
+    source = sys.stdin if len(sys.argv) < 2 or sys.argv[1] == "-" else open(
+        sys.argv[1], encoding="utf-8")
+    rows = []
+    counters = set()
+    max_parts = 0
+    for line in source:
+        match = ROW.match(line.strip())
+        if not match:
+            continue
+        name = match.group("name")
+        # Strip trailing /iterations:N and /real_time decorations.
+        name = re.sub(r"/(iterations:\d+|real_time)", "", name)
+        parts = name.split("/")
+        max_parts = max(max_parts, len(parts))
+        row = {
+            "name": name,
+            "time_ms": float(match.group("time")) *
+                       UNIT_MS[match.group("time_unit")],
+            "cpu_ms": float(match.group("cpu")) *
+                      UNIT_MS[match.group("cpu_unit")],
+            "iterations": int(match.group("iters")),
+        }
+        for i, part in enumerate(parts):
+            row[f"part{i}"] = part
+        for key, value in COUNTER.findall(match.group("rest")):
+            row[key] = parse_value(value)
+            counters.add(key)
+        rows.append(row)
+
+    if not rows:
+        print("no benchmark rows found", file=sys.stderr)
+        return 1
+
+    fields = (["name", "time_ms", "cpu_ms", "iterations"] +
+              [f"part{i}" for i in range(max_parts)] + sorted(counters))
+    writer = csv.DictWriter(sys.stdout, fieldnames=fields, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

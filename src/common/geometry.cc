@@ -1,0 +1,107 @@
+#include "common/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace galaxy {
+
+void Box::Expand(std::span<const double> p) {
+  GALAXY_DCHECK(p.size() == dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    min[i] = std::min(min[i], p[i]);
+    max[i] = std::max(max[i], p[i]);
+  }
+}
+
+void Box::Expand(const Box& other) {
+  GALAXY_DCHECK(other.dims() == dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    min[i] = std::min(min[i], other.min[i]);
+    max[i] = std::max(max[i], other.max[i]);
+  }
+}
+
+bool Box::Contains(std::span<const double> p) const {
+  GALAXY_DCHECK(p.size() == dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    if (p[i] < min[i] || p[i] > max[i]) return false;
+  }
+  return true;
+}
+
+bool Box::Intersects(const Box& other) const {
+  GALAXY_DCHECK(other.dims() == dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    if (min[i] > other.max[i] || other.min[i] > max[i]) return false;
+  }
+  return true;
+}
+
+double Box::Volume() const {
+  double v = 1.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    double side = max[i] - min[i];
+    if (side <= 0.0) return 0.0;
+    v *= side;
+  }
+  return v;
+}
+
+double Box::Margin() const {
+  double m = 0.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    m += std::max(0.0, max[i] - min[i]);
+  }
+  return m;
+}
+
+double Box::EnlargedVolume(const Box& other) const {
+  GALAXY_DCHECK(other.dims() == dims());
+  double v = 1.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    double lo = std::min(min[i], other.min[i]);
+    double hi = std::max(max[i], other.max[i]);
+    v *= std::max(0.0, hi - lo);
+  }
+  return v;
+}
+
+double Box::CornerDistanceSum() const {
+  double s = 0.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    s += std::abs(min[i]) + std::abs(max[i]);
+  }
+  return s;
+}
+
+std::string Box::ToString() const {
+  std::string out = "[(";
+  for (size_t i = 0; i < dims(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatDouble(min[i]);
+  }
+  out += "), (";
+  for (size_t i = 0; i < dims(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatDouble(max[i]);
+  }
+  out += ")]";
+  return out;
+}
+
+double IntersectionVolume(const Box& a, const Box& b) {
+  GALAXY_DCHECK(a.dims() == b.dims());
+  double v = 1.0;
+  for (size_t i = 0; i < a.dims(); ++i) {
+    double lo = std::max(a.min[i], b.min[i]);
+    double hi = std::min(a.max[i], b.max[i]);
+    if (hi <= lo) return 0.0;
+    v *= hi - lo;
+  }
+  return v;
+}
+
+}  // namespace galaxy

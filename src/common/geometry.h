@@ -1,0 +1,82 @@
+#ifndef GALAXY_COMMON_GEOMETRY_H_
+#define GALAXY_COMMON_GEOMETRY_H_
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace galaxy {
+
+/// A point in d-dimensional attribute space. All skyline attributes are
+/// normalized to doubles; preference direction (MIN/MAX) is handled by the
+/// dominance predicates, not by the geometry.
+using Point = std::vector<double>;
+
+/// An axis-aligned d-dimensional box, used for group minimum bounding boxes
+/// (MBBs) and R-tree node rectangles.
+struct Box {
+  Point min;
+  Point max;
+
+  Box() = default;
+  Box(Point min_corner, Point max_corner)
+      : min(std::move(min_corner)), max(std::move(max_corner)) {}
+
+  /// An "empty" box whose corners are set so that the first Expand snaps to
+  /// the expanding geometry.
+  static Box Empty(size_t dims) {
+    Box b;
+    b.min.assign(dims, std::numeric_limits<double>::infinity());
+    b.max.assign(dims, -std::numeric_limits<double>::infinity());
+    return b;
+  }
+
+  size_t dims() const { return min.size(); }
+
+  bool IsEmpty() const {
+    for (size_t i = 0; i < dims(); ++i) {
+      if (min[i] > max[i]) return true;
+    }
+    return dims() == 0;
+  }
+
+  /// Grows the box to cover `p`.
+  void Expand(std::span<const double> p);
+
+  /// Grows the box to cover `other`.
+  void Expand(const Box& other);
+
+  /// True if `p` lies inside (inclusive) the box.
+  bool Contains(std::span<const double> p) const;
+
+  /// True if the boxes share at least one point (inclusive boundaries).
+  bool Intersects(const Box& other) const;
+
+  /// Volume (product of side lengths); 0 for degenerate boxes.
+  double Volume() const;
+
+  /// Half-perimeter: sum of side lengths; the R-tree split heuristic metric.
+  double Margin() const;
+
+  /// The volume of the smallest box covering both this box and `other`.
+  double EnlargedVolume(const Box& other) const;
+
+  /// L1 norm of the min corner plus L1 norm of the max corner; the group
+  /// ordering key of the paper's sorted algorithm (Algorithm 4).
+  double CornerDistanceSum() const;
+
+  bool operator==(const Box& other) const {
+    return min == other.min && max == other.max;
+  }
+
+  std::string ToString() const;
+};
+
+/// Volume of the intersection of two boxes (0 if disjoint).
+double IntersectionVolume(const Box& a, const Box& b);
+
+}  // namespace galaxy
+
+#endif  // GALAXY_COMMON_GEOMETRY_H_

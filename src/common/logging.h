@@ -1,0 +1,55 @@
+#ifndef GALAXY_COMMON_LOGGING_H_
+#define GALAXY_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace galaxy {
+namespace internal {
+
+/// Accumulates a fatal-check message and aborts the process on destruction.
+/// Used by the GALAXY_CHECK family below; not part of the public API.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " Check failed: " << condition << " ";
+  }
+
+  [[noreturn]] ~FatalMessage() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::abort();
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace galaxy
+
+/// Aborts with a diagnostic if `condition` is false. Enabled in all builds;
+/// use for invariants whose violation means memory corruption or API misuse.
+#define GALAXY_CHECK(condition)                                            \
+  while (!(condition))                                                     \
+  ::galaxy::internal::FatalMessage(__FILE__, __LINE__, #condition).stream()
+
+#define GALAXY_CHECK_EQ(a, b) GALAXY_CHECK((a) == (b))
+#define GALAXY_CHECK_NE(a, b) GALAXY_CHECK((a) != (b))
+#define GALAXY_CHECK_LT(a, b) GALAXY_CHECK((a) < (b))
+#define GALAXY_CHECK_LE(a, b) GALAXY_CHECK((a) <= (b))
+#define GALAXY_CHECK_GT(a, b) GALAXY_CHECK((a) > (b))
+#define GALAXY_CHECK_GE(a, b) GALAXY_CHECK((a) >= (b))
+
+/// Debug-only checks, compiled out in release builds.
+#ifdef NDEBUG
+#define GALAXY_DCHECK(condition) \
+  while (false) GALAXY_CHECK(condition)
+#else
+#define GALAXY_DCHECK(condition) GALAXY_CHECK(condition)
+#endif
+
+#endif  // GALAXY_COMMON_LOGGING_H_

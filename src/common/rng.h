@@ -1,0 +1,61 @@
+#ifndef GALAXY_COMMON_RNG_H_
+#define GALAXY_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace galaxy {
+
+/// A PCG32 pseudo-random generator (O'Neill, pcg-random.org; XSH-RR output
+/// on a 64-bit LCG state). Deterministic across platforms and compilers,
+/// unlike the std:: distributions, which is essential for reproducible
+/// experiment workloads. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint32_t;
+
+  /// Seeds the generator; equal (seed, stream) pairs yield equal sequences.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+
+  /// Next raw 32 random bits.
+  uint32_t operator()() { return Next32(); }
+  uint32_t Next32();
+
+  /// Next 64 random bits (two 32-bit draws).
+  uint64_t Next64();
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi. Uses
+  /// Lemire-style rejection to avoid modulo bias.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal variate via Box-Muller (deterministic across
+  /// platforms). Mean 0, standard deviation 1.
+  double NextGaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential variate with the given rate lambda (> 0).
+  double Exponential(double lambda);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace galaxy
+
+#endif  // GALAXY_COMMON_RNG_H_

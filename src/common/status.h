@@ -1,0 +1,169 @@
+#ifndef GALAXY_COMMON_STATUS_H_
+#define GALAXY_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace galaxy {
+
+/// Error categories used across the library. The library does not throw
+/// exceptions across API boundaries; fallible operations return a Status or
+/// a Result<T> instead (see the Arrow / RocksDB idiom).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kTypeError,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. An OK status carries no message and
+/// no allocation; error statuses carry a code and a message describing what
+/// went wrong.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders the status as "Code: message" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value-or-error union: holds either a T (success) or an error Status.
+/// Accessing the value of an errored Result aborts, so callers must check
+/// ok() (or use GALAXY_ASSIGN_OR_RETURN) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Constructing a Result from
+  /// an OK status is a programming error and is converted to kInternal.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when the result holds a value.
+  Status status() const { return ok() ? Status::OK() : status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResultAccess(status_);
+}
+
+}  // namespace galaxy
+
+/// Propagates an error status from an expression returning Status.
+#define GALAXY_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::galaxy::Status galaxy_status__ = (expr);        \
+    if (!galaxy_status__.ok()) return galaxy_status__; \
+  } while (false)
+
+#define GALAXY_CONCAT_IMPL_(x, y) x##y
+#define GALAXY_CONCAT_(x, y) GALAXY_CONCAT_IMPL_(x, y)
+
+/// Evaluates an expression returning Result<T>; on success assigns the value
+/// to `lhs`, on error returns the error status from the enclosing function.
+#define GALAXY_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  GALAXY_ASSIGN_OR_RETURN_IMPL_(                                    \
+      GALAXY_CONCAT_(galaxy_result__, __LINE__), lhs, rexpr)
+
+#define GALAXY_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                  \
+  if (!result.ok()) return result.status();               \
+  lhs = std::move(result).value()
+
+#endif  // GALAXY_COMMON_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef GALAXY_COMMON_STR_UTIL_H_
+#define GALAXY_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace galaxy {
+
+/// Splits `input` on every occurrence of `delim`. Adjacent delimiters yield
+/// empty pieces; an empty input yields a single empty piece.
+std::vector<std::string> StrSplit(std::string_view input, char delim);
+
+/// Joins the pieces with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view input);
+
+/// ASCII lower-casing (SQL keywords are case-insensitive).
+std::string AsciiLower(std::string_view input);
+
+/// ASCII upper-casing.
+std::string AsciiUpper(std::string_view input);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double with up to `precision` significant fraction digits,
+/// trimming trailing zeros ("8.30" -> "8.3", "5.00" -> "5").
+std::string FormatDouble(double value, int precision = 6);
+
+}  // namespace galaxy
+
+#endif  // GALAXY_COMMON_STR_UTIL_H_

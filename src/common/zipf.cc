@@ -1,0 +1,36 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace galaxy {
+
+ZipfSampler::ZipfSampler(int64_t n, double theta) : n_(n), theta_(theta) {
+  GALAXY_CHECK_GE(n, 1);
+  GALAXY_CHECK_GE(theta, 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), theta);
+    cdf_[static_cast<size_t>(k - 1)] = total;
+  }
+  for (double& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+int64_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::Probability(int64_t rank) const {
+  GALAXY_CHECK_GE(rank, 1);
+  GALAXY_CHECK_LE(rank, n_);
+  size_t i = static_cast<size_t>(rank - 1);
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace galaxy

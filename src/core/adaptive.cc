@@ -1,0 +1,89 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace galaxy::core {
+
+std::string WorkloadProfile::ToString() const {
+  std::string out;
+  out += "groups=" + std::to_string(num_groups);
+  out += " records=" + std::to_string(total_records);
+  out += " avg_size=" + FormatDouble(avg_group_size, 2);
+  out += " max_share=" + FormatDouble(max_group_share, 4);
+  out += " window_selectivity=" + FormatDouble(window_selectivity, 4);
+  return out;
+}
+
+WorkloadProfile ProfileWorkload(const GroupedDataset& dataset,
+                                size_t sample_size) {
+  WorkloadProfile profile;
+  profile.num_groups = dataset.num_groups();
+  profile.total_records = dataset.total_records();
+  if (profile.num_groups == 0) return profile;
+  profile.avg_group_size = static_cast<double>(profile.total_records) /
+                           static_cast<double>(profile.num_groups);
+  size_t max_size = 0;
+  for (const Group& g : dataset.groups()) {
+    max_size = std::max(max_size, g.size());
+  }
+  profile.max_group_share = static_cast<double>(max_size) /
+                            static_cast<double>(profile.total_records);
+
+  if (profile.num_groups < 2) return profile;
+
+  // Window selectivity: how many groups' max corners weakly dominate a
+  // probe group's min corner, i.e. how much Algorithm 5's window query
+  // actually filters.
+  Rng rng(0x5eed, /*stream=*/3);
+  size_t samples = std::min(sample_size, profile.num_groups);
+  uint64_t candidates = 0;
+  uint64_t considered = 0;
+  const size_t dims = dataset.dims();
+  for (size_t s = 0; s < samples; ++s) {
+    size_t probe = samples == profile.num_groups
+                       ? s
+                       : static_cast<size_t>(rng.UniformInt(
+                             0, static_cast<int64_t>(profile.num_groups) - 1));
+    const Box& probe_box = dataset.group(probe).mbb();
+    for (size_t g = 0; g < profile.num_groups; ++g) {
+      if (g == probe) continue;
+      ++considered;
+      const Box& other = dataset.group(g).mbb();
+      bool in_window = true;
+      for (size_t d = 0; d < dims; ++d) {
+        if (other.max[d] < probe_box.min[d]) {
+          in_window = false;
+          break;
+        }
+      }
+      if (in_window) ++candidates;
+    }
+  }
+  profile.window_selectivity =
+      considered == 0 ? 0.0
+                      : static_cast<double>(candidates) /
+                            static_cast<double>(considered);
+  return profile;
+}
+
+AdaptiveChoice ChooseAlgorithm(const WorkloadProfile& profile,
+                               double selectivity_threshold,
+                               double skew_threshold_factor) {
+  AdaptiveChoice choice;
+  choice.algorithm = profile.window_selectivity > selectivity_threshold
+                         ? Algorithm::kSorted
+                         : Algorithm::kIndexedBbox;
+  double balanced_share =
+      profile.num_groups == 0 ? 1.0
+                              : 1.0 / static_cast<double>(profile.num_groups);
+  choice.ordering =
+      profile.max_group_share > skew_threshold_factor * balanced_share
+          ? GroupOrdering::kSmallestFirstThenCorner
+          : GroupOrdering::kCornerDistance;
+  return choice;
+}
+
+}  // namespace galaxy::core

@@ -1,0 +1,57 @@
+#ifndef GALAXY_CORE_ADAPTIVE_H_
+#define GALAXY_CORE_ADAPTIVE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/group.h"
+#include "core/options.h"
+
+namespace galaxy::core {
+
+/// Cheap structural statistics of a grouped dataset, used to pick an
+/// algorithm. Addresses the paper's concluding remark that "some specific
+/// data distributions remain challenging ... opening toward the
+/// development of customized query optimization methods": Figure 11 shows
+/// the pure index-based approach losing to the nested-loop family once
+/// group MBBs overlap heavily, and Section 3.4 argues for processing small
+/// groups first on heavy-tailed group sizes.
+struct WorkloadProfile {
+  size_t num_groups = 0;
+  size_t total_records = 0;
+  double avg_group_size = 0.0;
+  /// Share of all records held by the largest group (≈ 1/num_groups for
+  /// balanced workloads, large for Zipfian ones).
+  double max_group_share = 0.0;
+  /// Estimated fraction of groups returned by an Algorithm 5 window query
+  /// for a random probe group (1.0 = the index prunes nothing).
+  double window_selectivity = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Profiles the dataset; `sample_size` probe groups are used to estimate
+/// the window selectivity (cost O(sample_size * num_groups * dims)).
+WorkloadProfile ProfileWorkload(const GroupedDataset& dataset,
+                                size_t sample_size = 64);
+
+/// Decision of the adaptive planner.
+struct AdaptiveChoice {
+  Algorithm algorithm = Algorithm::kIndexedBbox;
+  GroupOrdering ordering = GroupOrdering::kCornerDistance;
+};
+
+/// Picks algorithm and ordering from a profile:
+///  * window selectivity above `selectivity_threshold` (default 0.7) means
+///    the R-tree cannot prune, so the sorted nested loop (SI) is used;
+///    otherwise the indexed algorithm with MBB approximation (LO);
+///  * a dominant largest group (share above `skew_threshold`, default 4x
+///    the balanced share) switches to smallest-groups-first ordering
+///    (the global optimization of Section 3.4).
+AdaptiveChoice ChooseAlgorithm(const WorkloadProfile& profile,
+                               double selectivity_threshold = 0.7,
+                               double skew_threshold_factor = 4.0);
+
+}  // namespace galaxy::core
+
+#endif  // GALAXY_CORE_ADAPTIVE_H_

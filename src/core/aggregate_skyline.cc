@@ -1,0 +1,153 @@
+#include "core/aggregate_skyline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/adaptive.h"
+#include "core/algo_context.h"
+#include "core/gamma.h"
+
+namespace galaxy::core {
+
+const char* AlgorithmToString(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBruteForce:
+      return "BF";
+    case Algorithm::kNestedLoop:
+      return "NL";
+    case Algorithm::kTransitive:
+      return "TR";
+    case Algorithm::kSorted:
+      return "SI";
+    case Algorithm::kIndexed:
+      return "IN";
+    case Algorithm::kIndexedBbox:
+      return "LO";
+    case Algorithm::kAuto:
+      return "AUTO";
+  }
+  return "?";
+}
+
+const char* GroupOrderingToString(GroupOrdering ordering) {
+  switch (ordering) {
+    case GroupOrdering::kCornerDistance:
+      return "corner-distance";
+    case GroupOrdering::kSmallestFirst:
+      return "smallest-first";
+    case GroupOrdering::kSmallestFirstThenCorner:
+      return "smallest-first-then-corner";
+  }
+  return "?";
+}
+
+std::string AggregateSkylineStats::ToString() const {
+  std::string out;
+  out += "group_pairs=" + std::to_string(group_pairs_classified);
+  out += " record_cmps=" + std::to_string(record_comparisons);
+  out += " skipped_strong=" + std::to_string(pairs_skipped_strong);
+  out += " skipped_dedup=" + std::to_string(pairs_skipped_dedup);
+  out += " window_candidates=" + std::to_string(window_candidates);
+  out += " mbb_shortcuts=" + std::to_string(mbb_shortcuts);
+  out += " stopped_early=" + std::to_string(stopped_early);
+  out += " wall_s=" + std::to_string(wall_seconds);
+  return out;
+}
+
+bool AggregateSkylineResult::Contains(uint32_t id) const {
+  return std::binary_search(skyline.begin(), skyline.end(), id);
+}
+
+std::vector<std::string> AggregateSkylineResult::Labels(
+    const GroupedDataset& dataset) const {
+  std::vector<std::string> out;
+  out.reserve(skyline.size());
+  for (uint32_t id : skyline) {
+    out.push_back(dataset.group(id).label());
+  }
+  return out;
+}
+
+AggregateSkylineResult ComputeAggregateSkyline(
+    const GroupedDataset& dataset, const AggregateSkylineOptions& options) {
+  WallTimer timer;
+
+  AggregateSkylineOptions effective = options;
+  if (options.algorithm == Algorithm::kAuto) {
+    AdaptiveChoice choice = ChooseAlgorithm(ProfileWorkload(dataset));
+    effective.algorithm = choice.algorithm;
+    effective.ordering = choice.ordering;
+  }
+
+  AggregateSkylineResult result;
+  result.algorithm_used = effective.algorithm;
+  internal::AlgoContext ctx(dataset, effective, &result.stats);
+
+  switch (effective.algorithm) {
+    case Algorithm::kBruteForce:
+      internal::RunBruteForce(ctx);
+      break;
+    case Algorithm::kNestedLoop:
+      internal::RunNestedLoop(ctx);
+      break;
+    case Algorithm::kTransitive:
+      internal::RunTransitive(ctx);
+      break;
+    case Algorithm::kSorted:
+      internal::RunSorted(ctx);
+      break;
+    case Algorithm::kIndexed:
+    case Algorithm::kIndexedBbox:
+      internal::RunIndexed(ctx);
+      break;
+    case Algorithm::kAuto:
+      GALAXY_CHECK(false) << "kAuto must be resolved before dispatch";
+      break;
+  }
+
+  result.skyline = ctx.Skyline();
+  result.dominated = ctx.dominated_flags();
+  result.strongly_dominated = ctx.strong_flags();
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+std::vector<RankedGroup> RankByGamma(const GroupedDataset& dataset) {
+  const size_t n = dataset.num_groups();
+  std::vector<RankedGroup> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    RankedGroup rg;
+    rg.id = i;
+    rg.label = dataset.group(i).label();
+    rg.min_gamma = 0.5;
+    rg.always_dominated = false;
+    rg.strongest_dominator = i;
+    rg.strongest_probability = 0.0;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double p = DominationProbability(dataset.group(j), dataset.group(i));
+      if (p > rg.strongest_probability) {
+        rg.strongest_probability = p;
+        rg.strongest_dominator = j;
+      }
+      if (p == 1.0) {
+        rg.always_dominated = true;
+        break;
+      }
+      rg.min_gamma = std::max(rg.min_gamma, p);
+    }
+    out.push_back(std::move(rg));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RankedGroup& a, const RankedGroup& b) {
+                     if (a.always_dominated != b.always_dominated) {
+                       return !a.always_dominated;
+                     }
+                     return a.min_gamma < b.min_gamma;
+                   });
+  return out;
+}
+
+}  // namespace galaxy::core

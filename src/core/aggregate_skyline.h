@@ -1,0 +1,69 @@
+#ifndef GALAXY_CORE_AGGREGATE_SKYLINE_H_
+#define GALAXY_CORE_AGGREGATE_SKYLINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/group.h"
+#include "core/options.h"
+
+namespace galaxy::core {
+
+/// The output of an aggregate-skyline computation.
+struct AggregateSkylineResult {
+  /// Ids of the groups in the skyline, ascending.
+  std::vector<uint32_t> skyline;
+  /// Per group id: γ-dominated by some group (as established by the chosen
+  /// algorithm; see DESIGN.md on the weak-transitivity gap of TR/SI/IN/LO).
+  std::vector<uint8_t> dominated;
+  /// Per group id: γ̄-dominated (strong domination).
+  std::vector<uint8_t> strongly_dominated;
+  /// Work counters for the run.
+  AggregateSkylineStats stats;
+  /// The concrete algorithm that ran (resolves kAuto to its choice).
+  Algorithm algorithm_used = Algorithm::kBruteForce;
+
+  /// True if the group id is in the skyline.
+  bool Contains(uint32_t id) const;
+
+  /// Labels of the skyline groups, in skyline order.
+  std::vector<std::string> Labels(const GroupedDataset& dataset) const;
+};
+
+/// Computes the aggregate skyline of Definition 2: the groups of `dataset`
+/// not γ-dominated by any other group, using the algorithm and tuning in
+/// `options`. Thread-compatible: concurrent calls on the same dataset are
+/// safe.
+AggregateSkylineResult ComputeAggregateSkyline(
+    const GroupedDataset& dataset, const AggregateSkylineOptions& options = {});
+
+/// A group together with the smallest γ for which it belongs to the
+/// skyline.
+struct RankedGroup {
+  uint32_t id = 0;
+  std::string label;
+  /// The largest domination probability any other group scores against this
+  /// group, clamped up to 0.5: the group is in Sky_γ for every γ >= min_gamma
+  /// (unless always_dominated).
+  double min_gamma = 0.5;
+  /// True when some group dominates this one with probability 1 (strict
+  /// dominance): the group is in no γ-skyline.
+  bool always_dominated = false;
+  /// The group scoring the highest domination probability against this one
+  /// (its "strongest attacker"); equal to `id` itself when nothing attacks
+  /// it at all (probability 0 from everyone).
+  uint32_t strongest_dominator = 0;
+  /// That attacker's domination probability.
+  double strongest_probability = 0.0;
+};
+
+/// Ranks all groups by the minimum γ at which they enter the skyline
+/// (Section 2.2's "compute all groups that can be in an aggregate skyline
+/// and return them in sorted order"). Strictly dominated groups sort last.
+/// Cost is one exact domination probability per ordered group pair.
+std::vector<RankedGroup> RankByGamma(const GroupedDataset& dataset);
+
+}  // namespace galaxy::core
+
+#endif  // GALAXY_CORE_AGGREGATE_SKYLINE_H_

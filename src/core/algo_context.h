@@ -1,0 +1,74 @@
+#ifndef GALAXY_CORE_ALGO_CONTEXT_H_
+#define GALAXY_CORE_ALGO_CONTEXT_H_
+
+// Internal shared machinery of the aggregate-skyline algorithms. Not part
+// of the public API; include core/aggregate_skyline.h instead.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gamma.h"
+#include "core/group.h"
+#include "core/options.h"
+
+namespace galaxy::core::internal {
+
+/// Mutable state threaded through one aggregate-skyline run: the dominated /
+/// strongly-dominated marks of every group plus accumulated work counters.
+class AlgoContext {
+ public:
+  AlgoContext(const GroupedDataset& dataset,
+              const AggregateSkylineOptions& options,
+              AggregateSkylineStats* stats);
+
+  const GroupedDataset& dataset() const { return *dataset_; }
+  const AggregateSkylineOptions& options() const { return *options_; }
+  AggregateSkylineStats* stats() { return stats_; }
+
+  bool dominated(uint32_t id) const { return dominated_[id] != 0; }
+  bool strongly_dominated(uint32_t id) const {
+    return strongly_dominated_[id] != 0;
+  }
+
+  /// True when the algorithm may skip this group per weak transitivity
+  /// (strongly dominated and pruning enabled).
+  bool Skippable(uint32_t id) const {
+    return options_->prune_strongly_dominated && strongly_dominated(id);
+  }
+
+  /// Classifies the pair, applies the dominance marks, updates counters,
+  /// and returns the outcome.
+  PairOutcome Compare(uint32_t id1, uint32_t id2);
+
+  /// The groups still unmarked, ascending by id — the computed skyline.
+  std::vector<uint32_t> Skyline() const;
+
+  const std::vector<uint8_t>& dominated_flags() const { return dominated_; }
+  const std::vector<uint8_t>& strong_flags() const {
+    return strongly_dominated_;
+  }
+
+ private:
+  const GroupedDataset* dataset_;
+  const AggregateSkylineOptions* options_;
+  GammaThresholds thresholds_;
+  PairCompareOptions pair_options_;
+  std::vector<uint8_t> dominated_;
+  std::vector<uint8_t> strongly_dominated_;
+  AggregateSkylineStats* stats_;
+};
+
+/// Returns group indexes in the probing order selected by `ordering`.
+std::vector<uint32_t> OrderGroups(const GroupedDataset& dataset,
+                                  GroupOrdering ordering);
+
+/// Algorithm bodies (one per paper algorithm; see options.h).
+void RunBruteForce(AlgoContext& ctx);
+void RunNestedLoop(AlgoContext& ctx);
+void RunTransitive(AlgoContext& ctx);
+void RunSorted(AlgoContext& ctx);
+void RunIndexed(AlgoContext& ctx);
+
+}  // namespace galaxy::core::internal
+
+#endif  // GALAXY_CORE_ALGO_CONTEXT_H_

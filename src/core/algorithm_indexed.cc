@@ -1,0 +1,85 @@
+#include <limits>
+#include <unordered_set>
+
+#include "core/algo_context.h"
+#include "spatial/rtree.h"
+
+namespace galaxy::core::internal {
+
+namespace {
+
+// Canonical key for an unordered group pair, used to avoid classifying the
+// same pair from both endpoints' window queries.
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  uint32_t lo = a < b ? a : b;
+  uint32_t hi = a < b ? b : a;
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+// Algorithm 5 ("IN"; with the MBB internal approximation enabled it is
+// "LO"): groups are probed in priority order, and for each probe g1 a
+// window query on an R-tree of group MBB max-corners returns exactly the
+// groups that could γ-dominate g1 — those whose max corner lies in the
+// region weakly dominating g1's min corner (Figure 9(a)). Only those
+// candidates are compared. Classification marks both sides, so dominances
+// discovered "by accident" (g1 beating a candidate) are kept as well; a
+// dedup set prevents re-classifying a pair from the other endpoint.
+void RunIndexed(AlgoContext& ctx) {
+  const GroupedDataset& dataset = ctx.dataset();
+  const size_t dims = dataset.dims();
+  const uint32_t n = static_cast<uint32_t>(dataset.num_groups());
+
+  spatial::RTree tree(dims, ctx.options().rtree_fanout);
+  {
+    std::vector<Point> corners;
+    std::vector<uint32_t> ids;
+    corners.reserve(n);
+    ids.reserve(n);
+    for (uint32_t g = 0; g < n; ++g) {
+      corners.push_back(dataset.group(g).mbb().max);
+      ids.push_back(g);
+    }
+    tree.BulkLoad(corners, ids);
+  }
+
+  std::vector<uint32_t> order =
+      OrderGroups(dataset, ctx.options().ordering);
+  std::unordered_set<uint64_t> compared;
+  std::vector<uint32_t> candidates;
+
+  for (uint32_t a = 0; a < n; ++a) {
+    uint32_t i = order[a];
+    if (ctx.Skippable(i)) continue;
+
+    // All groups whose MBB max corner weakly dominates g1's min corner are
+    // the only possible γ-dominators of g1.
+    Box window(dataset.group(i).mbb().min,
+               Point(dims, std::numeric_limits<double>::infinity()));
+    candidates.clear();
+    tree.WindowQuery(window, &candidates);
+    if (ctx.stats() != nullptr) {
+      ctx.stats()->window_candidates += candidates.size();
+    }
+
+    for (uint32_t j : candidates) {
+      if (j == i) continue;
+      if (ctx.Skippable(j)) {
+        if (ctx.stats() != nullptr) ++ctx.stats()->pairs_skipped_strong;
+        continue;
+      }
+      if (!compared.insert(PairKey(i, j)).second) {
+        if (ctx.stats() != nullptr) ++ctx.stats()->pairs_skipped_dedup;
+        continue;
+      }
+      ctx.Compare(i, j);
+      if (ctx.options().prune_strongly_dominated &&
+          ctx.strongly_dominated(i)) {
+        break;  // the probe is out; stop searching for its dominators
+      }
+    }
+  }
+}
+
+}  // namespace galaxy::core::internal

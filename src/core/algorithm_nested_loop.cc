@@ -1,0 +1,29 @@
+#include "core/algo_context.h"
+
+namespace galaxy::core::internal {
+
+// Reference mode: every unordered pair is classified with every record pair
+// inspected (no stopping rule, no MBB pruning, no group skipping). The
+// result is the exact aggregate skyline of Definition 2.
+void RunBruteForce(AlgoContext& ctx) {
+  const uint32_t n = static_cast<uint32_t>(ctx.dataset().num_groups());
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      ctx.Compare(i, j);
+    }
+  }
+}
+
+// Algorithm 2 ("NL"): plain nested loop over unordered group pairs. The
+// only acceleration is the internal stopping rule inside ClassifyPair.
+// Like the brute force it inspects every pair of groups, so it is exact.
+void RunNestedLoop(AlgoContext& ctx) {
+  const uint32_t n = static_cast<uint32_t>(ctx.dataset().num_groups());
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      ctx.Compare(i, j);
+    }
+  }
+}
+
+}  // namespace galaxy::core::internal

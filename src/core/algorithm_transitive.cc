@@ -1,0 +1,53 @@
+#include "core/algo_context.h"
+
+namespace galaxy::core::internal {
+
+// Algorithm 3 ("TR"): nested loop that exploits weak transitivity
+// (Proposition 5). Groups found γ̄-dominated ("strongly dominated") are
+// skipped both as probes and as comparison partners; when the probe itself
+// becomes strongly dominated its processing ends immediately (line 19).
+void RunTransitive(AlgoContext& ctx) {
+  const uint32_t n = static_cast<uint32_t>(ctx.dataset().num_groups());
+  for (uint32_t i = 0; i < n; ++i) {
+    if (ctx.Skippable(i)) continue;
+    for (uint32_t j = i + 1; j < n; ++j) {
+      if (ctx.Skippable(j)) {
+        if (ctx.stats() != nullptr) ++ctx.stats()->pairs_skipped_strong;
+        continue;
+      }
+      PairOutcome outcome = ctx.Compare(i, j);
+      if (outcome == PairOutcome::kSecondDominatesStrongly &&
+          ctx.options().prune_strongly_dominated) {
+        break;  // "end processing of g1"
+      }
+    }
+  }
+}
+
+// Algorithm 4 ("SI"): identical pruning to Algorithm 3, but groups are
+// probed in a priority order — by default descending corner-distance sum of
+// the group MBB, so groups likely to dominate many others are processed
+// first and strong dominance is discovered early.
+void RunSorted(AlgoContext& ctx) {
+  std::vector<uint32_t> order =
+      OrderGroups(ctx.dataset(), ctx.options().ordering);
+  const uint32_t n = static_cast<uint32_t>(order.size());
+  for (uint32_t a = 0; a < n; ++a) {
+    uint32_t i = order[a];
+    if (ctx.Skippable(i)) continue;
+    for (uint32_t b = a + 1; b < n; ++b) {
+      uint32_t j = order[b];
+      if (ctx.Skippable(j)) {
+        if (ctx.stats() != nullptr) ++ctx.stats()->pairs_skipped_strong;
+        continue;
+      }
+      PairOutcome outcome = ctx.Compare(i, j);
+      if (outcome == PairOutcome::kSecondDominatesStrongly &&
+          ctx.options().prune_strongly_dominated) {
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace galaxy::core::internal

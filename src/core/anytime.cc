@@ -1,0 +1,243 @@
+#include "core/anytime.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace galaxy::core {
+
+// Resumable state of one group-pair comparison: exact counts over the
+// prefix of record pairs inspected so far, plus the cursor into the
+// residual record lists (after optional MBB pre-classification).
+struct AnytimeAggregateSkyline::PairState {
+  uint32_t g1 = 0;
+  uint32_t g2 = 0;
+  uint64_t total = 0;
+  uint64_t n12 = 0;
+  uint64_t n21 = 0;
+  uint64_t resolved = 0;
+  std::vector<uint32_t> rest1;
+  std::vector<uint32_t> rest2;
+  size_t pos1 = 0;  // current row (index into rest1)
+  size_t pos2 = 0;  // current column (index into rest2)
+  bool decided = false;
+  PairOutcome outcome = PairOutcome::kIncomparable;
+};
+
+AnytimeAggregateSkyline::AnytimeAggregateSkyline(const GroupedDataset& dataset,
+                                                 const Options& options)
+    : dataset_(&dataset),
+      options_(options),
+      thresholds_(GammaThresholds::FromGamma(options.gamma)),
+      dominated_(dataset.num_groups(), 0),
+      undecided_per_group_(dataset.num_groups(), 0) {
+  const uint32_t n = static_cast<uint32_t>(dataset.num_groups());
+  pairs_.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      PairState state;
+      state.g1 = i;
+      state.g2 = j;
+      const Group& a = dataset.group(i);
+      const Group& b = dataset.group(j);
+      state.total = static_cast<uint64_t>(a.size()) * b.size();
+
+      if (options_.use_mbb) {
+        // Corner-only decisions (Figure 9(b)).
+        if (skyline::Dominates(b.mbb().min, a.mbb().max)) {
+          state.decided = true;
+          state.outcome = PairOutcome::kSecondDominatesStrongly;
+        } else if (skyline::Dominates(a.mbb().min, b.mbb().max)) {
+          state.decided = true;
+          state.outcome = PairOutcome::kFirstDominatesStrongly;
+        } else {
+          // Region pre-classification (Figure 9(c)); see ClassifyPair.
+          uint64_t a2 = 0, c1 = 0;
+          for (uint32_t r = 0; r < a.size(); ++r) {
+            auto p = a.point(r);
+            if (skyline::Dominates(b.mbb().min, p)) {
+              ++a2;
+            } else if (skyline::Dominates(p, b.mbb().max)) {
+              ++c1;
+            } else {
+              state.rest1.push_back(r);
+            }
+          }
+          uint64_t a1 = 0, c2 = 0;
+          for (uint32_t s = 0; s < b.size(); ++s) {
+            auto p = b.point(s);
+            if (skyline::Dominates(a.mbb().min, p)) {
+              ++a1;
+            } else if (skyline::Dominates(p, a.mbb().max)) {
+              ++c2;
+            } else {
+              state.rest2.push_back(s);
+            }
+          }
+          state.n12 = a1 * a.size() + c1 * (b.size() - a1);
+          state.n21 = a2 * b.size() + c2 * (a.size() - a2);
+          state.resolved =
+              state.total -
+              static_cast<uint64_t>(state.rest1.size()) * state.rest2.size();
+          comparisons_used_ += 2 * (a.size() + b.size());
+        }
+      } else {
+        state.rest1.resize(a.size());
+        state.rest2.resize(b.size());
+        for (uint32_t r = 0; r < a.size(); ++r) state.rest1[r] = r;
+        for (uint32_t s = 0; s < b.size(); ++s) state.rest2[s] = s;
+      }
+
+      if (!state.decided &&
+          internal::TryResolveOutcome(state.n12, state.n21, state.resolved,
+                                      state.total, thresholds_,
+                                      &state.outcome)) {
+        state.decided = true;
+      }
+      if (state.decided) {
+        switch (state.outcome) {
+          case PairOutcome::kFirstDominates:
+          case PairOutcome::kFirstDominatesStrongly:
+            dominated_[j] = 1;
+            break;
+          case PairOutcome::kSecondDominates:
+          case PairOutcome::kSecondDominatesStrongly:
+            dominated_[i] = 1;
+            break;
+          default:
+            break;
+        }
+      } else {
+        ++undecided_per_group_[i];
+        ++undecided_per_group_[j];
+        active_.push_back(static_cast<uint32_t>(pairs_.size()));
+      }
+      pairs_.push_back(std::move(state));
+    }
+  }
+  complete_ = active_.empty();
+}
+
+AnytimeAggregateSkyline::~AnytimeAggregateSkyline() = default;
+
+AnytimeAggregateSkyline::Snapshot AnytimeAggregateSkyline::Advance(
+    uint64_t comparison_budget) {
+  uint64_t remaining = comparison_budget;
+  while (remaining > 0 && !active_.empty()) {
+    size_t keep = 0;
+    for (size_t a = 0; a < active_.size(); ++a) {
+      uint32_t idx = active_[a];
+      PairState& pair = pairs_[idx];
+
+      auto finish_pair = [&](bool relevant) {
+        pair.decided = true;
+        if (relevant) {
+          switch (pair.outcome) {
+            case PairOutcome::kFirstDominates:
+            case PairOutcome::kFirstDominatesStrongly:
+              dominated_[pair.g2] = 1;
+              break;
+            case PairOutcome::kSecondDominates:
+            case PairOutcome::kSecondDominatesStrongly:
+              dominated_[pair.g1] = 1;
+              break;
+            default:
+              break;
+          }
+        }
+        --undecided_per_group_[pair.g1];
+        --undecided_per_group_[pair.g2];
+      };
+
+      // A pair between two already-dominated groups can no longer change
+      // either result set; drop it without spending budget.
+      if (dominated_[pair.g1] != 0 && dominated_[pair.g2] != 0) {
+        pair.outcome = PairOutcome::kIncomparable;  // unknown, irrelevant
+        finish_pair(/*relevant=*/false);
+        continue;
+      }
+      if (remaining == 0) {
+        active_[keep++] = idx;
+        continue;
+      }
+
+      const Group& a_group = dataset_->group(pair.g1);
+      const Group& b_group = dataset_->group(pair.g2);
+      uint64_t slice = std::min<uint64_t>(options_.slice, remaining);
+      while (slice > 0 && !pair.decided) {
+        auto r = a_group.point(pair.rest1[pair.pos1]);
+        auto s = b_group.point(pair.rest2[pair.pos2]);
+        skyline::DominanceResult cmp = skyline::CompareDominance(r, s);
+        if (cmp == skyline::DominanceResult::kLeftDominates) {
+          ++pair.n12;
+        } else if (cmp == skyline::DominanceResult::kRightDominates) {
+          ++pair.n21;
+        }
+        ++pair.resolved;
+        ++comparisons_used_;
+        --slice;
+        --remaining;
+        // Advance the cursor (row-major over rest1 x rest2).
+        if (++pair.pos2 == pair.rest2.size()) {
+          pair.pos2 = 0;
+          ++pair.pos1;
+          // End of a row: check the stopping rule.
+          if (internal::TryResolveOutcome(pair.n12, pair.n21, pair.resolved,
+                                          pair.total, thresholds_,
+                                          &pair.outcome)) {
+            finish_pair(/*relevant=*/true);
+            break;
+          }
+        }
+      }
+      if (!pair.decided &&
+          internal::TryResolveOutcome(pair.n12, pair.n21, pair.resolved,
+                                      pair.total, thresholds_,
+                                      &pair.outcome)) {
+        finish_pair(/*relevant=*/true);
+      }
+      if (!pair.decided) active_[keep++] = idx;
+    }
+    active_.resize(keep);
+  }
+  complete_ = active_.empty();
+  Snapshot snapshot;
+  RebuildSnapshot(&snapshot);
+  return snapshot;
+}
+
+AnytimeAggregateSkyline::Snapshot AnytimeAggregateSkyline::Current() const {
+  Snapshot snapshot;
+  RebuildSnapshot(&snapshot);
+  return snapshot;
+}
+
+void AnytimeAggregateSkyline::RebuildSnapshot(Snapshot* snapshot) const {
+  snapshot->possible.clear();
+  snapshot->confirmed.clear();
+  for (uint32_t g = 0; g < dominated_.size(); ++g) {
+    if (dominated_[g] != 0) continue;
+    snapshot->possible.push_back(g);
+    if (undecided_per_group_[g] == 0) snapshot->confirmed.push_back(g);
+  }
+  snapshot->comparisons_used = comparisons_used_;
+  snapshot->pairs_total = pairs_.size();
+  uint64_t decided = 0;
+  for (const PairState& pair : pairs_) {
+    if (pair.decided) ++decided;
+  }
+  snapshot->pairs_decided = decided;
+  snapshot->complete = complete_;
+}
+
+AnytimeAggregateSkyline::Snapshot ComputeAnytime(const GroupedDataset& dataset,
+                                                 double gamma,
+                                                 uint64_t comparison_budget) {
+  AnytimeAggregateSkyline::Options options;
+  options.gamma = gamma;
+  AnytimeAggregateSkyline engine(dataset, options);
+  return engine.Advance(comparison_budget);
+}
+
+}  // namespace galaxy::core

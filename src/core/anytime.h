@@ -1,0 +1,89 @@
+#ifndef GALAXY_CORE_ANYTIME_H_
+#define GALAXY_CORE_ANYTIME_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/gamma.h"
+#include "core/group.h"
+
+namespace galaxy::core {
+
+/// Anytime aggregate-skyline processing, in the spirit of the authors'
+/// companion work on anytime skylines for interactive systems (Magnani,
+/// Assent, Mortensen, 2012 — reference [15] of the paper): the operator
+/// can be interrupted at any record-comparison budget and returns a sound
+/// over-approximation of the skyline that only shrinks as the budget
+/// grows, plus the subset already *confirmed* to be in the exact answer.
+///
+/// Implementation: all group pairs are compared concurrently in slices,
+/// each through a resumable incremental comparator maintaining exact
+/// lower/upper bounds on the pair's domination counts (the stopping rule
+/// of Section 3.3 generalized to suspensions). A group leaves `possible`
+/// the moment some pair proves it γ-dominated; it enters `confirmed` when
+/// every pair involving it is decided and none dominates it.
+class AnytimeAggregateSkyline {
+ public:
+  struct Options {
+    double gamma = 0.5;
+    /// Pre-classify records against opposing MBB corners (Figure 9).
+    bool use_mbb = true;
+    /// Record comparisons per pair and round (smaller = smoother
+    /// progress curve, slightly more scheduling overhead).
+    uint64_t slice = 256;
+  };
+
+  /// Snapshot of the current state of knowledge.
+  struct Snapshot {
+    /// Groups not yet proven dominated (superset of the exact skyline).
+    std::vector<uint32_t> possible;
+    /// Groups proven to be in the exact skyline.
+    std::vector<uint32_t> confirmed;
+    uint64_t comparisons_used = 0;
+    uint64_t pairs_total = 0;
+    uint64_t pairs_decided = 0;
+    /// True when possible == confirmed == the exact aggregate skyline.
+    bool complete = false;
+  };
+
+  AnytimeAggregateSkyline(const GroupedDataset& dataset,
+                          const Options& options);
+  ~AnytimeAggregateSkyline();
+
+  AnytimeAggregateSkyline(const AnytimeAggregateSkyline&) = delete;
+  AnytimeAggregateSkyline& operator=(const AnytimeAggregateSkyline&) = delete;
+
+  /// Spends up to `comparison_budget` more record comparisons; returns the
+  /// state afterwards. Call repeatedly to refine; once complete() is true
+  /// further calls are no-ops.
+  Snapshot Advance(uint64_t comparison_budget);
+
+  /// Current state without doing any work.
+  Snapshot Current() const;
+
+  bool complete() const { return complete_; }
+
+ private:
+  struct PairState;
+
+  void RebuildSnapshot(Snapshot* snapshot) const;
+
+  const GroupedDataset* dataset_;
+  Options options_;
+  GammaThresholds thresholds_;
+  std::vector<PairState> pairs_;
+  std::vector<uint32_t> active_;  // indexes into pairs_, still undecided
+  std::vector<uint8_t> dominated_;
+  std::vector<uint32_t> undecided_per_group_;
+  uint64_t comparisons_used_ = 0;
+  bool complete_ = false;
+};
+
+/// One-shot convenience: run the anytime operator to the given budget.
+AnytimeAggregateSkyline::Snapshot ComputeAnytime(
+    const GroupedDataset& dataset, double gamma, uint64_t comparison_budget);
+
+}  // namespace galaxy::core
+
+#endif  // GALAXY_CORE_ANYTIME_H_

@@ -1,0 +1,313 @@
+#include "core/gamma.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace galaxy::core {
+
+GammaThresholds GammaThresholds::FromGamma(double gamma) {
+  GALAXY_CHECK_GE(gamma, 0.5) << "gamma must be >= 0.5 for asymmetry";
+  GALAXY_CHECK_LE(gamma, 1.0);
+  GammaThresholds t;
+  t.gamma = gamma;
+  // Proposition 5's threshold 1 - sqrt(1-γ)/2 falls below γ itself once
+  // γ > 3/4; "strong" domination must still imply plain γ-domination (the
+  // algorithms exclude strongly dominated groups from the result), so the
+  // effective strong threshold is clamped to at least γ. This keeps the
+  // weak-transitivity premise (p > 1 - sqrt(1-γ)/2) intact for every γ.
+  t.gamma_bar = std::max(gamma, 1.0 - std::sqrt(1.0 - gamma) / 2.0);
+  return t;
+}
+
+GammaThresholds GammaThresholds::FromGammaProven(double gamma) {
+  GALAXY_CHECK_GE(gamma, 0.5) << "gamma must be >= 0.5 for asymmetry";
+  GALAXY_CHECK_LE(gamma, 1.0);
+  GammaThresholds t;
+  t.gamma = gamma;
+  // Union bound over the domination-matrix product (DESIGN.md erratum 3):
+  // with zero-fractions a, b in the R-S and S-T matrices, the product's
+  // zero fraction is at most (sqrt(a) + sqrt(b))^2; premise zero-fractions
+  // below (1-gamma)/4 each therefore force p(R≻T) > gamma.
+  t.gamma_bar = (3.0 + gamma) / 4.0;
+  return t;
+}
+
+uint64_t CountDominatedPairs(const Group& s, const Group& r) {
+  GALAXY_CHECK_EQ(s.dims(), r.dims());
+  uint64_t count = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    auto si = s.point(i);
+    for (size_t j = 0; j < r.size(); ++j) {
+      if (skyline::Dominates(si, r.point(j))) ++count;
+    }
+  }
+  return count;
+}
+
+double DominationProbability(const Group& s, const Group& r) {
+  uint64_t total = static_cast<uint64_t>(s.size()) * r.size();
+  return static_cast<double>(CountDominatedPairs(s, r)) /
+         static_cast<double>(total);
+}
+
+bool GammaDominates(const Group& s, const Group& r, double gamma) {
+  double p = DominationProbability(s, r);
+  return p == 1.0 || p > gamma;
+}
+
+GammaDriftBounds StabilityBounds(double gamma, double epsilon) {
+  GALAXY_CHECK_GE(epsilon, 0.0);
+  GALAXY_CHECK_LT(epsilon, 1.0);
+  GALAXY_CHECK_GE(gamma, 0.0);
+  GALAXY_CHECK_LE(gamma, 1.0);
+  GammaDriftBounds bounds;
+  bounds.lower = std::max(0.0, (gamma - epsilon) / (1.0 - epsilon));
+  bounds.upper = std::min(1.0, gamma / (1.0 - epsilon));
+  return bounds;
+}
+
+const char* PairOutcomeToString(PairOutcome outcome) {
+  switch (outcome) {
+    case PairOutcome::kIncomparable:
+      return "incomparable";
+    case PairOutcome::kFirstDominates:
+      return "first-dominates";
+    case PairOutcome::kFirstDominatesStrongly:
+      return "first-dominates-strongly";
+    case PairOutcome::kSecondDominates:
+      return "second-dominates";
+    case PairOutcome::kSecondDominatesStrongly:
+      return "second-dominates-strongly";
+  }
+  return "?";
+}
+
+namespace internal {
+
+BoundDecision DecideDominance(uint64_t known, uint64_t resolved,
+                              uint64_t total, double threshold) {
+  uint64_t upper = known + (total - resolved);
+  double bar = threshold * static_cast<double>(total);
+  BoundDecision d;
+  if (static_cast<double>(known) > bar || known == total) {
+    d.decided = true;
+    d.value = true;
+  } else if (upper < total && !(static_cast<double>(upper) > bar)) {
+    d.decided = true;
+    d.value = false;
+  } else if (resolved == total) {
+    d.decided = true;
+    d.value = (known == total) || (static_cast<double>(known) > bar);
+  }
+  return d;
+}
+
+bool TryResolveOutcome(uint64_t n12, uint64_t n21, uint64_t resolved,
+                       uint64_t total, const GammaThresholds& thresholds,
+                       PairOutcome* outcome) {
+  BoundDecision f_strong =
+      DecideDominance(n12, resolved, total, thresholds.gamma_bar);
+  BoundDecision f_gamma =
+      DecideDominance(n12, resolved, total, thresholds.gamma);
+  BoundDecision s_strong =
+      DecideDominance(n21, resolved, total, thresholds.gamma_bar);
+  BoundDecision s_gamma =
+      DecideDominance(n21, resolved, total, thresholds.gamma);
+  // Shortcut exits mirroring the stopping rule of Section 3.3: a decided
+  // strong domination ends the comparison; a decided weak domination ends
+  // it once strong domination is excluded; four decided negatives mean
+  // incomparability.
+  if (f_strong.decided && f_strong.value) {
+    *outcome = PairOutcome::kFirstDominatesStrongly;
+    return true;
+  }
+  if (s_strong.decided && s_strong.value) {
+    *outcome = PairOutcome::kSecondDominatesStrongly;
+    return true;
+  }
+  if (f_gamma.decided && f_gamma.value && f_strong.decided) {
+    *outcome = PairOutcome::kFirstDominates;
+    return true;
+  }
+  if (s_gamma.decided && s_gamma.value && s_strong.decided) {
+    *outcome = PairOutcome::kSecondDominates;
+    return true;
+  }
+  if (f_gamma.decided && !f_gamma.value && s_gamma.decided &&
+      !s_gamma.value) {
+    *outcome = PairOutcome::kIncomparable;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace internal
+
+namespace {
+
+PairOutcome OutcomeFromPredicates(bool first_gamma, bool first_strong,
+                                  bool second_gamma, bool second_strong) {
+  if (first_strong) return PairOutcome::kFirstDominatesStrongly;
+  if (first_gamma) return PairOutcome::kFirstDominates;
+  if (second_strong) return PairOutcome::kSecondDominatesStrongly;
+  if (second_gamma) return PairOutcome::kSecondDominates;
+  return PairOutcome::kIncomparable;
+}
+
+}  // namespace
+
+PairOutcome ClassifyPair(const Group& g1, const Group& g2,
+                         const GammaThresholds& thresholds,
+                         const PairCompareOptions& options,
+                         PairCompareStats* stats) {
+  GALAXY_CHECK_EQ(g1.dims(), g2.dims());
+  const uint64_t n1 = g1.size();
+  const uint64_t n2 = g2.size();
+  const uint64_t total = n1 * n2;
+  if (stats != nullptr) stats->pairs_total = total;
+
+  uint64_t n12 = 0;  // pairs (r in g1, s in g2) with r ≻ s
+  uint64_t n21 = 0;  // pairs with s ≻ r
+  uint64_t resolved = 0;
+
+  // Residual records needing pairwise scanning (all, unless MBB pruning
+  // pre-classifies some).
+  std::vector<uint32_t> rest1;
+  std::vector<uint32_t> rest2;
+
+  if (options.use_mbb) {
+    const Box& b1 = g1.mbb();
+    const Box& b2 = g2.mbb();
+    // Figure 9(b): a corner-only decision. If g2's min corner dominates
+    // g1's max corner, every record of g2 dominates every record of g1.
+    if (skyline::Dominates(b2.min, b1.max)) {
+      if (stats != nullptr) {
+        stats->mbb_strict_shortcut = true;
+        stats->pairs_resolved_by_mbb = total;
+      }
+      return PairOutcome::kSecondDominatesStrongly;
+    }
+    if (skyline::Dominates(b1.min, b2.max)) {
+      if (stats != nullptr) {
+        stats->mbb_strict_shortcut = true;
+        stats->pairs_resolved_by_mbb = total;
+      }
+      return PairOutcome::kFirstDominatesStrongly;
+    }
+
+    // Figure 9(c): records of one group falling below the other group's min
+    // corner are dominated by the entire other group ("area A"); records
+    // above the other group's max corner dominate the entire other group
+    // ("area C"). Count those pairs analytically and scan only the rest.
+    uint64_t a2 = 0;  // g1 records dominated by all of g2 (below b2.min)
+    uint64_t c1 = 0;  // g1 records dominating all of g2 (above b2.max)
+    rest1.reserve(g1.size());
+    for (uint32_t i = 0; i < g1.size(); ++i) {
+      auto r = g1.point(i);
+      if (skyline::Dominates(b2.min, r)) {
+        ++a2;
+      } else if (skyline::Dominates(r, b2.max)) {
+        ++c1;
+      } else {
+        rest1.push_back(i);
+      }
+    }
+    uint64_t a1 = 0;  // g2 records dominated by all of g1
+    uint64_t c2 = 0;  // g2 records dominating all of g1
+    rest2.reserve(g2.size());
+    for (uint32_t j = 0; j < g2.size(); ++j) {
+      auto s = g2.point(j);
+      if (skyline::Dominates(b1.min, s)) {
+        ++a1;
+      } else if (skyline::Dominates(s, b1.max)) {
+        ++c2;
+      } else {
+        rest2.push_back(j);
+      }
+    }
+    if (stats != nullptr) {
+      stats->record_comparisons += 2 * (n1 + n2);  // corner tests
+    }
+    // Every pair touching a pre-classified record is decided:
+    //   r ≻ s holds for (any r, s in A1) and (r in C1, s not in A1);
+    //   s ≻ r holds for (r in A2, any s) and (s in C2, r not in A2);
+    //   all other flagged combinations are non-dominating in both
+    //   directions.
+    n12 = a1 * n1 + c1 * (n2 - a1);
+    n21 = a2 * n2 + c2 * (n1 - a2);
+    resolved = total - static_cast<uint64_t>(rest1.size()) * rest2.size();
+    if (stats != nullptr) stats->pairs_resolved_by_mbb = resolved;
+  } else {
+    rest1.resize(g1.size());
+    rest2.resize(g2.size());
+    for (uint32_t i = 0; i < g1.size(); ++i) rest1[i] = i;
+    for (uint32_t j = 0; j < g2.size(); ++j) rest2[j] = j;
+  }
+
+  const double gamma = thresholds.gamma;
+  const double gamma_bar = thresholds.gamma_bar;
+
+  auto outcome_if_decided = [&](PairOutcome* out) {
+    return internal::TryResolveOutcome(n12, n21, resolved, total, thresholds,
+                                       out);
+  };
+
+  PairOutcome outcome;
+  if (options.use_stop_rule && outcome_if_decided(&outcome)) {
+    if (stats != nullptr) stats->stopped_early = resolved < total;
+    return outcome;
+  }
+
+  // The decidability check costs about as much as a record comparison, so
+  // it runs once per inner row (and every kCheckStride pairs inside very
+  // long rows) rather than per pair.
+  constexpr uint64_t kCheckStride = 1024;
+  uint64_t next_check = resolved + kCheckStride;
+  for (uint32_t i : rest1) {
+    auto r = g1.point(i);
+    for (uint32_t j : rest2) {
+      if (stats != nullptr) ++stats->record_comparisons;
+      skyline::DominanceResult cmp = skyline::CompareDominance(r, g2.point(j));
+      if (cmp == skyline::DominanceResult::kLeftDominates) {
+        ++n12;
+      } else if (cmp == skyline::DominanceResult::kRightDominates) {
+        ++n21;
+      }
+      ++resolved;
+      if (options.use_stop_rule && resolved >= next_check) {
+        next_check = resolved + kCheckStride;
+        if (outcome_if_decided(&outcome)) {
+          if (stats != nullptr) stats->stopped_early = resolved < total;
+          return outcome;
+        }
+      }
+    }
+    if (options.use_stop_rule && outcome_if_decided(&outcome)) {
+      if (stats != nullptr) stats->stopped_early = resolved < total;
+      return outcome;
+    }
+  }
+
+  // Exhaustive path (stop rule disabled, or undecidable until the end —
+  // the latter cannot happen since at resolution == total everything is
+  // decided).
+  bool first_strong =
+      n12 == total ||
+      static_cast<double>(n12) > gamma_bar * static_cast<double>(total);
+  bool first_gamma =
+      n12 == total ||
+      static_cast<double>(n12) > gamma * static_cast<double>(total);
+  bool second_strong =
+      n21 == total ||
+      static_cast<double>(n21) > gamma_bar * static_cast<double>(total);
+  bool second_gamma =
+      n21 == total ||
+      static_cast<double>(n21) > gamma * static_cast<double>(total);
+  return OutcomeFromPredicates(first_gamma, first_strong, second_gamma,
+                               second_strong);
+}
+
+}  // namespace galaxy::core

@@ -1,0 +1,134 @@
+#include "core/incremental.h"
+
+#include "common/logging.h"
+#include "skyline/dominance.h"
+
+namespace galaxy::core {
+
+IncrementalAggregateSkyline::IncrementalAggregateSkyline(size_t dims,
+                                                         double gamma)
+    : dims_(dims), gamma_(gamma) {
+  GALAXY_CHECK_GT(dims, 0u);
+  GALAXY_CHECK_GE(gamma, 0.5);
+  GALAXY_CHECK_LE(gamma, 1.0);
+}
+
+uint32_t IncrementalAggregateSkyline::AddGroup(std::string label) {
+  size_t old_n = groups_.size();
+  size_t new_n = old_n + 1;
+  // Re-lay out the count matrix with the extra row/column (all zeros).
+  std::vector<uint64_t> grown(new_n * new_n, 0);
+  for (size_t s = 0; s < old_n; ++s) {
+    for (size_t r = 0; r < old_n; ++r) {
+      grown[s * new_n + r] = counts_[s * old_n + r];
+    }
+  }
+  counts_ = std::move(grown);
+  groups_.push_back({std::move(label), {}});
+  return static_cast<uint32_t>(old_n);
+}
+
+uint64_t& IncrementalAggregateSkyline::CountRef(uint32_t s, uint32_t r) {
+  return counts_[static_cast<size_t>(s) * groups_.size() + r];
+}
+
+uint64_t IncrementalAggregateSkyline::CountAt(uint32_t s, uint32_t r) const {
+  return counts_[static_cast<size_t>(s) * groups_.size() + r];
+}
+
+Status IncrementalAggregateSkyline::AddRecord(uint32_t group,
+                                              const Point& record) {
+  if (!ValidGroup(group)) {
+    return Status::InvalidArgument("unknown group id");
+  }
+  if (record.size() != dims_) {
+    return Status::InvalidArgument("record dimensionality mismatch");
+  }
+  for (uint32_t h = 0; h < groups_.size(); ++h) {
+    if (h == group) continue;
+    for (const Point& other : groups_[h].records) {
+      if (skyline::Dominates(record, other)) ++CountRef(group, h);
+      if (skyline::Dominates(other, record)) ++CountRef(h, group);
+    }
+  }
+  groups_[group].records.push_back(record);
+  ++total_records_;
+  return Status::OK();
+}
+
+Status IncrementalAggregateSkyline::RemoveRecord(uint32_t group,
+                                                 const Point& record) {
+  if (!ValidGroup(group)) {
+    return Status::InvalidArgument("unknown group id");
+  }
+  std::vector<Point>& records = groups_[group].records;
+  size_t index = records.size();
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i] == record) {
+      index = i;
+      break;
+    }
+  }
+  if (index == records.size()) {
+    return Status::NotFound("record not present in group");
+  }
+  for (uint32_t h = 0; h < groups_.size(); ++h) {
+    if (h == group) continue;
+    for (const Point& other : groups_[h].records) {
+      if (skyline::Dominates(record, other)) --CountRef(group, h);
+      if (skyline::Dominates(other, record)) --CountRef(h, group);
+    }
+  }
+  records.erase(records.begin() + static_cast<long>(index));
+  --total_records_;
+  return Status::OK();
+}
+
+Result<uint64_t> IncrementalAggregateSkyline::DominationCount(
+    uint32_t s, uint32_t r) const {
+  if (!ValidGroup(s) || !ValidGroup(r) || s == r) {
+    return Status::InvalidArgument("invalid group pair");
+  }
+  return CountAt(s, r);
+}
+
+Result<double> IncrementalAggregateSkyline::DominationProbability(
+    uint32_t s, uint32_t r) const {
+  GALAXY_ASSIGN_OR_RETURN(uint64_t count, DominationCount(s, r));
+  uint64_t total = static_cast<uint64_t>(groups_[s].records.size()) *
+                   groups_[r].records.size();
+  if (total == 0) {
+    return Status::InvalidArgument("both groups must be non-empty");
+  }
+  return static_cast<double>(count) / static_cast<double>(total);
+}
+
+Result<bool> IncrementalAggregateSkyline::IsDominated(uint32_t r) const {
+  if (!ValidGroup(r)) return Status::InvalidArgument("unknown group id");
+  if (groups_[r].records.empty()) {
+    return Status::InvalidArgument("group is empty");
+  }
+  uint64_t nr = groups_[r].records.size();
+  for (uint32_t s = 0; s < groups_.size(); ++s) {
+    if (s == r || groups_[s].records.empty()) continue;
+    uint64_t total = groups_[s].records.size() * nr;
+    uint64_t count = CountAt(s, r);
+    if (count == total ||
+        static_cast<double>(count) > gamma_ * static_cast<double>(total)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<uint32_t> IncrementalAggregateSkyline::Skyline() const {
+  std::vector<uint32_t> out;
+  for (uint32_t r = 0; r < groups_.size(); ++r) {
+    if (groups_[r].records.empty()) continue;
+    Result<bool> dominated = IsDominated(r);
+    if (dominated.ok() && !*dominated) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace galaxy::core

@@ -1,0 +1,121 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/gamma.h"
+
+namespace galaxy::core {
+
+AggregateSkylineResult ComputeAggregateSkylineParallel(
+    const GroupedDataset& dataset, const ParallelOptions& options) {
+  WallTimer timer;
+  const uint32_t n = static_cast<uint32_t>(dataset.num_groups());
+  size_t threads = options.num_threads != 0
+                       ? options.num_threads
+                       : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<size_t>(threads, std::max<uint32_t>(1, n));
+
+  GammaThresholds thresholds = GammaThresholds::FromGamma(options.gamma);
+  PairCompareOptions pair_options;
+  pair_options.use_stop_rule = options.use_stop_rule;
+  pair_options.use_mbb = options.use_mbb;
+
+  // Shared dominance marks. Writes are monotone (0 -> 1 only), so relaxed
+  // atomics are sufficient: a stale read can only cause extra work, never
+  // a wrong mark.
+  std::unique_ptr<std::atomic<uint8_t>[]> dominated(
+      new std::atomic<uint8_t>[n]);
+  std::unique_ptr<std::atomic<uint8_t>[]> strongly(
+      new std::atomic<uint8_t>[n]);
+  for (uint32_t i = 0; i < n; ++i) {
+    dominated[i].store(0, std::memory_order_relaxed);
+    strongly[i].store(0, std::memory_order_relaxed);
+  }
+
+  struct LocalStats {
+    uint64_t pairs = 0;
+    uint64_t record_comparisons = 0;
+    uint64_t mbb_shortcuts = 0;
+    uint64_t stopped_early = 0;
+    uint64_t skipped_settled = 0;
+  };
+  std::vector<LocalStats> local(threads);
+
+  auto worker = [&](size_t tid) {
+    LocalStats& stats = local[tid];
+    uint64_t counter = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = i + 1; j < n; ++j) {
+        if (counter++ % threads != tid) continue;
+        if (options.skip_settled_pairs &&
+            dominated[i].load(std::memory_order_relaxed) != 0 &&
+            dominated[j].load(std::memory_order_relaxed) != 0) {
+          ++stats.skipped_settled;
+          continue;
+        }
+        PairCompareStats pair_stats;
+        PairOutcome outcome =
+            ClassifyPair(dataset.group(i), dataset.group(j), thresholds,
+                         pair_options, &pair_stats);
+        ++stats.pairs;
+        stats.record_comparisons += pair_stats.record_comparisons;
+        if (pair_stats.mbb_strict_shortcut) ++stats.mbb_shortcuts;
+        if (pair_stats.stopped_early) ++stats.stopped_early;
+        switch (outcome) {
+          case PairOutcome::kFirstDominatesStrongly:
+            strongly[j].store(1, std::memory_order_relaxed);
+            dominated[j].store(1, std::memory_order_relaxed);
+            break;
+          case PairOutcome::kFirstDominates:
+            dominated[j].store(1, std::memory_order_relaxed);
+            break;
+          case PairOutcome::kSecondDominatesStrongly:
+            strongly[i].store(1, std::memory_order_relaxed);
+            dominated[i].store(1, std::memory_order_relaxed);
+            break;
+          case PairOutcome::kSecondDominates:
+            dominated[i].store(1, std::memory_order_relaxed);
+            break;
+          case PairOutcome::kIncomparable:
+            break;
+        }
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back(worker, t);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  AggregateSkylineResult result;
+  result.algorithm_used = Algorithm::kNestedLoop;
+  result.dominated.resize(n);
+  result.strongly_dominated.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    result.dominated[i] = dominated[i].load(std::memory_order_relaxed);
+    result.strongly_dominated[i] = strongly[i].load(std::memory_order_relaxed);
+    if (result.dominated[i] == 0) result.skyline.push_back(i);
+  }
+  for (const LocalStats& stats : local) {
+    result.stats.group_pairs_classified += stats.pairs;
+    result.stats.record_comparisons += stats.record_comparisons;
+    result.stats.mbb_shortcuts += stats.mbb_shortcuts;
+    result.stats.stopped_early += stats.stopped_early;
+    result.stats.pairs_skipped_strong += stats.skipped_settled;
+  }
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace galaxy::core

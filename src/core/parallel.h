@@ -1,0 +1,37 @@
+#ifndef GALAXY_CORE_PARALLEL_H_
+#define GALAXY_CORE_PARALLEL_H_
+
+#include <cstddef>
+
+#include "core/aggregate_skyline.h"
+#include "core/group.h"
+
+namespace galaxy::core {
+
+/// Options for the multi-threaded aggregate skyline.
+struct ParallelOptions {
+  double gamma = 0.5;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  size_t num_threads = 0;
+  /// Internal optimizations, as in AggregateSkylineOptions.
+  bool use_stop_rule = true;
+  bool use_mbb = false;
+  /// When true, threads opportunistically skip pairs whose both endpoints
+  /// are already marked dominated (sound: such a pair cannot change the
+  /// result). The outcome set is still exact; only the work saved is
+  /// schedule-dependent.
+  bool skip_settled_pairs = true;
+};
+
+/// Computes the exact aggregate skyline (Definition 2) with the group-pair
+/// space statically striped across worker threads; dominance marks are
+/// shared atomically. Semantics equal Algorithm 2 (every pair with a
+/// possible effect on the result is classified), so the result is exact —
+/// the parallel counterpart of the distributed-skyline direction in the
+/// paper's related work.
+AggregateSkylineResult ComputeAggregateSkylineParallel(
+    const GroupedDataset& dataset, const ParallelOptions& options = {});
+
+}  // namespace galaxy::core
+
+#endif  // GALAXY_CORE_PARALLEL_H_

@@ -1,0 +1,68 @@
+#include "core/representative.h"
+
+#include <algorithm>
+
+#include "core/aggregate_skyline.h"
+#include "core/gamma.h"
+
+namespace galaxy::core {
+
+RepresentativeResult SelectRepresentatives(const GroupedDataset& dataset,
+                                           size_t k, double gamma) {
+  AggregateSkylineOptions options;
+  options.gamma = gamma;
+  options.algorithm = Algorithm::kBruteForce;
+  AggregateSkylineResult skyline = ComputeAggregateSkyline(dataset, options);
+
+  std::vector<uint32_t> dominated;
+  for (uint32_t g = 0; g < dataset.num_groups(); ++g) {
+    if (!skyline.Contains(g)) dominated.push_back(g);
+  }
+
+  RepresentativeResult result;
+  result.dominated_total = dominated.size();
+
+  // Coverage sets: which dominated groups each skyline group γ-dominates.
+  std::vector<std::vector<uint32_t>> covers(skyline.skyline.size());
+  for (size_t s = 0; s < skyline.skyline.size(); ++s) {
+    const Group& sky_group = dataset.group(skyline.skyline[s]);
+    for (uint32_t d : dominated) {
+      if (GammaDominates(sky_group, dataset.group(d), gamma)) {
+        covers[s].push_back(d);
+      }
+    }
+  }
+
+  // Greedy max-coverage.
+  std::vector<uint8_t> picked(skyline.skyline.size(), 0);
+  std::vector<uint8_t> covered(dataset.num_groups(), 0);
+  size_t budget = std::min(k, skyline.skyline.size());
+  for (size_t round = 0; round < budget; ++round) {
+    size_t best = skyline.skyline.size();
+    size_t best_gain = 0;
+    for (size_t s = 0; s < skyline.skyline.size(); ++s) {
+      if (picked[s] != 0) continue;
+      size_t gain = 0;
+      for (uint32_t d : covers[s]) {
+        if (covered[d] == 0) ++gain;
+      }
+      if (best == skyline.skyline.size() || gain > best_gain) {
+        best = s;
+        best_gain = gain;
+      }
+    }
+    if (best == skyline.skyline.size()) break;
+    picked[best] = 1;
+    for (uint32_t d : covers[best]) {
+      if (covered[d] == 0) {
+        covered[d] = 1;
+        ++result.covered;
+      }
+    }
+    result.representatives.push_back(
+        {skyline.skyline[best], best_gain});
+  }
+  return result;
+}
+
+}  // namespace galaxy::core

@@ -1,0 +1,40 @@
+#ifndef GALAXY_CORE_REPRESENTATIVE_H_
+#define GALAXY_CORE_REPRESENTATIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/group.h"
+
+namespace galaxy::core {
+
+/// The "k most representative" selection, lifted from records (Lin et
+/// al., reference [14] of the paper) to groups: among the aggregate
+/// skyline groups, pick k whose combined γ-dominance covers as many
+/// non-skyline groups as possible (greedy max-coverage, the standard
+/// (1 - 1/e)-approximation of the NP-hard objective).
+struct RepresentativeGroup {
+  uint32_t id = 0;
+  /// Non-skyline groups newly covered when this group was picked.
+  size_t marginal_coverage = 0;
+};
+
+struct RepresentativeResult {
+  /// The chosen skyline groups, in greedy pick order.
+  std::vector<RepresentativeGroup> representatives;
+  /// Total distinct non-skyline groups dominated by the chosen set.
+  size_t covered = 0;
+  /// Number of dominated (non-skyline) groups in the dataset.
+  size_t dominated_total = 0;
+};
+
+/// Selects up to k representative skyline groups at the given γ. Runs the
+/// exact (brute-force) skyline plus one exact domination probability per
+/// (skyline, non-skyline) pair: O(Σ|g_i||g_j|·d) worst case. If the
+/// skyline has at most k groups, all of them are returned.
+RepresentativeResult SelectRepresentatives(const GroupedDataset& dataset,
+                                           size_t k, double gamma = 0.5);
+
+}  // namespace galaxy::core
+
+#endif  // GALAXY_CORE_REPRESENTATIVE_H_

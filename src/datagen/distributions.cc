@@ -1,0 +1,109 @@
+#include "datagen/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace galaxy::datagen {
+
+const char* DistributionToString(Distribution distribution) {
+  switch (distribution) {
+    case Distribution::kIndependent:
+      return "independent";
+    case Distribution::kCorrelated:
+      return "correlated";
+    case Distribution::kAntiCorrelated:
+      return "anticorrelated";
+  }
+  return "?";
+}
+
+Distribution DistributionFromString(const std::string& name) {
+  std::string lower = AsciiLower(name);
+  if (lower == "independent" || lower == "ind" || lower == "indep") {
+    return Distribution::kIndependent;
+  }
+  if (lower == "correlated" || lower == "corr") {
+    return Distribution::kCorrelated;
+  }
+  if (lower == "anticorrelated" || lower == "anti" ||
+      lower == "anti-correlated") {
+    return Distribution::kAntiCorrelated;
+  }
+  GALAXY_CHECK(false) << "unknown distribution: " << name;
+  return Distribution::kIndependent;
+}
+
+namespace {
+
+constexpr double kCorrelationNoise = 0.1;
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+// Correlated: all attributes cluster around a common level v, so good
+// points are good everywhere and the skyline is tiny.
+Point SampleCorrelated(size_t dims, Rng& rng) {
+  double v = rng.NextDouble();
+  Point p(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    // Resample out-of-range offsets a few times to avoid boundary atoms.
+    double x = v + rng.Gaussian(0.0, kCorrelationNoise);
+    for (int attempt = 0; attempt < 8 && (x < 0.0 || x > 1.0); ++attempt) {
+      x = v + rng.Gaussian(0.0, kCorrelationNoise);
+    }
+    p[i] = Clamp01(x);
+  }
+  return p;
+}
+
+// Anti-correlated: attributes sum to an approximately constant level, so a
+// point good in one attribute is bad in another and the skyline is large.
+// Implementation follows the standard construction: a level v near 0.5 plus
+// zero-sum offsets distributed across the dimensions.
+Point SampleAntiCorrelated(size_t dims, Rng& rng) {
+  double v = Clamp01(rng.Gaussian(0.5, 0.08));
+  Point offsets(dims);
+  double mean = 0.0;
+  for (size_t i = 0; i < dims; ++i) {
+    offsets[i] = rng.NextDouble();
+    mean += offsets[i];
+  }
+  mean /= static_cast<double>(dims);
+  Point p(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    p[i] = Clamp01(v + (offsets[i] - mean));
+  }
+  return p;
+}
+
+}  // namespace
+
+Point SamplePoint(Distribution distribution, size_t dims, Rng& rng) {
+  GALAXY_CHECK_GT(dims, 0u);
+  switch (distribution) {
+    case Distribution::kIndependent: {
+      Point p(dims);
+      for (size_t i = 0; i < dims; ++i) p[i] = rng.NextDouble();
+      return p;
+    }
+    case Distribution::kCorrelated:
+      return SampleCorrelated(dims, rng);
+    case Distribution::kAntiCorrelated:
+      return SampleAntiCorrelated(dims, rng);
+  }
+  return {};
+}
+
+std::vector<Point> SamplePoints(Distribution distribution, size_t dims,
+                                size_t count, Rng& rng) {
+  std::vector<Point> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(SamplePoint(distribution, dims, rng));
+  }
+  return out;
+}
+
+}  // namespace galaxy::datagen

@@ -1,0 +1,42 @@
+#ifndef GALAXY_DATAGEN_DISTRIBUTIONS_H_
+#define GALAXY_DATAGEN_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+
+namespace galaxy::datagen {
+
+/// The three classic skyline benchmark distributions of Börzsönyi et al.
+/// (ICDE 2001), reused by the paper's synthetic experiments.
+enum class Distribution {
+  /// Every attribute i.i.d. uniform in [0, 1].
+  kIndependent,
+  /// Attributes positively correlated: points concentrate around the
+  /// diagonal, so few points (and few groups) are Pareto-optimal.
+  kCorrelated,
+  /// Attributes negatively correlated: points concentrate around the
+  /// anti-diagonal hyperplane, maximizing the skyline size — the hardest
+  /// case for skyline algorithms.
+  kAntiCorrelated,
+};
+
+const char* DistributionToString(Distribution distribution);
+
+/// Parses "independent" / "correlated" / "anticorrelated" (and the short
+/// forms "ind"/"corr"/"anti"); aborts on anything else.
+Distribution DistributionFromString(const std::string& name);
+
+/// Draws one point of the given dimensionality in [0, 1]^d.
+Point SamplePoint(Distribution distribution, size_t dims, Rng& rng);
+
+/// Draws `count` points.
+std::vector<Point> SamplePoints(Distribution distribution, size_t dims,
+                                size_t count, Rng& rng);
+
+}  // namespace galaxy::datagen
+
+#endif  // GALAXY_DATAGEN_DISTRIBUTIONS_H_

@@ -1,0 +1,95 @@
+#include "datagen/groups.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/zipf.h"
+
+namespace galaxy::datagen {
+
+const char* GroupSizeModelToString(GroupSizeModel model) {
+  switch (model) {
+    case GroupSizeModel::kUniform:
+      return "uniform";
+    case GroupSizeModel::kZipf:
+      return "zipf";
+  }
+  return "?";
+}
+
+core::GroupedDataset GenerateGrouped(const GroupedWorkloadConfig& config) {
+  GALAXY_CHECK_GT(config.num_records, 0u);
+  GALAXY_CHECK_GT(config.dims, 0u);
+  GALAXY_CHECK_GE(config.spread, 0.0);
+  GALAXY_CHECK_LE(config.spread, 1.0);
+
+  const size_t num_groups = config.num_groups();
+  GALAXY_CHECK_GE(config.num_records, num_groups)
+      << "need at least one record per group";
+  Rng rng(config.seed, /*stream=*/7);
+
+  // Group centers, kept inside the space so the spread cube mostly fits.
+  std::vector<Point> centers;
+  centers.reserve(num_groups);
+  const double half = config.spread / 2.0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    Point c = SamplePoint(config.distribution, config.dims, rng);
+    for (double& v : c) v = half + v * (1.0 - config.spread);
+    centers.push_back(std::move(c));
+  }
+
+  // Record-to-group assignment: one guaranteed record per group, the rest
+  // by the configured size model.
+  std::vector<size_t> assignment(config.num_records);
+  for (size_t g = 0; g < num_groups; ++g) assignment[g] = g;
+  if (config.size_model == GroupSizeModel::kUniform) {
+    for (size_t r = num_groups; r < config.num_records; ++r) {
+      assignment[r] = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(num_groups) - 1));
+    }
+  } else {
+    ZipfSampler zipf(static_cast<int64_t>(num_groups), config.zipf_theta);
+    for (size_t r = num_groups; r < config.num_records; ++r) {
+      assignment[r] = static_cast<size_t>(zipf.Sample(rng) - 1);
+    }
+  }
+
+  // Records: center + uniform offset within the spread cube.
+  std::vector<std::vector<Point>> groups(num_groups);
+  for (size_t r = 0; r < config.num_records; ++r) {
+    const Point& c = centers[assignment[r]];
+    Point p(config.dims);
+    for (size_t i = 0; i < config.dims; ++i) {
+      p[i] = std::clamp(c[i] + rng.Uniform(-half, half), 0.0, 1.0);
+    }
+    groups[assignment[r]].push_back(std::move(p));
+  }
+
+  return core::GroupedDataset::FromPoints(groups);
+}
+
+Table GroupedDatasetToTable(const core::GroupedDataset& dataset) {
+  std::vector<ColumnDef> columns;
+  columns.push_back({"class", ValueType::kString});
+  columns.push_back({"num", ValueType::kInt64});
+  for (size_t i = 0; i < dataset.dims(); ++i) {
+    columns.push_back({"a" + std::to_string(i), ValueType::kDouble});
+  }
+  TableBuilder builder{Schema(std::move(columns))};
+  for (const core::Group& g : dataset.groups()) {
+    for (size_t r = 0; r < g.size(); ++r) {
+      Row row;
+      row.reserve(2 + dataset.dims());
+      row.emplace_back(g.label());
+      row.emplace_back(static_cast<int64_t>(g.size()));
+      auto p = g.point(r);
+      for (double v : p) row.emplace_back(v);
+      builder.AddRow(std::move(row));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace galaxy::datagen

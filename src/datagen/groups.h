@@ -1,0 +1,67 @@
+#ifndef GALAXY_DATAGEN_GROUPS_H_
+#define GALAXY_DATAGEN_GROUPS_H_
+
+#include <cstdint>
+
+#include "core/group.h"
+#include "datagen/distributions.h"
+#include "relation/table.h"
+
+namespace galaxy::datagen {
+
+/// How records are assigned to groups.
+enum class GroupSizeModel {
+  /// Each record joins a uniformly random group ("records are uniformly
+  /// distributed into classes" in the paper's experiments).
+  kUniform,
+  /// Group popularity follows a Zipf distribution with parameter
+  /// `zipf_theta` (the heavy-tailed workload of Figure 13(a)).
+  kZipf,
+};
+
+const char* GroupSizeModelToString(GroupSizeModel model);
+
+/// Configuration of a synthetic grouped workload. The defaults mirror the
+/// paper's default experimental setup (Section 4): 10 000 records, 100
+/// average records per class, class spread 20% of the data space, 5
+/// dimensions.
+struct GroupedWorkloadConfig {
+  size_t num_records = 10000;
+  size_t avg_records_per_group = 100;
+  size_t dims = 5;
+  /// Distribution of the group centers across [0, 1]^d, which determines
+  /// how groups relate to each other (anti-correlated centers => many
+  /// mutually non-dominated groups).
+  Distribution distribution = Distribution::kAntiCorrelated;
+  /// Fraction of each dimension's extent covered by a single group's
+  /// records; larger values increase the overlap between group MBBs
+  /// (the x-axis of Figure 11).
+  double spread = 0.2;
+  GroupSizeModel size_model = GroupSizeModel::kUniform;
+  double zipf_theta = 1.0;
+  uint64_t seed = 42;
+
+  /// Number of groups implied by the record budget (>= 1).
+  size_t num_groups() const {
+    size_t avg = avg_records_per_group == 0 ? 1 : avg_records_per_group;
+    size_t n = num_records / avg;
+    return n == 0 ? 1 : n;
+  }
+};
+
+/// Generates a grouped dataset: group centers are drawn from
+/// `config.distribution`, every record is its group's center plus a uniform
+/// offset within a `spread`-sized cube (clamped to [0, 1]^d), and records
+/// are assigned to groups by `size_model`. Every group receives at least
+/// one record. Deterministic in `config.seed`.
+core::GroupedDataset GenerateGrouped(const GroupedWorkloadConfig& config);
+
+/// Flattens a grouped dataset into a relation with columns
+/// (class STRING, num INT64, a0..a{d-1} DOUBLE) — the input shape required
+/// by the paper's direct SQL formulation (Algorithm 1), which expects a
+/// per-record `num` attribute holding the record's group cardinality.
+Table GroupedDatasetToTable(const core::GroupedDataset& dataset);
+
+}  // namespace galaxy::datagen
+
+#endif  // GALAXY_DATAGEN_GROUPS_H_

@@ -1,0 +1,117 @@
+#include "datagen/imdb_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace galaxy::datagen {
+
+namespace {
+
+const char* kGenres[] = {"Drama",  "Comedy", "Action", "Thriller",
+                         "Horror", "SciFi",  "Romance", "Documentary"};
+constexpr size_t kNumGenres = sizeof(kGenres) / sizeof(kGenres[0]);
+
+std::string DirectorName(size_t index) {
+  static const char* kSurnames[] = {
+      "Andersson", "Bergmann", "Curtiz",   "Dmytryk", "Eastwood", "Fellini",
+      "Godard",    "Huston",   "Ivory",    "Jarmusch", "Kurosawa", "Lumet",
+      "Melville",  "Nichols",  "Ozu",      "Polanski", "Quine",    "Renoir",
+      "Sturges",   "Truffaut", "Ulmer",    "Varda",    "Wilder",   "Yates",
+      "Zinnemann"};
+  constexpr size_t kNumSurnames = sizeof(kSurnames) / sizeof(kSurnames[0]);
+  return std::string(kSurnames[index % kNumSurnames]) + " #" +
+         std::to_string(index);
+}
+
+}  // namespace
+
+std::vector<MovieRecord> GenerateImdbCorpus(const ImdbConfig& config) {
+  GALAXY_CHECK_GT(config.target_movies, 0u);
+  GALAXY_CHECK_GT(config.num_directors, 0u);
+  GALAXY_CHECK_LE(config.first_year, config.last_year);
+  Rng rng(config.seed, /*stream=*/31);
+
+  // Per-director latents: quality on a roughly normal scale, fame as a
+  // log-scale popularity multiplier (correlated with quality — acclaimed
+  // directors draw crowds, imperfectly).
+  struct DirectorProfile {
+    std::string name;
+    double quality;   // mean rating contribution, ~[4, 9]
+    double log_fame;  // log10 of expected vote volume in thousands
+    int64_t debut;
+    int64_t retire;
+  };
+  std::vector<DirectorProfile> directors;
+  directors.reserve(config.num_directors);
+  const int64_t span = config.last_year - config.first_year;
+  for (size_t d = 0; d < config.num_directors; ++d) {
+    DirectorProfile profile;
+    profile.name = DirectorName(d);
+    profile.quality = std::clamp(rng.Gaussian(6.3, 0.9), 3.0, 9.3);
+    profile.log_fame =
+        std::clamp(rng.Gaussian(0.8, 0.8) + 0.35 * (profile.quality - 6.3),
+                   -1.5, 3.0);
+    profile.debut = config.first_year + rng.UniformInt(0, span);
+    profile.retire =
+        std::min(config.last_year,
+                 profile.debut + 5 + rng.UniformInt(0, 35));
+    directors.push_back(std::move(profile));
+  }
+
+  // Filmography sizes: Zipf over directors (the long tail of one-movie
+  // directors the paper's Section 3.4 discusses).
+  ZipfSampler zipf(static_cast<int64_t>(config.num_directors),
+                   config.filmography_zipf_theta);
+
+  std::vector<MovieRecord> movies;
+  movies.reserve(config.target_movies);
+  size_t title_counter = 0;
+  while (movies.size() < config.target_movies) {
+    size_t d = static_cast<size_t>(zipf.Sample(rng) - 1);
+    const DirectorProfile& profile = directors[d];
+
+    MovieRecord movie;
+    movie.title = "Movie #" + std::to_string(++title_counter);
+    movie.director = profile.name;
+    movie.genre = kGenres[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(kNumGenres) - 1))];
+    movie.year = profile.debut +
+                 rng.UniformInt(0, std::max<int64_t>(
+                                       0, profile.retire - profile.debut));
+    // Rating: director latent + per-movie noise (every auteur has a flop).
+    movie.rating =
+        std::clamp(profile.quality + rng.Gaussian(0.0, 0.9), 1.0, 10.0);
+    // Votes: log-normal around the fame latent, boosted by quality (people
+    // rate movies they liked) and by recency (the online-rating era).
+    double recency =
+        0.4 * static_cast<double>(movie.year - config.first_year) /
+        std::max<int64_t>(1, span);
+    double log_votes = profile.log_fame + recency +
+                       0.12 * (movie.rating - 6.0) +
+                       rng.Gaussian(0.0, 0.55);
+    movie.votes_thousands = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(std::pow(10.0, log_votes))));
+    movies.push_back(std::move(movie));
+  }
+  return movies;
+}
+
+Table ToTable(const std::vector<MovieRecord>& movies) {
+  TableBuilder builder{Schema({{"Title", ValueType::kString},
+                               {"Director", ValueType::kString},
+                               {"Genre", ValueType::kString},
+                               {"Year", ValueType::kInt64},
+                               {"Pop", ValueType::kInt64},
+                               {"Qual", ValueType::kDouble}})};
+  for (const MovieRecord& m : movies) {
+    builder.AddRow(
+        {m.title, m.director, m.genre, m.year, m.votes_thousands, m.rating});
+  }
+  return builder.Build();
+}
+
+}  // namespace galaxy::datagen

@@ -1,0 +1,48 @@
+#ifndef GALAXY_DATAGEN_IMDB_GEN_H_
+#define GALAXY_DATAGEN_IMDB_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/table.h"
+
+namespace galaxy::datagen {
+
+/// One synthetic movie record, shaped like the paper's IMDB working data
+/// (Figure 1): popularity in thousands of votes and quality as an average
+/// user rating on [0, 10].
+struct MovieRecord {
+  std::string title;
+  std::string director;
+  std::string genre;
+  int64_t year = 0;
+  int64_t votes_thousands = 0;
+  double rating = 0.0;
+};
+
+/// Configuration of the IMDB-scale corpus. Defaults give a corpus in the
+/// spirit of the paper's examples: a few thousand directors with
+/// Zipf-distributed filmography sizes, vote counts heavy-tailed across
+/// five orders of magnitude, and ratings correlated with a per-director
+/// quality latent (auteurs exist) plus per-movie noise.
+struct ImdbConfig {
+  size_t target_movies = 20000;
+  size_t num_directors = 2500;
+  double filmography_zipf_theta = 0.8;
+  int64_t first_year = 1950;
+  int64_t last_year = 2012;
+  uint64_t seed = 1894;
+};
+
+/// Generates the corpus. Deterministic in `config.seed`.
+std::vector<MovieRecord> GenerateImdbCorpus(const ImdbConfig& config = {});
+
+/// Flattens the corpus into a relation with columns (Title STRING,
+/// Director STRING, Genre STRING, Year INT64, Pop INT64, Qual DOUBLE) —
+/// the Figure 1 schema plus Genre.
+Table ToTable(const std::vector<MovieRecord>& movies);
+
+}  // namespace galaxy::datagen
+
+#endif  // GALAXY_DATAGEN_IMDB_GEN_H_

@@ -1,0 +1,76 @@
+#include "datagen/movies.h"
+
+namespace galaxy::datagen {
+
+namespace {
+
+Schema MovieSchema() {
+  return Schema({{"Title", ValueType::kString},
+                 {"Year", ValueType::kInt64},
+                 {"Director", ValueType::kString},
+                 {"Pop", ValueType::kInt64},
+                 {"Qual", ValueType::kDouble}});
+}
+
+}  // namespace
+
+Table MovieTable() {
+  TableBuilder b{MovieSchema()};
+  b.AddRow({"Avatar", 2009, "Cameron", 404, 8.0})
+      .AddRow({"Batman Begins", 2005, "Nolan", 371, 8.3})
+      .AddRow({"Kill Bill", 2003, "Tarantino", 313, 8.2})
+      .AddRow({"Pulp Fiction", 1994, "Tarantino", 557, 9.0})
+      .AddRow({"Star Wars (V)", 1980, "Kershner", 362, 8.8})
+      .AddRow({"Terminator (II)", 1991, "Cameron", 326, 8.6})
+      .AddRow({"The Godfather", 1972, "Coppola", 531, 9.2})
+      .AddRow({"The Lord of the Rings", 2001, "Jackson", 518, 8.7})
+      .AddRow({"The Room", 2003, "Wiseau", 10, 3.2})
+      .AddRow({"Dracula", 1992, "Coppola", 76, 7.3});
+  return b.Build();
+}
+
+Table MovieSkylineTable() {
+  TableBuilder b{MovieSchema()};
+  b.AddRow({"Pulp Fiction", 1994, "Tarantino", 557, 9.0})
+      .AddRow({"The Godfather", 1972, "Coppola", 531, 9.2});
+  return b.Build();
+}
+
+core::GroupedDataset DirectorFilmographies() {
+  // Coordinates are (Pop, Qual). The structure is engineered so that the
+  // pairwise domination counts hit the Table 2 targets; see movies.h.
+  std::vector<std::vector<Point>> groups = {
+      // Tarantino: three top-tier movies that dominate Jackson's trilogy,
+      // three mid-tier ones, and two weak ones.
+      {{650, 9.2},   // Pulp Fiction
+       {600, 9.1},   // Kill Bill
+       {580, 9.0},   // Inglourious Basterds
+       {520, 7.9},   // Jackie Brown
+       {500, 8.0},   // Reservoir Dogs
+       {800, 7.5},   // Django Unchained (very popular, mid quality)
+       {150, 6.8},   // Death Proof
+       {200, 7.0}},  // Four Rooms
+      // Wiseau: strictly dominated by every Tarantino movie.
+      {{10, 3.2},   // The Room
+       {15, 2.5}},  // Best F(r)iends
+      // Fleischer: three movies below all of Tarantino plus Zombieland,
+      // which beats Tarantino's two weak movies and loses to six.
+      {{400, 7.4},   // Zombieland
+       {100, 5.5},   // Gangster Squad
+       {80, 6.0},    // 30 Minutes or Less
+       {120, 4.5}},  // Venom
+      // Jackson: the LOTR trilogy (each dominated by Tarantino's top three
+      // and dominating his mid/weak four) plus three early splatter movies
+      // dominated by all of Tarantino.
+      {{533, 8.7},   // The Fellowship of the Ring
+       {523, 8.6},   // The Two Towers
+       {535, 8.9},   // The Return of the King
+       {140, 6.0},   // Bad Taste
+       {100, 5.5},   // Meet the Feebles
+       {120, 6.5}},  // Braindead
+  };
+  return core::GroupedDataset::FromPoints(
+      groups, {kTarantino, kWiseau, kFleischer, kJackson});
+}
+
+}  // namespace galaxy::datagen

@@ -1,0 +1,40 @@
+#ifndef GALAXY_DATAGEN_MOVIES_H_
+#define GALAXY_DATAGEN_MOVIES_H_
+
+#include "core/group.h"
+#include "relation/table.h"
+
+namespace galaxy::datagen {
+
+/// The paper's working example: the ten-movie table of Figure 1, verbatim,
+/// with columns (Title STRING, Year INT64, Director STRING, Pop INT64,
+/// Qual DOUBLE). Popularity is in thousands of votes; quality is the
+/// average user rating on [0, 10].
+Table MovieTable();
+
+/// The expected Figure 2 result: record skyline of MovieTable() on
+/// (Pop MAX, Qual MAX).
+Table MovieSkylineTable();
+
+/// Reconstructed filmographies behind Figure 5 / Table 2, with the four
+/// directors Tarantino, Wiseau, Fleischer and Jackson. The paper computed
+/// its p(S ≻ R) values on the full IMDB archive, which is not printed in
+/// the paper; these hand-built (Pop, Qual) filmographies reproduce the same
+/// qualitative relationships at the closest achievable fractions:
+///   p(Tarantino ≻ Wiseau)    = 1.00  (paper: 1.00)
+///   p(Tarantino ≻ Fleischer) = .9375 (paper: .94)
+///   p(Tarantino ≻ Jackson)   = .6875 (paper: .68)
+///   p(Wiseau ≻ Tarantino)    = .00   (paper: .00)
+///   p(Fleischer ≻ Tarantino) = .0625 (paper: .06)
+///   p(Jackson ≻ Tarantino)   = .25   (paper: .26)
+core::GroupedDataset DirectorFilmographies();
+
+/// Group labels used by DirectorFilmographies().
+inline constexpr const char* kTarantino = "Tarantino";
+inline constexpr const char* kWiseau = "Wiseau";
+inline constexpr const char* kFleischer = "Fleischer";
+inline constexpr const char* kJackson = "Jackson";
+
+}  // namespace galaxy::datagen
+
+#endif  // GALAXY_DATAGEN_MOVIES_H_

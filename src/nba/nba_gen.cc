@@ -1,0 +1,176 @@
+#include "nba/nba_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace galaxy::nba {
+
+namespace {
+
+// Position-dependent per-game stat profiles at ability 1.0 (superstar
+// level); an average player scales these down. Order matches StatColumns().
+struct StatProfile {
+  double points, rebounds, assists, steals, blocks, field_goals, free_throws,
+      three_points;
+};
+
+constexpr StatProfile kGuardProfile = {28.0, 5.0, 10.5, 2.4, 0.5,
+                                       9.5,  6.5, 2.8};
+constexpr StatProfile kForwardProfile = {27.0, 10.0, 5.0, 1.6, 1.5,
+                                         10.0, 6.0,  1.4};
+constexpr StatProfile kCenterProfile = {24.0, 13.5, 3.0, 0.9, 3.0,
+                                        9.8,  5.5,  0.2};
+
+const StatProfile& ProfileFor(const std::string& position) {
+  if (position == "G") return kGuardProfile;
+  if (position == "F") return kForwardProfile;
+  return kCenterProfile;
+}
+
+// Career arc: rises to a mid-career peak and declines.
+double CareerMultiplier(int season_index, int career_length) {
+  if (career_length <= 1) return 1.0;
+  double t = static_cast<double>(season_index) /
+             static_cast<double>(career_length - 1);
+  // Parabola peaking at t = 0.45 with value 1, endpoints ~0.7.
+  double d = t - 0.45;
+  return std::max(0.4, 1.0 - 0.9 * d * d / 0.3025);
+}
+
+// League-wide three-point volume: sparse in the early 1980s, mainstream by
+// the 2000s.
+double ThreePointEra(int64_t year) {
+  if (year < 1980) return 0.1;
+  double t = std::min(1.0, static_cast<double>(year - 1980) / 25.0);
+  return 0.15 + 0.85 * t;
+}
+
+std::string TeamName(size_t index) {
+  static const char* kCities[] = {
+      "ATL", "BOS", "BKN", "CHA", "CHI", "CLE", "DAL", "DEN", "DET", "GSW",
+      "HOU", "IND", "LAC", "LAL", "MEM", "MIA", "MIL", "MIN", "NOP", "NYK",
+      "OKC", "ORL", "PHI", "PHX", "POR", "SAC", "SAS", "TOR", "UTA", "WAS"};
+  constexpr size_t kNumCities = sizeof(kCities) / sizeof(kCities[0]);
+  if (index < kNumCities) return kCities[index];
+  return "T" + std::to_string(index);
+}
+
+std::string PlayerName(size_t index, Rng& rng) {
+  static const char* kFirst[] = {"Alex",  "Chris", "Jordan", "Sam",   "Tony",
+                                 "Marc",  "Kevin", "James",  "Earl",  "Magic",
+                                 "Larry", "Tim",   "Steve",  "Ray",   "Paul",
+                                 "Vince", "Glen",  "Reggie", "Karl",  "John"};
+  static const char* kLast[] = {
+      "Walker", "Johnson", "Smith",   "Brown",  "Davis",  "Miller", "Wilson",
+      "Moore",  "Taylor",  "Thomas",  "Jackson", "White",  "Harris", "Martin",
+      "Green",  "Hill",    "Baker",   "Carter",  "Parker", "Ellis"};
+  size_t f = static_cast<size_t>(rng.UniformInt(0, 19));
+  size_t l = static_cast<size_t>(rng.UniformInt(0, 19));
+  // The numeric suffix keeps names unique across the league history.
+  return std::string(kFirst[f]) + " " + kLast[l] + " #" +
+         std::to_string(index);
+}
+
+}  // namespace
+
+const std::vector<std::string>& StatColumns() {
+  static const std::vector<std::string>* kColumns = new std::vector<std::string>{
+      "pts", "reb", "ast", "stl", "blk", "fg", "ft", "three"};
+  return *kColumns;
+}
+
+std::vector<PlayerSeason> GenerateLeagueHistory(const NbaConfig& config) {
+  GALAXY_CHECK_GT(config.target_records, 0u);
+  GALAXY_CHECK_LE(config.first_year, config.last_year);
+  Rng rng(config.seed, /*stream=*/23);
+
+  std::vector<PlayerSeason> out;
+  out.reserve(config.target_records);
+  size_t player_index = 0;
+  const int64_t num_years = config.last_year - config.first_year + 1;
+
+  while (out.size() < config.target_records) {
+    ++player_index;
+    std::string name = PlayerName(player_index, rng);
+
+    // Position: guards are most common, centers least.
+    double pos_draw = rng.NextDouble();
+    std::string position = pos_draw < 0.45 ? "G" : (pos_draw < 0.8 ? "F" : "C");
+    const StatProfile& profile = ProfileFor(position);
+
+    // Latent ability in (0, 1]: most players are role players, a few are
+    // stars (squaring a uniform skews toward the low end).
+    double u = rng.NextDouble();
+    double ability = 0.15 + 0.85 * u * u;
+
+    // Career span.
+    int career_length = 1 + static_cast<int>(rng.Exponential(0.22));
+    career_length = std::min(career_length, 18);
+    int64_t debut =
+        config.first_year + rng.UniformInt(0, num_years - 1);
+
+    size_t team = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(config.num_teams) - 1));
+
+    for (int s = 0; s < career_length; ++s) {
+      int64_t year = debut + s;
+      if (year > config.last_year) break;
+      if (out.size() >= config.target_records) break;
+      // Occasional trade.
+      if (s > 0 && rng.Bernoulli(0.12)) {
+        team = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(config.num_teams) - 1));
+      }
+      double season_level =
+          ability * CareerMultiplier(s, career_length) *
+          std::clamp(rng.Gaussian(1.0, 0.1), 0.6, 1.4);
+
+      auto stat = [&](double peak, double noise_frac) {
+        double v = peak * season_level *
+                   std::clamp(rng.Gaussian(1.0, noise_frac), 0.3, 1.8);
+        return std::max(0.0, v);
+      };
+
+      PlayerSeason ps;
+      ps.player = name;
+      ps.team = TeamName(team);
+      ps.year = year;
+      ps.position = position;
+      ps.points = stat(profile.points, 0.15);
+      ps.rebounds = stat(profile.rebounds, 0.2);
+      ps.assists = stat(profile.assists, 0.2);
+      ps.steals = stat(profile.steals, 0.25);
+      ps.blocks = stat(profile.blocks, 0.3);
+      // Field goals track points (roughly 40% of points come from 2P FGs).
+      ps.field_goals =
+          std::max(0.0, ps.points * 0.36 *
+                            std::clamp(rng.Gaussian(1.0, 0.08), 0.7, 1.3));
+      ps.free_throws = stat(profile.free_throws, 0.25);
+      ps.three_points = stat(profile.three_points, 0.35) * ThreePointEra(year);
+      out.push_back(std::move(ps));
+    }
+  }
+  return out;
+}
+
+Table ToTable(const std::vector<PlayerSeason>& seasons) {
+  std::vector<ColumnDef> columns = {{"player", ValueType::kString},
+                                    {"team", ValueType::kString},
+                                    {"year", ValueType::kInt64},
+                                    {"pos", ValueType::kString}};
+  for (const std::string& stat : StatColumns()) {
+    columns.push_back({stat, ValueType::kDouble});
+  }
+  TableBuilder builder{Schema(std::move(columns))};
+  for (const PlayerSeason& ps : seasons) {
+    builder.AddRow({ps.player, ps.team, ps.year, ps.position, ps.points,
+                    ps.rebounds, ps.assists, ps.steals, ps.blocks,
+                    ps.field_goals, ps.free_throws, ps.three_points});
+  }
+  return builder.Build();
+}
+
+}  // namespace galaxy::nba

@@ -1,0 +1,58 @@
+#ifndef GALAXY_NBA_NBA_GEN_H_
+#define GALAXY_NBA_NBA_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/table.h"
+
+namespace galaxy::nba {
+
+/// One player-season stat line (per-game averages), mirroring the schema of
+/// the paper's real dataset (databasebasketball.com: all players and
+/// regular seasons since 1979, eight skyline attributes).
+struct PlayerSeason {
+  std::string player;
+  std::string team;
+  int64_t year = 0;
+  std::string position;  // "G", "F" or "C"
+  double points = 0;
+  double rebounds = 0;
+  double assists = 0;
+  double steals = 0;
+  double blocks = 0;
+  double field_goals = 0;  // made per game
+  double free_throws = 0;  // made per game
+  double three_points = 0; // made per game
+};
+
+/// Configuration of the synthetic NBA workload. Defaults approximate the
+/// paper's dataset: ~15 000 player-season records covering 1979-2012.
+struct NbaConfig {
+  size_t target_records = 15000;
+  int64_t first_year = 1979;
+  int64_t last_year = 2012;
+  size_t num_teams = 30;
+  uint64_t seed = 1979;
+};
+
+/// Generates a synthetic league history. Players have a latent ability, a
+/// position-dependent stat profile (centers rebound and block, guards
+/// assist, steal and shoot threes), a career arc peaking mid-career, team
+/// affiliations with occasional trades, and season-level noise; three-point
+/// volume ramps up over the decades. Deterministic in `config.seed`.
+std::vector<PlayerSeason> GenerateLeagueHistory(const NbaConfig& config = {});
+
+/// The eight skyline attribute column names, in the order the paper lists
+/// them: points, rebounds, assists, steals, blocks, field goals, free
+/// throws, three points.
+const std::vector<std::string>& StatColumns();
+
+/// Flattens the stat lines into a relation with columns
+/// (player STRING, team STRING, year INT64, pos STRING, <8 stat DOUBLEs>).
+Table ToTable(const std::vector<PlayerSeason>& seasons);
+
+}  // namespace galaxy::nba
+
+#endif  // GALAXY_NBA_NBA_GEN_H_

@@ -1,0 +1,278 @@
+#include "relation/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace galaxy {
+
+namespace {
+
+// Splits one logical CSV record (may span physical lines inside quotes)
+// from the stream; returns false at end of input.
+bool ReadRecord(std::istream& input, char delimiter,
+                std::vector<std::string>* fields, bool* blank,
+                bool* parse_error, std::string* error) {
+  fields->clear();
+  *blank = false;
+  *parse_error = false;
+  int c = input.get();
+  if (c == std::char_traits<char>::eof()) return false;
+
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  bool any_quoted = false;
+  bool any_delimiter = false;
+  while (true) {
+    if (c == std::char_traits<char>::eof()) {
+      if (in_quotes) {
+        *parse_error = true;
+        *error = "unterminated quoted field at end of input";
+        return true;
+      }
+      break;
+    }
+    char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        int next = input.peek();
+        if (next == '"') {
+          field += '"';
+          input.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch == '"' && field.empty() && !field_was_quoted) {
+      in_quotes = true;
+      field_was_quoted = true;
+      any_quoted = true;
+    } else if (ch == delimiter) {
+      fields->push_back(std::move(field));
+      field.clear();
+      field_was_quoted = false;
+      any_delimiter = true;
+    } else if (ch == '\n') {
+      break;
+    } else if (ch == '\r') {
+      // swallow; handles \r\n line endings
+    } else {
+      field += ch;
+    }
+    c = input.get();
+  }
+  fields->push_back(std::move(field));
+  // A physically empty line (no delimiters, no quotes, no content) is a
+  // blank record the caller may skip; a lone quoted empty field is not.
+  *blank = !any_delimiter && !any_quoted && fields->size() == 1 &&
+           (*fields)[0].empty();
+  return true;
+}
+
+bool ParsesAsInt(const std::string& s, int64_t* value) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *value = v;
+  return true;
+}
+
+bool ParsesAsDouble(const std::string& s, double* value) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(std::istream& input, const CsvReadOptions& options) {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> fields;
+  bool parse_error = false;
+  std::string error;
+
+  bool first = true;
+  bool blank = false;
+  while (ReadRecord(input, options.delimiter, &fields, &blank, &parse_error,
+                    &error)) {
+    if (parse_error) return Status::ParseError(error);
+    if (blank) continue;  // skip physically blank lines
+    if (first && options.has_header) {
+      header = fields;
+      first = false;
+      continue;
+    }
+    first = false;
+    records.push_back(fields);
+  }
+
+  size_t columns = options.has_header
+                       ? header.size()
+                       : (records.empty() ? 0 : records[0].size());
+  if (columns == 0) {
+    return Status::InvalidArgument("CSV input has no columns");
+  }
+  if (!options.has_header) {
+    header.clear();
+    for (size_t i = 0; i < columns; ++i) {
+      header.push_back("c" + std::to_string(i));
+    }
+  }
+  for (size_t r = 0; r < records.size(); ++r) {
+    if (records[r].size() != columns) {
+      return Status::ParseError(
+          "row " + std::to_string(r + 1) + " has " +
+          std::to_string(records[r].size()) + " fields, expected " +
+          std::to_string(columns));
+    }
+  }
+
+  auto is_null = [&](const std::string& s) {
+    return options.empty_is_null && (s.empty() || s == "NULL");
+  };
+
+  // Type inference per column: INT64 ⊂ DOUBLE ⊂ STRING.
+  std::vector<ValueType> types(columns, ValueType::kNull);
+  for (const auto& record : records) {
+    for (size_t c = 0; c < columns; ++c) {
+      if (is_null(record[c])) continue;
+      int64_t iv;
+      double dv;
+      ValueType observed = ParsesAsInt(record[c], &iv) ? ValueType::kInt64
+                           : ParsesAsDouble(record[c], &dv)
+                               ? ValueType::kDouble
+                               : ValueType::kString;
+      ValueType& t = types[c];
+      if (t == ValueType::kNull) {
+        t = observed;
+      } else if (t != observed) {
+        if ((t == ValueType::kInt64 && observed == ValueType::kDouble) ||
+            (t == ValueType::kDouble && observed == ValueType::kInt64)) {
+          t = ValueType::kDouble;
+        } else {
+          t = ValueType::kString;
+        }
+      }
+    }
+  }
+  for (ValueType& t : types) {
+    if (t == ValueType::kNull) t = ValueType::kString;  // all-null column
+  }
+
+  std::vector<ColumnDef> defs;
+  defs.reserve(columns);
+  for (size_t c = 0; c < columns; ++c) {
+    defs.push_back({header[c], types[c]});
+  }
+  TableBuilder builder{Schema(std::move(defs))};
+  for (const auto& record : records) {
+    Row row;
+    row.reserve(columns);
+    for (size_t c = 0; c < columns; ++c) {
+      const std::string& s = record[c];
+      if (is_null(s)) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (types[c]) {
+        case ValueType::kInt64: {
+          int64_t v = 0;
+          ParsesAsInt(s, &v);
+          row.push_back(Value(v));
+          break;
+        }
+        case ValueType::kDouble: {
+          double v = 0;
+          ParsesAsDouble(s, &v);
+          row.push_back(Value(v));
+          break;
+        }
+        default:
+          row.push_back(Value(s));
+      }
+    }
+    GALAXY_RETURN_IF_ERROR(builder.TryAddRow(std::move(row)));
+  }
+  return builder.Build();
+}
+
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvReadOptions& options) {
+  std::istringstream stream(text);
+  return ReadCsv(stream, options);
+}
+
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvReadOptions& options) {
+  std::ifstream stream(path);
+  if (!stream) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  return ReadCsv(stream, options);
+}
+
+namespace {
+
+void WriteField(std::ostream& output, const std::string& s, char delimiter) {
+  bool needs_quotes = s.find(delimiter) != std::string::npos ||
+                      s.find('"') != std::string::npos ||
+                      s.find('\n') != std::string::npos ||
+                      s.find('\r') != std::string::npos;
+  if (!needs_quotes) {
+    output << s;
+    return;
+  }
+  output << '"';
+  for (char c : s) {
+    if (c == '"') output << '"';
+    output << c;
+  }
+  output << '"';
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, std::ostream& output, char delimiter) {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) output << delimiter;
+    WriteField(output, table.schema().column(c).name, delimiter);
+  }
+  output << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) output << delimiter;
+      const Value& v = table.at(r, c);
+      if (!v.is_null()) {
+        WriteField(output, v.ToString(), delimiter);
+      }
+    }
+    output << "\n";
+  }
+  if (!output) return Status::Internal("CSV write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream stream(path);
+  if (!stream) {
+    return Status::InvalidArgument("cannot open file for writing: " + path);
+  }
+  return WriteCsv(table, stream, delimiter);
+}
+
+}  // namespace galaxy

@@ -1,0 +1,47 @@
+#ifndef GALAXY_RELATION_CSV_H_
+#define GALAXY_RELATION_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace galaxy {
+
+/// Options for CSV reading.
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// First row holds column names. When false, columns are named c0..cN.
+  bool has_header = true;
+  /// Empty fields (and the literal "NULL") become SQL NULLs.
+  bool empty_is_null = true;
+};
+
+/// Parses a CSV document into a Table. Column types are inferred from the
+/// data: a column whose every non-null field parses as an integer is
+/// INT64; parseable as a number, DOUBLE; otherwise STRING. Quoted fields
+/// ("a,b" and doubled "" escapes) are supported. Rows with the wrong arity
+/// are an error.
+Result<Table> ReadCsv(std::istream& input, const CsvReadOptions& options = {});
+
+/// Convenience overload parsing from a string.
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvReadOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvReadOptions& options = {});
+
+/// Writes a table as CSV (header row + data rows; strings are quoted when
+/// they contain the delimiter, quotes or newlines; NULLs are empty).
+Status WriteCsv(const Table& table, std::ostream& output,
+                char delimiter = ',');
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace galaxy
+
+#endif  // GALAXY_RELATION_CSV_H_

@@ -1,0 +1,42 @@
+#include "relation/schema.h"
+
+#include "common/str_util.h"
+
+namespace galaxy {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  size_t found = columns_.size();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) {
+      if (found != columns_.size()) {
+        return Status::InvalidArgument("ambiguous column name: " + name);
+      }
+      found = i;
+    }
+  }
+  if (found == columns_.size()) {
+    return Status::NotFound("no column named: " + name);
+  }
+  return found;
+}
+
+bool Schema::Contains(const std::string& name) const {
+  for (const ColumnDef& c : columns_) {
+    if (EqualsIgnoreCase(c.name, name)) return true;
+  }
+  return false;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace galaxy

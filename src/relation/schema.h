@@ -1,0 +1,53 @@
+#ifndef GALAXY_RELATION_SCHEMA_H_
+#define GALAXY_RELATION_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/value.h"
+
+namespace galaxy {
+
+/// A named, typed column of a relation.
+struct ColumnDef {
+  std::string name;
+  ValueType type;
+
+  bool operator==(const ColumnDef& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of column definitions. Column names are matched
+/// case-insensitively (SQL identifier semantics) but stored as declared.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column with the given (case-insensitive) name, or an
+  /// error if absent or ambiguous.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True if a column with the given name exists.
+  bool Contains(const std::string& name) const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace galaxy
+
+#endif  // GALAXY_RELATION_SCHEMA_H_

@@ -1,0 +1,129 @@
+#include "relation/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace galaxy {
+
+Result<Value> Table::at(size_t row, const std::string& column) const {
+  if (row >= rows_.size()) {
+    return Status::OutOfRange("row index " + std::to_string(row) +
+                              " out of range");
+  }
+  GALAXY_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
+  return rows_[row][col];
+}
+
+Result<std::vector<std::vector<double>>> Table::ExtractNumeric(
+    const std::vector<std::string>& columns) const {
+  std::vector<size_t> indexes;
+  indexes.reserve(columns.size());
+  for (const std::string& name : columns) {
+    GALAXY_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(name));
+    indexes.push_back(idx);
+  }
+  std::vector<std::vector<double>> out;
+  out.reserve(rows_.size());
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    std::vector<double> point(indexes.size());
+    for (size_t k = 0; k < indexes.size(); ++k) {
+      GALAXY_ASSIGN_OR_RETURN(point[k], rows_[r][indexes[k]].ToDouble());
+    }
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  // Compute column widths over header and the printed rows.
+  size_t n = std::min(max_rows, rows_.size());
+  std::vector<size_t> width(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    width[c] = schema_.column(c).name.size();
+  }
+  std::vector<std::vector<std::string>> cells(n);
+  for (size_t r = 0; r < n; ++r) {
+    cells[r].resize(schema_.num_columns());
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      cells[r][c] = rows_[r][c].ToString();
+      width[c] = std::max(width[c], cells[r][c].size());
+    }
+  }
+  std::ostringstream os;
+  auto rule = [&] {
+    os << "+";
+    for (size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+  rule();
+  os << "|";
+  for (size_t c = 0; c < width.size(); ++c) {
+    const std::string& name = schema_.column(c).name;
+    os << " " << name << std::string(width[c] - name.size(), ' ') << " |";
+  }
+  os << "\n";
+  rule();
+  for (size_t r = 0; r < n; ++r) {
+    os << "|";
+    for (size_t c = 0; c < width.size(); ++c) {
+      os << " " << cells[r][c] << std::string(width[c] - cells[r][c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  }
+  rule();
+  if (n < rows_.size()) {
+    os << "... " << (rows_.size() - n) << " more rows\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+bool TypeAccepts(ValueType column, ValueType value) {
+  if (value == ValueType::kNull) return true;
+  if (column == value) return true;
+  if (column == ValueType::kDouble && value == ValueType::kInt64) return true;
+  return false;
+}
+
+}  // namespace
+
+TableBuilder& TableBuilder::AddRow(Row row) {
+  Status s = TryAddRow(std::move(row));
+  GALAXY_CHECK(s.ok()) << s.ToString();
+  return *this;
+}
+
+Status TableBuilder::TryAddRow(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        schema_.ToString());
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (!TypeAccepts(schema_.column(c).type, row[c].type())) {
+      return Status::TypeError("column '" + schema_.column(c).name +
+                               "' expects " +
+                               ValueTypeToString(schema_.column(c).type) +
+                               ", got " + ValueTypeToString(row[c].type()));
+    }
+    // Widen ints stored in double columns so downstream readers see one type.
+    if (schema_.column(c).type == ValueType::kDouble &&
+        row[c].type() == ValueType::kInt64) {
+      row[c] = Value(static_cast<double>(row[c].AsInt64()));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Table TableBuilder::Build() {
+  return Table(schema_, std::move(rows_));
+}
+
+}  // namespace galaxy

@@ -1,0 +1,79 @@
+#ifndef GALAXY_RELATION_TABLE_H_
+#define GALAXY_RELATION_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/schema.h"
+#include "relation/value.h"
+
+namespace galaxy {
+
+/// A materialized tuple.
+using Row = std::vector<Value>;
+
+/// An immutable in-memory relation: a schema plus a vector of rows. Tables
+/// are the substrate shared by the SQL engine, the record-skyline operators
+/// and the aggregate-skyline operator. Construct with TableBuilder, which
+/// type-checks every appended row.
+class Table {
+ public:
+  Table() = default;
+  Table(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_.num_columns(); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Cell accessor by row index and column index.
+  const Value& at(size_t row, size_t col) const { return rows_[row][col]; }
+
+  /// Cell accessor by row index and column name.
+  Result<Value> at(size_t row, const std::string& column) const;
+
+  /// Extracts the named numeric columns of every row into dense points
+  /// (row-major), the input format of the skyline operators. Fails on
+  /// non-numeric or NULL cells.
+  Result<std::vector<std::vector<double>>> ExtractNumeric(
+      const std::vector<std::string>& columns) const;
+
+  /// Renders an ASCII table (for examples and debugging).
+  std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// Builds a Table row by row with type checking. Int64 values are accepted
+/// into DOUBLE columns (widening); all other mismatches are errors.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Appends a row; returns *this for chaining. Aborts on arity or type
+  /// mismatch — use TryAddRow in code paths that handle untrusted input.
+  TableBuilder& AddRow(Row row);
+
+  /// Appends a row; returns an error on arity or type mismatch.
+  Status TryAddRow(Row row);
+
+  /// Number of rows appended so far.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Finalizes the table, consuming the accumulated rows.
+  Table Build();
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace galaxy
+
+#endif  // GALAXY_RELATION_TABLE_H_

@@ -1,0 +1,120 @@
+#include "relation/value.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace galaxy {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+Result<double> Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(AsInt64());
+    case ValueType::kDouble:
+      return AsDouble();
+    default:
+      return Status::TypeError("cannot convert " +
+                               std::string(ValueTypeToString(type())) +
+                               " to double");
+  }
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
+      return AsInt64() == other.AsInt64();
+    }
+    return ToDouble().value() == other.ToDouble().value();
+  }
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kString:
+      return AsString() == other.AsString();
+    default:
+      return false;  // unreachable: numerics handled above
+  }
+}
+
+bool Value::operator<(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
+      return AsInt64() < other.AsInt64();
+    }
+    return ToDouble().value() < other.ToDouble().value();
+  }
+  // Order across types: NULL < numeric < string.
+  auto rank = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt64:
+      case ValueType::kDouble:
+        return 1;
+      case ValueType::kString:
+        return 2;
+    }
+    return 3;
+  };
+  if (rank(type()) != rank(other.type())) {
+    return rank(type()) < rank(other.type());
+  }
+  if (type() == ValueType::kString) return AsString() < other.AsString();
+  return false;  // both NULL
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble:
+      return FormatDouble(AsDouble());
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt64: {
+      // Hash integers through double when they are representable so that
+      // 3 and 3.0 (which compare equal) hash equal.
+      double d = static_cast<double>(AsInt64());
+      if (static_cast<int64_t>(d) == AsInt64()) {
+        return std::hash<double>{}(d);
+      }
+      return std::hash<int64_t>{}(AsInt64());
+    }
+    case ValueType::kDouble:
+      return std::hash<double>{}(AsDouble());
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace galaxy

@@ -1,0 +1,91 @@
+#ifndef GALAXY_RELATION_VALUE_H_
+#define GALAXY_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace galaxy {
+
+/// Column data types supported by the relational substrate.
+enum class ValueType {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// A dynamically typed scalar: NULL, 64-bit integer, double, or string.
+/// Used as the cell type of relation::Table rows and as the runtime value of
+/// SQL expression evaluation. Numeric comparisons between kInt64 and kDouble
+/// promote to double, matching SQL semantics.
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+  Value(int64_t v) : data_(v) {}             // NOLINT(runtime/explicit)
+  Value(int v) : data_(int64_t{v}) {}        // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}              // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt64;
+      case 2:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const {
+    return type() == ValueType::kInt64 || type() == ValueType::kDouble;
+  }
+
+  /// Typed accessors; calling the wrong accessor aborts (programming error).
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric value as double, promoting kInt64; returns an error for
+  /// non-numeric values.
+  Result<double> ToDouble() const;
+
+  /// SQL-style three-valued comparison helpers are provided at the SQL
+  /// layer; these operators implement total comparisons where NULL sorts
+  /// before everything and cross-type comparisons order by type.
+  bool operator==(const Value& other) const;
+  bool operator<(const Value& other) const;
+
+  /// Rendering used by table printing and test diagnostics.
+  std::string ToString() const;
+
+  /// Hash compatible with operator== (numeric 3 == 3.0 hash equal).
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace galaxy
+
+#endif  // GALAXY_RELATION_VALUE_H_

@@ -1,0 +1,93 @@
+#include "skyline/dominance.h"
+
+#include "common/logging.h"
+
+namespace galaxy::skyline {
+
+PreferenceList AllMax(size_t dims) {
+  return PreferenceList(dims, Preference::kMax);
+}
+
+namespace {
+
+// Value of attribute i normalized so that larger is always better.
+inline double Oriented(double v, Preference p) {
+  return p == Preference::kMax ? v : -v;
+}
+
+}  // namespace
+
+bool Dominates(std::span<const double> a, std::span<const double> b,
+               const PreferenceList& prefs) {
+  GALAXY_DCHECK(a.size() == b.size());
+  GALAXY_DCHECK(a.size() == prefs.size());
+  bool strictly_better = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double ai = Oriented(a[i], prefs[i]);
+    double bi = Oriented(b[i], prefs[i]);
+    if (ai < bi) return false;
+    if (ai > bi) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+bool Dominates(std::span<const double> a, std::span<const double> b) {
+  GALAXY_DCHECK(a.size() == b.size());
+  bool strictly_better = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return false;
+    if (a[i] > b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+DominanceResult CompareDominance(std::span<const double> a,
+                                 std::span<const double> b,
+                                 const PreferenceList& prefs) {
+  GALAXY_DCHECK(a.size() == b.size());
+  GALAXY_DCHECK(a.size() == prefs.size());
+  bool a_better = false;
+  bool b_better = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double ai = Oriented(a[i], prefs[i]);
+    double bi = Oriented(b[i], prefs[i]);
+    if (ai > bi) {
+      a_better = true;
+    } else if (bi > ai) {
+      b_better = true;
+    }
+    if (a_better && b_better) return DominanceResult::kIncomparable;
+  }
+  if (a_better) return DominanceResult::kLeftDominates;
+  if (b_better) return DominanceResult::kRightDominates;
+  return DominanceResult::kEqual;
+}
+
+DominanceResult CompareDominance(std::span<const double> a,
+                                 std::span<const double> b) {
+  GALAXY_DCHECK(a.size() == b.size());
+  bool a_better = false;
+  bool b_better = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) {
+      a_better = true;
+    } else if (b[i] > a[i]) {
+      b_better = true;
+    }
+    if (a_better && b_better) return DominanceResult::kIncomparable;
+  }
+  if (a_better) return DominanceResult::kLeftDominates;
+  if (b_better) return DominanceResult::kRightDominates;
+  return DominanceResult::kEqual;
+}
+
+double MonotoneScore(std::span<const double> p, const PreferenceList& prefs) {
+  GALAXY_DCHECK(p.size() == prefs.size());
+  double s = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    s += Oriented(p[i], prefs[i]);
+  }
+  return s;
+}
+
+}  // namespace galaxy::skyline

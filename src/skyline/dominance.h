@@ -1,0 +1,59 @@
+#ifndef GALAXY_SKYLINE_DOMINANCE_H_
+#define GALAXY_SKYLINE_DOMINANCE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace galaxy::skyline {
+
+/// Per-attribute preference direction. The paper assumes MAX everywhere; the
+/// library supports both, mapping MIN attributes by sign flip inside the
+/// predicates.
+enum class Preference {
+  kMax,
+  kMin,
+};
+
+/// A list of per-dimension preferences; size must equal the point dimension.
+using PreferenceList = std::vector<Preference>;
+
+/// Returns a PreferenceList of `dims` kMax entries (the paper's default).
+PreferenceList AllMax(size_t dims);
+
+/// Pairwise dominance comparison outcomes.
+enum class DominanceResult {
+  kLeftDominates,
+  kRightDominates,
+  kEqual,         ///< identical on every attribute
+  kIncomparable,  ///< each is strictly better somewhere
+};
+
+/// Pareto dominance (Definition 1): `a` dominates `b` iff a is at least as
+/// good on every attribute and strictly better on at least one.
+bool Dominates(std::span<const double> a, std::span<const double> b,
+               const PreferenceList& prefs);
+
+/// Convenience overload with all-MAX preferences.
+bool Dominates(std::span<const double> a, std::span<const double> b);
+
+/// Single-pass classification of a pair (cheaper than two Dominates calls).
+DominanceResult CompareDominance(std::span<const double> a,
+                                 std::span<const double> b,
+                                 const PreferenceList& prefs);
+
+/// Allocation-free overload with all-MAX preferences (the hot path of the
+/// aggregate-skyline pair comparisons, whose inputs are MAX-oriented).
+DominanceResult CompareDominance(std::span<const double> a,
+                                 std::span<const double> b);
+
+/// The "goodness" of a point under the preferences: the sum of attribute
+/// values with MIN attributes negated. Monotone in every preference
+/// direction, so sorting by decreasing Entropy is a valid SFS topological
+/// order: no point can dominate one with a strictly larger score.
+double MonotoneScore(std::span<const double> p, const PreferenceList& prefs);
+
+}  // namespace galaxy::skyline
+
+#endif  // GALAXY_SKYLINE_DOMINANCE_H_

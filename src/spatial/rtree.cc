@@ -1,0 +1,439 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "common/logging.h"
+
+namespace galaxy::spatial {
+
+struct RTree::Node {
+  bool is_leaf = true;
+  Box box;
+  // Leaf payload.
+  std::vector<Point> points;
+  std::vector<uint32_t> ids;
+  // Internal payload.
+  std::vector<std::unique_ptr<Node>> children;
+
+  explicit Node(size_t dims) : box(Box::Empty(dims)) {}
+
+  size_t entry_count() const {
+    return is_leaf ? points.size() : children.size();
+  }
+
+  void Recompute(size_t dims) {
+    box = Box::Empty(dims);
+    if (is_leaf) {
+      for (const Point& p : points) box.Expand(p);
+    } else {
+      for (const auto& c : children) box.Expand(c->box);
+    }
+  }
+};
+
+RTree::RTree(size_t dims, size_t max_entries)
+    : dims_(dims),
+      max_entries_(std::max<size_t>(4, max_entries)),
+      min_entries_(std::max<size_t>(2, max_entries * 2 / 5)),
+      root_(std::make_unique<Node>(dims)) {}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+namespace {
+
+// Box of a single point.
+Box PointBox(const Point& p) { return Box(p, p); }
+
+}  // namespace
+
+RTree::Node* RTree::ChooseLeaf(Node* node, const Point& point,
+                               std::vector<Node*>* path) const {
+  while (!node->is_leaf) {
+    path->push_back(node);
+    // Least volume enlargement; ties by smaller volume.
+    Node* best = nullptr;
+    double best_enlargement = 0.0;
+    double best_volume = 0.0;
+    Box pb = PointBox(point);
+    for (const auto& child : node->children) {
+      double volume = child->box.Volume();
+      double enlargement = child->box.EnlargedVolume(pb) - volume;
+      if (best == nullptr || enlargement < best_enlargement ||
+          (enlargement == best_enlargement && volume < best_volume)) {
+        best = child.get();
+        best_enlargement = enlargement;
+        best_volume = volume;
+      }
+    }
+    node = best;
+  }
+  return node;
+}
+
+void RTree::SplitNode(Node* node, std::unique_ptr<Node>* new_node) {
+  // Guttman's quadratic split on the node's entries.
+  auto new_half = std::make_unique<Node>(dims_);
+  new_half->is_leaf = node->is_leaf;
+
+  size_t n = node->entry_count();
+  GALAXY_CHECK_GT(n, 1u);
+
+  // Collect entry boxes.
+  std::vector<Box> boxes;
+  boxes.reserve(n);
+  if (node->is_leaf) {
+    for (const Point& p : node->points) boxes.push_back(PointBox(p));
+  } else {
+    for (const auto& c : node->children) boxes.push_back(c->box);
+  }
+
+  // Pick the pair of seeds wasting the most volume when grouped together.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double waste =
+          boxes[i].EnlargedVolume(boxes[j]) - boxes[i].Volume() - boxes[j].Volume();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  std::vector<int> assignment(n, -1);  // 0 -> stays, 1 -> new node
+  assignment[seed_a] = 0;
+  assignment[seed_b] = 1;
+  Box box_a = boxes[seed_a];
+  Box box_b = boxes[seed_b];
+  size_t count_a = 1, count_b = 1;
+  size_t remaining = n - 2;
+
+  while (remaining > 0) {
+    // Force-assign if one side must take all remaining to reach min fill.
+    if (count_a + remaining == min_entries_) {
+      for (size_t i = 0; i < n; ++i) {
+        if (assignment[i] == -1) {
+          assignment[i] = 0;
+          box_a.Expand(boxes[i]);
+          ++count_a;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if (count_b + remaining == min_entries_) {
+      for (size_t i = 0; i < n; ++i) {
+        if (assignment[i] == -1) {
+          assignment[i] = 1;
+          box_b.Expand(boxes[i]);
+          ++count_b;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    // PickNext: the entry with the greatest preference for one group.
+    size_t pick = 0;
+    double best_diff = -1.0;
+    double d_a_pick = 0.0, d_b_pick = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (assignment[i] != -1) continue;
+      double da = box_a.EnlargedVolume(boxes[i]) - box_a.Volume();
+      double db = box_b.EnlargedVolume(boxes[i]) - box_b.Volume();
+      double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        d_a_pick = da;
+        d_b_pick = db;
+      }
+    }
+    int side;
+    if (d_a_pick < d_b_pick) {
+      side = 0;
+    } else if (d_b_pick < d_a_pick) {
+      side = 1;
+    } else {
+      side = count_a <= count_b ? 0 : 1;  // tie: smaller group
+    }
+    assignment[pick] = side;
+    if (side == 0) {
+      box_a.Expand(boxes[pick]);
+      ++count_a;
+    } else {
+      box_b.Expand(boxes[pick]);
+      ++count_b;
+    }
+    --remaining;
+  }
+
+  // Materialize the two halves.
+  if (node->is_leaf) {
+    std::vector<Point> keep_points;
+    std::vector<uint32_t> keep_ids;
+    for (size_t i = 0; i < n; ++i) {
+      if (assignment[i] == 0) {
+        keep_points.push_back(std::move(node->points[i]));
+        keep_ids.push_back(node->ids[i]);
+      } else {
+        new_half->points.push_back(std::move(node->points[i]));
+        new_half->ids.push_back(node->ids[i]);
+      }
+    }
+    node->points = std::move(keep_points);
+    node->ids = std::move(keep_ids);
+  } else {
+    std::vector<std::unique_ptr<Node>> keep_children;
+    for (size_t i = 0; i < n; ++i) {
+      if (assignment[i] == 0) {
+        keep_children.push_back(std::move(node->children[i]));
+      } else {
+        new_half->children.push_back(std::move(node->children[i]));
+      }
+    }
+    node->children = std::move(keep_children);
+  }
+  node->Recompute(dims_);
+  new_half->Recompute(dims_);
+  *new_node = std::move(new_half);
+}
+
+void RTree::Insert(const Point& point, uint32_t id) {
+  GALAXY_CHECK_EQ(point.size(), dims_);
+  std::vector<Node*> path;
+  Node* leaf = ChooseLeaf(root_.get(), point, &path);
+  leaf->points.push_back(point);
+  leaf->ids.push_back(id);
+  leaf->box.Expand(point);
+  ++size_;
+
+  // Split up the path as needed.
+  Node* node = leaf;
+  std::unique_ptr<Node> pending;
+  while (node->entry_count() > max_entries_) {
+    std::unique_ptr<Node> sibling;
+    SplitNode(node, &sibling);
+    if (path.empty()) {
+      // Split the root: create a new root with the two halves.
+      auto new_root = std::make_unique<Node>(dims_);
+      new_root->is_leaf = false;
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(sibling));
+      new_root->Recompute(dims_);
+      root_ = std::move(new_root);
+      return;
+    }
+    Node* parent = path.back();
+    path.pop_back();
+    parent->children.push_back(std::move(sibling));
+    parent->Recompute(dims_);
+    node = parent;
+  }
+  // Propagate box growth to the remaining ancestors.
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    (*it)->box.Expand(point);
+  }
+  (void)pending;
+}
+
+void RTree::BulkLoad(const std::vector<Point>& points,
+                     const std::vector<uint32_t>& ids) {
+  GALAXY_CHECK(ids.empty() || ids.size() == points.size());
+  size_ = points.size();
+  if (points.empty()) {
+    root_ = std::make_unique<Node>(dims_);
+    return;
+  }
+  for (const Point& p : points) GALAXY_CHECK_EQ(p.size(), dims_);
+
+  // Build all leaves with Sort-Tile-Recursive: recursively partition the
+  // index order into tiles along successive dimensions.
+  std::vector<size_t> order(points.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+
+  std::vector<std::unique_ptr<Node>> level;
+  size_t leaf_capacity = max_entries_;
+  size_t num_leaves =
+      (points.size() + leaf_capacity - 1) / leaf_capacity;
+
+  // Recursive tiling: sort the range by dimension `dim`, then partition
+  // into slabs that each receive an equal share of leaves.
+  std::function<void(size_t, size_t, size_t, size_t)> tile =
+      [&](size_t begin, size_t end, size_t dim, size_t leaves) {
+        if (leaves <= 1 || end - begin <= leaf_capacity) {
+          auto leaf = std::make_unique<Node>(dims_);
+          leaf->is_leaf = true;
+          for (size_t k = begin; k < end; ++k) {
+            size_t idx = order[k];
+            leaf->points.push_back(points[idx]);
+            leaf->ids.push_back(ids.empty() ? static_cast<uint32_t>(idx)
+                                            : ids[idx]);
+          }
+          leaf->Recompute(dims_);
+          level.push_back(std::move(leaf));
+          return;
+        }
+        std::sort(order.begin() + static_cast<long>(begin),
+                  order.begin() + static_cast<long>(end),
+                  [&](size_t a, size_t b) {
+                    return points[a][dim] < points[b][dim];
+                  });
+        // Number of slabs along this dimension: ceil(leaves^(1/(d-dim))).
+        size_t dims_left = dims_ - dim;
+        size_t slabs =
+            dims_left <= 1
+                ? leaves
+                : static_cast<size_t>(std::ceil(std::pow(
+                      static_cast<double>(leaves), 1.0 / dims_left)));
+        slabs = std::max<size_t>(1, std::min(slabs, leaves));
+        size_t leaves_per_slab = (leaves + slabs - 1) / slabs;
+        size_t items_per_slab = leaves_per_slab * leaf_capacity;
+        size_t next_dim = dim + 1 < dims_ ? dim + 1 : dim;
+        for (size_t s = begin; s < end; s += items_per_slab) {
+          size_t slab_end = std::min(end, s + items_per_slab);
+          size_t slab_leaves =
+              (slab_end - s + leaf_capacity - 1) / leaf_capacity;
+          tile(s, slab_end, next_dim, slab_leaves);
+        }
+      };
+  tile(0, points.size(), 0, num_leaves);
+
+  // Pack levels bottom-up until a single root remains.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    for (size_t i = 0; i < level.size(); i += max_entries_) {
+      auto parent = std::make_unique<Node>(dims_);
+      parent->is_leaf = false;
+      size_t end = std::min(level.size(), i + max_entries_);
+      for (size_t j = i; j < end; ++j) {
+        parent->children.push_back(std::move(level[j]));
+      }
+      parent->Recompute(dims_);
+      parents.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+  }
+  root_ = std::move(level.front());
+}
+
+void RTree::WindowQuery(const Box& window, std::vector<uint32_t>* out) const {
+  WindowQuery(window, [out](uint32_t id, const Point&) {
+    out->push_back(id);
+    return true;
+  });
+}
+
+void RTree::WindowQuery(
+    const Box& window,
+    const std::function<bool(uint32_t, const Point&)>& visit) const {
+  GALAXY_CHECK_EQ(window.dims(), dims_);
+  std::vector<const Node*> stack;
+  stack.push_back(root_.get());
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->entry_count() == 0) continue;
+    if (!window.Intersects(node->box)) continue;
+    if (node->is_leaf) {
+      for (size_t i = 0; i < node->points.size(); ++i) {
+        if (window.Contains(node->points[i])) {
+          if (!visit(node->ids[i], node->points[i])) return;
+        }
+      }
+    } else {
+      for (const auto& child : node->children) {
+        stack.push_back(child.get());
+      }
+    }
+  }
+}
+
+size_t RTree::WindowCount(const Box& window) const {
+  size_t count = 0;
+  WindowQuery(window, [&count](uint32_t, const Point&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+RTree::Stats RTree::GetStats() const {
+  Stats stats;
+  stats.size = size_;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++stats.nodes;
+    if (!node->is_leaf) {
+      for (const auto& c : node->children) stack.push_back(c.get());
+    }
+  }
+  size_t height = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    ++height;
+    node = node->children.front().get();
+  }
+  stats.height = height;
+  return stats;
+}
+
+bool RTree::CheckInvariants(std::string* error) const {
+  size_t counted = 0;
+  bool ok = true;
+  std::function<void(const Node*, bool)> check = [&](const Node* node,
+                                                     bool is_root) {
+    if (!ok) return;
+    if (!is_root && node->entry_count() < min_entries_ &&
+        node->entry_count() > 0) {
+      // Bulk-loaded trees may slightly underfill trailing nodes; only a
+      // completely empty non-root node is an error.
+    }
+    if (!is_root && node->entry_count() == 0) {
+      ok = false;
+      if (error != nullptr) *error = "empty non-root node";
+      return;
+    }
+    if (node->is_leaf) {
+      counted += node->points.size();
+      for (const Point& p : node->points) {
+        if (!node->box.Contains(p)) {
+          ok = false;
+          if (error != nullptr) *error = "leaf box does not contain point";
+          return;
+        }
+      }
+    } else {
+      for (const auto& child : node->children) {
+        for (size_t i = 0; i < dims_; ++i) {
+          if (child->box.min[i] < node->box.min[i] ||
+              child->box.max[i] > node->box.max[i]) {
+            ok = false;
+            if (error != nullptr) *error = "child box escapes parent box";
+            return;
+          }
+        }
+        check(child.get(), false);
+      }
+    }
+  };
+  check(root_.get(), true);
+  if (ok && counted != size_) {
+    ok = false;
+    if (error != nullptr) {
+      *error = "size mismatch: counted " + std::to_string(counted) +
+               ", recorded " + std::to_string(size_);
+    }
+  }
+  return ok;
+}
+
+}  // namespace galaxy::spatial

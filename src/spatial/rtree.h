@@ -1,0 +1,84 @@
+#ifndef GALAXY_SPATIAL_RTREE_H_
+#define GALAXY_SPATIAL_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace galaxy::spatial {
+
+/// A d-dimensional R-tree over points with integer payloads (Guttman 1984,
+/// quadratic split), plus Sort-Tile-Recursive bulk loading for batch
+/// construction. This is the index behind the paper's Algorithm 5: group
+/// MBB max-corners are inserted, and candidate dominating groups are found
+/// with axis-aligned window queries (Figure 9(a)).
+class RTree {
+ public:
+  /// Statistics for tests and benchmarks.
+  struct Stats {
+    size_t size = 0;    ///< number of stored points
+    size_t height = 0;  ///< levels (1 = a single leaf)
+    size_t nodes = 0;   ///< total node count
+  };
+
+  /// Creates an empty tree over `dims`-dimensional points.
+  /// `max_entries` is the node fan-out M (>= 4); min fill is M * 0.4.
+  explicit RTree(size_t dims, size_t max_entries = 16);
+
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  ~RTree();
+
+  /// Inserts one point with its payload.
+  void Insert(const Point& point, uint32_t id);
+
+  /// Builds a tree over all `points` at once using STR bulk loading;
+  /// payload of points[i] is ids[i] (or i when ids is empty). Replaces any
+  /// current content.
+  void BulkLoad(const std::vector<Point>& points,
+                const std::vector<uint32_t>& ids = {});
+
+  /// Appends the payloads of all points inside `window` (inclusive bounds)
+  /// to `out` (order unspecified).
+  void WindowQuery(const Box& window, std::vector<uint32_t>* out) const;
+
+  /// Visitor variant: invokes `visit(id, point)` for every match; if the
+  /// visitor returns false the search stops early.
+  void WindowQuery(
+      const Box& window,
+      const std::function<bool(uint32_t, const Point&)>& visit) const;
+
+  /// Number of points inside the window.
+  size_t WindowCount(const Box& window) const;
+
+  size_t size() const { return size_; }
+  size_t dims() const { return dims_; }
+
+  Stats GetStats() const;
+
+  /// Validates structural invariants (MBB containment, fill factors);
+  /// returns false and leaves a description in `error` on violation.
+  bool CheckInvariants(std::string* error = nullptr) const;
+
+ private:
+  struct Node;
+
+  void SplitNode(Node* node, std::unique_ptr<Node>* new_node);
+  Node* ChooseLeaf(Node* node, const Point& point,
+                   std::vector<Node*>* path) const;
+
+  size_t dims_;
+  size_t max_entries_;
+  size_t min_entries_;
+  size_t size_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace galaxy::spatial
+
+#endif  // GALAXY_SPATIAL_RTREE_H_

@@ -1,0 +1,184 @@
+#include "sql/ast.h"
+
+#include "common/str_util.h"
+
+namespace galaxy::sql {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNotEq:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLtEq:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGtEq:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.type() == ValueType::kString
+                 ? "'" + literal.ToString() + "'"
+                 : literal.ToString();
+    case ExprKind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kUnary:
+      return (unary_op == UnaryOp::kNot ? "NOT " : "-") + left->ToString();
+    case ExprKind::kBinary:
+      return "(" + left->ToString() + " " + BinaryOpToString(binary_op) + " " +
+             right->ToString() + ")";
+    case ExprKind::kFunctionCall: {
+      std::string out = function + "(";
+      if (star_arg) {
+        out += "*";
+      } else {
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += args[i]->ToString();
+        }
+      }
+      return out + ")";
+    }
+    case ExprKind::kInSubquery:
+      return left->ToString() + (negated ? " NOT IN (" : " IN (") +
+             subquery->ToString() + ")";
+    case ExprKind::kInList: {
+      std::string out = left->ToString() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 0; i < in_list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += in_list[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kIsNull:
+      return left->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case ExprKind::kLike:
+      return left->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             right->ToString();
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      if (case_base) out += " " + case_base->ToString();
+      for (size_t i = 0; i < case_when.size(); ++i) {
+        out += " WHEN " + case_when[i]->ToString() + " THEN " +
+               case_then[i]->ToString();
+      }
+      if (case_else) out += " ELSE " + case_else->ToString();
+      return out + " END";
+    }
+    case ExprKind::kExists:
+      return std::string(negated ? "NOT " : "") + "EXISTS (" +
+             subquery->ToString() + ")";
+  }
+  return "?";
+}
+
+std::string SelectStmt::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (items[i].star) {
+      out += "*";
+    } else {
+      out += items[i].expr->ToString();
+      if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].table_name;
+    if (!from[i].alias.empty()) out += " " + from[i].alias;
+  }
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having) out += " HAVING " + having->ToString();
+  if (!skyline.empty()) {
+    out += " SKYLINE OF ";
+    for (size_t i = 0; i < skyline.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += skyline[i].expr->ToString();
+      out += skyline[i].maximize ? " MAX" : " MIN";
+    }
+    if (skyline_gamma.has_value()) {
+      out += " GAMMA " + FormatDouble(*skyline_gamma);
+    }
+    if (skyline_rank) out += " GAMMA RANK";
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (!order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  if (union_next) {
+    out += union_all ? " UNION ALL " : " UNION ";
+    out += union_next->ToString();
+  }
+  return out;
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->left = std::move(operand);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr left, ExprPtr right) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->left = std::move(left);
+  e->right = std::move(right);
+  return e;
+}
+
+}  // namespace galaxy::sql

@@ -1,0 +1,164 @@
+#ifndef GALAXY_SQL_AST_H_
+#define GALAXY_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relation/value.h"
+
+namespace galaxy::sql {
+
+struct SelectStmt;
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kUnary,
+  kBinary,
+  kFunctionCall,
+  kInSubquery,  ///< expr [NOT] IN (SELECT ...)
+  kInList,      ///< expr [NOT] IN (v1, v2, ...)
+  kIsNull,      ///< expr IS [NOT] NULL
+  kLike,        ///< expr [NOT] LIKE pattern ('%' any run, '_' one char)
+  kCase,        ///< CASE [base] WHEN .. THEN .. [ELSE ..] END
+  kExists,      ///< EXISTS (SELECT ...)
+};
+
+enum class UnaryOp { kNot, kNegate };
+
+enum class BinaryOp {
+  kOr,
+  kAnd,
+  kEq,
+  kNotEq,
+  kLt,
+  kLtEq,
+  kGt,
+  kGtEq,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+};
+
+const char* BinaryOpToString(BinaryOp op);
+
+/// One SQL expression node. A single struct (rather than a class hierarchy)
+/// keeps the recursive-descent parser and the tree-walking evaluator
+/// compact; `kind` selects which members are meaningful. The binder
+/// annotates kColumnRef nodes with `bound_slot` and aggregate kFunctionCall
+/// nodes with `agg_slot` before evaluation.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  std::string table;   ///< optional qualifier ("X" in X.num)
+  std::string column;
+  int bound_slot = -1;  ///< resolved input-row index (set by the binder)
+
+  // kUnary / kBinary (unary uses `left` only)
+  UnaryOp unary_op = UnaryOp::kNot;
+  BinaryOp binary_op = BinaryOp::kAnd;
+  ExprPtr left;
+  ExprPtr right;
+
+  // kFunctionCall
+  std::string function;  ///< upper-cased name (COUNT, SUM, AVG, MIN, MAX, ABS)
+  std::vector<ExprPtr> args;
+  bool star_arg = false;  ///< COUNT(*)
+  int agg_slot = -1;      ///< aggregate result index (set by the binder)
+
+  // kInSubquery / kInList / kIsNull / kLike / kExists
+  std::unique_ptr<SelectStmt> subquery;
+  std::vector<ExprPtr> in_list;
+  bool negated = false;
+
+  // kCase (a searched CASE has no case_base; a simple CASE compares
+  // case_base against each WHEN value)
+  ExprPtr case_base;
+  std::vector<ExprPtr> case_when;
+  std::vector<ExprPtr> case_then;
+  ExprPtr case_else;
+
+  /// Renders the expression back to SQL-ish text (diagnostics and tests).
+  std::string ToString() const;
+};
+
+/// One SELECT-list entry; `star` denotes a bare `*`.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+  bool star = false;
+};
+
+/// A base-table reference in FROM, with optional alias.
+struct TableRef {
+  std::string table_name;
+  std::string alias;  ///< empty = table_name
+
+  const std::string& effective_alias() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// One attribute of the SKYLINE OF clause (the paper's syntax extension,
+/// Examples 1 and 3): `SKYLINE OF Pop MAX, Qual MAX [GAMMA 0.6]`.
+struct SkylineItem {
+  ExprPtr expr;         ///< must bind to a numeric column
+  bool maximize = true;
+};
+
+/// A parsed SELECT statement of the supported subset:
+///   SELECT [DISTINCT] items FROM t1 [alias], t2 [alias], ...
+///     [WHERE expr] [GROUP BY exprs] [HAVING expr]
+///     [SKYLINE OF col MAX|MIN, ... [GAMMA x]]
+///     [ORDER BY exprs [ASC|DESC]] [LIMIT n]
+/// A SKYLINE OF clause without GROUP BY filters records (the traditional
+/// skyline); with GROUP BY it computes the aggregate skyline over the
+/// groups (Definition 2).
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<SkylineItem> skyline;
+  std::optional<double> skyline_gamma;
+  /// SKYLINE OF ... GAMMA RANK (Section 2.2's parameter-free mode): with
+  /// GROUP BY, instead of filtering at a fixed γ, emit every group that can
+  /// appear in some γ-skyline, ordered by the minimal γ admitting it.
+  bool skyline_rank = false;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+
+  /// UNION chaining: the next SELECT of a `a UNION [ALL] b UNION c` chain.
+  /// ORDER BY / LIMIT are not supported on union members.
+  std::unique_ptr<SelectStmt> union_next;
+  bool union_all = false;
+
+  std::string ToString() const;
+};
+
+/// Convenience constructors used by the parser and tests.
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string table, std::string column);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr left, ExprPtr right);
+
+}  // namespace galaxy::sql
+
+#endif  // GALAXY_SQL_AST_H_

@@ -1,0 +1,30 @@
+#include "sql/catalog.h"
+
+#include "common/str_util.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+
+namespace galaxy::sql {
+
+void Database::Register(const std::string& name, Table table) {
+  tables_.insert_or_assign(AsciiLower(name), std::move(table));
+}
+
+void Database::Unregister(const std::string& name) {
+  tables_.erase(AsciiLower(name));
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(AsciiLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named: " + name);
+  }
+  return &it->second;
+}
+
+Result<Table> Database::Query(const std::string& sql) const {
+  GALAXY_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, Parse(sql));
+  return ExecuteSelect(*this, *stmt);
+}
+
+}  // namespace galaxy::sql

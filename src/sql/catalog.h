@@ -1,0 +1,44 @@
+#ifndef GALAXY_SQL_CATALOG_H_
+#define GALAXY_SQL_CATALOG_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace galaxy::sql {
+
+/// A named collection of in-memory tables plus the query entry point — the
+/// embedded-database facade of the SQL substrate.
+///
+///   Database db;
+///   db.Register("movies", MovieTable());
+///   GALAXY_ASSIGN_OR_RETURN(Table result,
+///                           db.Query("SELECT * FROM movies WHERE Pop > 400"));
+class Database {
+ public:
+  Database() = default;
+
+  /// Registers (or replaces) a table under a case-insensitive name.
+  void Register(const std::string& name, Table table);
+
+  /// Removes a table; missing names are ignored.
+  void Unregister(const std::string& name);
+
+  /// Looks up a table by case-insensitive name.
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Parses and executes one SELECT statement.
+  Result<Table> Query(const std::string& sql) const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  // Keyed by lower-cased name.
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace galaxy::sql
+
+#endif  // GALAXY_SQL_CATALOG_H_

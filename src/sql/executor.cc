@@ -1,0 +1,1163 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "core/aggregate_skyline.h"
+#include "core/group.h"
+#include "skyline/skyline.h"
+#include "sql/optimizer.h"
+#include "sql/value_ops.h"
+
+namespace galaxy::sql {
+
+namespace {
+
+// A row assembled from the FROM cross product: borrowed pointers into the
+// base tables (no copying on the join hot path).
+using InputRow = std::vector<const Value*>;
+
+struct SlotInfo {
+  std::string table_alias;  // effective alias of the owning table
+  std::string column;
+  ValueType type;
+};
+
+bool NameEq(const std::string& a, const std::string& b) {
+  return EqualsIgnoreCase(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Binder: resolves column references to input slots and collects aggregate
+// function calls.
+// ---------------------------------------------------------------------------
+
+bool IsAggregateFunction(const std::string& upper_name) {
+  return upper_name == "COUNT" || upper_name == "SUM" ||
+         upper_name == "AVG" || upper_name == "MIN" || upper_name == "MAX";
+}
+
+class Binder {
+ public:
+  explicit Binder(std::vector<SlotInfo> slots) : slots_(std::move(slots)) {}
+
+  const std::vector<SlotInfo>& slots() const { return slots_; }
+  const std::vector<Expr*>& aggregates() const { return aggregates_; }
+
+  Result<int> Resolve(const std::string& table,
+                      const std::string& column) const {
+    int found = -1;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (!table.empty() && !NameEq(slots_[i].table_alias, table)) continue;
+      if (!NameEq(slots_[i].column, column)) continue;
+      if (found != -1) {
+        return Status::InvalidArgument("ambiguous column: " + column);
+      }
+      found = static_cast<int>(i);
+    }
+    if (found == -1) {
+      std::string qualified = table.empty() ? column : table + "." + column;
+      return Status::NotFound("unknown column: " + qualified);
+    }
+    return found;
+  }
+
+  // Binds `e`, recording aggregate calls. `allow_aggregates` is false
+  // inside aggregate arguments and in WHERE.
+  Status Bind(Expr* e, bool allow_aggregates) {
+    switch (e->kind) {
+      case ExprKind::kLiteral:
+        return Status::OK();
+      case ExprKind::kColumnRef: {
+        GALAXY_ASSIGN_OR_RETURN(e->bound_slot, Resolve(e->table, e->column));
+        return Status::OK();
+      }
+      case ExprKind::kUnary:
+        return Bind(e->left.get(), allow_aggregates);
+      case ExprKind::kBinary:
+        GALAXY_RETURN_IF_ERROR(Bind(e->left.get(), allow_aggregates));
+        return Bind(e->right.get(), allow_aggregates);
+      case ExprKind::kFunctionCall: {
+        if (IsAggregateFunction(e->function)) {
+          if (!allow_aggregates) {
+            return Status::InvalidArgument(
+                "aggregate function not allowed here: " + e->function);
+          }
+          if (!e->star_arg) {
+            if (e->args.size() != 1) {
+              return Status::InvalidArgument(e->function +
+                                             " takes one argument");
+            }
+            GALAXY_RETURN_IF_ERROR(
+                Bind(e->args[0].get(), /*allow_aggregates=*/false));
+          } else if (e->function != "COUNT") {
+            return Status::InvalidArgument(e->function +
+                                           "(*) is not supported");
+          }
+          e->agg_slot = static_cast<int>(aggregates_.size());
+          aggregates_.push_back(e);
+          return Status::OK();
+        }
+        // Scalar functions.
+        if (e->function == "ABS" || e->function == "ROUND") {
+          if (e->args.size() != 1 || e->star_arg) {
+            return Status::InvalidArgument(e->function +
+                                           " takes one argument");
+          }
+          return Bind(e->args[0].get(), allow_aggregates);
+        }
+        return Status::Unimplemented("unknown function: " + e->function);
+      }
+      case ExprKind::kInSubquery:
+        // The subquery is bound and executed in its own scope.
+        return Bind(e->left.get(), allow_aggregates);
+      case ExprKind::kInList: {
+        GALAXY_RETURN_IF_ERROR(Bind(e->left.get(), allow_aggregates));
+        for (ExprPtr& v : e->in_list) {
+          GALAXY_RETURN_IF_ERROR(Bind(v.get(), allow_aggregates));
+        }
+        return Status::OK();
+      }
+      case ExprKind::kIsNull:
+        return Bind(e->left.get(), allow_aggregates);
+      case ExprKind::kLike:
+        GALAXY_RETURN_IF_ERROR(Bind(e->left.get(), allow_aggregates));
+        return Bind(e->right.get(), allow_aggregates);
+      case ExprKind::kCase: {
+        if (e->case_base != nullptr) {
+          GALAXY_RETURN_IF_ERROR(Bind(e->case_base.get(), allow_aggregates));
+        }
+        for (size_t i = 0; i < e->case_when.size(); ++i) {
+          GALAXY_RETURN_IF_ERROR(
+              Bind(e->case_when[i].get(), allow_aggregates));
+          GALAXY_RETURN_IF_ERROR(
+              Bind(e->case_then[i].get(), allow_aggregates));
+        }
+        if (e->case_else != nullptr) {
+          return Bind(e->case_else.get(), allow_aggregates);
+        }
+        return Status::OK();
+      }
+      case ExprKind::kExists:
+        // The subquery is bound and executed in its own scope.
+        return Status::OK();
+    }
+    return Status::Internal("unhandled expression kind in Bind");
+  }
+
+  // True if the (bound or unbound) expression contains an aggregate call.
+  static bool ContainsAggregate(const Expr* e) {
+    if (e == nullptr) return false;
+    switch (e->kind) {
+      case ExprKind::kFunctionCall:
+        if (IsAggregateFunction(e->function)) return true;
+        for (const ExprPtr& a : e->args) {
+          if (ContainsAggregate(a.get())) return true;
+        }
+        return false;
+      case ExprKind::kUnary:
+        return ContainsAggregate(e->left.get());
+      case ExprKind::kBinary:
+        return ContainsAggregate(e->left.get()) ||
+               ContainsAggregate(e->right.get());
+      case ExprKind::kInSubquery:
+      case ExprKind::kIsNull:
+        return ContainsAggregate(e->left.get());
+      case ExprKind::kInList: {
+        if (ContainsAggregate(e->left.get())) return true;
+        for (const ExprPtr& v : e->in_list) {
+          if (ContainsAggregate(v.get())) return true;
+        }
+        return false;
+      }
+      case ExprKind::kLike:
+        return ContainsAggregate(e->left.get()) ||
+               ContainsAggregate(e->right.get());
+      case ExprKind::kCase: {
+        if (ContainsAggregate(e->case_base.get())) return true;
+        for (size_t i = 0; i < e->case_when.size(); ++i) {
+          if (ContainsAggregate(e->case_when[i].get())) return true;
+          if (ContainsAggregate(e->case_then[i].get())) return true;
+        }
+        return ContainsAggregate(e->case_else.get());
+      }
+      default:
+        return false;
+    }
+  }
+
+ private:
+  std::vector<SlotInfo> slots_;
+  std::vector<Expr*> aggregates_;
+};
+
+// ---------------------------------------------------------------------------
+// Expression evaluation.
+// ---------------------------------------------------------------------------
+
+struct SubqueryCache {
+  std::unordered_set<Value, ValueHash> values;
+  bool has_null = false;
+};
+
+struct EvalContext {
+  const Database* db = nullptr;
+  const InputRow* row = nullptr;            // slot source
+  const std::vector<Value>* aggs = nullptr; // aggregate results (grouped)
+  std::map<const Expr*, SubqueryCache>* subqueries = nullptr;
+  std::map<const Expr*, bool>* exists_cache = nullptr;
+};
+
+// SQL LIKE pattern matching: '%' matches any run (including empty), '_'
+// matches exactly one character; ASCII case-insensitive (sqlite default).
+// Iterative two-pointer matching with backtracking to the last '%'.
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  auto lower = [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  };
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || lower(pattern[p]) == lower(text[t]))) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<Value> Eval(const Expr* e, EvalContext& ctx);
+
+Result<const SubqueryCache*> MaterializeSubquery(const Expr* e,
+                                                 EvalContext& ctx) {
+  GALAXY_CHECK(ctx.subqueries != nullptr);
+  auto it = ctx.subqueries->find(e);
+  if (it != ctx.subqueries->end()) return &it->second;
+  GALAXY_CHECK(ctx.db != nullptr);
+  GALAXY_ASSIGN_OR_RETURN(Table result,
+                          ExecuteSelect(*ctx.db, *e->subquery));
+  if (result.num_columns() != 1) {
+    return Status::InvalidArgument(
+        "IN subquery must return exactly one column");
+  }
+  SubqueryCache cache;
+  for (size_t r = 0; r < result.num_rows(); ++r) {
+    const Value& v = result.at(r, 0);
+    if (v.is_null()) {
+      cache.has_null = true;
+    } else {
+      cache.values.insert(v);
+    }
+  }
+  auto [ins, _] = ctx.subqueries->emplace(e, std::move(cache));
+  return &ins->second;
+}
+
+Result<Value> EvalIn(const Expr* e, bool found, bool set_has_null) {
+  // SQL 3VL: x IN S is TRUE if found, NULL if not found but S has NULL,
+  // FALSE otherwise; NOT IN negates with NULL preserved.
+  Value v;
+  if (found) {
+    v = Value(int64_t{1});
+  } else if (set_has_null) {
+    v = Value::Null();
+  } else {
+    v = Value(int64_t{0});
+  }
+  if (e->negated) return EvalUnary(UnaryOp::kNot, v);
+  return v;
+}
+
+Result<Value> Eval(const Expr* e, EvalContext& ctx) {
+  switch (e->kind) {
+    case ExprKind::kLiteral:
+      return e->literal;
+    case ExprKind::kColumnRef: {
+      GALAXY_CHECK_GE(e->bound_slot, 0) << "unbound column " << e->column;
+      GALAXY_CHECK(ctx.row != nullptr);
+      return *(*ctx.row)[e->bound_slot];
+    }
+    case ExprKind::kUnary: {
+      GALAXY_ASSIGN_OR_RETURN(Value v, Eval(e->left.get(), ctx));
+      return EvalUnary(e->unary_op, v);
+    }
+    case ExprKind::kBinary: {
+      // Short-circuit logic operators.
+      if (e->binary_op == BinaryOp::kAnd) {
+        GALAXY_ASSIGN_OR_RETURN(Value l, Eval(e->left.get(), ctx));
+        if (!l.is_null()) {
+          GALAXY_ASSIGN_OR_RETURN(bool lt, ValueIsTrue(l));
+          if (!lt) return Value(int64_t{0});
+        }
+        GALAXY_ASSIGN_OR_RETURN(Value r, Eval(e->right.get(), ctx));
+        return EvalBinary(BinaryOp::kAnd, l, r);
+      }
+      if (e->binary_op == BinaryOp::kOr) {
+        GALAXY_ASSIGN_OR_RETURN(Value l, Eval(e->left.get(), ctx));
+        if (!l.is_null()) {
+          GALAXY_ASSIGN_OR_RETURN(bool lt, ValueIsTrue(l));
+          if (lt) return Value(int64_t{1});
+        }
+        GALAXY_ASSIGN_OR_RETURN(Value r, Eval(e->right.get(), ctx));
+        return EvalBinary(BinaryOp::kOr, l, r);
+      }
+      GALAXY_ASSIGN_OR_RETURN(Value l, Eval(e->left.get(), ctx));
+      GALAXY_ASSIGN_OR_RETURN(Value r, Eval(e->right.get(), ctx));
+      return EvalBinary(e->binary_op, l, r);
+    }
+    case ExprKind::kFunctionCall: {
+      if (e->agg_slot >= 0) {
+        GALAXY_CHECK(ctx.aggs != nullptr)
+            << "aggregate evaluated outside a grouped context";
+        return (*ctx.aggs)[e->agg_slot];
+      }
+      GALAXY_ASSIGN_OR_RETURN(Value v, Eval(e->args[0].get(), ctx));
+      if (v.is_null()) return v;
+      if (e->function == "ABS") {
+        if (v.type() == ValueType::kInt64) {
+          return Value(v.AsInt64() < 0 ? -v.AsInt64() : v.AsInt64());
+        }
+        GALAXY_ASSIGN_OR_RETURN(double d, v.ToDouble());
+        return Value(d < 0 ? -d : d);
+      }
+      if (e->function == "ROUND") {
+        GALAXY_ASSIGN_OR_RETURN(double d, v.ToDouble());
+        return Value(static_cast<double>(llround(d)));
+      }
+      return Status::Unimplemented("unknown function: " + e->function);
+    }
+    case ExprKind::kInSubquery: {
+      GALAXY_ASSIGN_OR_RETURN(Value needle, Eval(e->left.get(), ctx));
+      GALAXY_ASSIGN_OR_RETURN(const SubqueryCache* cache,
+                              MaterializeSubquery(e, ctx));
+      if (needle.is_null()) return Value::Null();
+      bool found = cache->values.contains(needle);
+      return EvalIn(e, found, cache->has_null);
+    }
+    case ExprKind::kInList: {
+      GALAXY_ASSIGN_OR_RETURN(Value needle, Eval(e->left.get(), ctx));
+      if (needle.is_null()) return Value::Null();
+      bool found = false;
+      bool has_null = false;
+      for (const ExprPtr& item : e->in_list) {
+        GALAXY_ASSIGN_OR_RETURN(Value v, Eval(item.get(), ctx));
+        if (v.is_null()) {
+          has_null = true;
+        } else if (v == needle) {
+          found = true;
+          break;
+        }
+      }
+      return EvalIn(e, found, has_null);
+    }
+    case ExprKind::kIsNull: {
+      GALAXY_ASSIGN_OR_RETURN(Value v, Eval(e->left.get(), ctx));
+      bool is_null = v.is_null();
+      bool result = e->negated ? !is_null : is_null;
+      return Value(result ? int64_t{1} : int64_t{0});
+    }
+    case ExprKind::kLike: {
+      GALAXY_ASSIGN_OR_RETURN(Value text, Eval(e->left.get(), ctx));
+      GALAXY_ASSIGN_OR_RETURN(Value pattern, Eval(e->right.get(), ctx));
+      if (text.is_null() || pattern.is_null()) return Value::Null();
+      if (text.type() != ValueType::kString ||
+          pattern.type() != ValueType::kString) {
+        return Status::TypeError("LIKE requires string operands");
+      }
+      bool match = LikeMatch(text.AsString(), pattern.AsString());
+      if (e->negated) match = !match;
+      return Value(match ? int64_t{1} : int64_t{0});
+    }
+    case ExprKind::kCase: {
+      Value base;
+      if (e->case_base != nullptr) {
+        GALAXY_ASSIGN_OR_RETURN(base, Eval(e->case_base.get(), ctx));
+      }
+      for (size_t i = 0; i < e->case_when.size(); ++i) {
+        GALAXY_ASSIGN_OR_RETURN(Value when, Eval(e->case_when[i].get(), ctx));
+        bool taken;
+        if (e->case_base != nullptr) {
+          // Simple CASE: equality against the base; NULL matches nothing.
+          taken = !base.is_null() && !when.is_null() && base == when;
+        } else {
+          if (when.is_null()) continue;
+          GALAXY_ASSIGN_OR_RETURN(taken, ValueIsTrue(when));
+        }
+        if (taken) return Eval(e->case_then[i].get(), ctx);
+      }
+      if (e->case_else != nullptr) return Eval(e->case_else.get(), ctx);
+      return Value::Null();
+    }
+    case ExprKind::kExists: {
+      GALAXY_CHECK(ctx.exists_cache != nullptr);
+      auto it = ctx.exists_cache->find(e);
+      if (it == ctx.exists_cache->end()) {
+        GALAXY_CHECK(ctx.db != nullptr);
+        GALAXY_ASSIGN_OR_RETURN(Table result,
+                                ExecuteSelect(*ctx.db, *e->subquery));
+        it = ctx.exists_cache->emplace(e, result.num_rows() > 0).first;
+      }
+      bool exists = it->second;
+      if (e->negated) exists = !exists;
+      return Value(exists ? int64_t{1} : int64_t{0});
+    }
+  }
+  return Status::Internal("unhandled expression kind in Eval");
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation.
+// ---------------------------------------------------------------------------
+
+struct AggState {
+  uint64_t rows = 0;      // COUNT(*)
+  uint64_t non_null = 0;  // COUNT(x)
+  bool sum_is_int = true;
+  int64_t isum = 0;
+  double dsum = 0.0;
+  Value min;
+  Value max;
+
+  void Accumulate(const Value& v) {
+    ++rows;
+    if (v.is_null()) return;
+    ++non_null;
+    if (v.type() == ValueType::kInt64 && sum_is_int) {
+      isum += v.AsInt64();
+    } else if (v.is_numeric()) {
+      if (sum_is_int) {
+        dsum = static_cast<double>(isum);
+        sum_is_int = false;
+      }
+      dsum += v.ToDouble().value();
+    }
+    if (min.is_null() || v < min) min = v;
+    if (max.is_null() || max < v) max = v;
+  }
+
+  Result<Value> Finish(const std::string& function, bool star) const {
+    if (function == "COUNT") {
+      return Value(static_cast<int64_t>(star ? rows : non_null));
+    }
+    if (function == "SUM") {
+      if (non_null == 0) return Value::Null();
+      return sum_is_int ? Value(isum) : Value(dsum);
+    }
+    if (function == "AVG") {
+      if (non_null == 0) return Value::Null();
+      double total = sum_is_int ? static_cast<double>(isum) : dsum;
+      return Value(total / static_cast<double>(non_null));
+    }
+    if (function == "MIN") return min;
+    if (function == "MAX") return max;
+    return Status::Internal("unknown aggregate " + function);
+  }
+};
+
+// Hash of a vector<Value> grouping key.
+struct KeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : key) {
+      h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct GroupAccum {
+  std::vector<Value> first_row;     // materialized first input row
+  std::vector<AggState> agg_states;
+  std::vector<Point> skyline_points;  // per-record skyline attributes
+};
+
+// ---------------------------------------------------------------------------
+// Output assembly helpers.
+// ---------------------------------------------------------------------------
+
+struct OutputColumn {
+  std::string name;
+  const Expr* expr = nullptr;  // null for star expansion slots
+  int star_slot = -1;
+};
+
+ValueType InferType(const std::vector<Row>& rows, size_t col,
+                    ValueType fallback) {
+  ValueType type = ValueType::kNull;
+  for (const Row& r : rows) {
+    if (r[col].is_null()) continue;
+    ValueType vt = r[col].type();
+    if (type == ValueType::kNull) {
+      type = vt;
+    } else if (type != vt) {
+      // Mixed int/double columns widen to double; anything else is caught
+      // by the TableBuilder type check.
+      if ((type == ValueType::kInt64 && vt == ValueType::kDouble) ||
+          (type == ValueType::kDouble && vt == ValueType::kInt64)) {
+        type = ValueType::kDouble;
+      }
+    }
+  }
+  return type == ValueType::kNull ? fallback : type;
+}
+
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 14695981039346656037ULL;
+    for (const Value& v : row) {
+      h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+// Collects the bound input slots referenced by an expression (subquery
+// bodies excluded: they bind in their own scope).
+void CollectSlots(const Expr* e, std::vector<int>* slots) {
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case ExprKind::kColumnRef:
+      if (e->bound_slot >= 0) slots->push_back(e->bound_slot);
+      return;
+    case ExprKind::kUnary:
+    case ExprKind::kIsNull:
+    case ExprKind::kInSubquery:
+      CollectSlots(e->left.get(), slots);
+      return;
+    case ExprKind::kBinary:
+    case ExprKind::kLike:
+      CollectSlots(e->left.get(), slots);
+      CollectSlots(e->right.get(), slots);
+      return;
+    case ExprKind::kFunctionCall:
+      for (const ExprPtr& a : e->args) CollectSlots(a.get(), slots);
+      return;
+    case ExprKind::kInList:
+      CollectSlots(e->left.get(), slots);
+      for (const ExprPtr& v : e->in_list) CollectSlots(v.get(), slots);
+      return;
+    case ExprKind::kCase:
+      CollectSlots(e->case_base.get(), slots);
+      for (const ExprPtr& w : e->case_when) CollectSlots(w.get(), slots);
+      for (const ExprPtr& t : e->case_then) CollectSlots(t.get(), slots);
+      CollectSlots(e->case_else.get(), slots);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+// Executes one SELECT (without UNION chaining).
+static Result<Table> ExecuteSingleSelect(const Database& db, SelectStmt& stmt,
+                                         ExecStats* stats) {
+  // ---- Resolve FROM tables and build the slot layout. -------------------
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("FROM clause is required");
+  }
+  std::vector<const Table*> tables;
+  std::vector<SlotInfo> slots;
+  std::vector<size_t> table_first_slot;
+  for (const TableRef& ref : stmt.from) {
+    GALAXY_ASSIGN_OR_RETURN(const Table* t, db.GetTable(ref.table_name));
+    table_first_slot.push_back(slots.size());
+    for (const ColumnDef& c : t->schema().columns()) {
+      slots.push_back({ref.effective_alias(), c.name, c.type});
+    }
+    tables.push_back(t);
+  }
+
+  Binder binder(std::move(slots));
+
+  // ---- Bind expressions. -------------------------------------------------
+  if (stmt.where != nullptr) {
+    GALAXY_RETURN_IF_ERROR(
+        binder.Bind(stmt.where.get(), /*allow_aggregates=*/false));
+  }
+  for (ExprPtr& g : stmt.group_by) {
+    GALAXY_RETURN_IF_ERROR(binder.Bind(g.get(), /*allow_aggregates=*/false));
+  }
+  bool has_aggregates = false;
+  for (const SelectItem& item : stmt.items) {
+    if (!item.star && Binder::ContainsAggregate(item.expr.get())) {
+      has_aggregates = true;
+    }
+  }
+  if (Binder::ContainsAggregate(stmt.having.get())) has_aggregates = true;
+  const bool grouped = !stmt.group_by.empty() || has_aggregates;
+
+  if (stmt.having != nullptr && !grouped) {
+    return Status::InvalidArgument("HAVING requires GROUP BY or aggregates");
+  }
+  if (stmt.skyline_rank && stmt.group_by.empty()) {
+    return Status::InvalidArgument(
+        "SKYLINE OF ... GAMMA RANK requires GROUP BY (it ranks groups)");
+  }
+  for (SelectItem& item : stmt.items) {
+    if (item.star) {
+      if (grouped) {
+        return Status::InvalidArgument("SELECT * cannot be used with GROUP BY");
+      }
+      continue;
+    }
+    GALAXY_RETURN_IF_ERROR(binder.Bind(item.expr.get(), grouped));
+  }
+  if (stmt.having != nullptr) {
+    GALAXY_RETURN_IF_ERROR(binder.Bind(stmt.having.get(), true));
+  }
+  for (SkylineItem& item : stmt.skyline) {
+    GALAXY_RETURN_IF_ERROR(
+        binder.Bind(item.expr.get(), /*allow_aggregates=*/false));
+  }
+  for (OrderItem& item : stmt.order_by) {
+    // ORDER BY may name a select alias; rewrite to the aliased expression's
+    // output, otherwise bind against the input.
+    bool is_alias = false;
+    if (item.expr->kind == ExprKind::kColumnRef && item.expr->table.empty()) {
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        if (!stmt.items[i].star &&
+            NameEq(stmt.items[i].alias, item.expr->column)) {
+          item.expr->bound_slot = -2 - static_cast<int>(i);  // output ref
+          is_alias = true;
+          break;
+        }
+      }
+    }
+    if (!is_alias) {
+      GALAXY_RETURN_IF_ERROR(binder.Bind(item.expr.get(), grouped));
+    }
+  }
+
+  std::map<const Expr*, SubqueryCache> subquery_cache;
+  std::map<const Expr*, bool> exists_cache;
+  EvalContext ctx;
+  ctx.db = &db;
+  ctx.subqueries = &subquery_cache;
+  ctx.exists_cache = &exists_cache;
+
+  const size_t num_tables = tables.size();
+  size_t total_slots = binder.slots().size();
+
+  // ---- Predicate pushdown (multi-table FROM only): WHERE conjuncts whose
+  // slots all belong to one table filter that table before the join. ------
+  std::vector<std::vector<ExprPtr>> pushed(num_tables);
+  if (num_tables > 1 && stmt.where != nullptr) {
+    auto table_of_slot = [&](int slot) {
+      size_t t = 0;
+      while (t + 1 < num_tables &&
+             static_cast<size_t>(slot) >= table_first_slot[t + 1]) {
+        ++t;
+      }
+      return t;
+    };
+    std::vector<ExprPtr> residual;
+    for (ExprPtr& conjunct : SplitConjuncts(std::move(stmt.where))) {
+      std::vector<int> used;
+      CollectSlots(conjunct.get(), &used);
+      bool single = !used.empty();
+      size_t table = single ? table_of_slot(used[0]) : 0;
+      for (int s : used) {
+        if (table_of_slot(s) != table) {
+          single = false;
+          break;
+        }
+      }
+      if (single) {
+        pushed[table].push_back(std::move(conjunct));
+        if (stats != nullptr) ++stats->pushed_filters;
+      } else {
+        residual.push_back(std::move(conjunct));
+      }
+    }
+    stmt.where = ConjoinAll(std::move(residual));
+  }
+
+  // ---- Hash equi-join detection (two-table FROM): a residual conjunct of
+  // the form A.x = B.y becomes the join key; the probe replaces the
+  // quadratic cross product. -----------------------------------------------
+  ExprPtr join_key;  // the extracted equality, if any
+  if (num_tables == 2 && stmt.where != nullptr) {
+    std::vector<ExprPtr> residual;
+    for (ExprPtr& conjunct : SplitConjuncts(std::move(stmt.where))) {
+      bool is_key =
+          join_key == nullptr && conjunct->kind == ExprKind::kBinary &&
+          conjunct->binary_op == BinaryOp::kEq &&
+          conjunct->left->kind == ExprKind::kColumnRef &&
+          conjunct->right->kind == ExprKind::kColumnRef;
+      if (is_key) {
+        int slot_l = conjunct->left->bound_slot;
+        int slot_r = conjunct->right->bound_slot;
+        bool crosses =
+            (static_cast<size_t>(slot_l) < table_first_slot[1]) !=
+            (static_cast<size_t>(slot_r) < table_first_slot[1]);
+        // Hash probing uses Value equality, which is only equivalent to the
+        // SQL '=' operator when the column types are comparable (both
+        // numeric or both string) — mismatches must keep erroring at
+        // evaluation time.
+        auto comparable = [&](ValueType a, ValueType b) {
+          auto numeric = [](ValueType t) {
+            return t == ValueType::kInt64 || t == ValueType::kDouble;
+          };
+          return (numeric(a) && numeric(b)) ||
+                 (a == ValueType::kString && b == ValueType::kString);
+        };
+        if (crosses &&
+            comparable(binder.slots()[slot_l].type,
+                       binder.slots()[slot_r].type)) {
+          join_key = std::move(conjunct);
+          continue;
+        }
+      }
+      residual.push_back(std::move(conjunct));
+    }
+    stmt.where = ConjoinAll(std::move(residual));
+  }
+
+  // Per-table candidate row lists (all rows unless a filter was pushed).
+  std::vector<std::vector<size_t>> selected(num_tables);
+  {
+    InputRow scratch(total_slots, nullptr);
+    for (size_t t = 0; t < num_tables; ++t) {
+      selected[t].reserve(tables[t]->num_rows());
+      for (size_t r = 0; r < tables[t]->num_rows(); ++r) {
+        if (!pushed[t].empty()) {
+          const Row& base_row = tables[t]->row(r);
+          for (size_t c = 0; c < base_row.size(); ++c) {
+            scratch[table_first_slot[t] + c] = &base_row[c];
+          }
+          ctx.row = &scratch;
+          bool pass = true;
+          for (const ExprPtr& predicate : pushed[t]) {
+            GALAXY_ASSIGN_OR_RETURN(Value keep, Eval(predicate.get(), ctx));
+            if (keep.is_null()) {
+              pass = false;
+              break;
+            }
+            GALAXY_ASSIGN_OR_RETURN(pass, ValueIsTrue(keep));
+            if (!pass) break;
+          }
+          if (!pass) {
+            if (stats != nullptr) ++stats->base_rows_filtered;
+            continue;
+          }
+        }
+        selected[t].push_back(r);
+      }
+    }
+  }
+
+  // ---- Stream the (filtered) FROM cross product through WHERE. ----------
+  std::vector<size_t> cursor(num_tables, 0);
+  InputRow row(total_slots);
+
+  bool empty_product = false;
+  for (size_t t = 0; t < num_tables; ++t) {
+    if (selected[t].empty()) empty_product = true;
+  }
+
+  // Row consumers fill one of these.
+  std::vector<std::vector<Value>> passing_rows;  // non-grouped path
+  std::unordered_map<std::vector<Value>, GroupAccum, KeyHash> groups;
+  std::vector<const std::vector<Value>*> group_order;  // stable output order
+  const std::vector<Expr*>& agg_exprs = binder.aggregates();
+
+  auto consume_row = [&]() -> Status {
+    ctx.row = &row;
+    if (stmt.where != nullptr) {
+      GALAXY_ASSIGN_OR_RETURN(Value keep, Eval(stmt.where.get(), ctx));
+      if (keep.is_null()) return Status::OK();
+      GALAXY_ASSIGN_OR_RETURN(bool pass, ValueIsTrue(keep));
+      if (!pass) return Status::OK();
+    }
+    if (!grouped) {
+      std::vector<Value> copy(total_slots);
+      for (size_t i = 0; i < total_slots; ++i) copy[i] = *row[i];
+      passing_rows.push_back(std::move(copy));
+      return Status::OK();
+    }
+    // Grouped: evaluate the key and accumulate.
+    std::vector<Value> key;
+    key.reserve(stmt.group_by.size());
+    for (const ExprPtr& g : stmt.group_by) {
+      GALAXY_ASSIGN_OR_RETURN(Value v, Eval(g.get(), ctx));
+      key.push_back(std::move(v));
+    }
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    GroupAccum& accum = it->second;
+    if (inserted) {
+      group_order.push_back(&it->first);
+      accum.first_row.resize(total_slots);
+      for (size_t i = 0; i < total_slots; ++i) accum.first_row[i] = *row[i];
+      accum.agg_states.resize(agg_exprs.size());
+    }
+    for (size_t a = 0; a < agg_exprs.size(); ++a) {
+      const Expr* agg = agg_exprs[a];
+      if (agg->star_arg) {
+        accum.agg_states[a].Accumulate(Value(int64_t{1}));
+      } else {
+        GALAXY_ASSIGN_OR_RETURN(Value v, Eval(agg->args[0].get(), ctx));
+        accum.agg_states[a].Accumulate(v);
+      }
+    }
+    if (!stmt.skyline.empty()) {
+      Point p(stmt.skyline.size());
+      for (size_t k = 0; k < stmt.skyline.size(); ++k) {
+        GALAXY_ASSIGN_OR_RETURN(Value v, Eval(stmt.skyline[k].expr.get(), ctx));
+        GALAXY_ASSIGN_OR_RETURN(double d, v.ToDouble());
+        p[k] = stmt.skyline[k].maximize ? d : -d;
+      }
+      accum.skyline_points.push_back(std::move(p));
+    }
+    return Status::OK();
+  };
+
+  if (!empty_product && join_key != nullptr) {
+    // Hash equi-join: build on table 1, probe with table 0.
+    if (stats != nullptr) ++stats->hash_joins;
+    int slot_l = join_key->left->bound_slot;
+    int slot_r = join_key->right->bound_slot;
+    size_t slot0 = static_cast<size_t>(
+        static_cast<size_t>(slot_l) < table_first_slot[1] ? slot_l : slot_r);
+    size_t slot1 = static_cast<size_t>(
+        static_cast<size_t>(slot_l) < table_first_slot[1] ? slot_r : slot_l);
+    size_t col0 = slot0;
+    size_t col1 = slot1 - table_first_slot[1];
+
+    std::unordered_map<Value, std::vector<size_t>, ValueHash> build;
+    for (size_t r1 : selected[1]) {
+      const Value& key = tables[1]->at(r1, col1);
+      if (!key.is_null()) build[key].push_back(r1);
+    }
+    for (size_t r0 : selected[0]) {
+      const Value& key = tables[0]->at(r0, col0);
+      if (key.is_null()) continue;
+      auto it = build.find(key);
+      if (it == build.end()) continue;
+      const Row& left_row = tables[0]->row(r0);
+      for (size_t c = 0; c < left_row.size(); ++c) row[c] = &left_row[c];
+      for (size_t r1 : it->second) {
+        const Row& right_row = tables[1]->row(r1);
+        for (size_t c = 0; c < right_row.size(); ++c) {
+          row[table_first_slot[1] + c] = &right_row[c];
+        }
+        if (stats != nullptr) ++stats->cross_product_rows;
+        GALAXY_RETURN_IF_ERROR(consume_row());
+      }
+    }
+  } else if (!empty_product) {
+    while (true) {
+      // Assemble the current combination.
+      size_t slot = 0;
+      for (size_t t = 0; t < num_tables; ++t) {
+        const Row& r = tables[t]->row(selected[t][cursor[t]]);
+        for (size_t c = 0; c < r.size(); ++c) row[slot++] = &r[c];
+      }
+      if (stats != nullptr) ++stats->cross_product_rows;
+      GALAXY_RETURN_IF_ERROR(consume_row());
+      // Advance the odometer; stop when the most significant digit wraps.
+      bool done = false;
+      size_t t = num_tables;
+      while (t > 0) {
+        --t;
+        if (++cursor[t] < selected[t].size()) break;
+        cursor[t] = 0;
+        if (t == 0) done = true;
+      }
+      if (done) break;
+    }
+  }
+
+  // Global aggregate with no GROUP BY: one group over everything (even if
+  // the input is empty).
+  if (grouped && stmt.group_by.empty() && groups.empty()) {
+    auto [it, _] = groups.try_emplace(std::vector<Value>{});
+    it->second.agg_states.resize(agg_exprs.size());
+    it->second.first_row.assign(total_slots, Value::Null());
+    group_order.push_back(&it->first);
+  }
+
+  // ---- Build the output column list. -------------------------------------
+  std::vector<OutputColumn> out_columns;
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (size_t i = 0; i < binder.slots().size(); ++i) {
+        OutputColumn col;
+        col.name = num_tables > 1 ? binder.slots()[i].table_alias + "." +
+                                        binder.slots()[i].column
+                                  : binder.slots()[i].column;
+        col.star_slot = static_cast<int>(i);
+        out_columns.push_back(std::move(col));
+      }
+    } else {
+      OutputColumn col;
+      col.name = !item.alias.empty() ? item.alias : item.expr->ToString();
+      col.expr = item.expr.get();
+      out_columns.push_back(std::move(col));
+    }
+  }
+
+  // ---- Produce output rows (plus ORDER BY sort keys). ---------------------
+  std::vector<Row> out_rows;
+  std::vector<std::vector<Value>> sort_keys;
+  const bool need_sort = !stmt.order_by.empty();
+
+  auto project = [&](EvalContext& rowctx,
+                     const std::vector<Value>* materialized) -> Status {
+    Row out;
+    out.reserve(out_columns.size());
+    for (const OutputColumn& col : out_columns) {
+      if (col.star_slot >= 0) {
+        out.push_back((*materialized)[col.star_slot]);
+      } else {
+        GALAXY_ASSIGN_OR_RETURN(Value v, Eval(col.expr, rowctx));
+        out.push_back(std::move(v));
+      }
+    }
+    if (need_sort) {
+      std::vector<Value> keys;
+      keys.reserve(stmt.order_by.size());
+      for (const OrderItem& item : stmt.order_by) {
+        if (item.expr->bound_slot <= -2) {
+          keys.push_back(out[static_cast<size_t>(-2 - item.expr->bound_slot)]);
+        } else {
+          GALAXY_ASSIGN_OR_RETURN(Value v, Eval(item.expr.get(), rowctx));
+          keys.push_back(std::move(v));
+        }
+      }
+      sort_keys.push_back(std::move(keys));
+    }
+    out_rows.push_back(std::move(out));
+    return Status::OK();
+  };
+
+  if (!grouped) {
+    // Optional record skyline filter (SKYLINE OF without GROUP BY).
+    std::vector<size_t> selected(passing_rows.size());
+    for (size_t i = 0; i < passing_rows.size(); ++i) selected[i] = i;
+    if (!stmt.skyline.empty()) {
+      std::vector<std::vector<double>> points;
+      points.reserve(passing_rows.size());
+      InputRow view(total_slots);
+      for (const std::vector<Value>& r : passing_rows) {
+        for (size_t i = 0; i < total_slots; ++i) view[i] = &r[i];
+        ctx.row = &view;
+        std::vector<double> p(stmt.skyline.size());
+        for (size_t k = 0; k < stmt.skyline.size(); ++k) {
+          GALAXY_ASSIGN_OR_RETURN(Value v,
+                                  Eval(stmt.skyline[k].expr.get(), ctx));
+          GALAXY_ASSIGN_OR_RETURN(double d, v.ToDouble());
+          p[k] = stmt.skyline[k].maximize ? d : -d;
+        }
+        points.push_back(std::move(p));
+      }
+      selected = skyline::Compute(points,
+                                  skyline::AllMax(stmt.skyline.size()),
+                                  skyline::Algorithm::kSfs);
+    }
+    InputRow view(total_slots);
+    for (size_t idx : selected) {
+      const std::vector<Value>& r = passing_rows[idx];
+      for (size_t i = 0; i < total_slots; ++i) view[i] = &r[i];
+      ctx.row = &view;
+      GALAXY_RETURN_IF_ERROR(project(ctx, &r));
+    }
+  } else {
+    // Finish aggregates per group.
+    std::unordered_map<const std::vector<Value>*, std::vector<Value>>
+        agg_values;
+    for (const std::vector<Value>* key : group_order) {
+      GroupAccum& accum = groups.find(*key)->second;
+      std::vector<Value> vals;
+      vals.reserve(agg_exprs.size());
+      for (size_t a = 0; a < agg_exprs.size(); ++a) {
+        GALAXY_ASSIGN_OR_RETURN(
+            Value v,
+            accum.agg_states[a].Finish(agg_exprs[a]->function,
+                                       agg_exprs[a]->star_arg));
+        vals.push_back(std::move(v));
+      }
+      agg_values.emplace(key, std::move(vals));
+    }
+
+    // HAVING filter.
+    std::vector<const std::vector<Value>*> surviving;
+    InputRow view(total_slots);
+    for (const std::vector<Value>* key : group_order) {
+      GroupAccum& accum = groups.find(*key)->second;
+      for (size_t i = 0; i < total_slots; ++i) view[i] = &accum.first_row[i];
+      ctx.row = &view;
+      ctx.aggs = &agg_values.find(key)->second;
+      if (stmt.having != nullptr) {
+        GALAXY_ASSIGN_OR_RETURN(Value keep, Eval(stmt.having.get(), ctx));
+        if (keep.is_null()) continue;
+        GALAXY_ASSIGN_OR_RETURN(bool pass, ValueIsTrue(keep));
+        if (!pass) continue;
+      }
+      surviving.push_back(key);
+    }
+
+    // Aggregate skyline over the surviving groups (SKYLINE OF + GROUP BY):
+    // Definition 2 applied to the per-group record sets. GAMMA RANK instead
+    // emits every group admissible at some γ, ordered by minimal γ
+    // (Section 2.2's parameter-free mode).
+    if (!stmt.skyline.empty()) {
+      std::vector<std::vector<Point>> group_points;
+      group_points.reserve(surviving.size());
+      for (const std::vector<Value>* key : surviving) {
+        group_points.push_back(groups.find(*key)->second.skyline_points);
+      }
+      if (!group_points.empty()) {
+        core::GroupedDataset dataset =
+            core::GroupedDataset::FromPoints(group_points);
+        std::vector<const std::vector<Value>*> filtered;
+        if (stmt.skyline_rank) {
+          for (const core::RankedGroup& rg : core::RankByGamma(dataset)) {
+            if (!rg.always_dominated) filtered.push_back(surviving[rg.id]);
+          }
+        } else {
+          core::AggregateSkylineOptions options;
+          options.gamma = stmt.skyline_gamma.value_or(0.5);
+          options.algorithm = core::Algorithm::kNestedLoop;
+          core::AggregateSkylineResult sky =
+              core::ComputeAggregateSkyline(dataset, options);
+          for (uint32_t id : sky.skyline) {
+            filtered.push_back(surviving[id]);
+          }
+        }
+        surviving = std::move(filtered);
+      }
+    }
+
+    for (const std::vector<Value>* key : surviving) {
+      GroupAccum& accum = groups.find(*key)->second;
+      for (size_t i = 0; i < total_slots; ++i) view[i] = &accum.first_row[i];
+      ctx.row = &view;
+      ctx.aggs = &agg_values.find(key)->second;
+      GALAXY_RETURN_IF_ERROR(project(ctx, &accum.first_row));
+    }
+  }
+
+  // ---- DISTINCT. ----------------------------------------------------------
+  if (stmt.distinct) {
+    std::unordered_set<Row, RowHash> seen;
+    std::vector<Row> unique_rows;
+    std::vector<std::vector<Value>> unique_keys;
+    for (size_t i = 0; i < out_rows.size(); ++i) {
+      if (seen.insert(out_rows[i]).second) {
+        unique_rows.push_back(std::move(out_rows[i]));
+        if (need_sort) unique_keys.push_back(std::move(sort_keys[i]));
+      }
+    }
+    out_rows = std::move(unique_rows);
+    sort_keys = std::move(unique_keys);
+  }
+
+  // ---- ORDER BY / LIMIT. ---------------------------------------------------
+  if (need_sort) {
+    std::vector<size_t> perm(out_rows.size());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < stmt.order_by.size(); ++k) {
+        const Value& va = sort_keys[a][k];
+        const Value& vb = sort_keys[b][k];
+        if (va == vb) continue;
+        bool less = va < vb;
+        return stmt.order_by[k].ascending ? less : !less;
+      }
+      return false;
+    });
+    std::vector<Row> sorted;
+    sorted.reserve(out_rows.size());
+    for (size_t i : perm) sorted.push_back(std::move(out_rows[i]));
+    out_rows = std::move(sorted);
+  }
+  if (stmt.limit.has_value() && *stmt.limit >= 0 &&
+      out_rows.size() > static_cast<size_t>(*stmt.limit)) {
+    out_rows.resize(static_cast<size_t>(*stmt.limit));
+  }
+
+  // ---- Output schema. -------------------------------------------------------
+  std::vector<ColumnDef> defs;
+  defs.reserve(out_columns.size());
+  for (size_t c = 0; c < out_columns.size(); ++c) {
+    ValueType fallback = out_columns[c].star_slot >= 0
+                             ? binder.slots()[out_columns[c].star_slot].type
+                             : ValueType::kInt64;
+    defs.push_back({out_columns[c].name, InferType(out_rows, c, fallback)});
+  }
+  // Normalize int-typed cells appearing in double columns and vice versa is
+  // handled by TableBuilder widening; rebuild through it for type safety.
+  TableBuilder builder{Schema(std::move(defs))};
+  for (Row& r : out_rows) {
+    GALAXY_RETURN_IF_ERROR(builder.TryAddRow(std::move(r)));
+  }
+  return builder.Build();
+}
+
+Result<Table> ExecuteSelect(const Database& db, SelectStmt& stmt,
+                            ExecStats* stats) {
+  size_t folded = FoldStatement(stmt);  // also folds union members
+  if (stats != nullptr) stats->folded_constants += folded;
+  GALAXY_ASSIGN_OR_RETURN(Table result, ExecuteSingleSelect(db, stmt, stats));
+  if (stmt.union_next == nullptr) return result;
+
+  // Left-associative UNION evaluation: combine member by member, applying
+  // duplicate elimination at every non-ALL link (standard SQL semantics).
+  std::vector<Row> rows = result.rows();
+  bool pending_all = stmt.union_all;
+  for (SelectStmt* member = stmt.union_next.get(); member != nullptr;
+       member = member->union_next.get()) {
+    GALAXY_ASSIGN_OR_RETURN(Table next,
+                            ExecuteSingleSelect(db, *member, stats));
+    if (next.num_columns() != result.num_columns()) {
+      return Status::InvalidArgument(
+          "UNION members must have the same number of columns");
+    }
+    for (const Row& r : next.rows()) rows.push_back(r);
+    if (!pending_all) {
+      std::unordered_set<Row, RowHash> seen;
+      std::vector<Row> unique_rows;
+      unique_rows.reserve(rows.size());
+      for (Row& r : rows) {
+        if (seen.insert(r).second) unique_rows.push_back(std::move(r));
+      }
+      rows = std::move(unique_rows);
+    }
+    pending_all = member->union_all;
+  }
+
+  // Column names come from the first member; types are re-inferred over
+  // the combined rows (int/double widening via the table builder).
+  std::vector<ColumnDef> defs;
+  defs.reserve(result.num_columns());
+  for (size_t c = 0; c < result.num_columns(); ++c) {
+    defs.push_back({result.schema().column(c).name,
+                    InferType(rows, c, result.schema().column(c).type)});
+  }
+  TableBuilder builder{Schema(std::move(defs))};
+  for (Row& r : rows) {
+    GALAXY_RETURN_IF_ERROR(builder.TryAddRow(std::move(r)));
+  }
+  return builder.Build();
+}
+
+}  // namespace galaxy::sql

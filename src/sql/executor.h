@@ -1,0 +1,41 @@
+#ifndef GALAXY_SQL_EXECUTOR_H_
+#define GALAXY_SQL_EXECUTOR_H_
+
+#include "common/status.h"
+#include "relation/table.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+
+namespace galaxy::sql {
+
+/// Optimizer/executor counters (for tests and tuning).
+struct ExecStats {
+  /// WHERE conjuncts pushed below the cross product (multi-table FROM).
+  uint64_t pushed_filters = 0;
+  /// Base-table rows removed by pushed filters before the join.
+  uint64_t base_rows_filtered = 0;
+  /// Row combinations actually enumerated by the cross product.
+  uint64_t cross_product_rows = 0;
+  /// Constant-folding rewrites applied.
+  uint64_t folded_constants = 0;
+  /// Two-table FROMs executed as a hash equi-join instead of a cross
+  /// product (an A.x = B.y conjunct became the join key).
+  uint64_t hash_joins = 0;
+};
+
+/// Executes a bound-and-parsed SELECT statement against the database.
+/// Pipeline: constant folding -> FROM (cross product of base tables, with
+/// single-table WHERE conjuncts pushed below the join) -> WHERE -> GROUP
+/// BY / aggregates -> HAVING -> SKYLINE OF (record or aggregate skyline)
+/// -> projection (+DISTINCT) -> ORDER BY -> LIMIT -> UNION combination.
+/// Subqueries must be uncorrelated (they are evaluated once and
+/// materialized).
+///
+/// The statement is mutated by binding (column slots / aggregate slots), so
+/// a SelectStmt may be executed only once; parse again to re-run.
+Result<Table> ExecuteSelect(const Database& db, SelectStmt& stmt,
+                            ExecStats* stats = nullptr);
+
+}  // namespace galaxy::sql
+
+#endif  // GALAXY_SQL_EXECUTOR_H_

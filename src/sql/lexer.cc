@@ -1,0 +1,279 @@
+#include "sql/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace galaxy::sql {
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kEnd:
+      return "end-of-input";
+    case TokenType::kKeyword:
+      return "keyword";
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kInteger:
+      return "integer";
+    case TokenType::kFloat:
+      return "float";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kComma:
+      return ",";
+    case TokenType::kDot:
+      return ".";
+    case TokenType::kSemicolon:
+      return ";";
+    case TokenType::kLParen:
+      return "(";
+    case TokenType::kRParen:
+      return ")";
+    case TokenType::kStar:
+      return "*";
+    case TokenType::kPlus:
+      return "+";
+    case TokenType::kMinus:
+      return "-";
+    case TokenType::kSlash:
+      return "/";
+    case TokenType::kPercent:
+      return "%";
+    case TokenType::kEq:
+      return "=";
+    case TokenType::kNotEq:
+      return "!=";
+    case TokenType::kLt:
+      return "<";
+    case TokenType::kLtEq:
+      return "<=";
+    case TokenType::kGt:
+      return ">";
+    case TokenType::kGtEq:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  switch (type) {
+    case TokenType::kKeyword:
+    case TokenType::kIdentifier:
+      return text;
+    case TokenType::kInteger:
+      return std::to_string(int_value);
+    case TokenType::kFloat:
+      return FormatDouble(float_value);
+    case TokenType::kString:
+      return "'" + text + "'";
+    default:
+      return TokenTypeToString(type);
+  }
+}
+
+bool IsKeyword(const std::string& upper_word) {
+  static constexpr std::array kKeywords = {
+      "SELECT", "DISTINCT", "FROM",  "WHERE", "GROUP",  "BY",     "HAVING",
+      "ORDER",  "ASC",      "DESC",  "LIMIT", "AS",     "AND",    "OR",
+      "NOT",    "IN",       "NULL",  "IS",    "JOIN",   "ON",     "INNER",
+      "CROSS",  "BETWEEN",  "LIKE",  "CASE",  "WHEN",   "THEN",   "ELSE",
+      "END",    "EXISTS",   "UNION", "ALL",   "OFFSET", "SKYLINE", "OF",
+      "MIN",    "MAX",      "GAMMA",
+  };
+  for (const char* k : kKeywords) {
+    if (upper_word == k) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto make = [&](TokenType type, size_t pos) {
+    Token t;
+    t.type = type;
+    t.position = pos;
+    return t;
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      // Numeric literal: digits, optional fraction and exponent.
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < n && (input[exp] == '+' || input[exp] == '-')) ++exp;
+        if (exp < n && std::isdigit(static_cast<unsigned char>(input[exp]))) {
+          is_float = true;
+          i = exp;
+          while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+        }
+      }
+      std::string text = input.substr(start, i - start);
+      Token t = make(is_float ? TokenType::kFloat : TokenType::kInteger, start);
+      if (is_float) {
+        t.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string upper = AsciiUpper(word);
+      Token t = make(IsKeyword(upper) ? TokenType::kKeyword
+                                      : TokenType::kIdentifier,
+                     start);
+      t.text = IsKeyword(upper) ? upper : word;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      Token t = make(TokenType::kString, start);
+      t.text = std::move(text);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Punctuation and operators.
+    auto two = [&](char second) {
+      return i + 1 < n && input[i + 1] == second;
+    };
+    switch (c) {
+      case ',':
+        tokens.push_back(make(TokenType::kComma, start));
+        ++i;
+        break;
+      case '.':
+        tokens.push_back(make(TokenType::kDot, start));
+        ++i;
+        break;
+      case ';':
+        tokens.push_back(make(TokenType::kSemicolon, start));
+        ++i;
+        break;
+      case '(':
+        tokens.push_back(make(TokenType::kLParen, start));
+        ++i;
+        break;
+      case ')':
+        tokens.push_back(make(TokenType::kRParen, start));
+        ++i;
+        break;
+      case '*':
+        tokens.push_back(make(TokenType::kStar, start));
+        ++i;
+        break;
+      case '+':
+        tokens.push_back(make(TokenType::kPlus, start));
+        ++i;
+        break;
+      case '-':
+        tokens.push_back(make(TokenType::kMinus, start));
+        ++i;
+        break;
+      case '/':
+        tokens.push_back(make(TokenType::kSlash, start));
+        ++i;
+        break;
+      case '%':
+        tokens.push_back(make(TokenType::kPercent, start));
+        ++i;
+        break;
+      case '=':
+        tokens.push_back(make(TokenType::kEq, start));
+        i += two('=') ? 2 : 1;
+        break;
+      case '!':
+        if (two('=')) {
+          tokens.push_back(make(TokenType::kNotEq, start));
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          tokens.push_back(make(TokenType::kLtEq, start));
+          i += 2;
+        } else if (two('>')) {
+          tokens.push_back(make(TokenType::kNotEq, start));
+          i += 2;
+        } else {
+          tokens.push_back(make(TokenType::kLt, start));
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          tokens.push_back(make(TokenType::kGtEq, start));
+          i += 2;
+        } else {
+          tokens.push_back(make(TokenType::kGt, start));
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  tokens.push_back(make(TokenType::kEnd, n));
+  return tokens;
+}
+
+}  // namespace galaxy::sql

@@ -1,0 +1,23 @@
+#ifndef GALAXY_SQL_LEXER_H_
+#define GALAXY_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace galaxy::sql {
+
+/// Tokenizes a SQL string. Keywords are case-insensitive; identifiers keep
+/// their original casing (matched case-insensitively later). Supports
+/// `--` line comments. Returns a ParseError on unknown characters or
+/// unterminated strings. The final token is always kEnd.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+/// True if `word` (upper-cased) is one of the recognized SQL keywords.
+bool IsKeyword(const std::string& upper_word);
+
+}  // namespace galaxy::sql
+
+#endif  // GALAXY_SQL_LEXER_H_

@@ -1,0 +1,196 @@
+#include "sql/optimizer.h"
+
+#include <utility>
+
+#include "sql/value_ops.h"
+
+namespace galaxy::sql {
+
+namespace {
+
+bool IsLiteral(const Expr* e) {
+  return e != nullptr && e->kind == ExprKind::kLiteral;
+}
+
+// Literal truthiness, or no value for NULL / non-literals / strings.
+enum class LiteralTruth { kTrue, kFalse, kNull, kUnknown };
+
+LiteralTruth TruthOf(const Expr* e) {
+  if (!IsLiteral(e)) return LiteralTruth::kUnknown;
+  if (e->literal.is_null()) return LiteralTruth::kNull;
+  auto truth = ValueIsTrue(e->literal);
+  if (!truth.ok()) return LiteralTruth::kUnknown;  // string literal
+  return *truth ? LiteralTruth::kTrue : LiteralTruth::kFalse;
+}
+
+// Folds one node (children already folded); returns the replacement or
+// null when unchanged.
+ExprPtr FoldNode(ExprPtr& e) {
+  switch (e->kind) {
+    case ExprKind::kUnary: {
+      if (!IsLiteral(e->left.get())) return nullptr;
+      auto folded = EvalUnary(e->unary_op, e->left->literal);
+      if (!folded.ok()) return nullptr;  // preserve runtime error semantics
+      return MakeLiteral(std::move(folded).value());
+    }
+    case ExprKind::kBinary: {
+      // Logic short-circuits with one literal side.
+      if (e->binary_op == BinaryOp::kAnd || e->binary_op == BinaryOp::kOr) {
+        bool is_and = e->binary_op == BinaryOp::kAnd;
+        LiteralTruth left = TruthOf(e->left.get());
+        LiteralTruth right = TruthOf(e->right.get());
+        if (is_and) {
+          if (left == LiteralTruth::kFalse || right == LiteralTruth::kFalse) {
+            return MakeLiteral(Value(int64_t{0}));
+          }
+          if (left == LiteralTruth::kTrue) return std::move(e->right);
+          if (right == LiteralTruth::kTrue) return std::move(e->left);
+        } else {
+          if (left == LiteralTruth::kTrue || right == LiteralTruth::kTrue) {
+            return MakeLiteral(Value(int64_t{1}));
+          }
+          if (left == LiteralTruth::kFalse) return std::move(e->right);
+          if (right == LiteralTruth::kFalse) return std::move(e->left);
+        }
+        // NULL op NULL and similar all-literal cases fold below.
+      }
+      if (!IsLiteral(e->left.get()) || !IsLiteral(e->right.get())) {
+        return nullptr;
+      }
+      auto folded =
+          EvalBinary(e->binary_op, e->left->literal, e->right->literal);
+      if (!folded.ok()) return nullptr;
+      return MakeLiteral(std::move(folded).value());
+    }
+    case ExprKind::kIsNull: {
+      if (!IsLiteral(e->left.get())) return nullptr;
+      bool is_null = e->left->literal.is_null();
+      bool value = e->negated ? !is_null : is_null;
+      return MakeLiteral(Value(value ? int64_t{1} : int64_t{0}));
+    }
+    case ExprKind::kCase: {
+      if (e->case_base != nullptr) return nullptr;  // simple CASE: leave
+      // Drop literal-FALSE arms; a literal-TRUE arm ends the CASE.
+      std::vector<ExprPtr> when;
+      std::vector<ExprPtr> then;
+      bool changed = false;
+      for (size_t i = 0; i < e->case_when.size(); ++i) {
+        LiteralTruth truth = TruthOf(e->case_when[i].get());
+        if (truth == LiteralTruth::kFalse || truth == LiteralTruth::kNull) {
+          changed = true;  // arm can never fire
+          continue;
+        }
+        if (truth == LiteralTruth::kTrue && when.empty()) {
+          // First live arm always fires.
+          return std::move(e->case_then[i]);
+        }
+        when.push_back(std::move(e->case_when[i]));
+        then.push_back(std::move(e->case_then[i]));
+      }
+      if (changed && when.empty()) {
+        if (e->case_else != nullptr) return std::move(e->case_else);
+        return MakeLiteral(Value::Null());
+      }
+      // Reinstall the (possibly pruned) arms; the caller detects in-place
+      // pruning by comparing arm counts.
+      e->case_when = std::move(when);
+      e->case_then = std::move(then);
+      return nullptr;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+size_t FoldRecursive(ExprPtr& e) {
+  if (e == nullptr) return 0;
+  size_t count = 0;
+  switch (e->kind) {
+    case ExprKind::kUnary:
+      count += FoldRecursive(e->left);
+      break;
+    case ExprKind::kBinary:
+      count += FoldRecursive(e->left);
+      count += FoldRecursive(e->right);
+      break;
+    case ExprKind::kFunctionCall:
+      for (ExprPtr& a : e->args) count += FoldRecursive(a);
+      break;
+    case ExprKind::kInSubquery:
+    case ExprKind::kIsNull:
+      count += FoldRecursive(e->left);
+      break;
+    case ExprKind::kLike:
+      count += FoldRecursive(e->left);
+      count += FoldRecursive(e->right);
+      break;
+    case ExprKind::kInList:
+      count += FoldRecursive(e->left);
+      for (ExprPtr& v : e->in_list) count += FoldRecursive(v);
+      break;
+    case ExprKind::kCase:
+      count += FoldRecursive(e->case_base);
+      for (ExprPtr& w : e->case_when) count += FoldRecursive(w);
+      for (ExprPtr& t : e->case_then) count += FoldRecursive(t);
+      count += FoldRecursive(e->case_else);
+      break;
+    default:
+      break;
+  }
+  size_t arms_before =
+      e->kind == ExprKind::kCase ? e->case_when.size() : 0;
+  ExprPtr replacement = FoldNode(e);
+  if (replacement != nullptr) {
+    e = std::move(replacement);
+    ++count;
+  } else if (e->kind == ExprKind::kCase &&
+             e->case_when.size() != arms_before) {
+    ++count;  // in-place CASE arm pruning
+  }
+  return count;
+}
+
+}  // namespace
+
+size_t FoldConstants(ExprPtr& expr) { return FoldRecursive(expr); }
+
+size_t FoldStatement(SelectStmt& stmt) {
+  size_t count = 0;
+  for (SelectItem& item : stmt.items) {
+    if (!item.star) count += FoldConstants(item.expr);
+  }
+  count += FoldConstants(stmt.where);
+  for (ExprPtr& g : stmt.group_by) count += FoldConstants(g);
+  count += FoldConstants(stmt.having);
+  for (SkylineItem& item : stmt.skyline) count += FoldConstants(item.expr);
+  for (OrderItem& item : stmt.order_by) count += FoldConstants(item.expr);
+  if (stmt.union_next != nullptr) count += FoldStatement(*stmt.union_next);
+  return count;
+}
+
+std::vector<ExprPtr> SplitConjuncts(ExprPtr where) {
+  std::vector<ExprPtr> out;
+  if (where == nullptr) return out;
+  if (where->kind == ExprKind::kBinary &&
+      where->binary_op == BinaryOp::kAnd) {
+    std::vector<ExprPtr> left = SplitConjuncts(std::move(where->left));
+    std::vector<ExprPtr> right = SplitConjuncts(std::move(where->right));
+    for (ExprPtr& e : left) out.push_back(std::move(e));
+    for (ExprPtr& e : right) out.push_back(std::move(e));
+    return out;
+  }
+  out.push_back(std::move(where));
+  return out;
+}
+
+ExprPtr ConjoinAll(std::vector<ExprPtr> conjuncts) {
+  ExprPtr result;
+  for (ExprPtr& e : conjuncts) {
+    result = result == nullptr
+                 ? std::move(e)
+                 : MakeBinary(BinaryOp::kAnd, std::move(result), std::move(e));
+  }
+  return result;
+}
+
+}  // namespace galaxy::sql

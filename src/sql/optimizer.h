@@ -1,0 +1,38 @@
+#ifndef GALAXY_SQL_OPTIMIZER_H_
+#define GALAXY_SQL_OPTIMIZER_H_
+
+#include "sql/ast.h"
+
+namespace galaxy::sql {
+
+/// Rule-based expression rewrites applied before binding/execution:
+///
+///  * constant folding: literal-only arithmetic, comparisons and logic
+///    collapse to literals ("1.0 * 30 / 32" -> 0.9375); folding never
+///    converts a would-be runtime error (division by zero) into a plan
+///    error — such nodes are left untouched;
+///  * logic simplification with SQL three-valued semantics:
+///    TRUE AND x -> x, FALSE AND x -> FALSE, TRUE OR x -> TRUE,
+///    FALSE OR x -> x, NOT <literal> -> literal;
+///  * CASE pruning: searched CASE arms with literal FALSE conditions are
+///    dropped; a leading literal TRUE arm replaces the whole CASE.
+///
+/// Returns the number of rewrites performed (0 = tree unchanged).
+size_t FoldConstants(ExprPtr& expr);
+
+/// Applies FoldConstants to every expression of a statement (select list,
+/// WHERE, GROUP BY, HAVING, skyline items, ORDER BY, and union members).
+/// Returns the total rewrite count.
+size_t FoldStatement(SelectStmt& stmt);
+
+/// Splits a WHERE tree into its top-level AND conjuncts (in evaluation
+/// order). The tree is consumed; ownership of the conjuncts moves to the
+/// output vector. Reassemble with ConjoinAll.
+std::vector<ExprPtr> SplitConjuncts(ExprPtr where);
+
+/// ANDs the expressions back together (returns null for an empty list).
+ExprPtr ConjoinAll(std::vector<ExprPtr> conjuncts);
+
+}  // namespace galaxy::sql
+
+#endif  // GALAXY_SQL_OPTIMIZER_H_

@@ -1,0 +1,533 @@
+#include "sql/parser.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace galaxy::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Expression precedence
+/// (low to high): OR, AND, NOT, comparison / IN / IS NULL, additive,
+/// multiplicative, unary minus, primary.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStmt>> ParseStatement() {
+    GALAXY_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt,
+                            ParseSelectChain());
+    if (Check(TokenType::kSemicolon)) Advance();
+    if (!Check(TokenType::kEnd)) {
+      return Unexpected("end of statement");
+    }
+    return stmt;
+  }
+
+  /// Parses a SELECT optionally followed by UNION [ALL] members (the form
+  /// allowed at statement level and inside subquery parentheses).
+  Result<std::unique_ptr<SelectStmt>> ParseSelectChain() {
+    GALAXY_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelect());
+    SelectStmt* tail = stmt.get();
+    while (MatchKeyword("UNION")) {
+      bool all = MatchKeyword("ALL");
+      GALAXY_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> next, ParseSelect());
+      tail->union_all = all;
+      tail->union_next = std::move(next);
+      tail = tail->union_next.get();
+    }
+    if (stmt->union_next != nullptr) {
+      // ORDER BY / LIMIT on union members is not supported.
+      for (SelectStmt* member = stmt.get(); member != nullptr;
+           member = member->union_next.get()) {
+        if (!member->order_by.empty() || member->limit.has_value()) {
+          return Status::Unimplemented(
+              "ORDER BY / LIMIT are not supported with UNION");
+        }
+      }
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Previous() const { return tokens_[pos_ - 1]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool CheckKeyword(const char* kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool Match(TokenType type) {
+    if (Check(type)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (CheckKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (Match(type)) return Status::OK();
+    return Status::ParseError(std::string("expected ") + what + " but found '" +
+                              Peek().ToString() + "' at offset " +
+                              std::to_string(Peek().position));
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Status::ParseError(std::string("expected ") + kw + " but found '" +
+                              Peek().ToString() + "' at offset " +
+                              std::to_string(Peek().position));
+  }
+  Status Unexpected(const char* what) {
+    return Status::ParseError(std::string("expected ") + what +
+                              " but found '" + Peek().ToString() +
+                              "' at offset " + std::to_string(Peek().position));
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    GALAXY_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    // ON predicates accumulate per SELECT level; save the enclosing
+    // statement's pending ones across a nested (subquery) parse.
+    std::vector<ExprPtr> saved_filters = std::move(join_filters_);
+    join_filters_.clear();
+    auto stmt = std::make_unique<SelectStmt>();
+    stmt->distinct = MatchKeyword("DISTINCT");
+    if (MatchKeyword("ALL")) stmt->distinct = false;
+
+    // Select list.
+    do {
+      SelectItem item;
+      if (Match(TokenType::kStar)) {
+        item.star = true;
+      } else {
+        GALAXY_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("AS")) {
+          if (!Check(TokenType::kIdentifier)) return Unexpected("alias");
+          item.alias = Peek().text;
+          Advance();
+        } else if (Check(TokenType::kIdentifier)) {
+          item.alias = Peek().text;
+          Advance();
+        }
+      }
+      stmt->items.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+
+    GALAXY_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    // Comma joins and explicit CROSS/INNER JOIN ... ON are normalized to a
+    // cross product with the ON predicates folded into WHERE.
+    while (true) {
+      TableRef ref;
+      if (!Check(TokenType::kIdentifier)) return Unexpected("table name");
+      ref.table_name = Peek().text;
+      Advance();
+      if (MatchKeyword("AS")) {
+        if (!Check(TokenType::kIdentifier)) return Unexpected("alias");
+        ref.alias = Peek().text;
+        Advance();
+      } else if (Check(TokenType::kIdentifier)) {
+        ref.alias = Peek().text;
+        Advance();
+      }
+      stmt->from.push_back(std::move(ref));
+      if (MatchKeyword("ON")) {
+        GALAXY_ASSIGN_OR_RETURN(ExprPtr on, ParseExpr());
+        join_filters_.push_back(std::move(on));
+      }
+      if (Match(TokenType::kComma)) continue;
+      if (MatchKeyword("CROSS") || MatchKeyword("INNER")) {
+        GALAXY_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        continue;
+      }
+      if (MatchKeyword("JOIN")) continue;
+      break;
+    }
+
+    if (MatchKeyword("WHERE")) {
+      GALAXY_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    // Fold ON predicates into WHERE.
+    for (ExprPtr& on : join_filters_) {
+      stmt->where = stmt->where
+                        ? MakeBinary(BinaryOp::kAnd, std::move(stmt->where),
+                                     std::move(on))
+                        : std::move(on);
+    }
+    join_filters_.clear();
+
+    if (MatchKeyword("GROUP")) {
+      GALAXY_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        GALAXY_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+      } while (Match(TokenType::kComma));
+    }
+    if (MatchKeyword("HAVING")) {
+      GALAXY_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    if (MatchKeyword("SKYLINE")) {
+      GALAXY_RETURN_IF_ERROR(ExpectKeyword("OF"));
+      do {
+        SkylineItem item;
+        GALAXY_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("MAX")) {
+          item.maximize = true;
+        } else if (MatchKeyword("MIN")) {
+          item.maximize = false;
+        } else {
+          return Unexpected("MAX or MIN after skyline attribute");
+        }
+        stmt->skyline.push_back(std::move(item));
+      } while (Match(TokenType::kComma));
+      if (MatchKeyword("GAMMA")) {
+        if (Check(TokenType::kFloat)) {
+          stmt->skyline_gamma = Peek().float_value;
+          Advance();
+        } else if (Check(TokenType::kInteger)) {
+          stmt->skyline_gamma = static_cast<double>(Peek().int_value);
+          Advance();
+        } else if (Check(TokenType::kIdentifier) &&
+                   EqualsIgnoreCase(Peek().text, "RANK")) {
+          stmt->skyline_rank = true;
+          Advance();
+        } else {
+          return Unexpected("numeric GAMMA value or RANK");
+        }
+      }
+    }
+    if (MatchKeyword("ORDER")) {
+      GALAXY_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        GALAXY_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          MatchKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (Match(TokenType::kComma));
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (!Check(TokenType::kInteger)) return Unexpected("LIMIT count");
+      stmt->limit = Peek().int_value;
+      Advance();
+    }
+    join_filters_ = std::move(saved_filters);
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    GALAXY_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (MatchKeyword("OR")) {
+      GALAXY_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    GALAXY_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (MatchKeyword("AND")) {
+      GALAXY_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      GALAXY_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return MakeUnary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    GALAXY_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    // IS [NOT] NULL
+    if (MatchKeyword("IS")) {
+      bool negated = MatchKeyword("NOT");
+      GALAXY_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIsNull;
+      e->left = std::move(left);
+      e->negated = negated;
+      return ExprPtr(std::move(e));
+    }
+    // [NOT] LIKE / [NOT] IN (...)
+    bool negated_in = false;
+    bool negated_like = false;
+    if (CheckKeyword("NOT")) {
+      // Look ahead: NOT IN / NOT LIKE.
+      size_t save = pos_;
+      Advance();
+      if (MatchKeyword("IN")) {
+        negated_in = true;
+      } else if (MatchKeyword("LIKE")) {
+        negated_like = true;
+      } else {
+        pos_ = save;
+      }
+    }
+    if (negated_like || MatchKeyword("LIKE")) {
+      GALAXY_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLike;
+      e->left = std::move(left);
+      e->right = std::move(pattern);
+      e->negated = negated_like;
+      return ExprPtr(std::move(e));
+    }
+    if (negated_in || MatchKeyword("IN")) {
+      GALAXY_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+      auto e = std::make_unique<Expr>();
+      e->left = std::move(left);
+      e->negated = negated_in;
+      if (CheckKeyword("SELECT")) {
+        GALAXY_ASSIGN_OR_RETURN(e->subquery, ParseSelectChain());
+        e->kind = ExprKind::kInSubquery;
+      } else {
+        e->kind = ExprKind::kInList;
+        do {
+          GALAXY_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+          e->in_list.push_back(std::move(v));
+        } while (Match(TokenType::kComma));
+      }
+      GALAXY_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      return ExprPtr(std::move(e));
+    }
+    // BETWEEN a AND b  =>  (left >= a AND left <= b); no NOT BETWEEN.
+    if (MatchKeyword("BETWEEN")) {
+      GALAXY_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      GALAXY_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      GALAXY_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      ExprPtr left_copy = CloneColumnOrFail(left.get());
+      if (left_copy == nullptr) {
+        return Status::Unimplemented(
+            "BETWEEN is supported only on plain column references");
+      }
+      ExprPtr ge =
+          MakeBinary(BinaryOp::kGtEq, std::move(left), std::move(lo));
+      ExprPtr le =
+          MakeBinary(BinaryOp::kLtEq, std::move(left_copy), std::move(hi));
+      return MakeBinary(BinaryOp::kAnd, std::move(ge), std::move(le));
+    }
+    // Plain comparison operators.
+    BinaryOp op;
+    if (Match(TokenType::kEq)) {
+      op = BinaryOp::kEq;
+    } else if (Match(TokenType::kNotEq)) {
+      op = BinaryOp::kNotEq;
+    } else if (Match(TokenType::kLt)) {
+      op = BinaryOp::kLt;
+    } else if (Match(TokenType::kLtEq)) {
+      op = BinaryOp::kLtEq;
+    } else if (Match(TokenType::kGt)) {
+      op = BinaryOp::kGt;
+    } else if (Match(TokenType::kGtEq)) {
+      op = BinaryOp::kGtEq;
+    } else {
+      return left;
+    }
+    GALAXY_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    return MakeBinary(op, std::move(left), std::move(right));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    GALAXY_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (Match(TokenType::kPlus)) {
+        op = BinaryOp::kAdd;
+      } else if (Match(TokenType::kMinus)) {
+        op = BinaryOp::kSub;
+      } else {
+        return left;
+      }
+      GALAXY_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    GALAXY_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (Match(TokenType::kStar)) {
+        op = BinaryOp::kMul;
+      } else if (Match(TokenType::kSlash)) {
+        op = BinaryOp::kDiv;
+      } else if (Match(TokenType::kPercent)) {
+        op = BinaryOp::kMod;
+      } else {
+        return left;
+      }
+      GALAXY_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Match(TokenType::kMinus)) {
+      GALAXY_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return MakeUnary(UnaryOp::kNegate, std::move(operand));
+    }
+    if (Match(TokenType::kPlus)) {
+      return ParseUnary();
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger: {
+        Advance();
+        return MakeLiteral(Value(Previous().int_value));
+      }
+      case TokenType::kFloat: {
+        Advance();
+        return MakeLiteral(Value(Previous().float_value));
+      }
+      case TokenType::kString: {
+        Advance();
+        return MakeLiteral(Value(Previous().text));
+      }
+      case TokenType::kLParen: {
+        Advance();
+        GALAXY_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        GALAXY_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        return inner;
+      }
+      case TokenType::kKeyword:
+        if (t.text == "NULL") {
+          Advance();
+          return MakeLiteral(Value::Null());
+        }
+        // MIN/MAX double as aggregate function names.
+        if (t.text == "MIN" || t.text == "MAX") {
+          Advance();
+          return ParseFunctionCall(Previous().text);
+        }
+        if (t.text == "CASE") {
+          Advance();
+          return ParseCase();
+        }
+        if (t.text == "EXISTS") {
+          Advance();
+          GALAXY_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kExists;
+          GALAXY_ASSIGN_OR_RETURN(e->subquery, ParseSelectChain());
+          GALAXY_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+          return ExprPtr(std::move(e));
+        }
+        return Unexpected("expression");
+      case TokenType::kIdentifier: {
+        Advance();
+        std::string first = Previous().text;
+        if (Check(TokenType::kLParen)) {
+          return ParseFunctionCall(first);
+        }
+        if (Match(TokenType::kDot)) {
+          if (Check(TokenType::kIdentifier)) {
+            std::string column = Peek().text;
+            Advance();
+            return MakeColumnRef(first, column);
+          }
+          // Allow keywords as column names after a qualifier (e.g. X.MIN).
+          if (Check(TokenType::kKeyword)) {
+            std::string column = Peek().text;
+            Advance();
+            return MakeColumnRef(first, column);
+          }
+          return Unexpected("column name after '.'");
+        }
+        return MakeColumnRef("", first);
+      }
+      default:
+        return Unexpected("expression");
+    }
+  }
+
+  // CASE [base] WHEN c THEN v [WHEN c THEN v]... [ELSE v] END
+  // (the CASE keyword has already been consumed).
+  Result<ExprPtr> ParseCase() {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kCase;
+    if (!CheckKeyword("WHEN")) {
+      GALAXY_ASSIGN_OR_RETURN(e->case_base, ParseExpr());
+    }
+    if (!CheckKeyword("WHEN")) {
+      return Unexpected("WHEN in CASE expression");
+    }
+    while (MatchKeyword("WHEN")) {
+      GALAXY_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+      GALAXY_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+      GALAXY_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+      e->case_when.push_back(std::move(when));
+      e->case_then.push_back(std::move(then));
+    }
+    if (MatchKeyword("ELSE")) {
+      GALAXY_ASSIGN_OR_RETURN(e->case_else, ParseExpr());
+    }
+    GALAXY_RETURN_IF_ERROR(ExpectKeyword("END"));
+    return ExprPtr(std::move(e));
+  }
+
+  Result<ExprPtr> ParseFunctionCall(std::string name) {
+    GALAXY_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kFunctionCall;
+    for (char& c : name) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    e->function = std::move(name);
+    if (Match(TokenType::kStar)) {
+      e->star_arg = true;
+    } else if (!Check(TokenType::kRParen)) {
+      do {
+        GALAXY_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        e->args.push_back(std::move(arg));
+      } while (Match(TokenType::kComma));
+    }
+    GALAXY_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    return ExprPtr(std::move(e));
+  }
+
+  // Clones a plain column reference (used to expand BETWEEN); returns null
+  // for anything more complex.
+  static ExprPtr CloneColumnOrFail(const Expr* e) {
+    if (e == nullptr || e->kind != ExprKind::kColumnRef) return nullptr;
+    return MakeColumnRef(e->table, e->column);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::vector<ExprPtr> join_filters_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStmt>> Parse(const std::string& sql) {
+  GALAXY_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace galaxy::sql

@@ -1,0 +1,19 @@
+#ifndef GALAXY_SQL_PARSER_H_
+#define GALAXY_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace galaxy::sql {
+
+/// Parses one SELECT statement (optionally ';'-terminated) of the supported
+/// SQL subset into an AST. Returns a ParseError with the offending token
+/// position on malformed input.
+Result<std::unique_ptr<SelectStmt>> Parse(const std::string& sql);
+
+}  // namespace galaxy::sql
+
+#endif  // GALAXY_SQL_PARSER_H_

@@ -1,0 +1,43 @@
+#include "sql/skyline_query.h"
+
+#include "common/str_util.h"
+
+namespace galaxy::sql {
+
+std::string BuildDominancePredicate(const std::vector<std::string>& attributes,
+                                    const std::string& y,
+                                    const std::string& x) {
+  // (AND_i y.a_i >= x.a_i) AND (OR_i y.a_i > x.a_i)
+  std::string all_geq;
+  std::string any_gt;
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (i > 0) {
+      all_geq += " AND ";
+      any_gt += " OR ";
+    }
+    all_geq += y + "." + attributes[i] + " >= " + x + "." + attributes[i];
+    any_gt += y + "." + attributes[i] + " > " + x + "." + attributes[i];
+  }
+  return "(" + all_geq + ") AND (" + any_gt + ")";
+}
+
+std::string BuildAggregateSkylineSql(const std::string& table_name,
+                                     const std::string& class_column,
+                                     const std::string& num_column,
+                                     const std::vector<std::string>& attributes,
+                                     double gamma) {
+  std::string dominance = BuildDominancePredicate(attributes, "Y", "X");
+  std::string sql = "SELECT DISTINCT " + class_column + " FROM " + table_name;
+  sql += " WHERE " + class_column + " NOT IN (";
+  sql += "SELECT X." + class_column;
+  sql += " FROM " + table_name + " X, " + table_name + " Y";
+  sql += " WHERE X." + class_column + " != Y." + class_column;
+  sql += " AND (" + dominance + ")";
+  sql += " GROUP BY X." + class_column + ", Y." + class_column;
+  sql += " HAVING 1.0 * COUNT(*) / (X." + num_column + " * Y." + num_column +
+         ") > " + FormatDouble(gamma, 12);
+  sql += ")";
+  return sql;
+}
+
+}  // namespace galaxy::sql

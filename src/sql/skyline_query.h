@@ -1,0 +1,34 @@
+#ifndef GALAXY_SQL_SKYLINE_QUERY_H_
+#define GALAXY_SQL_SKYLINE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+namespace galaxy::sql {
+
+/// Generates the paper's direct-SQL aggregate skyline (Algorithm 1),
+/// generalized to d MAX attributes: selects the distinct `class_column`
+/// values NOT appearing as the dominated side (X) of any group pair whose
+/// record-domination ratio exceeds `gamma`. The table must carry a
+/// `num_column` holding each record's group cardinality (as Algorithm 1
+/// requires).
+///
+/// Note: the query implements "p > γ" only; Definition 3's special case
+/// "p = 1" coincides with it for every γ in [0.5, 1), so the SQL result
+/// matches the native operator except at γ = 1.
+std::string BuildAggregateSkylineSql(const std::string& table_name,
+                                     const std::string& class_column,
+                                     const std::string& num_column,
+                                     const std::vector<std::string>& attributes,
+                                     double gamma);
+
+/// Generates the record-dominance predicate "Y dominates X" over the given
+/// attributes (all MAX): AND of Y.a >= X.a plus OR of Y.a > X.a, expanded
+/// to the 2-attribute disjunctive form of Algorithm 1 when d == 2.
+std::string BuildDominancePredicate(const std::vector<std::string>& attributes,
+                                    const std::string& left_alias,
+                                    const std::string& right_alias);
+
+}  // namespace galaxy::sql
+
+#endif  // GALAXY_SQL_SKYLINE_QUERY_H_

@@ -1,0 +1,51 @@
+#ifndef GALAXY_SQL_TOKEN_H_
+#define GALAXY_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace galaxy::sql {
+
+/// Lexical token kinds of the SQL subset. Keywords are folded into
+/// kKeyword with the upper-cased text as the token's `text`.
+enum class TokenType {
+  kEnd,
+  kKeyword,     ///< SELECT, FROM, WHERE, ... (text upper-cased)
+  kIdentifier,  ///< table / column / alias names (original casing)
+  kInteger,     ///< integer literal
+  kFloat,       ///< floating-point literal
+  kString,      ///< 'single-quoted' string literal (unescaped)
+  kComma,
+  kDot,
+  kSemicolon,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,        ///< = or ==
+  kNotEq,     ///< != or <>
+  kLt,
+  kLtEq,
+  kGt,
+  kGtEq,
+};
+
+const char* TokenTypeToString(TokenType type);
+
+/// One lexical token with its source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      ///< identifier/keyword/string payload
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;  ///< byte offset in the query string
+
+  std::string ToString() const;
+};
+
+}  // namespace galaxy::sql
+
+#endif  // GALAXY_SQL_TOKEN_H_

@@ -1,0 +1,176 @@
+#include "sql/value_ops.h"
+
+#include <cmath>
+
+namespace galaxy::sql {
+
+namespace {
+
+Result<bool> Truthy(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt64:
+      return v.AsInt64() != 0;
+    case ValueType::kDouble:
+      return v.AsDouble() != 0.0;
+    case ValueType::kString:
+      return Status::TypeError("string used in a boolean context: '" +
+                               v.AsString() + "'");
+  }
+  return false;
+}
+
+Result<Value> Arithmetic(BinaryOp op, const Value& l, const Value& r) {
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::TypeError("arithmetic requires numeric operands");
+  }
+  bool integral =
+      l.type() == ValueType::kInt64 && r.type() == ValueType::kInt64;
+  if (integral) {
+    int64_t a = l.AsInt64();
+    int64_t b = r.AsInt64();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value(a + b);
+      case BinaryOp::kSub:
+        return Value(a - b);
+      case BinaryOp::kMul:
+        return Value(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        return Value(a / b);  // integer division, sqlite-style
+      case BinaryOp::kMod:
+        if (b == 0) return Status::InvalidArgument("modulo by zero");
+        return Value(a % b);
+      default:
+        break;
+    }
+  } else {
+    double a = l.ToDouble().value();
+    double b = r.ToDouble().value();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value(a + b);
+      case BinaryOp::kSub:
+        return Value(a - b);
+      case BinaryOp::kMul:
+        return Value(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0.0) return Status::InvalidArgument("division by zero");
+        return Value(a / b);
+      case BinaryOp::kMod:
+        if (b == 0.0) return Status::InvalidArgument("modulo by zero");
+        return Value(std::fmod(a, b));
+      default:
+        break;
+    }
+  }
+  return Status::Internal("non-arithmetic op in Arithmetic");
+}
+
+Result<Value> Comparison(BinaryOp op, const Value& l, const Value& r) {
+  bool comparable = (l.is_numeric() && r.is_numeric()) ||
+                    (l.type() == ValueType::kString &&
+                     r.type() == ValueType::kString);
+  if (!comparable) {
+    return Status::TypeError("cannot compare " +
+                             std::string(ValueTypeToString(l.type())) +
+                             " with " + ValueTypeToString(r.type()));
+  }
+  bool lt = l < r;
+  bool gt = r < l;
+  bool eq = !lt && !gt;
+  bool result = false;
+  switch (op) {
+    case BinaryOp::kEq:
+      result = eq;
+      break;
+    case BinaryOp::kNotEq:
+      result = !eq;
+      break;
+    case BinaryOp::kLt:
+      result = lt;
+      break;
+    case BinaryOp::kLtEq:
+      result = lt || eq;
+      break;
+    case BinaryOp::kGt:
+      result = gt;
+      break;
+    case BinaryOp::kGtEq:
+      result = gt || eq;
+      break;
+    default:
+      return Status::Internal("non-comparison op in Comparison");
+  }
+  return Value(result ? int64_t{1} : int64_t{0});
+}
+
+}  // namespace
+
+Result<bool> ValueIsTrue(const Value& v) { return Truthy(v); }
+
+Result<Value> EvalBinary(BinaryOp op, const Value& left, const Value& right) {
+  switch (op) {
+    case BinaryOp::kAnd: {
+      // SQL three-valued logic: FALSE AND NULL = FALSE, NULL AND TRUE = NULL.
+      if (!left.is_null()) {
+        GALAXY_ASSIGN_OR_RETURN(bool l, Truthy(left));
+        if (!l) return Value(int64_t{0});
+      }
+      if (!right.is_null()) {
+        GALAXY_ASSIGN_OR_RETURN(bool r, Truthy(right));
+        if (!r) return Value(int64_t{0});
+      }
+      if (left.is_null() || right.is_null()) return Value::Null();
+      return Value(int64_t{1});
+    }
+    case BinaryOp::kOr: {
+      if (!left.is_null()) {
+        GALAXY_ASSIGN_OR_RETURN(bool l, Truthy(left));
+        if (l) return Value(int64_t{1});
+      }
+      if (!right.is_null()) {
+        GALAXY_ASSIGN_OR_RETURN(bool r, Truthy(right));
+        if (r) return Value(int64_t{1});
+      }
+      if (left.is_null() || right.is_null()) return Value::Null();
+      return Value(int64_t{0});
+    }
+    default:
+      break;
+  }
+  if (left.is_null() || right.is_null()) return Value::Null();
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      return Arithmetic(op, left, right);
+    default:
+      return Comparison(op, left, right);
+  }
+}
+
+Result<Value> EvalUnary(UnaryOp op, const Value& operand) {
+  if (operand.is_null()) return Value::Null();
+  switch (op) {
+    case UnaryOp::kNot: {
+      GALAXY_ASSIGN_OR_RETURN(bool v, Truthy(operand));
+      return Value(v ? int64_t{0} : int64_t{1});
+    }
+    case UnaryOp::kNegate:
+      if (operand.type() == ValueType::kInt64) {
+        return Value(-operand.AsInt64());
+      }
+      if (operand.type() == ValueType::kDouble) {
+        return Value(-operand.AsDouble());
+      }
+      return Status::TypeError("cannot negate a string");
+  }
+  return Status::Internal("unknown unary op");
+}
+
+}  // namespace galaxy::sql

@@ -1,0 +1,30 @@
+#ifndef GALAXY_SQL_VALUE_OPS_H_
+#define GALAXY_SQL_VALUE_OPS_H_
+
+#include "common/status.h"
+#include "relation/value.h"
+#include "sql/ast.h"
+
+namespace galaxy::sql {
+
+/// Applies a binary SQL operator to two runtime values. Semantics:
+///  * Any NULL operand yields NULL (for logic ops, SQL-style: NULL AND
+///    FALSE = FALSE, NULL OR TRUE = TRUE).
+///  * Arithmetic requires numeric operands; two integers stay integral
+///    (integer division, like sqlite), otherwise the result is a double.
+///  * Division / modulo by zero is an error.
+///  * Comparisons promote int vs double; comparing a number with a string
+///    is a type error.
+///  * Logic treats 0 / 0.0 as false and any other numeric as true.
+Result<Value> EvalBinary(BinaryOp op, const Value& left, const Value& right);
+
+/// Applies NOT or unary minus.
+Result<Value> EvalUnary(UnaryOp op, const Value& operand);
+
+/// SQL truthiness: NULL and zero are false, other numerics true; strings
+/// are a type error.
+Result<bool> ValueIsTrue(const Value& v);
+
+}  // namespace galaxy::sql
+
+#endif  // GALAXY_SQL_VALUE_OPS_H_

@@ -1,0 +1,88 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace galaxy {
+namespace {
+
+TEST(BoxTest, EmptyBoxIsEmpty) {
+  Box b = Box::Empty(3);
+  EXPECT_TRUE(b.IsEmpty());
+  EXPECT_EQ(b.dims(), 3u);
+}
+
+TEST(BoxTest, ExpandWithPointSnapsCorners) {
+  Box b = Box::Empty(2);
+  b.Expand(Point{1.0, 2.0});
+  EXPECT_FALSE(b.IsEmpty());
+  EXPECT_EQ(b.min, (Point{1.0, 2.0}));
+  EXPECT_EQ(b.max, (Point{1.0, 2.0}));
+  b.Expand(Point{0.0, 5.0});
+  EXPECT_EQ(b.min, (Point{0.0, 2.0}));
+  EXPECT_EQ(b.max, (Point{1.0, 5.0}));
+}
+
+TEST(BoxTest, ExpandWithBox) {
+  Box a({0, 0}, {1, 1});
+  Box b({2, -1}, {3, 0.5});
+  a.Expand(b);
+  EXPECT_EQ(a.min, (Point{0.0, -1.0}));
+  EXPECT_EQ(a.max, (Point{3.0, 1.0}));
+}
+
+TEST(BoxTest, ContainsIsInclusive) {
+  Box b({0, 0}, {1, 1});
+  EXPECT_TRUE(b.Contains(Point{0.0, 0.0}));
+  EXPECT_TRUE(b.Contains(Point{1.0, 1.0}));
+  EXPECT_TRUE(b.Contains(Point{0.5, 0.5}));
+  EXPECT_FALSE(b.Contains(Point{1.0001, 0.5}));
+  EXPECT_FALSE(b.Contains(Point{-0.0001, 0.5}));
+}
+
+TEST(BoxTest, IntersectsInclusiveBoundary) {
+  Box a({0, 0}, {1, 1});
+  EXPECT_TRUE(a.Intersects(Box({1, 1}, {2, 2})));    // corner touch
+  EXPECT_TRUE(a.Intersects(Box({0.5, 0.5}, {2, 2})));
+  EXPECT_FALSE(a.Intersects(Box({1.1, 0}, {2, 1})));
+  EXPECT_TRUE(a.Intersects(a));
+}
+
+TEST(BoxTest, VolumeAndMargin) {
+  Box b({0, 0, 0}, {2, 3, 4});
+  EXPECT_DOUBLE_EQ(b.Volume(), 24.0);
+  EXPECT_DOUBLE_EQ(b.Margin(), 9.0);
+  Box degenerate({0, 0, 0}, {2, 0, 4});
+  EXPECT_DOUBLE_EQ(degenerate.Volume(), 0.0);
+}
+
+TEST(BoxTest, EnlargedVolume) {
+  Box a({0, 0}, {1, 1});
+  Box b({2, 2}, {3, 3});
+  EXPECT_DOUBLE_EQ(a.EnlargedVolume(b), 9.0);
+  EXPECT_DOUBLE_EQ(a.EnlargedVolume(a), 1.0);
+}
+
+TEST(BoxTest, CornerDistanceSum) {
+  Box b({1, 2}, {3, 4});
+  // |1| + |2| + |3| + |4| = 10.
+  EXPECT_DOUBLE_EQ(b.CornerDistanceSum(), 10.0);
+}
+
+TEST(BoxTest, IntersectionVolume) {
+  Box a({0, 0}, {2, 2});
+  Box b({1, 1}, {3, 3});
+  EXPECT_DOUBLE_EQ(IntersectionVolume(a, b), 1.0);
+  Box c({5, 5}, {6, 6});
+  EXPECT_DOUBLE_EQ(IntersectionVolume(a, c), 0.0);
+  // Touching boundary has zero volume.
+  Box d({2, 0}, {3, 2});
+  EXPECT_DOUBLE_EQ(IntersectionVolume(a, d), 0.0);
+}
+
+TEST(BoxTest, ToStringRendersCorners) {
+  Box b({0, 1.5}, {2, 3});
+  EXPECT_EQ(b.ToString(), "[(0, 1.5), (2, 3)]");
+}
+
+}  // namespace
+}  // namespace galaxy

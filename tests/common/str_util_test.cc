@@ -1,0 +1,66 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace galaxy {
+namespace {
+
+TEST(StrSplitTest, BasicSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StrSplitTest, AdjacentDelimitersYieldEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StrSplitTest, EmptyInput) {
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrSplitTest, TrailingDelimiter) {
+  EXPECT_EQ(StrSplit("a,", ','), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StrTrimTest, TrimsBothEnds) {
+  EXPECT_EQ(StrTrim("  hi  "), "hi");
+  EXPECT_EQ(StrTrim("\t\nhi"), "hi");
+  EXPECT_EQ(StrTrim("hi"), "hi");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim(""), "");
+}
+
+TEST(CaseTest, LowerUpper) {
+  EXPECT_EQ(AsciiLower("SeLeCt"), "select");
+  EXPECT_EQ(AsciiUpper("SeLeCt"), "SELECT");
+}
+
+TEST(CaseTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Director", "DIRECTOR"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("skyline", "sky"));
+  EXPECT_FALSE(StartsWith("sky", "skyline"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(8.30), "8.3");
+  EXPECT_EQ(FormatDouble(5.0), "5");
+  EXPECT_EQ(FormatDouble(0.9375, 4), "0.9375");
+  EXPECT_EQ(FormatDouble(-1.50), "-1.5");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+}
+
+}  // namespace
+}  // namespace galaxy

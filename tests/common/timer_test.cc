@@ -1,0 +1,36 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace galaxy {
+namespace {
+
+// Burns a little CPU; the returned value depends on every iteration so the
+// loop cannot be optimized away.
+double BurnCpu(int iterations) {
+  double sink = 0;
+  for (int i = 0; i < iterations; ++i) sink += i * 0.5;
+  return sink;
+}
+
+TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotone) {
+  WallTimer timer;
+  double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GT(BurnCpu(100000), 0.0);
+  double second = timer.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  EXPECT_GE(timer.ElapsedMillis(), second * 1e3 * 0.99);
+}
+
+TEST(WallTimerTest, RestartResets) {
+  WallTimer timer;
+  EXPECT_GT(BurnCpu(1000000), 0.0);
+  double before = timer.ElapsedSeconds();
+  timer.Restart();
+  double after = timer.ElapsedSeconds();
+  EXPECT_LE(after, before + 1e-9);
+}
+
+}  // namespace
+}  // namespace galaxy

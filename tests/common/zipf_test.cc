@@ -1,0 +1,67 @@
+#include "common/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace galaxy {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double total = 0;
+  for (int64_t k = 1; k <= 100; ++k) total += zipf.Probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (int64_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(zipf.Probability(k), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, ProbabilityDecreasesWithRank) {
+  ZipfSampler zipf(50, 1.2);
+  for (int64_t k = 1; k < 50; ++k) {
+    EXPECT_GT(zipf.Probability(k), zipf.Probability(k + 1));
+  }
+}
+
+TEST(ZipfTest, RatioMatchesPowerLaw) {
+  ZipfSampler zipf(1000, 1.0);
+  // P(1) / P(2) should be 2^theta = 2.
+  EXPECT_NEAR(zipf.Probability(1) / zipf.Probability(2), 2.0, 1e-9);
+  // P(1) / P(10) should be 10.
+  EXPECT_NEAR(zipf.Probability(1) / zipf.Probability(10), 10.0, 1e-9);
+}
+
+TEST(ZipfTest, SampleRangeAndSkew) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(101, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    int64_t v = zipf.Sample(rng);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 100);
+    ++counts[static_cast<size_t>(v)];
+  }
+  // Empirical frequency of the top rank should match its probability.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, zipf.Probability(1), 0.01);
+  // Rank 1 should appear far more often than rank 100.
+  EXPECT_GT(counts[1], counts[100] * 10);
+}
+
+TEST(ZipfTest, SingleOutcome) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), 1);
+  }
+  EXPECT_NEAR(zipf.Probability(1), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace galaxy

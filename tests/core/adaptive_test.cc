@@ -1,0 +1,141 @@
+#include "core/adaptive.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregate_skyline.h"
+#include "core/gamma.h"
+#include "datagen/groups.h"
+
+namespace galaxy::core {
+namespace {
+
+datagen::GroupedWorkloadConfig BaseConfig() {
+  datagen::GroupedWorkloadConfig config;
+  config.num_records = 2000;
+  config.avg_records_per_group = 40;
+  config.dims = 4;
+  config.seed = 55;
+  return config;
+}
+
+TEST(ProfileWorkloadTest, BasicShape) {
+  GroupedDataset ds = datagen::GenerateGrouped(BaseConfig());
+  WorkloadProfile profile = ProfileWorkload(ds);
+  EXPECT_EQ(profile.num_groups, 50u);
+  EXPECT_EQ(profile.total_records, 2000u);
+  EXPECT_DOUBLE_EQ(profile.avg_group_size, 40.0);
+  EXPECT_GT(profile.max_group_share, 0.0);
+  EXPECT_GE(profile.window_selectivity, 0.0);
+  EXPECT_LE(profile.window_selectivity, 1.0);
+  EXPECT_FALSE(profile.ToString().empty());
+}
+
+TEST(ProfileWorkloadTest, SelectivityGrowsWithOverlap) {
+  datagen::GroupedWorkloadConfig narrow = BaseConfig();
+  narrow.spread = 0.05;
+  datagen::GroupedWorkloadConfig wide = BaseConfig();
+  wide.spread = 0.9;
+  double narrow_sel =
+      ProfileWorkload(datagen::GenerateGrouped(narrow)).window_selectivity;
+  double wide_sel =
+      ProfileWorkload(datagen::GenerateGrouped(wide)).window_selectivity;
+  EXPECT_GT(wide_sel, narrow_sel);
+  EXPECT_GT(wide_sel, 0.7);  // wide spread: window query prunes nothing
+}
+
+TEST(ProfileWorkloadTest, SkewShowsInMaxShare) {
+  datagen::GroupedWorkloadConfig zipf = BaseConfig();
+  zipf.size_model = datagen::GroupSizeModel::kZipf;
+  zipf.zipf_theta = 1.2;
+  WorkloadProfile uniform = ProfileWorkload(datagen::GenerateGrouped(BaseConfig()));
+  WorkloadProfile skewed = ProfileWorkload(datagen::GenerateGrouped(zipf));
+  EXPECT_GT(skewed.max_group_share, 3.0 * uniform.max_group_share);
+}
+
+TEST(ProfileWorkloadTest, SingleGroupProfile) {
+  GroupedDataset ds = GroupedDataset::FromPoints({{{1, 1}, {2, 2}}});
+  WorkloadProfile profile = ProfileWorkload(ds);
+  EXPECT_EQ(profile.num_groups, 1u);
+  EXPECT_DOUBLE_EQ(profile.max_group_share, 1.0);
+  EXPECT_DOUBLE_EQ(profile.window_selectivity, 0.0);
+}
+
+TEST(ChooseAlgorithmTest, LowOverlapPicksIndexed) {
+  WorkloadProfile profile;
+  profile.num_groups = 100;
+  profile.total_records = 10000;
+  profile.max_group_share = 0.011;
+  profile.window_selectivity = 0.2;
+  AdaptiveChoice choice = ChooseAlgorithm(profile);
+  EXPECT_EQ(choice.algorithm, Algorithm::kIndexedBbox);
+  EXPECT_EQ(choice.ordering, GroupOrdering::kCornerDistance);
+}
+
+TEST(ChooseAlgorithmTest, HighOverlapPicksSorted) {
+  WorkloadProfile profile;
+  profile.num_groups = 100;
+  profile.total_records = 10000;
+  profile.max_group_share = 0.011;
+  profile.window_selectivity = 0.95;
+  EXPECT_EQ(ChooseAlgorithm(profile).algorithm, Algorithm::kSorted);
+}
+
+TEST(ChooseAlgorithmTest, SkewPicksSmallestFirst) {
+  WorkloadProfile profile;
+  profile.num_groups = 100;
+  profile.total_records = 10000;
+  profile.max_group_share = 0.3;  // one group holds 30% of the records
+  profile.window_selectivity = 0.2;
+  EXPECT_EQ(ChooseAlgorithm(profile).ordering,
+            GroupOrdering::kSmallestFirstThenCorner);
+}
+
+TEST(AutoAlgorithmTest, ResolvesAndMatchesReferenceSuperset) {
+  for (double spread : {0.1, 0.8}) {
+    datagen::GroupedWorkloadConfig config = BaseConfig();
+    config.spread = spread;
+    GroupedDataset ds = datagen::GenerateGrouped(config);
+
+    AggregateSkylineOptions options;
+    options.algorithm = Algorithm::kAuto;
+    AggregateSkylineResult result = ComputeAggregateSkyline(ds, options);
+    EXPECT_NE(result.algorithm_used, Algorithm::kAuto);
+
+    // kAuto inherits the paper algorithms' superset-of-exact guarantee.
+    std::set<uint32_t> got(result.skyline.begin(), result.skyline.end());
+    for (uint32_t i = 0; i < ds.num_groups(); ++i) {
+      bool dominated = false;
+      for (uint32_t j = 0; j < ds.num_groups() && !dominated; ++j) {
+        if (j != i && GammaDominates(ds.group(j), ds.group(i), 0.5)) {
+          dominated = true;
+        }
+      }
+      if (!dominated) {
+        EXPECT_TRUE(got.count(i) > 0) << "spread " << spread << " group " << i;
+      }
+    }
+  }
+}
+
+TEST(AutoAlgorithmTest, PicksDifferentAlgorithmsAcrossOverlapRegimes) {
+  datagen::GroupedWorkloadConfig narrow = BaseConfig();
+  narrow.spread = 0.05;
+  datagen::GroupedWorkloadConfig wide = BaseConfig();
+  wide.spread = 0.9;
+
+  AggregateSkylineOptions options;
+  options.algorithm = Algorithm::kAuto;
+  Algorithm narrow_algo =
+      ComputeAggregateSkyline(datagen::GenerateGrouped(narrow), options)
+          .algorithm_used;
+  Algorithm wide_algo =
+      ComputeAggregateSkyline(datagen::GenerateGrouped(wide), options)
+          .algorithm_used;
+  EXPECT_EQ(narrow_algo, Algorithm::kIndexedBbox);
+  EXPECT_EQ(wide_algo, Algorithm::kSorted);
+}
+
+}  // namespace
+}  // namespace galaxy::core

@@ -1,0 +1,161 @@
+#include "core/anytime.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregate_skyline.h"
+#include "datagen/groups.h"
+#include "datagen/movies.h"
+
+namespace galaxy::core {
+namespace {
+
+std::set<uint32_t> ExactSkyline(const GroupedDataset& ds, double gamma) {
+  AggregateSkylineOptions options;
+  options.gamma = gamma;
+  options.algorithm = Algorithm::kBruteForce;
+  AggregateSkylineResult result = ComputeAggregateSkyline(ds, options);
+  return {result.skyline.begin(), result.skyline.end()};
+}
+
+std::set<uint32_t> AsSet(const std::vector<uint32_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+GroupedDataset TestWorkload(uint64_t seed, double spread = 0.3) {
+  datagen::GroupedWorkloadConfig config;
+  config.num_records = 600;
+  config.avg_records_per_group = 20;
+  config.dims = 3;
+  config.spread = spread;
+  config.seed = seed;
+  return datagen::GenerateGrouped(config);
+}
+
+TEST(AnytimeTest, UnlimitedBudgetMatchesExact) {
+  GroupedDataset ds = TestWorkload(1);
+  std::set<uint32_t> exact = ExactSkyline(ds, 0.5);
+  auto snapshot = ComputeAnytime(ds, 0.5, ~uint64_t{0});
+  EXPECT_TRUE(snapshot.complete);
+  EXPECT_EQ(AsSet(snapshot.possible), exact);
+  EXPECT_EQ(AsSet(snapshot.confirmed), exact);
+  EXPECT_EQ(snapshot.pairs_decided, snapshot.pairs_total);
+}
+
+TEST(AnytimeTest, SoundAtEveryBudget) {
+  GroupedDataset ds = TestWorkload(2);
+  std::set<uint32_t> exact = ExactSkyline(ds, 0.5);
+  for (uint64_t budget : {0ull, 100ull, 1000ull, 10000ull, 100000ull}) {
+    auto snapshot = ComputeAnytime(ds, 0.5, budget);
+    std::set<uint32_t> possible = AsSet(snapshot.possible);
+    std::set<uint32_t> confirmed = AsSet(snapshot.confirmed);
+    // possible over-approximates, confirmed under-approximates.
+    for (uint32_t id : exact) {
+      EXPECT_TRUE(possible.count(id) > 0) << "budget " << budget;
+    }
+    for (uint32_t id : confirmed) {
+      EXPECT_TRUE(exact.count(id) > 0) << "budget " << budget;
+      EXPECT_TRUE(possible.count(id) > 0);
+    }
+  }
+}
+
+TEST(AnytimeTest, ProgressIsMonotone) {
+  GroupedDataset ds = TestWorkload(3);
+  AnytimeAggregateSkyline::Options options;
+  options.gamma = 0.5;
+  AnytimeAggregateSkyline engine(ds, options);
+
+  auto previous = engine.Current();
+  int rounds = 0;
+  while (!engine.complete() && rounds < 10000) {
+    auto next = engine.Advance(2000);
+    EXPECT_LE(next.possible.size(), previous.possible.size());
+    EXPECT_GE(next.confirmed.size(), previous.confirmed.size());
+    EXPECT_GE(next.comparisons_used, previous.comparisons_used);
+    EXPECT_GE(next.pairs_decided, previous.pairs_decided);
+    // confirmed must stay inside possible.
+    std::set<uint32_t> possible = AsSet(next.possible);
+    for (uint32_t id : next.confirmed) {
+      EXPECT_TRUE(possible.count(id) > 0);
+    }
+    previous = next;
+    ++rounds;
+  }
+  EXPECT_TRUE(engine.complete());
+  EXPECT_EQ(AsSet(previous.possible), ExactSkyline(ds, 0.5));
+  EXPECT_EQ(AsSet(previous.confirmed), AsSet(previous.possible));
+}
+
+TEST(AnytimeTest, AdvanceAfterCompleteIsNoOp) {
+  GroupedDataset ds = TestWorkload(4);
+  AnytimeAggregateSkyline::Options options;
+  AnytimeAggregateSkyline engine(ds, options);
+  auto done = engine.Advance(~uint64_t{0});
+  ASSERT_TRUE(done.complete);
+  auto again = engine.Advance(1000);
+  EXPECT_EQ(again.comparisons_used, done.comparisons_used);
+  EXPECT_EQ(again.possible, done.possible);
+}
+
+TEST(AnytimeTest, MovieExampleConvergesToFigure4b) {
+  Table movies = datagen::MovieTable();
+  GroupedDataset ds =
+      GroupedDataset::FromTable(movies, {"Director"}, {"Pop", "Qual"}).value();
+  AnytimeAggregateSkyline::Options options;
+  options.gamma = 0.5;
+  options.slice = 1;  // tiny slices: maximal suspension coverage
+  AnytimeAggregateSkyline engine(ds, options);
+  int rounds = 0;
+  while (!engine.complete() && rounds < 1000) {
+    engine.Advance(1);
+    ++rounds;
+  }
+  ASSERT_TRUE(engine.complete());
+  auto snapshot = engine.Current();
+  std::set<std::string> labels;
+  for (uint32_t id : snapshot.possible) {
+    labels.insert(ds.group(id).label());
+  }
+  EXPECT_EQ(labels, (std::set<std::string>{"Coppola", "Jackson", "Kershner",
+                                           "Tarantino"}));
+}
+
+TEST(AnytimeTest, WorksWithoutMbb) {
+  GroupedDataset ds = TestWorkload(5);
+  AnytimeAggregateSkyline::Options options;
+  options.use_mbb = false;
+  AnytimeAggregateSkyline engine(ds, options);
+  auto snapshot = engine.Advance(~uint64_t{0});
+  EXPECT_TRUE(snapshot.complete);
+  EXPECT_EQ(AsSet(snapshot.possible), ExactSkyline(ds, 0.5));
+}
+
+TEST(AnytimeTest, SingleGroupIsCompleteImmediately) {
+  GroupedDataset ds = GroupedDataset::FromPoints({{{1, 1}, {2, 2}}});
+  AnytimeAggregateSkyline::Options options;
+  AnytimeAggregateSkyline engine(ds, options);
+  EXPECT_TRUE(engine.complete());
+  auto snapshot = engine.Current();
+  EXPECT_EQ(snapshot.possible, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(snapshot.confirmed, (std::vector<uint32_t>{0}));
+}
+
+TEST(AnytimeTest, HigherGammaNeverShrinksFinalResult) {
+  GroupedDataset ds = TestWorkload(6);
+  size_t prev = 0;
+  bool first = true;
+  for (double gamma : {0.5, 0.7, 0.9, 1.0}) {
+    auto snapshot = ComputeAnytime(ds, gamma, ~uint64_t{0});
+    ASSERT_TRUE(snapshot.complete);
+    if (!first) {
+      EXPECT_GE(snapshot.possible.size(), prev);
+    }
+    prev = snapshot.possible.size();
+    first = false;
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::core

@@ -1,0 +1,113 @@
+// Unit tests for the stopping-rule primitives (core/gamma.h internal API):
+// bound decidability and partial-count outcome resolution.
+
+#include <gtest/gtest.h>
+
+#include "core/gamma.h"
+
+namespace galaxy::core::internal {
+namespace {
+
+TEST(DecideDominanceTest, UndecidedWhileBothOutcomesPossible) {
+  // 10 of 100 pairs known true, 20 resolved: final in [10, 90].
+  BoundDecision d = DecideDominance(10, 20, 100, 0.5);
+  EXPECT_FALSE(d.decided);
+}
+
+TEST(DecideDominanceTest, DecidedTrueWhenLowerBoundExceeds) {
+  BoundDecision d = DecideDominance(51, 60, 100, 0.5);
+  EXPECT_TRUE(d.decided);
+  EXPECT_TRUE(d.value);
+}
+
+TEST(DecideDominanceTest, DecidedFalseWhenUpperBoundCannotExceed) {
+  // 10 known true of 80 resolved: final at most 30, and < 100 so p=1 is
+  // impossible too.
+  BoundDecision d = DecideDominance(10, 80, 100, 0.5);
+  EXPECT_TRUE(d.decided);
+  EXPECT_FALSE(d.value);
+}
+
+TEST(DecideDominanceTest, BoundaryIsStrict) {
+  // Exactly half at completion: NOT > 0.5.
+  BoundDecision d = DecideDominance(50, 100, 100, 0.5);
+  EXPECT_TRUE(d.decided);
+  EXPECT_FALSE(d.value);
+  // One more pair tips it.
+  d = DecideDominance(51, 100, 100, 0.5);
+  EXPECT_TRUE(d.decided);
+  EXPECT_TRUE(d.value);
+}
+
+TEST(DecideDominanceTest, ProbabilityOneEscape) {
+  // threshold 1.0: only p == 1 counts. All resolved true so far, none
+  // failed: undecided until the very end.
+  BoundDecision d = DecideDominance(99, 99, 100, 1.0);
+  EXPECT_FALSE(d.decided);
+  // One failure kills it immediately.
+  d = DecideDominance(98, 99, 100, 1.0);
+  EXPECT_TRUE(d.decided);
+  EXPECT_FALSE(d.value);
+  // Completion with all pairs dominating: p == 1.
+  d = DecideDominance(100, 100, 100, 1.0);
+  EXPECT_TRUE(d.decided);
+  EXPECT_TRUE(d.value);
+}
+
+TEST(DecideDominanceTest, CompletionAlwaysDecides) {
+  for (uint64_t known : {0ull, 37ull, 50ull, 51ull, 100ull}) {
+    BoundDecision d = DecideDominance(known, 100, 100, 0.5);
+    EXPECT_TRUE(d.decided) << known;
+    EXPECT_EQ(d.value, known == 100 || known > 50) << known;
+  }
+}
+
+TEST(TryResolveOutcomeTest, StrongDominationShortcut) {
+  GammaThresholds t = GammaThresholds::FromGamma(0.5);
+  PairOutcome outcome;
+  // 90 of first 100 resolved (of 100 total... use total 100): n12 = 90.
+  ASSERT_TRUE(TryResolveOutcome(90, 5, 100, 100, t, &outcome));
+  EXPECT_EQ(outcome, PairOutcome::kFirstDominatesStrongly);
+}
+
+TEST(TryResolveOutcomeTest, WeakDominationNeedsStrongExcluded) {
+  GammaThresholds t = GammaThresholds::FromGamma(0.5);
+  PairOutcome outcome;
+  // n12 = 55 with 40 pairs open: gamma (0.5) is satisfied already, but
+  // strong (~0.6464) could still go either way -> undecided.
+  EXPECT_FALSE(TryResolveOutcome(55, 5, 60, 100, t, &outcome));
+  // Once enough pairs fail, strong is excluded and the weak outcome
+  // resolves: n12 = 55, resolved 95 -> upper 60 <= 64.64.
+  ASSERT_TRUE(TryResolveOutcome(55, 30, 95, 100, t, &outcome));
+  EXPECT_EQ(outcome, PairOutcome::kFirstDominates);
+}
+
+TEST(TryResolveOutcomeTest, IncomparableWhenBothSidesCapped) {
+  GammaThresholds t = GammaThresholds::FromGamma(0.5);
+  PairOutcome outcome;
+  // Both directions can reach at most 30+10 = 40 and 20+10 = 30 of 100.
+  ASSERT_TRUE(TryResolveOutcome(30, 20, 90, 100, t, &outcome));
+  EXPECT_EQ(outcome, PairOutcome::kIncomparable);
+}
+
+TEST(TryResolveOutcomeTest, SecondSideMirrors) {
+  GammaThresholds t = GammaThresholds::FromGamma(0.5);
+  PairOutcome outcome;
+  ASSERT_TRUE(TryResolveOutcome(5, 90, 100, 100, t, &outcome));
+  EXPECT_EQ(outcome, PairOutcome::kSecondDominatesStrongly);
+  ASSERT_TRUE(TryResolveOutcome(30, 55, 95, 100, t, &outcome));
+  EXPECT_EQ(outcome, PairOutcome::kSecondDominates);
+}
+
+TEST(TryResolveOutcomeTest, CompletionAlwaysResolves) {
+  GammaThresholds t = GammaThresholds::FromGamma(0.75);
+  for (uint64_t n12 : {0ull, 40ull, 76ull, 100ull}) {
+    PairOutcome outcome;
+    EXPECT_TRUE(
+        TryResolveOutcome(n12, 100 - n12, 100, 100, t, &outcome))
+        << n12;
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::core::internal

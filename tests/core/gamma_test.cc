@@ -1,0 +1,254 @@
+#include "core/gamma.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/distributions.h"
+#include "datagen/movies.h"
+
+namespace galaxy::core {
+namespace {
+
+Group MakeGroup(uint32_t id, std::vector<Point> pts) {
+  std::vector<double> buf;
+  size_t dims = pts.front().size();
+  for (const Point& p : pts) buf.insert(buf.end(), p.begin(), p.end());
+  return Group(id, "g" + std::to_string(id), std::move(buf), dims);
+}
+
+TEST(GammaThresholdsTest, GammaBarFormula) {
+  // gamma_bar = 1 - sqrt(1 - gamma) / 2 (Proposition 5) for gamma <= 3/4.
+  GammaThresholds t = GammaThresholds::FromGamma(0.5);
+  EXPECT_NEAR(t.gamma_bar, 1.0 - std::sqrt(0.5) / 2.0, 1e-12);
+  EXPECT_NEAR(GammaThresholds::FromGamma(1.0).gamma_bar, 1.0, 1e-12);
+  EXPECT_NEAR(GammaThresholds::FromGamma(0.75).gamma_bar, 0.75, 1e-12);
+}
+
+TEST(GammaThresholdsTest, GammaBarClampedAboveThreeQuarters) {
+  // The raw Proposition 5 threshold dips below gamma for gamma > 3/4 —
+  // there "strong domination" would not imply domination. The library
+  // clamps gamma_bar to max(gamma, 1 - sqrt(1-gamma)/2) (reproduction
+  // note in DESIGN.md).
+  EXPECT_LT(1.0 - std::sqrt(1.0 - 0.9) / 2.0, 0.9);  // the raw dip
+  EXPECT_NEAR(GammaThresholds::FromGamma(0.9).gamma_bar, 0.9, 1e-12);
+}
+
+TEST(GammaThresholdsTest, ProvenThresholdFormula) {
+  // gamma_bar = (3 + gamma) / 4 (the union-bound replacement for the
+  // refuted Proposition 5 threshold; DESIGN.md erratum 3).
+  EXPECT_DOUBLE_EQ(GammaThresholds::FromGammaProven(0.5).gamma_bar, 0.875);
+  EXPECT_DOUBLE_EQ(GammaThresholds::FromGammaProven(1.0).gamma_bar, 1.0);
+  for (double g = 0.5; g <= 1.0; g += 0.05) {
+    GammaThresholds proven = GammaThresholds::FromGammaProven(g);
+    GammaThresholds paper = GammaThresholds::FromGamma(g);
+    EXPECT_GE(proven.gamma_bar + 1e-12, paper.gamma_bar) << g;
+    EXPECT_GE(proven.gamma_bar, g);
+    EXPECT_LE(proven.gamma_bar, 1.0);
+  }
+}
+
+TEST(GammaThresholdsTest, GammaBarAtLeastGamma) {
+  for (double g = 0.5; g <= 1.0; g += 0.01) {
+    GammaThresholds t = GammaThresholds::FromGamma(g);
+    EXPECT_GE(t.gamma_bar + 1e-12, t.gamma) << "gamma=" << g;
+    EXPECT_LE(t.gamma_bar, 1.0);
+  }
+}
+
+TEST(CountDominatedPairsTest, SmallExample) {
+  Group a = MakeGroup(0, {{2, 2}, {3, 3}});
+  Group b = MakeGroup(1, {{1, 1}, {2.5, 2.5}});
+  // a(2,2) ≻ b(1,1); a(3,3) ≻ b(1,1) and b(2.5,2.5): 3 pairs.
+  EXPECT_EQ(CountDominatedPairs(a, b), 3u);
+  // b(2.5,2.5) ≻ a(2,2): 1 pair the other way.
+  EXPECT_EQ(CountDominatedPairs(b, a), 1u);
+  EXPECT_DOUBLE_EQ(DominationProbability(a, b), 0.75);
+  EXPECT_DOUBLE_EQ(DominationProbability(b, a), 0.25);
+}
+
+TEST(CountDominatedPairsTest, PaperSkylineContainmentCounterexample) {
+  // Proposition 3: G1 = {(5,5), (1,1), (1,2)}, G2 = {(2,3)};
+  // p(G2 ≻ G1) = 2/3 although G1 contains the skyline record (5,5).
+  Group g1 = MakeGroup(0, {{5, 5}, {1, 1}, {1, 2}});
+  Group g2 = MakeGroup(1, {{2, 3}});
+  EXPECT_EQ(CountDominatedPairs(g2, g1), 2u);
+  EXPECT_NEAR(DominationProbability(g2, g1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(GammaDominatesTest, Definition3Semantics) {
+  Group a = MakeGroup(0, {{2, 2}, {3, 3}});
+  Group b = MakeGroup(1, {{1, 1}, {2.5, 2.5}});
+  // p(a ≻ b) = 0.75.
+  EXPECT_TRUE(GammaDominates(a, b, 0.5));
+  EXPECT_TRUE(GammaDominates(a, b, 0.74));
+  EXPECT_FALSE(GammaDominates(a, b, 0.75));  // strict >
+  EXPECT_FALSE(GammaDominates(a, b, 0.9));
+  EXPECT_FALSE(GammaDominates(b, a, 0.5));
+}
+
+TEST(GammaDominatesTest, ProbabilityOneDominatesAtAnyGamma) {
+  Group strong = MakeGroup(0, {{5, 5}, {6, 6}});
+  Group weak = MakeGroup(1, {{1, 1}});
+  EXPECT_DOUBLE_EQ(DominationProbability(strong, weak), 1.0);
+  // Definition 3: p = 1 dominates even with gamma = 1.
+  EXPECT_TRUE(GammaDominates(strong, weak, 1.0));
+}
+
+TEST(GammaDominatesTest, ExactlyHalfDoesNotDominateAtHalf) {
+  // Two of four pairs dominate: p = 0.5, not > 0.5.
+  Group a = MakeGroup(0, {{3, 3}, {0, 0}});
+  Group b = MakeGroup(1, {{1, 1}, {5, 0.5}});
+  // a(3,3) ≻ b(1,1); a(3,3) vs (5,0.5): incomparable; a(0,0) dominates none.
+  EXPECT_EQ(CountDominatedPairs(a, b), 1u);
+  EXPECT_FALSE(GammaDominates(a, b, 0.5));
+}
+
+// ---------------------------------------------------------------------------
+// ClassifyPair: outcome must be invariant under all option combinations.
+// ---------------------------------------------------------------------------
+
+class ClassifyPairParamTest
+    : public ::testing::TestWithParam<std::tuple<double, bool, bool>> {};
+
+TEST_P(ClassifyPairParamTest, MatchesExhaustiveReference) {
+  auto [gamma, use_stop, use_mbb] = GetParam();
+  GammaThresholds t = GammaThresholds::FromGamma(gamma);
+  Rng rng(91);
+
+  auto reference = [&](const Group& g1, const Group& g2) {
+    uint64_t total = static_cast<uint64_t>(g1.size()) * g2.size();
+    uint64_t n12 = CountDominatedPairs(g1, g2);
+    uint64_t n21 = CountDominatedPairs(g2, g1);
+    auto dom = [&](uint64_t n, double thr) {
+      return n == total || static_cast<double>(n) > thr * total;
+    };
+    if (dom(n12, t.gamma_bar)) return PairOutcome::kFirstDominatesStrongly;
+    if (dom(n12, t.gamma)) return PairOutcome::kFirstDominates;
+    if (dom(n21, t.gamma_bar)) return PairOutcome::kSecondDominatesStrongly;
+    if (dom(n21, t.gamma)) return PairOutcome::kSecondDominates;
+    return PairOutcome::kIncomparable;
+  };
+
+  PairCompareOptions options;
+  options.use_stop_rule = use_stop;
+  options.use_mbb = use_mbb;
+
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t dims = 2 + trial % 3;
+    size_t n1 = 1 + static_cast<size_t>(rng.UniformInt(0, 7));
+    size_t n2 = 1 + static_cast<size_t>(rng.UniformInt(0, 7));
+    // Offset groups so that dominated / dominating / overlapping
+    // configurations all occur.
+    double shift = rng.Uniform(-0.8, 0.8);
+    std::vector<Point> p1, p2;
+    for (size_t i = 0; i < n1; ++i) {
+      Point p(dims);
+      for (size_t d = 0; d < dims; ++d) p[d] = rng.NextDouble();
+      p1.push_back(std::move(p));
+    }
+    for (size_t i = 0; i < n2; ++i) {
+      Point p(dims);
+      for (size_t d = 0; d < dims; ++d) p[d] = rng.NextDouble() + shift;
+      p2.push_back(std::move(p));
+    }
+    Group g1 = MakeGroup(0, p1);
+    Group g2 = MakeGroup(1, p2);
+
+    PairCompareStats stats;
+    PairOutcome got = ClassifyPair(g1, g2, t, options, &stats);
+    EXPECT_EQ(got, reference(g1, g2))
+        << "trial " << trial << " gamma " << gamma << " stop " << use_stop
+        << " mbb " << use_mbb;
+    EXPECT_EQ(stats.pairs_total, static_cast<uint64_t>(n1) * n2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OptionSweep, ClassifyPairParamTest,
+    ::testing::Combine(::testing::Values(0.5, 0.6, 0.75, 0.9, 1.0),
+                       ::testing::Bool(), ::testing::Bool()));
+
+TEST(ClassifyPairTest, MbbShortcutOnStrictSeparation) {
+  Group low = MakeGroup(0, {{0.1, 0.1}, {0.2, 0.2}});
+  Group high = MakeGroup(1, {{0.8, 0.8}, {0.9, 0.9}});
+  PairCompareOptions options;
+  options.use_mbb = true;
+  PairCompareStats stats;
+  PairOutcome out = ClassifyPair(low, high,
+                                 GammaThresholds::FromGamma(0.5), options,
+                                 &stats);
+  EXPECT_EQ(out, PairOutcome::kSecondDominatesStrongly);
+  EXPECT_TRUE(stats.mbb_strict_shortcut);
+  EXPECT_EQ(stats.record_comparisons, 0u);
+}
+
+TEST(ClassifyPairTest, StopRuleReducesWork) {
+  // Large strongly-separated groups: the stop rule should bail out long
+  // before the full quadratic scan.
+  Rng rng(5);
+  std::vector<Point> low, high;
+  for (int i = 0; i < 100; ++i) {
+    low.push_back({rng.NextDouble() * 0.3, rng.NextDouble() * 0.3});
+    high.push_back({0.7 + rng.NextDouble() * 0.3, 0.7 + rng.NextDouble() * 0.3});
+  }
+  Group g1 = MakeGroup(0, low);
+  Group g2 = MakeGroup(1, high);
+  GammaThresholds t = GammaThresholds::FromGamma(0.5);
+
+  PairCompareStats with_stop, without_stop;
+  PairCompareOptions stop_on;  // defaults: stop rule on, mbb off
+  PairCompareOptions stop_off;
+  stop_off.use_stop_rule = false;
+  EXPECT_EQ(ClassifyPair(g1, g2, t, stop_on, &with_stop),
+            ClassifyPair(g1, g2, t, stop_off, &without_stop));
+  EXPECT_TRUE(with_stop.stopped_early);
+  EXPECT_LT(with_stop.record_comparisons, without_stop.record_comparisons);
+  EXPECT_EQ(without_stop.record_comparisons, 100u * 100u);
+}
+
+TEST(ClassifyPairTest, SingletonGroups) {
+  Group a = MakeGroup(0, {{2, 2}});
+  Group b = MakeGroup(1, {{1, 1}});
+  GammaThresholds t = GammaThresholds::FromGamma(0.5);
+  EXPECT_EQ(ClassifyPair(a, b, t), PairOutcome::kFirstDominatesStrongly);
+  EXPECT_EQ(ClassifyPair(b, a, t), PairOutcome::kSecondDominatesStrongly);
+  Group c = MakeGroup(2, {{0, 3}});
+  EXPECT_EQ(ClassifyPair(a, c, t), PairOutcome::kIncomparable);
+}
+
+TEST(ClassifyPairTest, IdenticalGroupsAreIncomparable) {
+  Group a = MakeGroup(0, {{1, 2}, {2, 1}});
+  Group b = MakeGroup(1, {{1, 2}, {2, 1}});
+  EXPECT_EQ(ClassifyPair(a, b, GammaThresholds::FromGamma(0.5)),
+            PairOutcome::kIncomparable);
+}
+
+TEST(ClassifyPairTest, Table2DirectorPairs) {
+  // The reconstructed filmographies reproduce the Table 2 probabilities.
+  GroupedDataset ds = datagen::DirectorFilmographies();
+  const Group& tarantino =
+      ds.group(ds.FindByLabel(datagen::kTarantino).value());
+  const Group& wiseau = ds.group(ds.FindByLabel(datagen::kWiseau).value());
+  const Group& fleischer =
+      ds.group(ds.FindByLabel(datagen::kFleischer).value());
+  const Group& jackson = ds.group(ds.FindByLabel(datagen::kJackson).value());
+
+  EXPECT_DOUBLE_EQ(DominationProbability(tarantino, wiseau), 1.0);
+  EXPECT_DOUBLE_EQ(DominationProbability(tarantino, fleischer), 30.0 / 32.0);
+  EXPECT_DOUBLE_EQ(DominationProbability(tarantino, jackson), 33.0 / 48.0);
+  EXPECT_DOUBLE_EQ(DominationProbability(wiseau, tarantino), 0.0);
+  EXPECT_DOUBLE_EQ(DominationProbability(fleischer, tarantino), 2.0 / 32.0);
+  EXPECT_DOUBLE_EQ(DominationProbability(jackson, tarantino), 12.0 / 48.0);
+}
+
+TEST(PairOutcomeTest, ToStringNames) {
+  EXPECT_STREQ(PairOutcomeToString(PairOutcome::kIncomparable),
+               "incomparable");
+  EXPECT_STREQ(PairOutcomeToString(PairOutcome::kFirstDominatesStrongly),
+               "first-dominates-strongly");
+}
+
+}  // namespace
+}  // namespace galaxy::core

@@ -1,0 +1,107 @@
+#include "core/group.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/movies.h"
+
+namespace galaxy::core {
+namespace {
+
+TEST(GroupTest, BasicConstruction) {
+  Group g(0, "g0", {1, 2, 3, 4, 5, 6}, 2);
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.dims(), 2u);
+  EXPECT_EQ(g.label(), "g0");
+  EXPECT_EQ(g.point(0)[0], 1);
+  EXPECT_EQ(g.point(2)[1], 6);
+}
+
+TEST(GroupTest, MbbCoversAllRecords) {
+  Group g(0, "g", {1, 5, 3, 2, 2, 9}, 2);
+  EXPECT_EQ(g.mbb().min, (Point{1, 2}));
+  EXPECT_EQ(g.mbb().max, (Point{3, 9}));
+}
+
+TEST(GroupedDatasetTest, FromPoints) {
+  GroupedDataset ds = GroupedDataset::FromPoints(
+      {{{1, 2}, {3, 4}}, {{5, 6}}}, {"a", "b"});
+  EXPECT_EQ(ds.num_groups(), 2u);
+  EXPECT_EQ(ds.dims(), 2u);
+  EXPECT_EQ(ds.total_records(), 3u);
+  EXPECT_EQ(ds.group(0).label(), "a");
+  EXPECT_EQ(ds.group(1).size(), 1u);
+  EXPECT_EQ(ds.FindByLabel("b").value(), 1u);
+  EXPECT_FALSE(ds.FindByLabel("c").ok());
+}
+
+TEST(GroupedDatasetTest, FromPointsDefaultLabels) {
+  GroupedDataset ds = GroupedDataset::FromPoints({{{1, 1}}, {{2, 2}}});
+  EXPECT_EQ(ds.group(0).label(), "g0");
+  EXPECT_EQ(ds.group(1).label(), "g1");
+}
+
+TEST(GroupedDatasetTest, FromTableGroupsByDirector) {
+  Table movies = datagen::MovieTable();
+  auto ds = GroupedDataset::FromTable(movies, {"Director"}, {"Pop", "Qual"});
+  ASSERT_TRUE(ds.ok());
+  // Seven distinct directors in Figure 1.
+  EXPECT_EQ(ds->num_groups(), 7u);
+  EXPECT_EQ(ds->total_records(), 10u);
+  size_t tarantino = ds->FindByLabel("Tarantino").value();
+  EXPECT_EQ(ds->group(tarantino).size(), 2u);
+  size_t coppola = ds->FindByLabel("Coppola").value();
+  EXPECT_EQ(ds->group(coppola).size(), 2u);
+  // Groups appear in first-occurrence order: Cameron first.
+  EXPECT_EQ(ds->group(0).label(), "Cameron");
+}
+
+TEST(GroupedDatasetTest, FromTableCompositeKey) {
+  Table movies = datagen::MovieTable();
+  auto ds =
+      GroupedDataset::FromTable(movies, {"Director", "Year"}, {"Pop", "Qual"});
+  ASSERT_TRUE(ds.ok());
+  // Every movie has a distinct (director, year) pair in Figure 1.
+  EXPECT_EQ(ds->num_groups(), 10u);
+  EXPECT_TRUE(ds->FindByLabel("Tarantino|2003").ok());
+}
+
+TEST(GroupedDatasetTest, FromTableMinPreferencesNegate) {
+  Table movies = datagen::MovieTable();
+  auto ds = GroupedDataset::FromTable(
+      movies, {"Director"}, {"Pop", "Year"},
+      {skyline::Preference::kMax, skyline::Preference::kMin});
+  ASSERT_TRUE(ds.ok());
+  size_t nolan = ds->FindByLabel("Nolan").value();
+  // Year 2005 negated.
+  EXPECT_EQ(ds->group(nolan).point(0)[1], -2005.0);
+}
+
+TEST(GroupedDatasetTest, CompositeKeysDoNotCollide) {
+  // ("a|b", "c") and ("a", "b|c") must form distinct groups even though
+  // their display labels coincide.
+  TableBuilder b{Schema({{"k1", ValueType::kString},
+                         {"k2", ValueType::kString},
+                         {"v", ValueType::kDouble}})};
+  b.AddRow({"a|b", "c", 1.0}).AddRow({"a", "b|c", 2.0});
+  auto ds = GroupedDataset::FromTable(b.Build(), {"k1", "k2"}, {"v"});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_groups(), 2u);
+}
+
+TEST(GroupedDatasetTest, FromTableRejectsBadInput) {
+  Table movies = datagen::MovieTable();
+  EXPECT_FALSE(GroupedDataset::FromTable(movies, {}, {"Pop"}).ok());
+  EXPECT_FALSE(GroupedDataset::FromTable(movies, {"Director"}, {}).ok());
+  EXPECT_FALSE(
+      GroupedDataset::FromTable(movies, {"Director"}, {"Nope"}).ok());
+  EXPECT_FALSE(
+      GroupedDataset::FromTable(movies, {"Nope"}, {"Pop"}).ok());
+  EXPECT_FALSE(GroupedDataset::FromTable(movies, {"Director"}, {"Title"}).ok());
+  // Preference arity mismatch.
+  EXPECT_FALSE(GroupedDataset::FromTable(movies, {"Director"}, {"Pop"},
+                                         skyline::AllMax(2))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace galaxy::core

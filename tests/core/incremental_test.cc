@@ -1,0 +1,196 @@
+#include "core/incremental.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/aggregate_skyline.h"
+#include "core/gamma.h"
+#include "datagen/movies.h"
+
+namespace galaxy::core {
+namespace {
+
+std::set<uint32_t> AsSet(const std::vector<uint32_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+// Rebuilds a GroupedDataset from the maintainer's current contents and
+// computes the exact skyline from scratch.
+std::set<uint32_t> RecomputeSkyline(
+    const std::vector<std::vector<Point>>& contents, double gamma) {
+  // Empty groups cannot be represented in GroupedDataset; map indexes.
+  std::vector<std::vector<Point>> non_empty;
+  std::vector<uint32_t> ids;
+  for (uint32_t g = 0; g < contents.size(); ++g) {
+    if (!contents[g].empty()) {
+      non_empty.push_back(contents[g]);
+      ids.push_back(g);
+    }
+  }
+  std::set<uint32_t> out;
+  if (non_empty.empty()) return out;
+  GroupedDataset ds = GroupedDataset::FromPoints(non_empty);
+  AggregateSkylineOptions options;
+  options.gamma = gamma;
+  options.algorithm = Algorithm::kBruteForce;
+  for (uint32_t id : ComputeAggregateSkyline(ds, options).skyline) {
+    out.insert(ids[id]);
+  }
+  return out;
+}
+
+TEST(IncrementalTest, MatchesBatchOnMovieExample) {
+  Table movies = datagen::MovieTable();
+  IncrementalAggregateSkyline inc(2, 0.5);
+  std::map<std::string, uint32_t> directors;
+  for (size_t r = 0; r < movies.num_rows(); ++r) {
+    std::string director = movies.at(r, "Director").value().AsString();
+    auto [it, inserted] =
+        directors.try_emplace(director, 0);
+    if (inserted) it->second = inc.AddGroup(director);
+    double pop = movies.at(r, "Pop").value().ToDouble().value();
+    double qual = movies.at(r, "Qual").value().ToDouble().value();
+    ASSERT_TRUE(inc.AddRecord(it->second, {pop, qual}).ok());
+  }
+  std::set<std::string> labels;
+  for (uint32_t id : inc.Skyline()) labels.insert(inc.label(id));
+  EXPECT_EQ(labels, (std::set<std::string>{"Coppola", "Jackson", "Kershner",
+                                           "Tarantino"}));
+}
+
+TEST(IncrementalTest, RandomInsertRemoveCrossValidation) {
+  Rng rng(404);
+  const size_t dims = 2;
+  const double gamma = 0.5;
+  IncrementalAggregateSkyline inc(dims, gamma);
+  std::vector<std::vector<Point>> shadow;
+
+  for (int g = 0; g < 8; ++g) {
+    inc.AddGroup("g" + std::to_string(g));
+    shadow.emplace_back();
+  }
+
+  for (int step = 0; step < 400; ++step) {
+    uint32_t g = static_cast<uint32_t>(rng.UniformInt(0, 7));
+    bool remove = !shadow[g].empty() && rng.Bernoulli(0.35);
+    if (remove) {
+      size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(shadow[g].size()) - 1));
+      Point victim = shadow[g][idx];
+      ASSERT_TRUE(inc.RemoveRecord(g, victim).ok());
+      shadow[g].erase(shadow[g].begin() + static_cast<long>(idx));
+    } else {
+      Point p = {rng.NextDouble(), rng.NextDouble()};
+      ASSERT_TRUE(inc.AddRecord(g, p).ok());
+      shadow[g].push_back(p);
+    }
+    if (step % 20 == 19) {
+      EXPECT_EQ(AsSet(inc.Skyline()), RecomputeSkyline(shadow, gamma))
+          << "step " << step;
+    }
+  }
+}
+
+TEST(IncrementalTest, DominationCountsMatchBruteForce) {
+  Rng rng(405);
+  IncrementalAggregateSkyline inc(3, 0.6);
+  std::vector<std::vector<Point>> shadow(3);
+  for (int g = 0; g < 3; ++g) inc.AddGroup("g" + std::to_string(g));
+  for (int i = 0; i < 60; ++i) {
+    uint32_t g = static_cast<uint32_t>(rng.UniformInt(0, 2));
+    Point p = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    ASSERT_TRUE(inc.AddRecord(g, p).ok());
+    shadow[g].push_back(p);
+  }
+  for (uint32_t s = 0; s < 3; ++s) {
+    for (uint32_t r = 0; r < 3; ++r) {
+      if (s == r) continue;
+      uint64_t expected = 0;
+      for (const Point& x : shadow[s]) {
+        for (const Point& y : shadow[r]) {
+          if (skyline::Dominates(x, y)) ++expected;
+        }
+      }
+      EXPECT_EQ(inc.DominationCount(s, r).value(), expected);
+      EXPECT_DOUBLE_EQ(
+          inc.DominationProbability(s, r).value(),
+          static_cast<double>(expected) /
+              static_cast<double>(shadow[s].size() * shadow[r].size()));
+    }
+  }
+}
+
+TEST(IncrementalTest, GroupGrowthPreservesCounts) {
+  IncrementalAggregateSkyline inc(2);
+  uint32_t a = inc.AddGroup("a");
+  uint32_t b = inc.AddGroup("b");
+  ASSERT_TRUE(inc.AddRecord(a, {2, 2}).ok());
+  ASSERT_TRUE(inc.AddRecord(b, {1, 1}).ok());
+  EXPECT_EQ(inc.DominationCount(a, b).value(), 1u);
+  // Adding a third group must not disturb existing counts.
+  uint32_t c = inc.AddGroup("c");
+  EXPECT_EQ(inc.DominationCount(a, b).value(), 1u);
+  ASSERT_TRUE(inc.AddRecord(c, {3, 3}).ok());
+  EXPECT_EQ(inc.DominationCount(c, a).value(), 1u);
+  EXPECT_EQ(inc.DominationCount(c, b).value(), 1u);
+}
+
+TEST(IncrementalTest, EmptyGroupsDoNotParticipate) {
+  IncrementalAggregateSkyline inc(2);
+  uint32_t a = inc.AddGroup("a");
+  inc.AddGroup("empty");
+  ASSERT_TRUE(inc.AddRecord(a, {1, 1}).ok());
+  EXPECT_EQ(inc.Skyline(), (std::vector<uint32_t>{a}));
+}
+
+TEST(IncrementalTest, StrictDominationExcludesAtGammaOne) {
+  IncrementalAggregateSkyline inc(2, 1.0);
+  uint32_t strong = inc.AddGroup("strong");
+  uint32_t weak = inc.AddGroup("weak");
+  ASSERT_TRUE(inc.AddRecord(strong, {5, 5}).ok());
+  ASSERT_TRUE(inc.AddRecord(weak, {1, 1}).ok());
+  EXPECT_TRUE(inc.IsDominated(weak).value());
+  EXPECT_FALSE(inc.IsDominated(strong).value());
+  EXPECT_EQ(inc.Skyline(), (std::vector<uint32_t>{strong}));
+  // Give the weak group one incomparable record: p drops below 1 and at
+  // gamma = 1 it re-enters the skyline.
+  ASSERT_TRUE(inc.AddRecord(weak, {0.5, 9}).ok());
+  EXPECT_FALSE(inc.IsDominated(weak).value());
+  EXPECT_EQ(inc.Skyline().size(), 2u);
+}
+
+TEST(IncrementalTest, ErrorHandling) {
+  IncrementalAggregateSkyline inc(2);
+  EXPECT_FALSE(inc.AddRecord(99, {1, 1}).ok());
+  uint32_t g = inc.AddGroup("g");
+  EXPECT_FALSE(inc.AddRecord(g, {1, 2, 3}).ok());  // wrong dims
+  EXPECT_FALSE(inc.RemoveRecord(g, {1, 1}).ok());  // absent
+  EXPECT_FALSE(inc.DominationCount(g, g).ok());
+  EXPECT_FALSE(inc.DominationProbability(g, g).ok());
+  EXPECT_FALSE(inc.IsDominated(g).ok());  // empty group
+  ASSERT_TRUE(inc.AddRecord(g, {1, 1}).ok());
+  EXPECT_TRUE(inc.RemoveRecord(g, {1, 1}).ok());
+  EXPECT_EQ(inc.total_records(), 0u);
+}
+
+TEST(IncrementalTest, RemoveThenReAddRestoresState) {
+  IncrementalAggregateSkyline inc(2);
+  uint32_t a = inc.AddGroup("a");
+  uint32_t b = inc.AddGroup("b");
+  ASSERT_TRUE(inc.AddRecord(a, {2, 2}).ok());
+  ASSERT_TRUE(inc.AddRecord(a, {0.5, 0.5}).ok());
+  ASSERT_TRUE(inc.AddRecord(b, {1, 1}).ok());
+  // p(a ≻ b) = 1/2: not dominated.
+  EXPECT_EQ(inc.Skyline().size(), 2u);
+  // Removing a's weak record makes domination strict: b drops out.
+  ASSERT_TRUE(inc.RemoveRecord(a, {0.5, 0.5}).ok());
+  EXPECT_EQ(inc.Skyline(), (std::vector<uint32_t>{a}));
+  // Re-adding restores the original state.
+  ASSERT_TRUE(inc.AddRecord(a, {0.5, 0.5}).ok());
+  EXPECT_EQ(inc.Skyline().size(), 2u);
+}
+
+}  // namespace
+}  // namespace galaxy::core

@@ -1,0 +1,182 @@
+// End-to-end reproduction of the paper's running example (Figures 1-4 and
+// the Section 1.3 discussion) on the verbatim Movie table.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregate_skyline.h"
+#include "core/gamma.h"
+#include "datagen/movies.h"
+#include "skyline/skyline.h"
+#include "sql/catalog.h"
+
+namespace galaxy::core {
+namespace {
+
+std::set<std::string> DirectorsOf(const Table& movies,
+                                  const std::vector<size_t>& rows) {
+  std::set<std::string> out;
+  for (size_t r : rows) {
+    out.insert(movies.at(r, "Director").value().AsString());
+  }
+  return out;
+}
+
+TEST(PaperExamplesTest, Figure2RecordSkyline) {
+  Table movies = datagen::MovieTable();
+  auto rows =
+      skyline::ComputeOnTable(movies, {"Pop", "Qual"}, skyline::AllMax(2));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ(movies.at((*rows)[0], "Title").value(), Value("Pulp Fiction"));
+  EXPECT_EQ(movies.at((*rows)[1], "Title").value(), Value("The Godfather"));
+}
+
+TEST(PaperExamplesTest, Figure3AggregateQuery) {
+  // Example 2: SELECT Director, max(Pop), max(Qual) FROM Movie
+  //            GROUP BY Director HAVING max(Qual) >= 8.0
+  sql::Database db;
+  db.Register("Movie", datagen::MovieTable());
+  auto result = db.Query(
+      "SELECT Director, max(Pop) AS mp, max(Qual) AS mq FROM Movie "
+      "GROUP BY Director HAVING max(Qual) >= 8.0 ORDER BY Director");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Six directors qualify (all but Wiseau).
+  ASSERT_EQ(result->num_rows(), 6u);
+  auto row_of = [&](const std::string& director) -> int {
+    for (size_t r = 0; r < result->num_rows(); ++r) {
+      if (result->at(r, 0).AsString() == director) return static_cast<int>(r);
+    }
+    return -1;
+  };
+  int cameron = row_of("Cameron");
+  ASSERT_GE(cameron, 0);
+  EXPECT_EQ(result->at(cameron, 1), Value(404));
+  EXPECT_EQ(result->at(cameron, 2), Value(8.6));
+  int tarantino = row_of("Tarantino");
+  ASSERT_GE(tarantino, 0);
+  EXPECT_EQ(result->at(tarantino, 1), Value(557));
+  EXPECT_EQ(result->at(tarantino, 2), Value(9.0));
+  int coppola = row_of("Coppola");
+  ASSERT_GE(coppola, 0);
+  EXPECT_EQ(result->at(coppola, 1), Value(531));
+  EXPECT_EQ(result->at(coppola, 2), Value(9.2));
+  EXPECT_EQ(row_of("Wiseau"), -1);
+}
+
+TEST(PaperExamplesTest, Figure4aSequentialSkylineDirectors) {
+  // skyline -> group by: the directors of the skyline movies are just
+  // Tarantino and Coppola.
+  Table movies = datagen::MovieTable();
+  auto rows =
+      skyline::ComputeOnTable(movies, {"Pop", "Qual"}, skyline::AllMax(2));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(DirectorsOf(movies, *rows),
+            (std::set<std::string>{"Tarantino", "Coppola"}));
+}
+
+TEST(PaperExamplesTest, Figure4aGroupByThenSkyline) {
+  // group by -> skyline on (max(Pop), max(Qual)) also returns only
+  // Tarantino and Coppola (the paper's Figure 4(a) discussion).
+  sql::Database db;
+  db.Register("Movie", datagen::MovieTable());
+  Table aggregated =
+      db.Query(
+            "SELECT Director, max(Pop) AS mp, max(Qual) AS mq FROM Movie "
+            "GROUP BY Director")
+          .value();
+  auto rows =
+      skyline::ComputeOnTable(aggregated, {"mp", "mq"}, skyline::AllMax(2));
+  ASSERT_TRUE(rows.ok());
+  std::set<std::string> directors;
+  for (size_t r : *rows) {
+    directors.insert(aggregated.at(r, 0).AsString());
+  }
+  EXPECT_EQ(directors, (std::set<std::string>{"Tarantino", "Coppola"}));
+}
+
+TEST(PaperExamplesTest, Figure4bAggregateSkylineDirectors) {
+  // Example 3: SELECT director FROM movies GROUP BY Director
+  //            SKYLINE OF Pop MAX, Qual MAX
+  // returns Coppola, Jackson, Kershner, Tarantino.
+  Table movies = datagen::MovieTable();
+  GroupedDataset ds =
+      GroupedDataset::FromTable(movies, {"Director"}, {"Pop", "Qual"}).value();
+  AggregateSkylineOptions options;
+  options.gamma = 0.5;
+  options.algorithm = Algorithm::kBruteForce;
+  AggregateSkylineResult result = ComputeAggregateSkyline(ds, options);
+  std::vector<std::string> labels = result.Labels(ds);
+  std::sort(labels.begin(), labels.end());
+  EXPECT_EQ(labels, (std::vector<std::string>{"Coppola", "Jackson",
+                                              "Kershner", "Tarantino"}));
+}
+
+TEST(PaperExamplesTest, Figure4bViaSqlSkylineSyntax) {
+  // The same query through the SQL front end with the paper's syntax.
+  sql::Database db;
+  db.Register("movies", datagen::MovieTable());
+  auto result = db.Query(
+      "SELECT Director FROM movies GROUP BY Director "
+      "SKYLINE OF Pop MAX, Qual MAX ORDER BY Director");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->num_rows(), 4u);
+  EXPECT_EQ(result->at(0, 0), Value("Coppola"));
+  EXPECT_EQ(result->at(1, 0), Value("Jackson"));
+  EXPECT_EQ(result->at(2, 0), Value("Kershner"));
+  EXPECT_EQ(result->at(3, 0), Value("Tarantino"));
+}
+
+TEST(PaperExamplesTest, Section13CameronNotBetterThanNolan) {
+  // The paper's argument against group-by -> skyline: Cameron appears to
+  // beat Nolan on (max Pop, max Qual), but no single Cameron movie
+  // dominates Nolan's only movie — so neither director gamma-dominates the
+  // other.
+  Table movies = datagen::MovieTable();
+  GroupedDataset ds =
+      GroupedDataset::FromTable(movies, {"Director"}, {"Pop", "Qual"}).value();
+  size_t cameron = ds.FindByLabel("Cameron").value();
+  size_t nolan = ds.FindByLabel("Nolan").value();
+  EXPECT_DOUBLE_EQ(DominationProbability(ds.group(cameron), ds.group(nolan)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(DominationProbability(ds.group(nolan), ds.group(cameron)),
+                   0.0);
+}
+
+TEST(PaperExamplesTest, Section13JacksonDominatedRecordWiseButNotGroupWise) {
+  // Jackson's only movie is dominated by Pulp Fiction, yet Jackson the
+  // *director* is not gamma-dominated by Tarantino (p = 1/2, not > 1/2).
+  Table movies = datagen::MovieTable();
+  GroupedDataset ds =
+      GroupedDataset::FromTable(movies, {"Director"}, {"Pop", "Qual"}).value();
+  size_t tarantino = ds.FindByLabel("Tarantino").value();
+  size_t jackson = ds.FindByLabel("Jackson").value();
+  EXPECT_DOUBLE_EQ(
+      DominationProbability(ds.group(tarantino), ds.group(jackson)), 0.5);
+  EXPECT_FALSE(GammaDominates(ds.group(tarantino), ds.group(jackson), 0.5));
+}
+
+TEST(PaperExamplesTest, WiseauStrictlyDominatedByEveryone) {
+  Table movies = datagen::MovieTable();
+  GroupedDataset ds =
+      GroupedDataset::FromTable(movies, {"Director"}, {"Pop", "Qual"}).value();
+  size_t wiseau = ds.FindByLabel("Wiseau").value();
+  for (size_t g = 0; g < ds.num_groups(); ++g) {
+    if (g == wiseau) continue;
+    EXPECT_DOUBLE_EQ(DominationProbability(ds.group(g), ds.group(wiseau)),
+                     1.0)
+        << ds.group(g).label();
+  }
+}
+
+TEST(PaperExamplesTest, MovieSkylineTableMatchesFigure2) {
+  Table expected = datagen::MovieSkylineTable();
+  EXPECT_EQ(expected.num_rows(), 2u);
+  EXPECT_EQ(expected.at(0, "Title").value(), Value("Pulp Fiction"));
+  EXPECT_EQ(expected.at(1, "Director").value(), Value("Coppola"));
+}
+
+}  // namespace
+}  // namespace galaxy::core

@@ -1,0 +1,134 @@
+#include "core/parallel.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/gamma.h"
+#include "datagen/groups.h"
+#include "datagen/movies.h"
+
+namespace galaxy::core {
+namespace {
+
+std::set<uint32_t> AsSet(const std::vector<uint32_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+std::set<uint32_t> ExactSkyline(const GroupedDataset& ds, double gamma) {
+  AggregateSkylineOptions options;
+  options.gamma = gamma;
+  options.algorithm = Algorithm::kBruteForce;
+  AggregateSkylineResult result = ComputeAggregateSkyline(ds, options);
+  return AsSet(result.skyline);
+}
+
+GroupedDataset TestWorkload(uint64_t seed) {
+  datagen::GroupedWorkloadConfig config;
+  config.num_records = 1200;
+  config.avg_records_per_group = 30;
+  config.dims = 3;
+  config.seed = seed;
+  return datagen::GenerateGrouped(config);
+}
+
+class ParallelThreadsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelThreadsTest, MatchesExactResult) {
+  GroupedDataset ds = TestWorkload(11);
+  std::set<uint32_t> exact = ExactSkyline(ds, 0.5);
+  ParallelOptions options;
+  options.num_threads = GetParam();
+  AggregateSkylineResult result =
+      ComputeAggregateSkylineParallel(ds, options);
+  EXPECT_EQ(AsSet(result.skyline), exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelThreadsTest,
+                         ::testing::Values<size_t>(1, 2, 3, 4, 8));
+
+TEST(ParallelTest, MatchesExactAcrossGammas) {
+  GroupedDataset ds = TestWorkload(12);
+  for (double gamma : {0.5, 0.75, 0.9, 1.0}) {
+    ParallelOptions options;
+    options.gamma = gamma;
+    options.num_threads = 4;
+    AggregateSkylineResult result =
+        ComputeAggregateSkylineParallel(ds, options);
+    EXPECT_EQ(AsSet(result.skyline), ExactSkyline(ds, gamma))
+        << "gamma " << gamma;
+  }
+}
+
+TEST(ParallelTest, OptionVariantsAgree) {
+  GroupedDataset ds = TestWorkload(13);
+  std::set<uint32_t> exact = ExactSkyline(ds, 0.5);
+  for (bool mbb : {false, true}) {
+    for (bool stop : {false, true}) {
+      for (bool skip : {false, true}) {
+        ParallelOptions options;
+        options.num_threads = 4;
+        options.use_mbb = mbb;
+        options.use_stop_rule = stop;
+        options.skip_settled_pairs = skip;
+        AggregateSkylineResult result =
+            ComputeAggregateSkylineParallel(ds, options);
+        EXPECT_EQ(AsSet(result.skyline), exact)
+            << "mbb " << mbb << " stop " << stop << " skip " << skip;
+      }
+    }
+  }
+}
+
+TEST(ParallelTest, MovieExample) {
+  Table movies = datagen::MovieTable();
+  GroupedDataset ds =
+      GroupedDataset::FromTable(movies, {"Director"}, {"Pop", "Qual"}).value();
+  ParallelOptions options;
+  options.num_threads = 3;
+  AggregateSkylineResult result = ComputeAggregateSkylineParallel(ds, options);
+  std::set<std::string> labels;
+  for (uint32_t id : result.skyline) labels.insert(ds.group(id).label());
+  EXPECT_EQ(labels, (std::set<std::string>{"Coppola", "Jackson", "Kershner",
+                                           "Tarantino"}));
+}
+
+TEST(ParallelTest, StatsAreMerged) {
+  GroupedDataset ds = TestWorkload(14);
+  ParallelOptions options;
+  options.num_threads = 4;
+  options.skip_settled_pairs = false;
+  AggregateSkylineResult result = ComputeAggregateSkylineParallel(ds, options);
+  uint32_t n = static_cast<uint32_t>(ds.num_groups());
+  EXPECT_EQ(result.stats.group_pairs_classified,
+            static_cast<uint64_t>(n) * (n - 1) / 2);
+  EXPECT_GT(result.stats.record_comparisons, 0u);
+  EXPECT_GE(result.stats.wall_seconds, 0.0);
+}
+
+TEST(ParallelTest, SingleGroup) {
+  GroupedDataset ds = GroupedDataset::FromPoints({{{1, 2}}});
+  AggregateSkylineResult result = ComputeAggregateSkylineParallel(ds);
+  EXPECT_EQ(result.skyline, (std::vector<uint32_t>{0}));
+}
+
+TEST(ParallelTest, DeterministicResultUnderRepetition) {
+  // The result set must not depend on thread interleavings: run several
+  // times and compare.
+  GroupedDataset ds = TestWorkload(15);
+  ParallelOptions options;
+  options.num_threads = 8;
+  std::set<uint32_t> first;
+  for (int run = 0; run < 5; ++run) {
+    AggregateSkylineResult result =
+        ComputeAggregateSkylineParallel(ds, options);
+    if (run == 0) {
+      first = AsSet(result.skyline);
+    } else {
+      EXPECT_EQ(AsSet(result.skyline), first) << "run " << run;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::core

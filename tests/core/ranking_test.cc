@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/aggregate_skyline.h"
+#include "core/gamma.h"
+#include "datagen/groups.h"
+#include "datagen/movies.h"
+
+namespace galaxy::core {
+namespace {
+
+TEST(RankByGammaTest, MovieDirectors) {
+  Table movies = datagen::MovieTable();
+  GroupedDataset ds =
+      GroupedDataset::FromTable(movies, {"Director"}, {"Pop", "Qual"}).value();
+  std::vector<RankedGroup> ranked = RankByGamma(ds);
+  ASSERT_EQ(ranked.size(), ds.num_groups());
+
+  // Wiseau is strictly dominated: always last, never in a skyline.
+  EXPECT_EQ(ranked.back().label, "Wiseau");
+  EXPECT_TRUE(ranked.back().always_dominated);
+
+  // Every non-strictly-dominated group reports min_gamma in [0.5, 1].
+  for (const RankedGroup& rg : ranked) {
+    if (!rg.always_dominated) {
+      EXPECT_GE(rg.min_gamma, 0.5);
+      EXPECT_LE(rg.min_gamma, 1.0);
+    }
+  }
+  // Sorted ascending by min_gamma among the never-strictly-dominated.
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    if (!ranked[i - 1].always_dominated && !ranked[i].always_dominated) {
+      EXPECT_LE(ranked[i - 1].min_gamma, ranked[i].min_gamma);
+    }
+  }
+}
+
+TEST(RankByGammaTest, ConsistentWithSkylineMembership) {
+  datagen::GroupedWorkloadConfig config;
+  config.num_records = 500;
+  config.avg_records_per_group = 25;
+  config.dims = 3;
+  config.seed = 11;
+  GroupedDataset ds = datagen::GenerateGrouped(config);
+  std::vector<RankedGroup> ranked = RankByGamma(ds);
+
+  for (double gamma : {0.5, 0.65, 0.8, 0.95}) {
+    AggregateSkylineOptions options;
+    options.gamma = gamma;
+    options.algorithm = Algorithm::kBruteForce;
+    AggregateSkylineResult result = ComputeAggregateSkyline(ds, options);
+    for (const RankedGroup& rg : ranked) {
+      bool in_skyline = result.Contains(rg.id);
+      bool predicted = !rg.always_dominated && rg.min_gamma <= gamma;
+      EXPECT_EQ(in_skyline, predicted)
+          << "group " << rg.label << " gamma " << gamma << " min_gamma "
+          << rg.min_gamma;
+    }
+  }
+}
+
+TEST(RankByGammaTest, MinGammaIsMaxDominationProbability) {
+  GroupedDataset ds = GroupedDataset::FromPoints(
+      {{{5, 5}, {1, 1}, {1, 2}}, {{2, 3}}, {{0.5, 6}}}, {"G1", "G2", "G3"});
+  std::vector<RankedGroup> ranked = RankByGamma(ds);
+  auto find = [&](const std::string& label) {
+    for (const RankedGroup& rg : ranked) {
+      if (rg.label == label) return rg;
+    }
+    ADD_FAILURE() << "missing " << label;
+    return RankedGroup{};
+  };
+  // p(G2 ≻ G1) = 2/3 is the strongest attack on G1.
+  EXPECT_NEAR(find("G1").min_gamma, 2.0 / 3.0, 1e-12);
+  EXPECT_FALSE(find("G1").always_dominated);
+  // Nothing dominates G2 or G3 at all.
+  EXPECT_NEAR(find("G2").min_gamma, 0.5, 1e-12);
+  EXPECT_NEAR(find("G3").min_gamma, 0.5, 1e-12);
+}
+
+TEST(RankByGammaTest, StrongestDominatorIsReported) {
+  Table movies = datagen::MovieTable();
+  GroupedDataset ds =
+      GroupedDataset::FromTable(movies, {"Director"}, {"Pop", "Qual"}).value();
+  std::vector<RankedGroup> ranked = RankByGamma(ds);
+  auto find = [&](const std::string& label) -> const RankedGroup& {
+    for (const RankedGroup& rg : ranked) {
+      if (rg.label == label) return rg;
+    }
+    static RankedGroup none;
+    ADD_FAILURE() << "missing " << label;
+    return none;
+  };
+  // Nolan's single movie is strictly dominated by Jackson's (p = 1).
+  const RankedGroup& nolan = find("Nolan");
+  EXPECT_TRUE(nolan.always_dominated);
+  EXPECT_EQ(ds.group(nolan.strongest_dominator).label(), "Jackson");
+  EXPECT_DOUBLE_EQ(nolan.strongest_probability, 1.0);
+  // G with no attackers points at itself with probability 0... movie data
+  // has attackers for everyone except via zero probability: check Coppola,
+  // whose strongest attacker is Tarantino or Jackson at p = .5.
+  const RankedGroup& coppola = find("Coppola");
+  EXPECT_DOUBLE_EQ(coppola.strongest_probability, 0.5);
+  EXPECT_FALSE(coppola.always_dominated);
+}
+
+TEST(StabilityBoundsTest, CorrectedPropertyTwoBounds) {
+  GammaDriftBounds b = StabilityBounds(0.5, 0.5);
+  EXPECT_DOUBLE_EQ(b.lower, 0.0);
+  EXPECT_DOUBLE_EQ(b.upper, 1.0);
+  b = StabilityBounds(0.8, 0.1);
+  EXPECT_NEAR(b.lower, 0.7 / 0.9, 1e-12);
+  EXPECT_NEAR(b.upper, 0.8 / 0.9, 1e-12);
+  b = StabilityBounds(0.6, 0.0);
+  EXPECT_DOUBLE_EQ(b.lower, 0.6);
+  EXPECT_DOUBLE_EQ(b.upper, 0.6);
+}
+
+TEST(RankByGammaTest, SingleGroup) {
+  GroupedDataset ds = GroupedDataset::FromPoints({{{1, 1}}});
+  std::vector<RankedGroup> ranked = RankByGamma(ds);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].min_gamma, 0.5);
+  EXPECT_FALSE(ranked[0].always_dominated);
+}
+
+}  // namespace
+}  // namespace galaxy::core

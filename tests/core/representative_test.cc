@@ -1,0 +1,105 @@
+#include "core/representative.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregate_skyline.h"
+#include "core/gamma.h"
+#include "datagen/groups.h"
+#include "datagen/movies.h"
+
+namespace galaxy::core {
+namespace {
+
+TEST(RepresentativeTest, SmallSkylineReturnsEverything) {
+  Table movies = datagen::MovieTable();
+  GroupedDataset ds =
+      GroupedDataset::FromTable(movies, {"Director"}, {"Pop", "Qual"}).value();
+  RepresentativeResult r = SelectRepresentatives(ds, 10, 0.5);
+  // The skyline has 4 directors; all are returned.
+  EXPECT_EQ(r.representatives.size(), 4u);
+  EXPECT_EQ(r.dominated_total, 3u);  // Cameron, Nolan, Wiseau
+}
+
+TEST(RepresentativeTest, PicksTheDominatorFirst) {
+  // One skyline group dominates both losers; the other dominates none.
+  GroupedDataset ds = GroupedDataset::FromPoints(
+      {{{0.9, 0.9}},   // A: top-right, dominates C and D
+       {{0.1, 1.5}},   // B: skyline via dimension 1, dominates nothing
+       {{0.5, 0.5}},   // C: dominated by A
+       {{0.6, 0.4}}},  // D: dominated by A
+      {"A", "B", "C", "D"});
+  RepresentativeResult r = SelectRepresentatives(ds, 1, 0.5);
+  ASSERT_EQ(r.representatives.size(), 1u);
+  EXPECT_EQ(ds.group(r.representatives[0].id).label(), "A");
+  EXPECT_EQ(r.representatives[0].marginal_coverage, 2u);
+  EXPECT_EQ(r.covered, 2u);
+  EXPECT_EQ(r.dominated_total, 2u);
+}
+
+TEST(RepresentativeTest, GreedyCoverageIsMonotoneAndBounded) {
+  datagen::GroupedWorkloadConfig config;
+  config.num_records = 1500;
+  config.avg_records_per_group = 25;
+  config.dims = 3;
+  config.seed = 71;
+  GroupedDataset ds = datagen::GenerateGrouped(config);
+  size_t previous_covered = 0;
+  for (size_t k : {1, 2, 4, 8, 1000}) {
+    RepresentativeResult r = SelectRepresentatives(ds, k, 0.5);
+    EXPECT_GE(r.covered, previous_covered);
+    EXPECT_LE(r.covered, r.dominated_total);
+    previous_covered = r.covered;
+    // All representatives are skyline members.
+    AggregateSkylineOptions options;
+    options.algorithm = Algorithm::kBruteForce;
+    AggregateSkylineResult sky = ComputeAggregateSkyline(ds, options);
+    for (const RepresentativeGroup& rep : r.representatives) {
+      EXPECT_TRUE(sky.Contains(rep.id));
+    }
+  }
+  // Unlimited budget covers every group that is dominated by some skyline
+  // group (not necessarily all dominated groups: domination is not
+  // transitive, so a group can be dominated only by non-skyline groups).
+  RepresentativeResult all = SelectRepresentatives(ds, 1u << 20, 0.5);
+  size_t coverable = 0;
+  AggregateSkylineOptions options;
+  options.algorithm = Algorithm::kBruteForce;
+  AggregateSkylineResult sky = ComputeAggregateSkyline(ds, options);
+  for (uint32_t g = 0; g < ds.num_groups(); ++g) {
+    if (sky.Contains(g)) continue;
+    for (uint32_t s : sky.skyline) {
+      if (GammaDominates(ds.group(s), ds.group(g), 0.5)) {
+        ++coverable;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(all.covered, coverable);
+}
+
+TEST(RepresentativeTest, MarginalCoverageIsNonIncreasing) {
+  datagen::GroupedWorkloadConfig config;
+  config.num_records = 1000;
+  config.avg_records_per_group = 20;
+  config.dims = 2;
+  config.seed = 72;
+  GroupedDataset ds = datagen::GenerateGrouped(config);
+  RepresentativeResult r = SelectRepresentatives(ds, 10, 0.5);
+  for (size_t i = 1; i < r.representatives.size(); ++i) {
+    EXPECT_LE(r.representatives[i].marginal_coverage,
+              r.representatives[i - 1].marginal_coverage);
+  }
+}
+
+TEST(RepresentativeTest, SingleGroupDataset) {
+  GroupedDataset ds = GroupedDataset::FromPoints({{{1, 1}}});
+  RepresentativeResult r = SelectRepresentatives(ds, 3, 0.5);
+  ASSERT_EQ(r.representatives.size(), 1u);
+  EXPECT_EQ(r.covered, 0u);
+  EXPECT_EQ(r.dominated_total, 0u);
+}
+
+}  // namespace
+}  // namespace galaxy::core

@@ -1,0 +1,103 @@
+#include "datagen/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "skyline/skyline.h"
+
+namespace galaxy::datagen {
+namespace {
+
+double Correlation(const std::vector<Point>& pts, size_t i, size_t j) {
+  double mi = 0, mj = 0;
+  for (const Point& p : pts) {
+    mi += p[i];
+    mj += p[j];
+  }
+  mi /= pts.size();
+  mj /= pts.size();
+  double cov = 0, vi = 0, vj = 0;
+  for (const Point& p : pts) {
+    cov += (p[i] - mi) * (p[j] - mj);
+    vi += (p[i] - mi) * (p[i] - mi);
+    vj += (p[j] - mj) * (p[j] - mj);
+  }
+  return cov / std::sqrt(vi * vj);
+}
+
+TEST(DistributionsTest, PointsAreInUnitCube) {
+  Rng rng(1);
+  for (Distribution d : {Distribution::kIndependent, Distribution::kCorrelated,
+                         Distribution::kAntiCorrelated}) {
+    for (int i = 0; i < 2000; ++i) {
+      Point p = SamplePoint(d, 4, rng);
+      ASSERT_EQ(p.size(), 4u);
+      for (double v : p) {
+        ASSERT_GE(v, 0.0);
+        ASSERT_LE(v, 1.0);
+      }
+    }
+  }
+}
+
+TEST(DistributionsTest, IndependentHasNearZeroCorrelation) {
+  Rng rng(2);
+  auto pts = SamplePoints(Distribution::kIndependent, 3, 20000, rng);
+  EXPECT_NEAR(Correlation(pts, 0, 1), 0.0, 0.03);
+  EXPECT_NEAR(Correlation(pts, 1, 2), 0.0, 0.03);
+}
+
+TEST(DistributionsTest, CorrelatedHasStrongPositiveCorrelation) {
+  Rng rng(3);
+  auto pts = SamplePoints(Distribution::kCorrelated, 3, 20000, rng);
+  EXPECT_GT(Correlation(pts, 0, 1), 0.7);
+  EXPECT_GT(Correlation(pts, 0, 2), 0.7);
+}
+
+TEST(DistributionsTest, AntiCorrelatedHasNegativeCorrelation) {
+  Rng rng(4);
+  auto pts = SamplePoints(Distribution::kAntiCorrelated, 2, 20000, rng);
+  EXPECT_LT(Correlation(pts, 0, 1), -0.5);
+}
+
+TEST(DistributionsTest, AntiCorrelatedNegativeInHigherDims) {
+  Rng rng(5);
+  auto pts = SamplePoints(Distribution::kAntiCorrelated, 5, 20000, rng);
+  // Pairwise correlations are negative (sum is roughly constant).
+  EXPECT_LT(Correlation(pts, 0, 1), -0.1);
+  EXPECT_LT(Correlation(pts, 2, 4), -0.1);
+}
+
+TEST(DistributionsTest, SkylineSizeOrdering) {
+  // The canonical sanity check: |sky(anti)| >> |sky(indep)| >> |sky(corr)|.
+  Rng r1(6), r2(6), r3(6);
+  size_t n = 5000;
+  auto anti = SamplePoints(Distribution::kAntiCorrelated, 3, n, r1);
+  auto ind = SamplePoints(Distribution::kIndependent, 3, n, r2);
+  auto corr = SamplePoints(Distribution::kCorrelated, 3, n, r3);
+  size_t s_anti = skyline::Compute(anti, skyline::AllMax(3)).size();
+  size_t s_ind = skyline::Compute(ind, skyline::AllMax(3)).size();
+  size_t s_corr = skyline::Compute(corr, skyline::AllMax(3)).size();
+  EXPECT_GT(s_anti, s_ind);
+  EXPECT_GT(s_ind, s_corr);
+}
+
+TEST(DistributionsTest, Deterministic) {
+  Rng a(7), b(7);
+  auto x = SamplePoints(Distribution::kAntiCorrelated, 3, 100, a);
+  auto y = SamplePoints(Distribution::kAntiCorrelated, 3, 100, b);
+  EXPECT_EQ(x, y);
+}
+
+TEST(DistributionsTest, NameRoundTrip) {
+  EXPECT_EQ(DistributionFromString("independent"),
+            Distribution::kIndependent);
+  EXPECT_EQ(DistributionFromString("CORR"), Distribution::kCorrelated);
+  EXPECT_EQ(DistributionFromString("anti"), Distribution::kAntiCorrelated);
+  EXPECT_STREQ(DistributionToString(Distribution::kAntiCorrelated),
+               "anticorrelated");
+}
+
+}  // namespace
+}  // namespace galaxy::datagen

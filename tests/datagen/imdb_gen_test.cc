@@ -1,0 +1,116 @@
+#include "datagen/imdb_gen.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/group.h"
+
+namespace galaxy::datagen {
+namespace {
+
+TEST(ImdbGenTest, TargetSizeAndRanges) {
+  ImdbConfig config;
+  config.target_movies = 5000;
+  auto movies = GenerateImdbCorpus(config);
+  EXPECT_EQ(movies.size(), 5000u);
+  for (const MovieRecord& m : movies) {
+    EXPECT_GE(m.year, config.first_year);
+    EXPECT_LE(m.year, config.last_year);
+    EXPECT_GE(m.rating, 1.0);
+    EXPECT_LE(m.rating, 10.0);
+    EXPECT_GE(m.votes_thousands, 1);
+    EXPECT_FALSE(m.title.empty());
+    EXPECT_FALSE(m.director.empty());
+    EXPECT_FALSE(m.genre.empty());
+  }
+}
+
+TEST(ImdbGenTest, FilmographySizesAreHeavyTailed) {
+  ImdbConfig config;
+  config.target_movies = 20000;
+  auto movies = GenerateImdbCorpus(config);
+  std::map<std::string, int> filmography;
+  for (const MovieRecord& m : movies) ++filmography[m.director];
+  int max_size = 0;
+  int singletons = 0;
+  for (const auto& [name, n] : filmography) {
+    max_size = std::max(max_size, n);
+    if (n <= 2) ++singletons;
+  }
+  // The top director holds far more than the mean share, and a long tail
+  // of near-singleton directors exists.
+  EXPECT_GT(max_size, 100);
+  EXPECT_GT(singletons, 100);
+}
+
+TEST(ImdbGenTest, VotesSpanOrdersOfMagnitude) {
+  ImdbConfig config;
+  config.target_movies = 10000;
+  auto movies = GenerateImdbCorpus(config);
+  int64_t min_votes = INT64_MAX, max_votes = 0;
+  for (const MovieRecord& m : movies) {
+    min_votes = std::min(min_votes, m.votes_thousands);
+    max_votes = std::max(max_votes, m.votes_thousands);
+  }
+  EXPECT_GE(max_votes / std::max<int64_t>(1, min_votes), 1000);
+}
+
+TEST(ImdbGenTest, QualityClustersByDirector) {
+  // Between-director rating variance should be a sizable share of total
+  // variance (the auteur latent is visible through the noise).
+  ImdbConfig config;
+  config.target_movies = 15000;
+  auto movies = GenerateImdbCorpus(config);
+  std::map<std::string, std::pair<double, int>> by_director;
+  double total_sum = 0;
+  for (const MovieRecord& m : movies) {
+    by_director[m.director].first += m.rating;
+    by_director[m.director].second += 1;
+    total_sum += m.rating;
+  }
+  double grand_mean = total_sum / movies.size();
+  double between = 0, total_var = 0;
+  for (const MovieRecord& m : movies) {
+    total_var += (m.rating - grand_mean) * (m.rating - grand_mean);
+  }
+  for (const auto& [name, acc] : by_director) {
+    double mean = acc.first / acc.second;
+    between += acc.second * (mean - grand_mean) * (mean - grand_mean);
+  }
+  EXPECT_GT(between / total_var, 0.3);
+}
+
+TEST(ImdbGenTest, Deterministic) {
+  ImdbConfig config;
+  config.target_movies = 500;
+  auto a = GenerateImdbCorpus(config);
+  auto b = GenerateImdbCorpus(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].director, b[i].director);
+    EXPECT_EQ(a[i].votes_thousands, b[i].votes_thousands);
+    EXPECT_EQ(a[i].rating, b[i].rating);
+  }
+}
+
+TEST(ImdbGenTest, ToTableShapeMatchesFigure1Schema) {
+  ImdbConfig config;
+  config.target_movies = 1000;
+  Table t = ToTable(GenerateImdbCorpus(config));
+  EXPECT_EQ(t.num_rows(), 1000u);
+  EXPECT_TRUE(t.schema().Contains("Pop"));
+  EXPECT_TRUE(t.schema().Contains("Qual"));
+  // Grouping by director works end to end.
+  auto ds = core::GroupedDataset::FromTable(t, {"Director"}, {"Pop", "Qual"});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_GT(ds->num_groups(), 100u);
+  // Grouping by genre and by decade-style expressions also used in demos.
+  auto by_genre = core::GroupedDataset::FromTable(t, {"Genre"}, {"Pop", "Qual"});
+  ASSERT_TRUE(by_genre.ok());
+  EXPECT_LE(by_genre->num_groups(), 8u);
+}
+
+}  // namespace
+}  // namespace galaxy::datagen

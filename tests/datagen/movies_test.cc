@@ -1,0 +1,60 @@
+#include "datagen/movies.h"
+
+#include <gtest/gtest.h>
+
+#include "core/gamma.h"
+
+namespace galaxy::datagen {
+namespace {
+
+TEST(MoviesTest, Figure1TableVerbatim) {
+  Table t = MovieTable();
+  ASSERT_EQ(t.num_rows(), 10u);
+  // Spot-check a few cells against Figure 1.
+  EXPECT_EQ(t.at(0, "Title").value(), Value("Avatar"));
+  EXPECT_EQ(t.at(0, "Year").value(), Value(2009));
+  EXPECT_EQ(t.at(0, "Director").value(), Value("Cameron"));
+  EXPECT_EQ(t.at(0, "Pop").value(), Value(404));
+  EXPECT_EQ(t.at(0, "Qual").value(), Value(8.0));
+  EXPECT_EQ(t.at(9, "Title").value(), Value("Dracula"));
+  EXPECT_EQ(t.at(9, "Pop").value(), Value(76));
+}
+
+TEST(MoviesTest, FilmographyGroupShapes) {
+  core::GroupedDataset ds = DirectorFilmographies();
+  EXPECT_EQ(ds.num_groups(), 4u);
+  EXPECT_EQ(ds.group(ds.FindByLabel(kTarantino).value()).size(), 8u);
+  EXPECT_EQ(ds.group(ds.FindByLabel(kWiseau).value()).size(), 2u);
+  EXPECT_EQ(ds.group(ds.FindByLabel(kFleischer).value()).size(), 4u);
+  EXPECT_EQ(ds.group(ds.FindByLabel(kJackson).value()).size(), 6u);
+}
+
+TEST(MoviesTest, Table2ProbabilitiesWithinPaperTolerance) {
+  core::GroupedDataset ds = DirectorFilmographies();
+  auto p = [&](const char* s, const char* r) {
+    return core::DominationProbability(
+        ds.group(ds.FindByLabel(s).value()),
+        ds.group(ds.FindByLabel(r).value()));
+  };
+  // Paper Table 2 values: 1.00, .94, .68, .00, .06, .26 (rounded).
+  EXPECT_DOUBLE_EQ(p(kTarantino, kWiseau), 1.0);
+  EXPECT_NEAR(p(kTarantino, kFleischer), 0.94, 0.01);
+  EXPECT_NEAR(p(kTarantino, kJackson), 0.68, 0.015);
+  EXPECT_DOUBLE_EQ(p(kWiseau, kTarantino), 0.0);
+  EXPECT_NEAR(p(kFleischer, kTarantino), 0.06, 0.01);
+  EXPECT_NEAR(p(kJackson, kTarantino), 0.26, 0.015);
+}
+
+TEST(MoviesTest, ProbabilitiesDoNotSumToOneForJackson) {
+  // The paper notes p(T ≻ J) + p(J ≻ T) < 1: some movie pairs are
+  // incomparable.
+  core::GroupedDataset ds = DirectorFilmographies();
+  const auto& t = ds.group(ds.FindByLabel(kTarantino).value());
+  const auto& j = ds.group(ds.FindByLabel(kJackson).value());
+  EXPECT_LT(core::DominationProbability(t, j) +
+                core::DominationProbability(j, t),
+            1.0);
+}
+
+}  // namespace
+}  // namespace galaxy::datagen

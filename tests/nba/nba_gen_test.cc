@@ -1,0 +1,142 @@
+#include "nba/nba_gen.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/group.h"
+
+namespace galaxy::nba {
+namespace {
+
+TEST(NbaGenTest, TargetRecordCount) {
+  NbaConfig config;
+  config.target_records = 2000;
+  auto seasons = GenerateLeagueHistory(config);
+  EXPECT_EQ(seasons.size(), 2000u);
+}
+
+TEST(NbaGenTest, YearsWithinRange) {
+  NbaConfig config;
+  config.target_records = 3000;
+  auto seasons = GenerateLeagueHistory(config);
+  for (const PlayerSeason& ps : seasons) {
+    EXPECT_GE(ps.year, config.first_year);
+    EXPECT_LE(ps.year, config.last_year);
+  }
+}
+
+TEST(NbaGenTest, StatsAreNonNegativeAndPlausible) {
+  NbaConfig config;
+  config.target_records = 5000;
+  auto seasons = GenerateLeagueHistory(config);
+  for (const PlayerSeason& ps : seasons) {
+    EXPECT_GE(ps.points, 0.0);
+    EXPECT_LT(ps.points, 60.0);  // nobody averages 60
+    EXPECT_GE(ps.rebounds, 0.0);
+    EXPECT_LT(ps.rebounds, 30.0);
+    EXPECT_GE(ps.assists, 0.0);
+    EXPECT_LT(ps.assists, 25.0);
+    EXPECT_GE(ps.three_points, 0.0);
+  }
+}
+
+TEST(NbaGenTest, PositionsShapeStatProfiles) {
+  NbaConfig config;
+  config.target_records = 10000;
+  auto seasons = GenerateLeagueHistory(config);
+  std::map<std::string, std::pair<double, int>> reb, ast;
+  for (const PlayerSeason& ps : seasons) {
+    reb[ps.position].first += ps.rebounds;
+    reb[ps.position].second += 1;
+    ast[ps.position].first += ps.assists;
+    ast[ps.position].second += 1;
+  }
+  auto avg = [](const std::pair<double, int>& p) {
+    return p.first / p.second;
+  };
+  EXPECT_GT(avg(reb["C"]), avg(reb["G"]));  // centers rebound more
+  EXPECT_GT(avg(ast["G"]), avg(ast["C"]));  // guards assist more
+}
+
+TEST(NbaGenTest, ThreePointEraRampsUp) {
+  NbaConfig config;
+  config.target_records = 12000;
+  auto seasons = GenerateLeagueHistory(config);
+  double early = 0, late = 0;
+  int early_n = 0, late_n = 0;
+  for (const PlayerSeason& ps : seasons) {
+    if (ps.year <= 1985) {
+      early += ps.three_points;
+      ++early_n;
+    } else if (ps.year >= 2005) {
+      late += ps.three_points;
+      ++late_n;
+    }
+  }
+  ASSERT_GT(early_n, 100);
+  ASSERT_GT(late_n, 100);
+  EXPECT_GT(late / late_n, 2.0 * (early / early_n));
+}
+
+TEST(NbaGenTest, PlayersHaveMultiSeasonCareers) {
+  NbaConfig config;
+  config.target_records = 8000;
+  auto seasons = GenerateLeagueHistory(config);
+  std::map<std::string, int> career;
+  for (const PlayerSeason& ps : seasons) ++career[ps.player];
+  int multi = 0;
+  for (const auto& [name, n] : career) {
+    if (n > 1) ++multi;
+  }
+  // Grouping by player should produce many small multi-record groups.
+  EXPECT_GT(multi, static_cast<int>(career.size()) / 2);
+  // Roughly the paper's structure: thousands of players for ~15k records.
+  EXPECT_GT(career.size(), 1000u);
+}
+
+TEST(NbaGenTest, Deterministic) {
+  NbaConfig config;
+  config.target_records = 500;
+  auto a = GenerateLeagueHistory(config);
+  auto b = GenerateLeagueHistory(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].player, b[i].player);
+    EXPECT_EQ(a[i].points, b[i].points);
+  }
+}
+
+TEST(NbaGenTest, ToTableShapeAndGrouping) {
+  NbaConfig config;
+  config.target_records = 3000;
+  auto seasons = GenerateLeagueHistory(config);
+  Table t = ToTable(seasons);
+  EXPECT_EQ(t.num_rows(), 3000u);
+  EXPECT_EQ(t.num_columns(), 4u + StatColumns().size());
+  // The table can be grouped on every grouping attribute the bench uses.
+  for (const char* key : {"player", "team", "year", "pos"}) {
+    auto ds = core::GroupedDataset::FromTable(t, {key}, StatColumns());
+    ASSERT_TRUE(ds.ok()) << key;
+    EXPECT_EQ(ds->total_records(), 3000u);
+  }
+  auto by_team_year =
+      core::GroupedDataset::FromTable(t, {"team", "year"}, StatColumns());
+  ASSERT_TRUE(by_team_year.ok());
+  EXPECT_GT(by_team_year->num_groups(), 100u);
+}
+
+TEST(NbaGenTest, TeamsComeFromConfiguredPool) {
+  NbaConfig config;
+  config.target_records = 2000;
+  config.num_teams = 10;
+  auto seasons = GenerateLeagueHistory(config);
+  std::set<std::string> teams;
+  for (const PlayerSeason& ps : seasons) teams.insert(ps.team);
+  EXPECT_LE(teams.size(), 10u);
+  EXPECT_GT(teams.size(), 5u);
+}
+
+}  // namespace
+}  // namespace galaxy::nba

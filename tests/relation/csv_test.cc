@@ -1,0 +1,161 @@
+#include "relation/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/movies.h"
+
+namespace galaxy {
+namespace {
+
+TEST(CsvReadTest, BasicWithHeaderAndTypeInference) {
+  auto t = ReadCsvString("name,year,score\nalpha,2001,1.5\nbeta,2002,2\n");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->schema().column(0).type, ValueType::kString);
+  EXPECT_EQ(t->schema().column(1).type, ValueType::kInt64);
+  // 2 in a column with 1.5 widens to double.
+  EXPECT_EQ(t->schema().column(2).type, ValueType::kDouble);
+  EXPECT_EQ(t->at(0, 0), Value("alpha"));
+  EXPECT_EQ(t->at(1, 1), Value(2002));
+  EXPECT_EQ(t->at(1, 2), Value(2.0));
+}
+
+TEST(CsvReadTest, NoHeaderGeneratesColumnNames) {
+  CsvReadOptions options;
+  options.has_header = false;
+  auto t = ReadCsvString("1,2\n3,4\n", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().column(0).name, "c0");
+  EXPECT_EQ(t->schema().column(1).name, "c1");
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST(CsvReadTest, QuotedFieldsWithDelimitersAndEscapes) {
+  auto t = ReadCsvString(
+      "title,note\n\"Hello, World\",plain\n\"She said \"\"hi\"\"\",x\n");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->at(0, 0), Value("Hello, World"));
+  EXPECT_EQ(t->at(1, 0), Value("She said \"hi\""));
+}
+
+TEST(CsvReadTest, QuotedNewlines) {
+  auto t = ReadCsvString("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->at(0, 0), Value("line1\nline2"));
+}
+
+TEST(CsvReadTest, CrLfLineEndings) {
+  auto t = ReadCsvString("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->at(0, 1), Value(2));
+}
+
+TEST(CsvReadTest, EmptyAndLiteralNullBecomeNulls) {
+  auto t = ReadCsvString("x,y\n1,\n2,NULL\n3,7\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->at(0, 1).is_null());
+  EXPECT_TRUE(t->at(1, 1).is_null());
+  EXPECT_EQ(t->at(2, 1), Value(7));
+  EXPECT_EQ(t->schema().column(1).type, ValueType::kInt64);
+}
+
+TEST(CsvReadTest, NullHandlingCanBeDisabled) {
+  CsvReadOptions options;
+  options.empty_is_null = false;
+  auto t = ReadCsvString("x\nfoo\n\"\"\n", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->at(1, 0), Value(""));
+}
+
+TEST(CsvReadTest, NegativeAndScientificNumbers) {
+  auto t = ReadCsvString("a,b\n-5,1e3\n7,-2.5e-2\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().column(0).type, ValueType::kInt64);
+  EXPECT_EQ(t->schema().column(1).type, ValueType::kDouble);
+  EXPECT_EQ(t->at(0, 0), Value(-5));
+  EXPECT_DOUBLE_EQ(t->at(0, 1).AsDouble(), 1000.0);
+}
+
+TEST(CsvReadTest, MixedNumericAndTextFallsBackToString) {
+  auto t = ReadCsvString("a\n1\ntwo\n3\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().column(0).type, ValueType::kString);
+  EXPECT_EQ(t->at(0, 0), Value("1"));
+}
+
+TEST(CsvReadTest, ArityMismatchIsError) {
+  auto t = ReadCsvString("a,b\n1,2\n3\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReadTest, UnterminatedQuoteIsError) {
+  auto t = ReadCsvString("a\n\"oops\n");
+  ASSERT_FALSE(t.ok());
+}
+
+TEST(CsvReadTest, CustomDelimiter) {
+  CsvReadOptions options;
+  options.delimiter = ';';
+  auto t = ReadCsvString("a;b\n1;2\n", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->at(0, 1), Value(2));
+}
+
+TEST(CsvReadTest, EmptyInputIsError) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(CsvRoundTripTest, MovieTableSurvives) {
+  Table movies = datagen::MovieTable();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(movies, out).ok());
+  auto back = ReadCsvString(out.str());
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_rows(), movies.num_rows());
+  ASSERT_EQ(back->num_columns(), movies.num_columns());
+  for (size_t r = 0; r < movies.num_rows(); ++r) {
+    for (size_t c = 0; c < movies.num_columns(); ++c) {
+      EXPECT_EQ(back->at(r, c), movies.at(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(CsvRoundTripTest, QuotesAndNullsSurvive) {
+  TableBuilder b{Schema({{"s", ValueType::kString},
+                         {"n", ValueType::kInt64}})};
+  b.AddRow({"comma, inside", 1})
+      .AddRow({"quote \" inside", 2})
+      .AddRow({Value::Null(), Value::Null()});
+  Table t = b.Build();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(t, out).ok());
+  auto back = ReadCsvString(out.str());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->at(0, 0), Value("comma, inside"));
+  EXPECT_EQ(back->at(1, 0), Value("quote \" inside"));
+  EXPECT_TRUE(back->at(2, 0).is_null());
+  EXPECT_TRUE(back->at(2, 1).is_null());
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  std::string path = ::testing::TempDir() + "/galaxy_csv_test.csv";
+  Table movies = datagen::MovieTable();
+  ASSERT_TRUE(WriteCsvFile(movies, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->num_rows(), 10u);
+}
+
+TEST(CsvFileTest, MissingFileIsNotFound) {
+  auto t = ReadCsvFile("/nonexistent/galaxy.csv");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace galaxy

@@ -1,0 +1,56 @@
+#include "relation/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace galaxy {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"Title", ValueType::kString},
+                 {"Year", ValueType::kInt64},
+                 {"Qual", ValueType::kDouble}});
+}
+
+TEST(SchemaTest, BasicAccessors) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.column(0).name, "Title");
+  EXPECT_EQ(s.column(1).type, ValueType::kInt64);
+}
+
+TEST(SchemaTest, IndexOfIsCaseInsensitive) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.IndexOf("title").value(), 0u);
+  EXPECT_EQ(s.IndexOf("YEAR").value(), 1u);
+  EXPECT_EQ(s.IndexOf("Qual").value(), 2u);
+}
+
+TEST(SchemaTest, IndexOfMissingColumn) {
+  Schema s = TestSchema();
+  auto r = s.IndexOf("Pop");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, IndexOfAmbiguousColumn) {
+  Schema s({{"a", ValueType::kInt64}, {"A", ValueType::kDouble}});
+  auto r = s.IndexOf("a");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, Contains) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(s.Contains("qual"));
+  EXPECT_FALSE(s.Contains("pop"));
+}
+
+TEST(SchemaTest, EqualityAndToString) {
+  EXPECT_EQ(TestSchema(), TestSchema());
+  Schema other({{"x", ValueType::kInt64}});
+  EXPECT_FALSE(TestSchema() == other);
+  EXPECT_EQ(other.ToString(), "(x INT64)");
+}
+
+}  // namespace
+}  // namespace galaxy

@@ -1,0 +1,103 @@
+#include "relation/table.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/movies.h"
+
+namespace galaxy {
+namespace {
+
+Table SmallTable() {
+  TableBuilder b{Schema({{"name", ValueType::kString},
+                         {"score", ValueType::kDouble},
+                         {"count", ValueType::kInt64}})};
+  b.AddRow({"a", 1.5, 10}).AddRow({"b", 2.5, 20}).AddRow({"c", 3.5, 30});
+  return b.Build();
+}
+
+TEST(TableTest, BasicShape) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.at(1, 0), Value("b"));
+  EXPECT_EQ(t.at(2, 2), Value(30));
+}
+
+TEST(TableTest, NamedCellAccess) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.at(0, "score").value(), Value(1.5));
+  EXPECT_FALSE(t.at(0, "missing").ok());
+  EXPECT_FALSE(t.at(99, "score").ok());
+}
+
+TEST(TableBuilderTest, RejectsArityMismatch) {
+  TableBuilder b{Schema({{"x", ValueType::kInt64}})};
+  Status s = b.TryAddRow({Value(1), Value(2)});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableBuilderTest, RejectsTypeMismatch) {
+  TableBuilder b{Schema({{"x", ValueType::kInt64}})};
+  EXPECT_EQ(b.TryAddRow({Value("nope")}).code(), StatusCode::kTypeError);
+  // Double into int column is not widened.
+  EXPECT_EQ(b.TryAddRow({Value(1.5)}).code(), StatusCode::kTypeError);
+}
+
+TEST(TableBuilderTest, WidensIntToDouble) {
+  TableBuilder b{Schema({{"x", ValueType::kDouble}})};
+  ASSERT_TRUE(b.TryAddRow({Value(3)}).ok());
+  Table t = b.Build();
+  EXPECT_EQ(t.at(0, 0).type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(t.at(0, 0).AsDouble(), 3.0);
+}
+
+TEST(TableBuilderTest, AcceptsNulls) {
+  TableBuilder b{Schema({{"x", ValueType::kInt64}})};
+  ASSERT_TRUE(b.TryAddRow({Value::Null()}).ok());
+  EXPECT_TRUE(b.Build().at(0, 0).is_null());
+}
+
+TEST(TableTest, ExtractNumeric) {
+  Table t = SmallTable();
+  auto points = t.ExtractNumeric({"score", "count"});
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 3u);
+  EXPECT_EQ((*points)[0], (std::vector<double>{1.5, 10.0}));
+  EXPECT_EQ((*points)[2], (std::vector<double>{3.5, 30.0}));
+}
+
+TEST(TableTest, ExtractNumericRejectsStrings) {
+  Table t = SmallTable();
+  EXPECT_FALSE(t.ExtractNumeric({"name"}).ok());
+}
+
+TEST(TableTest, ExtractNumericRejectsUnknownColumn) {
+  Table t = SmallTable();
+  EXPECT_FALSE(t.ExtractNumeric({"nope"}).ok());
+}
+
+TEST(TableTest, MovieTableMatchesFigure1) {
+  Table t = datagen::MovieTable();
+  EXPECT_EQ(t.num_rows(), 10u);
+  EXPECT_EQ(t.num_columns(), 5u);
+  EXPECT_EQ(t.at(3, "Title").value(), Value("Pulp Fiction"));
+  EXPECT_EQ(t.at(3, "Pop").value(), Value(557));
+  EXPECT_EQ(t.at(6, "Qual").value(), Value(9.2));
+  EXPECT_EQ(t.at(8, "Director").value(), Value("Wiseau"));
+}
+
+TEST(TableTest, ToStringContainsHeaderAndRows) {
+  Table t = SmallTable();
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = SmallTable();
+  std::string s = t.ToString(/*max_rows=*/1);
+  EXPECT_NE(s.find("2 more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace galaxy

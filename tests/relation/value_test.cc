@@ -1,0 +1,70 @@
+#include "relation/value.h"
+
+#include <gtest/gtest.h>
+
+namespace galaxy {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{3}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(3).AsInt64(), 3);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, NumericEqualityPromotes) {
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_EQ(Value(3.0), Value(3));
+  EXPECT_FALSE(Value(3) == Value(3.5));
+}
+
+TEST(ValueTest, EqualHashForEqualNumerics) {
+  EXPECT_EQ(Value(3).Hash(), Value(3.0).Hash());
+}
+
+TEST(ValueTest, StringsCompare) {
+  EXPECT_EQ(Value("abc"), Value("abc"));
+  EXPECT_TRUE(Value("abc") < Value("abd"));
+  EXPECT_FALSE(Value("b") < Value("a"));
+}
+
+TEST(ValueTest, NullEquality) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_FALSE(Value::Null() == Value(0));
+}
+
+TEST(ValueTest, CrossTypeOrderingNullNumericString) {
+  EXPECT_TRUE(Value::Null() < Value(1));
+  EXPECT_TRUE(Value(1) < Value("a"));
+  EXPECT_TRUE(Value::Null() < Value("a"));
+  EXPECT_FALSE(Value("a") < Value(1));
+}
+
+TEST(ValueTest, NumericOrdering) {
+  EXPECT_TRUE(Value(1) < Value(2));
+  EXPECT_TRUE(Value(1) < Value(1.5));
+  EXPECT_TRUE(Value(-2.5) < Value(-2));
+  EXPECT_FALSE(Value(2) < Value(2.0));
+}
+
+TEST(ValueTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Value(4).ToDouble().value(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(4.5).ToDouble().value(), 4.5);
+  EXPECT_FALSE(Value("x").ToDouble().ok());
+  EXPECT_FALSE(Value::Null().ToDouble().ok());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value(2.0).ToString(), "2");
+  EXPECT_EQ(Value("text").ToString(), "text");
+}
+
+}  // namespace
+}  // namespace galaxy

@@ -1,0 +1,111 @@
+#include "skyline/dominance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace galaxy::skyline {
+namespace {
+
+TEST(DominanceTest, Definition1Basics) {
+  PreferenceList prefs = AllMax(2);
+  EXPECT_TRUE(Dominates(Point{2, 2}, Point{1, 1}, prefs));
+  EXPECT_TRUE(Dominates(Point{2, 1}, Point{1, 1}, prefs));  // one strict
+  EXPECT_FALSE(Dominates(Point{1, 1}, Point{1, 1}, prefs));  // equal
+  EXPECT_FALSE(Dominates(Point{2, 0}, Point{1, 1}, prefs));  // incomparable
+}
+
+TEST(DominanceTest, PaperExampleGodfatherDominatesTheRoom) {
+  // The Godfather (531, 9.2) dominates The Room (10, 3.2).
+  EXPECT_TRUE(Dominates(Point{531, 9.2}, Point{10, 3.2}));
+  EXPECT_FALSE(Dominates(Point{10, 3.2}, Point{531, 9.2}));
+}
+
+TEST(DominanceTest, PulpFictionAndGodfatherIncomparable) {
+  // Pulp Fiction (557, 9.0) vs The Godfather (531, 9.2).
+  EXPECT_FALSE(Dominates(Point{557, 9.0}, Point{531, 9.2}));
+  EXPECT_FALSE(Dominates(Point{531, 9.2}, Point{557, 9.0}));
+}
+
+TEST(DominanceTest, MinPreferenceFlipsDirection) {
+  PreferenceList prefs = {Preference::kMax, Preference::kMin};
+  // Second attribute: lower is better.
+  EXPECT_TRUE(Dominates(Point{2, 1}, Point{1, 3}, prefs));
+  EXPECT_FALSE(Dominates(Point{2, 3}, Point{1, 1}, prefs));
+}
+
+TEST(DominanceTest, CompareDominanceAgreesWithDominates) {
+  Rng rng(99);
+  PreferenceList prefs = AllMax(3);
+  for (int i = 0; i < 2000; ++i) {
+    Point a{rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    Point b{rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    DominanceResult r = CompareDominance(a, b, prefs);
+    EXPECT_EQ(r == DominanceResult::kLeftDominates, Dominates(a, b, prefs));
+    EXPECT_EQ(r == DominanceResult::kRightDominates, Dominates(b, a, prefs));
+  }
+}
+
+TEST(DominanceTest, PreferenceFreeOverloadMatches) {
+  Rng rng(7);
+  PreferenceList prefs = AllMax(4);
+  for (int i = 0; i < 2000; ++i) {
+    Point a{rng.NextDouble(), rng.NextDouble(), rng.NextDouble(),
+            rng.NextDouble()};
+    Point b{rng.NextDouble(), rng.NextDouble(), rng.NextDouble(),
+            rng.NextDouble()};
+    EXPECT_EQ(CompareDominance(a, b), CompareDominance(a, b, prefs));
+  }
+}
+
+TEST(DominanceTest, EqualPoints) {
+  Point p{1, 2, 3};
+  EXPECT_EQ(CompareDominance(p, p), DominanceResult::kEqual);
+}
+
+// Dominance must be a strict partial order: irreflexive, asymmetric,
+// transitive. Checked on random data.
+TEST(DominanceTest, StrictPartialOrderProperties) {
+  Rng rng(13);
+  std::vector<Point> pts;
+  for (int i = 0; i < 60; ++i) {
+    // Coarse grid to force plenty of ties and dominations.
+    pts.push_back(Point{static_cast<double>(rng.UniformInt(0, 4)),
+                        static_cast<double>(rng.UniformInt(0, 4)),
+                        static_cast<double>(rng.UniformInt(0, 4))});
+  }
+  for (const Point& a : pts) {
+    EXPECT_FALSE(Dominates(a, a));
+    for (const Point& b : pts) {
+      if (Dominates(a, b)) {
+        EXPECT_FALSE(Dominates(b, a));
+      }
+      for (const Point& c : pts) {
+        if (Dominates(a, b) && Dominates(b, c)) {
+          EXPECT_TRUE(Dominates(a, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(MonotoneScoreTest, SumsOrientedValues) {
+  PreferenceList prefs = {Preference::kMax, Preference::kMin};
+  EXPECT_DOUBLE_EQ(MonotoneScore(Point{3, 2}, prefs), 1.0);
+  EXPECT_DOUBLE_EQ(MonotoneScore(Point{3, -2}, prefs), 5.0);
+}
+
+TEST(MonotoneScoreTest, DominatingPointHasHigherScore) {
+  Rng rng(21);
+  PreferenceList prefs = AllMax(3);
+  for (int i = 0; i < 1000; ++i) {
+    Point a{rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    Point b{rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    if (Dominates(a, b, prefs)) {
+      EXPECT_GT(MonotoneScore(a, prefs), MonotoneScore(b, prefs));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::skyline

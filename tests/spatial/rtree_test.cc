@@ -1,0 +1,188 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace galaxy::spatial {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Point p(dims);
+    for (size_t d = 0; d < dims; ++d) p[d] = rng.NextDouble();
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+std::vector<uint32_t> NaiveWindow(const std::vector<Point>& pts,
+                                  const Box& window) {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < pts.size(); ++i) {
+    if (window.Contains(pts[i])) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<uint32_t> Sorted(std::vector<uint32_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree(2);
+  EXPECT_EQ(tree.size(), 0u);
+  std::vector<uint32_t> out;
+  tree.WindowQuery(Box({0, 0}, {1, 1}), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, SingleInsertAndQuery) {
+  RTree tree(2);
+  tree.Insert({0.5, 0.5}, 7);
+  EXPECT_EQ(tree.size(), 1u);
+  std::vector<uint32_t> out;
+  tree.WindowQuery(Box({0, 0}, {1, 1}), &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{7}));
+  out.clear();
+  tree.WindowQuery(Box({0.6, 0.6}, {1, 1}), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, WindowBoundariesAreInclusive) {
+  RTree tree(2);
+  tree.Insert({1.0, 1.0}, 1);
+  std::vector<uint32_t> out;
+  tree.WindowQuery(Box({1.0, 1.0}, {2.0, 2.0}), &out);
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  tree.WindowQuery(Box({0.0, 0.0}, {1.0, 1.0}), &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+class RTreeRandomTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, bool>> {};
+
+TEST_P(RTreeRandomTest, MatchesLinearScan) {
+  auto [n, dims, bulk] = GetParam();
+  auto pts = RandomPoints(n, dims, 42 + n + dims);
+  RTree tree(dims, 8);
+  if (bulk) {
+    tree.BulkLoad(pts);
+  } else {
+    for (uint32_t i = 0; i < pts.size(); ++i) tree.Insert(pts[i], i);
+  }
+  EXPECT_EQ(tree.size(), n);
+  std::string error;
+  EXPECT_TRUE(tree.CheckInvariants(&error)) << error;
+
+  Rng rng(1234);
+  for (int q = 0; q < 50; ++q) {
+    Point lo(dims), hi(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      double a = rng.NextDouble();
+      double b = rng.NextDouble();
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    Box window(lo, hi);
+    std::vector<uint32_t> got;
+    tree.WindowQuery(window, &got);
+    EXPECT_EQ(Sorted(got), NaiveWindow(pts, window));
+    EXPECT_EQ(tree.WindowCount(window), NaiveWindow(pts, window).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RTreeRandomTest,
+    ::testing::Combine(::testing::Values<size_t>(10, 100, 1000, 5000),
+                       ::testing::Values<size_t>(2, 3, 5),
+                       ::testing::Bool()));
+
+TEST(RTreeTest, BulkLoadWithExplicitIds) {
+  auto pts = RandomPoints(100, 2, 9);
+  std::vector<uint32_t> ids(100);
+  for (uint32_t i = 0; i < 100; ++i) ids[i] = 1000 + i;
+  RTree tree(2);
+  tree.BulkLoad(pts, ids);
+  std::vector<uint32_t> out;
+  tree.WindowQuery(Box({0, 0}, {1, 1}), &out);
+  ASSERT_EQ(out.size(), 100u);
+  for (uint32_t id : out) {
+    EXPECT_GE(id, 1000u);
+    EXPECT_LT(id, 1100u);
+  }
+}
+
+TEST(RTreeTest, VisitorEarlyStop) {
+  auto pts = RandomPoints(500, 2, 10);
+  RTree tree(2);
+  tree.BulkLoad(pts);
+  size_t visits = 0;
+  tree.WindowQuery(Box({0, 0}, {1, 1}), [&](uint32_t, const Point&) {
+    ++visits;
+    return visits < 5;  // stop after 5
+  });
+  EXPECT_EQ(visits, 5u);
+}
+
+TEST(RTreeTest, DuplicatePointsAreAllReturned) {
+  RTree tree(2);
+  for (uint32_t i = 0; i < 40; ++i) tree.Insert({0.5, 0.5}, i);
+  std::vector<uint32_t> out;
+  tree.WindowQuery(Box({0.5, 0.5}, {0.5, 0.5}), &out);
+  EXPECT_EQ(out.size(), 40u);
+}
+
+TEST(RTreeTest, StatsReflectGrowth) {
+  RTree tree(2, 8);
+  auto pts = RandomPoints(2000, 2, 11);
+  for (uint32_t i = 0; i < pts.size(); ++i) tree.Insert(pts[i], i);
+  RTree::Stats stats = tree.GetStats();
+  EXPECT_EQ(stats.size, 2000u);
+  EXPECT_GT(stats.height, 2u);
+  EXPECT_GT(stats.nodes, 100u);
+}
+
+TEST(RTreeTest, BulkLoadIsShallowerOrEqual) {
+  auto pts = RandomPoints(5000, 3, 12);
+  RTree incremental(3, 8);
+  for (uint32_t i = 0; i < pts.size(); ++i) incremental.Insert(pts[i], i);
+  RTree bulk(3, 8);
+  bulk.BulkLoad(pts);
+  EXPECT_LE(bulk.GetStats().height, incremental.GetStats().height);
+  EXPECT_LE(bulk.GetStats().nodes, incremental.GetStats().nodes);
+}
+
+TEST(RTreeTest, InfiniteWindowCorner) {
+  // The indexed skyline algorithm queries [min, +inf)^d windows.
+  auto pts = RandomPoints(300, 3, 13);
+  RTree tree(3);
+  tree.BulkLoad(pts);
+  Box window(Point{0.5, 0.5, 0.5},
+             Point(3, std::numeric_limits<double>::infinity()));
+  std::vector<uint32_t> got;
+  tree.WindowQuery(window, &got);
+  EXPECT_EQ(Sorted(got), NaiveWindow(pts, window));
+}
+
+TEST(RTreeTest, MoveSemantics) {
+  RTree a(2);
+  a.Insert({0.1, 0.2}, 3);
+  RTree b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  std::vector<uint32_t> out;
+  b.WindowQuery(Box({0, 0}, {1, 1}), &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{3}));
+}
+
+}  // namespace
+}  // namespace galaxy::spatial

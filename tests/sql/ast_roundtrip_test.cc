@@ -1,0 +1,71 @@
+// Parse -> ToString -> parse round-trips for the full SQL surface: the
+// printed form of a statement must re-parse to the same printed form.
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace galaxy::sql {
+namespace {
+
+void ExpectRoundTrip(const std::string& sql) {
+  auto first = Parse(sql);
+  ASSERT_TRUE(first.ok()) << sql << " -> " << first.status();
+  std::string printed = (*first)->ToString();
+  auto second = Parse(printed);
+  ASSERT_TRUE(second.ok()) << printed << " -> " << second.status();
+  EXPECT_EQ(printed, (*second)->ToString()) << "original: " << sql;
+}
+
+TEST(AstRoundTripTest, Basics) {
+  ExpectRoundTrip("SELECT * FROM t");
+  ExpectRoundTrip("SELECT a, b AS x FROM t WHERE a > 1 ORDER BY b DESC");
+  ExpectRoundTrip("SELECT DISTINCT a FROM t LIMIT 7");
+}
+
+TEST(AstRoundTripTest, JoinsAndSubqueries) {
+  ExpectRoundTrip("SELECT A.x FROM t A, t B WHERE A.x = B.y");
+  ExpectRoundTrip(
+      "SELECT a FROM t WHERE a NOT IN (SELECT b FROM u WHERE b < 3)");
+  ExpectRoundTrip("SELECT a FROM t WHERE a IN (1, 2, 3)");
+}
+
+TEST(AstRoundTripTest, Aggregates) {
+  ExpectRoundTrip(
+      "SELECT d, count(*), max(p) FROM t GROUP BY d "
+      "HAVING 1.0 * count(*) / (n * m) > 0.5");
+}
+
+TEST(AstRoundTripTest, LikeCaseExists) {
+  ExpectRoundTrip("SELECT a FROM t WHERE a LIKE 'The%'");
+  ExpectRoundTrip("SELECT a FROM t WHERE a NOT LIKE '%x_'");
+  ExpectRoundTrip(
+      "SELECT CASE WHEN a > 1 THEN 'hi' WHEN a > 0 THEN 'mid' "
+      "ELSE 'lo' END FROM t");
+  ExpectRoundTrip("SELECT CASE a WHEN 1 THEN 'one' END FROM t");
+  ExpectRoundTrip("SELECT a FROM t WHERE EXISTS (SELECT b FROM u)");
+  ExpectRoundTrip("SELECT a FROM t WHERE NOT EXISTS (SELECT b FROM u)");
+}
+
+TEST(AstRoundTripTest, Unions) {
+  ExpectRoundTrip("SELECT a FROM t UNION SELECT b FROM u");
+  ExpectRoundTrip(
+      "SELECT a FROM t UNION ALL SELECT b FROM u UNION SELECT c FROM v");
+}
+
+TEST(AstRoundTripTest, SkylineClauses) {
+  ExpectRoundTrip("SELECT * FROM movies SKYLINE OF Pop MAX, Qual MAX");
+  ExpectRoundTrip(
+      "SELECT d FROM movies GROUP BY d SKYLINE OF Pop MAX, Year MIN "
+      "GAMMA 0.75");
+  ExpectRoundTrip(
+      "SELECT d FROM movies GROUP BY d SKYLINE OF Pop MAX GAMMA RANK");
+}
+
+TEST(AstRoundTripTest, NullsAndIsNull) {
+  ExpectRoundTrip("SELECT a FROM t WHERE a IS NULL OR b IS NOT NULL");
+  ExpectRoundTrip("SELECT NULL FROM t");
+}
+
+}  // namespace
+}  // namespace galaxy::sql

@@ -1,0 +1,189 @@
+// Edge-case and robustness tests for the SQL executor beyond the basics in
+// executor_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "datagen/movies.h"
+#include "sql/catalog.h"
+#include "sql/executor.h"
+
+namespace galaxy::sql {
+namespace {
+
+class ExecutorEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.Register("Movie", datagen::MovieTable());
+    TableBuilder empty{Schema({{"x", ValueType::kInt64}})};
+    db_.Register("empty", empty.Build());
+    TableBuilder nulls{Schema({{"id", ValueType::kInt64},
+                               {"v", ValueType::kDouble}})};
+    nulls.AddRow({1, Value::Null()}).AddRow({2, 5.0}).AddRow({3, Value::Null()});
+    db_.Register("nulls", nulls.Build());
+  }
+
+  Table Q(const std::string& sql) {
+    auto r = db_.Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    return r.ok() ? std::move(r).value() : Table();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorEdgeTest, EmptyTableScan) {
+  EXPECT_EQ(Q("SELECT * FROM empty").num_rows(), 0u);
+  EXPECT_EQ(Q("SELECT x + 1 FROM empty WHERE x > 0").num_rows(), 0u);
+}
+
+TEST_F(ExecutorEdgeTest, CrossJoinWithEmptyTableIsEmpty) {
+  EXPECT_EQ(Q("SELECT * FROM Movie, empty").num_rows(), 0u);
+  EXPECT_EQ(Q("SELECT * FROM empty, Movie").num_rows(), 0u);
+}
+
+TEST_F(ExecutorEdgeTest, GroupByOnEmptyInputYieldsNoGroups) {
+  EXPECT_EQ(Q("SELECT x, count(*) FROM empty GROUP BY x").num_rows(), 0u);
+}
+
+TEST_F(ExecutorEdgeTest, GlobalAggregateOnEmptyTableYieldsOneRow) {
+  Table t = Q("SELECT count(*), min(x) FROM empty");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0), Value(0));
+  EXPECT_TRUE(t.at(0, 1).is_null());
+}
+
+TEST_F(ExecutorEdgeTest, LimitZeroAndLimitBeyondSize) {
+  EXPECT_EQ(Q("SELECT * FROM Movie LIMIT 0").num_rows(), 0u);
+  EXPECT_EQ(Q("SELECT * FROM Movie LIMIT 9999").num_rows(), 10u);
+}
+
+TEST_F(ExecutorEdgeTest, WhereOnNullsFiltersThemOut) {
+  // NULL comparisons are UNKNOWN, so rows with NULL v never pass.
+  EXPECT_EQ(Q("SELECT id FROM nulls WHERE v > 0").num_rows(), 1u);
+  EXPECT_EQ(Q("SELECT id FROM nulls WHERE NOT (v > 0)").num_rows(), 0u);
+}
+
+TEST_F(ExecutorEdgeTest, DivisionByZeroIsRuntimeError) {
+  EXPECT_FALSE(db_.Query("SELECT Pop / 0 FROM Movie").ok());
+  EXPECT_FALSE(db_.Query("SELECT Pop / (Pop - Pop) FROM Movie").ok());
+}
+
+TEST_F(ExecutorEdgeTest, MultiKeyOrderByMixedDirections) {
+  Table t = Q("SELECT Director, Year FROM Movie "
+              "ORDER BY Director ASC, Year DESC");
+  ASSERT_EQ(t.num_rows(), 10u);
+  // Cameron appears twice: 2009 before 1991.
+  EXPECT_EQ(t.at(0, 0), Value("Cameron"));
+  EXPECT_EQ(t.at(0, 1), Value(2009));
+  EXPECT_EQ(t.at(1, 0), Value("Cameron"));
+  EXPECT_EQ(t.at(1, 1), Value(1991));
+}
+
+TEST_F(ExecutorEdgeTest, OrderByExpressionNotInSelect) {
+  Table t = Q("SELECT Title FROM Movie ORDER BY Pop * Qual DESC LIMIT 1");
+  EXPECT_EQ(t.at(0, 0), Value("Pulp Fiction"));
+}
+
+TEST_F(ExecutorEdgeTest, DistinctOnExpressions) {
+  Table t = Q("SELECT DISTINCT Year / 10 FROM Movie");
+  // Decades: 197, 198, 199, 200 — integer division.
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+TEST_F(ExecutorEdgeTest, DistinctWithOrderByKeepsSortKeys) {
+  Table t = Q("SELECT DISTINCT Director FROM Movie ORDER BY Director DESC");
+  ASSERT_EQ(t.num_rows(), 7u);
+  EXPECT_EQ(t.at(0, 0), Value("Wiseau"));
+  EXPECT_EQ(t.at(6, 0), Value("Cameron"));
+}
+
+TEST_F(ExecutorEdgeTest, GroupByExpressionKey) {
+  Table t = Q("SELECT Year / 10, count(*) AS c FROM Movie "
+              "GROUP BY Year / 10 ORDER BY c DESC");
+  ASSERT_EQ(t.num_rows(), 4u);
+  // The 2000s hold 5 movies.
+  EXPECT_EQ(t.at(0, 1), Value(5));
+}
+
+TEST_F(ExecutorEdgeTest, AggregateOfExpression) {
+  Table t = Q("SELECT max(Pop * Qual) FROM Movie");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(t.at(0, 0).ToDouble().value(), 557 * 9.0);
+}
+
+TEST_F(ExecutorEdgeTest, ExpressionOverAggregates) {
+  Table t = Q("SELECT max(Pop) - min(Pop), count(*) + 1 FROM Movie");
+  EXPECT_EQ(t.at(0, 0), Value(547));
+  EXPECT_EQ(t.at(0, 1), Value(11));
+}
+
+TEST_F(ExecutorEdgeTest, NestedSubqueries) {
+  Table t = Q(
+      "SELECT Title FROM Movie WHERE Director IN ("
+      "  SELECT Director FROM Movie WHERE Pop IN ("
+      "    SELECT Pop FROM Movie WHERE Qual >= 9.0))");
+  // Innermost: Pops of Qual>=9 movies (557, 531) -> directors Tarantino,
+  // Coppola -> their 4 movies.
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+TEST_F(ExecutorEdgeTest, SubqueryAgainstEmptyTable) {
+  EXPECT_EQ(Q("SELECT * FROM Movie WHERE Pop IN (SELECT x FROM empty)")
+                .num_rows(),
+            0u);
+  EXPECT_EQ(Q("SELECT * FROM Movie WHERE Pop NOT IN (SELECT x FROM empty)")
+                .num_rows(),
+            10u);
+}
+
+TEST_F(ExecutorEdgeTest, NotInWithNullInSubqueryExcludesEverything) {
+  // SQL 3VL: x NOT IN (set containing NULL) is never TRUE.
+  EXPECT_EQ(Q("SELECT id FROM nulls WHERE id NOT IN (SELECT v FROM nulls)")
+                .num_rows(),
+            0u);
+}
+
+TEST_F(ExecutorEdgeTest, InWithNullStillFindsMatches) {
+  // 5.0 IS in the set {NULL, 5.0}; NULL in the set does not block a match.
+  TableBuilder probe{Schema({{"p", ValueType::kDouble}})};
+  probe.AddRow({5.0}).AddRow({6.0});
+  db_.Register("probe", probe.Build());
+  Table t = Q("SELECT p FROM probe WHERE p IN (SELECT v FROM nulls)");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0), Value(5.0));
+}
+
+TEST_F(ExecutorEdgeTest, ThreeWayJoin) {
+  TableBuilder small{Schema({{"k", ValueType::kInt64}})};
+  small.AddRow({1}).AddRow({2});
+  db_.Register("small", small.Build());
+  Table t = Q("SELECT A.k, B.k, C.k FROM small A, small B, small C");
+  EXPECT_EQ(t.num_rows(), 8u);
+  EXPECT_EQ(t.num_columns(), 3u);
+}
+
+TEST_F(ExecutorEdgeTest, StarExpansionQualifiesAcrossJoins) {
+  Table t = Q("SELECT * FROM Movie A, Movie B LIMIT 1");
+  EXPECT_EQ(t.num_columns(), 10u);
+  EXPECT_EQ(t.schema().column(0).name, "A.Title");
+  EXPECT_EQ(t.schema().column(5).name, "B.Title");
+}
+
+TEST_F(ExecutorEdgeTest, BetweenPredicate) {
+  Table t = Q("SELECT Title FROM Movie WHERE Year BETWEEN 1990 AND 1999");
+  EXPECT_EQ(t.num_rows(), 3u);  // Pulp Fiction, Terminator II, Dracula
+}
+
+TEST_F(ExecutorEdgeTest, HavingReferencingGroupKey) {
+  Table t = Q("SELECT Director FROM Movie GROUP BY Director "
+              "HAVING Director != 'Wiseau' ORDER BY Director");
+  EXPECT_EQ(t.num_rows(), 6u);
+}
+
+TEST_F(ExecutorEdgeTest, CaseInsensitiveKeywordsAndIdentifiers) {
+  Table t = Q("select TITLE from MOVIE where pop > 500 order by title");
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace galaxy::sql

@@ -1,0 +1,200 @@
+#include "sql/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/movies.h"
+#include "sql/catalog.h"
+
+namespace galaxy::sql {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.Register("Movie", datagen::MovieTable());
+    TableBuilder nums{Schema({{"x", ValueType::kInt64},
+                              {"y", ValueType::kDouble},
+                              {"tag", ValueType::kString}})};
+    nums.AddRow({1, 10.0, "a"})
+        .AddRow({2, 20.0, "b"})
+        .AddRow({3, 30.0, "a"})
+        .AddRow({4, Value::Null(), "b"});
+    db_.Register("nums", nums.Build());
+  }
+
+  Table Q(const std::string& sql) {
+    auto r = db_.Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    return r.ok() ? std::move(r).value() : Table();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, SelectStar) {
+  Table t = Q("SELECT * FROM Movie");
+  EXPECT_EQ(t.num_rows(), 10u);
+  EXPECT_EQ(t.num_columns(), 5u);
+  EXPECT_EQ(t.schema().column(0).name, "Title");
+}
+
+TEST_F(ExecutorTest, Projection) {
+  Table t = Q("SELECT Title, Pop FROM Movie WHERE Pop > 500");
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.num_rows(), 3u);  // Pulp Fiction, The Godfather, LOTR
+}
+
+TEST_F(ExecutorTest, WhereWithLogic) {
+  Table t = Q("SELECT Title FROM Movie WHERE Pop > 300 AND Qual >= 8.6");
+  // Pulp Fiction (557,9.0), SW V (362,8.8), Terminator II (326,8.6),
+  // The Godfather (531,9.2), LOTR (518,8.7).
+  EXPECT_EQ(t.num_rows(), 5u);
+}
+
+TEST_F(ExecutorTest, ComputedColumnsAndAliases) {
+  Table t = Q("SELECT x * 2 AS twice, y / 2 FROM nums WHERE x <= 2");
+  EXPECT_EQ(t.schema().column(0).name, "twice");
+  EXPECT_EQ(t.at(0, 0), Value(2));
+  EXPECT_EQ(t.at(1, 0), Value(4));
+  EXPECT_EQ(t.at(0, 1), Value(5.0));
+}
+
+TEST_F(ExecutorTest, OrderByDescAndLimit) {
+  Table t = Q("SELECT Title, Pop FROM Movie ORDER BY Pop DESC LIMIT 3");
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.at(0, 0), Value("Pulp Fiction"));
+  EXPECT_EQ(t.at(1, 0), Value("The Godfather"));
+  EXPECT_EQ(t.at(2, 0), Value("The Lord of the Rings"));
+}
+
+TEST_F(ExecutorTest, OrderByAlias) {
+  Table t = Q("SELECT Title, Pop * 2 AS p2 FROM Movie ORDER BY p2 LIMIT 1");
+  EXPECT_EQ(t.at(0, 0), Value("The Room"));
+}
+
+TEST_F(ExecutorTest, Distinct) {
+  Table t = Q("SELECT DISTINCT Director FROM Movie");
+  EXPECT_EQ(t.num_rows(), 7u);
+  Table t2 = Q("SELECT DISTINCT tag FROM nums");
+  EXPECT_EQ(t2.num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, GlobalAggregatesIgnoreNulls) {
+  Table t = Q("SELECT count(*), count(y), sum(x), avg(y), min(y), max(y) "
+              "FROM nums");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0), Value(4));
+  EXPECT_EQ(t.at(0, 1), Value(3));
+  EXPECT_EQ(t.at(0, 2), Value(10));
+  EXPECT_EQ(t.at(0, 3), Value(20.0));
+  EXPECT_EQ(t.at(0, 4), Value(10.0));
+  EXPECT_EQ(t.at(0, 5), Value(30.0));
+}
+
+TEST_F(ExecutorTest, GlobalAggregateOnEmptyInput) {
+  Table t = Q("SELECT count(*), sum(x) FROM nums WHERE x > 100");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0), Value(0));
+  EXPECT_TRUE(t.at(0, 1).is_null());
+}
+
+TEST_F(ExecutorTest, GroupByWithHaving) {
+  Table t = Q("SELECT tag, count(*) AS c, sum(x) FROM nums GROUP BY tag "
+              "HAVING count(*) >= 2 ORDER BY tag");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(0, 0), Value("a"));
+  EXPECT_EQ(t.at(0, 1), Value(2));
+  EXPECT_EQ(t.at(0, 2), Value(4));
+  EXPECT_EQ(t.at(1, 0), Value("b"));
+  EXPECT_EQ(t.at(1, 2), Value(6));
+}
+
+TEST_F(ExecutorTest, BareColumnInHavingUsesGroupRepresentative) {
+  // sqlite-style: non-aggregated columns in HAVING read from some row of
+  // the group (our engine: the first).
+  Table t = Q("SELECT tag FROM nums GROUP BY tag HAVING x < 2");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0), Value("a"));
+}
+
+TEST_F(ExecutorTest, CrossJoinWithAliases) {
+  Table t = Q("SELECT A.x, B.x FROM nums A, nums B WHERE A.x < B.x");
+  EXPECT_EQ(t.num_rows(), 6u);  // C(4,2)
+}
+
+TEST_F(ExecutorTest, JoinOnSyntax) {
+  Table t = Q("SELECT A.x FROM nums A JOIN nums B ON A.x = B.x");
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+TEST_F(ExecutorTest, InList) {
+  Table t = Q("SELECT Title FROM Movie WHERE Director IN "
+              "('Tarantino', 'Coppola')");
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+TEST_F(ExecutorTest, NotInSubquery) {
+  Table t = Q("SELECT DISTINCT Director FROM Movie WHERE Director NOT IN "
+              "(SELECT Director FROM Movie WHERE Pop > 400)");
+  // Directors with no movie over 400k votes: Nolan, Kershner, Wiseau.
+  // (Tarantino, Coppola, Jackson, Cameron all have a >400 movie.)
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, InSubquery) {
+  Table t = Q("SELECT Title FROM Movie WHERE Director IN "
+              "(SELECT Director FROM Movie WHERE Qual >= 9.0)");
+  // Tarantino (2 movies) + Coppola (2 movies).
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+TEST_F(ExecutorTest, ScalarFunctions) {
+  Table t = Q("SELECT abs(-3), abs(2.5), round(2.4) FROM nums LIMIT 1");
+  EXPECT_EQ(t.at(0, 0), Value(3));
+  EXPECT_EQ(t.at(0, 1), Value(2.5));
+  EXPECT_EQ(t.at(0, 2), Value(2.0));
+}
+
+TEST_F(ExecutorTest, IsNullPredicates) {
+  EXPECT_EQ(Q("SELECT x FROM nums WHERE y IS NULL").num_rows(), 1u);
+  EXPECT_EQ(Q("SELECT x FROM nums WHERE y IS NOT NULL").num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, ColumnNamesAreCaseInsensitive) {
+  Table t = Q("SELECT title FROM movie WHERE POP > 500");
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, Errors) {
+  EXPECT_FALSE(db_.Query("SELECT * FROM missing_table").ok());
+  EXPECT_FALSE(db_.Query("SELECT bogus FROM Movie").ok());
+  EXPECT_FALSE(db_.Query("SELECT M.bogus FROM Movie M").ok());
+  EXPECT_FALSE(db_.Query("SELECT count(*) FROM Movie WHERE count(*) > 1").ok());
+  EXPECT_FALSE(db_.Query("SELECT nosuchfn(Pop) FROM Movie").ok());
+  EXPECT_FALSE(db_.Query("SELECT * FROM Movie GROUP BY Director").ok());
+  // Ambiguous unqualified column across a self join.
+  EXPECT_FALSE(db_.Query("SELECT x FROM nums A, nums B").ok());
+  // Multi-column IN subquery.
+  EXPECT_FALSE(
+      db_.Query("SELECT * FROM nums WHERE x IN (SELECT x, y FROM nums)").ok());
+}
+
+TEST_F(ExecutorTest, StatementReuseIsRejectedByDesign) {
+  // Database::Query parses fresh each time, so repeated Query calls work.
+  EXPECT_EQ(Q("SELECT count(*) FROM nums").at(0, 0), Value(4));
+  EXPECT_EQ(Q("SELECT count(*) FROM nums").at(0, 0), Value(4));
+}
+
+TEST_F(ExecutorTest, RegisterAndUnregister) {
+  Database db;
+  TableBuilder b{Schema({{"v", ValueType::kInt64}})};
+  b.AddRow({1});
+  db.Register("t", b.Build());
+  EXPECT_EQ(db.num_tables(), 1u);
+  EXPECT_TRUE(db.Query("SELECT * FROM t").ok());
+  db.Unregister("t");
+  EXPECT_FALSE(db.Query("SELECT * FROM t").ok());
+}
+
+}  // namespace
+}  // namespace galaxy::sql

@@ -1,0 +1,107 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace galaxy::sql {
+namespace {
+
+std::vector<Token> Lex(const std::string& s) {
+  auto r = Tokenize(s);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value_or({});
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitiveAndUppercased) {
+  auto tokens = Lex("select FROM Where");
+  ASSERT_EQ(tokens.size(), 4u);  // 3 + end
+  EXPECT_EQ(tokens[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "FROM");
+  EXPECT_EQ(tokens[2].text, "WHERE");
+  EXPECT_EQ(tokens[3].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersKeepCasing) {
+  auto tokens = Lex("Director movie_title _x1");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "Director");
+  EXPECT_EQ(tokens[1].text, "movie_title");
+  EXPECT_EQ(tokens[2].text, "_x1");
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  auto tokens = Lex("42 3.14 .5 1e3 2.5E-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.14);
+  EXPECT_EQ(tokens[2].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 0.5);
+  EXPECT_EQ(tokens[3].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[4].float_value, 0.025);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapedQuotes) {
+  auto tokens = Lex("'hello' 'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Lex("= == != <> < <= > >= + - * / % ( ) , . ;");
+  std::vector<TokenType> expected = {
+      TokenType::kEq,     TokenType::kEq,      TokenType::kNotEq,
+      TokenType::kNotEq,  TokenType::kLt,      TokenType::kLtEq,
+      TokenType::kGt,     TokenType::kGtEq,    TokenType::kPlus,
+      TokenType::kMinus,  TokenType::kStar,    TokenType::kSlash,
+      TokenType::kPercent, TokenType::kLParen, TokenType::kRParen,
+      TokenType::kComma,  TokenType::kDot,     TokenType::kSemicolon,
+      TokenType::kEnd};
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Lex("SELECT -- this is a comment\n 1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].int_value, 1);
+}
+
+TEST(LexerTest, UnknownCharacterIsError) {
+  EXPECT_FALSE(Tokenize("SELECT @x").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(LexerTest, PositionsAreByteOffsets) {
+  auto tokens = Lex("SELECT a");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 7u);
+}
+
+TEST(LexerTest, SkylineKeywords) {
+  auto tokens = Lex("SKYLINE OF Pop MAX, Qual MIN GAMMA 0.6");
+  EXPECT_EQ(tokens[0].text, "SKYLINE");
+  EXPECT_EQ(tokens[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[1].text, "OF");
+  EXPECT_EQ(tokens[3].text, "MAX");
+  EXPECT_EQ(tokens[6].text, "MIN");
+  EXPECT_EQ(tokens[7].text, "GAMMA");
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+}  // namespace
+}  // namespace galaxy::sql

@@ -1,0 +1,210 @@
+#include "sql/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/groups.h"
+#include "datagen/movies.h"
+#include "sql/catalog.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+
+namespace galaxy::sql {
+namespace {
+
+// Parses a query whose WHERE is the expression under test and returns the
+// folded WHERE rendered back to text.
+std::string FoldWhere(const std::string& where) {
+  auto stmt = Parse("SELECT * FROM t WHERE " + where);
+  EXPECT_TRUE(stmt.ok()) << stmt.status();
+  if (!stmt.ok()) return "";
+  FoldConstants((*stmt)->where);
+  return (*stmt)->where == nullptr ? "" : (*stmt)->where->ToString();
+}
+
+TEST(FoldConstantsTest, Arithmetic) {
+  EXPECT_EQ(FoldWhere("1 + 2 * 3"), "7");
+  EXPECT_EQ(FoldWhere("1.0 * 30 / 32"), "0.9375");
+  EXPECT_EQ(FoldWhere("-(2 + 3)"), "-5");
+}
+
+TEST(FoldConstantsTest, Comparisons) {
+  EXPECT_EQ(FoldWhere("2 < 3"), "1");
+  EXPECT_EQ(FoldWhere("2 >= 3"), "0");
+  EXPECT_EQ(FoldWhere("'a' = 'a'"), "1");
+}
+
+TEST(FoldConstantsTest, LogicSimplification) {
+  // TRUE AND x -> x.
+  EXPECT_EQ(FoldWhere("1 = 1 AND Pop > 5"), "(Pop > 5)");
+  // FALSE AND x -> FALSE, even with non-constant x.
+  EXPECT_EQ(FoldWhere("1 = 2 AND Pop > 5"), "0");
+  // TRUE OR x -> TRUE.
+  EXPECT_EQ(FoldWhere("1 = 1 OR Pop > 5"), "1");
+  // FALSE OR x -> x.
+  EXPECT_EQ(FoldWhere("1 = 2 OR Pop > 5"), "(Pop > 5)");
+  EXPECT_EQ(FoldWhere("NOT (1 = 2)"), "1");
+}
+
+TEST(FoldConstantsTest, IsNullFolding) {
+  EXPECT_EQ(FoldWhere("NULL IS NULL"), "1");
+  EXPECT_EQ(FoldWhere("1 IS NULL"), "0");
+  EXPECT_EQ(FoldWhere("1 IS NOT NULL"), "1");
+}
+
+TEST(FoldConstantsTest, DivisionByZeroIsNotFolded) {
+  // Folding must not turn a runtime error into a plan-time change.
+  EXPECT_EQ(FoldWhere("1 / 0"), "(1 / 0)");
+}
+
+TEST(FoldConstantsTest, NonConstantSubtreesSurvive) {
+  EXPECT_EQ(FoldWhere("Pop + 1 > 2 + 3"), "((Pop + 1) > 5)");
+}
+
+TEST(FoldConstantsTest, CaseArmPruning) {
+  EXPECT_EQ(FoldWhere("CASE WHEN 1 = 2 THEN 10 WHEN Pop > 5 THEN 20 END"),
+            "CASE WHEN (Pop > 5) THEN 20 END");
+  // Leading TRUE arm replaces the CASE entirely.
+  EXPECT_EQ(FoldWhere("CASE WHEN 1 = 1 THEN 10 ELSE 20 END"), "10");
+  // All arms dead: the ELSE remains.
+  EXPECT_EQ(FoldWhere("CASE WHEN 1 = 2 THEN 10 ELSE 20 END"), "20");
+  // All arms dead, no ELSE: NULL.
+  EXPECT_EQ(FoldWhere("CASE WHEN 1 = 2 THEN 10 END"), "NULL");
+}
+
+TEST(SplitConjunctsTest, SplitsNestedAnds) {
+  auto stmt = Parse("SELECT * FROM t WHERE a > 1 AND b > 2 AND c > 3").value();
+  auto conjuncts = SplitConjuncts(std::move(stmt->where));
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[0]->ToString(), "(a > 1)");
+  EXPECT_EQ(conjuncts[2]->ToString(), "(c > 3)");
+  ExprPtr rebuilt = ConjoinAll(std::move(conjuncts));
+  EXPECT_EQ(rebuilt->ToString(), "(((a > 1) AND (b > 2)) AND (c > 3))");
+}
+
+TEST(SplitConjunctsTest, OrIsNotSplit) {
+  auto stmt = Parse("SELECT * FROM t WHERE a > 1 OR b > 2").value();
+  auto conjuncts = SplitConjuncts(std::move(stmt->where));
+  EXPECT_EQ(conjuncts.size(), 1u);
+}
+
+TEST(SplitConjunctsTest, EmptyInput) {
+  EXPECT_TRUE(SplitConjuncts(nullptr).empty());
+  EXPECT_EQ(ConjoinAll({}), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Pushdown, observed through ExecStats.
+// ---------------------------------------------------------------------------
+
+class PushdownTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_.Register("Movie", datagen::MovieTable()); }
+
+  Result<Table> Run(const std::string& sql, ExecStats* stats) {
+    auto stmt = Parse(sql);
+    if (!stmt.ok()) return stmt.status();
+    return ExecuteSelect(db_, **stmt, stats);
+  }
+
+  Database db_;
+};
+
+TEST_F(PushdownTest, SingleTablePredicatesMoveBelowTheJoin) {
+  ExecStats stats;
+  auto result = Run(
+      "SELECT A.Title FROM Movie A, Movie B "
+      "WHERE A.Pop > 500 AND B.Qual > 9.0 AND A.Year < B.Year",
+      &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(stats.pushed_filters, 2u);
+  // A side keeps 3 of 10 rows, B side 1 of 10: 16 rows filtered, the cross
+  // product enumerates 3 x 1 instead of 100 combinations.
+  EXPECT_EQ(stats.base_rows_filtered, 16u);
+  EXPECT_EQ(stats.cross_product_rows, 3u);
+  // Result correctness: A in {Pulp Fiction 1994, Godfather 1972, LOTR 2001},
+  // B = Godfather (1972). A.Year < 1972: none.
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+TEST_F(PushdownTest, PushdownPreservesResults) {
+  // The same join with and without pushdown-eligible predicates written as
+  // one conjunction vs nested parentheses (ORs are not split).
+  ExecStats stats;
+  auto pushed = Run(
+      "SELECT A.Title, B.Title FROM Movie A, Movie B "
+      "WHERE A.Pop > 400 AND B.Pop > 400 AND A.Qual < B.Qual "
+      "ORDER BY A.Title, B.Title",
+      &stats);
+  ASSERT_TRUE(pushed.ok());
+  EXPECT_EQ(stats.pushed_filters, 2u);
+
+  ExecStats stats2;
+  auto unpushed = Run(
+      "SELECT A.Title, B.Title FROM Movie A, Movie B "
+      "WHERE (A.Pop > 400 OR 1 = 2) AND (B.Pop > 400 OR 1 = 2) "
+      "AND A.Qual < B.Qual ORDER BY A.Title, B.Title",
+      &stats2);
+  ASSERT_TRUE(unpushed.ok());
+  // Folding rewrites (x OR FALSE) -> x, so these also end up pushable;
+  // results must match either way.
+  ASSERT_EQ(pushed->num_rows(), unpushed->num_rows());
+  for (size_t r = 0; r < pushed->num_rows(); ++r) {
+    EXPECT_EQ(pushed->at(r, 0), unpushed->at(r, 0));
+    EXPECT_EQ(pushed->at(r, 1), unpushed->at(r, 1));
+  }
+}
+
+TEST_F(PushdownTest, CrossTablePredicatesStayInWhere) {
+  ExecStats stats;
+  auto result = Run(
+      "SELECT count(*) FROM Movie A, Movie B WHERE A.Pop > B.Pop", &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.pushed_filters, 0u);
+  EXPECT_EQ(stats.cross_product_rows, 100u);
+  // Strict order: 45 pairs are strictly ordered either way; ties on equal
+  // Pop values: none in the movie table, so 45.
+  EXPECT_EQ(result->at(0, 0), Value(45));
+}
+
+TEST_F(PushdownTest, SingleTableQueriesAreUnaffected) {
+  ExecStats stats;
+  auto result = Run("SELECT Title FROM Movie WHERE Pop > 500", &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.pushed_filters, 0u);  // no join, nothing to push below
+  EXPECT_EQ(result->num_rows(), 3u);
+}
+
+TEST_F(PushdownTest, FoldingCountsAreReported) {
+  ExecStats stats;
+  auto result =
+      Run("SELECT Title FROM Movie WHERE Pop > 100 + 400", &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(stats.folded_constants, 1u);
+  EXPECT_EQ(result->num_rows(), 3u);
+}
+
+TEST_F(PushdownTest, Algorithm1QueryStillCorrectWithOptimizer) {
+  // The whole Algorithm 1 pipeline through the optimizer: same answer as
+  // the paper's Figure 4(b).
+  core::GroupedDataset ds =
+      core::GroupedDataset::FromTable(datagen::MovieTable(), {"Director"},
+                                      {"Pop", "Qual"})
+          .value();
+  Table data = datagen::GroupedDatasetToTable(ds);
+  db_.Register("data", data);
+  ExecStats stats;
+  auto result = Run(
+      "SELECT DISTINCT class FROM data WHERE class NOT IN ("
+      "SELECT X.class FROM data X, data Y WHERE X.class != Y.class AND "
+      "((Y.a0 >= X.a0 AND Y.a1 >= X.a1) AND (Y.a0 > X.a0 OR Y.a1 > X.a1)) "
+      "GROUP BY X.class, Y.class "
+      "HAVING 1.0 * COUNT(*) / (X.num * Y.num) > 0.5) ORDER BY class",
+      &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->num_rows(), 4u);
+  EXPECT_EQ(result->at(0, 0), Value("Coppola"));
+  EXPECT_EQ(result->at(3, 0), Value("Tarantino"));
+}
+
+}  // namespace
+}  // namespace galaxy::sql

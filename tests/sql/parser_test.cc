@@ -1,0 +1,190 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace galaxy::sql {
+namespace {
+
+std::unique_ptr<SelectStmt> ParseOk(const std::string& s) {
+  auto r = Parse(s);
+  EXPECT_TRUE(r.ok()) << s << " -> " << r.status();
+  return r.ok() ? std::move(r).value() : nullptr;
+}
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = ParseOk("SELECT * FROM t");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_TRUE(stmt->items[0].star);
+  ASSERT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0].table_name, "t");
+  EXPECT_EQ(stmt->where, nullptr);
+}
+
+TEST(ParserTest, SelectListWithAliases) {
+  auto stmt = ParseOk("SELECT a AS x, b y, a + b FROM t");
+  ASSERT_EQ(stmt->items.size(), 3u);
+  EXPECT_EQ(stmt->items[0].alias, "x");
+  EXPECT_EQ(stmt->items[1].alias, "y");
+  EXPECT_TRUE(stmt->items[2].alias.empty());
+  EXPECT_EQ(stmt->items[2].expr->ToString(), "(a + b)");
+}
+
+TEST(ParserTest, DistinctFlag) {
+  EXPECT_TRUE(ParseOk("SELECT DISTINCT a FROM t")->distinct);
+  EXPECT_FALSE(ParseOk("SELECT a FROM t")->distinct);
+}
+
+TEST(ParserTest, FromWithAliasesAndCommaJoin) {
+  auto stmt = ParseOk("SELECT * FROM movies X, movies AS Y");
+  ASSERT_EQ(stmt->from.size(), 2u);
+  EXPECT_EQ(stmt->from[0].effective_alias(), "X");
+  EXPECT_EQ(stmt->from[1].effective_alias(), "Y");
+}
+
+TEST(ParserTest, JoinOnFoldsIntoWhere) {
+  auto stmt = ParseOk("SELECT * FROM a JOIN b ON a.x = b.x WHERE a.y > 1");
+  ASSERT_EQ(stmt->from.size(), 2u);
+  ASSERT_NE(stmt->where, nullptr);
+  // WHERE and ON combined by AND.
+  EXPECT_EQ(stmt->where->ToString(), "((a.y > 1) AND (a.x = b.x))");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = ParseOk("SELECT a + b * c - d FROM t");
+  EXPECT_EQ(stmt->items[0].expr->ToString(), "((a + (b * c)) - d)");
+}
+
+TEST(ParserTest, LogicPrecedence) {
+  auto stmt = ParseOk("SELECT * FROM t WHERE a > 1 AND b < 2 OR NOT c = 3");
+  EXPECT_EQ(stmt->where->ToString(),
+            "(((a > 1) AND (b < 2)) OR NOT (c = 3))");
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto stmt = ParseOk("SELECT (a + b) * c FROM t");
+  EXPECT_EQ(stmt->items[0].expr->ToString(), "((a + b) * c)");
+}
+
+TEST(ParserTest, QualifiedColumnRefs) {
+  auto stmt = ParseOk("SELECT X.director FROM movies X");
+  EXPECT_EQ(stmt->items[0].expr->kind, ExprKind::kColumnRef);
+  EXPECT_EQ(stmt->items[0].expr->table, "X");
+  EXPECT_EQ(stmt->items[0].expr->column, "director");
+}
+
+TEST(ParserTest, FunctionCalls) {
+  auto stmt = ParseOk("SELECT count(*), max(Pop), min(Qual) FROM t");
+  EXPECT_EQ(stmt->items[0].expr->function, "COUNT");
+  EXPECT_TRUE(stmt->items[0].expr->star_arg);
+  EXPECT_EQ(stmt->items[1].expr->function, "MAX");
+  ASSERT_EQ(stmt->items[1].expr->args.size(), 1u);
+  EXPECT_EQ(stmt->items[2].expr->function, "MIN");
+}
+
+TEST(ParserTest, GroupByHaving) {
+  auto stmt = ParseOk(
+      "SELECT Director, max(Qual) FROM Movie GROUP BY Director "
+      "HAVING max(Qual) >= 8.0");
+  ASSERT_EQ(stmt->group_by.size(), 1u);
+  EXPECT_EQ(stmt->group_by[0]->column, "Director");
+  ASSERT_NE(stmt->having, nullptr);
+  EXPECT_EQ(stmt->having->ToString(), "(MAX(Qual) >= 8)");
+}
+
+TEST(ParserTest, InSubquery) {
+  auto stmt = ParseOk(
+      "SELECT d FROM t WHERE d NOT IN (SELECT x FROM u WHERE x > 2)");
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->kind, ExprKind::kInSubquery);
+  EXPECT_TRUE(stmt->where->negated);
+  ASSERT_NE(stmt->where->subquery, nullptr);
+  EXPECT_EQ(stmt->where->subquery->from[0].table_name, "u");
+}
+
+TEST(ParserTest, InList) {
+  auto stmt = ParseOk("SELECT * FROM t WHERE a IN (1, 2, 3)");
+  EXPECT_EQ(stmt->where->kind, ExprKind::kInList);
+  EXPECT_FALSE(stmt->where->negated);
+  EXPECT_EQ(stmt->where->in_list.size(), 3u);
+}
+
+TEST(ParserTest, IsNull) {
+  auto stmt = ParseOk("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL");
+  EXPECT_EQ(stmt->where->ToString(), "(a IS NULL AND b IS NOT NULL)");
+}
+
+TEST(ParserTest, Between) {
+  auto stmt = ParseOk("SELECT * FROM t WHERE a BETWEEN 1 AND 5");
+  EXPECT_EQ(stmt->where->ToString(), "((a >= 1) AND (a <= 5))");
+}
+
+TEST(ParserTest, OrderByAndLimit) {
+  auto stmt =
+      ParseOk("SELECT a FROM t ORDER BY a DESC, b ASC, c LIMIT 10");
+  ASSERT_EQ(stmt->order_by.size(), 3u);
+  EXPECT_FALSE(stmt->order_by[0].ascending);
+  EXPECT_TRUE(stmt->order_by[1].ascending);
+  EXPECT_TRUE(stmt->order_by[2].ascending);
+  EXPECT_EQ(stmt->limit, 10);
+}
+
+TEST(ParserTest, RecordSkylineClause) {
+  auto stmt = ParseOk("SELECT * FROM Movie SKYLINE OF Pop MAX, Qual MAX");
+  ASSERT_EQ(stmt->skyline.size(), 2u);
+  EXPECT_TRUE(stmt->skyline[0].maximize);
+  EXPECT_EQ(stmt->skyline[0].expr->column, "Pop");
+  EXPECT_FALSE(stmt->skyline_gamma.has_value());
+}
+
+TEST(ParserTest, AggregateSkylineClauseWithGamma) {
+  auto stmt = ParseOk(
+      "SELECT director FROM movies GROUP BY Director "
+      "SKYLINE OF Pop MAX, Year MIN GAMMA 0.7");
+  ASSERT_EQ(stmt->skyline.size(), 2u);
+  EXPECT_FALSE(stmt->skyline[1].maximize);
+  ASSERT_TRUE(stmt->skyline_gamma.has_value());
+  EXPECT_DOUBLE_EQ(*stmt->skyline_gamma, 0.7);
+}
+
+TEST(ParserTest, NegativeNumbersAndUnaryMinus) {
+  auto stmt = ParseOk("SELECT -a, -1.5, +2 FROM t");
+  EXPECT_EQ(stmt->items[0].expr->kind, ExprKind::kUnary);
+  EXPECT_EQ(stmt->items[1].expr->ToString(), "-1.5");
+  EXPECT_EQ(stmt->items[2].expr->ToString(), "2");
+}
+
+TEST(ParserTest, SemicolonTerminatorAccepted) {
+  EXPECT_NE(ParseOk("SELECT * FROM t;"), nullptr);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("SELECT").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t GROUP").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t extra garbage").ok());
+  EXPECT_FALSE(Parse("SELECT a, FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t LIMIT x").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t SKYLINE Pop MAX").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t SKYLINE OF Pop").ok());
+  EXPECT_FALSE(Parse("UPDATE t SET a = 1").ok());
+}
+
+TEST(ParserTest, StatementRoundTripsThroughToString) {
+  const std::string sql =
+      "SELECT DISTINCT director FROM movies WHERE director NOT IN "
+      "(SELECT X.director FROM movies X, movies Y WHERE (Y.votes > X.votes "
+      "AND Y.rank >= X.rank) OR (Y.votes >= X.votes AND Y.rank > X.rank) "
+      "GROUP BY X.director, Y.director "
+      "HAVING 1.0 * COUNT(*) / (X.num * Y.num) > 0.5)";
+  auto stmt = ParseOk(sql);
+  ASSERT_NE(stmt, nullptr);
+  // Re-parse the printed form; it must parse to the same printed form.
+  auto reparsed = ParseOk(stmt->ToString());
+  ASSERT_NE(reparsed, nullptr);
+  EXPECT_EQ(stmt->ToString(), reparsed->ToString());
+}
+
+}  // namespace
+}  // namespace galaxy::sql

@@ -1,0 +1,206 @@
+// Tests for the extended SQL surface: LIKE, CASE, EXISTS and UNION.
+
+#include <gtest/gtest.h>
+
+#include "datagen/movies.h"
+#include "sql/catalog.h"
+
+namespace galaxy::sql {
+namespace {
+
+class SqlFeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_.Register("Movie", datagen::MovieTable()); }
+
+  Table Q(const std::string& sql) {
+    auto r = db_.Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    return r.ok() ? std::move(r).value() : Table();
+  }
+
+  Database db_;
+};
+
+// ---------------------------------------------------------------------------
+// LIKE
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlFeaturesTest, LikePrefixAndSuffix) {
+  Table t = Q("SELECT Title FROM Movie WHERE Title LIKE 'The%'");
+  EXPECT_EQ(t.num_rows(), 3u);  // The Godfather, The LOTR, The Room
+  Table t2 = Q("SELECT Title FROM Movie WHERE Title LIKE '%Bill'");
+  ASSERT_EQ(t2.num_rows(), 1u);
+  EXPECT_EQ(t2.at(0, 0), Value("Kill Bill"));
+}
+
+TEST_F(SqlFeaturesTest, LikeInfixAndUnderscore) {
+  Table t = Q("SELECT Title FROM Movie WHERE Title LIKE '%o_father%'");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0), Value("The Godfather"));
+  // '_' requires exactly one character.
+  EXPECT_EQ(Q("SELECT Title FROM Movie WHERE Title LIKE 'Avata_'").num_rows(),
+            1u);
+  EXPECT_EQ(Q("SELECT Title FROM Movie WHERE Title LIKE 'Avatar_'").num_rows(),
+            0u);
+}
+
+TEST_F(SqlFeaturesTest, LikeIsCaseInsensitive) {
+  EXPECT_EQ(Q("SELECT Title FROM Movie WHERE Title LIKE 'the%'").num_rows(),
+            3u);
+  EXPECT_EQ(Q("SELECT Title FROM Movie WHERE Director LIKE 'TARANTINO'")
+                .num_rows(),
+            2u);
+}
+
+TEST_F(SqlFeaturesTest, NotLike) {
+  Table t = Q("SELECT Title FROM Movie WHERE Title NOT LIKE 'The%'");
+  EXPECT_EQ(t.num_rows(), 7u);
+}
+
+TEST_F(SqlFeaturesTest, LikeExactMatchWithoutWildcards) {
+  EXPECT_EQ(Q("SELECT Title FROM Movie WHERE Title LIKE 'Avatar'").num_rows(),
+            1u);
+  EXPECT_EQ(Q("SELECT Title FROM Movie WHERE Title LIKE 'Avat'").num_rows(),
+            0u);
+}
+
+TEST_F(SqlFeaturesTest, LikePercentOnlyMatchesEverything) {
+  EXPECT_EQ(Q("SELECT Title FROM Movie WHERE Title LIKE '%'").num_rows(), 10u);
+}
+
+TEST_F(SqlFeaturesTest, LikeRequiresStrings) {
+  EXPECT_FALSE(db_.Query("SELECT * FROM Movie WHERE Pop LIKE '5%'").ok());
+}
+
+// ---------------------------------------------------------------------------
+// CASE
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlFeaturesTest, SearchedCase) {
+  Table t = Q(
+      "SELECT Title, CASE WHEN Qual >= 9.0 THEN 'great' "
+      "WHEN Qual >= 8.0 THEN 'good' ELSE 'meh' END AS verdict "
+      "FROM Movie ORDER BY Title");
+  ASSERT_EQ(t.num_rows(), 10u);
+  // Sorted by title: Avatar (8.0) -> good; Batman Begins (8.3) -> good;
+  // Dracula (7.3) -> meh.
+  EXPECT_EQ(t.at(0, 1), Value("good"));
+  EXPECT_EQ(t.at(1, 1), Value("good"));
+  EXPECT_EQ(t.at(2, 1), Value("meh"));
+}
+
+TEST_F(SqlFeaturesTest, SimpleCase) {
+  Table t = Q(
+      "SELECT CASE Director WHEN 'Tarantino' THEN 1 ELSE 0 END AS is_qt "
+      "FROM Movie WHERE Title = 'Kill Bill'");
+  EXPECT_EQ(t.at(0, 0), Value(1));
+}
+
+TEST_F(SqlFeaturesTest, CaseWithoutElseYieldsNull) {
+  Table t = Q("SELECT CASE WHEN Pop > 10000 THEN 1 END FROM Movie LIMIT 1");
+  EXPECT_TRUE(t.at(0, 0).is_null());
+}
+
+TEST_F(SqlFeaturesTest, CaseInWhereAndAggregates) {
+  // Count movies per quality band.
+  Table t = Q(
+      "SELECT sum(CASE WHEN Qual >= 8.5 THEN 1 ELSE 0 END) AS top "
+      "FROM Movie");
+  EXPECT_EQ(t.at(0, 0), Value(5));  // 9.0, 8.8, 8.6, 9.2, 8.7
+}
+
+TEST_F(SqlFeaturesTest, CaseFirstMatchingBranchWins) {
+  Table t = Q(
+      "SELECT CASE WHEN 1 = 1 THEN 'first' WHEN 1 = 1 THEN 'second' END "
+      "FROM Movie LIMIT 1");
+  EXPECT_EQ(t.at(0, 0), Value("first"));
+}
+
+TEST_F(SqlFeaturesTest, CaseParseErrors) {
+  EXPECT_FALSE(db_.Query("SELECT CASE END FROM Movie").ok());
+  EXPECT_FALSE(db_.Query("SELECT CASE WHEN 1 THEN 2 FROM Movie").ok());
+}
+
+// ---------------------------------------------------------------------------
+// EXISTS
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlFeaturesTest, ExistsTrueAndFalse) {
+  EXPECT_EQ(Q("SELECT Title FROM Movie WHERE EXISTS "
+              "(SELECT * FROM Movie WHERE Pop > 550)")
+                .num_rows(),
+            10u);
+  EXPECT_EQ(Q("SELECT Title FROM Movie WHERE EXISTS "
+              "(SELECT * FROM Movie WHERE Pop > 10000)")
+                .num_rows(),
+            0u);
+}
+
+TEST_F(SqlFeaturesTest, NotExists) {
+  EXPECT_EQ(Q("SELECT Title FROM Movie WHERE NOT EXISTS "
+              "(SELECT * FROM Movie WHERE Pop > 10000)")
+                .num_rows(),
+            10u);
+}
+
+// ---------------------------------------------------------------------------
+// UNION
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlFeaturesTest, UnionDeduplicates) {
+  Table t = Q(
+      "SELECT Director FROM Movie WHERE Pop > 500 "
+      "UNION SELECT Director FROM Movie WHERE Qual > 9.0");
+  // >500: Tarantino, Coppola, Jackson; >9.0: Coppola. Dedup -> 3.
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST_F(SqlFeaturesTest, UnionAllKeepsDuplicates) {
+  Table t = Q(
+      "SELECT Director FROM Movie WHERE Pop > 500 "
+      "UNION ALL SELECT Director FROM Movie WHERE Qual > 9.0");
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+TEST_F(SqlFeaturesTest, ThreeWayUnionChain) {
+  Table t = Q(
+      "SELECT Title FROM Movie WHERE Year < 1980 "
+      "UNION SELECT Title FROM Movie WHERE Year >= 2005 "
+      "UNION SELECT Title FROM Movie WHERE Director = 'Wiseau'");
+  // 1972 Godfather; 2005 Batman Begins, 2009 Avatar; The Room.
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+TEST_F(SqlFeaturesTest, UnionWidensNumericTypes) {
+  Table t = Q("SELECT Pop FROM Movie WHERE Pop > 550 "
+              "UNION SELECT Qual FROM Movie WHERE Qual > 9.1");
+  EXPECT_EQ(t.schema().column(0).type, ValueType::kDouble);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST_F(SqlFeaturesTest, UnionArityMismatchIsError) {
+  EXPECT_FALSE(db_.Query("SELECT Title FROM Movie UNION "
+                         "SELECT Title, Pop FROM Movie")
+                   .ok());
+}
+
+TEST_F(SqlFeaturesTest, UnionWithOrderByIsRejected) {
+  EXPECT_FALSE(db_.Query("SELECT Title FROM Movie ORDER BY Title UNION "
+                         "SELECT Title FROM Movie")
+                   .ok());
+  EXPECT_FALSE(db_.Query("SELECT Title FROM Movie UNION "
+                         "SELECT Title FROM Movie LIMIT 3")
+                   .ok());
+}
+
+TEST_F(SqlFeaturesTest, UnionInsideInSubquery) {
+  Table t = Q(
+      "SELECT Title FROM Movie WHERE Director IN ("
+      "SELECT Director FROM Movie WHERE Pop > 550 "
+      "UNION SELECT Director FROM Movie WHERE Qual > 9.1)");
+  // Tarantino (557) + Coppola (9.2): 4 movies.
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+}  // namespace
+}  // namespace galaxy::sql

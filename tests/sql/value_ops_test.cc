@@ -1,0 +1,96 @@
+#include "sql/value_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace galaxy::sql {
+namespace {
+
+Value B(BinaryOp op, const Value& l, const Value& r) {
+  auto res = EvalBinary(op, l, r);
+  EXPECT_TRUE(res.ok()) << res.status();
+  return res.value_or(Value::Null());
+}
+
+TEST(ValueOpsTest, IntegerArithmetic) {
+  EXPECT_EQ(B(BinaryOp::kAdd, 2, 3), Value(5));
+  EXPECT_EQ(B(BinaryOp::kSub, 2, 3), Value(-1));
+  EXPECT_EQ(B(BinaryOp::kMul, 4, 3), Value(12));
+  // Integer division, sqlite-style.
+  EXPECT_EQ(B(BinaryOp::kDiv, 7, 2), Value(3));
+  EXPECT_EQ(B(BinaryOp::kMod, 7, 2), Value(1));
+}
+
+TEST(ValueOpsTest, MixedArithmeticPromotesToDouble) {
+  EXPECT_EQ(B(BinaryOp::kAdd, 2, Value(0.5)), Value(2.5));
+  EXPECT_EQ(B(BinaryOp::kDiv, Value(1.0), 2), Value(0.5));
+  // The Algorithm 1 idiom: 1.0 * count / (n * m).
+  Value scaled = B(BinaryOp::kMul, Value(1.0), Value(30));
+  EXPECT_EQ(B(BinaryOp::kDiv, scaled, Value(32)), Value(0.9375));
+}
+
+TEST(ValueOpsTest, DivisionByZeroFails) {
+  EXPECT_FALSE(EvalBinary(BinaryOp::kDiv, Value(1), Value(0)).ok());
+  EXPECT_FALSE(EvalBinary(BinaryOp::kDiv, Value(1.0), Value(0.0)).ok());
+  EXPECT_FALSE(EvalBinary(BinaryOp::kMod, Value(1), Value(0)).ok());
+}
+
+TEST(ValueOpsTest, ArithmeticRejectsStrings) {
+  EXPECT_FALSE(EvalBinary(BinaryOp::kAdd, Value("a"), Value(1)).ok());
+}
+
+TEST(ValueOpsTest, Comparisons) {
+  EXPECT_EQ(B(BinaryOp::kLt, 1, 2), Value(1));
+  EXPECT_EQ(B(BinaryOp::kLtEq, 2, 2), Value(1));
+  EXPECT_EQ(B(BinaryOp::kGt, 1, 2), Value(0));
+  EXPECT_EQ(B(BinaryOp::kGtEq, 2, 2), Value(1));
+  EXPECT_EQ(B(BinaryOp::kEq, 2, Value(2.0)), Value(1));
+  EXPECT_EQ(B(BinaryOp::kNotEq, 2, 3), Value(1));
+  EXPECT_EQ(B(BinaryOp::kLt, Value("abc"), Value("abd")), Value(1));
+}
+
+TEST(ValueOpsTest, ComparingNumberWithStringFails) {
+  EXPECT_FALSE(EvalBinary(BinaryOp::kLt, Value(1), Value("a")).ok());
+}
+
+TEST(ValueOpsTest, NullPropagatesThroughArithmeticAndComparison) {
+  EXPECT_TRUE(B(BinaryOp::kAdd, Value::Null(), 1).is_null());
+  EXPECT_TRUE(B(BinaryOp::kLt, Value::Null(), 1).is_null());
+}
+
+TEST(ValueOpsTest, ThreeValuedAnd) {
+  EXPECT_EQ(B(BinaryOp::kAnd, 1, 1), Value(1));
+  EXPECT_EQ(B(BinaryOp::kAnd, 1, 0), Value(0));
+  // FALSE AND NULL = FALSE.
+  EXPECT_EQ(B(BinaryOp::kAnd, 0, Value::Null()), Value(0));
+  // TRUE AND NULL = NULL.
+  EXPECT_TRUE(B(BinaryOp::kAnd, 1, Value::Null()).is_null());
+}
+
+TEST(ValueOpsTest, ThreeValuedOr) {
+  EXPECT_EQ(B(BinaryOp::kOr, 0, 1), Value(1));
+  // TRUE OR NULL = TRUE.
+  EXPECT_EQ(B(BinaryOp::kOr, 1, Value::Null()), Value(1));
+  // FALSE OR NULL = NULL.
+  EXPECT_TRUE(B(BinaryOp::kOr, 0, Value::Null()).is_null());
+}
+
+TEST(ValueOpsTest, UnaryOps) {
+  EXPECT_EQ(EvalUnary(UnaryOp::kNot, Value(1)).value(), Value(0));
+  EXPECT_EQ(EvalUnary(UnaryOp::kNot, Value(0)).value(), Value(1));
+  EXPECT_TRUE(EvalUnary(UnaryOp::kNot, Value::Null()).value().is_null());
+  EXPECT_EQ(EvalUnary(UnaryOp::kNegate, Value(3)).value(), Value(-3));
+  EXPECT_EQ(EvalUnary(UnaryOp::kNegate, Value(2.5)).value(), Value(-2.5));
+  EXPECT_FALSE(EvalUnary(UnaryOp::kNegate, Value("x")).ok());
+}
+
+TEST(ValueOpsTest, Truthiness) {
+  EXPECT_TRUE(ValueIsTrue(Value(1)).value());
+  EXPECT_TRUE(ValueIsTrue(Value(0.1)).value());
+  EXPECT_FALSE(ValueIsTrue(Value(0)).value());
+  EXPECT_FALSE(ValueIsTrue(Value(0.0)).value());
+  EXPECT_FALSE(ValueIsTrue(Value::Null()).value());
+  EXPECT_FALSE(ValueIsTrue(Value("str")).ok());
+}
+
+}  // namespace
+}  // namespace galaxy::sql

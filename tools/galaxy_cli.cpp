@@ -1,0 +1,252 @@
+// galaxy_cli — command-line front end for the galaxy library.
+//
+//   galaxy_cli query    --csv data.csv --sql "SELECT ..." [--table data]
+//   galaxy_cli skyline  --csv data.csv --group-by col --attrs a,b[,c...]
+//                       [--gamma 0.5] [--algorithm NL|TR|SI|IN|LO|BF|AUTO]
+//                       [--rank] [--representatives K]
+//   galaxy_cli profile  --csv data.csv --group-by col --attrs a,b
+//   galaxy_cli generate --type imdb|nba|grouped --out out.csv
+//                       [--records N] [--seed S]
+//
+// Exit status: 0 on success, 1 on usage or execution errors.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "core/adaptive.h"
+#include "core/aggregate_skyline.h"
+#include "core/representative.h"
+#include "datagen/groups.h"
+#include "datagen/imdb_gen.h"
+#include "nba/nba_gen.h"
+#include "relation/csv.h"
+#include "sql/catalog.h"
+
+namespace {
+
+using galaxy::Status;
+using galaxy::Table;
+
+// Minimal --flag value parser; flags may appear in any order.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        std::string name = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[name] = argv[++i];
+        } else {
+          values_[name] = "true";  // boolean flag
+        }
+      } else {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        ok_ = false;
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    return Has(name) ? std::stod(Get(name)) : fallback;
+  }
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    return Has(name) ? std::stoll(Get(name)) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: galaxy_cli <query|skyline|profile|generate> "
+               "[--flags]\n(see the header of tools/galaxy_cli.cpp)\n");
+  return 1;
+}
+
+galaxy::Result<Table> LoadCsv(const Flags& flags) {
+  if (!flags.Has("csv")) {
+    return Status::InvalidArgument("--csv FILE is required");
+  }
+  return galaxy::ReadCsvFile(flags.Get("csv"));
+}
+
+int RunQuery(const Flags& flags) {
+  auto table = LoadCsv(flags);
+  if (!table.ok()) return Fail(table.status());
+  if (!flags.Has("sql")) {
+    return Fail(Status::InvalidArgument("--sql \"SELECT ...\" is required"));
+  }
+  galaxy::sql::Database db;
+  db.Register(flags.Get("table", "data"), *table);
+  auto result = db.Query(flags.Get("sql"));
+  if (!result.ok()) return Fail(result.status());
+  std::printf("%s", result->ToString(/*max_rows=*/1000).c_str());
+  std::printf("(%zu rows)\n", result->num_rows());
+  return 0;
+}
+
+galaxy::Result<galaxy::core::Algorithm> ParseAlgorithm(
+    const std::string& name) {
+  std::string upper = galaxy::AsciiUpper(name);
+  if (upper == "BF") return galaxy::core::Algorithm::kBruteForce;
+  if (upper == "NL") return galaxy::core::Algorithm::kNestedLoop;
+  if (upper == "TR") return galaxy::core::Algorithm::kTransitive;
+  if (upper == "SI") return galaxy::core::Algorithm::kSorted;
+  if (upper == "IN") return galaxy::core::Algorithm::kIndexed;
+  if (upper == "LO") return galaxy::core::Algorithm::kIndexedBbox;
+  if (upper == "AUTO") return galaxy::core::Algorithm::kAuto;
+  return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+galaxy::Result<galaxy::core::GroupedDataset> BuildGrouping(
+    const Flags& flags, const Table& table) {
+  if (!flags.Has("group-by") || !flags.Has("attrs")) {
+    return Status::InvalidArgument(
+        "--group-by COL and --attrs a,b[,c...] are required");
+  }
+  std::vector<std::string> group_cols =
+      galaxy::StrSplit(flags.Get("group-by"), ',');
+  std::vector<std::string> attrs = galaxy::StrSplit(flags.Get("attrs"), ',');
+  // Attributes prefixed with '-' are minimized.
+  galaxy::skyline::PreferenceList prefs;
+  for (std::string& a : attrs) {
+    if (!a.empty() && a[0] == '-') {
+      prefs.push_back(galaxy::skyline::Preference::kMin);
+      a = a.substr(1);
+    } else {
+      prefs.push_back(galaxy::skyline::Preference::kMax);
+    }
+  }
+  return galaxy::core::GroupedDataset::FromTable(table, group_cols, attrs,
+                                                 prefs);
+}
+
+int RunSkyline(const Flags& flags) {
+  auto table = LoadCsv(flags);
+  if (!table.ok()) return Fail(table.status());
+  auto dataset = BuildGrouping(flags, *table);
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  galaxy::core::AggregateSkylineOptions options;
+  options.gamma = flags.GetDouble("gamma", 0.5);
+  auto algorithm = ParseAlgorithm(flags.Get("algorithm", "AUTO"));
+  if (!algorithm.ok()) return Fail(algorithm.status());
+  options.algorithm = *algorithm;
+
+  auto result = galaxy::core::ComputeAggregateSkyline(*dataset, options);
+  std::printf("# %zu groups, gamma=%.3f, algorithm=%s\n",
+              dataset->num_groups(), options.gamma,
+              galaxy::core::AlgorithmToString(result.algorithm_used));
+  std::printf("# skyline size: %zu\n", result.skyline.size());
+  for (const std::string& label : result.Labels(*dataset)) {
+    std::printf("%s\n", label.c_str());
+  }
+
+  if (flags.Has("rank")) {
+    std::printf("\n# groups ranked by minimal gamma\n");
+    for (const auto& rg : galaxy::core::RankByGamma(*dataset)) {
+      if (rg.always_dominated) {
+        std::printf("%-30s never\n", rg.label.c_str());
+      } else {
+        std::printf("%-30s %.4f\n", rg.label.c_str(), rg.min_gamma);
+      }
+    }
+  }
+  if (flags.Has("representatives")) {
+    size_t k = static_cast<size_t>(flags.GetInt("representatives", 3));
+    auto reps = galaxy::core::SelectRepresentatives(*dataset, k,
+                                                    options.gamma);
+    std::printf("\n# top-%zu representative skyline groups "
+                "(cover %zu of %zu dominated groups)\n",
+                k, reps.covered, reps.dominated_total);
+    for (const auto& rep : reps.representatives) {
+      std::printf("%-30s +%zu\n", dataset->group(rep.id).label().c_str(),
+                  rep.marginal_coverage);
+    }
+  }
+  return 0;
+}
+
+int RunProfile(const Flags& flags) {
+  auto table = LoadCsv(flags);
+  if (!table.ok()) return Fail(table.status());
+  auto dataset = BuildGrouping(flags, *table);
+  if (!dataset.ok()) return Fail(dataset.status());
+  galaxy::core::WorkloadProfile profile =
+      galaxy::core::ProfileWorkload(*dataset);
+  std::printf("%s\n", profile.ToString().c_str());
+  galaxy::core::AdaptiveChoice choice =
+      galaxy::core::ChooseAlgorithm(profile);
+  std::printf("planner choice: %s, ordering %s\n",
+              galaxy::core::AlgorithmToString(choice.algorithm),
+              galaxy::core::GroupOrderingToString(choice.ordering));
+  return 0;
+}
+
+int RunGenerate(const Flags& flags) {
+  if (!flags.Has("out")) {
+    return Fail(Status::InvalidArgument("--out FILE is required"));
+  }
+  std::string type = flags.Get("type", "imdb");
+  Table table;
+  if (type == "imdb") {
+    galaxy::datagen::ImdbConfig config;
+    config.target_movies =
+        static_cast<size_t>(flags.GetInt("records", 20000));
+    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1894));
+    table = galaxy::datagen::ToTable(
+        galaxy::datagen::GenerateImdbCorpus(config));
+  } else if (type == "nba") {
+    galaxy::nba::NbaConfig config;
+    config.target_records =
+        static_cast<size_t>(flags.GetInt("records", 15000));
+    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1979));
+    table = galaxy::nba::ToTable(galaxy::nba::GenerateLeagueHistory(config));
+  } else if (type == "grouped") {
+    galaxy::datagen::GroupedWorkloadConfig config;
+    config.num_records = static_cast<size_t>(flags.GetInt("records", 10000));
+    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    table = galaxy::datagen::GroupedDatasetToTable(
+        galaxy::datagen::GenerateGrouped(config));
+  } else {
+    return Fail(Status::InvalidArgument("unknown --type: " + type));
+  }
+  Status status = galaxy::WriteCsvFile(table, flags.Get("out"));
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu rows to %s\n", table.num_rows(),
+              flags.Get("out").c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.ok()) return Usage();
+  if (command == "query") return RunQuery(flags);
+  if (command == "skyline") return RunSkyline(flags);
+  if (command == "profile") return RunProfile(flags);
+  if (command == "generate") return RunGenerate(flags);
+  return Usage();
+}
