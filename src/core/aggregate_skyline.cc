@@ -7,6 +7,7 @@
 #include "core/adaptive.h"
 #include "core/algo_context.h"
 #include "core/gamma.h"
+#include "core/parallel.h"
 
 namespace galaxy::core {
 
@@ -24,6 +25,8 @@ const char* AlgorithmToString(Algorithm algorithm) {
       return "IN";
     case Algorithm::kIndexedBbox:
       return "LO";
+    case Algorithm::kParallel:
+      return "PAR";
     case Algorithm::kAuto:
       return "AUTO";
   }
@@ -80,6 +83,14 @@ AggregateSkylineResult ComputeAggregateSkyline(
     effective.ordering = choice.ordering;
   }
 
+  if (effective.algorithm == Algorithm::kParallel) {
+    ParallelOptions parallel_options;
+    parallel_options.gamma = effective.gamma;
+    parallel_options.use_stop_rule = effective.use_stop_rule;
+    parallel_options.use_mbb = effective.use_mbb;
+    return ComputeAggregateSkylineParallel(dataset, parallel_options);
+  }
+
   AggregateSkylineResult result;
   result.algorithm_used = effective.algorithm;
   internal::AlgoContext ctx(dataset, effective, &result.stats);
@@ -101,8 +112,9 @@ AggregateSkylineResult ComputeAggregateSkyline(
     case Algorithm::kIndexedBbox:
       internal::RunIndexed(ctx);
       break;
+    case Algorithm::kParallel:
     case Algorithm::kAuto:
-      GALAXY_CHECK(false) << "kAuto must be resolved before dispatch";
+      GALAXY_CHECK(false) << "resolved before dispatch";
       break;
   }
 

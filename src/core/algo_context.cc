@@ -1,6 +1,7 @@
 #include "core/algo_context.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "common/logging.h"
@@ -76,9 +77,13 @@ std::vector<uint32_t> OrderGroups(const GroupedDataset& dataset,
   // Coordinate (not distance) sum of the MBB corners: on the paper's
   // [0, 1]^d data this equals the corner-distance sum of Algorithm 4, and
   // unlike an absolute-value distance it stays monotone when MIN attributes
-  // have been negated.
+  // have been negated. Empty groups sort last: their empty-box corners are
+  // ±infinity and would otherwise sum to NaN, breaking the comparator's
+  // strict weak ordering.
   auto corner_key = [&](uint32_t id) {
-    const Box& b = dataset.group(id).mbb();
+    const Group& g = dataset.group(id);
+    if (g.size() == 0) return -std::numeric_limits<double>::infinity();
+    const Box& b = g.mbb();
     double s = 0.0;
     for (size_t i = 0; i < b.dims(); ++i) s += b.min[i] + b.max[i];
     return s;

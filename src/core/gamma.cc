@@ -49,11 +49,16 @@ uint64_t CountDominatedPairs(const Group& s, const Group& r) {
 
 double DominationProbability(const Group& s, const Group& r) {
   uint64_t total = static_cast<uint64_t>(s.size()) * r.size();
+  // Definition 3's probability is undefined over an empty group; 0/0 would
+  // yield NaN here and poison every downstream comparison. An empty group
+  // neither dominates nor is dominated.
+  if (total == 0) return 0.0;
   return static_cast<double>(CountDominatedPairs(s, r)) /
          static_cast<double>(total);
 }
 
 bool GammaDominates(const Group& s, const Group& r, double gamma) {
+  if (s.size() == 0 || r.size() == 0) return false;
   double p = DominationProbability(s, r);
   return p == 1.0 || p > gamma;
 }
@@ -89,6 +94,14 @@ namespace internal {
 
 BoundDecision DecideDominance(uint64_t known, uint64_t resolved,
                               uint64_t total, double threshold) {
+  if (total == 0) {
+    // Empty pair space: without this guard `known == total` would claim
+    // p == 1 for a pair involving an empty group.
+    BoundDecision d;
+    d.decided = true;
+    d.value = false;
+    return d;
+  }
   uint64_t upper = known + (total - resolved);
   double bar = threshold * static_cast<double>(total);
   BoundDecision d;
@@ -103,6 +116,57 @@ BoundDecision DecideDominance(uint64_t known, uint64_t resolved,
     d.value = (known == total) || (static_cast<double>(known) > bar);
   }
   return d;
+}
+
+MbbPreclassification PreclassifyWithMbb(const Group& g1, const Group& g2) {
+  GALAXY_CHECK_GT(g1.size(), 0u);
+  GALAXY_CHECK_GT(g2.size(), 0u);
+  const Box& b1 = g1.mbb();
+  const Box& b2 = g2.mbb();
+  const uint64_t n1 = g1.size();
+  const uint64_t n2 = g2.size();
+
+  // Figure 9(c): records of one group falling below the other group's min
+  // corner are dominated by the entire other group ("area A"); records
+  // above the other group's max corner dominate the entire other group
+  // ("area C"). Count those pairs analytically and scan only the rest.
+  MbbPreclassification pre;
+  uint64_t a2 = 0;  // g1 records dominated by all of g2 (below b2.min)
+  uint64_t c1 = 0;  // g1 records dominating all of g2 (above b2.max)
+  pre.rest1.reserve(g1.size());
+  for (uint32_t i = 0; i < g1.size(); ++i) {
+    auto r = g1.point(i);
+    if (skyline::Dominates(b2.min, r)) {
+      ++a2;
+    } else if (skyline::Dominates(r, b2.max)) {
+      ++c1;
+    } else {
+      pre.rest1.push_back(i);
+    }
+  }
+  uint64_t a1 = 0;  // g2 records dominated by all of g1
+  uint64_t c2 = 0;  // g2 records dominating all of g1
+  pre.rest2.reserve(g2.size());
+  for (uint32_t j = 0; j < g2.size(); ++j) {
+    auto s = g2.point(j);
+    if (skyline::Dominates(b1.min, s)) {
+      ++a1;
+    } else if (skyline::Dominates(s, b1.max)) {
+      ++c2;
+    } else {
+      pre.rest2.push_back(j);
+    }
+  }
+  // Every pair touching a pre-classified record is decided:
+  //   r ≻ s holds for (any r, s in A1) and (r in C1, s not in A1);
+  //   s ≻ r holds for (r in A2, any s) and (s in C2, r not in A2);
+  //   all other flagged combinations are non-dominating in both
+  //   directions.
+  pre.n12 = a1 * n1 + c1 * (n2 - a1);
+  pre.n21 = a2 * n2 + c2 * (n1 - a2);
+  pre.resolved = n1 * n2 -
+                 static_cast<uint64_t>(pre.rest1.size()) * pre.rest2.size();
+  return pre;
 }
 
 bool TryResolveOutcome(uint64_t n12, uint64_t n21, uint64_t resolved,
@@ -169,6 +233,11 @@ PairOutcome ClassifyPair(const Group& g1, const Group& g2,
   const uint64_t total = n1 * n2;
   if (stats != nullptr) stats->pairs_total = total;
 
+  // An empty group neither dominates nor is dominated (Definition 3's
+  // probability is undefined there); its MBB corners are ±infinity, so no
+  // later step may touch them.
+  if (total == 0) return PairOutcome::kIncomparable;
+
   uint64_t n12 = 0;  // pairs (r in g1, s in g2) with r ≻ s
   uint64_t n21 = 0;  // pairs with s ≻ r
   uint64_t resolved = 0;
@@ -198,48 +267,16 @@ PairOutcome ClassifyPair(const Group& g1, const Group& g2,
       return PairOutcome::kFirstDominatesStrongly;
     }
 
-    // Figure 9(c): records of one group falling below the other group's min
-    // corner are dominated by the entire other group ("area A"); records
-    // above the other group's max corner dominate the entire other group
-    // ("area C"). Count those pairs analytically and scan only the rest.
-    uint64_t a2 = 0;  // g1 records dominated by all of g2 (below b2.min)
-    uint64_t c1 = 0;  // g1 records dominating all of g2 (above b2.max)
-    rest1.reserve(g1.size());
-    for (uint32_t i = 0; i < g1.size(); ++i) {
-      auto r = g1.point(i);
-      if (skyline::Dominates(b2.min, r)) {
-        ++a2;
-      } else if (skyline::Dominates(r, b2.max)) {
-        ++c1;
-      } else {
-        rest1.push_back(i);
-      }
-    }
-    uint64_t a1 = 0;  // g2 records dominated by all of g1
-    uint64_t c2 = 0;  // g2 records dominating all of g1
-    rest2.reserve(g2.size());
-    for (uint32_t j = 0; j < g2.size(); ++j) {
-      auto s = g2.point(j);
-      if (skyline::Dominates(b1.min, s)) {
-        ++a1;
-      } else if (skyline::Dominates(s, b1.max)) {
-        ++c2;
-      } else {
-        rest2.push_back(j);
-      }
-    }
+    internal::MbbPreclassification pre = internal::PreclassifyWithMbb(g1, g2);
+    n12 = pre.n12;
+    n21 = pre.n21;
+    resolved = pre.resolved;
+    rest1 = std::move(pre.rest1);
+    rest2 = std::move(pre.rest2);
     if (stats != nullptr) {
       stats->record_comparisons += 2 * (n1 + n2);  // corner tests
+      stats->pairs_resolved_by_mbb = resolved;
     }
-    // Every pair touching a pre-classified record is decided:
-    //   r ≻ s holds for (any r, s in A1) and (r in C1, s not in A1);
-    //   s ≻ r holds for (r in A2, any s) and (s in C2, r not in A2);
-    //   all other flagged combinations are non-dominating in both
-    //   directions.
-    n12 = a1 * n1 + c1 * (n2 - a1);
-    n21 = a2 * n2 + c2 * (n1 - a2);
-    resolved = total - static_cast<uint64_t>(rest1.size()) * rest2.size();
-    if (stats != nullptr) stats->pairs_resolved_by_mbb = resolved;
   } else {
     rest1.resize(g1.size());
     rest2.resize(g2.size());

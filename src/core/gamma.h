@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/group.h"
 
@@ -34,10 +35,15 @@ struct GammaThresholds {
 /// |S ≻ R|). Exact, exhaustive O(|S|·|R|·d).
 uint64_t CountDominatedPairs(const Group& s, const Group& r);
 
-/// p(S ≻ R) = |S ≻ R| / (|S|·|R|) (Definition 3). Exact.
+/// p(S ≻ R) = |S ≻ R| / (|S|·|R|) (Definition 3). Exact. Definition 3's
+/// probability is undefined when either group is empty; by convention an
+/// empty group neither dominates nor is dominated, so the probability is
+/// defined as 0 (never NaN).
 double DominationProbability(const Group& s, const Group& r);
 
 /// True iff S γ-dominates R: p(S ≻ R) = 1 or p(S ≻ R) > γ (Definition 3).
+/// False whenever either group is empty (an empty group neither dominates
+/// nor is dominated).
 bool GammaDominates(const Group& s, const Group& r, double gamma);
 
 /// The classification of one group pair against both thresholds.
@@ -76,7 +82,8 @@ struct PairCompareOptions {
 
 /// Classifies the pair (g1, g2) against the thresholds. The result is
 /// identical for every option combination; options only change the work
-/// performed. `stats` may be null.
+/// performed. `stats` may be null. A pair involving an empty group is
+/// always kIncomparable (see DominationProbability).
 PairOutcome ClassifyPair(const Group& g1, const Group& g2,
                          const GammaThresholds& thresholds,
                          const PairCompareOptions& options = {},
@@ -98,6 +105,8 @@ namespace internal {
 /// Decidability of the predicate "final count == total || final count >
 /// threshold * total" given `known` true pairs out of `resolved` processed
 /// pairs (the final count lies in [known, known + total - resolved]).
+/// `total == 0` (an empty group on either side) decides to false: an empty
+/// group neither dominates nor is dominated.
 struct BoundDecision {
   bool decided = false;
   bool value = false;
@@ -105,6 +114,23 @@ struct BoundDecision {
 
 BoundDecision DecideDominance(uint64_t known, uint64_t resolved,
                               uint64_t total, double threshold);
+
+/// The analytic pair accounting of the Figure 9(c) MBB pre-classification:
+/// records of one group below the other group's MBB min corner are
+/// dominated by the entire other group ("area A"); records above the other
+/// group's MBB max corner dominate the entire other group ("area C"). The
+/// counts cover every ordered record pair touching a pre-classified record;
+/// only rest1 x rest2 remains to be scanned pairwise. Requires both groups
+/// non-empty.
+struct MbbPreclassification {
+  uint64_t n12 = 0;      ///< pre-classified pairs (r in g1, s in g2), r ≻ s
+  uint64_t n21 = 0;      ///< pre-classified pairs with s ≻ r
+  uint64_t resolved = 0; ///< |g1|·|g2| − |rest1|·|rest2|
+  std::vector<uint32_t> rest1;  ///< g1 records needing pairwise scanning
+  std::vector<uint32_t> rest2;  ///< g2 records needing pairwise scanning
+};
+
+MbbPreclassification PreclassifyWithMbb(const Group& g1, const Group& g2);
 
 /// Tries to determine the pair outcome from partial counts (the Section
 /// 3.3 stopping rule): returns true and sets `*outcome` once the

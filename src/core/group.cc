@@ -16,7 +16,6 @@ Group::Group(uint32_t id, std::string label, std::vector<double> data,
       mbb_(Box::Empty(dims)) {
   GALAXY_CHECK_GT(dims, 0u);
   GALAXY_CHECK_EQ(data_.size() % dims, 0u);
-  GALAXY_CHECK_GT(size_, 0u) << "groups must be non-empty";
   for (size_t i = 0; i < size_; ++i) {
     mbb_.Expand(point(i));
   }
@@ -109,7 +108,6 @@ GroupedDataset GroupedDataset::FromPoints(
   std::vector<Group> out;
   out.reserve(groups.size());
   for (size_t g = 0; g < groups.size(); ++g) {
-    GALAXY_CHECK(!groups[g].empty()) << "group " << g << " is empty";
     std::vector<double> buf;
     buf.reserve(groups[g].size() * dims);
     for (const Point& p : groups[g]) {

@@ -21,7 +21,9 @@ namespace galaxy::core {
 /// (Algorithm 5) and the internal bounding-box optimization (Figure 9).
 class Group {
  public:
-  /// Builds a group; `data` is row-major with `size() == n * dims`.
+  /// Builds a group; `data` is row-major with `size() == n * dims`. Empty
+  /// groups (no records) are allowed: they neither dominate nor are
+  /// dominated, and their MBB is the empty box (corners at ±infinity).
   Group(uint32_t id, std::string label, std::vector<double> data, size_t dims);
 
   uint32_t id() const { return id_; }
@@ -66,7 +68,9 @@ class GroupedDataset {
       const skyline::PreferenceList& prefs = {});
 
   /// Builds a dataset from explicit per-group point lists; labels default to
-  /// "g<id>". Every point must have the same dimension.
+  /// "g<id>". Every point must have the same dimension. Individual groups
+  /// may be empty, but at least one group must have a record (to fix the
+  /// dimensionality).
   static GroupedDataset FromPoints(
       const std::vector<std::vector<Point>>& groups,
       const std::vector<std::string>& labels = {});

@@ -22,6 +22,12 @@ enum class Algorithm {
   kIndexed,
   /// Algorithm 5 + bounding-box internal approximation ("LO").
   kIndexedBbox,
+  /// The multi-threaded exact operator ("PAR", core/parallel.h): the
+  /// group-pair space striped across worker threads. Selecting it through
+  /// ComputeAggregateSkyline runs ComputeAggregateSkylineParallel with
+  /// hardware-concurrency threads; results report this identifier so bench
+  /// output and ablations attribute the parallel path correctly.
+  kParallel,
   /// Adaptive: profiles the workload and picks kSorted or kIndexedBbox
   /// (plus an ordering) per core/adaptive.h — the "customized query
   /// optimization" direction of the paper's concluding remarks.

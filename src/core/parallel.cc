@@ -51,9 +51,16 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
     for (uint32_t i = 0; i < n; ++i) {
       for (uint32_t j = i + 1; j < n; ++j) {
         if (counter++ % threads != tid) continue;
+        // A pair may only be skipped when classifying it could not change
+        // any mark. Both endpoints being `dominated` is not enough: the
+        // classification could still set a missing `strongly_dominated`
+        // mark, making the parallel strong vector disagree with the
+        // sequential algorithms. A strongly-dominated endpoint has both its
+        // marks set, so requiring strong marks on both sides keeps every
+        // output vector exact.
         if (options.skip_settled_pairs &&
-            dominated[i].load(std::memory_order_relaxed) != 0 &&
-            dominated[j].load(std::memory_order_relaxed) != 0) {
+            strongly[i].load(std::memory_order_relaxed) != 0 &&
+            strongly[j].load(std::memory_order_relaxed) != 0) {
           ++stats.skipped_settled;
           continue;
         }
@@ -99,7 +106,7 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
   }
 
   AggregateSkylineResult result;
-  result.algorithm_used = Algorithm::kNestedLoop;
+  result.algorithm_used = Algorithm::kParallel;
   result.dominated.resize(n);
   result.strongly_dominated.resize(n);
   for (uint32_t i = 0; i < n; ++i) {

@@ -17,9 +17,9 @@ struct ParallelOptions {
   bool use_stop_rule = true;
   bool use_mbb = false;
   /// When true, threads opportunistically skip pairs whose both endpoints
-  /// are already marked dominated (sound: such a pair cannot change the
-  /// result). The outcome set is still exact; only the work saved is
-  /// schedule-dependent.
+  /// are already marked strongly dominated (sound: such a pair cannot
+  /// change any mark, so the skyline AND the dominated / strongly_dominated
+  /// vectors stay exact). Only the work saved is schedule-dependent.
   bool skip_settled_pairs = true;
 };
 

@@ -1,0 +1,101 @@
+#ifndef GALAXY_TESTING_DIFFERENTIAL_H_
+#define GALAXY_TESTING_DIFFERENTIAL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/aggregate_skyline.h"
+#include "core/parallel.h"
+#include "testing/oracle.h"
+#include "testing/property_gen.h"
+
+namespace galaxy::testing {
+
+/// One algorithm configuration of the differential matrix: a sequential
+/// algorithm with its tuning knobs, or the parallel operator with a thread
+/// count.
+struct DifferentialConfig {
+  bool parallel = false;
+  core::Algorithm algorithm = core::Algorithm::kBruteForce;
+  bool use_mbb = false;
+  bool use_stop_rule = true;
+  bool prune_strongly_dominated = true;
+  core::GroupOrdering ordering = core::GroupOrdering::kCornerDistance;
+  /// Parallel-only knobs.
+  size_t num_threads = 1;
+  bool skip_settled_pairs = true;
+
+  /// True when the configuration must reproduce the oracle's dominated and
+  /// strongly_dominated vectors exactly: BF/NL (which classify every
+  /// pair), any algorithm in safe mode (prune_strongly_dominated = false),
+  /// and the parallel operator. Pruned TR/SI/IN/LO may legitimately return
+  /// a superset of the skyline (the weak-transitivity gap; DESIGN.md §3).
+  bool exact() const;
+
+  /// "TR mbb=1 stop=0 prune=1" / "PAR threads=4 skip=1 ..." — for messages.
+  std::string Name() const;
+};
+
+/// The full differential matrix: every sequential algorithm crossed with
+/// {use_mbb} × {use_stop_rule} × {prune_strongly_dominated}, alternative
+/// group orderings for the order-sensitive algorithms, and the parallel
+/// operator at 1 and 4 threads with both skip-settled settings.
+std::vector<DifferentialConfig> AllConfigurations();
+
+/// Runs one configuration on the dataset.
+core::AggregateSkylineResult RunConfiguration(
+    const core::GroupedDataset& dataset, double gamma,
+    const DifferentialConfig& config);
+
+/// Checks one result against the oracle under the documented semantics:
+/// structural invariants (skyline ascending and equal to the unmarked
+/// groups, strong implies dominated), mark soundness (every mark the
+/// algorithm set is true per the oracle), the reported algorithm
+/// identifier, exactness for exact() configurations, and for pruned
+/// configurations that every surplus skyline group is explained by the
+/// weak-transitivity gap (all its true γ-dominators carry the algorithm's
+/// own strongly-dominated mark). Returns "" when consistent, else a
+/// description of the first disagreement.
+std::string CheckResult(const core::GroupedDataset& dataset, double gamma,
+                        const DifferentialConfig& config,
+                        const OracleResult& oracle,
+                        const core::AggregateSkylineResult& result);
+
+/// Runs `config` and checks it; "" when consistent.
+std::string RunAndCheck(const core::GroupedDataset& dataset, double gamma,
+                        const DifferentialConfig& config,
+                        const OracleResult& oracle);
+
+/// A divergence found by the harness.
+struct Divergence {
+  bool found = false;
+  DifferentialConfig config;
+  std::string detail;
+};
+
+/// Runs every configuration of AllConfigurations() against the oracle;
+/// stops at the first disagreement.
+Divergence CheckDataset(const core::GroupedDataset& dataset, double gamma);
+
+/// A minimal failing input, ready to be checked in as a regression test.
+struct Reproducer {
+  PointGroups groups;
+  double gamma = 0.5;
+  DifferentialConfig config;
+  std::string detail;
+};
+
+/// Greedily shrinks a failing input while the same configuration keeps
+/// disagreeing with the oracle: drop whole groups, then drop individual
+/// records, then round coordinates to coarser grids. The result is a local
+/// minimum: no single further step still fails.
+Reproducer Shrink(const PointGroups& groups, double gamma,
+                  const DifferentialConfig& config);
+
+/// Renders the reproducer as a ready-to-paste C++ gtest case.
+std::string ReproducerToCpp(const Reproducer& repro);
+
+}  // namespace galaxy::testing
+
+#endif  // GALAXY_TESTING_DIFFERENTIAL_H_

@@ -1,0 +1,93 @@
+#include "testing/oracle.h"
+
+#include <span>
+
+namespace galaxy::testing {
+
+namespace {
+
+// Pareto dominance (Definition 1), re-implemented independently of
+// skyline::Dominates so the oracle shares no predicate code with the
+// implementations it checks. All attributes are MAX-oriented.
+bool RecordDominates(std::span<const double> a, std::span<const double> b) {
+  bool strictly_better = false;
+  for (size_t d = 0; d < a.size(); ++d) {
+    if (a[d] < b[d]) return false;
+    if (a[d] > b[d]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+bool ProbabilityDominates(double p, double threshold) {
+  return p == 1.0 || p > threshold;
+}
+
+}  // namespace
+
+double OracleDominationProbability(const core::Group& s,
+                                   const core::Group& r) {
+  const uint64_t total = static_cast<uint64_t>(s.size()) * r.size();
+  if (total == 0) return 0.0;
+  uint64_t count = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    for (size_t j = 0; j < r.size(); ++j) {
+      if (RecordDominates(s.point(i), r.point(j))) ++count;
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(total);
+}
+
+bool OracleGammaDominates(const core::Group& s, const core::Group& r,
+                          double gamma) {
+  if (s.size() == 0 || r.size() == 0) return false;
+  return ProbabilityDominates(OracleDominationProbability(s, r), gamma);
+}
+
+core::PairOutcome OracleClassifyPair(const core::Group& g1,
+                                     const core::Group& g2,
+                                     const core::GammaThresholds& thresholds) {
+  double p12 = OracleDominationProbability(g1, g2);
+  double p21 = OracleDominationProbability(g2, g1);
+  if (g1.size() == 0 || g2.size() == 0) {
+    return core::PairOutcome::kIncomparable;
+  }
+  if (ProbabilityDominates(p12, thresholds.gamma_bar)) {
+    return core::PairOutcome::kFirstDominatesStrongly;
+  }
+  if (ProbabilityDominates(p12, thresholds.gamma)) {
+    return core::PairOutcome::kFirstDominates;
+  }
+  if (ProbabilityDominates(p21, thresholds.gamma_bar)) {
+    return core::PairOutcome::kSecondDominatesStrongly;
+  }
+  if (ProbabilityDominates(p21, thresholds.gamma)) {
+    return core::PairOutcome::kSecondDominates;
+  }
+  return core::PairOutcome::kIncomparable;
+}
+
+OracleResult ComputeOracle(const core::GroupedDataset& dataset,
+                           const core::GammaThresholds& thresholds) {
+  const uint32_t n = static_cast<uint32_t>(dataset.num_groups());
+  OracleResult result;
+  result.dominated.assign(n, 0);
+  result.strongly_dominated.assign(n, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (dataset.group(i).size() == 0 || dataset.group(j).size() == 0) {
+        continue;
+      }
+      double p = OracleDominationProbability(dataset.group(j),
+                                             dataset.group(i));
+      if (ProbabilityDominates(p, thresholds.gamma)) result.dominated[i] = 1;
+      if (ProbabilityDominates(p, thresholds.gamma_bar)) {
+        result.strongly_dominated[i] = 1;
+      }
+    }
+    if (result.dominated[i] == 0) result.skyline.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace galaxy::testing

@@ -1,0 +1,49 @@
+#ifndef GALAXY_TESTING_ORACLE_H_
+#define GALAXY_TESTING_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gamma.h"
+#include "core/group.h"
+
+namespace galaxy::testing {
+
+/// Ground truth of one aggregate-skyline computation, produced straight
+/// from Definition 3 with no pruning, no stopping rule, no MBB shortcuts
+/// and no shared code with the production pair classifier (even the
+/// record-level dominance test is re-implemented here). The differential
+/// harness cross-validates every algorithm configuration against this.
+struct OracleResult {
+  /// Per group id: some other group γ-dominates it.
+  std::vector<uint8_t> dominated;
+  /// Per group id: some other group γ̄-dominates it (strong domination).
+  std::vector<uint8_t> strongly_dominated;
+  /// Group ids with no γ-dominator, ascending — the exact aggregate
+  /// skyline of Definition 2.
+  std::vector<uint32_t> skyline;
+};
+
+/// p(S ≻ R) by exhaustive counting (Definition 3). Returns 0 when either
+/// group is empty: an empty group neither dominates nor is dominated.
+double OracleDominationProbability(const core::Group& s, const core::Group& r);
+
+/// True iff p(S ≻ R) = 1 or p(S ≻ R) > gamma (Definition 3); false when
+/// either group is empty.
+bool OracleGammaDominates(const core::Group& s, const core::Group& r,
+                          double gamma);
+
+/// Classification of one unordered pair against both thresholds, from the
+/// exact probabilities alone.
+core::PairOutcome OracleClassifyPair(const core::Group& g1,
+                                     const core::Group& g2,
+                                     const core::GammaThresholds& thresholds);
+
+/// Exact dominated / strongly-dominated marks and skyline for the whole
+/// dataset: one exhaustive probability per ordered group pair.
+OracleResult ComputeOracle(const core::GroupedDataset& dataset,
+                           const core::GammaThresholds& thresholds);
+
+}  // namespace galaxy::testing
+
+#endif  // GALAXY_TESTING_ORACLE_H_

@@ -1,0 +1,211 @@
+#include "testing/property_gen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/zipf.h"
+
+namespace galaxy::testing {
+
+namespace {
+
+// Dataset-wide coordinate style. Grid styles deliberately produce many
+// exactly-equal coordinates and small rational domination probabilities
+// (k/total), so p == γ ties at 0.5 / 0.75 / 1.0 actually occur.
+enum class CoordStyle {
+  kCoarseGrid,  // multiples of 0.25
+  kFineGrid,    // multiples of 0.125
+  kUniform,
+  kAntiCorrelated,
+};
+
+double DrawCoordinate(Rng& rng, CoordStyle style) {
+  switch (style) {
+    case CoordStyle::kCoarseGrid:
+      return 0.25 * static_cast<double>(rng.UniformInt(0, 4));
+    case CoordStyle::kFineGrid:
+      return 0.125 * static_cast<double>(rng.UniformInt(0, 8));
+    case CoordStyle::kUniform:
+    case CoordStyle::kAntiCorrelated:
+      return rng.NextDouble();
+  }
+  return 0.0;
+}
+
+Point DrawPoint(Rng& rng, size_t dims, CoordStyle style) {
+  Point p(dims);
+  for (size_t d = 0; d < dims; ++d) p[d] = DrawCoordinate(rng, style);
+  if (style == CoordStyle::kAntiCorrelated && dims > 1) {
+    // Push points toward the hyperplane sum == dims/2: good in one
+    // dimension means bad in another, maximizing incomparable pairs.
+    double sum = 0.0;
+    for (size_t d = 0; d + 1 < dims; ++d) sum += p[d];
+    double target = static_cast<double>(dims) / 2.0;
+    p[dims - 1] = std::clamp(target - sum, 0.0, 1.0);
+  }
+  return p;
+}
+
+// Indexes of groups that currently have at least one record.
+std::vector<size_t> NonEmptyGroups(const PointGroups& groups) {
+  std::vector<size_t> out;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (!groups[g].empty()) out.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace
+
+PointGroups GenerateAdversarialPoints(Rng& rng,
+                                      const PropertyGenConfig& config) {
+  GALAXY_CHECK_GE(config.min_groups, 1u);
+  GALAXY_CHECK_GE(config.max_groups, config.min_groups);
+  GALAXY_CHECK_GE(config.max_records_per_group, 1u);
+  GALAXY_CHECK_GE(config.max_dims, 1u);
+
+  // Bias toward low dimensionality, where domination is common and the
+  // pruning shortcuts fire; still reach up to max_dims (default 8).
+  size_t dims = rng.Bernoulli(0.5)
+                    ? 1 + static_cast<size_t>(
+                              rng.UniformInt(0, std::min<int64_t>(
+                                                    2, config.max_dims - 1)))
+                    : 1 + static_cast<size_t>(rng.UniformInt(
+                              0, static_cast<int64_t>(config.max_dims) - 1));
+  size_t num_groups = static_cast<size_t>(
+      rng.UniformInt(static_cast<int64_t>(config.min_groups),
+                     static_cast<int64_t>(config.max_groups)));
+  CoordStyle style = static_cast<CoordStyle>(rng.UniformInt(0, 3));
+  bool zipf_sizes = rng.Bernoulli(1.0 / 3.0);
+  ZipfSampler zipf(static_cast<int64_t>(config.max_records_per_group), 1.0);
+
+  PointGroups groups(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    size_t size;
+    double shape = rng.NextDouble();
+    if (config.allow_empty_groups && shape < 0.10) {
+      size = 0;  // empty group: neither dominates nor is dominated
+    } else if (shape < 0.25) {
+      size = 1;  // singleton
+    } else if (zipf_sizes) {
+      size = static_cast<size_t>(zipf.Sample(rng));
+    } else {
+      size = static_cast<size_t>(rng.UniformInt(
+          1, static_cast<int64_t>(config.max_records_per_group)));
+    }
+    for (size_t i = 0; i < size; ++i) {
+      groups[g].push_back(DrawPoint(rng, dims, style));
+    }
+  }
+
+  // Mutation: collapse one group to all-equal records (p(S≻R) is then 0 or
+  // 1 against singletons, and every internal pair is kEqual).
+  std::vector<size_t> non_empty = NonEmptyGroups(groups);
+  if (!non_empty.empty() && rng.Bernoulli(0.15)) {
+    size_t g = non_empty[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(non_empty.size()) - 1))];
+    for (size_t i = 1; i < groups[g].size(); ++i) {
+      groups[g][i] = groups[g][0];
+    }
+  }
+
+  // Mutation: duplicate records across groups (exercises kEqual outcomes
+  // and identical-MBB corner cases).
+  for (size_t g = 0; g < num_groups; ++g) {
+    if (groups[g].empty() || !rng.Bernoulli(0.3)) continue;
+    size_t src = non_empty[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(non_empty.size()) - 1))];
+    const std::vector<Point>& pool = groups[src];
+    size_t k = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1));
+    size_t dst = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(groups[g].size()) - 1));
+    groups[g][dst] = pool[k];
+  }
+
+  // Mutation: place records exactly on another group's MBB corners or
+  // boundaries — the inputs where the Figure 9(c) region classification is
+  // decided by ties.
+  non_empty = NonEmptyGroups(groups);
+  if (!non_empty.empty()) {
+    int corner_hits = static_cast<int>(rng.UniformInt(0, 3));
+    for (int hit = 0; hit < corner_hits; ++hit) {
+      size_t target = non_empty[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(non_empty.size()) - 1))];
+      Point lo(dims), hi(dims);
+      for (size_t d = 0; d < dims; ++d) {
+        lo[d] = hi[d] = groups[target][0][d];
+        for (const Point& p : groups[target]) {
+          lo[d] = std::min(lo[d], p[d]);
+          hi[d] = std::max(hi[d], p[d]);
+        }
+      }
+      // A pure corner, or a mixed boundary point (min on some dimensions,
+      // max on the others).
+      Point boundary(dims);
+      int mode = static_cast<int>(rng.UniformInt(0, 2));
+      for (size_t d = 0; d < dims; ++d) {
+        if (mode == 0) {
+          boundary[d] = lo[d];
+        } else if (mode == 1) {
+          boundary[d] = hi[d];
+        } else {
+          boundary[d] = rng.Bernoulli(0.5) ? lo[d] : hi[d];
+        }
+      }
+      size_t g = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(num_groups) - 1));
+      if (groups[g].empty() || rng.Bernoulli(0.5)) {
+        if (groups[g].size() < config.max_records_per_group) {
+          groups[g].push_back(boundary);
+        }
+      } else {
+        size_t dst = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(groups[g].size()) - 1));
+        groups[g][dst] = boundary;
+      }
+    }
+  }
+
+  // FromPoints needs at least one record to fix the dimensionality.
+  if (NonEmptyGroups(groups).empty()) {
+    groups[0].push_back(DrawPoint(rng, dims, style));
+  }
+  return groups;
+}
+
+core::GroupedDataset PointsToDataset(const PointGroups& groups) {
+  return core::GroupedDataset::FromPoints(groups);
+}
+
+core::GroupedDataset GenerateAdversarialDataset(
+    Rng& rng, const PropertyGenConfig& config) {
+  return PointsToDataset(GenerateAdversarialPoints(rng, config));
+}
+
+double PickAdversarialGamma(Rng& rng) {
+  // ε is kept ≥ 1e-9: far enough from the threshold that double rounding
+  // cannot flip a comparison for the small pair totals the generator
+  // produces, close enough to catch any use of approximate thresholds.
+  constexpr double kEps = 1e-9;
+  switch (rng.UniformInt(0, 7)) {
+    case 0:
+      return 0.5;
+    case 1:
+      return 0.75;  // the γ̄ clamp boundary: γ̄(0.75) == 0.75 exactly
+    case 2:
+      return 1.0;
+    case 3:
+      return 0.5 + kEps;
+    case 4:
+      return 0.75 - kEps;
+    case 5:
+      return 0.75 + kEps;  // just inside the clamp region γ̄ == γ
+    case 6:
+      return 1.0 - kEps;
+    default:
+      return rng.Uniform(0.5, 1.0);
+  }
+}
+
+}  // namespace galaxy::testing

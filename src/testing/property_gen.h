@@ -1,0 +1,56 @@
+#ifndef GALAXY_TESTING_PROPERTY_GEN_H_
+#define GALAXY_TESTING_PROPERTY_GEN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "core/group.h"
+
+namespace galaxy::testing {
+
+/// Bounds for the adversarial dataset generator. The defaults keep
+/// datasets small enough that the exhaustive oracle is instantaneous while
+/// group counts/sizes still cover every algorithm code path (pruning,
+/// ordering, window queries, striping).
+struct PropertyGenConfig {
+  size_t min_groups = 2;
+  size_t max_groups = 10;
+  size_t max_records_per_group = 8;
+  size_t max_dims = 8;
+  /// Include zero-record groups (legal inputs: such a group neither
+  /// dominates nor is dominated).
+  bool allow_empty_groups = true;
+};
+
+/// Raw material of a dataset — kept as point lists so the shrinker can
+/// drop groups/records before rebuilding a GroupedDataset.
+using PointGroups = std::vector<std::vector<Point>>;
+
+/// Draws an adversarial grouped dataset: grid-aligned coordinates (so
+/// domination probabilities land exactly on γ thresholds), duplicate and
+/// all-equal records, records copied onto other groups' MBB corners and
+/// boundaries, empty and singleton groups, Zipfian group sizes, and
+/// anti-correlated dimensions up to `max_dims`. At least one group is
+/// always non-empty. Deterministic in the generator state.
+PointGroups GenerateAdversarialPoints(Rng& rng,
+                                      const PropertyGenConfig& config = {});
+
+/// The same, materialized as a dataset.
+core::GroupedDataset GenerateAdversarialDataset(
+    Rng& rng, const PropertyGenConfig& config = {});
+
+/// Builds a dataset from point lists (thin wrapper over
+/// GroupedDataset::FromPoints, shared by the generator and the shrinker).
+core::GroupedDataset PointsToDataset(const PointGroups& groups);
+
+/// Draws a γ in [0.5, 1] biased toward the adversarial spots: the exact
+/// grid thresholds 0.5 / 0.75 / 1.0 (where p == γ ties are common on
+/// grid-aligned data), values ε-close to those thresholds, and the γ̄
+/// clamp region γ > 3/4.
+double PickAdversarialGamma(Rng& rng);
+
+}  // namespace galaxy::testing
+
+#endif  // GALAXY_TESTING_PROPERTY_GEN_H_

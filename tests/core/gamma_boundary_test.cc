@@ -1,0 +1,153 @@
+// Boundary semantics of the gamma threshold (Definition 3): domination is
+// strict (p == gamma does NOT dominate) with the single escape p == 1,
+// which dominates even at gamma = 1. Exercised through every pair
+// classification code path (exhaustive, stop rule, MBB) plus the
+// DecideDominance upper == total edge and the gamma_bar clamp region.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/gamma.h"
+
+namespace galaxy::core {
+namespace {
+
+Group MakeGroup(uint32_t id, std::vector<Point> pts, size_t dims) {
+  std::vector<double> buf;
+  for (const Point& p : pts) buf.insert(buf.end(), p.begin(), p.end());
+  return Group(id, "g" + std::to_string(id), std::move(buf), dims);
+}
+
+// Classifies under all four option combinations and checks they agree.
+PairOutcome ClassifyAllPaths(const Group& g1, const Group& g2,
+                             const GammaThresholds& thresholds) {
+  PairOutcome reference = ClassifyPair(g1, g2, thresholds);
+  for (bool mbb : {false, true}) {
+    for (bool stop : {false, true}) {
+      PairCompareOptions options;
+      options.use_mbb = mbb;
+      options.use_stop_rule = stop;
+      EXPECT_EQ(ClassifyPair(g1, g2, thresholds, options), reference)
+          << "mbb=" << mbb << " stop=" << stop;
+    }
+  }
+  return reference;
+}
+
+TEST(GammaBoundaryTest, ProbabilityExactlyGammaDoesNotDominate) {
+  // p(S > R) = 1/2 exactly: one of S's two records dominates R's record.
+  Group s = MakeGroup(0, {{1.0}, {0.0}}, 1);
+  Group r = MakeGroup(1, {{0.5}}, 1);
+  ASSERT_EQ(DominationProbability(s, r), 0.5);
+
+  EXPECT_FALSE(GammaDominates(s, r, 0.5));  // p == gamma: strict, no
+  EXPECT_TRUE(GammaDominates(s, r, 0.5 - 1e-9));
+  EXPECT_EQ(ClassifyAllPaths(s, r, GammaThresholds::FromGamma(0.5)),
+            PairOutcome::kIncomparable);
+}
+
+TEST(GammaBoundaryTest, ProbabilityExactlyThreeQuartersAtGammaThreeQuarters) {
+  // p = 3/4 exactly at the clamp boundary gamma = 3/4 (gamma_bar == 3/4
+  // too): neither plain nor strong domination.
+  Group s = MakeGroup(0, {{1.0}, {1.0}, {1.0}, {0.0}}, 1);
+  Group r = MakeGroup(1, {{0.5}}, 1);
+  ASSERT_EQ(DominationProbability(s, r), 0.75);
+
+  EXPECT_FALSE(GammaDominates(s, r, 0.75));
+  EXPECT_TRUE(GammaDominates(s, r, 0.75 - 1e-9));
+  EXPECT_EQ(ClassifyAllPaths(s, r, GammaThresholds::FromGamma(0.75)),
+            PairOutcome::kIncomparable);
+  // Just below the threshold both predicates flip (gamma_bar(0.75 - eps)
+  // is still < 3/4 after clamping, so p = 3/4 > gamma_bar: strong).
+  EXPECT_EQ(ClassifyAllPaths(s, r, GammaThresholds::FromGamma(0.75 - 1e-9)),
+            PairOutcome::kFirstDominatesStrongly);
+}
+
+TEST(GammaBoundaryTest, ProbabilityOneDominatesEvenAtGammaOne) {
+  Group s = MakeGroup(0, {{1.0}, {2.0}}, 1);
+  Group r = MakeGroup(1, {{0.5}}, 1);
+  ASSERT_EQ(DominationProbability(s, r), 1.0);
+
+  // p > gamma is impossible at gamma = 1, but p == 1 is the explicit
+  // escape in Definition 3 — and gamma_bar(1) == 1, so it is also strong.
+  EXPECT_TRUE(GammaDominates(s, r, 1.0));
+  EXPECT_EQ(ClassifyAllPaths(s, r, GammaThresholds::FromGamma(1.0)),
+            PairOutcome::kFirstDominatesStrongly);
+  // The mirrored direction stays empty-handed (asymmetry).
+  EXPECT_FALSE(GammaDominates(r, s, 1.0));
+}
+
+TEST(GammaBoundaryTest, JustBelowProbabilityOneDoesNotDominateAtGammaOne) {
+  // p = 3/4: at gamma = 1 neither the strict inequality nor the escape.
+  Group s = MakeGroup(0, {{1.0}, {1.0}, {1.0}, {0.0}}, 1);
+  Group r = MakeGroup(1, {{0.5}}, 1);
+  EXPECT_FALSE(GammaDominates(s, r, 1.0));
+  EXPECT_FALSE(GammaDominates(s, r, 1.0 - 1e-9 * 0.5));
+  EXPECT_EQ(ClassifyAllPaths(s, r, GammaThresholds::FromGamma(1.0)),
+            PairOutcome::kIncomparable);
+}
+
+TEST(GammaBoundaryTest, ClampRegionMakesEveryDominationStrong) {
+  // For gamma > 3/4 the clamp sets gamma_bar == gamma, so p > gamma
+  // implies p > gamma_bar: kFirstDominates (plain-but-not-strong) cannot
+  // occur.
+  GammaThresholds thresholds = GammaThresholds::FromGamma(0.9);
+  ASSERT_DOUBLE_EQ(thresholds.gamma_bar, 0.9);
+  // p = 19/20 = 0.95 > 0.9.
+  std::vector<Point> pts(19, Point{1.0});
+  pts.push_back(Point{0.0});
+  Group s = MakeGroup(0, std::move(pts), 1);
+  Group r = MakeGroup(1, {{0.5}}, 1);
+  ASSERT_EQ(DominationProbability(s, r), 0.95);
+  EXPECT_EQ(ClassifyAllPaths(s, r, thresholds),
+            PairOutcome::kFirstDominatesStrongly);
+}
+
+TEST(DecideDominanceBoundaryTest, NoEarlyNegativeWhileUpperEqualsTotal) {
+  // 2 of 2 resolved pairs dominate, 2 pending of 4 total: the final count
+  // can still reach 4 == total, so the p == 1 escape keeps the outcome
+  // open even though 4 * 0.75 = 3 can no longer be strictly exceeded...
+  internal::BoundDecision d = internal::DecideDominance(2, 2, 4, 0.75);
+  EXPECT_FALSE(d.decided);
+  // ...but once one pair fails (upper == 3 < total), p == 1 is dead and
+  // 3 > 3 is false: decided negative.
+  d = internal::DecideDominance(2, 3, 4, 0.75);
+  EXPECT_TRUE(d.decided);
+  EXPECT_FALSE(d.value);
+  // Completion with all four dominating: the escape fires.
+  d = internal::DecideDominance(4, 4, 4, 0.75);
+  EXPECT_TRUE(d.decided);
+  EXPECT_TRUE(d.value);
+}
+
+TEST(DecideDominanceBoundaryTest, EmptyPairSpaceDecidesFalse) {
+  // total == 0 (an empty group on either side): decided, not dominating —
+  // previously `known == total` claimed p == 1 here.
+  internal::BoundDecision d = internal::DecideDominance(0, 0, 0, 0.5);
+  EXPECT_TRUE(d.decided);
+  EXPECT_FALSE(d.value);
+  d = internal::DecideDominance(0, 0, 0, 1.0);
+  EXPECT_TRUE(d.decided);
+  EXPECT_FALSE(d.value);
+}
+
+TEST(GammaBoundaryTest, EmptyGroupsNeverDominateOnAnyPath) {
+  Group empty = MakeGroup(0, {}, 1);
+  Group full = MakeGroup(1, {{0.5}}, 1);
+  for (double gamma : {0.5, 0.75, 0.75 + 1e-9, 1.0}) {
+    EXPECT_FALSE(GammaDominates(empty, full, gamma)) << gamma;
+    EXPECT_FALSE(GammaDominates(full, empty, gamma)) << gamma;
+    GammaThresholds thresholds = GammaThresholds::FromGamma(gamma);
+    EXPECT_EQ(ClassifyAllPaths(empty, full, thresholds),
+              PairOutcome::kIncomparable);
+    EXPECT_EQ(ClassifyAllPaths(full, empty, thresholds),
+              PairOutcome::kIncomparable);
+    EXPECT_EQ(ClassifyAllPaths(empty, empty, thresholds),
+              PairOutcome::kIncomparable);
+  }
+  EXPECT_FALSE(std::isnan(DominationProbability(empty, empty)));
+}
+
+}  // namespace
+}  // namespace galaxy::core

@@ -1,0 +1,140 @@
+// Property tests for the Figure 9(c) MBB pre-classification accounting
+// (internal::PreclassifyWithMbb): on boundary-heavy grid datasets the
+// analytic pair counts n12 / n21 / resolved must match brute force
+// exactly, and classification with use_mbb on/off must agree.
+
+#include <cstdint>
+#include <span>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/gamma.h"
+#include "testing/property_gen.h"
+
+namespace galaxy::core {
+namespace {
+
+// Local strict Pareto dominance, independent of the library predicate.
+bool StrictlyDominates(std::span<const double> a, std::span<const double> b) {
+  bool strict = false;
+  for (size_t d = 0; d < a.size(); ++d) {
+    if (a[d] < b[d]) return false;
+    if (a[d] > b[d]) strict = true;
+  }
+  return strict;
+}
+
+// Ordered dominating pairs within the residual rest1 x rest2 block.
+uint64_t CountRestPairs(const Group& g1, const Group& g2,
+                        const std::vector<uint32_t>& rest1,
+                        const std::vector<uint32_t>& rest2, bool direction12) {
+  uint64_t count = 0;
+  for (uint32_t i : rest1) {
+    for (uint32_t j : rest2) {
+      bool dominates = direction12
+                           ? StrictlyDominates(g1.point(i), g2.point(j))
+                           : StrictlyDominates(g2.point(j), g1.point(i));
+      if (dominates) ++count;
+    }
+  }
+  return count;
+}
+
+void CheckPairAccounting(const Group& g1, const Group& g2) {
+  internal::MbbPreclassification pre = internal::PreclassifyWithMbb(g1, g2);
+  const uint64_t total = static_cast<uint64_t>(g1.size()) * g2.size();
+
+  // The residual block is exactly what the pre-classification left over.
+  const uint64_t rest_block =
+      static_cast<uint64_t>(pre.rest1.size()) * pre.rest2.size();
+  ASSERT_LE(rest_block, total);
+  EXPECT_EQ(pre.resolved, total - rest_block);
+  EXPECT_LE(pre.n12 + pre.n21, pre.resolved);
+
+  // Analytic counts + residual scan == exhaustive counts, both directions.
+  EXPECT_EQ(pre.n12 + CountRestPairs(g1, g2, pre.rest1, pre.rest2, true),
+            CountDominatedPairs(g1, g2));
+  EXPECT_EQ(pre.n21 + CountRestPairs(g1, g2, pre.rest1, pre.rest2, false),
+            CountDominatedPairs(g2, g1));
+
+  // Residual indexes must be valid and unique.
+  for (uint32_t i : pre.rest1) EXPECT_LT(i, g1.size());
+  for (uint32_t j : pre.rest2) EXPECT_LT(j, g2.size());
+}
+
+TEST(MbbAccountingTest, MatchesBruteForceOnBoundaryHeavyDatasets) {
+  // The generator plants records exactly on other groups' MBB corners and
+  // boundaries and draws grid-aligned coordinates, so the A/C region
+  // membership tests are routinely decided by ties.
+  Rng rng(31337);
+  int pairs_checked = 0;
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    GroupedDataset dataset = galaxy::testing::GenerateAdversarialDataset(rng);
+    for (size_t a = 0; a < dataset.num_groups(); ++a) {
+      for (size_t b = 0; b < dataset.num_groups(); ++b) {
+        if (a == b) continue;
+        if (dataset.group(a).size() == 0 || dataset.group(b).size() == 0) {
+          continue;
+        }
+        CheckPairAccounting(dataset.group(a), dataset.group(b));
+        ++pairs_checked;
+      }
+    }
+  }
+  EXPECT_GT(pairs_checked, 500);
+}
+
+TEST(MbbAccountingTest, IdenticalGroupsResolveToEqualPairsOnly) {
+  // Two copies of the same group: MBBs coincide, every record sits on the
+  // shared boundary. Domination counts must match in both directions.
+  GroupedDataset dataset = GroupedDataset::FromPoints({
+      {{0.0, 1.0}, {1.0, 0.0}, {0.5, 0.5}},
+      {{0.0, 1.0}, {1.0, 0.0}, {0.5, 0.5}},
+  });
+  CheckPairAccounting(dataset.group(0), dataset.group(1));
+  EXPECT_EQ(CountDominatedPairs(dataset.group(0), dataset.group(1)),
+            CountDominatedPairs(dataset.group(1), dataset.group(0)));
+}
+
+TEST(MbbAccountingTest, DegenerateMbbSinglePoint) {
+  // A group whose MBB is a single point: the opponent's records compare
+  // against identical min and max corners.
+  GroupedDataset dataset = GroupedDataset::FromPoints({
+      {{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}},
+      {{0.25, 0.25}, {0.5, 0.5}, {0.75, 0.75}, {0.25, 0.75}},
+  });
+  CheckPairAccounting(dataset.group(0), dataset.group(1));
+  CheckPairAccounting(dataset.group(1), dataset.group(0));
+}
+
+TEST(MbbAccountingTest, ClassificationAgreesWithAndWithoutMbb) {
+  Rng rng(2718);
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    GroupedDataset dataset = galaxy::testing::GenerateAdversarialDataset(rng);
+    const double gamma = galaxy::testing::PickAdversarialGamma(rng);
+    GammaThresholds thresholds = GammaThresholds::FromGamma(gamma);
+    for (size_t a = 0; a < dataset.num_groups(); ++a) {
+      for (size_t b = a + 1; b < dataset.num_groups(); ++b) {
+        PairCompareOptions plain;
+        plain.use_mbb = false;
+        PairCompareOptions mbb;
+        mbb.use_mbb = true;
+        for (bool stop : {false, true}) {
+          plain.use_stop_rule = stop;
+          mbb.use_stop_rule = stop;
+          EXPECT_EQ(
+              ClassifyPair(dataset.group(a), dataset.group(b), thresholds,
+                           plain),
+              ClassifyPair(dataset.group(a), dataset.group(b), thresholds,
+                           mbb))
+              << "iteration " << iteration << " pair (" << a << "," << b
+              << ") stop=" << stop << " gamma=" << gamma;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::core

@@ -113,6 +113,7 @@ galaxy::Result<galaxy::core::Algorithm> ParseAlgorithm(
   if (upper == "SI") return galaxy::core::Algorithm::kSorted;
   if (upper == "IN") return galaxy::core::Algorithm::kIndexed;
   if (upper == "LO") return galaxy::core::Algorithm::kIndexedBbox;
+  if (upper == "PAR") return galaxy::core::Algorithm::kParallel;
   if (upper == "AUTO") return galaxy::core::Algorithm::kAuto;
   return Status::InvalidArgument("unknown algorithm: " + name);
 }
