@@ -1,0 +1,96 @@
+// Measures the cost of the execution control plane when it is NOT limiting
+// anything — the acceptance bar is <= 2% overhead versus the legacy path
+// when no deadline or budget is set. Three variants per algorithm:
+//
+//   legacy     ComputeAggregateSkyline (no Status, exec must be null)
+//   null_exec  ComputeAggregateSkylineBounded with options.exec == nullptr
+//   unlimited  ComputeAggregateSkylineBounded with an armed ExecutionContext
+//              that has no deadline and no budgets (every Charge() batch
+//              takes the fast path: one relaxed load + one branch)
+//
+// Compare the three series for one algorithm to read off the overhead.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "core/aggregate_skyline.h"
+#include "core/exec_context.h"
+#include "datagen/groups.h"
+
+namespace galaxy::bench {
+namespace {
+
+enum class Variant { kLegacy, kNullExec, kUnlimitedExec };
+
+void RunVariant(benchmark::State& state, const core::GroupedDataset& dataset,
+                core::AggregateSkylineOptions options, Variant variant) {
+  // One context for all iterations: with no limits set it never trips, so
+  // reuse is safe and keeps construction out of the timed region.
+  core::ExecutionContext exec;
+  uint64_t record_cmps = 0;
+  size_t skyline_size = 0;
+  for (auto _ : state) {
+    if (variant == Variant::kLegacy) {
+      core::AggregateSkylineResult result =
+          core::ComputeAggregateSkyline(dataset, options);
+      benchmark::DoNotOptimize(result.skyline.data());
+      record_cmps = result.stats.record_comparisons;
+      skyline_size = result.skyline.size();
+    } else {
+      options.exec = variant == Variant::kUnlimitedExec ? &exec : nullptr;
+      auto result = core::ComputeAggregateSkylineBounded(dataset, options);
+      GALAXY_CHECK(result.ok());
+      benchmark::DoNotOptimize(result->skyline.data());
+      record_cmps = result->stats.record_comparisons;
+      skyline_size = result->skyline.size();
+    }
+  }
+  state.counters["skyline"] = static_cast<double>(skyline_size);
+  state.counters["rec_cmps"] = static_cast<double>(record_cmps);
+}
+
+void RegisterAll() {
+  datagen::GroupedWorkloadConfig config;
+  config.num_records = 10000;
+  config.avg_records_per_group = 100;
+  config.dims = 5;
+  config.distribution = datagen::Distribution::kAntiCorrelated;
+  config.spread = 0.2;
+  config.seed = 42;
+
+  const std::vector<std::pair<std::string, Variant>> variants = {
+      {"legacy", Variant::kLegacy},
+      {"null_exec", Variant::kNullExec},
+      {"unlimited", Variant::kUnlimitedExec},
+  };
+  for (const auto& [algo_name, algo] : PaperAlgorithms()) {
+    for (const auto& [variant_name, variant] : variants) {
+      std::string name =
+          "overhead/" + algo_name + "/" + variant_name;
+      core::AggregateSkylineOptions options;
+      options.gamma = 0.6;
+      options.algorithm = algo;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [config, options, variant](benchmark::State& state) {
+            const core::GroupedDataset& dataset = CachedWorkload(config);
+            RunVariant(state, dataset, options, variant);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::bench
+
+int main(int argc, char** argv) {
+  galaxy::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

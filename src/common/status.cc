@@ -25,6 +25,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "ParseError";
     case StatusCode::kTypeError:
       return "TypeError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -21,6 +21,16 @@ enum class StatusCode {
   kInternal,
   kParseError,
   kTypeError,
+  /// The run was cancelled cooperatively via ExecutionContext::RequestCancel
+  /// (see core/exec_context.h). Partial results are discarded unless the
+  /// caller opted into approximate degradation.
+  kCancelled,
+  /// The wall-clock deadline of the governing ExecutionContext expired
+  /// before the run finished.
+  kDeadlineExceeded,
+  /// A resource budget of the governing ExecutionContext was exhausted
+  /// (record-comparison cap or resident-memory cap).
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -62,6 +72,15 @@ class Status {
   }
   static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

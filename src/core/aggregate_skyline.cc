@@ -1,11 +1,13 @@
 #include "core/aggregate_skyline.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/adaptive.h"
 #include "core/algo_context.h"
+#include "core/anytime.h"
 #include "core/gamma.h"
 #include "core/parallel.h"
 
@@ -72,22 +74,32 @@ std::vector<std::string> AggregateSkylineResult::Labels(
   return out;
 }
 
-AggregateSkylineResult ComputeAggregateSkyline(
-    const GroupedDataset& dataset, const AggregateSkylineOptions& options) {
-  WallTimer timer;
+namespace {
 
+// Resolves kAuto to a concrete algorithm (and its preferred ordering).
+AggregateSkylineOptions ResolveAlgorithm(
+    const GroupedDataset& dataset, const AggregateSkylineOptions& options) {
   AggregateSkylineOptions effective = options;
   if (options.algorithm == Algorithm::kAuto) {
     AdaptiveChoice choice = ChooseAlgorithm(ProfileWorkload(dataset));
     effective.algorithm = choice.algorithm;
     effective.ordering = choice.ordering;
   }
+  return effective;
+}
+
+// One dispatch of an already-resolved algorithm; honors effective.exec if
+// set (workers unwind once it stops, leaving sound partial marks).
+AggregateSkylineResult RunResolved(const GroupedDataset& dataset,
+                                   const AggregateSkylineOptions& effective) {
+  WallTimer timer;
 
   if (effective.algorithm == Algorithm::kParallel) {
     ParallelOptions parallel_options;
     parallel_options.gamma = effective.gamma;
     parallel_options.use_stop_rule = effective.use_stop_rule;
     parallel_options.use_mbb = effective.use_mbb;
+    parallel_options.exec = effective.exec;
     return ComputeAggregateSkylineParallel(dataset, parallel_options);
   }
 
@@ -121,6 +133,66 @@ AggregateSkylineResult ComputeAggregateSkyline(
   result.skyline = ctx.Skyline();
   result.dominated = ctx.dominated_flags();
   result.strongly_dominated = ctx.strong_flags();
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+// Salvages an interrupted run: merges its partial dominance marks (every
+// one of which is a true γ-domination) with a bounded anytime pass over
+// the same dataset. Both mark sets only exclude genuinely dominated
+// groups, so their union excludes only dominated groups too — the merged
+// skyline is a sound superset of the exact answer, and equals it when the
+// salvage pass manages to decide every pair.
+AggregateSkylineResult DegradeToAnytime(
+    const GroupedDataset& dataset, const AggregateSkylineOptions& options,
+    AggregateSkylineResult partial) {
+  AnytimeAggregateSkyline::Options anytime_options;
+  anytime_options.gamma = options.gamma;
+  anytime_options.use_mbb = true;
+  // Deliberately no exec: the salvage budget is deterministic and
+  // independent of the tripped context, so a degraded answer returns
+  // promptly even when the deadline already expired.
+  AnytimeAggregateSkyline engine(dataset, anytime_options);
+  AnytimeAggregateSkyline::Snapshot snapshot =
+      engine.Advance(options.degrade_comparison_budget);
+
+  const uint32_t n = static_cast<uint32_t>(dataset.num_groups());
+  std::vector<uint8_t> anytime_dominated(n, 1);
+  for (uint32_t g : snapshot.possible) anytime_dominated[g] = 0;
+
+  partial.skyline.clear();
+  for (uint32_t g = 0; g < n; ++g) {
+    if (anytime_dominated[g] != 0) partial.dominated[g] = 1;
+    if (partial.dominated[g] == 0) partial.skyline.push_back(g);
+  }
+  partial.stats.record_comparisons += snapshot.comparisons_used;
+  partial.quality = snapshot.complete ? ResultQuality::kExact
+                                      : ResultQuality::kApproximateSuperset;
+  return partial;
+}
+
+}  // namespace
+
+AggregateSkylineResult ComputeAggregateSkyline(
+    const GroupedDataset& dataset, const AggregateSkylineOptions& options) {
+  GALAXY_CHECK(options.exec == nullptr)
+      << "ComputeAggregateSkyline cannot report interruptions; use "
+         "ComputeAggregateSkylineBounded with an ExecutionContext";
+  return RunResolved(dataset, ResolveAlgorithm(dataset, options));
+}
+
+Result<AggregateSkylineResult> ComputeAggregateSkylineBounded(
+    const GroupedDataset& dataset, const AggregateSkylineOptions& options) {
+  WallTimer timer;
+  AggregateSkylineResult result =
+      RunResolved(dataset, ResolveAlgorithm(dataset, options));
+  if (options.exec == nullptr || !options.exec->stopped()) {
+    return result;
+  }
+  if (!options.allow_approximate || !options.exec->degradable_trip()) {
+    return options.exec->status();
+  }
+  result = DegradeToAnytime(dataset, options, std::move(result));
   result.stats.wall_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+#include "core/exec_context.h"
 #include "core/group.h"
 #include "core/options.h"
 
@@ -23,6 +25,10 @@ struct AggregateSkylineResult {
   AggregateSkylineStats stats;
   /// The concrete algorithm that ran (resolves kAuto to its choice).
   Algorithm algorithm_used = Algorithm::kBruteForce;
+  /// Whether the skyline is exact or a sound over-approximation (set to
+  /// kApproximateSuperset only by ComputeAggregateSkylineBounded after a
+  /// graceful degradation; see core/exec_context.h).
+  ResultQuality quality = ResultQuality::kExact;
 
   /// True if the group id is in the skyline.
   bool Contains(uint32_t id) const;
@@ -37,6 +43,21 @@ struct AggregateSkylineResult {
 /// safe.
 AggregateSkylineResult ComputeAggregateSkyline(
     const GroupedDataset& dataset, const AggregateSkylineOptions& options = {});
+
+/// The control-plane-aware entry point: like ComputeAggregateSkyline, but
+/// honors `options.exec` (deadline, cancellation, comparison and memory
+/// budgets; core/exec_context.h). When the context stops the run:
+///  - with `options.allow_approximate` set and a degradable trip reason
+///    (cancel / deadline / comparison budget), the partial — always sound —
+///    dominance marks are merged with a bounded anytime salvage pass and
+///    the result is returned tagged ResultQuality::kApproximateSuperset
+///    (kExact if the salvage pass happened to finish the job);
+///  - otherwise the trip reason propagates as an error Status
+///    (kCancelled / kDeadlineExceeded / kResourceExhausted) and no result
+///    is returned. Memory-budget trips always take this branch.
+/// With a null `options.exec` this is exactly ComputeAggregateSkyline.
+Result<AggregateSkylineResult> ComputeAggregateSkylineBounded(
+    const GroupedDataset& dataset, const AggregateSkylineOptions& options);
 
 /// A group together with the smallest γ for which it belongs to the
 /// skyline.

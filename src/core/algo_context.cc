@@ -22,8 +22,10 @@ AlgoContext::AlgoContext(const GroupedDataset& dataset,
   pair_options_.use_stop_rule = options.use_stop_rule;
   pair_options_.use_mbb =
       options.use_mbb || options.algorithm == Algorithm::kIndexedBbox;
+  pair_options_.exec = options.exec;
   if (options.algorithm == Algorithm::kBruteForce) {
-    // The reference mode does every record comparison unconditionally.
+    // The reference mode does every record comparison unconditionally —
+    // but it still honors the control plane.
     pair_options_.use_stop_rule = false;
     pair_options_.use_mbb = false;
   }
@@ -40,6 +42,9 @@ PairOutcome AlgoContext::Compare(uint32_t id1, uint32_t id2) {
     if (pair_stats.mbb_strict_shortcut) ++stats_->mbb_shortcuts;
     if (pair_stats.stopped_early) ++stats_->stopped_early;
   }
+  // An aborted classification decided nothing about the pair; recording
+  // its kIncomparable would be a false mark of knowledge.
+  if (pair_stats.aborted) return outcome;
   switch (outcome) {
     case PairOutcome::kFirstDominatesStrongly:
       strongly_dominated_[id2] = 1;

@@ -36,8 +36,17 @@ class AlgoContext {
     return options_->prune_strongly_dominated && strongly_dominated(id);
   }
 
+  /// True once the governing ExecutionContext stopped the run; the
+  /// algorithm bodies unwind immediately. Always false when no context is
+  /// attached.
+  bool interrupted() const {
+    return options_->exec != nullptr && options_->exec->stopped();
+  }
+
   /// Classifies the pair, applies the dominance marks, updates counters,
-  /// and returns the outcome.
+  /// and returns the outcome. If the control plane aborts the
+  /// classification mid-pair, no mark is applied and kIncomparable is
+  /// returned (interrupted() turns true).
   PairOutcome Compare(uint32_t id1, uint32_t id2);
 
   /// The groups still unmarked, ascending by id — the computed skyline.

@@ -1,7 +1,9 @@
+#include <algorithm>
 #include <limits>
 #include <unordered_set>
 
 #include "core/algo_context.h"
+#include "core/exec_context.h"
 #include "spatial/rtree.h"
 
 namespace galaxy::core::internal {
@@ -31,6 +33,22 @@ void RunIndexed(AlgoContext& ctx) {
   const size_t dims = dataset.dims();
   const uint32_t n = static_cast<uint32_t>(dataset.num_groups());
 
+  // Charge the R-tree against the resident-memory budget before building
+  // it: per entry one d-dimensional corner plus id, and roughly one
+  // interior box per fan-out split. On budget exhaustion the context trips
+  // (kResourceExhausted) and the run unwinds before allocating.
+  ScopedReservation tree_reservation;
+  if (ctx.options().exec != nullptr) {
+    const uint64_t per_entry = dims * sizeof(double) + sizeof(uint32_t);
+    const uint64_t per_node = 2 * dims * sizeof(double) + 64;
+    const uint64_t fanout = std::max<uint64_t>(2, ctx.options().rtree_fanout);
+    const uint64_t estimate =
+        n * per_entry + (2 * uint64_t{n} / fanout + 1) * per_node;
+    if (!tree_reservation.Reserve(ctx.options().exec, estimate).ok()) {
+      return;
+    }
+  }
+
   spatial::RTree tree(dims, ctx.options().rtree_fanout);
   {
     std::vector<Point> corners;
@@ -52,6 +70,7 @@ void RunIndexed(AlgoContext& ctx) {
   for (uint32_t a = 0; a < n; ++a) {
     uint32_t i = order[a];
     if (ctx.Skippable(i)) continue;
+    if (ctx.interrupted()) return;
 
     // All groups whose MBB max corner weakly dominates g1's min corner are
     // the only possible γ-dominators of g1.
@@ -73,6 +92,7 @@ void RunIndexed(AlgoContext& ctx) {
         if (ctx.stats() != nullptr) ++ctx.stats()->pairs_skipped_dedup;
         continue;
       }
+      if (ctx.interrupted()) return;
       ctx.Compare(i, j);
       if (ctx.options().prune_strongly_dominated &&
           ctx.strongly_dominated(i)) {

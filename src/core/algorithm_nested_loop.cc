@@ -9,6 +9,7 @@ void RunBruteForce(AlgoContext& ctx) {
   const uint32_t n = static_cast<uint32_t>(ctx.dataset().num_groups());
   for (uint32_t i = 0; i < n; ++i) {
     for (uint32_t j = i + 1; j < n; ++j) {
+      if (ctx.interrupted()) return;
       ctx.Compare(i, j);
     }
   }
@@ -21,6 +22,7 @@ void RunNestedLoop(AlgoContext& ctx) {
   const uint32_t n = static_cast<uint32_t>(ctx.dataset().num_groups());
   for (uint32_t i = 0; i < n; ++i) {
     for (uint32_t j = i + 1; j < n; ++j) {
+      if (ctx.interrupted()) return;
       ctx.Compare(i, j);
     }
   }

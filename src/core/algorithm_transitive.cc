@@ -15,6 +15,7 @@ void RunTransitive(AlgoContext& ctx) {
         if (ctx.stats() != nullptr) ++ctx.stats()->pairs_skipped_strong;
         continue;
       }
+      if (ctx.interrupted()) return;
       PairOutcome outcome = ctx.Compare(i, j);
       if (outcome == PairOutcome::kSecondDominatesStrongly &&
           ctx.options().prune_strongly_dominated) {
@@ -41,6 +42,7 @@ void RunSorted(AlgoContext& ctx) {
         if (ctx.stats() != nullptr) ++ctx.stats()->pairs_skipped_strong;
         continue;
       }
+      if (ctx.interrupted()) return;
       PairOutcome outcome = ctx.Compare(i, j);
       if (outcome == PairOutcome::kSecondDominatesStrongly &&
           ctx.options().prune_strongly_dominated) {

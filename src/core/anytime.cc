@@ -43,7 +43,24 @@ AnytimeAggregateSkyline::AnytimeAggregateSkyline(const GroupedDataset& dataset,
       const Group& b = dataset.group(j);
       state.total = static_cast<uint64_t>(a.size()) * b.size();
 
-      if (options_.use_mbb) {
+      // An empty group neither dominates nor is dominated (Definition 3's
+      // probability is undefined there); its MBB corners are ±infinity, so
+      // the corner tests below would wrongly see strong domination. Mirror
+      // ClassifyPair's guard and decide the pair as incomparable up front.
+      if (state.total == 0) {
+        state.decided = true;
+        state.outcome = PairOutcome::kIncomparable;
+        pairs_.push_back(std::move(state));
+        continue;
+      }
+
+      // Once the control plane has stopped, fall back to the cheap setup
+      // path (plain cursors, no corner tests): still sound, the pair is
+      // merely left fully undecided.
+      const bool preclassify =
+          options_.use_mbb &&
+          !(options_.exec != nullptr && options_.exec->stopped());
+      if (preclassify) {
         // Corner-only decisions (Figure 9(b)).
         if (skyline::Dominates(b.mbb().min, a.mbb().max)) {
           state.decided = true;
@@ -81,6 +98,9 @@ AnytimeAggregateSkyline::AnytimeAggregateSkyline(const GroupedDataset& dataset,
               state.total -
               static_cast<uint64_t>(state.rest1.size()) * state.rest2.size();
           comparisons_used_ += 2 * (a.size() + b.size());
+          if (options_.exec != nullptr) {
+            options_.exec->Charge(2 * (a.size() + b.size()));
+          }
         }
       } else {
         state.rest1.resize(a.size());
@@ -165,6 +185,7 @@ AnytimeAggregateSkyline::Snapshot AnytimeAggregateSkyline::Advance(
       const Group& a_group = dataset_->group(pair.g1);
       const Group& b_group = dataset_->group(pair.g2);
       uint64_t slice = std::min<uint64_t>(options_.slice, remaining);
+      const uint64_t slice_start = comparisons_used_;
       while (slice > 0 && !pair.decided) {
         auto r = a_group.point(pair.rest1[pair.pos1]);
         auto s = b_group.point(pair.rest2[pair.pos2]);
@@ -198,6 +219,13 @@ AnytimeAggregateSkyline::Snapshot AnytimeAggregateSkyline::Advance(
         finish_pair(/*relevant=*/true);
       }
       if (!pair.decided) active_[keep++] = idx;
+      // Charge the slice to the control plane; on a trip, drain the rest
+      // of the budget so Advance returns after at most one more pass of
+      // bookkeeping. The snapshot stays sound at any stopping point.
+      if (options_.exec != nullptr &&
+          !options_.exec->Charge(comparisons_used_ - slice_start)) {
+        remaining = 0;
+      }
     }
     active_.resize(keep);
   }

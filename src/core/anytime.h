@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/exec_context.h"
 #include "core/gamma.h"
 #include "core/group.h"
 
@@ -32,6 +33,11 @@ class AnytimeAggregateSkyline {
     /// Record comparisons per pair and round (smaller = smoother
     /// progress curve, slightly more scheduling overhead).
     uint64_t slice = 256;
+    /// Optional control plane: Advance() stops within one slice of the
+    /// context stopping (deadline, cancel, budget) and returns the current
+    /// — always sound — snapshot; construction skips the MBB
+    /// pre-classification once the context is stopped. Null = unbounded.
+    ExecutionContext* exec = nullptr;
   };
 
   /// Snapshot of the current state of knowledge.

@@ -1,5 +1,7 @@
 #include "core/domination_matrix.h"
 
+#include <utility>
+
 #include "common/logging.h"
 
 namespace galaxy::core {
@@ -16,6 +18,20 @@ DominationMatrix DominationMatrix::Build(const Group& r, const Group& s) {
       if (skyline::Dominates(ri, s.point(j))) m.set(i, j, true);
     }
   }
+  return m;
+}
+
+Result<DominationMatrix> DominationMatrix::TryBuild(const Group& r,
+                                                    const Group& s,
+                                                    ExecutionContext* exec) {
+  if (r.dims() != s.dims()) {
+    return Status::InvalidArgument("domination matrix of mismatched dims");
+  }
+  auto reservation = std::make_shared<ScopedReservation>();
+  const uint64_t bytes = static_cast<uint64_t>(r.size()) * s.size();
+  GALAXY_RETURN_IF_ERROR(reservation->Reserve(exec, bytes));
+  DominationMatrix m = Build(r, s);
+  m.reservation_ = std::move(reservation);
   return m;
 }
 

@@ -2,9 +2,12 @@
 #define GALAXY_CORE_DOMINATION_MATRIX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+#include "core/exec_context.h"
 #include "core/group.h"
 
 namespace galaxy::core {
@@ -22,6 +25,13 @@ class DominationMatrix {
 
   /// Builds the domination matrix of two groups (MAX-oriented records).
   static DominationMatrix Build(const Group& r, const Group& s);
+
+  /// Like Build, but first charges the |r| x |s| cells against the
+  /// resident-memory budget of `exec` (which may be null = unbounded) and
+  /// fails with kResourceExhausted instead of allocating past the cap. The
+  /// reservation is held for the lifetime of the returned matrix.
+  static Result<DominationMatrix> TryBuild(const Group& r, const Group& s,
+                                           ExecutionContext* exec);
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
@@ -49,6 +59,9 @@ class DominationMatrix {
   size_t rows_;
   size_t cols_;
   std::vector<uint8_t> cells_;
+  /// Byte reservation backing TryBuild-created matrices (shared so the
+  /// matrix stays copyable; released when the last copy dies).
+  std::shared_ptr<ScopedReservation> reservation_;
 };
 
 }  // namespace galaxy::core

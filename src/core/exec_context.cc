@@ -1,0 +1,147 @@
+#include "core/exec_context.h"
+
+namespace galaxy::core {
+
+const char* ResultQualityToString(ResultQuality quality) {
+  switch (quality) {
+    case ResultQuality::kExact:
+      return "exact";
+    case ResultQuality::kApproximateSuperset:
+      return "approximate-superset";
+  }
+  return "?";
+}
+
+void ExecutionContext::set_deadline(Clock::time_point deadline) {
+  has_deadline_ = true;
+  deadline_ = deadline;
+  next_deadline_check_.store(0, std::memory_order_relaxed);
+}
+
+void ExecutionContext::set_timeout(std::chrono::milliseconds timeout) {
+  set_deadline(Clock::now() + timeout);
+}
+
+void ExecutionContext::set_max_comparisons(uint64_t max_comparisons) {
+  max_comparisons_ = max_comparisons;
+}
+
+void ExecutionContext::set_max_resident_bytes(uint64_t max_bytes) {
+  max_resident_bytes_ = max_bytes;
+}
+
+void ExecutionContext::Trip(StopReason reason) {
+  int expected = static_cast<int>(StopReason::kNone);
+  // First trip wins; stopped_ is latched after the reason so status() never
+  // observes a stopped context without a reason.
+  stop_reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                       std::memory_order_relaxed);
+  stopped_.store(true, std::memory_order_release);
+}
+
+Status ExecutionContext::status() const {
+  if (!stopped_.load(std::memory_order_acquire)) return Status::OK();
+  switch (static_cast<StopReason>(
+      stop_reason_.load(std::memory_order_relaxed))) {
+    case StopReason::kCancelled:
+      return Status::Cancelled("execution cancelled");
+    case StopReason::kDeadlineExceeded:
+      return Status::DeadlineExceeded("deadline exceeded");
+    case StopReason::kComparisonBudget:
+      return Status::ResourceExhausted("comparison budget exhausted");
+    case StopReason::kMemoryBudget:
+      return Status::ResourceExhausted("resident-memory budget exhausted");
+    case StopReason::kNone:
+      break;
+  }
+  return Status::Internal("execution stopped without a recorded reason");
+}
+
+bool ExecutionContext::degradable_trip() const {
+  if (!stopped_.load(std::memory_order_acquire)) return false;
+  switch (static_cast<StopReason>(
+      stop_reason_.load(std::memory_order_relaxed))) {
+    case StopReason::kCancelled:
+    case StopReason::kDeadlineExceeded:
+    case StopReason::kComparisonBudget:
+      return true;
+    case StopReason::kMemoryBudget:
+    case StopReason::kNone:
+      break;
+  }
+  return false;
+}
+
+bool ExecutionContext::Charge(uint64_t n) {
+  uint64_t total = n == 0
+                       ? comparisons_.load(std::memory_order_relaxed)
+                       : comparisons_.fetch_add(
+                             n, std::memory_order_relaxed) + n;
+  if (stopped_.load(std::memory_order_relaxed)) return false;
+
+  // Injected faults are checked before the real limits so a harness can
+  // pin the exact reason at a chosen comparison count.
+  if (total >= cancel_at_) {
+    Trip(StopReason::kCancelled);
+    return false;
+  }
+  if (total >= deadline_at_) {
+    Trip(StopReason::kDeadlineExceeded);
+    return false;
+  }
+  if (total > max_comparisons_) {
+    Trip(StopReason::kComparisonBudget);
+    return false;
+  }
+  if (has_deadline_) {
+    // Amortized wall-clock poll: at most one clock read per
+    // kDeadlineCheckInterval charged units across all threads.
+    uint64_t due = next_deadline_check_.load(std::memory_order_relaxed);
+    if (total >= due &&
+        next_deadline_check_.compare_exchange_strong(
+            due, total + kDeadlineCheckInterval,
+            std::memory_order_relaxed)) {
+      if (Clock::now() >= deadline_) {
+        Trip(StopReason::kDeadlineExceeded);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Status ExecutionContext::ReserveBytes(uint64_t bytes) {
+  uint64_t now =
+      resident_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (now > max_resident_bytes_) {
+    resident_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    Trip(StopReason::kMemoryBudget);
+    return status();
+  }
+  return Status::OK();
+}
+
+void ExecutionContext::ReleaseBytes(uint64_t bytes) {
+  resident_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+Status ScopedReservation::Reserve(ExecutionContext* exec, uint64_t bytes) {
+  Release();
+  if (exec == nullptr) return Status::OK();
+  Status status = exec->ReserveBytes(bytes);
+  if (status.ok()) {
+    exec_ = exec;
+    bytes_ = bytes;
+  }
+  return status;
+}
+
+void ScopedReservation::Release() {
+  if (exec_ != nullptr) {
+    exec_->ReleaseBytes(bytes_);
+    exec_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+}  // namespace galaxy::core

@@ -238,6 +238,12 @@ PairOutcome ClassifyPair(const Group& g1, const Group& g2,
   // later step may touch them.
   if (total == 0) return PairOutcome::kIncomparable;
 
+  ExecutionContext* exec = options.exec;
+  if (exec != nullptr && !exec->Charge(0)) {
+    if (stats != nullptr) stats->aborted = true;
+    return PairOutcome::kIncomparable;
+  }
+
   uint64_t n12 = 0;  // pairs (r in g1, s in g2) with r ≻ s
   uint64_t n21 = 0;  // pairs with s ≻ r
   uint64_t resolved = 0;
@@ -277,6 +283,10 @@ PairOutcome ClassifyPair(const Group& g1, const Group& g2,
       stats->record_comparisons += 2 * (n1 + n2);  // corner tests
       stats->pairs_resolved_by_mbb = resolved;
     }
+    if (exec != nullptr && !exec->Charge(2 * (n1 + n2))) {
+      if (stats != nullptr) stats->aborted = true;
+      return PairOutcome::kIncomparable;
+    }
   } else {
     rest1.resize(g1.size());
     rest2.resize(g2.size());
@@ -303,6 +313,16 @@ PairOutcome ClassifyPair(const Group& g1, const Group& g2,
   // long rows) rather than per pair.
   constexpr uint64_t kCheckStride = 1024;
   uint64_t next_check = resolved + kCheckStride;
+  // Comparisons accumulated locally and charged to the control plane in
+  // batches, keeping the bounded path contention-free and the unbounded
+  // path (exec == nullptr) down to one branch per comparison.
+  uint64_t uncharged = 0;
+  auto flush_charges = [&]() {
+    if (exec != nullptr && uncharged != 0) {
+      exec->Charge(uncharged);
+      uncharged = 0;
+    }
+  };
   for (uint32_t i : rest1) {
     auto r = g1.point(i);
     for (uint32_t j : rest2) {
@@ -314,19 +334,30 @@ PairOutcome ClassifyPair(const Group& g1, const Group& g2,
         ++n21;
       }
       ++resolved;
+      if (exec != nullptr &&
+          ++uncharged >= ExecutionContext::kChargeBatch) {
+        if (!exec->Charge(uncharged)) {
+          if (stats != nullptr) stats->aborted = true;
+          return PairOutcome::kIncomparable;
+        }
+        uncharged = 0;
+      }
       if (options.use_stop_rule && resolved >= next_check) {
         next_check = resolved + kCheckStride;
         if (outcome_if_decided(&outcome)) {
           if (stats != nullptr) stats->stopped_early = resolved < total;
+          flush_charges();
           return outcome;
         }
       }
     }
     if (options.use_stop_rule && outcome_if_decided(&outcome)) {
       if (stats != nullptr) stats->stopped_early = resolved < total;
+      flush_charges();
       return outcome;
     }
   }
+  flush_charges();
 
   // Exhaustive path (stop rule disabled, or undecidable until the end —
   // the latter cannot happen since at resolution == total everything is

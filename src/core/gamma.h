@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/exec_context.h"
 #include "core/group.h"
 
 namespace galaxy::core {
@@ -66,6 +67,10 @@ struct PairCompareStats {
   uint64_t pairs_resolved_by_mbb = 0;  ///< pairs decided from MBB regions
   bool mbb_strict_shortcut = false;    ///< decided by min/max corner alone
   bool stopped_early = false;          ///< stop rule fired before full scan
+  /// The governing ExecutionContext stopped the scan before the pair was
+  /// classified; the returned outcome is kIncomparable and must NOT be
+  /// recorded as knowledge about the pair.
+  bool aborted = false;
 };
 
 /// Tuning knobs for pair classification (Section 3.3 of the paper).
@@ -78,6 +83,11 @@ struct PairCompareOptions {
   /// dominated by the whole opponent group, records above its max corner
   /// dominate the whole group; only the residual block is scanned.
   bool use_mbb = false;
+  /// Optional control plane: record comparisons are charged to it in
+  /// batches of ExecutionContext::kChargeBatch, and the scan aborts
+  /// (stats->aborted) within one batch of the context stopping. Null means
+  /// unbounded (no charging at all).
+  ExecutionContext* exec = nullptr;
 };
 
 /// Classifies the pair (g1, g2) against the thresholds. The result is

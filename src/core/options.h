@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "core/exec_context.h"
+
 namespace galaxy::core {
 
 /// The aggregate-skyline algorithms of Section 3, plus an exhaustive
@@ -85,6 +87,27 @@ struct AggregateSkylineOptions {
 
   /// Fan-out of the R-tree used by the indexed algorithms.
   size_t rtree_fanout = 16;
+
+  /// Optional execution control plane (deadline, cancellation token,
+  /// resource budgets; core/exec_context.h). Only honored by the
+  /// Status-returning entry point ComputeAggregateSkylineBounded; the
+  /// legacy value-returning ComputeAggregateSkyline requires it to stay
+  /// null. Null means unbounded.
+  ExecutionContext* exec = nullptr;
+
+  /// When the control plane stops the run for a deadline, a cancellation
+  /// or the comparison budget, degrade gracefully instead of erroring:
+  /// hand the dataset to the anytime operator and return its sound
+  /// over-approximation snapshot tagged ResultQuality::kApproximateSuperset
+  /// (memory-budget trips always error — degradation could not respect
+  /// them either). Ignored when exec is null.
+  bool allow_approximate = false;
+
+  /// Record-comparison budget of the degradation pass (the anytime salvage
+  /// run after an interruption). Deterministic and independent of the
+  /// tripped context, so a degraded answer returns promptly even when the
+  /// deadline has already expired.
+  uint64_t degrade_comparison_budget = 1 << 20;
 };
 
 /// Work counters accumulated over one aggregate-skyline computation.

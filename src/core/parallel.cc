@@ -23,6 +23,7 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
   PairCompareOptions pair_options;
   pair_options.use_stop_rule = options.use_stop_rule;
   pair_options.use_mbb = options.use_mbb;
+  pair_options.exec = options.exec;
 
   // Shared dominance marks. Writes are monotone (0 -> 1 only), so relaxed
   // atomics are sufficient: a stale read can only cause extra work, never
@@ -49,8 +50,10 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
     LocalStats& stats = local[tid];
     uint64_t counter = 0;
     for (uint32_t i = 0; i < n; ++i) {
+      if (options.exec != nullptr && options.exec->stopped()) return;
       for (uint32_t j = i + 1; j < n; ++j) {
         if (counter++ % threads != tid) continue;
+        if (options.exec != nullptr && options.exec->stopped()) return;
         // A pair may only be skipped when classifying it could not change
         // any mark. Both endpoints being `dominated` is not enough: the
         // classification could still set a missing `strongly_dominated`
@@ -72,6 +75,9 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
         stats.record_comparisons += pair_stats.record_comparisons;
         if (pair_stats.mbb_strict_shortcut) ++stats.mbb_shortcuts;
         if (pair_stats.stopped_early) ++stats.stopped_early;
+        // An aborted classification decided nothing; recording its outcome
+        // would be a false mark.
+        if (pair_stats.aborted) continue;
         switch (outcome) {
           case PairOutcome::kFirstDominatesStrongly:
             strongly[j].store(1, std::memory_order_relaxed);

@@ -21,6 +21,11 @@ struct ParallelOptions {
   /// change any mark, so the skyline AND the dominated / strongly_dominated
   /// vectors stay exact). Only the work saved is schedule-dependent.
   bool skip_settled_pairs = true;
+  /// Optional execution control plane shared by every worker. Once it
+  /// stops, each worker unwinds within one charge batch; marks recorded up
+  /// to that point are all true dominations, so the partial result is a
+  /// sound superset. Null = unbounded.
+  ExecutionContext* exec = nullptr;
 };
 
 /// Computes the exact aggregate skyline (Definition 2) with the group-pair

@@ -13,17 +13,29 @@ namespace galaxy {
 namespace {
 
 // Splits one logical CSV record (may span physical lines inside quotes)
-// from the stream; returns false at end of input.
-bool ReadRecord(std::istream& input, char delimiter,
+// from the stream; returns false at end of input. `*line` is the current
+// physical 1-based line number, advanced past the newlines consumed;
+// `*record_line` receives the line the record started on, so parse errors
+// can point at the offending input even when quoting spans lines.
+bool ReadRecord(std::istream& input, const CsvReadOptions& options,
                 std::vector<std::string>* fields, bool* blank,
-                bool* parse_error, std::string* error) {
+                bool* parse_error, std::string* error, size_t* line,
+                size_t* record_line) {
   fields->clear();
   *blank = false;
   *parse_error = false;
   int c = input.get();
   if (c == std::char_traits<char>::eof()) return false;
+  *record_line = *line;
+
+  auto fail = [&](const std::string& message) {
+    *parse_error = true;
+    *error = "line " + std::to_string(*record_line) + ": " + message;
+    return true;
+  };
 
   std::string field;
+  size_t record_bytes = 0;
   bool in_quotes = false;
   bool field_was_quoted = false;
   bool any_quoted = false;
@@ -31,13 +43,22 @@ bool ReadRecord(std::istream& input, char delimiter,
   while (true) {
     if (c == std::char_traits<char>::eof()) {
       if (in_quotes) {
-        *parse_error = true;
-        *error = "unterminated quoted field at end of input";
-        return true;
+        return fail("unterminated quoted field at end of input");
       }
       break;
     }
     char ch = static_cast<char>(c);
+    if (ch == '\0') {
+      // NUL bytes mean binary data, not CSV; no later layer of the string
+      // pipeline handles them gracefully, so reject the file here.
+      return fail("embedded NUL byte");
+    }
+    if (options.max_record_bytes != 0 &&
+        ++record_bytes > options.max_record_bytes) {
+      return fail("record longer than " +
+                  std::to_string(options.max_record_bytes) +
+                  " bytes (CsvReadOptions::max_record_bytes)");
+    }
     if (in_quotes) {
       if (ch == '"') {
         int next = input.peek();
@@ -48,18 +69,20 @@ bool ReadRecord(std::istream& input, char delimiter,
           in_quotes = false;
         }
       } else {
+        if (ch == '\n') ++*line;
         field += ch;
       }
     } else if (ch == '"' && field.empty() && !field_was_quoted) {
       in_quotes = true;
       field_was_quoted = true;
       any_quoted = true;
-    } else if (ch == delimiter) {
+    } else if (ch == options.delimiter) {
       fields->push_back(std::move(field));
       field.clear();
       field_was_quoted = false;
       any_delimiter = true;
     } else if (ch == '\n') {
+      ++*line;
       break;
     } else if (ch == '\r') {
       // swallow; handles \r\n line endings
@@ -101,14 +124,17 @@ bool ParsesAsDouble(const std::string& s, double* value) {
 Result<Table> ReadCsv(std::istream& input, const CsvReadOptions& options) {
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> records;
+  std::vector<size_t> record_lines;  // physical start line of each record
   std::vector<std::string> fields;
   bool parse_error = false;
   std::string error;
 
   bool first = true;
   bool blank = false;
-  while (ReadRecord(input, options.delimiter, &fields, &blank, &parse_error,
-                    &error)) {
+  size_t line = 1;
+  size_t record_line = 1;
+  while (ReadRecord(input, options, &fields, &blank, &parse_error, &error,
+                    &line, &record_line)) {
     if (parse_error) return Status::ParseError(error);
     if (blank) continue;  // skip physically blank lines
     if (first && options.has_header) {
@@ -118,6 +144,7 @@ Result<Table> ReadCsv(std::istream& input, const CsvReadOptions& options) {
     }
     first = false;
     records.push_back(fields);
+    record_lines.push_back(record_line);
   }
 
   size_t columns = options.has_header
@@ -135,7 +162,7 @@ Result<Table> ReadCsv(std::istream& input, const CsvReadOptions& options) {
   for (size_t r = 0; r < records.size(); ++r) {
     if (records[r].size() != columns) {
       return Status::ParseError(
-          "row " + std::to_string(r + 1) + " has " +
+          "line " + std::to_string(record_lines[r]) + ": row has " +
           std::to_string(records[r].size()) + " fields, expected " +
           std::to_string(columns));
     }

@@ -16,13 +16,20 @@ struct CsvReadOptions {
   bool has_header = true;
   /// Empty fields (and the literal "NULL") become SQL NULLs.
   bool empty_is_null = true;
+  /// Upper bound on the byte length of one logical record (a quoted field
+  /// may span physical lines). Longer records — truncated files, binary
+  /// junk, runaway unclosed quotes — fail with kParseError instead of
+  /// buffering without bound. 0 = unlimited.
+  size_t max_record_bytes = 16 * 1024 * 1024;
 };
 
 /// Parses a CSV document into a Table. Column types are inferred from the
 /// data: a column whose every non-null field parses as an integer is
 /// INT64; parseable as a number, DOUBLE; otherwise STRING. Quoted fields
-/// ("a,b" and doubled "" escapes) are supported. Rows with the wrong arity
-/// are an error.
+/// ("a,b" and doubled "" escapes) are supported. Malformed input — ragged
+/// rows, embedded NUL bytes, unterminated quotes, records longer than
+/// CsvReadOptions::max_record_bytes — fails with kParseError naming the
+/// offending physical (1-based) line.
 Result<Table> ReadCsv(std::istream& input, const CsvReadOptions& options = {});
 
 /// Convenience overload parsing from a string.

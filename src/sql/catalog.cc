@@ -27,4 +27,11 @@ Result<Table> Database::Query(const std::string& sql) const {
   return ExecuteSelect(*this, *stmt);
 }
 
+Result<Table> Database::Query(const std::string& sql,
+                              const ExecOptions& options,
+                              ExecStats* stats) const {
+  GALAXY_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, Parse(sql));
+  return ExecuteSelect(*this, *stmt, options, stats);
+}
+
 }  // namespace galaxy::sql

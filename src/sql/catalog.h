@@ -9,6 +9,9 @@
 
 namespace galaxy::sql {
 
+struct ExecOptions;  // sql/executor.h
+struct ExecStats;    // sql/executor.h
+
 /// A named collection of in-memory tables plus the query entry point — the
 /// embedded-database facade of the SQL substrate.
 ///
@@ -31,6 +34,13 @@ class Database {
 
   /// Parses and executes one SELECT statement.
   Result<Table> Query(const std::string& sql) const;
+
+  /// Parses and executes one SELECT statement under per-query execution
+  /// controls (sql/executor.h: deadline, cancellation, budgets, graceful
+  /// degradation). `stats`, when non-null, receives executor counters
+  /// including the skyline result quality.
+  Result<Table> Query(const std::string& sql, const ExecOptions& options,
+                      ExecStats* stats = nullptr) const;
 
   size_t num_tables() const { return tables_.size(); }
 

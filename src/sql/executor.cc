@@ -569,7 +569,9 @@ void CollectSlots(const Expr* e, std::vector<int>* slots) {
 
 // Executes one SELECT (without UNION chaining).
 static Result<Table> ExecuteSingleSelect(const Database& db, SelectStmt& stmt,
+                                         const ExecOptions& exec_options,
                                          ExecStats* stats) {
+  core::ExecutionContext* exec = exec_options.exec;
   // ---- Resolve FROM tables and build the slot layout. -------------------
   if (stmt.from.empty()) {
     return Status::InvalidArgument("FROM clause is required");
@@ -611,6 +613,12 @@ static Result<Table> ExecuteSingleSelect(const Database& db, SelectStmt& stmt,
   if (stmt.skyline_rank && stmt.group_by.empty()) {
     return Status::InvalidArgument(
         "SKYLINE OF ... GAMMA RANK requires GROUP BY (it ranks groups)");
+  }
+  // Definition 3 needs γ ≥ 0.5 for asymmetry; reject here so a bad literal
+  // is a clean InvalidArgument, not a core-layer precondition failure.
+  if (stmt.skyline_gamma.has_value() &&
+      !(*stmt.skyline_gamma >= 0.5 && *stmt.skyline_gamma <= 1.0)) {
+    return Status::InvalidArgument("GAMMA must be in [0.5, 1]");
   }
   for (SelectItem& item : stmt.items) {
     if (item.star) {
@@ -739,6 +747,7 @@ static Result<Table> ExecuteSingleSelect(const Database& db, SelectStmt& stmt,
     for (size_t t = 0; t < num_tables; ++t) {
       selected[t].reserve(tables[t]->num_rows());
       for (size_t r = 0; r < tables[t]->num_rows(); ++r) {
+        if (exec != nullptr && !exec->Charge(1)) return exec->status();
         if (!pushed[t].empty()) {
           const Row& base_row = tables[t]->row(r);
           for (size_t c = 0; c < base_row.size(); ++c) {
@@ -781,6 +790,9 @@ static Result<Table> ExecuteSingleSelect(const Database& db, SelectStmt& stmt,
   const std::vector<Expr*>& agg_exprs = binder.aggregates();
 
   auto consume_row = [&]() -> Status {
+    // One work unit per streamed row; trips surface here so the join loops
+    // unwind through the usual error path within one row.
+    if (exec != nullptr && !exec->Charge(1)) return exec->status();
     ctx.row = &row;
     if (stmt.where != nullptr) {
       GALAXY_ASSIGN_OR_RETURN(Value keep, Eval(stmt.where.get(), ctx));
@@ -1037,8 +1049,12 @@ static Result<Table> ExecuteSingleSelect(const Database& db, SelectStmt& stmt,
           core::AggregateSkylineOptions options;
           options.gamma = stmt.skyline_gamma.value_or(0.5);
           options.algorithm = core::Algorithm::kNestedLoop;
-          core::AggregateSkylineResult sky =
-              core::ComputeAggregateSkyline(dataset, options);
+          options.exec = exec;
+          options.allow_approximate = exec_options.allow_approximate;
+          GALAXY_ASSIGN_OR_RETURN(
+              core::AggregateSkylineResult sky,
+              core::ComputeAggregateSkylineBounded(dataset, options));
+          if (stats != nullptr) stats->skyline_quality = sky.quality;
           for (uint32_t id : sky.skyline) {
             filtered.push_back(surviving[id]);
           }
@@ -1115,9 +1131,15 @@ static Result<Table> ExecuteSingleSelect(const Database& db, SelectStmt& stmt,
 
 Result<Table> ExecuteSelect(const Database& db, SelectStmt& stmt,
                             ExecStats* stats) {
+  return ExecuteSelect(db, stmt, ExecOptions{}, stats);
+}
+
+Result<Table> ExecuteSelect(const Database& db, SelectStmt& stmt,
+                            const ExecOptions& options, ExecStats* stats) {
   size_t folded = FoldStatement(stmt);  // also folds union members
   if (stats != nullptr) stats->folded_constants += folded;
-  GALAXY_ASSIGN_OR_RETURN(Table result, ExecuteSingleSelect(db, stmt, stats));
+  GALAXY_ASSIGN_OR_RETURN(Table result,
+                          ExecuteSingleSelect(db, stmt, options, stats));
   if (stmt.union_next == nullptr) return result;
 
   // Left-associative UNION evaluation: combine member by member, applying
@@ -1127,7 +1149,7 @@ Result<Table> ExecuteSelect(const Database& db, SelectStmt& stmt,
   for (SelectStmt* member = stmt.union_next.get(); member != nullptr;
        member = member->union_next.get()) {
     GALAXY_ASSIGN_OR_RETURN(Table next,
-                            ExecuteSingleSelect(db, *member, stats));
+                            ExecuteSingleSelect(db, *member, options, stats));
     if (next.num_columns() != result.num_columns()) {
       return Status::InvalidArgument(
           "UNION members must have the same number of columns");

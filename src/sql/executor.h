@@ -2,11 +2,28 @@
 #define GALAXY_SQL_EXECUTOR_H_
 
 #include "common/status.h"
+#include "core/exec_context.h"
 #include "relation/table.h"
 #include "sql/ast.h"
 #include "sql/catalog.h"
 
 namespace galaxy::sql {
+
+/// Per-query execution controls, threaded from the caller down to the
+/// operators (see core/exec_context.h for the control-plane semantics).
+struct ExecOptions {
+  /// Optional control plane: rows streamed through the executor and record
+  /// comparisons inside the skyline operators are charged to it; once it
+  /// stops, the query returns its trip Status (kCancelled /
+  /// kDeadlineExceeded / kResourceExhausted). Null = unbounded.
+  core::ExecutionContext* exec = nullptr;
+  /// When the control plane trips inside an aggregate-skyline step
+  /// (SKYLINE OF ... GROUP BY) for a degradable reason, return the sound
+  /// over-approximation instead of an error; ExecStats::skyline_quality
+  /// reports kApproximateSuperset. Trips outside that step still error:
+  /// a half-streamed WHERE has no sound partial answer.
+  bool allow_approximate = false;
+};
 
 /// Optimizer/executor counters (for tests and tuning).
 struct ExecStats {
@@ -21,6 +38,9 @@ struct ExecStats {
   /// Two-table FROMs executed as a hash equi-join instead of a cross
   /// product (an A.x = B.y conjunct became the join key).
   uint64_t hash_joins = 0;
+  /// Quality of the aggregate-skyline step, if the query had one:
+  /// kApproximateSuperset after a graceful degradation (see ExecOptions).
+  core::ResultQuality skyline_quality = core::ResultQuality::kExact;
 };
 
 /// Executes a bound-and-parsed SELECT statement against the database.
@@ -35,6 +55,11 @@ struct ExecStats {
 /// a SelectStmt may be executed only once; parse again to re-run.
 Result<Table> ExecuteSelect(const Database& db, SelectStmt& stmt,
                             ExecStats* stats = nullptr);
+
+/// Like ExecuteSelect, with per-query execution controls (deadline,
+/// cancellation, budgets, graceful degradation).
+Result<Table> ExecuteSelect(const Database& db, SelectStmt& stmt,
+                            const ExecOptions& options, ExecStats* stats);
 
 }  // namespace galaxy::sql
 

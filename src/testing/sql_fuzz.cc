@@ -1,0 +1,192 @@
+#include "testing/sql_fuzz.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/exec_context.h"
+#include "relation/table.h"
+#include "sql/executor.h"
+
+namespace galaxy::testing {
+
+namespace {
+
+// SQL fragments the token-insertion mutator splices in: keywords the
+// grammar cares about, punctuation that stresses the lexer, and boundary
+// literals for the SKYLINE OF clauses.
+const char* kDictionary[] = {
+    "SELECT", "FROM",   "WHERE",  "GROUP",  "BY",      "HAVING",
+    "ORDER",  "LIMIT",  "UNION",  "ALL",    "DISTINCT", "SKYLINE",
+    "OF",     "MIN",    "MAX",    "GAMMA",  "RANK",     "AND",
+    "OR",     "NOT",    "NULL",   "COUNT",  "SUM",      "AVG",
+    "(",      ")",      ",",      "*",      ".",        ";",
+    "'",      "\"",     "0.5",    "0.75",   "1.0",      "1e308",
+    "-1",     "0",      "movies", "ratings", "year",    "pop",
+    "score",  "genre",  "title",  "=",      "<",        ">",
+    "<=",     ">=",     "<>",     "+",      "-",        "/",
+    "%",      "--",     "/*",     "*/",     "\\",       "0x",
+};
+
+}  // namespace
+
+const std::vector<std::string>& SqlFuzzCorpus() {
+  static const std::vector<std::string>* corpus = new std::vector<std::string>{
+      "SELECT title, pop, score FROM movies SKYLINE OF pop MAX, score MAX",
+      "SELECT genre FROM movies GROUP BY genre "
+      "SKYLINE OF pop MAX, score MAX GAMMA 0.5",
+      "SELECT genre FROM movies GROUP BY genre "
+      "SKYLINE OF pop MAX, score MIN GAMMA 0.75",
+      "SELECT genre FROM movies GROUP BY genre "
+      "SKYLINE OF pop MAX, score MAX GAMMA RANK",
+      "SELECT genre, COUNT(*) FROM movies WHERE year > 2000 GROUP BY genre "
+      "HAVING COUNT(*) > 1 SKYLINE OF pop MAX, score MAX GAMMA 0.6",
+      "SELECT m.title, r.stars FROM movies m, ratings r "
+      "WHERE m.id = r.movie_id SKYLINE OF r.stars MAX, m.pop MAX",
+      "SELECT genre FROM movies GROUP BY genre "
+      "SKYLINE OF pop MAX, score MAX GAMMA 1.0 ORDER BY genre LIMIT 3",
+      "SELECT title FROM movies WHERE pop > 100 "
+      "UNION SELECT title FROM movies WHERE score > 3",
+      "SELECT genre FROM movies WHERE year IN "
+      "(SELECT year FROM movies WHERE pop > 200) GROUP BY genre "
+      "SKYLINE OF pop MAX, score MAX GAMMA 0.55",
+      "SELECT DISTINCT genre, AVG(score) FROM movies GROUP BY genre "
+      "SKYLINE OF pop MIN, score MIN GAMMA 0.9",
+  };
+  return *corpus;
+}
+
+sql::Database MakeSqlFuzzDatabase() {
+  sql::Database db;
+  {
+    TableBuilder movies{Schema({{"id", ValueType::kInt64},
+                                {"title", ValueType::kString},
+                                {"genre", ValueType::kString},
+                                {"year", ValueType::kInt64},
+                                {"pop", ValueType::kDouble},
+                                {"score", ValueType::kDouble}})};
+    const char* genres[] = {"drama", "comedy", "sci-fi"};
+    for (int64_t i = 0; i < 18; ++i) {
+      movies.AddRow({Value(i), Value("m" + std::to_string(i)),
+                     Value(genres[i % 3]), Value(int64_t{1995} + i % 25),
+                     Value(50.0 + 37.0 * static_cast<double>(i % 7)),
+                     Value(1.0 + 0.5 * static_cast<double>(i % 8))});
+    }
+    db.Register("movies", movies.Build());
+  }
+  {
+    TableBuilder ratings{Schema({{"movie_id", ValueType::kInt64},
+                                 {"stars", ValueType::kInt64}})};
+    for (int64_t i = 0; i < 18; ++i) {
+      ratings.AddRow({Value(i % 12), Value(int64_t{1} + i % 5)});
+    }
+    db.Register("ratings", ratings.Build());
+  }
+  return db;
+}
+
+std::string MutateSql(Rng& rng) {
+  const std::vector<std::string>& corpus = SqlFuzzCorpus();
+  std::string s = corpus[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(corpus.size()) - 1))];
+
+  const int mutations = static_cast<int>(rng.UniformInt(1, 4));
+  for (int m = 0; m < mutations; ++m) {
+    if (s.empty()) s = "SELECT";
+    const size_t len = s.size();
+    switch (rng.UniformInt(0, 5)) {
+      case 0: {  // flip one byte to a random printable (or not) character
+        size_t pos = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(len) - 1));
+        s[pos] = static_cast<char>(rng.UniformInt(1, 255));
+        break;
+      }
+      case 1: {  // delete a span
+        size_t pos = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(len) - 1));
+        size_t span = static_cast<size_t>(rng.UniformInt(1, 10));
+        s.erase(pos, span);
+        break;
+      }
+      case 2: {  // duplicate a span in place
+        size_t pos = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(len) - 1));
+        size_t span = std::min<size_t>(
+            static_cast<size_t>(rng.UniformInt(1, 12)), len - pos);
+        s.insert(pos, s.substr(pos, span));
+        break;
+      }
+      case 3: {  // insert a dictionary token
+        const size_t dict_size =
+            sizeof(kDictionary) / sizeof(kDictionary[0]);
+        const char* token = kDictionary[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(dict_size) - 1))];
+        size_t pos = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(len)));
+        s.insert(pos, std::string(" ") + token + " ");
+        break;
+      }
+      case 4: {  // splice the tail of another corpus entry
+        const std::string& other = corpus[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(corpus.size()) - 1))];
+        size_t cut = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(len) - 1));
+        size_t from = static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(other.size()) - 1));
+        s = s.substr(0, cut) + other.substr(from);
+        break;
+      }
+      default: {  // truncate
+        size_t keep = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(len) - 1));
+        s.resize(keep);
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+std::string FuzzSql(uint64_t seed, int iterations, SqlFuzzStats* stats) {
+  Rng rng(seed, /*stream=*/11);
+  sql::Database db = MakeSqlFuzzDatabase();
+  SqlFuzzStats local;
+
+  for (int i = 0; i < iterations; ++i) {
+    const std::string statement = MutateSql(rng);
+
+    // Budgeted execution: a mutated statement that blows up into a huge
+    // cross product must trip the control plane, not hang the fuzzer.
+    core::ExecutionContext exec;
+    exec.set_max_comparisons(200000);
+    sql::ExecOptions exec_options;
+    exec_options.exec = &exec;
+    exec_options.allow_approximate = rng.UniformInt(0, 1) == 1;
+
+    auto result = db.Query(statement, exec_options);
+    ++local.executed;
+    if (result.ok()) {
+      ++local.ok;
+      if (result->num_columns() == 0 && result->num_rows() != 0) {
+        if (stats != nullptr) *stats = local;
+        return "zero-column table with rows for statement: " + statement;
+      }
+    } else {
+      const Status& status = result.status();
+      if (status.message().empty()) {
+        if (stats != nullptr) *stats = local;
+        return std::string("error with empty message (code ") +
+               StatusCodeToString(status.code()) +
+               ") for statement: " + statement;
+      }
+      if (status.code() == StatusCode::kParseError) {
+        ++local.parse_errors;
+      } else {
+        ++local.exec_errors;
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return "";
+}
+
+}  // namespace galaxy::testing

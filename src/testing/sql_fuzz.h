@@ -1,0 +1,49 @@
+#ifndef GALAXY_TESTING_SQL_FUZZ_H_
+#define GALAXY_TESTING_SQL_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sql/catalog.h"
+
+namespace galaxy::testing {
+
+/// Counters of one SQL fuzz campaign.
+struct SqlFuzzStats {
+  uint64_t executed = 0;      ///< statements fed through the pipeline
+  uint64_t ok = 0;            ///< produced a table
+  uint64_t parse_errors = 0;  ///< clean lexer/parser rejections
+  uint64_t exec_errors = 0;   ///< clean executor rejections (incl. budget
+                              ///< trips from the control plane)
+};
+
+/// The seed corpus: well-formed SKYLINE OF statements (record and
+/// aggregate form, GAMMA, GAMMA RANK, joins, unions, subqueries) that the
+/// mutator perturbs. Exposed so tests can assert the seeds themselves
+/// execute cleanly.
+const std::vector<std::string>& SqlFuzzCorpus();
+
+/// The fuzz database: two small deterministic tables ("movies" with
+/// grouping/skyline-friendly numeric columns, "ratings" join fodder).
+sql::Database MakeSqlFuzzDatabase();
+
+/// Draws one mutated statement: a corpus seed put through 1-4 mutations
+/// (byte edits, span deletion/duplication, token insertion from a SQL
+/// dictionary, corpus splicing, truncation). Deterministic in `rng`.
+std::string MutateSql(Rng& rng);
+
+/// Feeds `iterations` mutated statements through the full lexer -> parser
+/// -> executor pipeline under a comparison budget (so runaway cross
+/// products trip the control plane instead of hanging). Every outcome must
+/// be a clean Status or a well-formed table; the process aborting is the
+/// failure mode this campaign exists to catch. Returns "" when clean, else
+/// a description of the first malformed outcome, with the offending
+/// statement.
+std::string FuzzSql(uint64_t seed, int iterations,
+                    SqlFuzzStats* stats = nullptr);
+
+}  // namespace galaxy::testing
+
+#endif  // GALAXY_TESTING_SQL_FUZZ_H_

@@ -1,0 +1,184 @@
+// Anytime-operator behavior under adversarial budgets: zero, one, and
+// pair-boundary budgets, monotonicity of the possible/confirmed sets
+// across Advance calls, and prompt return once an ExecutionContext trips.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/aggregate_skyline.h"
+#include "core/anytime.h"
+#include "core/exec_context.h"
+#include "datagen/groups.h"
+#include "testing/property_gen.h"
+
+namespace galaxy::core {
+namespace {
+
+std::set<uint32_t> ExactSkyline(const GroupedDataset& ds, double gamma) {
+  AggregateSkylineOptions options;
+  options.gamma = gamma;
+  options.algorithm = Algorithm::kBruteForce;
+  AggregateSkylineResult result = ComputeAggregateSkyline(ds, options);
+  return {result.skyline.begin(), result.skyline.end()};
+}
+
+std::set<uint32_t> AsSet(const std::vector<uint32_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+GroupedDataset TestWorkload(uint64_t seed) {
+  datagen::GroupedWorkloadConfig config;
+  config.num_records = 400;
+  config.avg_records_per_group = 16;
+  config.dims = 3;
+  config.seed = seed;
+  return datagen::GenerateGrouped(config);
+}
+
+TEST(AnytimeBudgetTest, ZeroBudgetSnapshotIsSound) {
+  GroupedDataset ds = TestWorkload(11);
+  std::set<uint32_t> exact = ExactSkyline(ds, 0.5);
+  AnytimeAggregateSkyline::Options options;
+  options.gamma = 0.5;
+  AnytimeAggregateSkyline anytime(ds, options);
+  auto snapshot = anytime.Advance(0);
+  std::set<uint32_t> possible = AsSet(snapshot.possible);
+  for (uint32_t id : exact) EXPECT_TRUE(possible.count(id) > 0);
+  for (uint32_t id : snapshot.confirmed) EXPECT_TRUE(exact.count(id) > 0);
+}
+
+TEST(AnytimeBudgetTest, OneComparisonBudgetAdvancesWithoutOverrun) {
+  GroupedDataset ds = TestWorkload(12);
+  AnytimeAggregateSkyline::Options options;
+  options.gamma = 0.5;
+  options.use_mbb = false;  // count raw record comparisons only
+  AnytimeAggregateSkyline anytime(ds, options);
+  uint64_t previous = 0;
+  for (int step = 0; step < 50 && !anytime.complete(); ++step) {
+    auto snapshot = anytime.Advance(1);
+    // A one-comparison budget may be rounded up to one slice of one pair,
+    // but progress must be bounded: at most `slice` comparisons per call.
+    EXPECT_LE(snapshot.comparisons_used, previous + options.slice);
+    EXPECT_GE(snapshot.comparisons_used, previous);
+    previous = snapshot.comparisons_used;
+  }
+}
+
+TEST(AnytimeBudgetTest, PossibleShrinksConfirmedGrowsMonotonically) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    GroupedDataset ds = TestWorkload(seed);
+    std::set<uint32_t> exact = ExactSkyline(ds, 0.5);
+    AnytimeAggregateSkyline::Options options;
+    options.gamma = 0.5;
+    AnytimeAggregateSkyline anytime(ds, options);
+
+    std::set<uint32_t> prev_possible;
+    std::set<uint32_t> prev_confirmed;
+    bool first = true;
+    // Adversarial step schedule: tiny, boundary-sized, and large advances.
+    const uint64_t steps[] = {0, 1, 1, options.slice - 1, options.slice,
+                              options.slice + 1, 97, 1000, 50000, ~uint64_t{0}};
+    for (uint64_t step : steps) {
+      auto snapshot = anytime.Advance(step);
+      std::set<uint32_t> possible = AsSet(snapshot.possible);
+      std::set<uint32_t> confirmed = AsSet(snapshot.confirmed);
+      if (!first) {
+        // possible never grows...
+        EXPECT_TRUE(std::includes(prev_possible.begin(), prev_possible.end(),
+                                  possible.begin(), possible.end()))
+            << "seed " << seed << " step " << step;
+        // ...confirmed never shrinks.
+        EXPECT_TRUE(std::includes(confirmed.begin(), confirmed.end(),
+                                  prev_confirmed.begin(),
+                                  prev_confirmed.end()))
+            << "seed " << seed << " step " << step;
+      }
+      // Sandwich invariant at every point: confirmed ⊆ exact ⊆ possible.
+      for (uint32_t id : exact) EXPECT_TRUE(possible.count(id) > 0);
+      for (uint32_t id : confirmed) EXPECT_TRUE(exact.count(id) > 0);
+      prev_possible = std::move(possible);
+      prev_confirmed = std::move(confirmed);
+      first = false;
+    }
+    EXPECT_TRUE(anytime.complete());
+    EXPECT_EQ(prev_possible, exact);
+    EXPECT_EQ(prev_confirmed, exact);
+  }
+}
+
+TEST(AnytimeBudgetTest, StoppedContextMakesAdvanceReturnPromptly) {
+  GroupedDataset ds = TestWorkload(31);
+  ExecutionContext exec;
+  exec.RequestCancel();
+  AnytimeAggregateSkyline::Options options;
+  options.gamma = 0.5;
+  options.exec = &exec;
+  AnytimeAggregateSkyline anytime(ds, options);  // skips MBB preclass
+  auto snapshot = anytime.Advance(~uint64_t{0});
+  // A stopped context drains the budget: the unbounded Advance returns
+  // after at most one slice of work instead of finishing the computation.
+  EXPECT_LE(snapshot.comparisons_used, options.slice);
+  EXPECT_FALSE(snapshot.complete);
+  // The snapshot is still sound.
+  std::set<uint32_t> exact = ExactSkyline(ds, 0.5);
+  std::set<uint32_t> possible = AsSet(snapshot.possible);
+  for (uint32_t id : exact) EXPECT_TRUE(possible.count(id) > 0);
+}
+
+TEST(AnytimeBudgetTest, ContextTripMidRunStopsWithinOneSlice) {
+  GroupedDataset ds = TestWorkload(32);
+  ExecutionContext exec;
+  exec.InjectCancelAtComparison(2000);
+  AnytimeAggregateSkyline::Options options;
+  options.gamma = 0.5;
+  options.exec = &exec;
+  AnytimeAggregateSkyline anytime(ds, options);
+  auto snapshot = anytime.Advance(~uint64_t{0});
+  EXPECT_TRUE(exec.stopped());
+  // The operator charges per slice (and the MBB pre-classification per
+  // pair), so the overshoot past the trip point is bounded by one slice
+  // plus one pair's pre-classification — not the rest of the computation.
+  uint64_t max_group = 0;
+  for (size_t g = 0; g < ds.num_groups(); ++g) {
+    max_group = std::max<uint64_t>(max_group, ds.group(g).size());
+  }
+  EXPECT_LE(snapshot.comparisons_used,
+            2000 + options.slice + 4 * max_group);
+}
+
+TEST(AnytimeBudgetTest, AdversarialDatasetsStaySoundUnderTinyBudgets) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    testing::PointGroups points = testing::GenerateAdversarialPoints(rng);
+    const double gamma = testing::PickAdversarialGamma(rng);
+    GroupedDataset ds = testing::PointsToDataset(points);
+    std::set<uint32_t> exact = ExactSkyline(ds, gamma);
+
+    AnytimeAggregateSkyline::Options options;
+    options.gamma = gamma;
+    AnytimeAggregateSkyline anytime(ds, options);
+    std::set<uint32_t> prev_possible;
+    bool first = true;
+    while (!anytime.complete()) {
+      auto snapshot = anytime.Advance(1);
+      std::set<uint32_t> possible = AsSet(snapshot.possible);
+      for (uint32_t id : exact) {
+        EXPECT_TRUE(possible.count(id) > 0) << "seed " << seed;
+      }
+      if (!first) {
+        EXPECT_TRUE(std::includes(prev_possible.begin(), prev_possible.end(),
+                                  possible.begin(), possible.end()));
+      }
+      prev_possible = std::move(possible);
+      first = false;
+    }
+    EXPECT_EQ(prev_possible, exact);
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::core

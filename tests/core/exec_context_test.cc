@@ -1,0 +1,214 @@
+// Unit tests of the execution control plane: trip reasons and their
+// precedence, deterministic fault injection, amortized deadline polling,
+// memory reservations, and thread-safety of cancellation.
+
+#include "core/exec_context.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace galaxy::core {
+namespace {
+
+TEST(ExecContextTest, FreshContextIsUnbounded) {
+  ExecutionContext exec;
+  EXPECT_FALSE(exec.stopped());
+  EXPECT_TRUE(exec.status().ok());
+  EXPECT_FALSE(exec.degradable_trip());
+  EXPECT_FALSE(exec.has_deadline());
+  EXPECT_TRUE(exec.Charge(1000000));
+  EXPECT_TRUE(exec.Charge(0));  // pure poll
+  EXPECT_EQ(exec.comparisons(), 1000000u);
+}
+
+TEST(ExecContextTest, ComparisonBudgetTripsStrictlyAboveMax) {
+  ExecutionContext exec;
+  exec.set_max_comparisons(100);
+  EXPECT_TRUE(exec.Charge(100));  // exactly the budget is fine
+  EXPECT_FALSE(exec.stopped());
+  EXPECT_FALSE(exec.Charge(1));  // 101 > 100 trips
+  EXPECT_TRUE(exec.stopped());
+  EXPECT_EQ(exec.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(exec.degradable_trip());
+}
+
+TEST(ExecContextTest, CancelFromAnotherLogicalOwner) {
+  ExecutionContext exec;
+  exec.RequestCancel();
+  EXPECT_TRUE(exec.stopped());
+  EXPECT_EQ(exec.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(exec.degradable_trip());
+  // A stopped context stays stopped; charges keep failing.
+  EXPECT_FALSE(exec.Charge(1));
+  EXPECT_FALSE(exec.Charge(0));
+}
+
+TEST(ExecContextTest, FirstTripReasonWins) {
+  ExecutionContext exec;
+  exec.set_max_comparisons(10);
+  EXPECT_FALSE(exec.Charge(11));
+  ASSERT_EQ(exec.status().code(), StatusCode::kResourceExhausted);
+  exec.RequestCancel();  // later trip must not overwrite the reason
+  EXPECT_EQ(exec.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecContextTest, ExpiredDeadlineTripsOnNextPoll) {
+  ExecutionContext exec;
+  exec.set_deadline(ExecutionContext::Clock::now() -
+                    std::chrono::milliseconds(1));
+  EXPECT_TRUE(exec.has_deadline());
+  // next_deadline_check_ starts at zero, so the very first charge polls.
+  EXPECT_FALSE(exec.Charge(1));
+  EXPECT_EQ(exec.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(exec.degradable_trip());
+}
+
+TEST(ExecContextTest, FutureDeadlineDoesNotTrip) {
+  ExecutionContext exec;
+  exec.set_timeout(std::chrono::milliseconds(60000));
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(exec.Charge(1000));
+  EXPECT_FALSE(exec.stopped());
+}
+
+TEST(ExecContextTest, DeadlinePollIsAmortized) {
+  // An expired deadline is only noticed when the charged total crosses the
+  // next poll point; with the first poll consumed, detection waits until
+  // kDeadlineCheckInterval more units. This documents the detection-latency
+  // bound rather than an exact trip point.
+  ExecutionContext exec;
+  exec.set_timeout(std::chrono::milliseconds(60000));
+  EXPECT_TRUE(exec.Charge(1));  // consumes the poll at zero
+  // Expire the deadline retroactively (configuration is not thread-safe;
+  // we are single-threaded here and the run has not observably started).
+  exec.set_deadline(ExecutionContext::Clock::now() -
+                    std::chrono::milliseconds(1));
+  EXPECT_FALSE(exec.Charge(1));  // set_deadline re-armed the poll
+  EXPECT_EQ(exec.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecContextTest, InjectedCancelIsDeterministic) {
+  for (int trial = 0; trial < 3; ++trial) {
+    ExecutionContext exec;
+    exec.InjectCancelAtComparison(500);
+    uint64_t charged = 0;
+    while (exec.Charge(7)) charged += 7;
+    // The first failing charge is the one whose running total reaches 500.
+    EXPECT_LT(charged, 500u);
+    EXPECT_GE(charged + 7, 500u);
+    EXPECT_EQ(exec.status().code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(ExecContextTest, InjectedDeadlineReportsDeadlineExceeded) {
+  ExecutionContext exec;
+  exec.InjectDeadlineAtComparison(1);
+  EXPECT_FALSE(exec.Charge(1));
+  EXPECT_EQ(exec.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(exec.degradable_trip());
+}
+
+TEST(ExecContextTest, InjectedFaultAtZeroTripsImmediately) {
+  ExecutionContext exec;
+  exec.InjectCancelAtComparison(0);
+  EXPECT_FALSE(exec.Charge(0));  // even a pure poll observes it
+  EXPECT_EQ(exec.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, InjectionPrecedesRealBudget) {
+  ExecutionContext exec;
+  exec.set_max_comparisons(10);
+  exec.InjectCancelAtComparison(5);
+  EXPECT_FALSE(exec.Charge(20));  // crosses both; injection wins
+  EXPECT_EQ(exec.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, MemoryBudgetTripIsNotDegradable) {
+  ExecutionContext exec;
+  exec.set_max_resident_bytes(1024);
+  EXPECT_TRUE(exec.ReserveBytes(1000).ok());
+  EXPECT_EQ(exec.resident_bytes(), 1000u);
+  Status status = exec.ReserveBytes(100);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  // Failed reservation rolls back — nothing extra held.
+  EXPECT_EQ(exec.resident_bytes(), 1000u);
+  EXPECT_TRUE(exec.stopped());
+  EXPECT_FALSE(exec.degradable_trip());
+}
+
+TEST(ExecContextTest, ReleaseBytesReturnsHeadroom) {
+  ExecutionContext exec;
+  exec.set_max_resident_bytes(100);
+  EXPECT_TRUE(exec.ReserveBytes(80).ok());
+  exec.ReleaseBytes(80);
+  EXPECT_EQ(exec.resident_bytes(), 0u);
+  EXPECT_TRUE(exec.ReserveBytes(100).ok());
+}
+
+TEST(ExecContextTest, ScopedReservationReleasesOnDestruction) {
+  ExecutionContext exec;
+  exec.set_max_resident_bytes(100);
+  {
+    ScopedReservation reservation;
+    EXPECT_TRUE(reservation.Reserve(&exec, 60).ok());
+    EXPECT_EQ(exec.resident_bytes(), 60u);
+  }
+  EXPECT_EQ(exec.resident_bytes(), 0u);
+}
+
+TEST(ExecContextTest, ScopedReservationOnNullContextIsNoop) {
+  ScopedReservation reservation;
+  EXPECT_TRUE(reservation.Reserve(nullptr, 1 << 30).ok());
+  reservation.Release();  // must not crash
+}
+
+TEST(ExecContextTest, ScopedReservationReReserveReleasesPrevious) {
+  ExecutionContext exec;
+  ScopedReservation reservation;
+  ASSERT_TRUE(reservation.Reserve(&exec, 50).ok());
+  ASSERT_TRUE(reservation.Reserve(&exec, 30).ok());
+  EXPECT_EQ(exec.resident_bytes(), 30u);
+}
+
+TEST(ExecContextTest, ConcurrentChargesObserveCancelPromptly) {
+  ExecutionContext exec;
+  std::atomic<int> still_running{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&exec, &still_running] {
+      while (exec.Charge(ExecutionContext::kChargeBatch)) {
+      }
+      // Every worker exits its loop only because the context stopped.
+      if (!exec.stopped()) still_running.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  exec.RequestCancel();
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(still_running.load(), 0);
+  EXPECT_EQ(exec.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, ConcurrentBudgetTripHasOneReason) {
+  ExecutionContext exec;
+  exec.set_max_comparisons(1 << 20);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&exec] {
+      while (exec.Charge(64)) {
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(exec.status().code(), StatusCode::kResourceExhausted);
+  // The total can overshoot by at most one in-flight charge per thread.
+  EXPECT_LE(exec.comparisons(), (1u << 20) + 4 * 64);
+}
+
+}  // namespace
+}  // namespace galaxy::core

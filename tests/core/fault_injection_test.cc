@@ -1,0 +1,134 @@
+// Fault-injection campaign over the differential matrix: cancellation,
+// deadline, and budget trips at randomized comparison counts must yield
+// bounded unwinds and either the matching error Status or a sound
+// approximate superset. The ISSUE acceptance bar is 1000+ randomized
+// fault points, which FaultInjectionTest.ThousandRandomizedFaultPoints
+// clears in one run.
+
+#include "testing/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/gamma.h"
+#include "testing/differential.h"
+#include "testing/oracle.h"
+#include "testing/property_gen.h"
+
+namespace galaxy::testing {
+namespace {
+
+// Fixed small workload used by the targeted edge-case tests below.
+struct FaultFixture {
+  core::GroupedDataset dataset;
+  double gamma;
+  OracleResult oracle;
+
+  static FaultFixture Make(uint64_t seed) {
+    Rng rng(seed);
+    PointGroups points = GenerateAdversarialPoints(rng);
+    double gamma = PickAdversarialGamma(rng);
+    core::GroupedDataset dataset = PointsToDataset(points);
+    OracleResult oracle =
+        ComputeOracle(dataset, core::GammaThresholds::FromGamma(gamma));
+    return {std::move(dataset), gamma, std::move(oracle)};
+  }
+};
+
+TEST(FaultInjectionTest, ThousandRandomizedFaultPoints) {
+  uint64_t points = 0;
+  FaultDivergence divergence = FuzzFaults(/*seed=*/20260806,
+                                          /*iterations=*/250, &points);
+  EXPECT_GE(points, 1000u);
+  EXPECT_FALSE(divergence.found)
+      << "dataset seed " << divergence.dataset_seed << " gamma "
+      << divergence.gamma << "\nconfig: " << divergence.config.Name()
+      << "\nplan: " << divergence.plan.Name()
+      << "\ndetail: " << divergence.detail;
+}
+
+TEST(FaultInjectionTest, TriggerZeroWithDegradationIsSoundSuperset) {
+  FaultFixture f = FaultFixture::Make(101);
+  FaultPlan plan;
+  plan.kind = FaultKind::kCancel;
+  plan.trigger = 0;
+  plan.allow_approximate = true;
+  for (const DifferentialConfig& config : AllConfigurations()) {
+    FaultCheckOutcome outcome =
+        RunFaultCheck(f.dataset, f.gamma, config, f.oracle, plan);
+    EXPECT_TRUE(outcome.ok) << config.Name() << ": " << outcome.detail;
+    EXPECT_TRUE(outcome.tripped) << config.Name();
+  }
+}
+
+TEST(FaultInjectionTest, TriggerZeroWithoutDegradationReportsCancelled) {
+  FaultFixture f = FaultFixture::Make(102);
+  FaultPlan plan;
+  plan.kind = FaultKind::kCancel;
+  plan.trigger = 0;
+  plan.allow_approximate = false;
+  DifferentialConfig config;  // default = brute force, exact
+  FaultCheckOutcome outcome =
+      RunFaultCheck(f.dataset, f.gamma, config, f.oracle, plan);
+  EXPECT_TRUE(outcome.ok) << outcome.detail;
+  EXPECT_TRUE(outcome.tripped);
+}
+
+TEST(FaultInjectionTest, EachFaultKindChecksItsStatusCode) {
+  FaultFixture f = FaultFixture::Make(103);
+  DifferentialConfig config;  // default = brute force, exact
+  for (FaultKind kind : {FaultKind::kCancel, FaultKind::kDeadline,
+                         FaultKind::kComparisonBudget}) {
+    FaultPlan plan;
+    plan.kind = kind;
+    plan.trigger = 1;
+    plan.allow_approximate = false;
+    FaultCheckOutcome outcome =
+        RunFaultCheck(f.dataset, f.gamma, config, f.oracle, plan);
+    EXPECT_TRUE(outcome.ok)
+        << FaultKindToString(kind) << ": " << outcome.detail;
+  }
+}
+
+TEST(FaultInjectionTest, TriggerBeyondTotalWorkCompletesExactly) {
+  FaultFixture f = FaultFixture::Make(104);
+  FaultPlan plan;
+  plan.kind = FaultKind::kDeadline;
+  plan.trigger = ~uint64_t{0} / 2;  // far past any real workload
+  plan.allow_approximate = true;
+  for (const DifferentialConfig& config : AllConfigurations()) {
+    FaultCheckOutcome outcome =
+        RunFaultCheck(f.dataset, f.gamma, config, f.oracle, plan);
+    EXPECT_TRUE(outcome.ok) << config.Name() << ": " << outcome.detail;
+    EXPECT_FALSE(outcome.tripped) << config.Name();
+  }
+}
+
+TEST(FaultInjectionTest, ParallelConfigSurvivesMidRunCancellation) {
+  FaultFixture f = FaultFixture::Make(105);
+  DifferentialConfig config;
+  config.parallel = true;
+  FaultPlan plan;
+  plan.kind = FaultKind::kCancel;
+  plan.allow_approximate = true;
+  for (uint64_t trigger : {1ull, 16ull, 64ull, 256ull, 1024ull}) {
+    plan.trigger = trigger;
+    FaultCheckOutcome outcome =
+        RunFaultCheck(f.dataset, f.gamma, config, f.oracle, plan);
+    EXPECT_TRUE(outcome.ok) << "trigger " << trigger << ": " << outcome.detail;
+  }
+}
+
+TEST(FaultInjectionTest, PlanNamesAreDescriptive) {
+  FaultPlan plan;
+  plan.kind = FaultKind::kComparisonBudget;
+  plan.trigger = 42;
+  plan.allow_approximate = true;
+  std::string name = plan.Name();
+  EXPECT_NE(name.find("42"), std::string::npos);
+  EXPECT_NE(name.find(FaultKindToString(FaultKind::kComparisonBudget)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace galaxy::testing

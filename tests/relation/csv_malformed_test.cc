@@ -1,0 +1,143 @@
+// Adversarial inputs for the CSV reader: every malformed document must
+// fail with kParseError naming the offending physical line — never crash,
+// never buffer without bound, never smuggle garbage into a Table.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "relation/csv.h"
+
+namespace galaxy {
+namespace {
+
+TEST(CsvMalformedTest, RaggedRowReportsPhysicalLine) {
+  auto t = ReadCsvString("a,b\n1,2\n3\n4,5\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("line 3"), std::string::npos)
+      << t.status();
+  EXPECT_NE(t.status().message().find("expected 2"), std::string::npos);
+}
+
+TEST(CsvMalformedTest, RaggedRowTooManyFields) {
+  auto t = ReadCsvString("a,b\n1,2,3\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(t.status().message().find("3 fields"), std::string::npos);
+}
+
+TEST(CsvMalformedTest, RaggedLineNumberSkipsBlankLines) {
+  // The bad row sits on physical line 5 (line 3 is blank and skipped).
+  auto t = ReadCsvString("a,b\n1,2\n\n3,4\n5\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("line 5"), std::string::npos)
+      << t.status();
+}
+
+TEST(CsvMalformedTest, RaggedLineNumberAfterMultilineQuotedField) {
+  // The quoted field spans physical lines 2-3, so the ragged row is on
+  // line 4.
+  auto t = ReadCsvString("a,b\n\"x\ny\",1\nonly_one\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("line 4"), std::string::npos)
+      << t.status();
+}
+
+TEST(CsvMalformedTest, EmbeddedNulByteIsError) {
+  std::string text = "a,b\n1,2\n3,4";
+  text += '\0';
+  text += "5\n";
+  auto t = ReadCsvString(text);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("NUL"), std::string::npos);
+  EXPECT_NE(t.status().message().find("line 3"), std::string::npos)
+      << t.status();
+}
+
+TEST(CsvMalformedTest, NulInsideQuotedFieldIsError) {
+  std::string text = "a\n\"x";
+  text += '\0';
+  text += "y\"\n";
+  auto t = ReadCsvString(text);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("NUL"), std::string::npos);
+}
+
+TEST(CsvMalformedTest, OverlongRecordIsError) {
+  CsvReadOptions options;
+  options.max_record_bytes = 64;
+  std::string text = "a\n" + std::string(1000, 'x') + "\n";
+  auto t = ReadCsvString(text, options);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("max_record_bytes"), std::string::npos);
+  EXPECT_NE(t.status().message().find("line 2"), std::string::npos)
+      << t.status();
+}
+
+TEST(CsvMalformedTest, OverlongUnterminatedQuoteIsBounded) {
+  // An unclosed quote swallows the whole rest of the file into one record;
+  // the byte cap must stop the buffering, not just the final quote check.
+  CsvReadOptions options;
+  options.max_record_bytes = 128;
+  std::string text = "a\n\"" + std::string(10000, 'y');
+  auto t = ReadCsvString(text, options);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvMalformedTest, RecordCapZeroMeansUnlimited) {
+  CsvReadOptions options;
+  options.max_record_bytes = 0;
+  std::string text = "a\n" + std::string(100000, 'x') + "\n";
+  auto t = ReadCsvString(text, options);
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->num_rows(), 1u);
+}
+
+TEST(CsvMalformedTest, UnterminatedQuoteNamesStartingLine) {
+  auto t = ReadCsvString("a\nok\n\"oops\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("line 3"), std::string::npos)
+      << t.status();
+  EXPECT_NE(t.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST(CsvMalformedTest, NonNumericCellsDegradeColumnToString) {
+  // Partial numbers like "1.2.3" and "12x" must never half-parse into a
+  // numeric column; the whole column falls back to strings losslessly.
+  auto t = ReadCsvString("a,b\n1.2.3,1\n12x,2\n3,nan-ish\n");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->schema().column(0).type, ValueType::kString);
+  EXPECT_EQ(t->at(0, 0), Value("1.2.3"));
+  EXPECT_EQ(t->at(1, 0), Value("12x"));
+}
+
+TEST(CsvMalformedTest, ControlCharacterSoupDoesNotCrash) {
+  std::string soup = "a,b\n";
+  for (int c = 1; c < 32; ++c) {
+    if (c == '\n' || c == '\r') continue;
+    soup += static_cast<char>(c);
+  }
+  soup += ",1\n";
+  auto t = ReadCsvString(soup);
+  // Control characters are not an error per se (they are opaque string
+  // bytes); the reader just must not crash or misreport arity.
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->num_rows(), 1u);
+}
+
+TEST(CsvMalformedTest, HeaderOnlyRaggedDataRow) {
+  auto t = ReadCsvString("a,b,c\n1,2\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace galaxy

@@ -1,37 +1,53 @@
 // galaxy_cli — command-line front end for the galaxy library.
 //
 //   galaxy_cli query    --csv data.csv --sql "SELECT ..." [--table data]
+//                       [--timeout-ms N] [--max-comparisons N] [--strict]
 //   galaxy_cli skyline  --csv data.csv --group-by col --attrs a,b[,c...]
-//                       [--gamma 0.5] [--algorithm NL|TR|SI|IN|LO|BF|AUTO]
+//                       [--gamma 0.5] [--algorithm NL|TR|SI|IN|LO|BF|PAR|AUTO]
 //                       [--rank] [--representatives K]
+//                       [--timeout-ms N] [--max-comparisons N] [--strict]
 //   galaxy_cli profile  --csv data.csv --group-by col --attrs a,b
 //   galaxy_cli generate --type imdb|nba|grouped --out out.csv
 //                       [--records N] [--seed S]
 //
-// Exit status: 0 on success, 1 on usage or execution errors.
+// --timeout-ms / --max-comparisons bound the run through the execution
+// control plane; by default an interrupted skyline degrades to a sound
+// over-approximation (reported as "# quality: approximate-superset"),
+// while --strict turns any trip into a non-zero-exit error instead.
+//
+// Exit status: 0 on success, 1 on execution errors, 2 on usage errors
+// (unknown flag, malformed number, out-of-range gamma).
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/str_util.h"
 #include "core/adaptive.h"
 #include "core/aggregate_skyline.h"
+#include "core/exec_context.h"
 #include "core/representative.h"
 #include "datagen/groups.h"
 #include "datagen/imdb_gen.h"
 #include "nba/nba_gen.h"
 #include "relation/csv.h"
 #include "sql/catalog.h"
+#include "sql/executor.h"
 
 namespace {
 
 using galaxy::Status;
 using galaxy::Table;
 
-// Minimal --flag value parser; flags may appear in any order.
+// Minimal --flag value parser; flags may appear in any order. Numeric
+// accessors parse strictly (whole string must be a number) and fail with a
+// usage error instead of throwing.
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
@@ -45,29 +61,65 @@ class Flags {
           values_[name] = "true";  // boolean flag
         }
       } else {
-        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
-        ok_ = false;
+        error_ = "unexpected argument: " + arg;
+        return;
       }
     }
   }
 
-  bool ok() const { return ok_; }
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// One-line diagnostic + exit 2 on a flag not in `allowed`.
+  bool CheckAllowed(std::initializer_list<const char*> allowed) {
+    std::set<std::string> names(allowed.begin(), allowed.end());
+    for (const auto& [name, value] : values_) {
+      if (names.count(name) == 0) {
+        error_ = "unknown flag: --" + name;
+        return false;
+      }
+    }
+    return true;
+  }
+
   bool Has(const std::string& name) const { return values_.count(name) > 0; }
   std::string Get(const std::string& name,
                   const std::string& fallback = "") const {
     auto it = values_.find(name);
     return it == values_.end() ? fallback : it->second;
   }
-  double GetDouble(const std::string& name, double fallback) const {
-    return Has(name) ? std::stod(Get(name)) : fallback;
+
+  galaxy::Result<double> GetDouble(const std::string& name,
+                                   double fallback) const {
+    if (!Has(name)) return fallback;
+    const std::string& text = values_.at(name);
+    char* end = nullptr;
+    errno = 0;
+    double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end != text.c_str() + text.size() || text.empty()) {
+      return Status::InvalidArgument("--" + name +
+                                     " expects a number, got: " + text);
+    }
+    return v;
   }
-  int64_t GetInt(const std::string& name, int64_t fallback) const {
-    return Has(name) ? std::stoll(Get(name)) : fallback;
+
+  galaxy::Result<int64_t> GetInt(const std::string& name,
+                                 int64_t fallback) const {
+    if (!Has(name)) return fallback;
+    const std::string& text = values_.at(name);
+    char* end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size() || text.empty()) {
+      return Status::InvalidArgument("--" + name +
+                                     " expects an integer, got: " + text);
+    }
+    return static_cast<int64_t>(v);
   }
 
  private:
   std::map<std::string, std::string> values_;
-  bool ok_ = true;
+  std::string error_;
 };
 
 int Fail(const Status& status) {
@@ -75,11 +127,16 @@ int Fail(const Status& status) {
   return 1;
 }
 
+int UsageError(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 2;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: galaxy_cli <query|skyline|profile|generate> "
                "[--flags]\n(see the header of tools/galaxy_cli.cpp)\n");
-  return 1;
+  return 2;
 }
 
 galaxy::Result<Table> LoadCsv(const Flags& flags) {
@@ -89,18 +146,76 @@ galaxy::Result<Table> LoadCsv(const Flags& flags) {
   return galaxy::ReadCsvFile(flags.Get("csv"));
 }
 
-int RunQuery(const Flags& flags) {
+// Shared --timeout-ms / --max-comparisons / --strict handling. Parsing is
+// split from arming so the deadline clock starts right before execution,
+// not while the CSV is still loading.
+struct ControlPlaneFlags {
+  int64_t timeout_ms = 0;
+  int64_t max_comparisons = 0;
+  bool allow_approximate = true;
+
+  // Returns the configured context, or null when no bound was requested
+  // (keeping the null-exec fast path active).
+  galaxy::core::ExecutionContext* Arm(
+      galaxy::core::ExecutionContext* storage) const {
+    galaxy::core::ExecutionContext* exec = nullptr;
+    if (timeout_ms > 0) {
+      storage->set_timeout(std::chrono::milliseconds(timeout_ms));
+      exec = storage;
+    }
+    if (max_comparisons > 0) {
+      storage->set_max_comparisons(static_cast<uint64_t>(max_comparisons));
+      exec = storage;
+    }
+    return exec;
+  }
+};
+
+galaxy::Result<ControlPlaneFlags> ParseControlPlane(const Flags& flags) {
+  ControlPlaneFlags out;
+  GALAXY_ASSIGN_OR_RETURN(out.timeout_ms, flags.GetInt("timeout-ms", 0));
+  GALAXY_ASSIGN_OR_RETURN(out.max_comparisons,
+                          flags.GetInt("max-comparisons", 0));
+  if (out.timeout_ms < 0) {
+    return Status::InvalidArgument("--timeout-ms must be non-negative");
+  }
+  if (out.max_comparisons < 0) {
+    return Status::InvalidArgument("--max-comparisons must be non-negative");
+  }
+  out.allow_approximate = !flags.Has("strict");
+  return out;
+}
+
+int RunQuery(Flags& flags) {
+  if (!flags.CheckAllowed({"csv", "sql", "table", "timeout-ms",
+                           "max-comparisons", "strict"})) {
+    return UsageError(flags.error());
+  }
   auto table = LoadCsv(flags);
   if (!table.ok()) return Fail(table.status());
   if (!flags.Has("sql")) {
     return Fail(Status::InvalidArgument("--sql \"SELECT ...\" is required"));
   }
+  auto control = ParseControlPlane(flags);
+  if (!control.ok()) return UsageError(control.status().message());
+
   galaxy::sql::Database db;
   db.Register(flags.Get("table", "data"), *table);
-  auto result = db.Query(flags.Get("sql"));
+
+  galaxy::core::ExecutionContext exec_storage;
+  galaxy::sql::ExecOptions exec_options;
+  exec_options.exec = control->Arm(&exec_storage);
+  exec_options.allow_approximate = control->allow_approximate;
+
+  galaxy::sql::ExecStats stats;
+  auto result = db.Query(flags.Get("sql"), exec_options, &stats);
   if (!result.ok()) return Fail(result.status());
   std::printf("%s", result->ToString(/*max_rows=*/1000).c_str());
   std::printf("(%zu rows)\n", result->num_rows());
+  if (exec_options.exec != nullptr) {
+    std::printf("# quality: %s\n",
+                galaxy::core::ResultQualityToString(stats.skyline_quality));
+  }
   return 0;
 }
 
@@ -141,22 +256,50 @@ galaxy::Result<galaxy::core::GroupedDataset> BuildGrouping(
                                                  prefs);
 }
 
-int RunSkyline(const Flags& flags) {
+int RunSkyline(Flags& flags) {
+  if (!flags.CheckAllowed({"csv", "group-by", "attrs", "gamma", "algorithm",
+                           "rank", "representatives", "timeout-ms",
+                           "max-comparisons", "strict"})) {
+    return UsageError(flags.error());
+  }
+  // Validate all flag values before touching the filesystem so a bad
+  // --gamma is a usage error even when the CSV is also bad.
+  galaxy::core::AggregateSkylineOptions options;
+  auto gamma = flags.GetDouble("gamma", 0.5);
+  if (!gamma.ok()) return UsageError(gamma.status().message());
+  if (*gamma < 0.5 || *gamma > 1.0) {
+    return UsageError("--gamma must be in [0.5, 1], got " +
+                      flags.Get("gamma"));
+  }
+  options.gamma = *gamma;
+  auto algorithm = ParseAlgorithm(flags.Get("algorithm", "AUTO"));
+  if (!algorithm.ok()) return UsageError(algorithm.status().message());
+  options.algorithm = *algorithm;
+
+  auto control = ParseControlPlane(flags);
+  if (!control.ok()) return UsageError(control.status().message());
+  options.allow_approximate = control->allow_approximate;
+
   auto table = LoadCsv(flags);
   if (!table.ok()) return Fail(table.status());
   auto dataset = BuildGrouping(flags, *table);
   if (!dataset.ok()) return Fail(dataset.status());
 
-  galaxy::core::AggregateSkylineOptions options;
-  options.gamma = flags.GetDouble("gamma", 0.5);
-  auto algorithm = ParseAlgorithm(flags.Get("algorithm", "AUTO"));
-  if (!algorithm.ok()) return Fail(algorithm.status());
-  options.algorithm = *algorithm;
+  // Arm the deadline only now: CSV parsing must not eat the budget.
+  galaxy::core::ExecutionContext exec_storage;
+  options.exec = control->Arm(&exec_storage);
 
-  auto result = galaxy::core::ComputeAggregateSkyline(*dataset, options);
+  auto bounded = galaxy::core::ComputeAggregateSkylineBounded(*dataset,
+                                                              options);
+  if (!bounded.ok()) return Fail(bounded.status());
+  const galaxy::core::AggregateSkylineResult& result = *bounded;
   std::printf("# %zu groups, gamma=%.3f, algorithm=%s\n",
               dataset->num_groups(), options.gamma,
               galaxy::core::AlgorithmToString(result.algorithm_used));
+  if (options.exec != nullptr) {
+    std::printf("# quality: %s\n",
+                galaxy::core::ResultQualityToString(result.quality));
+  }
   std::printf("# skyline size: %zu\n", result.skyline.size());
   for (const std::string& label : result.Labels(*dataset)) {
     std::printf("%s\n", label.c_str());
@@ -173,7 +316,9 @@ int RunSkyline(const Flags& flags) {
     }
   }
   if (flags.Has("representatives")) {
-    size_t k = static_cast<size_t>(flags.GetInt("representatives", 3));
+    auto k_flag = flags.GetInt("representatives", 3);
+    if (!k_flag.ok()) return UsageError(k_flag.status().message());
+    size_t k = static_cast<size_t>(*k_flag);
     auto reps = galaxy::core::SelectRepresentatives(*dataset, k,
                                                     options.gamma);
     std::printf("\n# top-%zu representative skyline groups "
@@ -187,7 +332,10 @@ int RunSkyline(const Flags& flags) {
   return 0;
 }
 
-int RunProfile(const Flags& flags) {
+int RunProfile(Flags& flags) {
+  if (!flags.CheckAllowed({"csv", "group-by", "attrs"})) {
+    return UsageError(flags.error());
+  }
   auto table = LoadCsv(flags);
   if (!table.ok()) return Fail(table.status());
   auto dataset = BuildGrouping(flags, *table);
@@ -203,29 +351,41 @@ int RunProfile(const Flags& flags) {
   return 0;
 }
 
-int RunGenerate(const Flags& flags) {
+int RunGenerate(Flags& flags) {
+  if (!flags.CheckAllowed({"out", "type", "records", "seed"})) {
+    return UsageError(flags.error());
+  }
   if (!flags.Has("out")) {
     return Fail(Status::InvalidArgument("--out FILE is required"));
   }
+  auto records_flag = flags.GetInt("records", 0);
+  if (!records_flag.ok()) return UsageError(records_flag.status().message());
+  auto seed_flag = flags.GetInt("seed", 0);
+  if (!seed_flag.ok()) return UsageError(seed_flag.status().message());
+  auto records = [&](int64_t fallback) {
+    return static_cast<size_t>(flags.Has("records") ? *records_flag
+                                                    : fallback);
+  };
+  auto seed = [&](int64_t fallback) {
+    return static_cast<uint64_t>(flags.Has("seed") ? *seed_flag : fallback);
+  };
   std::string type = flags.Get("type", "imdb");
   Table table;
   if (type == "imdb") {
     galaxy::datagen::ImdbConfig config;
-    config.target_movies =
-        static_cast<size_t>(flags.GetInt("records", 20000));
-    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1894));
+    config.target_movies = records(20000);
+    config.seed = seed(1894);
     table = galaxy::datagen::ToTable(
         galaxy::datagen::GenerateImdbCorpus(config));
   } else if (type == "nba") {
     galaxy::nba::NbaConfig config;
-    config.target_records =
-        static_cast<size_t>(flags.GetInt("records", 15000));
-    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1979));
+    config.target_records = records(15000);
+    config.seed = seed(1979);
     table = galaxy::nba::ToTable(galaxy::nba::GenerateLeagueHistory(config));
   } else if (type == "grouped") {
     galaxy::datagen::GroupedWorkloadConfig config;
-    config.num_records = static_cast<size_t>(flags.GetInt("records", 10000));
-    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    config.num_records = records(10000);
+    config.seed = seed(42);
     table = galaxy::datagen::GroupedDatasetToTable(
         galaxy::datagen::GenerateGrouped(config));
   } else {
@@ -244,10 +404,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   Flags flags(argc, argv, 2);
-  if (!flags.ok()) return Usage();
+  if (!flags.ok()) return UsageError(flags.error());
   if (command == "query") return RunQuery(flags);
   if (command == "skyline") return RunSkyline(flags);
   if (command == "profile") return RunProfile(flags);
   if (command == "generate") return RunGenerate(flags);
-  return Usage();
+  return UsageError("unknown command: " + command);
 }

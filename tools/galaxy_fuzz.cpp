@@ -1,13 +1,21 @@
-// Differential fuzzer: drives every aggregate-skyline configuration
-// against the exhaustive oracle on adversarial generated datasets.
+// Fuzzing front-end with three targets:
 //
-//   galaxy_fuzz [--seed N] [--runs N] [--max-seconds S] [--verbose]
+//   galaxy_fuzz [--target=diff|sql|faults] [--seed N] [--runs N]
+//               [--max-seconds S] [--verbose]
+//
+//   diff    (default) drives every aggregate-skyline configuration against
+//           the exhaustive oracle on adversarial generated datasets;
+//   sql     feeds mutated SKYLINE OF statements through the full lexer ->
+//           parser -> executor pipeline, asserting clean Status objects;
+//   faults  injects cancellation / deadline / budget trips at randomized
+//           comparison counts across the differential matrix and checks
+//           the control-plane contract (bounded unwind, sound supersets).
 //
 // Each run derives a per-dataset seed from the base seed, so any failure is
 // replayable in isolation with --seed <dataset seed> --runs 1. On a
-// divergence the input is shrunk to a local minimum and printed as a
-// ready-to-paste gtest case (see README "Correctness testing"); the
-// process exits 1.
+// divergence the input is shrunk to a local minimum (diff target) and
+// printed as a ready-to-paste gtest case (see README "Correctness
+// testing"); the process exits 1.
 
 #include <chrono>
 #include <cstdint>
@@ -18,12 +26,15 @@
 
 #include "common/rng.h"
 #include "testing/differential.h"
+#include "testing/fault_injection.h"
 #include "testing/oracle.h"
 #include "testing/property_gen.h"
+#include "testing/sql_fuzz.h"
 
 namespace {
 
 struct FuzzOptions {
+  std::string target = "diff";
   uint64_t seed = 1;
   uint64_t runs = 1000;
   double max_seconds = 0.0;  // 0 = unbounded
@@ -32,8 +43,8 @@ struct FuzzOptions {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: galaxy_fuzz [--seed N] [--runs N] [--max-seconds S] "
-               "[--verbose]\n");
+               "usage: galaxy_fuzz [--target=diff|sql|faults] [--seed N] "
+               "[--runs N] [--max-seconds S] [--verbose]\n");
 }
 
 bool ParseFlags(int argc, char** argv, FuzzOptions* options) {
@@ -55,6 +66,12 @@ bool ParseFlags(int argc, char** argv, FuzzOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->max_seconds = std::strtod(v, nullptr);
+    } else if (arg == "--target") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->target = v;
+    } else if (arg.rfind("--target=", 0) == 0) {
+      options->target = arg.substr(9);
     } else if (arg == "--verbose") {
       options->verbose = true;
     } else {
@@ -62,7 +79,56 @@ bool ParseFlags(int argc, char** argv, FuzzOptions* options) {
       return false;
     }
   }
+  if (options->target != "diff" && options->target != "sql" &&
+      options->target != "faults") {
+    std::fprintf(stderr, "unknown --target: %s\n", options->target.c_str());
+    return false;
+  }
   return true;
+}
+
+int RunSqlTarget(const FuzzOptions& options) {
+  std::printf("galaxy_fuzz: target=sql seed=%llu runs=%llu\n",
+              static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(options.runs));
+  galaxy::testing::SqlFuzzStats stats;
+  std::string detail = galaxy::testing::FuzzSql(
+      options.seed, static_cast<int>(options.runs), &stats);
+  std::printf(
+      "galaxy_fuzz: %llu statements (%llu ok, %llu parse errors, %llu "
+      "exec errors)\n",
+      static_cast<unsigned long long>(stats.executed),
+      static_cast<unsigned long long>(stats.ok),
+      static_cast<unsigned long long>(stats.parse_errors),
+      static_cast<unsigned long long>(stats.exec_errors));
+  if (!detail.empty()) {
+    std::printf("\nSQL FUZZ FAILURE: %s\n", detail.c_str());
+    return 1;
+  }
+  std::printf("galaxy_fuzz: OK — every statement produced a clean Status\n");
+  return 0;
+}
+
+int RunFaultsTarget(const FuzzOptions& options) {
+  std::printf("galaxy_fuzz: target=faults seed=%llu runs=%llu\n",
+              static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(options.runs));
+  uint64_t points = 0;
+  galaxy::testing::FaultDivergence divergence = galaxy::testing::FuzzFaults(
+      options.seed, static_cast<int>(options.runs), &points);
+  std::printf("galaxy_fuzz: %llu fault points checked\n",
+              static_cast<unsigned long long>(points));
+  if (divergence.found) {
+    std::printf(
+        "\nFAULT DIVERGENCE (dataset seed %llu, gamma %.17g)\n"
+        "  config: %s\n  plan:   %s\n  detail: %s\n",
+        static_cast<unsigned long long>(divergence.dataset_seed),
+        divergence.gamma, divergence.config.Name().c_str(),
+        divergence.plan.Name().c_str(), divergence.detail.c_str());
+    return 1;
+  }
+  std::printf("galaxy_fuzz: OK — control-plane contract held everywhere\n");
+  return 0;
 }
 
 }  // namespace
@@ -73,6 +139,9 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+
+  if (options.target == "sql") return RunSqlTarget(options);
+  if (options.target == "faults") return RunFaultsTarget(options);
 
   using Clock = std::chrono::steady_clock;
   const Clock::time_point start = Clock::now();
