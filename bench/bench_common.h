@@ -8,8 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/aggregate_skyline.h"
 #include "datagen/groups.h"
@@ -81,6 +84,48 @@ PaperDistributions() {
           {"corr", datagen::Distribution::kCorrelated},
       };
   return *dists;
+}
+
+/// One row of a machine-readable benchmark report: a name plus flat
+/// numeric metrics. Kept order-preserving so reports diff cleanly.
+struct BenchJsonEntry {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Renders entries as a stable, diff-friendly JSON document:
+/// {"schema": <schema>, "quick": <bool>, "entries": [{"name": ..., ...}]}.
+inline std::string FormatBenchJson(const std::string& schema, bool quick,
+                                   const std::vector<BenchJsonEntry>& entries) {
+  auto number = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return std::string(buf);
+  };
+  std::string out = "{\n";
+  out += "  \"schema\": \"" + schema + "\",\n";
+  out += std::string("  \"quick\": ") + (quick ? "true" : "false") + ",\n";
+  out += "  \"entries\": [\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out += "    {\"name\": \"" + entries[i].name + "\"";
+    for (const auto& [key, value] : entries[i].metrics) {
+      out += ", \"" + key + "\": " + number(value);
+    }
+    out += i + 1 < entries.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+/// Writes the report to `path`; false on I/O failure.
+inline bool WriteBenchJson(const std::string& path, const std::string& schema,
+                           bool quick,
+                           const std::vector<BenchJsonEntry>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = FormatBenchJson(schema, quick, entries);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace galaxy::bench

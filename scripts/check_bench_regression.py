@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Gates CI on kernel-microbench regressions.
+
+Usage:
+    python3 scripts/check_bench_regression.py BASELINE.json CANDIDATE.json
+
+Both files are kernel_microbench reports (schema galaxy-kernel-bench-v1).
+Only *ratio* metrics are compared — speedups of one code path over another
+measured in the same process — because they are stable across machines,
+unlike absolute times or pairs/sec. A candidate fails when:
+
+  * a ratio metric drops more than TOLERANCE below the baseline value, or
+  * an absolute floor is violated (the ISSUE acceptance criterion:
+    >= 3x single-thread counting throughput on independent d=4 data).
+
+Entries present only in one report are noted but never fatal, so adding or
+removing a bench section does not require touching the baseline in the
+same commit.
+"""
+
+import json
+import sys
+
+# Relative drop allowed on each ratio metric before the gate trips.
+TOLERANCE = 0.25
+
+# Metric keys that are cross-hardware-stable ratios; everything else
+# (seconds, pairs/sec, comparison counts) is informational only.
+RATIO_KEYS = {"speedup", "speedup_vs_scalar", "speedup_vs_tiled"}
+
+# (entry name, metric, minimum value): hard floors independent of the
+# baseline. parallel_speedup is exempt everywhere — single-core CI runners
+# legitimately report ~1.0.
+FLOORS = [
+    ("count_block_d4_indep", "speedup", 3.0),
+]
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+    if report.get("schema") != "galaxy-kernel-bench-v1":
+        sys.exit(f"{path}: unexpected schema {report.get('schema')!r}")
+    return {entry["name"]: entry for entry in report["entries"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} BASELINE.json CANDIDATE.json")
+    baseline = load(sys.argv[1])
+    candidate = load(sys.argv[2])
+
+    failures = []
+    checked = 0
+
+    for name, base_entry in sorted(baseline.items()):
+        cand_entry = candidate.get(name)
+        if cand_entry is None:
+            print(f"note: {name}: in baseline only, skipped")
+            continue
+        for key, base_value in base_entry.items():
+            if key not in RATIO_KEYS:
+                continue
+            cand_value = cand_entry.get(key)
+            if cand_value is None:
+                print(f"note: {name}.{key}: missing from candidate, skipped")
+                continue
+            checked += 1
+            limit = base_value * (1.0 - TOLERANCE)
+            status = "ok" if cand_value >= limit else "FAIL"
+            print(f"{status}: {name}.{key}: baseline {base_value:.3f} "
+                  f"candidate {cand_value:.3f} (limit {limit:.3f})")
+            if cand_value < limit:
+                failures.append(
+                    f"{name}.{key} dropped {base_value:.3f} -> "
+                    f"{cand_value:.3f} (> {TOLERANCE:.0%} regression)")
+
+    for name in sorted(set(candidate) - set(baseline)):
+        print(f"note: {name}: in candidate only, skipped")
+
+    for name, key, minimum in FLOORS:
+        entry = candidate.get(name)
+        value = entry.get(key) if entry else None
+        if value is None:
+            failures.append(f"floor check impossible: {name}.{key} missing")
+            continue
+        checked += 1
+        status = "ok" if value >= minimum else "FAIL"
+        print(f"{status}: floor {name}.{key}: {value:.3f} >= {minimum}")
+        if value < minimum:
+            failures.append(
+                f"{name}.{key} = {value:.3f} below hard floor {minimum}")
+
+    if checked == 0:
+        failures.append("no comparable ratio metrics found — wrong files?")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

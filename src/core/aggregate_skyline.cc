@@ -56,6 +56,8 @@ std::string AggregateSkylineStats::ToString() const {
   out += " window_candidates=" + std::to_string(window_candidates);
   out += " mbb_shortcuts=" + std::to_string(mbb_shortcuts);
   out += " stopped_early=" + std::to_string(stopped_early);
+  out += " records_preclassified=" + std::to_string(records_preclassified);
+  out += " chunks_stolen=" + std::to_string(chunks_stolen);
   out += " wall_s=" + std::to_string(wall_seconds);
   return out;
 }
@@ -100,6 +102,7 @@ AggregateSkylineResult RunResolved(const GroupedDataset& dataset,
     parallel_options.use_stop_rule = effective.use_stop_rule;
     parallel_options.use_mbb = effective.use_mbb;
     parallel_options.exec = effective.exec;
+    parallel_options.kernel = effective.kernel;
     return ComputeAggregateSkylineParallel(dataset, parallel_options);
   }
 

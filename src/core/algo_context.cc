@@ -23,6 +23,7 @@ AlgoContext::AlgoContext(const GroupedDataset& dataset,
   pair_options_.use_mbb =
       options.use_mbb || options.algorithm == Algorithm::kIndexedBbox;
   pair_options_.exec = options.exec;
+  pair_options_.kernel = options.kernel;
   if (options.algorithm == Algorithm::kBruteForce) {
     // The reference mode does every record comparison unconditionally —
     // but it still honors the control plane.
@@ -39,6 +40,7 @@ PairOutcome AlgoContext::Compare(uint32_t id1, uint32_t id2) {
   if (stats_ != nullptr) {
     ++stats_->group_pairs_classified;
     stats_->record_comparisons += pair_stats.record_comparisons;
+    stats_->records_preclassified += pair_stats.records_preclassified;
     if (pair_stats.mbb_strict_shortcut) ++stats_->mbb_shortcuts;
     if (pair_stats.stopped_early) ++stats_->stopped_early;
   }

@@ -1,0 +1,141 @@
+#ifndef GALAXY_CORE_COUNT_KERNEL_H_
+#define GALAXY_CORE_COUNT_KERNEL_H_
+
+// Allocation- and span-free counting kernels for the pairwise-domination
+// hot path (the O(|S|·|R|) residual scan inside ClassifyPair). The kernels
+// operate on raw row-major `const double*` buffers whose values are
+// already MAX-oriented (MIN attributes negated at group construction), so
+// a record r dominates s iff r >= s componentwise and r != s.
+//
+// Three families, selected by KernelPolicy:
+//  - tiled:  branch-free two-way counting over a cache-blocked tile of the
+//            rest1 x rest2 residual matrix (dimension-specialized for
+//            d = 2..8, generic fallback), preserving the incremental stop
+//            rule by deciding at tile boundaries;
+//  - sorted: both sides ordered by decreasing MonotoneScore; each outer
+//            row splits the inner side into a may-dominate-me prefix and a
+//            may-be-dominated suffix (records with a strictly larger score
+//            can never be dominated), each scanned with a cheaper one-way
+//            predicate, with whole-range bulk counts against the prefix
+//            min / suffix max corners;
+//  - sweep:  an exact O(n log n) two-dimensional dominance-pair count
+//            (sort + Fenwick tree) for d = 2.
+//
+// This header is dependency-light on purpose (no gamma.h / group.h): the
+// stop-rule orchestration lives in ClassifyPair (core/gamma.cc), which
+// calls these primitives between decidability checks.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace galaxy::core {
+
+/// Which counting kernel ClassifyPair uses for the residual scan. Every
+/// policy produces the identical PairOutcome; policies differ only in the
+/// work performed (and therefore in the reported comparison counts).
+enum class KernelPolicy {
+  /// Pick per pair: tiled for exhaustive/bounded scans, sweep for large
+  /// two-dimensional residuals, sorted for large residuals otherwise.
+  kAuto,
+  /// The legacy per-pair CompareDominance loop (reference behavior; counts
+  /// exactly one record comparison per resolved pair).
+  kScalar,
+  /// Cache-blocked branch-free tiles with per-tile stop checks.
+  kTiled,
+  /// Monotone-score ordered scan with one-way tests and bulk corner counts.
+  kSorted,
+  /// Exact 2D sweep; silently falls back to kTiled when d != 2 or when an
+  /// ExecutionContext demands fine-grained charging.
+  kSweep2D,
+};
+
+const char* KernelPolicyToString(KernelPolicy policy);
+
+namespace kernel {
+
+/// Pair counts accumulated by a kernel invocation.
+struct KernelCounts {
+  uint64_t n12 = 0;  ///< pairs (r in rows1, s in rows2) with r ≻ s
+  uint64_t n21 = 0;  ///< pairs with s ≻ r
+};
+
+/// Auto-policy thresholds (exposed for tests and benches).
+/// Residual-pair count from which the d=2 sweep beats the quadratic scan.
+inline constexpr uint64_t kSweepMinPairs = 1ull << 16;
+/// Residual-pair count from which the sorted path's O(k log k) setup pays.
+inline constexpr uint64_t kSortedMinPairs = 256;
+/// Tile edge lengths of the blocked scan (pairs per tile = kTileRows *
+/// kTileCols). Sized so one tile's working set stays in L1 for d <= 8.
+inline constexpr size_t kTileRows = 32;
+inline constexpr size_t kTileCols = 128;
+/// Tile edge used when an ExecutionContext is charged: one tile is one
+/// charge batch, keeping the documented unwind latency (kChargeBatch work
+/// units) intact.
+inline constexpr size_t kBoundedTileEdge = 16;
+
+/// Counts both domination directions over the dense block rows1 x rows2
+/// (row-major, `dims` doubles per row). Branch-free and specialized for
+/// dims 2..8; any other dimensionality takes the generic loop. Equal rows
+/// contribute to neither count.
+KernelCounts CountBlock(const double* rows1, size_t n1, const double* rows2,
+                        size_t n2, size_t dims);
+
+/// Counts rows of `rows` (n rows) that `r` dominates, under the guarantee
+/// that no row equals `r` (the sorted path's strict-score ranges): r ≻ s
+/// collapses to r >= s componentwise.
+uint64_t CountDominatedOneWay(const double* r, const double* rows, size_t n,
+                              size_t dims);
+
+/// Counts rows of `rows` that dominate `r`, under the same no-equal-row
+/// guarantee: s ≻ r collapses to s >= r componentwise.
+uint64_t CountDominatingOneWay(const double* r, const double* rows, size_t n,
+                               size_t dims);
+
+/// True iff a >= b on every dimension.
+bool GeqAll(const double* a, const double* b, size_t dims);
+
+/// Exact dominance-pair counts for d = 2 in O((n1 + n2) log(n1 + n2)):
+/// for each direction, counts pairs with componentwise >= via a sort +
+/// Fenwick sweep, then subtracts the exactly-equal pairs (which dominate
+/// in neither direction). `scratch` is reused across calls.
+struct Sweep2DScratch {
+  std::vector<double> xs1, ys1, xs2, ys2;
+  std::vector<size_t> order1, order2;
+  std::vector<double> unique_y;
+  std::vector<uint32_t> fenwick;
+};
+KernelCounts CountPairsSweep2D(const double* rows1, size_t n1,
+                               const double* rows2, size_t n2,
+                               Sweep2DScratch* scratch);
+
+/// Copies the rows listed in `idx` (indexes into a row-major buffer of
+/// `dims`-wide rows) into the packed buffer `out` (resized to n * dims).
+void GatherRows(const double* data, const uint32_t* idx, size_t n,
+                size_t dims, std::vector<double>* out);
+
+/// All-MAX monotone score of one packed row (sum of coordinates). Kept
+/// bit-compatible with skyline::MonotoneScore on MAX-oriented data:
+/// left-to-right summation.
+double RowScore(const double* row, size_t dims);
+
+/// Fills `order` with 0..n-1 sorted by decreasing RowScore of the packed
+/// rows, ties by ascending index (deterministic), and `scores` with the
+/// score of each row in the *sorted* order.
+void SortByScoreDesc(const double* rows, size_t n, size_t dims,
+                     std::vector<uint32_t>* order,
+                     std::vector<double>* scores);
+
+/// Componentwise suffix maxima of packed rows: out[i*dims + k] =
+/// max(rows[j*dims + k] for j in [i, n)). out is resized to n * dims.
+void BuildSuffixMax(const double* rows, size_t n, size_t dims,
+                    std::vector<double>* out);
+
+/// Componentwise prefix minima: out[i*dims + k] = min over j in [0, i].
+void BuildPrefixMin(const double* rows, size_t n, size_t dims,
+                    std::vector<double>* out);
+
+}  // namespace kernel
+}  // namespace galaxy::core
+
+#endif  // GALAXY_CORE_COUNT_KERNEL_H_

@@ -130,10 +130,14 @@ MbbPreclassification PreclassifyWithMbb(const Group& g1, const Group& g2) {
   // corner are dominated by the entire other group ("area A"); records
   // above the other group's max corner dominate the entire other group
   // ("area C"). Count those pairs analytically and scan only the rest.
+  // The rest vectors grow lazily (amortized push_back) instead of
+  // reserving the full group size up front: on well-separated groups the
+  // corner tests classify almost every record and a full reserve would
+  // allocate |g| slots to hold a handful of survivors. Oversized leftover
+  // capacity is returned once the survivor count is known.
   MbbPreclassification pre;
   uint64_t a2 = 0;  // g1 records dominated by all of g2 (below b2.min)
   uint64_t c1 = 0;  // g1 records dominating all of g2 (above b2.max)
-  pre.rest1.reserve(g1.size());
   for (uint32_t i = 0; i < g1.size(); ++i) {
     auto r = g1.point(i);
     if (skyline::Dominates(b2.min, r)) {
@@ -146,7 +150,6 @@ MbbPreclassification PreclassifyWithMbb(const Group& g1, const Group& g2) {
   }
   uint64_t a1 = 0;  // g2 records dominated by all of g1
   uint64_t c2 = 0;  // g2 records dominating all of g1
-  pre.rest2.reserve(g2.size());
   for (uint32_t j = 0; j < g2.size(); ++j) {
     auto s = g2.point(j);
     if (skyline::Dominates(b1.min, s)) {
@@ -157,6 +160,8 @@ MbbPreclassification PreclassifyWithMbb(const Group& g1, const Group& g2) {
       pre.rest2.push_back(j);
     }
   }
+  if (pre.rest1.capacity() > 2 * pre.rest1.size()) pre.rest1.shrink_to_fit();
+  if (pre.rest2.capacity() > 2 * pre.rest2.size()) pre.rest2.shrink_to_fit();
   // Every pair touching a pre-classified record is decided:
   //   r ≻ s holds for (any r, s in A1) and (r in C1, s not in A1);
   //   s ≻ r holds for (r in A2, any s) and (s in C2, r not in A2);
@@ -221,6 +226,249 @@ PairOutcome OutcomeFromPredicates(bool first_gamma, bool first_strong,
   return PairOutcome::kIncomparable;
 }
 
+// ---- Residual-scan machinery (core/count_kernel.h orchestration). ---------
+
+// Reused per-thread buffers: the kernels are allocation-free on the steady
+// state, the scratch grows to the largest residual seen by this thread.
+struct ScanScratch {
+  std::vector<double> rows1, rows2;      // gathered residual rows
+  std::vector<double> sorted1, sorted2;  // score-descending copies
+  std::vector<uint32_t> order1, order2;
+  std::vector<double> scores1, scores2;
+  std::vector<double> suffmax2, premin2;
+  kernel::Sweep2DScratch sweep;
+};
+
+ScanScratch& TlsScanScratch() {
+  thread_local ScanScratch scratch;
+  return scratch;
+}
+
+// Counts and control-plane accounting of one residual scan. Comparisons
+// accumulate locally (one add into PairCompareStats at scan end — never a
+// per-pair `stats != nullptr` branch) and are charged to the context in
+// batches of ExecutionContext::kChargeBatch.
+struct ScanState {
+  uint64_t n12 = 0;
+  uint64_t n21 = 0;
+  uint64_t resolved = 0;
+  uint64_t total = 0;
+  uint64_t comparisons = 0;
+  uint64_t uncharged = 0;
+  ExecutionContext* exec = nullptr;
+  bool aborted = false;
+
+  bool Charge(uint64_t n) {
+    comparisons += n;
+    if (exec == nullptr) return true;
+    uncharged += n;
+    if (uncharged >= ExecutionContext::kChargeBatch) {
+      const uint64_t amount = uncharged;
+      uncharged = 0;
+      if (!exec->Charge(amount)) {
+        aborted = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void FlushCharges() {
+    if (exec != nullptr && uncharged != 0) {
+      exec->Charge(uncharged);
+      uncharged = 0;
+    }
+  }
+};
+
+// Resolves kAuto per pair. A charged scan always tiles (one bounded tile =
+// one charge batch keeps the documented unwind latency); exhaustive scans
+// tile for predictable reference counting; large stop-rule scans take the
+// 2D sweep or the sorted-score path. An explicit kSweep2D demotes to
+// kTiled when it cannot run (d != 2, or fine-grained charging required).
+KernelPolicy ResolveKernelPolicy(KernelPolicy requested, size_t dims,
+                                 uint64_t residual_pairs, bool use_stop_rule,
+                                 bool has_exec) {
+  KernelPolicy p = requested;
+  if (p == KernelPolicy::kAuto) {
+    if (has_exec || !use_stop_rule) {
+      p = KernelPolicy::kTiled;
+    } else if (dims == 2 && residual_pairs >= kernel::kSweepMinPairs) {
+      p = KernelPolicy::kSweep2D;
+    } else if (residual_pairs >= kernel::kSortedMinPairs) {
+      p = KernelPolicy::kSorted;
+    } else {
+      p = KernelPolicy::kTiled;
+    }
+  }
+  if (p == KernelPolicy::kSweep2D && (dims != 2 || has_exec)) {
+    p = KernelPolicy::kTiled;
+  }
+  return p;
+}
+
+// The legacy per-pair CompareDominance loop (KernelPolicy::kScalar): one
+// span-based comparison and one resolved pair per step, decidability
+// checked per inner row plus every kCheckStride pairs inside long rows.
+// Returns true when the scan ended early (decided into *outcome, or
+// st.aborted).
+bool ScanScalar(const Group& g1, const Group& g2,
+                const std::vector<uint32_t>* rest1,
+                const std::vector<uint32_t>* rest2, bool use_stop_rule,
+                const GammaThresholds& thresholds, ScanState& st,
+                PairOutcome* outcome) {
+  constexpr uint64_t kCheckStride = 1024;
+  uint64_t next_check = st.resolved + kCheckStride;
+  const size_t k1 = rest1 != nullptr ? rest1->size() : g1.size();
+  const size_t k2 = rest2 != nullptr ? rest2->size() : g2.size();
+  for (size_t ii = 0; ii < k1; ++ii) {
+    auto r = g1.point(rest1 != nullptr ? (*rest1)[ii] : ii);
+    for (size_t jj = 0; jj < k2; ++jj) {
+      skyline::DominanceResult cmp = skyline::CompareDominance(
+          r, g2.point(rest2 != nullptr ? (*rest2)[jj] : jj));
+      if (cmp == skyline::DominanceResult::kLeftDominates) {
+        ++st.n12;
+      } else if (cmp == skyline::DominanceResult::kRightDominates) {
+        ++st.n21;
+      }
+      ++st.resolved;
+      if (!st.Charge(1)) return true;
+      if (use_stop_rule && st.resolved >= next_check) {
+        next_check = st.resolved + kCheckStride;
+        if (internal::TryResolveOutcome(st.n12, st.n21, st.resolved,
+                                        st.total, thresholds, outcome)) {
+          return true;
+        }
+      }
+    }
+    if (use_stop_rule &&
+        internal::TryResolveOutcome(st.n12, st.n21, st.resolved, st.total,
+                                    thresholds, outcome)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Cache-blocked branch-free counting; the incremental stop rule runs at
+// tile boundaries. Charged scans shrink the tile to one charge batch.
+bool ScanTiled(const double* rows1, size_t k1, const double* rows2,
+               size_t k2, size_t dims, bool use_stop_rule,
+               const GammaThresholds& thresholds, ScanState& st,
+               PairOutcome* outcome) {
+  const size_t tile_rows =
+      st.exec != nullptr ? kernel::kBoundedTileEdge : kernel::kTileRows;
+  const size_t tile_cols =
+      st.exec != nullptr ? kernel::kBoundedTileEdge : kernel::kTileCols;
+  for (size_t i0 = 0; i0 < k1; i0 += tile_rows) {
+    const size_t ni = std::min(tile_rows, k1 - i0);
+    for (size_t j0 = 0; j0 < k2; j0 += tile_cols) {
+      const size_t nj = std::min(tile_cols, k2 - j0);
+      kernel::KernelCounts c = kernel::CountBlock(
+          rows1 + i0 * dims, ni, rows2 + j0 * dims, nj, dims);
+      st.n12 += c.n12;
+      st.n21 += c.n21;
+      const uint64_t pairs = static_cast<uint64_t>(ni) * nj;
+      st.resolved += pairs;
+      if (!st.Charge(pairs)) return true;
+      if (use_stop_rule &&
+          internal::TryResolveOutcome(st.n12, st.n21, st.resolved, st.total,
+                                      thresholds, outcome)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Monotone-score ordered scan. Both sides are sorted by decreasing score;
+// for each outer row the inner side splits into a strictly-greater prefix
+// (only s ≻ r possible), an equal-score band (either direction — floating
+// point score ties do not imply record equality, so the full two-way test
+// runs there), and a strictly-smaller suffix (only r ≻ s possible). The
+// one-directional ranges use componentwise->= tests (strict score
+// difference rules out equal records) and whole-range corner shortcuts.
+bool ScanSorted(const double* sorted1, const double* scores1, size_t k1,
+                const double* sorted2, const double* scores2, size_t k2,
+                size_t dims, bool use_stop_rule,
+                const GammaThresholds& thresholds, ScanState& st,
+                ScanScratch& sc, PairOutcome* outcome) {
+  kernel::BuildSuffixMax(sorted2, k2, dims, &sc.suffmax2);
+  kernel::BuildPrefixMin(sorted2, k2, dims, &sc.premin2);
+  size_t e_gt = 0;  // end of the strictly-greater inner prefix
+  size_t e_ge = 0;  // end of the >= inner prefix (equal band included)
+  for (size_t i = 0; i < k1; ++i) {
+    const double* r = sorted1 + i * dims;
+    const double score = scores1[i];
+    while (e_gt < k2 && scores2[e_gt] > score) ++e_gt;
+    if (e_ge < e_gt) e_ge = e_gt;
+    while (e_ge < k2 && scores2[e_ge] >= score) ++e_ge;
+
+    if (e_gt > 0) {
+      // Prefix-min corner >= r means every prefix record dominates r.
+      if (kernel::GeqAll(sc.premin2.data() + (e_gt - 1) * dims, r, dims)) {
+        st.n21 += e_gt;
+        if (!st.Charge(1)) return true;
+      } else {
+        st.n21 += kernel::CountDominatingOneWay(r, sorted2, e_gt, dims);
+        if (!st.Charge(e_gt)) return true;
+      }
+    }
+    if (e_ge > e_gt) {
+      kernel::KernelCounts c = kernel::CountBlock(
+          r, 1, sorted2 + e_gt * dims, e_ge - e_gt, dims);
+      st.n12 += c.n12;
+      st.n21 += c.n21;
+      if (!st.Charge(e_ge - e_gt)) return true;
+    }
+    if (e_ge < k2) {
+      // r >= the suffix-max corner means r dominates every suffix record.
+      if (kernel::GeqAll(r, sc.suffmax2.data() + e_ge * dims, dims)) {
+        st.n12 += k2 - e_ge;
+        if (!st.Charge(1)) return true;
+      } else {
+        st.n12 += kernel::CountDominatedOneWay(r, sorted2 + e_ge * dims,
+                                               k2 - e_ge, dims);
+        if (!st.Charge(k2 - e_ge)) return true;
+      }
+    }
+    st.resolved += k2;
+    if (use_stop_rule &&
+        internal::TryResolveOutcome(st.n12, st.n21, st.resolved, st.total,
+                                    thresholds, outcome)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Builds the score-descending packed rows of one side. The full-group case
+// reuses the group's lazily cached order (no per-call sort); an MBB
+// residual subset is sorted per call.
+void BuildSortedSide(const Group& g, const std::vector<uint32_t>* rest,
+                     std::vector<double>* gathered,
+                     std::vector<uint32_t>* order,
+                     std::vector<double>* sorted_rows,
+                     std::vector<double>* scores) {
+  const size_t dims = g.dims();
+  if (rest == nullptr) {
+    const std::vector<uint32_t>& cached = g.score_order_desc();
+    kernel::GatherRows(g.data().data(), cached.data(), cached.size(), dims,
+                       sorted_rows);
+    scores->resize(cached.size());
+    for (size_t i = 0; i < cached.size(); ++i) {
+      (*scores)[i] = kernel::RowScore(sorted_rows->data() + i * dims, dims);
+    }
+    return;
+  }
+  kernel::GatherRows(g.data().data(), rest->data(), rest->size(), dims,
+                     gathered);
+  kernel::SortByScoreDesc(gathered->data(), rest->size(), dims, order,
+                          scores);
+  kernel::GatherRows(gathered->data(), order->data(), order->size(), dims,
+                     sorted_rows);
+}
+
 }  // namespace
 
 PairOutcome ClassifyPair(const Group& g1, const Group& g2,
@@ -244,14 +492,17 @@ PairOutcome ClassifyPair(const Group& g1, const Group& g2,
     return PairOutcome::kIncomparable;
   }
 
-  uint64_t n12 = 0;  // pairs (r in g1, s in g2) with r ≻ s
-  uint64_t n21 = 0;  // pairs with s ≻ r
-  uint64_t resolved = 0;
+  ScanState st;
+  st.total = total;
+  st.exec = exec;
 
-  // Residual records needing pairwise scanning (all, unless MBB pruning
-  // pre-classifies some).
+  // Residual records needing pairwise scanning. Null means "the whole
+  // group" — the kernels then read the group buffer in place, with no
+  // index indirection and no per-pair allocation.
   std::vector<uint32_t> rest1;
   std::vector<uint32_t> rest2;
+  const std::vector<uint32_t>* rest1_ptr = nullptr;
+  const std::vector<uint32_t>* rest2_ptr = nullptr;
 
   if (options.use_mbb) {
     const Box& b1 = g1.mbb();
@@ -274,94 +525,125 @@ PairOutcome ClassifyPair(const Group& g1, const Group& g2,
     }
 
     internal::MbbPreclassification pre = internal::PreclassifyWithMbb(g1, g2);
-    n12 = pre.n12;
-    n21 = pre.n21;
-    resolved = pre.resolved;
+    st.n12 = pre.n12;
+    st.n21 = pre.n21;
+    st.resolved = pre.resolved;
     rest1 = std::move(pre.rest1);
     rest2 = std::move(pre.rest2);
+    rest1_ptr = &rest1;
+    rest2_ptr = &rest2;
     if (stats != nullptr) {
       stats->record_comparisons += 2 * (n1 + n2);  // corner tests
-      stats->pairs_resolved_by_mbb = resolved;
+      stats->pairs_resolved_by_mbb = st.resolved;
+      stats->records_preclassified =
+          (n1 - rest1.size()) + (n2 - rest2.size());
     }
     if (exec != nullptr && !exec->Charge(2 * (n1 + n2))) {
       if (stats != nullptr) stats->aborted = true;
       return PairOutcome::kIncomparable;
     }
-  } else {
-    rest1.resize(g1.size());
-    rest2.resize(g2.size());
-    for (uint32_t i = 0; i < g1.size(); ++i) rest1[i] = i;
-    for (uint32_t j = 0; j < g2.size(); ++j) rest2[j] = j;
   }
 
-  const double gamma = thresholds.gamma;
-  const double gamma_bar = thresholds.gamma_bar;
-
-  auto outcome_if_decided = [&](PairOutcome* out) {
-    return internal::TryResolveOutcome(n12, n21, resolved, total, thresholds,
-                                       out);
-  };
+  const size_t dims = g1.dims();
+  const size_t k1 = rest1_ptr != nullptr ? rest1_ptr->size() : g1.size();
+  const size_t k2 = rest2_ptr != nullptr ? rest2_ptr->size() : g2.size();
+  const uint64_t residual_pairs = static_cast<uint64_t>(k1) * k2;
 
   PairOutcome outcome;
-  if (options.use_stop_rule && outcome_if_decided(&outcome)) {
-    if (stats != nullptr) stats->stopped_early = resolved < total;
+  if (options.use_stop_rule &&
+      internal::TryResolveOutcome(st.n12, st.n21, st.resolved, total,
+                                  thresholds, &outcome)) {
+    if (stats != nullptr) stats->stopped_early = st.resolved < total;
     return outcome;
   }
 
-  // The decidability check costs about as much as a record comparison, so
-  // it runs once per inner row (and every kCheckStride pairs inside very
-  // long rows) rather than per pair.
-  constexpr uint64_t kCheckStride = 1024;
-  uint64_t next_check = resolved + kCheckStride;
-  // Comparisons accumulated locally and charged to the control plane in
-  // batches, keeping the bounded path contention-free and the unbounded
-  // path (exec == nullptr) down to one branch per comparison.
-  uint64_t uncharged = 0;
-  auto flush_charges = [&]() {
-    if (exec != nullptr && uncharged != 0) {
-      exec->Charge(uncharged);
-      uncharged = 0;
-    }
-  };
-  for (uint32_t i : rest1) {
-    auto r = g1.point(i);
-    for (uint32_t j : rest2) {
-      if (stats != nullptr) ++stats->record_comparisons;
-      skyline::DominanceResult cmp = skyline::CompareDominance(r, g2.point(j));
-      if (cmp == skyline::DominanceResult::kLeftDominates) {
-        ++n12;
-      } else if (cmp == skyline::DominanceResult::kRightDominates) {
-        ++n21;
+  const KernelPolicy policy =
+      ResolveKernelPolicy(options.kernel, dims, residual_pairs,
+                          options.use_stop_rule, exec != nullptr);
+  if (stats != nullptr) stats->kernel_used = policy;
+
+  bool ended_early = false;
+  if (residual_pairs > 0) {
+    ScanScratch& sc = TlsScanScratch();
+    switch (policy) {
+      case KernelPolicy::kScalar:
+        ended_early = ScanScalar(g1, g2, rest1_ptr, rest2_ptr,
+                                 options.use_stop_rule, thresholds, st,
+                                 &outcome);
+        break;
+      case KernelPolicy::kSorted: {
+        BuildSortedSide(g1, rest1_ptr, &sc.rows1, &sc.order1, &sc.sorted1,
+                        &sc.scores1);
+        BuildSortedSide(g2, rest2_ptr, &sc.rows2, &sc.order2, &sc.sorted2,
+                        &sc.scores2);
+        ended_early = ScanSorted(sc.sorted1.data(), sc.scores1.data(), k1,
+                                 sc.sorted2.data(), sc.scores2.data(), k2,
+                                 dims, options.use_stop_rule, thresholds, st,
+                                 sc, &outcome);
+        break;
       }
-      ++resolved;
-      if (exec != nullptr &&
-          ++uncharged >= ExecutionContext::kChargeBatch) {
-        if (!exec->Charge(uncharged)) {
-          if (stats != nullptr) stats->aborted = true;
-          return PairOutcome::kIncomparable;
+      case KernelPolicy::kSweep2D: {
+        const double* rows1 = g1.data().data();
+        const double* rows2 = g2.data().data();
+        if (rest1_ptr != nullptr) {
+          kernel::GatherRows(rows1, rest1_ptr->data(), k1, dims, &sc.rows1);
+          rows1 = sc.rows1.data();
         }
-        uncharged = 0;
-      }
-      if (options.use_stop_rule && resolved >= next_check) {
-        next_check = resolved + kCheckStride;
-        if (outcome_if_decided(&outcome)) {
-          if (stats != nullptr) stats->stopped_early = resolved < total;
-          flush_charges();
-          return outcome;
+        if (rest2_ptr != nullptr) {
+          kernel::GatherRows(rows2, rest2_ptr->data(), k2, dims, &sc.rows2);
+          rows2 = sc.rows2.data();
         }
+        kernel::KernelCounts c =
+            kernel::CountPairsSweep2D(rows1, k1, rows2, k2, &sc.sweep);
+        st.n12 += c.n12;
+        st.n21 += c.n21;
+        st.resolved += residual_pairs;
+        // The sweep touches each record O(log n) times rather than each
+        // pair once; account the linear passes, not k1*k2.
+        st.comparisons += static_cast<uint64_t>(k1) + k2;
+        break;
       }
-    }
-    if (options.use_stop_rule && outcome_if_decided(&outcome)) {
-      if (stats != nullptr) stats->stopped_early = resolved < total;
-      flush_charges();
-      return outcome;
+      case KernelPolicy::kTiled:
+      case KernelPolicy::kAuto: {  // kAuto resolved above; tiled fallback
+        const double* rows1 = g1.data().data();
+        const double* rows2 = g2.data().data();
+        if (rest1_ptr != nullptr) {
+          kernel::GatherRows(rows1, rest1_ptr->data(), k1, dims, &sc.rows1);
+          rows1 = sc.rows1.data();
+        }
+        if (rest2_ptr != nullptr) {
+          kernel::GatherRows(rows2, rest2_ptr->data(), k2, dims, &sc.rows2);
+          rows2 = sc.rows2.data();
+        }
+        ended_early = ScanTiled(rows1, k1, rows2, k2, dims,
+                                options.use_stop_rule, thresholds, st,
+                                &outcome);
+        break;
+      }
     }
   }
-  flush_charges();
+
+  if (st.aborted) {
+    if (stats != nullptr) {
+      stats->record_comparisons += st.comparisons;
+      stats->aborted = true;
+    }
+    return PairOutcome::kIncomparable;
+  }
+  st.FlushCharges();
+  if (stats != nullptr) stats->record_comparisons += st.comparisons;
+  if (ended_early) {
+    if (stats != nullptr) stats->stopped_early = st.resolved < total;
+    return outcome;
+  }
 
   // Exhaustive path (stop rule disabled, or undecidable until the end —
   // the latter cannot happen since at resolution == total everything is
   // decided).
+  const double gamma = thresholds.gamma;
+  const double gamma_bar = thresholds.gamma_bar;
+  const uint64_t n12 = st.n12;
+  const uint64_t n21 = st.n21;
   bool first_strong =
       n12 == total ||
       static_cast<double>(n12) > gamma_bar * static_cast<double>(total);

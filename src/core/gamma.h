@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/count_kernel.h"
 #include "core/exec_context.h"
 #include "core/group.h"
 
@@ -65,12 +66,25 @@ struct PairCompareStats {
   uint64_t record_comparisons = 0;  ///< pairwise dominance tests executed
   uint64_t pairs_total = 0;         ///< |g1| * |g2|
   uint64_t pairs_resolved_by_mbb = 0;  ///< pairs decided from MBB regions
+  /// Records (from either group) classified analytically against the other
+  /// group's MBB corners, skipping their pairwise scans entirely.
+  uint64_t records_preclassified = 0;
+  /// The counting kernel that ran the residual scan (kAuto resolved).
+  KernelPolicy kernel_used = KernelPolicy::kAuto;
   bool mbb_strict_shortcut = false;    ///< decided by min/max corner alone
   bool stopped_early = false;          ///< stop rule fired before full scan
   /// The governing ExecutionContext stopped the scan before the pair was
   /// classified; the returned outcome is kIncomparable and must NOT be
   /// recorded as knowledge about the pair.
   bool aborted = false;
+
+  /// Fraction of the pair's records decided by MBB preclassification
+  /// (0 when the MBB optimization is off or the groups are empty).
+  double preclassified_record_fraction(uint64_t total_records) const {
+    if (total_records == 0) return 0.0;
+    return static_cast<double>(records_preclassified) /
+           static_cast<double>(total_records);
+  }
 };
 
 /// Tuning knobs for pair classification (Section 3.3 of the paper).
@@ -88,6 +102,11 @@ struct PairCompareOptions {
   /// (stats->aborted) within one batch of the context stopping. Null means
   /// unbounded (no charging at all).
   ExecutionContext* exec = nullptr;
+  /// Counting kernel for the residual scan (core/count_kernel.h). Every
+  /// policy yields the identical PairOutcome; kAuto picks tiled for
+  /// exhaustive or charged scans, the 2D sweep or the sorted-score path
+  /// for large residuals otherwise.
+  KernelPolicy kernel = KernelPolicy::kAuto;
 };
 
 /// Classifies the pair (g1, g2) against the thresholds. The result is

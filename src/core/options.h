@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/count_kernel.h"
 #include "core/exec_context.h"
 
 namespace galaxy::core {
@@ -82,6 +83,13 @@ struct AggregateSkylineOptions {
   /// two-step chain argument.
   bool use_proven_gamma_bar = false;
 
+  /// Counting kernel driving every pairwise residual scan
+  /// (core/count_kernel.h). Any policy produces the identical result;
+  /// kAuto picks per pair (tiled SIMD blocks for exhaustive or budgeted
+  /// scans, the sorted-score early-exit path or the 2D sweep for large
+  /// unbudgeted ones). kScalar is the pre-kernel reference loop.
+  KernelPolicy kernel = KernelPolicy::kAuto;
+
   /// Group access ordering for kSorted / kIndexed / kIndexedBbox.
   GroupOrdering ordering = GroupOrdering::kCornerDistance;
 
@@ -121,6 +129,9 @@ struct AggregateSkylineStats {
                                         ///< window queries
   uint64_t mbb_shortcuts = 0;           ///< pairs decided by corner test only
   uint64_t stopped_early = 0;           ///< pairs ended by the stopping rule
+  uint64_t records_preclassified = 0;   ///< records the MBB corner test kept
+                                        ///< out of the pairwise scans
+  uint64_t chunks_stolen = 0;           ///< parallel: work-stealing rebalances
   double wall_seconds = 0.0;
 
   std::string ToString() const;

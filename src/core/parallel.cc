@@ -1,5 +1,6 @@
 #include "core/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -7,8 +8,16 @@
 
 #include "common/timer.h"
 #include "core/gamma.h"
+#include "core/thread_pool.h"
 
 namespace galaxy::core {
+
+namespace {
+// Default group pairs per work-stealing claim. Pair costs vary by orders
+// of magnitude (group sizes are skewed), so the chunk stays small; the
+// per-claim mutex is uncontended at this granularity.
+constexpr uint64_t kDefaultPairChunk = 8;
+}  // namespace
 
 AggregateSkylineResult ComputeAggregateSkylineParallel(
     const GroupedDataset& dataset, const ParallelOptions& options) {
@@ -24,6 +33,7 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
   pair_options.use_stop_rule = options.use_stop_rule;
   pair_options.use_mbb = options.use_mbb;
   pair_options.exec = options.exec;
+  pair_options.kernel = options.kernel;
 
   // Shared dominance marks. Writes are monotone (0 -> 1 only), so relaxed
   // atomics are sufficient: a stale read can only cause extra work, never
@@ -43,17 +53,26 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
     uint64_t mbb_shortcuts = 0;
     uint64_t stopped_early = 0;
     uint64_t skipped_settled = 0;
+    uint64_t records_preclassified = 0;
   };
   std::vector<LocalStats> local(threads);
 
-  auto worker = [&](size_t tid) {
-    LocalStats& stats = local[tid];
-    uint64_t counter = 0;
-    for (uint32_t i = 0; i < n; ++i) {
+  const uint64_t total_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+  const uint64_t chunk =
+      options.pair_chunk != 0 ? options.pair_chunk : kDefaultPairChunk;
+  WorkStealingPartition partition(total_pairs, threads, chunk);
+
+  auto worker = [&](size_t slot) {
+    LocalStats& stats = local[slot];
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    while (partition.Next(slot, &begin, &end)) {
       if (options.exec != nullptr && options.exec->stopped()) return;
-      for (uint32_t j = i + 1; j < n; ++j) {
-        if (counter++ % threads != tid) continue;
+      for (uint64_t p = begin; p < end; ++p) {
         if (options.exec != nullptr && options.exec->stopped()) return;
+        const PairIndex pair = PairFromIndex(p, n);
+        const uint32_t i = pair.i;
+        const uint32_t j = pair.j;
         // A pair may only be skipped when classifying it could not change
         // any mark. Both endpoints being `dominated` is not enough: the
         // classification could still set a missing `strongly_dominated`
@@ -73,6 +92,7 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
                          pair_options, &pair_stats);
         ++stats.pairs;
         stats.record_comparisons += pair_stats.record_comparisons;
+        stats.records_preclassified += pair_stats.records_preclassified;
         if (pair_stats.mbb_strict_shortcut) ++stats.mbb_shortcuts;
         if (pair_stats.stopped_early) ++stats.stopped_early;
         // An aborted classification decided nothing; recording its outcome
@@ -100,16 +120,7 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
     }
   };
 
-  if (threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (size_t t = 0; t < threads; ++t) {
-      pool.emplace_back(worker, t);
-    }
-    for (std::thread& t : pool) t.join();
-  }
+  ThreadPool::Global().Run(threads, worker);
 
   AggregateSkylineResult result;
   result.algorithm_used = Algorithm::kParallel;
@@ -126,7 +137,9 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
     result.stats.mbb_shortcuts += stats.mbb_shortcuts;
     result.stats.stopped_early += stats.stopped_early;
     result.stats.pairs_skipped_strong += stats.skipped_settled;
+    result.stats.records_preclassified += stats.records_preclassified;
   }
+  result.stats.chunks_stolen = partition.chunks_stolen();
   result.stats.wall_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -2,8 +2,10 @@
 #define GALAXY_CORE_PARALLEL_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "core/aggregate_skyline.h"
+#include "core/count_kernel.h"
 #include "core/group.h"
 
 namespace galaxy::core {
@@ -11,11 +13,20 @@ namespace galaxy::core {
 /// Options for the multi-threaded aggregate skyline.
 struct ParallelOptions {
   double gamma = 0.5;
-  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  /// Units of parallelism (the caller counts as one; the remainder runs on
+  /// the shared persistent pool, core/thread_pool.h);
+  /// 0 = std::thread::hardware_concurrency().
   size_t num_threads = 0;
   /// Internal optimizations, as in AggregateSkylineOptions.
   bool use_stop_rule = true;
   bool use_mbb = false;
+  /// Counting kernel for the pairwise residual scans (see
+  /// AggregateSkylineOptions::kernel).
+  KernelPolicy kernel = KernelPolicy::kAuto;
+  /// Group pairs claimed per scheduler interaction (work-stealing chunk).
+  /// Small chunks balance skewed group sizes; large chunks cut locking.
+  /// 0 = default (8).
+  uint64_t pair_chunk = 0;
   /// When true, threads opportunistically skip pairs whose both endpoints
   /// are already marked strongly dominated (sound: such a pair cannot
   /// change any mark, so the skyline AND the dominated / strongly_dominated
@@ -29,11 +40,13 @@ struct ParallelOptions {
 };
 
 /// Computes the exact aggregate skyline (Definition 2) with the group-pair
-/// space statically striped across worker threads; dominance marks are
-/// shared atomically. Semantics equal Algorithm 2 (every pair with a
-/// possible effect on the result is classified), so the result is exact —
-/// the parallel counterpart of the distributed-skyline direction in the
-/// paper's related work.
+/// triangle dynamically partitioned across the persistent worker pool
+/// (chunked work stealing — no per-call thread spawn, and skewed group
+/// sizes rebalance instead of serializing on one unlucky stripe);
+/// dominance marks are shared atomically. Semantics equal Algorithm 2
+/// (every pair with a possible effect on the result is classified), so
+/// the result is exact — the parallel counterpart of the
+/// distributed-skyline direction in the paper's related work.
 AggregateSkylineResult ComputeAggregateSkylineParallel(
     const GroupedDataset& dataset, const ParallelOptions& options = {});
 

@@ -1,0 +1,157 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace galaxy::core {
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(
+      std::max(1u, std::thread::hardware_concurrency()) - 1);
+  return pool;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::RunOneSlot(std::unique_lock<std::mutex>& lock) {
+  for (Job* job : jobs_) {
+    if (job->next_slot >= job->parallelism) continue;
+    const size_t slot = job->next_slot++;
+    lock.unlock();
+    (*job->body)(slot);
+    lock.lock();
+    if (++job->completed == job->parallelism) job->done_cv.notify_all();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (RunOneSlot(lock)) continue;
+    if (shutdown_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+void ThreadPool::Run(size_t parallelism,
+                     const std::function<void(size_t)>& body) {
+  if (parallelism == 0) return;
+  if (parallelism == 1) {
+    body(0);
+    return;
+  }
+  Job job;
+  job.body = &body;
+  job.parallelism = parallelism;
+  std::unique_lock<std::mutex> lock(mutex_);
+  jobs_.push_back(&job);
+  work_cv_.notify_all();
+  // The caller claims slots too (of any queued job — helping a concurrent
+  // caller's job is fine and avoids idling while our own slots are all
+  // taken but unfinished).
+  while (job.completed < job.parallelism) {
+    if (!RunOneSlot(lock)) {
+      job.done_cv.wait(lock);
+    }
+  }
+  jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+}
+
+WorkStealingPartition::WorkStealingPartition(uint64_t total,
+                                             size_t parallelism,
+                                             uint64_t chunk)
+    : parallelism_(parallelism),
+      chunk_(std::max<uint64_t>(1, chunk)),
+      ranges_(new Range[std::max<size_t>(1, parallelism)]) {
+  GALAXY_CHECK_GT(parallelism, 0u);
+  // Initial even split; remainders go to the leading slots.
+  const uint64_t base = total / parallelism;
+  const uint64_t extra = total % parallelism;
+  uint64_t begin = 0;
+  for (size_t s = 0; s < parallelism; ++s) {
+    const uint64_t len = base + (s < extra ? 1 : 0);
+    ranges_[s].begin = begin;
+    ranges_[s].end = begin + len;
+    begin += len;
+  }
+}
+
+bool WorkStealingPartition::Next(size_t slot, uint64_t* begin,
+                                 uint64_t* end) {
+  Range& own = ranges_[slot];
+  {
+    std::lock_guard<std::mutex> lock(own.m);
+    if (own.begin < own.end) {
+      *begin = own.begin;
+      *end = std::min(own.end, own.begin + chunk_);
+      own.begin = *end;
+      return true;
+    }
+  }
+  // Own share exhausted: steal the back half of a victim's remainder, so
+  // the victim keeps its cache-warm front and the thief gets a share that
+  // still amortizes further steals.
+  for (size_t off = 1; off < parallelism_; ++off) {
+    Range& victim = ranges_[(slot + off) % parallelism_];
+    uint64_t steal_begin = 0;
+    uint64_t steal_end = 0;
+    {
+      std::lock_guard<std::mutex> lock(victim.m);
+      if (victim.begin < victim.end) {
+        const uint64_t mid =
+            victim.begin + (victim.end - victim.begin) / 2;
+        steal_begin = mid;
+        steal_end = victim.end;
+        victim.end = mid;
+      }
+    }
+    if (steal_begin < steal_end) {
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(own.m);
+      own.begin = steal_begin;
+      own.end = steal_end;
+      *begin = own.begin;
+      *end = std::min(own.end, own.begin + chunk_);
+      own.begin = *end;
+      return true;
+    }
+  }
+  return false;
+}
+
+PairIndex PairFromIndex(uint64_t p, uint32_t num_groups) {
+  const uint64_t n = num_groups;
+  // Row i starts at offset(i) = i*n - i*(i+1)/2. Invert with the sqrt
+  // approximation, then correct (the FP estimate is off by at most a few
+  // rows near the tail).
+  const double nd = static_cast<double>(n) - 0.5;
+  double disc = nd * nd - 2.0 * static_cast<double>(p);
+  if (disc < 0.0) disc = 0.0;
+  uint64_t i = static_cast<uint64_t>(nd - std::sqrt(disc));
+  if (i >= n) i = n - 1;
+  auto row_offset = [n](uint64_t r) { return r * n - r * (r + 1) / 2; };
+  while (i > 0 && row_offset(i) > p) --i;
+  while (i + 1 < n && row_offset(i + 1) <= p) ++i;
+  const uint64_t j = i + 1 + (p - row_offset(i));
+  return PairIndex{static_cast<uint32_t>(i), static_cast<uint32_t>(j)};
+}
+
+}  // namespace galaxy::core

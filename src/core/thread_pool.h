@@ -1,0 +1,119 @@
+#ifndef GALAXY_CORE_THREAD_POOL_H_
+#define GALAXY_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace galaxy::core {
+
+/// A process-wide persistent worker pool. Spawning std::thread per
+/// aggregate-skyline call costs more than classifying a small dataset;
+/// the pool pays thread creation once per process and reuses the workers
+/// for every subsequent parallel region.
+///
+/// The unit of work is a *slot*: Run(parallelism, body) executes
+/// body(slot) exactly once for every slot in [0, parallelism). The caller
+/// participates — it claims slots like any worker — so Run() makes
+/// progress even with zero pool threads (single-core machines) and never
+/// deadlocks waiting for a busy pool. Concurrent Run() calls from
+/// different threads interleave on the shared workers; each call returns
+/// only when all of its own slots finished.
+class ThreadPool {
+ public:
+  /// The shared pool, sized hardware_concurrency() - 1 (the caller thread
+  /// supplies the remaining unit of parallelism). Created on first use;
+  /// lives for the process lifetime.
+  static ThreadPool& Global();
+
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs body(slot) exactly once for every slot in [0, parallelism),
+  /// blocking until the last slot finished. Safe to call from multiple
+  /// threads concurrently; NOT reentrant from inside a body (a body that
+  /// calls Run() on the same pool may deadlock).
+  void Run(size_t parallelism, const std::function<void(size_t)>& body);
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* body;
+    size_t parallelism;
+    size_t next_slot = 0;   // next unclaimed slot
+    size_t completed = 0;   // finished slots
+    std::condition_variable done_cv;
+  };
+
+  void WorkerLoop();
+  // Claims and runs one slot of the front claimable job. The mutex is held
+  // on entry and on exit, released while the body runs. Returns false when
+  // no job has unclaimed slots.
+  bool RunOneSlot(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<Job*> jobs_;  // jobs with unclaimed slots (owned by callers)
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Chunked dynamic partition of the index range [0, total) across
+/// `parallelism` slots: each slot starts with one contiguous share and,
+/// when its own share runs dry, steals the back half of another slot's
+/// remainder. Claiming is mutex-per-slot; with chunked claims the lock is
+/// touched once per `chunk` indices, so contention stays negligible while
+/// load imbalance is bounded by one chunk per slot.
+class WorkStealingPartition {
+ public:
+  WorkStealingPartition(uint64_t total, size_t parallelism, uint64_t chunk);
+
+  /// Claims the next chunk for `slot`. Returns true with [*begin, *end)
+  /// a non-empty range of still-unclaimed indices, or false when the whole
+  /// partition is exhausted (from this slot's point of view). Each index in
+  /// [0, total) is returned exactly once across all slots.
+  bool Next(size_t slot, uint64_t* begin, uint64_t* end);
+
+  /// Number of successful steals (one stolen range each).
+  uint64_t chunks_stolen() const {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Range {
+    std::mutex m;
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+
+  size_t parallelism_;
+  uint64_t chunk_;
+  std::unique_ptr<Range[]> ranges_;
+  std::atomic<uint64_t> stolen_{0};
+};
+
+/// An unordered group pair (i < j) in the triangular pair space.
+struct PairIndex {
+  uint32_t i;
+  uint32_t j;
+};
+
+/// Maps a linear index p in [0, n*(n-1)/2) to the p-th pair of the
+/// row-major triangle (0,1), (0,2), ..., (0,n-1), (1,2), ... — the
+/// inverse of the enumeration order of the nested pair loops.
+PairIndex PairFromIndex(uint64_t p, uint32_t num_groups);
+
+}  // namespace galaxy::core
+
+#endif  // GALAXY_CORE_THREAD_POOL_H_

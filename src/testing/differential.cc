@@ -31,6 +31,22 @@ const char* AlgorithmEnumLiteral(core::Algorithm algorithm) {
   return "?";
 }
 
+const char* KernelPolicyEnumLiteral(core::KernelPolicy policy) {
+  switch (policy) {
+    case core::KernelPolicy::kAuto:
+      return "core::KernelPolicy::kAuto";
+    case core::KernelPolicy::kScalar:
+      return "core::KernelPolicy::kScalar";
+    case core::KernelPolicy::kTiled:
+      return "core::KernelPolicy::kTiled";
+    case core::KernelPolicy::kSorted:
+      return "core::KernelPolicy::kSorted";
+    case core::KernelPolicy::kSweep2D:
+      return "core::KernelPolicy::kSweep2D";
+  }
+  return "?";
+}
+
 std::string FormatCoord(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
@@ -69,6 +85,10 @@ std::string DifferentialConfig::Name() const {
   }
   out += " mbb=" + std::to_string(use_mbb ? 1 : 0) +
          " stop=" + std::to_string(use_stop_rule ? 1 : 0);
+  if (kernel != core::KernelPolicy::kAuto) {
+    out += " kern=";
+    out += core::KernelPolicyToString(kernel);
+  }
   return out;
 }
 
@@ -121,6 +141,32 @@ std::vector<DifferentialConfig> AllConfigurations() {
     out.push_back(c);
   }
 
+  // Every explicit counting kernel must reproduce the exact NL result no
+  // matter which knobs steer the scan: with the stop rule (early exits mid
+  // scan) and with MBB residuals plus exhaustive scans. kSweep2D silently
+  // tiles on non-2D data, which is itself part of the contract.
+  for (core::KernelPolicy kernel :
+       {core::KernelPolicy::kScalar, core::KernelPolicy::kTiled,
+        core::KernelPolicy::kSorted, core::KernelPolicy::kSweep2D}) {
+    for (auto [mbb, stop] : {std::pair<bool, bool>{false, true},
+                             std::pair<bool, bool>{true, false}}) {
+      DifferentialConfig c;
+      c.algorithm = core::Algorithm::kNestedLoop;
+      c.kernel = kernel;
+      c.use_mbb = mbb;
+      c.use_stop_rule = stop;
+      out.push_back(c);
+    }
+  }
+  // One pruned-algorithm cross-check: the sorted kernel under the sorted
+  // group access (both layers reorder work).
+  {
+    DifferentialConfig c;
+    c.algorithm = core::Algorithm::kSorted;
+    c.kernel = core::KernelPolicy::kSorted;
+    out.push_back(c);
+  }
+
   for (size_t threads : {size_t{1}, size_t{4}}) {
     for (bool skip : {false, true}) {
       for (auto [mbb, stop] : {std::pair<bool, bool>{false, true},
@@ -136,6 +182,15 @@ std::vector<DifferentialConfig> AllConfigurations() {
       }
     }
   }
+  // The explicit kernels under the work-stealing scheduler.
+  for (core::KernelPolicy kernel :
+       {core::KernelPolicy::kTiled, core::KernelPolicy::kSorted}) {
+    DifferentialConfig c;
+    c.parallel = true;
+    c.num_threads = 4;
+    c.kernel = kernel;
+    out.push_back(c);
+  }
   return out;
 }
 
@@ -149,6 +204,7 @@ core::AggregateSkylineResult RunConfiguration(
     options.use_mbb = config.use_mbb;
     options.use_stop_rule = config.use_stop_rule;
     options.skip_settled_pairs = config.skip_settled_pairs;
+    options.kernel = config.kernel;
     return core::ComputeAggregateSkylineParallel(dataset, options);
   }
   core::AggregateSkylineOptions options;
@@ -158,6 +214,7 @@ core::AggregateSkylineResult RunConfiguration(
   options.use_stop_rule = config.use_stop_rule;
   options.prune_strongly_dominated = config.prune_strongly_dominated;
   options.ordering = config.ordering;
+  options.kernel = config.kernel;
   return core::ComputeAggregateSkyline(dataset, options);
 }
 
@@ -414,6 +471,10 @@ std::string ReproducerToCpp(const Reproducer& repro) {
          std::string(repro.config.use_mbb ? "true" : "false") + ";\n";
   out += "  config.use_stop_rule = " +
          std::string(repro.config.use_stop_rule ? "true" : "false") + ";\n";
+  if (repro.config.kernel != core::KernelPolicy::kAuto) {
+    out += "  config.kernel = " +
+           std::string(KernelPolicyEnumLiteral(repro.config.kernel)) + ";\n";
+  }
   out += "  const double gamma = " + FormatCoord(repro.gamma) + ";\n";
   out += "  testing::OracleResult oracle =\n";
   out += "      testing::ComputeOracle(ds, "

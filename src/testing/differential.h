@@ -22,6 +22,9 @@ struct DifferentialConfig {
   bool use_stop_rule = true;
   bool prune_strongly_dominated = true;
   core::GroupOrdering ordering = core::GroupOrdering::kCornerDistance;
+  /// Counting kernel for every pairwise residual scan; every policy must
+  /// yield identical results (core/count_kernel.h).
+  core::KernelPolicy kernel = core::KernelPolicy::kAuto;
   /// Parallel-only knobs.
   size_t num_threads = 1;
   bool skip_settled_pairs = true;
@@ -39,8 +42,10 @@ struct DifferentialConfig {
 
 /// The full differential matrix: every sequential algorithm crossed with
 /// {use_mbb} × {use_stop_rule} × {prune_strongly_dominated}, alternative
-/// group orderings for the order-sensitive algorithms, and the parallel
-/// operator at 1 and 4 threads with both skip-settled settings.
+/// group orderings for the order-sensitive algorithms, every explicit
+/// counting kernel (against the kAuto default used everywhere else), and
+/// the parallel operator at 1 and 4 threads with both skip-settled
+/// settings.
 std::vector<DifferentialConfig> AllConfigurations();
 
 /// Runs one configuration on the dataset.

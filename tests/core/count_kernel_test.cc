@@ -1,0 +1,304 @@
+#include "core/count_kernel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/gamma.h"
+#include "core/group.h"
+#include "testing/property_gen.h"
+
+namespace galaxy::core {
+namespace {
+
+using testing::GenerateAdversarialPoints;
+using testing::PickAdversarialGamma;
+using testing::PointsToDataset;
+using testing::PropertyGenConfig;
+
+// Exhaustive reference over raw rows, independent of the kernels.
+kernel::KernelCounts NaiveCounts(const double* rows1, size_t n1,
+                                 const double* rows2, size_t n2,
+                                 size_t dims) {
+  kernel::KernelCounts c;
+  for (size_t i = 0; i < n1; ++i) {
+    for (size_t j = 0; j < n2; ++j) {
+      const double* a = rows1 + i * dims;
+      const double* b = rows2 + j * dims;
+      bool a_ge = true, b_ge = true, equal = true;
+      for (size_t k = 0; k < dims; ++k) {
+        if (a[k] < b[k]) a_ge = false;
+        if (b[k] < a[k]) b_ge = false;
+        if (a[k] != b[k]) equal = false;
+      }
+      if (a_ge && !equal) ++c.n12;
+      if (b_ge && !equal) ++c.n21;
+    }
+  }
+  return c;
+}
+
+std::vector<double> RandomRows(Rng& rng, size_t n, size_t dims,
+                               int grid_levels) {
+  std::vector<double> rows(n * dims);
+  for (double& v : rows) {
+    // Grid-aligned values so duplicates and per-dimension ties are common.
+    v = static_cast<double>(rng.UniformInt(0, grid_levels - 1)) /
+        static_cast<double>(grid_levels - 1);
+  }
+  return rows;
+}
+
+TEST(CountBlockTest, MatchesNaiveCountsForEveryDimension) {
+  Rng rng(1234);
+  for (size_t dims = 1; dims <= 10; ++dims) {
+    for (int round = 0; round < 8; ++round) {
+      const size_t n1 = static_cast<size_t>(rng.UniformInt(0, 70));
+      const size_t n2 = static_cast<size_t>(rng.UniformInt(0, 70));
+      std::vector<double> rows1 = RandomRows(rng, n1, dims, 4);
+      std::vector<double> rows2 = RandomRows(rng, n2, dims, 4);
+      kernel::KernelCounts expected =
+          NaiveCounts(rows1.data(), n1, rows2.data(), n2, dims);
+      kernel::KernelCounts got =
+          kernel::CountBlock(rows1.data(), n1, rows2.data(), n2, dims);
+      EXPECT_EQ(got.n12, expected.n12) << "dims=" << dims;
+      EXPECT_EQ(got.n21, expected.n21) << "dims=" << dims;
+    }
+  }
+}
+
+TEST(CountBlockTest, AllEqualRowsCountInNeitherDirection) {
+  for (size_t dims : {2u, 5u, 9u}) {
+    std::vector<double> rows1(7 * dims, 0.5);
+    std::vector<double> rows2(3 * dims, 0.5);
+    kernel::KernelCounts c =
+        kernel::CountBlock(rows1.data(), 7, rows2.data(), 3, dims);
+    EXPECT_EQ(c.n12, 0u);
+    EXPECT_EQ(c.n21, 0u);
+  }
+}
+
+TEST(OneWayKernelsTest, MatchComponentwiseGeCounts) {
+  Rng rng(99);
+  for (size_t dims = 1; dims <= 9; ++dims) {
+    const size_t n = 64;
+    std::vector<double> rows = RandomRows(rng, n, dims, 3);
+    std::vector<double> r = RandomRows(rng, 1, dims, 3);
+    uint64_t expect_dominated = 0;
+    uint64_t expect_dominating = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (kernel::GeqAll(r.data(), rows.data() + j * dims, dims)) {
+        ++expect_dominated;
+      }
+      if (kernel::GeqAll(rows.data() + j * dims, r.data(), dims)) {
+        ++expect_dominating;
+      }
+    }
+    EXPECT_EQ(kernel::CountDominatedOneWay(r.data(), rows.data(), n, dims),
+              expect_dominated);
+    EXPECT_EQ(kernel::CountDominatingOneWay(r.data(), rows.data(), n, dims),
+              expect_dominating);
+  }
+}
+
+TEST(Sweep2DTest, MatchesNaiveCountsOnAdversarialGrids) {
+  Rng rng(777);
+  kernel::Sweep2DScratch scratch;
+  for (int round = 0; round < 30; ++round) {
+    const size_t n1 = static_cast<size_t>(rng.UniformInt(0, 120));
+    const size_t n2 = static_cast<size_t>(rng.UniformInt(0, 120));
+    // Coarse grids force many x/y ties and exact duplicates across sides.
+    const int levels = round % 2 == 0 ? 3 : 17;
+    std::vector<double> rows1 = RandomRows(rng, n1, 2, levels);
+    std::vector<double> rows2 = RandomRows(rng, n2, 2, levels);
+    kernel::KernelCounts expected =
+        NaiveCounts(rows1.data(), n1, rows2.data(), n2, 2);
+    kernel::KernelCounts got = kernel::CountPairsSweep2D(
+        rows1.data(), n1, rows2.data(), n2, &scratch);
+    ASSERT_EQ(got.n12, expected.n12) << "round " << round;
+    ASSERT_EQ(got.n21, expected.n21) << "round " << round;
+  }
+}
+
+TEST(SortedPrimitivesTest, OrderScoresAndCornersAreConsistent) {
+  Rng rng(5);
+  const size_t dims = 3;
+  const size_t n = 50;
+  std::vector<double> rows = RandomRows(rng, n, dims, 5);
+  std::vector<uint32_t> order;
+  std::vector<double> scores;
+  kernel::SortByScoreDesc(rows.data(), n, dims, &order, &scores);
+  ASSERT_EQ(order.size(), n);
+  ASSERT_EQ(scores.size(), n);
+  std::vector<uint32_t> sorted_idx = order;
+  std::sort(sorted_idx.begin(), sorted_idx.end());
+  for (uint32_t i = 0; i < n; ++i) EXPECT_EQ(sorted_idx[i], i);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(scores[i], kernel::RowScore(rows.data() + order[i] * dims, dims));
+    if (i > 0) {
+      EXPECT_GE(scores[i - 1], scores[i]);
+      if (scores[i - 1] == scores[i]) EXPECT_LT(order[i - 1], order[i]);
+    }
+  }
+
+  std::vector<double> packed;
+  kernel::GatherRows(rows.data(), order.data(), n, dims, &packed);
+  std::vector<double> suffmax, premin;
+  kernel::BuildSuffixMax(packed.data(), n, dims, &suffmax);
+  kernel::BuildPrefixMin(packed.data(), n, dims, &premin);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < dims; ++k) {
+      double mx = packed[i * dims + k];
+      for (size_t j = i; j < n; ++j) {
+        mx = std::max(mx, packed[j * dims + k]);
+      }
+      EXPECT_EQ(suffmax[i * dims + k], mx);
+      double mn = packed[k];
+      for (size_t j = 0; j <= i; ++j) {
+        mn = std::min(mn, packed[j * dims + k]);
+      }
+      EXPECT_EQ(premin[i * dims + k], mn);
+    }
+  }
+}
+
+// Every kernel policy must yield the bit-identical PairOutcome of the
+// scalar reference, across the adversarial generator (empty groups,
+// duplicates, all-equal records, boundary γ) and every knob combination.
+TEST(ClassifyPairKernelTest, AllPoliciesAgreeOnAdversarialDatasets) {
+  Rng rng(20260806);
+  const KernelPolicy kPolicies[] = {
+      KernelPolicy::kAuto, KernelPolicy::kTiled, KernelPolicy::kSorted,
+      KernelPolicy::kSweep2D};
+  for (int round = 0; round < 60; ++round) {
+    core::GroupedDataset ds =
+        PointsToDataset(GenerateAdversarialPoints(rng));
+    const double gamma = PickAdversarialGamma(rng);
+    GammaThresholds thresholds = GammaThresholds::FromGamma(gamma);
+    for (size_t a = 0; a < ds.num_groups(); ++a) {
+      for (size_t b = 0; b < ds.num_groups(); ++b) {
+        if (a == b) continue;
+        for (bool stop : {false, true}) {
+          for (bool mbb : {false, true}) {
+            PairCompareOptions ref_options;
+            ref_options.use_stop_rule = stop;
+            ref_options.use_mbb = mbb;
+            ref_options.kernel = KernelPolicy::kScalar;
+            PairOutcome expected = ClassifyPair(ds.group(a), ds.group(b),
+                                                thresholds, ref_options);
+            for (KernelPolicy policy : kPolicies) {
+              PairCompareOptions options = ref_options;
+              options.kernel = policy;
+              PairCompareStats stats;
+              PairOutcome got = ClassifyPair(ds.group(a), ds.group(b),
+                                             thresholds, options, &stats);
+              EXPECT_EQ(got, expected)
+                  << "round=" << round << " pair=(" << a << "," << b
+                  << ") stop=" << stop << " mbb=" << mbb
+                  << " kernel=" << KernelPolicyToString(policy)
+                  << " gamma=" << gamma;
+              EXPECT_FALSE(stats.aborted);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Large 2D groups push kAuto over kSweepMinPairs; the sweep must agree
+// with the scalar loop and report itself in the stats.
+TEST(ClassifyPairKernelTest, AutoPicksSweepOnLarge2D) {
+  Rng rng(31);
+  const size_t n = 300;  // 300 * 300 pairs > kSweepMinPairs
+  std::vector<Point> pts1, pts2;
+  for (size_t i = 0; i < n; ++i) {
+    pts1.push_back({rng.NextDouble(), rng.NextDouble()});
+    pts2.push_back({rng.NextDouble(), rng.NextDouble()});
+  }
+  core::GroupedDataset ds = core::GroupedDataset::FromPoints({pts1, pts2});
+  GammaThresholds thresholds = GammaThresholds::FromGamma(0.75);
+
+  PairCompareOptions scalar;
+  scalar.kernel = KernelPolicy::kScalar;
+  PairOutcome expected =
+      ClassifyPair(ds.group(0), ds.group(1), thresholds, scalar);
+
+  PairCompareOptions auto_options;  // kAuto, stop rule on, no exec
+  PairCompareStats stats;
+  PairOutcome got =
+      ClassifyPair(ds.group(0), ds.group(1), thresholds, auto_options, &stats);
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(stats.kernel_used, KernelPolicy::kSweep2D);
+
+  // An explicit sweep request on charged scans must demote to tiled.
+  ExecutionContext exec;
+  PairCompareOptions bounded;
+  bounded.kernel = KernelPolicy::kSweep2D;
+  bounded.exec = &exec;
+  PairCompareStats bounded_stats;
+  PairOutcome bounded_got = ClassifyPair(ds.group(0), ds.group(1), thresholds,
+                                         bounded, &bounded_stats);
+  EXPECT_EQ(bounded_got, expected);
+  EXPECT_EQ(bounded_stats.kernel_used, KernelPolicy::kTiled);
+}
+
+TEST(ClassifyPairKernelTest, MbbStatsReportPreclassifiedRecords) {
+  // g1 sits entirely above g2's max corner except one straggler, so the
+  // MBB preclassification removes most records from the pairwise scan.
+  std::vector<Point> high, low;
+  for (int i = 0; i < 6; ++i) {
+    high.push_back({10.0 + i, 10.0 + i});
+    low.push_back({static_cast<double>(i % 3), static_cast<double>(i % 2)});
+  }
+  high.push_back({0.5, 0.5});  // inside g2's MBB: must be scanned
+  core::GroupedDataset ds = core::GroupedDataset::FromPoints({high, low});
+  GammaThresholds thresholds = GammaThresholds::FromGamma(0.5);
+  PairCompareOptions options;
+  options.use_mbb = true;
+  options.use_stop_rule = false;
+  PairCompareStats stats;
+  ClassifyPair(ds.group(0), ds.group(1), thresholds, options, &stats);
+  EXPECT_GT(stats.records_preclassified, 0u);
+  const uint64_t total_records = ds.group(0).size() + ds.group(1).size();
+  EXPECT_GT(stats.preclassified_record_fraction(total_records), 0.0);
+  EXPECT_LE(stats.preclassified_record_fraction(total_records), 1.0);
+}
+
+TEST(GroupScoreOrderTest, OrderIsDescendingAndStableUnderConcurrency) {
+  Rng rng(7);
+  std::vector<double> data = RandomRows(rng, 200, 4, 6);
+  Group g(0, "g", data, 4);
+  const std::vector<uint32_t>* first = nullptr;
+  // Hammer the lazy initialization from several threads; all must observe
+  // the same published vector.
+  std::vector<std::thread> threads;
+  std::vector<const std::vector<uint32_t>*> seen(8, nullptr);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&g, &seen, t] { seen[t] = &g.score_order_desc(); });
+  }
+  for (std::thread& t : threads) t.join();
+  first = seen[0];
+  for (const auto* p : seen) EXPECT_EQ(p, first);
+
+  const std::vector<uint32_t>& order = *first;
+  ASSERT_EQ(order.size(), g.size());
+  for (size_t i = 1; i < order.size(); ++i) {
+    double prev = kernel::RowScore(data.data() + order[i - 1] * 4, 4);
+    double cur = kernel::RowScore(data.data() + order[i] * 4, 4);
+    EXPECT_GE(prev, cur);
+    if (prev == cur) EXPECT_LT(order[i - 1], order[i]);
+  }
+
+  // Copies recompute (and agree); moves carry the cache along.
+  Group copy = g;
+  EXPECT_EQ(copy.score_order_desc(), order);
+  Group moved = std::move(copy);
+  EXPECT_EQ(moved.score_order_desc(), order);
+}
+
+}  // namespace
+}  // namespace galaxy::core

@@ -1,0 +1,132 @@
+#include "core/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace galaxy::core {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySlotExactlyOnce) {
+  ThreadPool pool(3);
+  for (size_t parallelism : {size_t{1}, size_t{2}, size_t{7}, size_t{32}}) {
+    std::vector<std::atomic<int>> hits(parallelism);
+    for (auto& h : hits) h.store(0);
+    pool.Run(parallelism, [&](size_t slot) {
+      ASSERT_LT(slot, parallelism);
+      hits[slot].fetch_add(1);
+    });
+    for (size_t s = 0; s < parallelism; ++s) {
+      EXPECT_EQ(hits[s].load(), 1) << "slot " << s;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, MakesProgressWithZeroPoolThreads) {
+  // Single-core machines: the caller must claim every slot itself.
+  ThreadPool pool(0);
+  std::atomic<int> count{0};
+  pool.Run(8, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersShareThePool) {
+  ThreadPool pool(2);
+  constexpr int kCallers = 4;
+  constexpr size_t kSlots = 16;
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      pool.Run(kSlots, [&](size_t) { total.fetch_add(1); });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), kCallers * static_cast<int>(kSlots));
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsReusable) {
+  std::atomic<int> count{0};
+  ThreadPool::Global().Run(4, [&](size_t) { count.fetch_add(1); });
+  ThreadPool::Global().Run(4, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(WorkStealingPartitionTest, CoversEveryIndexExactlyOnceSingleSlot) {
+  const uint64_t total = 1003;
+  WorkStealingPartition partition(total, 1, 16);
+  std::vector<int> seen(total, 0);
+  uint64_t begin = 0, end = 0;
+  while (partition.Next(0, &begin, &end)) {
+    ASSERT_LT(begin, end);
+    for (uint64_t p = begin; p < end; ++p) ++seen[p];
+  }
+  for (uint64_t p = 0; p < total; ++p) EXPECT_EQ(seen[p], 1) << p;
+  EXPECT_EQ(partition.chunks_stolen(), 0u);
+}
+
+TEST(WorkStealingPartitionTest, CoversEveryIndexExactlyOnceConcurrently) {
+  const uint64_t total = 20000;
+  const size_t parallelism = 4;
+  WorkStealingPartition partition(total, parallelism, 7);
+  std::vector<std::atomic<int>> seen(total);
+  for (auto& s : seen) s.store(0);
+  std::vector<std::thread> threads;
+  for (size_t slot = 0; slot < parallelism; ++slot) {
+    threads.emplace_back([&, slot] {
+      uint64_t begin = 0, end = 0;
+      // Slot 0 claims greedily; the others start delayed so stealing
+      // actually happens.
+      if (slot != 0) std::this_thread::yield();
+      while (partition.Next(slot, &begin, &end)) {
+        ASSERT_LT(begin, end);
+        ASSERT_LE(end, total);
+        for (uint64_t p = begin; p < end; ++p) seen[p].fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (uint64_t p = 0; p < total; ++p) {
+    ASSERT_EQ(seen[p].load(), 1) << "index " << p;
+  }
+}
+
+TEST(WorkStealingPartitionTest, EmptyRangeYieldsNothing) {
+  WorkStealingPartition partition(0, 3, 8);
+  uint64_t begin = 0, end = 0;
+  EXPECT_FALSE(partition.Next(0, &begin, &end));
+  EXPECT_FALSE(partition.Next(2, &begin, &end));
+}
+
+TEST(WorkStealingPartitionTest, IdleSlotStealsFromLoadedOne) {
+  // Everything starts on slot 0's plate; slot 1 must steal to get work.
+  WorkStealingPartition partition(100, 2, 8);
+  uint64_t begin = 0, end = 0;
+  uint64_t claimed_by_1 = 0;
+  while (partition.Next(1, &begin, &end)) claimed_by_1 += end - begin;
+  EXPECT_GT(claimed_by_1, 0u);
+  EXPECT_GT(partition.chunks_stolen(), 0u);
+  uint64_t claimed_by_0 = 0;
+  while (partition.Next(0, &begin, &end)) claimed_by_0 += end - begin;
+  EXPECT_EQ(claimed_by_0 + claimed_by_1, 100u);
+}
+
+TEST(PairFromIndexTest, RoundTripsTheTriangleEnumeration) {
+  for (uint32_t n : {2u, 3u, 5u, 17u, 100u}) {
+    uint64_t p = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = i + 1; j < n; ++j, ++p) {
+        PairIndex pair = PairFromIndex(p, n);
+        ASSERT_EQ(pair.i, i) << "n=" << n << " p=" << p;
+        ASSERT_EQ(pair.j, j) << "n=" << n << " p=" << p;
+      }
+    }
+    EXPECT_EQ(p, static_cast<uint64_t>(n) * (n - 1) / 2);
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::core
