@@ -1,20 +1,31 @@
 #!/usr/bin/env python3
-"""Converts galaxy bench console output into tidy CSV for plotting.
+"""Converts galaxy bench output into tidy CSV for plotting.
 
 Usage:
     python3 scripts/bench_to_csv.py bench_output.txt > results.csv
     ./build/bench/fig10_dimensionality | python3 scripts/bench_to_csv.py -
+    ./build/tools/galaxy_bench_client --port 8080 | \
+        python3 scripts/bench_to_csv.py -
 
-Each google-benchmark row like
+Two input formats are auto-detected:
 
-    fig10/anti/d=5/IN    69.1 ms    66.1 ms    10 groups=100 rec_cmps=5.5M
+1. google-benchmark console output. Each row like
 
-becomes a CSV row with the slash-separated name parts split into columns
-(name, part0, part1, ...), the wall/CPU times normalized to milliseconds,
-and every UserCounter as its own column.
+       fig10/anti/d=5/IN    69.1 ms    66.1 ms    10 groups=100 rec_cmps=5.5M
+
+   becomes a CSV row with the slash-separated name parts split into
+   columns (name, part0, part1, ...), the wall/CPU times normalized to
+   milliseconds, and every UserCounter as its own column.
+
+2. galaxy_bench_client JSON (input starting with '{'). Emitted as
+   long-form CSV with columns kind,key,value: one `summary` row per
+   scalar (requests, qps, latency_ms_p50, ...), one `status` row per
+   HTTP status code, and one `bucket` row per latency-histogram bucket
+   (key = upper bound in microseconds, value = count).
 """
 
 import csv
+import json
 import re
 import sys
 
@@ -35,13 +46,34 @@ def parse_value(text):
     return float(text)
 
 
+def convert_bench_client_json(text):
+    """Tidies a galaxy_bench_client report: summary + status + buckets."""
+    report = json.loads(text)
+    writer = csv.writer(sys.stdout)
+    writer.writerow(["kind", "key", "value"])
+    for key in ("requests", "transport_errors", "cache_hits", "degraded",
+                "duration_s", "qps"):
+        if key in report:
+            writer.writerow(["summary", key, report[key]])
+    for name, value in sorted(report.get("latency_ms", {}).items()):
+        writer.writerow(["summary", f"latency_ms_{name}", value])
+    for code, count in sorted(report.get("status", {}).items()):
+        writer.writerow(["status", code, count])
+    for bucket in report.get("histogram_us", []):
+        writer.writerow(["bucket", bucket["le"], bucket["count"]])
+    return 0
+
+
 def main():
     source = sys.stdin if len(sys.argv) < 2 or sys.argv[1] == "-" else open(
         sys.argv[1], encoding="utf-8")
+    text = source.read()
+    if text.lstrip().startswith("{"):
+        return convert_bench_client_json(text)
     rows = []
     counters = set()
     max_parts = 0
-    for line in source:
+    for line in text.splitlines():
         match = ROW.match(line.strip())
         if not match:
             continue

@@ -1,0 +1,49 @@
+#include "server/admission.h"
+
+namespace galaxy::server {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {}
+
+AdmissionController::Outcome AdmissionController::Acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (active_ < options_.max_concurrent) {
+    ++active_;
+    return Outcome::kAdmitted;
+  }
+  if (queued_ >= options_.queue_capacity) {
+    return Outcome::kRejected;
+  }
+  ++queued_;
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.queue_timeout;
+  const bool got_slot = slot_free_.wait_until(lock, deadline, [&] {
+    return active_ < options_.max_concurrent;
+  });
+  --queued_;
+  if (!got_slot) {
+    return Outcome::kTimedOut;
+  }
+  ++active_;
+  return Outcome::kAdmitted;
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+  }
+  slot_free_.notify_one();
+}
+
+size_t AdmissionController::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+}  // namespace galaxy::server

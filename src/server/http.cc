@@ -1,0 +1,300 @@
+#include "server/http.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace galaxy::server {
+
+namespace {
+
+// Finds the end of a line starting at `pos`: returns the index of the first
+// byte of the terminator and sets `next` past it. Accepts CRLF and LF.
+bool FindLineEnd(std::string_view input, size_t pos, size_t* end,
+                 size_t* next) {
+  for (size_t i = pos; i < input.size(); ++i) {
+    if (input[i] == '\n') {
+      *end = (i > pos && input[i - 1] == '\r') ? i - 1 : i;
+      *next = i + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsToken(std::string_view text) {
+  if (text.empty()) return false;
+  for (char c : text) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u <= ' ' || u >= 127) return false;
+    switch (c) {
+      case '(': case ')': case '<': case '>': case '@':
+      case ',': case ';': case ':': case '\\': case '"':
+      case '/': case '[': case ']': case '?': case '=':
+      case '{': case '}':
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+HttpParseResult Error(int http_status, std::string message) {
+  HttpParseResult result;
+  result.state = ParseState::kError;
+  result.http_status = http_status;
+  result.error = Status::ParseError(std::move(message));
+  return result;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Splits the request target into path + decoded query parameters.
+void SplitTarget(const std::string& target, HttpRequest* out) {
+  size_t q = target.find('?');
+  out->path = UrlDecode(std::string_view(target).substr(0, q));
+  if (q == std::string::npos) return;
+  std::string_view query = std::string_view(target).substr(q + 1);
+  while (!query.empty()) {
+    size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    size_t eq = pair.find('=');
+    if (!pair.empty()) {
+      if (eq == std::string_view::npos) {
+        out->query_params.emplace_back(UrlDecode(pair), "");
+      } else {
+        out->query_params.emplace_back(UrlDecode(pair.substr(0, eq)),
+                                       UrlDecode(pair.substr(eq + 1)));
+      }
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+const std::string* HttpRequest::FindParam(std::string_view name) const {
+  for (const auto& [key, value] : query_params) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::WantsClose() const {
+  const std::string* connection = FindHeader("Connection");
+  if (connection != nullptr) {
+    if (EqualsIgnoreCase(StrTrim(*connection), "close")) return true;
+    if (EqualsIgnoreCase(StrTrim(*connection), "keep-alive")) return false;
+  }
+  return version == "HTTP/1.0";
+}
+
+HttpParseResult ParseHttpRequest(std::string_view input, HttpRequest* out) {
+  *out = HttpRequest();
+
+  // ---- Request line. ------------------------------------------------------
+  size_t end = 0;
+  size_t pos = 0;
+  if (!FindLineEnd(input, 0, &end, &pos)) {
+    if (input.size() > kMaxHeaderBytes) {
+      return Error(413, "request line exceeds the header size limit");
+    }
+    return HttpParseResult{};  // kNeedMore
+  }
+  std::string_view line = input.substr(0, end);
+  if (line.size() > kMaxHeaderBytes) {
+    return Error(413, "request line exceeds the header size limit");
+  }
+  size_t sp1 = line.find(' ');
+  size_t sp2 = (sp1 == std::string_view::npos)
+                   ? std::string_view::npos
+                   : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Error(400, "malformed request line");
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  if (!IsToken(method)) return Error(400, "malformed method token");
+  if (target.empty()) return Error(400, "empty request target");
+  for (char c : target) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u <= ' ' || u == 127) return Error(400, "control byte in target");
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Error(505, "unsupported HTTP version: " + std::string(version));
+  }
+  out->method = std::string(method);
+  out->target = std::string(target);
+  out->version = std::string(version);
+
+  // ---- Headers. -----------------------------------------------------------
+  uint64_t content_length = 0;
+  bool has_content_length = false;
+  while (true) {
+    if (pos > kMaxHeaderBytes) {
+      return Error(413, "headers exceed the size limit");
+    }
+    size_t line_start = pos;
+    if (!FindLineEnd(input, pos, &end, &pos)) {
+      if (input.size() - line_start > kMaxHeaderBytes) {
+        return Error(413, "headers exceed the size limit");
+      }
+      return HttpParseResult{};  // kNeedMore
+    }
+    if (end == line_start) break;  // blank line: end of headers
+    std::string_view header = input.substr(line_start, end - line_start);
+    size_t colon = header.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Error(400, "malformed header line");
+    }
+    std::string_view name = header.substr(0, colon);
+    std::string_view value = StrTrim(header.substr(colon + 1));
+    if (!IsToken(name)) return Error(400, "malformed header name");
+    for (char c : value) {
+      unsigned char u = static_cast<unsigned char>(c);
+      if (u < ' ' && c != '\t') return Error(400, "control byte in header");
+    }
+    if (out->headers.size() >= kMaxHeaderCount) {
+      return Error(413, "too many headers");
+    }
+    out->headers.emplace_back(std::string(name), std::string(value));
+
+    if (EqualsIgnoreCase(name, "Transfer-Encoding")) {
+      return Error(501, "Transfer-Encoding is not supported");
+    }
+    if (EqualsIgnoreCase(name, "Content-Length")) {
+      if (has_content_length) {
+        return Error(400, "duplicate Content-Length");
+      }
+      if (value.empty() || value.size() > 18) {
+        return Error(400, "malformed Content-Length");
+      }
+      uint64_t parsed = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') {
+          return Error(400, "malformed Content-Length");
+        }
+        parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+      }
+      content_length = parsed;
+      has_content_length = true;
+    }
+  }
+
+  // ---- Body. --------------------------------------------------------------
+  if (content_length > kMaxBodyBytes) {
+    return Error(413, "body exceeds the size limit");
+  }
+  if (input.size() - pos < content_length) {
+    return HttpParseResult{};  // kNeedMore
+  }
+  out->body = std::string(input.substr(pos, content_length));
+  SplitTarget(out->target, out);
+
+  HttpParseResult result;
+  result.state = ParseState::kDone;
+  result.consumed = pos + content_length;
+  return result;
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 206: return "Partial Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out;
+  out.reserve(response.body.size() + 256);
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += HttpStatusText(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  for (const auto& [name, value] : response.extra_headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
+  if (response.close) out += "\r\nConnection: close";
+  out += "\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string UrlDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '+') {
+      out += ' ';
+    } else if (text[i] == '%' && i + 2 < text.size() &&
+               HexDigit(text[i + 1]) >= 0 && HexDigit(text[i + 2]) >= 0) {
+      out += static_cast<char>(HexDigit(text[i + 1]) * 16 +
+                               HexDigit(text[i + 2]));
+      i += 2;
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace galaxy::server

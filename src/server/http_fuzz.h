@@ -1,0 +1,32 @@
+#ifndef GALAXY_SERVER_HTTP_FUZZ_H_
+#define GALAXY_SERVER_HTTP_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+
+namespace galaxy::server {
+
+/// Counters of one HTTP-parser fuzz campaign.
+struct HttpFuzzStats {
+  uint64_t inputs = 0;     ///< byte strings fed to the parser
+  uint64_t parsed = 0;     ///< complete requests parsed
+  uint64_t need_more = 0;  ///< judged an incomplete prefix
+  uint64_t errors = 0;     ///< rejected as malformed/over-limit
+};
+
+/// Feeds `iterations` adversarial byte strings through ParseHttpRequest:
+/// generated well-formed requests (which must round-trip: parse, match the
+/// generated method/target/body, and consume exactly their own length),
+/// their truncations (which must never parse as complete), mutations
+/// (byte flips, splices, duplicated/deleted spans) and raw garbage — all
+/// of which must yield a definite kDone/kNeedMore/kError without reading
+/// out of bounds (run under ASan) and with `consumed` never exceeding the
+/// input. Deterministic in `seed`. Returns "" when the contract held
+/// everywhere, else a description of the first violation including the
+/// offending input (escaped).
+std::string FuzzHttp(uint64_t seed, int iterations,
+                     HttpFuzzStats* stats = nullptr);
+
+}  // namespace galaxy::server
+
+#endif  // GALAXY_SERVER_HTTP_FUZZ_H_

@@ -1,0 +1,128 @@
+#include "server/metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace galaxy::server {
+
+namespace {
+
+std::string FormatSeconds(double micros) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", micros / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::Observe(uint64_t micros) {
+  // Bucket i covers (2^(i-1), 2^i] microseconds; micros == 0 lands in
+  // bucket 0. bit_width(x) is 1 + floor(log2(x)).
+  int bucket = micros <= 1 ? 0 : std::bit_width(micros - 1);
+  if (bucket >= kNumBuckets) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+double Histogram::QuantileMicros(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(BucketUpperMicros(i - 1));
+      const double upper = static_cast<double>(BucketUpperMicros(i));
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  // Everything left is overflow: report the last finite bound.
+  return static_cast<double>(BucketUpperMicros(kNumBuckets - 1));
+}
+
+Counter* MetricsRegistry::AddCounter(std::string name, std::string help,
+                                     std::string labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.push_back(NamedCounter{std::move(name), std::move(help),
+                                   std::move(labels),
+                                   std::make_unique<Counter>()});
+  return counters_.back().counter.get();
+}
+
+Gauge* MetricsRegistry::AddGauge(std::string name, std::string help,
+                                 std::string labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_.push_back(NamedGauge{std::move(name), std::move(help),
+                               std::move(labels),
+                               std::make_unique<Gauge>()});
+  return gauges_.back().gauge.get();
+}
+
+Histogram* MetricsRegistry::AddHistogram(std::string name, std::string help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  histograms_.push_back(NamedHistogram{std::move(name), std::move(help),
+                                       std::make_unique<Histogram>()});
+  return histograms_.back().histogram.get();
+}
+
+std::string MetricsRegistry::Render() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(4096);
+
+  std::string last_name;
+  auto header = [&](const std::string& name, const std::string& help,
+                    const char* type) {
+    // Metrics sharing a name (labeled series) get one HELP/TYPE block.
+    if (name == last_name) return;
+    last_name = name;
+    out += "# HELP " + name + " " + help + "\n";
+    out += "# TYPE " + name + " " + std::string(type) + "\n";
+  };
+
+  for (const NamedCounter& c : counters_) {
+    header(c.name, c.help, "counter");
+    out += c.name + c.labels + " " + std::to_string(c.counter->value()) + "\n";
+  }
+  for (const NamedGauge& g : gauges_) {
+    header(g.name, g.help, "gauge");
+    out += g.name + g.labels + " " + std::to_string(g.gauge->value()) + "\n";
+  }
+  for (const NamedHistogram& h : histograms_) {
+    header(h.name, h.help, "histogram");
+    const Histogram& hist = *h.histogram;
+    uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += hist.bucket_count(i);
+      out += h.name + "_bucket{le=\"" +
+             FormatSeconds(
+                 static_cast<double>(Histogram::BucketUpperMicros(i))) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += h.name + "_bucket{le=\"+Inf\"} " +
+           std::to_string(hist.count()) + "\n";
+    out += h.name + "_sum " +
+           FormatSeconds(static_cast<double>(hist.sum_micros())) + "\n";
+    out += h.name + "_count " + std::to_string(hist.count()) + "\n";
+    // Companion quantile gauges so scrapers (and the CI smoke test) can
+    // read p50/p99 without histogram_quantile().
+    out += h.name + "_p50 " + FormatSeconds(hist.QuantileMicros(0.5)) + "\n";
+    out += h.name + "_p99 " + FormatSeconds(hist.QuantileMicros(0.99)) + "\n";
+  }
+  return out;
+}
+
+}  // namespace galaxy::server

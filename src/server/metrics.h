@@ -1,0 +1,117 @@
+#ifndef GALAXY_SERVER_METRICS_H_
+#define GALAXY_SERVER_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace galaxy::server {
+
+/// A monotonically increasing counter. Incrementing is a single relaxed
+/// atomic add — safe and cheap from any number of threads (the serving
+/// hot path).
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A gauge holding an instantaneous signed value (queue depth, active
+/// queries). Set/Add are relaxed atomics.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A fixed-bucket latency histogram over microseconds. Buckets are
+/// power-of-two upper bounds: le 1us, 2us, 4us, ..., 2^(kNumBuckets-1) us
+/// (~67s), plus +Inf. Observe is lock-free: one relaxed add into the
+/// bucket plus count/sum updates. Quantiles are estimated by linear
+/// interpolation inside the selected bucket — exact enough for p50/p99
+/// serving dashboards, and monotone in the data.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 27;  ///< finite buckets before +Inf
+
+  void Observe(uint64_t micros);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_micros() const {
+    return sum_micros_.load(std::memory_order_relaxed);
+  }
+  /// Estimated q-quantile (q in [0,1]) in microseconds; 0 when empty.
+  double QuantileMicros(double q) const;
+  /// Upper bound of bucket `i` in microseconds (1 << i).
+  static uint64_t BucketUpperMicros(int i) { return uint64_t{1} << i; }
+  uint64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Observations above the last finite bucket.
+  uint64_t overflow_count() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> overflow_{0};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+/// A named collection of counters, gauges and histograms with a Prometheus
+/// text-format renderer (exposition format 0.0.4).
+///
+/// Thread safety: Add* registration takes a mutex and is intended for
+/// startup; the returned pointers are stable for the registry's lifetime
+/// and their mutation methods are lock-free. Render takes the mutex (it
+/// only contends with registration, not with the hot path).
+class MetricsRegistry {
+ public:
+  /// Name must be a valid Prometheus metric name; `labels` (optional) is a
+  /// pre-rendered label set like `{code="200"}` appended to the sample
+  /// line, so one logical metric can be registered per label value.
+  Counter* AddCounter(std::string name, std::string help,
+                      std::string labels = "");
+  Gauge* AddGauge(std::string name, std::string help,
+                  std::string labels = "");
+  Histogram* AddHistogram(std::string name, std::string help);
+
+  /// Renders every metric in Prometheus text format. Histograms emit
+  /// cumulative `_bucket{le=...}` series in seconds plus `_sum`/`_count`
+  /// and companion `<name>_p50` / `<name>_p99` gauges.
+  std::string Render() const;
+
+ private:
+  struct NamedCounter {
+    std::string name, help, labels;
+    std::unique_ptr<Counter> counter;
+  };
+  struct NamedGauge {
+    std::string name, help, labels;
+    std::unique_ptr<Gauge> gauge;
+  };
+  struct NamedHistogram {
+    std::string name, help;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<NamedCounter> counters_;
+  std::vector<NamedGauge> gauges_;
+  std::vector<NamedHistogram> histograms_;
+};
+
+}  // namespace galaxy::server
+
+#endif  // GALAXY_SERVER_METRICS_H_

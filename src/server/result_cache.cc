@@ -1,0 +1,158 @@
+#include "server/result_cache.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace galaxy::server {
+
+std::string NormalizeSql(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool in_string = false;
+  bool pending_space = false;
+  for (size_t i = 0; i < sql.size(); ++i) {
+    char c = sql[i];
+    if (in_string) {
+      out += c;
+      // '' is the SQL escape for a quote inside the literal.
+      if (c == '\'' && !(i + 1 < sql.size() && sql[i + 1] == '\'')) {
+        in_string = false;
+      } else if (c == '\'') {
+        out += sql[++i];
+      }
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    if (c == '\'') {
+      in_string = true;
+      out += c;
+    } else {
+      out += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void CollectFromExpr(const sql::Expr* expr, std::vector<std::string>* out);
+
+void CollectFromStmt(const sql::SelectStmt& stmt,
+                     std::vector<std::string>* out) {
+  for (const sql::TableRef& ref : stmt.from) {
+    out->push_back(AsciiLower(ref.table_name));
+  }
+  for (const sql::SelectItem& item : stmt.items) {
+    CollectFromExpr(item.expr.get(), out);
+  }
+  CollectFromExpr(stmt.where.get(), out);
+  for (const sql::ExprPtr& g : stmt.group_by) CollectFromExpr(g.get(), out);
+  CollectFromExpr(stmt.having.get(), out);
+  for (const sql::SkylineItem& s : stmt.skyline) {
+    CollectFromExpr(s.expr.get(), out);
+  }
+  for (const sql::OrderItem& o : stmt.order_by) {
+    CollectFromExpr(o.expr.get(), out);
+  }
+  if (stmt.union_next != nullptr) CollectFromStmt(*stmt.union_next, out);
+}
+
+void CollectFromExpr(const sql::Expr* expr, std::vector<std::string>* out) {
+  if (expr == nullptr) return;
+  CollectFromExpr(expr->left.get(), out);
+  CollectFromExpr(expr->right.get(), out);
+  for (const sql::ExprPtr& a : expr->args) CollectFromExpr(a.get(), out);
+  for (const sql::ExprPtr& v : expr->in_list) CollectFromExpr(v.get(), out);
+  CollectFromExpr(expr->case_base.get(), out);
+  for (const sql::ExprPtr& w : expr->case_when) CollectFromExpr(w.get(), out);
+  for (const sql::ExprPtr& t : expr->case_then) CollectFromExpr(t.get(), out);
+  CollectFromExpr(expr->case_else.get(), out);
+  if (expr->subquery != nullptr) CollectFromStmt(*expr->subquery, out);
+}
+
+}  // namespace
+
+std::vector<std::string> CollectReferencedTables(const sql::SelectStmt& stmt) {
+  std::vector<std::string> tables;
+  CollectFromStmt(stmt, &tables);
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  return tables;
+}
+
+ResultCache::ResultCache(size_t max_entries, size_t max_bytes)
+    : max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+std::shared_ptr<const CachedResponse> ResultCache::Lookup(
+    const std::string& key, const sql::Database& db) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  for (const auto& [table, version] : it->second.deps) {
+    Result<uint64_t> current = db.TableVersion(table);
+    if (!current.ok() || *current != version) {
+      ++stats_.invalidations;
+      ++stats_.misses;
+      EraseLocked(it);
+      return nullptr;
+    }
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.response;
+}
+
+void ResultCache::Insert(const std::string& key,
+                         std::vector<std::pair<std::string, uint64_t>> deps,
+                         CachedResponse response) {
+  if (response.body.size() > max_bytes_) return;  // would evict everything
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) EraseLocked(it);
+  lru_.push_front(key);
+  total_bytes_ += response.body.size();
+  entries_.emplace(
+      key, Entry{std::make_shared<const CachedResponse>(std::move(response)),
+                 std::move(deps), lru_.begin()});
+  EvictLocked();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ResultCache::EvictLocked() {
+  while (!entries_.empty() &&
+         (entries_.size() > max_entries_ || total_bytes_ > max_bytes_)) {
+    auto it = entries_.find(lru_.back());
+    ++stats_.evictions;
+    EraseLocked(it);
+  }
+}
+
+void ResultCache::EraseLocked(std::map<std::string, Entry>::iterator it) {
+  total_bytes_ -= it->second.response->body.size();
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+}  // namespace galaxy::server

@@ -1,0 +1,98 @@
+#ifndef GALAXY_SERVER_RESULT_CACHE_H_
+#define GALAXY_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/catalog.h"
+
+namespace galaxy::server {
+
+/// One cached rendered query response. Only exact results are cached
+/// (degraded approximate-superset answers depend on the deadline that
+/// produced them, not just on the data).
+struct CachedResponse {
+  std::string body;
+  std::string content_type;
+};
+
+/// Canonical form of a SQL text for cache keying: whitespace runs collapse
+/// to one space, case is folded outside single-quoted string literals, and
+/// the result is trimmed — so "SELECT * FROM t" and "select  *  from T"
+/// share a cache entry while 'Literal' spellings stay distinct.
+std::string NormalizeSql(const std::string& sql);
+
+/// Lower-cased names of every base table referenced by the statement —
+/// FROM clauses of the statement itself, of each UNION member, and of
+/// every subquery expression, recursively. The version set of these tables
+/// is exactly what a cached result depends on.
+std::vector<std::string> CollectReferencedTables(const sql::SelectStmt& stmt);
+
+/// An LRU result cache keyed by normalized SQL + output format, validated
+/// against catalog table versions (sql/catalog.h): an entry remembers the
+/// (table, version) pairs it was computed from and is invalidated lazily
+/// when any referenced table has been re-registered since. Because
+/// versions increase monotonically, a stale entry can never be revived —
+/// Property 2's update story turned into precise server-side invalidation.
+///
+/// Thread safety: all methods may be called from any thread (one mutex;
+/// the critical sections are map lookups, far cheaper than executing a
+/// query).
+class ResultCache {
+ public:
+  /// `max_entries` bounds the entry count, `max_bytes` the total body
+  /// bytes; the least-recently-used entries are evicted past either bound.
+  ResultCache(size_t max_entries, size_t max_bytes);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;      ///< LRU capacity evictions
+    uint64_t invalidations = 0;  ///< entries dropped on version mismatch
+  };
+
+  /// Looks up `key`; validates the entry's table versions against `db` and
+  /// drops the entry (miss + invalidation) if any referenced table changed
+  /// or disappeared.
+  std::shared_ptr<const CachedResponse> Lookup(const std::string& key,
+                                               const sql::Database& db);
+
+  /// Inserts a response computed from the given (table, version) pairs.
+  void Insert(const std::string& key,
+              std::vector<std::pair<std::string, uint64_t>> deps,
+              CachedResponse response);
+
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedResponse> response;
+    std::vector<std::pair<std::string, uint64_t>> deps;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  // Callers hold mutex_.
+  void EvictLocked();
+  void EraseLocked(std::map<std::string, Entry>::iterator it);
+
+  const size_t max_entries_;
+  const size_t max_bytes_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  size_t total_bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace galaxy::server
+
+#endif  // GALAXY_SERVER_RESULT_CACHE_H_

@@ -1,0 +1,830 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/str_util.h"
+#include "relation/csv.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+
+namespace galaxy::server {
+
+namespace {
+
+std::string JsonErrorBody(const Status& status) {
+  return std::string("{\"error\": \"") + JsonEscape(status.message()) +
+         "\", \"code\": \"" + StatusCodeToString(status.code()) + "\"}\n";
+}
+
+HttpResponse JsonError(int http_status, const Status& status) {
+  HttpResponse response;
+  response.status = http_status;
+  response.body = JsonErrorBody(status);
+  return response;
+}
+
+/// HTTP mapping of the library's Status codes, mirroring the CLI's exit
+/// codes: usage errors (exit 2) -> 4xx, control-plane trips under strict
+/// mode (exit 1) -> 408, everything unexpected -> 500.
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kTypeError:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return 408;
+    case StatusCode::kUnimplemented:
+      return 501;
+    default:
+      return 500;
+  }
+}
+
+std::string ValueToJson(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return std::to_string(value.AsInt64());
+    case ValueType::kDouble: {
+      const double d = value.AsDouble();
+      if (d != d || d == std::numeric_limits<double>::infinity() ||
+          d == -std::numeric_limits<double>::infinity()) {
+        return "null";  // JSON has no NaN/Inf
+      }
+      return FormatDouble(d, 12);
+    }
+    case ValueType::kString:
+      return std::string("\"") + JsonEscape(value.AsString()) + "\"";
+  }
+  return "null";
+}
+
+std::string TableToJson(const Table& table, bool degraded) {
+  std::string out = "{\"columns\": [";
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += ", ";
+    out += "\"" + JsonEscape(table.schema().column(c).name) + "\"";
+  }
+  out += "], \"rows\": [";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (r > 0) out += ", ";
+    out += "[";
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += ", ";
+      out += ValueToJson(table.at(r, c));
+    }
+    out += "]";
+  }
+  out += "], \"row_count\": " + std::to_string(table.num_rows());
+  out += ", \"quality\": \"";
+  out += degraded ? "approximate-superset" : "exact";
+  out += "\", \"degraded\": ";
+  out += degraded ? "true" : "false";
+  out += "}\n";
+  return out;
+}
+
+Result<std::string> TableToCsv(const Table& table) {
+  std::ostringstream out;
+  GALAXY_RETURN_IF_ERROR(WriteCsv(table, out));
+  return out.str();
+}
+
+/// Splits one CSV record (double-quote quoting, "" escapes) into fields.
+Result<std::vector<std::string>> SplitCsvRecord(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      ++i;
+      continue;
+    }
+    field += c;
+    ++i;
+  }
+  if (quoted) {
+    return Status::ParseError("unterminated quote in update row");
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+/// Parses one CSV record into a typed Row matching `schema`. Empty fields
+/// (and the literal NULL) become SQL NULLs; numeric fields must parse in
+/// full.
+Result<Row> ParseRowForSchema(const Schema& schema, std::string_view body) {
+  std::string_view line = StrTrim(body);
+  GALAXY_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          SplitCsvRecord(line));
+  if (fields.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "update row has " + std::to_string(fields.size()) +
+        " fields; table has " + std::to_string(schema.num_columns()) +
+        " columns");
+  }
+  Row row;
+  row.reserve(fields.size());
+  for (size_t c = 0; c < fields.size(); ++c) {
+    const std::string& field = fields[c];
+    const ColumnDef& col = schema.column(c);
+    if (field.empty() || field == "NULL") {
+      row.push_back(Value::Null());
+      continue;
+    }
+    switch (col.type) {
+      case ValueType::kInt64: {
+        char* end = nullptr;
+        errno = 0;
+        long long v = std::strtoll(field.c_str(), &end, 10);
+        if (errno != 0 || end != field.c_str() + field.size()) {
+          return Status::TypeError("column " + col.name +
+                                   " expects INT64, got: " + field);
+        }
+        row.push_back(Value(static_cast<int64_t>(v)));
+        break;
+      }
+      case ValueType::kDouble: {
+        char* end = nullptr;
+        errno = 0;
+        double v = std::strtod(field.c_str(), &end);
+        if (errno != 0 || end != field.c_str() + field.size()) {
+          return Status::TypeError("column " + col.name +
+                                   " expects DOUBLE, got: " + field);
+        }
+        row.push_back(Value(v));
+        break;
+      }
+      case ValueType::kString:
+      case ValueType::kNull:
+        row.push_back(Value(field));
+        break;
+    }
+  }
+  return row;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Result<uint64_t> ParseUintHeader(const HttpRequest& request,
+                                 std::string_view name) {
+  const std::string* raw = request.FindHeader(name);
+  if (raw == nullptr) return uint64_t{0};
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(raw->c_str(), &end, 10);
+  if (errno != 0 || end != raw->c_str() + raw->size() || raw->empty()) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must be a non-negative integer");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+Server::Server(sql::Database* db, const ServerOptions& options)
+    : db_(db),
+      options_(options),
+      admission_(options.admission),
+      cache_(options.cache_entries, options.cache_bytes),
+      start_time_(std::chrono::steady_clock::now()) {
+  requests_total_ = metrics_.AddCounter(
+      "galaxy_http_requests_total", "HTTP requests received");
+  connections_total_ = metrics_.AddCounter(
+      "galaxy_connections_total", "TCP connections accepted");
+  queries_total_ =
+      metrics_.AddCounter("galaxy_queries_total", "POST /query requests");
+  updates_total_ =
+      metrics_.AddCounter("galaxy_updates_total", "POST /update requests");
+  rejected_total_ = metrics_.AddCounter(
+      "galaxy_admission_rejected_total",
+      "queries turned away by admission control (429)");
+  degraded_total_ = metrics_.AddCounter(
+      "galaxy_degraded_results_total",
+      "queries answered with a sound approximate superset (206)");
+  cache_hits_ = metrics_.AddCounter("galaxy_cache_hits_total",
+                                    "result-cache hits");
+  cache_misses_ = metrics_.AddCounter("galaxy_cache_misses_total",
+                                      "result-cache misses");
+  parse_errors_total_ = metrics_.AddCounter(
+      "galaxy_sql_parse_errors_total", "queries rejected by the SQL parser");
+  sky_record_comparisons_ = metrics_.AddCounter(
+      "galaxy_skyline_record_comparisons_total",
+      "record-level dominance tests inside aggregate-skyline steps");
+  sky_group_pairs_ = metrics_.AddCounter(
+      "galaxy_skyline_group_pairs_total",
+      "group pairs classified inside aggregate-skyline steps");
+  sky_mbb_shortcuts_ = metrics_.AddCounter(
+      "galaxy_skyline_mbb_shortcuts_total",
+      "group pairs decided by the MBB corner test alone");
+  sky_stopped_early_ = metrics_.AddCounter(
+      "galaxy_skyline_stopped_early_total",
+      "group pairs ended early by the stopping rule");
+  sky_chunks_stolen_ = metrics_.AddCounter(
+      "galaxy_skyline_chunks_stolen_total",
+      "work-stealing rebalances in parallel skyline runs");
+  for (int code : {200, 206, 400, 404, 405, 408, 413, 429, 500, 501, 503,
+                   505}) {
+    responses_by_code_[code] = metrics_.AddCounter(
+        "galaxy_http_responses_total", "HTTP responses by status code",
+        "{code=\"" + std::to_string(code) + "\"}");
+  }
+  responses_other_ = metrics_.AddCounter(
+      "galaxy_http_responses_total", "HTTP responses by status code",
+      "{code=\"other\"}");
+  query_latency_ = metrics_.AddHistogram(
+      "galaxy_query_latency_seconds",
+      "end-to-end /query latency (admission wait included)");
+  active_queries_ =
+      metrics_.AddGauge("galaxy_active_queries", "queries executing now");
+  queue_depth_ = metrics_.AddGauge("galaxy_queue_depth",
+                                   "queries waiting for an execution slot");
+  cache_entries_gauge_ =
+      metrics_.AddGauge("galaxy_result_cache_entries", "cached results");
+  cache_hit_ratio_ = metrics_.AddGauge(
+      "galaxy_cache_hit_ratio_percent",
+      "result-cache hits per hundred lookups since start");
+  cache_evictions_ = metrics_.AddGauge("galaxy_cache_evictions_total",
+                                       "result-cache LRU evictions");
+  cache_invalidations_ = metrics_.AddGauge(
+      "galaxy_cache_invalidations_total",
+      "result-cache entries dropped because a table version changed");
+  uptime_seconds_ =
+      metrics_.AddGauge("galaxy_uptime_seconds", "seconds since start");
+  qps_ = metrics_.AddGauge("galaxy_qps",
+                           "average requests per second since start");
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (listen_fd_ >= 0) {
+    return Status::InvalidArgument("server already started");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket(): " + std::string(strerror(errno)));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad listen host: " + options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Internal("bind(" + options_.host + ":" +
+                                     std::to_string(options_.port) +
+                                     "): " + strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) != 0) {
+    Status status = Status::Internal("listen(): " + std::string(strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    Status status =
+        Status::Internal("getsockname(): " + std::string(strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Unblock every connection thread stuck in recv(), then join them.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::map<uint64_t, std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    connections.swap(connections_);
+    finished_.clear();
+  }
+  for (auto& [id, thread] : connections) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    ReapFinished();
+    if (ready <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) {
+        continue;
+      }
+      break;  // listener closed or fatal error
+    }
+    connections_total_->Inc();
+    timeval timeout{};
+    timeout.tv_sec = static_cast<time_t>(options_.idle_timeout.count());
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    const uint64_t id = next_conn_id_++;
+    conn_fds_.insert(fd);
+    connections_.emplace(id,
+                         std::thread(&Server::ServeConnection, this, fd, id));
+  }
+}
+
+void Server::ServeConnection(int fd, uint64_t conn_id) {
+  std::string buffer;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    HttpRequest request;
+    HttpParseResult parsed = ParseHttpRequest(buffer, &request);
+    if (parsed.state == ParseState::kDone) {
+      buffer.erase(0, parsed.consumed);
+      HttpResponse response = Handle(request);
+      response.close = response.close || request.WantsClose();
+      if (!SendAll(fd, SerializeResponse(response))) break;
+      if (response.close) break;
+      continue;
+    }
+    if (parsed.state == ParseState::kError) {
+      HttpResponse response = JsonError(parsed.http_status, parsed.error);
+      response.close = true;
+      CountResponse(response);
+      SendAll(fd, SerializeResponse(response));
+      break;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF, idle timeout, error, or Stop()'s shutdown
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  // Forget the fd before closing it so Stop() never shuts down a recycled
+  // descriptor number.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_fds_.erase(fd);
+  }
+  ::close(fd);
+  FinishConnection(conn_id);
+}
+
+void Server::FinishConnection(uint64_t conn_id) {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  finished_.push_back(conn_id);
+}
+
+void Server::ReapFinished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (uint64_t id : finished_) {
+      auto it = connections_.find(id);
+      if (it != connections_.end()) {
+        done.push_back(std::move(it->second));
+        connections_.erase(it);
+      }
+    }
+    finished_.clear();
+  }
+  for (std::thread& thread : done) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+HttpResponse Server::Handle(const HttpRequest& request) {
+  requests_total_->Inc();
+  HttpResponse response;
+  if (request.path == "/healthz") {
+    if (request.method != "GET") {
+      response = JsonError(405, Status::InvalidArgument("use GET /healthz"));
+    } else {
+      response.content_type = "text/plain";
+      response.body = "ok\n";
+    }
+  } else if (request.path == "/metrics") {
+    if (request.method != "GET") {
+      response = JsonError(405, Status::InvalidArgument("use GET /metrics"));
+    } else {
+      response = HandleMetrics();
+    }
+  } else if (request.path == "/query") {
+    if (request.method != "POST") {
+      response = JsonError(405, Status::InvalidArgument("use POST /query"));
+    } else {
+      const auto begin = std::chrono::steady_clock::now();
+      response = HandleQuery(request);
+      query_latency_->Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - begin)
+              .count()));
+    }
+  } else if (request.path == "/update") {
+    if (request.method != "POST") {
+      response = JsonError(405, Status::InvalidArgument("use POST /update"));
+    } else {
+      response = HandleUpdate(request);
+    }
+  } else if (request.path == "/skyline") {
+    if (request.method != "GET") {
+      response = JsonError(405, Status::InvalidArgument("use GET /skyline"));
+    } else {
+      response = HandleSkyline();
+    }
+  } else {
+    response =
+        JsonError(404, Status::NotFound("no such endpoint: " + request.path));
+  }
+  CountResponse(response);
+  return response;
+}
+
+void Server::CountResponse(const HttpResponse& response) {
+  auto it = responses_by_code_.find(response.status);
+  (it != responses_by_code_.end() ? it->second : responses_other_)->Inc();
+}
+
+HttpResponse Server::HandleQuery(const HttpRequest& request) {
+  queries_total_->Inc();
+  const std::string sql(StrTrim(request.body));
+  if (sql.empty()) {
+    return JsonError(
+        400, Status::InvalidArgument("empty body; send SQL as the body"));
+  }
+  const std::string* accept = request.FindHeader("Accept");
+  const bool want_csv =
+      accept != nullptr && accept->find("text/csv") != std::string::npos;
+  const std::string cache_key =
+      NormalizeSql(sql) + (want_csv ? "\ncsv" : "\njson");
+
+  // Cache hits are served before admission control: they cost a map lookup,
+  // so turning them away under overload would only add load.
+  if (std::shared_ptr<const CachedResponse> hit =
+          cache_.Lookup(cache_key, *db_)) {
+    cache_hits_->Inc();
+    HttpResponse response;
+    response.content_type = hit->content_type;
+    response.body = hit->body;
+    response.extra_headers.emplace_back("X-Galaxy-Cache", "hit");
+    response.extra_headers.emplace_back("X-Galaxy-Quality", "exact");
+    return response;
+  }
+  cache_misses_->Inc();
+
+  switch (admission_.Acquire()) {
+    case AdmissionController::Outcome::kAdmitted:
+      break;
+    case AdmissionController::Outcome::kRejected:
+    case AdmissionController::Outcome::kTimedOut: {
+      rejected_total_->Inc();
+      queue_depth_->Set(static_cast<int64_t>(admission_.queued()));
+      HttpResponse response = JsonError(
+          429, Status::ResourceExhausted(
+                   "server overloaded; queue full or wait timed out"));
+      response.extra_headers.emplace_back("Retry-After", "1");
+      return response;
+    }
+  }
+  struct SlotRelease {
+    Server* server;
+    ~SlotRelease() {
+      server->admission_.Release();
+      server->active_queries_->Set(
+          static_cast<int64_t>(server->admission_.active()));
+      server->queue_depth_->Set(
+          static_cast<int64_t>(server->admission_.queued()));
+    }
+  } release{this};
+  active_queries_->Set(static_cast<int64_t>(admission_.active()));
+  queue_depth_->Set(static_cast<int64_t>(admission_.queued()));
+
+  // Capture dependency versions BEFORE executing: if a concurrent /update
+  // lands mid-query the entry records the pre-update version and the next
+  // lookup invalidates it — stale on the safe side.
+  Result<std::unique_ptr<sql::SelectStmt>> stmt = sql::Parse(sql);
+  if (!stmt.ok()) {
+    parse_errors_total_->Inc();
+    return JsonError(400, stmt.status());
+  }
+  std::vector<std::pair<std::string, uint64_t>> deps;
+  for (const std::string& table : CollectReferencedTables(**stmt)) {
+    Result<uint64_t> version = db_->TableVersion(table);
+    if (version.ok()) deps.emplace_back(table, *version);
+  }
+
+  // ---- Execution controls from headers. ----------------------------------
+  Result<uint64_t> timeout_ms = ParseUintHeader(request, "X-Galaxy-Timeout-Ms");
+  if (!timeout_ms.ok()) return JsonError(400, timeout_ms.status());
+  Result<uint64_t> max_comparisons =
+      ParseUintHeader(request, "X-Galaxy-Max-Comparisons");
+  if (!max_comparisons.ok()) return JsonError(400, max_comparisons.status());
+  const std::string* strict = request.FindHeader("X-Galaxy-Strict");
+  const bool strict_mode =
+      strict != nullptr && *strict != "0" && !EqualsIgnoreCase(*strict, "false");
+
+  core::ExecutionContext exec_storage;
+  core::ExecutionContext* exec = nullptr;
+  uint64_t effective_timeout_ms = *timeout_ms;
+  if (effective_timeout_ms == 0 && options_.default_timeout.count() > 0) {
+    effective_timeout_ms =
+        static_cast<uint64_t>(options_.default_timeout.count());
+  }
+  if (effective_timeout_ms > 0) {
+    exec_storage.set_timeout(std::chrono::milliseconds(effective_timeout_ms));
+    exec = &exec_storage;
+  }
+  if (*max_comparisons > 0) {
+    exec_storage.set_max_comparisons(*max_comparisons);
+    exec = &exec_storage;
+  }
+
+  sql::ExecOptions exec_options;
+  exec_options.exec = exec;
+  exec_options.allow_approximate = !strict_mode;
+  sql::ExecStats stats;
+  Result<Table> result = db_->Query(sql, exec_options, &stats);
+  if (!result.ok()) {
+    return JsonError(HttpStatusFor(result.status()), result.status());
+  }
+
+  sky_record_comparisons_->Inc(stats.skyline_stats.record_comparisons);
+  sky_group_pairs_->Inc(stats.skyline_stats.group_pairs_classified);
+  sky_mbb_shortcuts_->Inc(stats.skyline_stats.mbb_shortcuts);
+  sky_stopped_early_->Inc(stats.skyline_stats.stopped_early);
+  sky_chunks_stolen_->Inc(stats.skyline_stats.chunks_stolen);
+
+  const bool degraded =
+      stats.skyline_quality == core::ResultQuality::kApproximateSuperset;
+  HttpResponse response;
+  if (want_csv) {
+    Result<std::string> csv = TableToCsv(*result);
+    if (!csv.ok()) return JsonError(500, csv.status());
+    response.content_type = "text/csv";
+    response.body = std::move(*csv);
+  } else {
+    response.body = TableToJson(*result, degraded);
+  }
+  response.extra_headers.emplace_back("X-Galaxy-Cache", "miss");
+  response.extra_headers.emplace_back(
+      "X-Galaxy-Quality", degraded ? "approximate-superset" : "exact");
+  if (degraded) {
+    // A degraded answer depends on how far this run got before its
+    // deadline, not just on the data — never cached.
+    response.status = 206;
+    degraded_total_->Inc();
+  } else {
+    cache_.Insert(cache_key, std::move(deps),
+                  CachedResponse{response.body, response.content_type});
+  }
+  return response;
+}
+
+HttpResponse Server::HandleUpdate(const HttpRequest& request) {
+  updates_total_->Inc();
+  const std::string* table_name = request.FindParam("table");
+  if (table_name == nullptr || table_name->empty()) {
+    return JsonError(
+        400, Status::InvalidArgument("missing ?table= query parameter"));
+  }
+  std::string op = "insert";
+  if (const std::string* p = request.FindParam("op")) op = *p;
+  if (op != "insert" && op != "remove") {
+    return JsonError(400,
+                     Status::InvalidArgument("op must be insert or remove"));
+  }
+  const bool insert = op == "insert";
+
+  // Serialize read-modify-write cycles; concurrent queries keep reading
+  // their pinned snapshots meanwhile.
+  std::lock_guard<std::mutex> update_lock(update_mutex_);
+  Result<std::shared_ptr<const Table>> snapshot = db_->GetTable(*table_name);
+  if (!snapshot.ok()) return JsonError(404, snapshot.status());
+  const Table& table = **snapshot;
+
+  Result<Row> row = ParseRowForSchema(table.schema(), request.body);
+  if (!row.ok()) return JsonError(400, row.status());
+
+  std::vector<Row> rows = table.rows();
+  if (insert) {
+    rows.push_back(*row);
+  } else {
+    auto it = std::find(rows.begin(), rows.end(), *row);
+    if (it == rows.end()) {
+      return JsonError(404,
+                       Status::NotFound("no row matching the remove body"));
+    }
+    rows.erase(it);
+  }
+
+  // Route the change through the incremental maintainer BEFORE installing
+  // the new snapshot, so a failure (e.g. NULL in a skyline attribute)
+  // rejects the update instead of desynchronizing view and table.
+  {
+    std::lock_guard<std::mutex> view_lock(view_mutex_);
+    if (view_ != nullptr &&
+        view_->config.table == AsciiLower(*table_name)) {
+      Status applied = ApplyToView(view_.get(), table, *row, insert);
+      if (!applied.ok()) return JsonError(400, applied);
+    }
+  }
+
+  const size_t num_rows = rows.size();
+  const uint64_t version =
+      db_->Register(*table_name, Table(table.schema(), std::move(rows)));
+
+  std::string body = "{\"table\": \"" + JsonEscape(AsciiLower(*table_name)) +
+                     "\", \"op\": \"" + op +
+                     "\", \"version\": " + std::to_string(version) +
+                     ", \"num_rows\": " + std::to_string(num_rows) + "}\n";
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+Status Server::ApplyToView(ViewState* view, const Table& table,
+                           const Row& row, bool insert) {
+  (void)table;
+  const Value& group_value = row[view->group_col];
+  const std::string label = group_value.ToString();
+  Point point(view->attr_cols.size());
+  for (size_t a = 0; a < view->attr_cols.size(); ++a) {
+    const Value& cell = row[view->attr_cols[a]];
+    GALAXY_ASSIGN_OR_RETURN(double v, cell.ToDouble());
+    point[a] = v * view->signs[a];
+  }
+  auto it = view->group_ids.find(label);
+  if (it == view->group_ids.end()) {
+    if (!insert) {
+      return Status::NotFound("no group " + label + " in the skyline view");
+    }
+    it = view->group_ids.emplace(label, view->inc.AddGroup(label)).first;
+  }
+  if (insert) return view->inc.AddRecord(it->second, point);
+  return view->inc.RemoveRecord(it->second, point);
+}
+
+Status Server::EnableSkylineView(const SkylineViewConfig& config) {
+  if (!(config.gamma >= 0.5 && config.gamma <= 1.0)) {
+    return Status::InvalidArgument("view gamma must be in [0.5, 1]");
+  }
+  if (config.attrs.empty()) {
+    return Status::InvalidArgument("view needs at least one attribute");
+  }
+  GALAXY_ASSIGN_OR_RETURN(std::shared_ptr<const Table> snapshot,
+                          db_->GetTable(config.table));
+  const Table& table = *snapshot;
+
+  auto view = std::make_unique<ViewState>(ViewState{
+      config, core::IncrementalAggregateSkyline(config.attrs.size(),
+                                                config.gamma),
+      {}, 0, {}, {}});
+  view->config.table = AsciiLower(config.table);
+  GALAXY_ASSIGN_OR_RETURN(view->group_col,
+                          table.schema().IndexOf(config.group_column));
+  for (const std::string& raw : config.attrs) {
+    const bool minimize = !raw.empty() && raw[0] == '-';
+    const std::string name = minimize ? raw.substr(1) : raw;
+    GALAXY_ASSIGN_OR_RETURN(size_t col, table.schema().IndexOf(name));
+    view->attr_cols.push_back(col);
+    view->signs.push_back(minimize ? -1.0 : 1.0);
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    GALAXY_RETURN_IF_ERROR(
+        ApplyToView(view.get(), table, table.row(r), /*insert=*/true));
+  }
+  std::lock_guard<std::mutex> lock(view_mutex_);
+  view_ = std::move(view);
+  return Status::OK();
+}
+
+HttpResponse Server::HandleSkyline() {
+  std::lock_guard<std::mutex> lock(view_mutex_);
+  if (view_ == nullptr) {
+    return JsonError(
+        404, Status::NotFound(
+                 "no skyline view configured (galaxy_served --view ...)"));
+  }
+  std::string body = "{\"table\": \"" + JsonEscape(view_->config.table) +
+                     "\", \"group_column\": \"" +
+                     JsonEscape(view_->config.group_column) +
+                     "\", \"gamma\": " + FormatDouble(view_->inc.gamma(), 6) +
+                     ", \"skyline\": [";
+  bool first = true;
+  for (uint32_t id : view_->inc.Skyline()) {
+    if (!first) body += ", ";
+    first = false;
+    body += "\"" + JsonEscape(view_->inc.label(id)) + "\"";
+  }
+  body += "], \"num_groups\": " + std::to_string(view_->inc.num_groups()) +
+          ", \"total_records\": " +
+          std::to_string(view_->inc.total_records()) + "}\n";
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse Server::HandleMetrics() {
+  // Pull-style gauges are refreshed at scrape time.
+  const ResultCache::Stats cache_stats = cache_.stats();
+  cache_entries_gauge_->Set(static_cast<int64_t>(cache_.size()));
+  cache_evictions_->Set(static_cast<int64_t>(cache_stats.evictions));
+  cache_invalidations_->Set(static_cast<int64_t>(cache_stats.invalidations));
+  const uint64_t lookups = cache_stats.hits + cache_stats.misses;
+  cache_hit_ratio_->Set(
+      lookups == 0
+          ? 0
+          : static_cast<int64_t>(cache_stats.hits * 100 / lookups));
+  active_queries_->Set(static_cast<int64_t>(admission_.active()));
+  queue_depth_->Set(static_cast<int64_t>(admission_.queued()));
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  uptime_seconds_->Set(static_cast<int64_t>(uptime));
+  qps_->Set(uptime <= 0.0
+                ? 0
+                : static_cast<int64_t>(
+                      static_cast<double>(requests_total_->value()) / uptime));
+
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = metrics_.Render();
+  return response;
+}
+
+}  // namespace galaxy::server

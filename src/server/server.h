@@ -1,0 +1,197 @@
+#ifndef GALAXY_SERVER_SERVER_H_
+#define GALAXY_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/incremental.h"
+#include "server/admission.h"
+#include "server/http.h"
+#include "server/metrics.h"
+#include "server/result_cache.h"
+#include "sql/catalog.h"
+
+namespace galaxy::server {
+
+/// Configuration of the incrementally maintained aggregate-skyline view
+/// (core/incremental.h): /update routes record changes through it so the
+/// exact |S ≻ R| domination counts — and with them GET /skyline — stay
+/// current in O(records · d) per update instead of a full recomputation
+/// (the operational face of the paper's Property 2).
+struct SkylineViewConfig {
+  std::string table;
+  std::string group_column;
+  /// Numeric attribute columns; a leading '-' minimizes that attribute
+  /// (records are negated before entering the MAX-oriented core).
+  std::vector<std::string> attrs;
+  double gamma = 0.5;
+};
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  AdmissionOptions admission;
+  size_t cache_entries = 256;
+  size_t cache_bytes = 64 * 1024 * 1024;
+  /// Deadline applied to queries that do not send X-Galaxy-Timeout-Ms;
+  /// zero = unbounded.
+  std::chrono::milliseconds default_timeout{0};
+  /// Receive timeout of idle keep-alive connections.
+  std::chrono::seconds idle_timeout{10};
+};
+
+/// The serving layer: a minimal dependency-free HTTP/1.1 front end over a
+/// sql::Database, with admission control, a version-validated result
+/// cache, and a Prometheus metrics endpoint.
+///
+/// Endpoints (see README "Serving" for the full contract):
+///   POST /query    SQL body -> JSON (default) or CSV (Accept: text/csv).
+///                  Headers X-Galaxy-Timeout-Ms / X-Galaxy-Max-Comparisons
+///                  arm the execution control plane; X-Galaxy-Strict: 1
+///                  disables graceful degradation. 200 exact, 206 sound
+///                  approximate superset (body carries "degraded": true),
+///                  400 bad SQL, 404 unknown table, 408 strict-mode trip,
+///                  429 overload.
+///   POST /update   ?table=T&op=insert|remove, body = one CSV row typed by
+///                  the table schema. Installs a new table snapshot (new
+///                  catalog version -> precise cache invalidation) and
+///                  feeds the configured incremental skyline view.
+///   GET  /skyline  The incrementally maintained aggregate skyline.
+///   GET  /metrics  Prometheus text format.
+///   GET  /healthz  Liveness probe.
+///
+/// Threading model: a dedicated accept thread hands each connection to its
+/// own thread (thread-per-connection); the query itself executes on the
+/// connection thread, and the skyline operators inside fan out onto the
+/// process-wide core::ThreadPool as usual. The connection thread cannot
+/// dispatch the whole query onto that pool because ThreadPool::Run is not
+/// reentrant and the parallel operator already runs on it. Admission
+/// control (server/admission.h) bounds how many connection threads compute
+/// at once, so pool pressure stays bounded no matter how many connections
+/// are open.
+///
+/// The Database outlives the server and may also be read/updated directly
+/// by the embedding process (it is internally synchronized).
+class Server {
+ public:
+  Server(sql::Database* db, const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept thread. Fails with
+  /// InvalidArgument/Internal on bad host or occupied port.
+  Status Start();
+
+  /// Stops accepting, unblocks and joins every connection thread. Safe to
+  /// call twice; called by the destructor.
+  void Stop();
+
+  /// The bound TCP port (after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Builds the incremental aggregate-skyline view from the table's
+  /// current contents; subsequent /update calls maintain it.
+  Status EnableSkylineView(const SkylineViewConfig& config);
+
+  /// Routes one parsed request exactly as a connection would — the
+  /// in-process testing seam (no sockets involved).
+  HttpResponse Handle(const HttpRequest& request);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  ResultCache::Stats cache_stats() const { return cache_.stats(); }
+
+ private:
+  struct ViewState {
+    SkylineViewConfig config;
+    core::IncrementalAggregateSkyline inc;
+    std::map<std::string, uint32_t> group_ids;
+    size_t group_col = 0;
+    std::vector<size_t> attr_cols;
+    std::vector<double> signs;  // +1 max, -1 min per attr
+  };
+
+  void AcceptLoop();
+  void ServeConnection(int fd, uint64_t conn_id);
+  void FinishConnection(uint64_t conn_id);
+  void ReapFinished();
+
+  HttpResponse HandleQuery(const HttpRequest& request);
+  HttpResponse HandleUpdate(const HttpRequest& request);
+  HttpResponse HandleSkyline();
+  HttpResponse HandleMetrics();
+  void CountResponse(const HttpResponse& response);
+  /// Applies one parsed update row to the incremental view.
+  Status ApplyToView(ViewState* view, const Table& table, const Row& row,
+                     bool insert);
+
+  sql::Database* const db_;
+  const ServerOptions options_;
+
+  MetricsRegistry metrics_;
+  AdmissionController admission_;
+  ResultCache cache_;
+  const std::chrono::steady_clock::time_point start_time_;
+
+  // Metric handles (owned by metrics_).
+  Counter* requests_total_;
+  Counter* connections_total_;
+  Counter* queries_total_;
+  Counter* updates_total_;
+  Counter* rejected_total_;
+  Counter* degraded_total_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Counter* parse_errors_total_;
+  Counter* sky_record_comparisons_;
+  Counter* sky_group_pairs_;
+  Counter* sky_mbb_shortcuts_;
+  Counter* sky_stopped_early_;
+  Counter* sky_chunks_stolen_;
+  Histogram* query_latency_;
+  Gauge* active_queries_;
+  Gauge* queue_depth_;
+  Gauge* cache_entries_gauge_;
+  Gauge* cache_hit_ratio_;
+  Gauge* cache_evictions_;
+  Gauge* cache_invalidations_;
+  Gauge* uptime_seconds_;
+  Gauge* qps_;
+  std::map<int, Counter*> responses_by_code_;
+  Counter* responses_other_;
+
+  // Serializes read-modify-write /update cycles (the catalog itself only
+  // guards single operations).
+  std::mutex update_mutex_;
+
+  std::mutex view_mutex_;
+  std::unique_ptr<ViewState> view_;  // guarded by view_mutex_
+
+  // ---- Connection plumbing. ----------------------------------------------
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex conn_mutex_;
+  uint64_t next_conn_id_ = 0;
+  std::map<uint64_t, std::thread> connections_;  // guarded by conn_mutex_
+  std::set<int> conn_fds_;                       // guarded by conn_mutex_
+  std::vector<uint64_t> finished_;               // guarded by conn_mutex_
+};
+
+}  // namespace galaxy::server
+
+#endif  // GALAXY_SERVER_SERVER_H_

@@ -1,25 +1,72 @@
 #include "sql/catalog.h"
 
+#include <mutex>
+#include <utility>
+
 #include "common/str_util.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
 
 namespace galaxy::sql {
 
-void Database::Register(const std::string& name, Table table) {
-  tables_.insert_or_assign(AsciiLower(name), std::move(table));
+Database::Database(Database&& other) noexcept {
+  std::unique_lock lock(other.mutex_);
+  next_version_ = other.next_version_;
+  tables_ = std::move(other.tables_);
+}
+
+Database& Database::operator=(Database&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  next_version_ = other.next_version_;
+  tables_ = std::move(other.tables_);
+  return *this;
+}
+
+uint64_t Database::Register(const std::string& name, Table table) {
+  auto snapshot = std::make_shared<const Table>(std::move(table));
+  std::unique_lock lock(mutex_);
+  const uint64_t version = ++next_version_;
+  tables_.insert_or_assign(AsciiLower(name),
+                           Entry{std::move(snapshot), version});
+  return version;
 }
 
 void Database::Unregister(const std::string& name) {
+  std::unique_lock lock(mutex_);
   tables_.erase(AsciiLower(name));
 }
 
-Result<const Table*> Database::GetTable(const std::string& name) const {
+Result<std::shared_ptr<const Table>> Database::GetTable(
+    const std::string& name) const {
+  std::shared_lock lock(mutex_);
   auto it = tables_.find(AsciiLower(name));
   if (it == tables_.end()) {
     return Status::NotFound("no table named: " + name);
   }
-  return &it->second;
+  return it->second.table;
+}
+
+Result<uint64_t> Database::TableVersion(const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  auto it = tables_.find(AsciiLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named: " + name);
+  }
+  return it->second.version;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) names.push_back(name);
+  return names;
+}
+
+size_t Database::num_tables() const {
+  std::shared_lock lock(mutex_);
+  return tables_.size();
 }
 
 Result<Table> Database::Query(const std::string& sql) const {

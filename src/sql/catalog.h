@@ -1,8 +1,12 @@
 #ifndef GALAXY_SQL_CATALOG_H_
 #define GALAXY_SQL_CATALOG_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "relation/table.h"
@@ -19,18 +23,52 @@ struct ExecStats;    // sql/executor.h
 ///   db.Register("movies", MovieTable());
 ///   GALAXY_ASSIGN_OR_RETURN(Table result,
 ///                           db.Query("SELECT * FROM movies WHERE Pop > 400"));
+///
+/// Thread safety: every method may be called concurrently from any number
+/// of threads. Tables are copy-on-update snapshots: Register installs a new
+/// immutable `shared_ptr<const Table>`, and readers (GetTable, Query) keep
+/// the snapshot they resolved alive for as long as they need it, so a
+/// concurrent Register/Unregister never invalidates an in-flight query —
+/// the query simply keeps reading the version it started with. There are no
+/// multi-table transactions: a query joining two tables may observe table A
+/// before and table B after a concurrent pair of updates.
+///
+/// Each Register assigns the table a version drawn from a database-wide
+/// monotonic counter, so per-table versions strictly increase across
+/// replace (and even across Unregister + re-Register). (normalized SQL,
+/// referenced-table versions) is therefore a sound cache key: any update
+/// changes the version and invalidates dependent entries (the serving
+/// layer's result cache, src/server/result_cache.h, is built on this).
 class Database {
  public:
   Database() = default;
 
+  /// Movable so factories can return a populated database by value. Moving
+  /// is NOT thread-safe with respect to concurrent users of either operand
+  /// — move only during single-threaded setup/teardown.
+  Database(Database&& other) noexcept;
+  Database& operator=(Database&& other) noexcept;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
   /// Registers (or replaces) a table under a case-insensitive name.
-  void Register(const std::string& name, Table table);
+  /// Returns the table's new version (monotonically increasing across the
+  /// whole database; never 0).
+  uint64_t Register(const std::string& name, Table table);
 
   /// Removes a table; missing names are ignored.
   void Unregister(const std::string& name);
 
-  /// Looks up a table by case-insensitive name.
-  Result<const Table*> GetTable(const std::string& name) const;
+  /// Looks up a table snapshot by case-insensitive name. The snapshot is
+  /// immutable; holding the returned shared_ptr keeps it valid regardless
+  /// of concurrent Register/Unregister calls.
+  Result<std::shared_ptr<const Table>> GetTable(const std::string& name) const;
+
+  /// Current version of a table (see Register), NotFound if absent.
+  Result<uint64_t> TableVersion(const std::string& name) const;
+
+  /// Lower-cased names of all registered tables, ascending.
+  std::vector<std::string> TableNames() const;
 
   /// Parses and executes one SELECT statement.
   Result<Table> Query(const std::string& sql) const;
@@ -42,11 +80,18 @@ class Database {
   Result<Table> Query(const std::string& sql, const ExecOptions& options,
                       ExecStats* stats = nullptr) const;
 
-  size_t num_tables() const { return tables_.size(); }
+  size_t num_tables() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<const Table> table;
+    uint64_t version = 0;
+  };
+
+  mutable std::shared_mutex mutex_;
+  uint64_t next_version_ = 0;  // guarded by mutex_
   // Keyed by lower-cased name.
-  std::map<std::string, Table> tables_;
+  std::map<std::string, Entry> tables_;
 };
 
 }  // namespace galaxy::sql

@@ -576,16 +576,22 @@ static Result<Table> ExecuteSingleSelect(const Database& db, SelectStmt& stmt,
   if (stmt.from.empty()) {
     return Status::InvalidArgument("FROM clause is required");
   }
+  // Each table is a pinned copy-on-update snapshot (sql/catalog.h): the
+  // shared_ptr keeps it alive for the whole query even if a concurrent
+  // Register replaces the catalog entry mid-run.
+  std::vector<std::shared_ptr<const Table>> pinned;
   std::vector<const Table*> tables;
   std::vector<SlotInfo> slots;
   std::vector<size_t> table_first_slot;
   for (const TableRef& ref : stmt.from) {
-    GALAXY_ASSIGN_OR_RETURN(const Table* t, db.GetTable(ref.table_name));
+    GALAXY_ASSIGN_OR_RETURN(std::shared_ptr<const Table> t,
+                            db.GetTable(ref.table_name));
     table_first_slot.push_back(slots.size());
     for (const ColumnDef& c : t->schema().columns()) {
       slots.push_back({ref.effective_alias(), c.name, c.type});
     }
-    tables.push_back(t);
+    tables.push_back(t.get());
+    pinned.push_back(std::move(t));
   }
 
   Binder binder(std::move(slots));
@@ -1054,7 +1060,10 @@ static Result<Table> ExecuteSingleSelect(const Database& db, SelectStmt& stmt,
           GALAXY_ASSIGN_OR_RETURN(
               core::AggregateSkylineResult sky,
               core::ComputeAggregateSkylineBounded(dataset, options));
-          if (stats != nullptr) stats->skyline_quality = sky.quality;
+          if (stats != nullptr) {
+            stats->skyline_quality = sky.quality;
+            stats->skyline_stats = sky.stats;
+          }
           for (uint32_t id : sky.skyline) {
             filtered.push_back(surviving[id]);
           }

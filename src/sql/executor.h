@@ -3,6 +3,7 @@
 
 #include "common/status.h"
 #include "core/exec_context.h"
+#include "core/options.h"
 #include "relation/table.h"
 #include "sql/ast.h"
 #include "sql/catalog.h"
@@ -41,6 +42,10 @@ struct ExecStats {
   /// Quality of the aggregate-skyline step, if the query had one:
   /// kApproximateSuperset after a graceful degradation (see ExecOptions).
   core::ResultQuality skyline_quality = core::ResultQuality::kExact;
+  /// Work counters of the aggregate-skyline step, if the query had one
+  /// (all zero otherwise). The serving layer aggregates these into its
+  /// metrics registry.
+  core::AggregateSkylineStats skyline_stats;
 };
 
 /// Executes a bound-and-parsed SELECT statement against the database.

@@ -1,6 +1,7 @@
 #include "testing/differential.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 
 #include "common/logging.h"
@@ -431,11 +432,44 @@ Reproducer Shrink(const PointGroups& groups, double gamma,
   return repro;
 }
 
+namespace {
+
+// Deterministic test-name hash: FNV-1a over the configuration name, gamma
+// and every coordinate, so the generated test keeps the same identity when
+// the campaign is re-run and distinct failures get distinct names.
+uint64_t ReproducerFingerprint(const Reproducer& repro) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const void* data, size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      h ^= bytes[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  std::string config_name = repro.config.Name();
+  mix(config_name.data(), config_name.size());
+  mix(&repro.gamma, sizeof(repro.gamma));
+  for (const std::vector<Point>& group : repro.groups) {
+    uint64_t marker = group.size();
+    mix(&marker, sizeof(marker));
+    for (const Point& p : group) {
+      mix(p.data(), p.size() * sizeof(double));
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
 std::string ReproducerToCpp(const Reproducer& repro) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "Repro_%016llx_Seed%llu",
+                static_cast<unsigned long long>(ReproducerFingerprint(repro)),
+                static_cast<unsigned long long>(repro.dataset_seed));
   std::string out;
   out += "// Shrunk reproducer from the differential harness.\n";
   out += "// Disagreement: " + repro.detail + "\n";
-  out += "TEST(DifferentialRegressionTest, TODO_NameThis) {\n";
+  out += "TEST(DifferentialRegressionTest, " + std::string(name) + ") {\n";
   out += "  core::GroupedDataset ds = core::GroupedDataset::FromPoints({\n";
   for (const std::vector<Point>& g : repro.groups) {
     out += "      {";

@@ -89,6 +89,10 @@ struct Reproducer {
   double gamma = 0.5;
   DifferentialConfig config;
   std::string detail;
+  /// Seed of the dataset that produced the failure (0 when unknown);
+  /// embedded in the generated test name so the original campaign is
+  /// recoverable from the pasted test alone.
+  uint64_t dataset_seed = 0;
 };
 
 /// Greedily shrinks a failing input while the same configuration keeps
@@ -98,7 +102,10 @@ struct Reproducer {
 Reproducer Shrink(const PointGroups& groups, double gamma,
                   const DifferentialConfig& config);
 
-/// Renders the reproducer as a ready-to-paste C++ gtest case.
+/// Renders the reproducer as a ready-to-paste C++ gtest case. The test
+/// name is deterministic — Repro_<hash>_Seed<seed>, where the hash covers
+/// the configuration, gamma and every coordinate — so two reproducers
+/// collide in name only if they are the same failure.
 std::string ReproducerToCpp(const Reproducer& repro);
 
 }  // namespace galaxy::testing

@@ -1,0 +1,134 @@
+#include "server/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace galaxy::server {
+namespace {
+
+using Outcome = AdmissionController::Outcome;
+
+TEST(AdmissionTest, AdmitsUpToMaxConcurrent) {
+  AdmissionOptions options;
+  options.max_concurrent = 3;
+  options.queue_capacity = 0;
+  options.queue_timeout = std::chrono::milliseconds(10);
+  AdmissionController admission(options);
+
+  EXPECT_EQ(admission.Acquire(), Outcome::kAdmitted);
+  EXPECT_EQ(admission.Acquire(), Outcome::kAdmitted);
+  EXPECT_EQ(admission.Acquire(), Outcome::kAdmitted);
+  EXPECT_EQ(admission.active(), 3u);
+  // No queue slots: the fourth arrival is rejected immediately.
+  EXPECT_EQ(admission.Acquire(), Outcome::kRejected);
+  admission.Release();
+  EXPECT_EQ(admission.Acquire(), Outcome::kAdmitted);
+  for (int i = 0; i < 3; ++i) admission.Release();
+  EXPECT_EQ(admission.active(), 0u);
+}
+
+TEST(AdmissionTest, QueuedArrivalTimesOutWithoutSlot) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.queue_capacity = 1;
+  options.queue_timeout = std::chrono::milliseconds(30);
+  AdmissionController admission(options);
+
+  ASSERT_EQ(admission.Acquire(), Outcome::kAdmitted);
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(admission.Acquire(), Outcome::kTimedOut);
+  auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(waited, std::chrono::milliseconds(25));
+  admission.Release();
+}
+
+TEST(AdmissionTest, ReleaseWakesQueuedWaiter) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.queue_capacity = 1;
+  options.queue_timeout = std::chrono::seconds(5);
+  AdmissionController admission(options);
+
+  ASSERT_EQ(admission.Acquire(), Outcome::kAdmitted);
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    if (admission.Acquire() == Outcome::kAdmitted) {
+      admitted.store(true);
+      admission.Release();
+    }
+  });
+  // Give the waiter time to enqueue, then free the slot.
+  while (admission.queued() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  admission.Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(admission.active(), 0u);
+  EXPECT_EQ(admission.queued(), 0u);
+}
+
+TEST(AdmissionTest, QueueOverflowRejectsImmediately) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.queue_capacity = 2;
+  options.queue_timeout = std::chrono::seconds(5);
+  AdmissionController admission(options);
+
+  ASSERT_EQ(admission.Acquire(), Outcome::kAdmitted);
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 2; ++i) {
+    waiters.emplace_back([&] {
+      if (admission.Acquire() == Outcome::kAdmitted) admission.Release();
+    });
+  }
+  while (admission.queued() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Queue full: an immediate rejection, no waiting.
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(admission.Acquire(), Outcome::kRejected);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(1));
+  admission.Release();
+  for (std::thread& t : waiters) t.join();
+}
+
+TEST(AdmissionTest, StressNeverExceedsLimit) {
+  AdmissionOptions options;
+  options.max_concurrent = 4;
+  options.queue_capacity = 64;
+  options.queue_timeout = std::chrono::seconds(5);
+  AdmissionController admission(options);
+
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 16; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (admission.Acquire() != Outcome::kAdmitted) continue;
+        int now = inside.fetch_add(1) + 1;
+        int seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::yield();
+        inside.fetch_sub(1);
+        admission.Release();
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(peak.load(), 4);
+  EXPECT_GT(completed.load(), 0);
+  EXPECT_EQ(admission.active(), 0u);
+}
+
+}  // namespace
+}  // namespace galaxy::server

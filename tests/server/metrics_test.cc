@@ -1,0 +1,133 @@
+#include "server/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace galaxy::server {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 10000; ++i) counter.Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), 80000u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(5);
+  gauge.Add(-8);
+  EXPECT_EQ(gauge.value(), -3);
+}
+
+TEST(HistogramTest, BucketsArePowerOfTwoUpperBounds) {
+  Histogram h;
+  h.Observe(1);    // le 1  (bucket 0)
+  h.Observe(2);    // le 2  (bucket 1)
+  h.Observe(3);    // le 4  (bucket 2)
+  h.Observe(4);    // le 4  (bucket 2)
+  h.Observe(5);    // le 8  (bucket 3)
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum_micros(), 15u);
+}
+
+TEST(HistogramTest, OverflowBucketCatchesHugeValues) {
+  Histogram h;
+  h.Observe(uint64_t{1} << 40);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneAndBracketed) {
+  Histogram h;
+  for (uint64_t us = 1; us <= 1000; ++us) h.Observe(us);
+  double p50 = h.QuantileMicros(0.5);
+  double p90 = h.QuantileMicros(0.9);
+  double p99 = h.QuantileMicros(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // The true p50 of 1..1000 is ~500; the bucketed estimate must stay
+  // within its bucket (le 512, previous bound 256).
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 512.0);
+  EXPECT_LE(p99, 1024.0);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.QuantileMicros(0.99), 0.0);
+}
+
+TEST(MetricsRegistryTest, RendersPrometheusTextFormat) {
+  MetricsRegistry registry;
+  Counter* requests = registry.AddCounter("app_requests_total", "requests");
+  Gauge* depth = registry.AddGauge("app_queue_depth", "queue depth");
+  Histogram* latency =
+      registry.AddHistogram("app_latency_seconds", "latency");
+  requests->Inc(3);
+  depth->Set(7);
+  latency->Observe(1000);  // 1ms
+
+  std::string text = registry.Render();
+  EXPECT_NE(text.find("# HELP app_requests_total requests"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("app_queue_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_latency_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_latency_seconds_count 1"), std::string::npos);
+  EXPECT_NE(text.find("app_latency_seconds_p50"), std::string::npos);
+  EXPECT_NE(text.find("app_latency_seconds_p99"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LabeledSeriesShareOneHelpBlock) {
+  MetricsRegistry registry;
+  Counter* ok = registry.AddCounter("app_responses_total", "responses",
+                                    "{code=\"200\"}");
+  Counter* bad = registry.AddCounter("app_responses_total", "responses",
+                                     "{code=\"400\"}");
+  ok->Inc(2);
+  bad->Inc(1);
+  std::string text = registry.Render();
+  EXPECT_NE(text.find("app_responses_total{code=\"200\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_responses_total{code=\"400\"} 1"),
+            std::string::npos);
+  // HELP/TYPE emitted once for the shared family, not per label set.
+  size_t first = text.find("# HELP app_responses_total");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# HELP app_responses_total", first + 1),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram* h = registry.AddHistogram("lat_seconds", "x");
+  h->Observe(1);  // bucket le=1us
+  h->Observe(3);  // bucket le=4us
+  std::string text = registry.Render();
+  // The 4us bucket must include the 1us observation (cumulative count 2).
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"4e-06\"} 2"),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace galaxy::server

@@ -1,0 +1,129 @@
+#include "server/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/table.h"
+#include "sql/catalog.h"
+#include "sql/parser.h"
+
+namespace galaxy::server {
+namespace {
+
+Table TinyTable() {
+  Schema schema({{"a", ValueType::kInt64}});
+  return Table(schema, {{Value(int64_t{1})}});
+}
+
+TEST(NormalizeSqlTest, CollapsesWhitespaceAndFoldsCase) {
+  EXPECT_EQ(NormalizeSql("SELECT  *\n FROM\tMovies"), "select * from movies");
+  EXPECT_EQ(NormalizeSql("  select 1  "), "select 1");
+}
+
+TEST(NormalizeSqlTest, PreservesStringLiterals) {
+  EXPECT_EQ(NormalizeSql("SELECT 'A  B' FROM t"), "select 'A  B' from t");
+  // The '' escape stays inside the literal.
+  EXPECT_EQ(NormalizeSql("SELECT 'It''S' FROM T"), "select 'It''S' from t");
+}
+
+TEST(NormalizeSqlTest, EquivalentSpellingsShareAKey) {
+  EXPECT_EQ(NormalizeSql("SELECT * FROM t WHERE a > 1"),
+            NormalizeSql("select  *  from T where A > 1"));
+  EXPECT_NE(NormalizeSql("SELECT 'x' FROM t"),
+            NormalizeSql("SELECT 'X' FROM t"));
+}
+
+std::vector<std::string> TablesOf(const std::string& sql) {
+  auto stmt = sql::Parse(sql);
+  EXPECT_TRUE(stmt.ok()) << sql;
+  return CollectReferencedTables(**stmt);
+}
+
+TEST(CollectReferencedTablesTest, FindsFromSubqueryAndUnionTables) {
+  EXPECT_EQ(TablesOf("SELECT * FROM Movies"),
+            (std::vector<std::string>{"movies"}));
+  EXPECT_EQ(TablesOf("SELECT * FROM a WHERE x IN (SELECT x FROM b)"),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(TablesOf("SELECT x FROM a UNION SELECT x FROM b"),
+            (std::vector<std::string>{"a", "b"}));
+  // Duplicates collapse.
+  EXPECT_EQ(TablesOf("SELECT * FROM t WHERE x IN (SELECT x FROM T)"),
+            (std::vector<std::string>{"t"}));
+}
+
+TEST(ResultCacheTest, HitAfterInsertMissAfterVersionBump) {
+  sql::Database db;
+  uint64_t v1 = db.Register("t", TinyTable());
+  ResultCache cache(/*max_entries=*/4, /*max_bytes=*/1 << 20);
+
+  EXPECT_EQ(cache.Lookup("k", db), nullptr);  // cold miss
+  cache.Insert("k", {{"t", v1}}, CachedResponse{"body", "application/json"});
+  auto hit = cache.Lookup("k", db);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->body, "body");
+
+  db.Register("t", TinyTable());  // bump the version
+  EXPECT_EQ(cache.Lookup("k", db), nullptr);
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(cache.size(), 0u);  // the stale entry was dropped
+}
+
+TEST(ResultCacheTest, MissingDependencyTableInvalidates) {
+  sql::Database db;
+  uint64_t v = db.Register("t", TinyTable());
+  ResultCache cache(4, 1 << 20);
+  cache.Insert("k", {{"gone", v}}, CachedResponse{"b", "text/csv"});
+  EXPECT_EQ(cache.Lookup("k", db), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ResultCacheTest, LruEvictionByEntryCount) {
+  sql::Database db;
+  uint64_t v = db.Register("t", TinyTable());
+  ResultCache cache(/*max_entries=*/2, /*max_bytes=*/1 << 20);
+  cache.Insert("a", {{"t", v}}, CachedResponse{"1", "x"});
+  cache.Insert("b", {{"t", v}}, CachedResponse{"2", "x"});
+  ASSERT_NE(cache.Lookup("a", db), nullptr);  // touch "a" -> "b" is LRU
+  cache.Insert("c", {{"t", v}}, CachedResponse{"3", "x"});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup("a", db), nullptr);
+  EXPECT_EQ(cache.Lookup("b", db), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup("c", db), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, ByteBoundEvictsAndOversizeBodyIsNotCached) {
+  sql::Database db;
+  uint64_t v = db.Register("t", TinyTable());
+  ResultCache cache(/*max_entries=*/100, /*max_bytes=*/100);
+  cache.Insert("big", {{"t", v}},
+               CachedResponse{std::string(101, 'x'), "x"});
+  EXPECT_EQ(cache.size(), 0u);  // larger than the whole cache: skipped
+
+  cache.Insert("a", {{"t", v}}, CachedResponse{std::string(60, 'a'), "x"});
+  cache.Insert("b", {{"t", v}}, CachedResponse{std::string(60, 'b'), "x"});
+  EXPECT_EQ(cache.size(), 1u);  // the byte bound forced "a" out
+  EXPECT_EQ(cache.Lookup("a", db), nullptr);
+  EXPECT_NE(cache.Lookup("b", db), nullptr);
+}
+
+TEST(ResultCacheTest, ReinsertReplacesExistingEntry) {
+  sql::Database db;
+  uint64_t v = db.Register("t", TinyTable());
+  ResultCache cache(4, 1 << 20);
+  cache.Insert("k", {{"t", v}}, CachedResponse{"old", "x"});
+  cache.Insert("k", {{"t", v}}, CachedResponse{"new", "x"});
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.Lookup("k", db);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->body, "new");
+}
+
+}  // namespace
+}  // namespace galaxy::server

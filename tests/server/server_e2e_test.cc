@@ -1,0 +1,432 @@
+// End-to-end serving-layer tests over real loopback sockets: round trips,
+// admission-control rejection, deterministic graceful degradation (206),
+// result-cache hits and their invalidation by /update, the incremental
+// skyline view, and the metrics endpoint.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "relation/schema.h"
+#include "relation/table.h"
+#include "server/server.h"
+#include "sql/catalog.h"
+
+namespace galaxy::server {
+namespace {
+
+struct ClientResponse {
+  int status = 0;
+  std::string headers;
+  std::string body;
+};
+
+// One full HTTP exchange on a fresh loopback connection.
+ClientResponse Exchange(uint16_t port, const std::string& request) {
+  ClientResponse out;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return out;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return out;
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return out;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string buffer;
+  char chunk[8192];
+  while (true) {
+    size_t header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) {
+      out.headers = buffer.substr(0, header_end + 4);
+      out.status = std::atoi(out.headers.c_str() + 9);
+      size_t content_length = 0;
+      size_t cl = out.headers.find("Content-Length:");
+      if (cl != std::string::npos) {
+        content_length = static_cast<size_t>(
+            std::strtoull(out.headers.c_str() + cl + 15, nullptr, 10));
+      }
+      size_t total = header_end + 4 + content_length;
+      while (buffer.size() < total) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) break;
+        buffer.append(chunk, static_cast<size_t>(n));
+      }
+      out.body = buffer.substr(header_end + 4);
+      break;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string QueryRequest(const std::string& sql,
+                         const std::string& extra_headers = "") {
+  return "POST /query HTTP/1.1\r\nHost: test\r\n" + extra_headers +
+         "Content-Length: " + std::to_string(sql.size()) + "\r\n\r\n" + sql;
+}
+
+// A grouped numeric table: `groups` labels, `per_group` records each, two
+// uniform attributes — big enough configurations make the skyline step
+// dominate the comparison budget.
+Table GroupedTable(int groups, int per_group, uint64_t seed) {
+  Schema schema({{"class", ValueType::kString},
+                 {"a0", ValueType::kDouble},
+                 {"a1", ValueType::kDouble}});
+  Rng rng(seed);
+  std::vector<Row> rows;
+  for (int g = 0; g < groups; ++g) {
+    for (int i = 0; i < per_group; ++i) {
+      rows.push_back(Row{Value("g" + std::to_string(g)),
+                         Value(rng.NextDouble()), Value(rng.NextDouble())});
+    }
+  }
+  return Table(schema, std::move(rows));
+}
+
+class ServerE2eTest : public ::testing::Test {
+ protected:
+  void StartServer(Table table, ServerOptions options = {}) {
+    db_.Register("data", std::move(table));
+    options.port = 0;  // ephemeral
+    server_ = std::make_unique<Server>(&db_, options);
+    ASSERT_TRUE(server_->Start().ok());
+    port_ = server_->port();
+    ASSERT_NE(port_, 0);
+  }
+
+  sql::Database db_;
+  std::unique_ptr<Server> server_;
+  uint16_t port_ = 0;
+};
+
+TEST_F(ServerE2eTest, HealthzAndUnknownRoutes) {
+  StartServer(GroupedTable(2, 2, 1));
+  ClientResponse health =
+      Exchange(port_, "GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  EXPECT_EQ(Exchange(port_, "GET /nope HTTP/1.1\r\n\r\n").status, 404);
+  // Wrong method on a known route.
+  EXPECT_EQ(Exchange(port_, "GET /query HTTP/1.1\r\n\r\n").status, 405);
+  // A parse error is answered (with close) rather than dropped.
+  EXPECT_EQ(Exchange(port_, "BAD\r\n\r\n").status, 400);
+}
+
+TEST_F(ServerE2eTest, QueryRoundTripJsonAndCsv) {
+  StartServer(GroupedTable(3, 4, 2));
+  const std::string sql =
+      "SELECT class, count(*) FROM data GROUP BY class ORDER BY class";
+
+  ClientResponse json = Exchange(port_, QueryRequest(sql));
+  EXPECT_EQ(json.status, 200);
+  EXPECT_NE(json.headers.find("application/json"), std::string::npos);
+  EXPECT_NE(json.body.find("\"columns\": [\"class\", \"COUNT(*)\"]"),
+            std::string::npos);
+  EXPECT_NE(json.body.find("[\"g0\", 4]"), std::string::npos);
+  EXPECT_NE(json.body.find("\"degraded\": false"), std::string::npos);
+
+  ClientResponse csv =
+      Exchange(port_, QueryRequest(sql, "Accept: text/csv\r\n"));
+  EXPECT_EQ(csv.status, 200);
+  EXPECT_NE(csv.headers.find("text/csv"), std::string::npos);
+  EXPECT_NE(csv.body.find("class,COUNT(*)"), std::string::npos);
+  EXPECT_NE(csv.body.find("g0,4"), std::string::npos);
+}
+
+TEST_F(ServerE2eTest, BadSqlIs400AndEmptyBodyIs400) {
+  StartServer(GroupedTable(2, 2, 3));
+  EXPECT_EQ(Exchange(port_, QueryRequest("SELECT FROM nothing")).status, 400);
+  EXPECT_EQ(Exchange(port_, QueryRequest("SELECT * FROM missing")).status,
+            404);
+  ClientResponse empty =
+      Exchange(port_, "POST /query HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_EQ(empty.status, 400);
+}
+
+TEST_F(ServerE2eTest, OverloadReturns429) {
+  ServerOptions options;
+  options.admission.max_concurrent = 1;
+  options.admission.queue_capacity = 0;
+  options.admission.queue_timeout = std::chrono::milliseconds(50);
+  StartServer(GroupedTable(40, 50, 4), options);
+
+  // A heavy skyline query holds the only slot; concurrent distinct
+  // queries (different SQL, so no cache collisions) must be rejected.
+  const std::string heavy =
+      "SELECT class FROM data GROUP BY class "
+      "SKYLINE OF a0 MAX, a1 MAX GAMMA 0.9";
+
+  std::atomic<int> ok{0}, rejected{0}, other{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      // A distinct LIMIT per client defeats result-cache sharing.
+      ClientResponse r = Exchange(
+          port_, QueryRequest(heavy + " LIMIT " + std::to_string(40 + c)));
+      if (r.status == 200) ok.fetch_add(1);
+      else if (r.status == 429) rejected.fetch_add(1);
+      else other.fetch_add(1);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_GE(ok.load(), 1);
+  EXPECT_GE(rejected.load(), 1);
+  EXPECT_EQ(other.load(), 0);
+}
+
+TEST_F(ServerE2eTest, ComparisonBudgetDegradesTo206) {
+  StartServer(GroupedTable(50, 100, 5));
+  const std::string sql =
+      "SELECT class FROM data GROUP BY class "
+      "SKYLINE OF a0 MAX, a1 MAX GAMMA 0.9";
+
+  // Budget far above the row-at-a-time pre-skyline charges (~2 per row for
+  // 5000 rows) but far below what the skyline step over 100-record groups
+  // needs: the trip lands inside the degradable skyline operator,
+  // deterministically.
+  ClientResponse degraded = Exchange(
+      port_, QueryRequest(sql, "X-Galaxy-Max-Comparisons: 50000\r\n"));
+  EXPECT_EQ(degraded.status, 206);
+  EXPECT_NE(degraded.headers.find("X-Galaxy-Quality: approximate-superset"),
+            std::string::npos);
+  EXPECT_NE(degraded.body.find("\"degraded\": true"), std::string::npos);
+
+  // Strict mode turns the same trip into a hard 408.
+  ClientResponse strict = Exchange(
+      port_, QueryRequest(sql, "X-Galaxy-Max-Comparisons: 50000\r\n"
+                               "X-Galaxy-Strict: 1\r\n"));
+  EXPECT_EQ(strict.status, 408);
+
+  // The degraded answer is a sound superset of the exact one.
+  ClientResponse exact = Exchange(port_, QueryRequest(sql));
+  EXPECT_EQ(exact.status, 200);
+  // Every group in the exact skyline appears in the degraded superset.
+  for (int g = 0; g < 50; ++g) {
+    std::string label = "\"g" + std::to_string(g) + "\"";
+    if (exact.body.find(label) != std::string::npos) {
+      EXPECT_NE(degraded.body.find(label), std::string::npos) << label;
+    }
+  }
+}
+
+TEST_F(ServerE2eTest, TinyWallDeadlineIsBoundedAndSound) {
+  StartServer(GroupedTable(40, 60, 6));
+  const std::string sql =
+      "SELECT class FROM data GROUP BY class "
+      "SKYLINE OF a0 MAX, a1 MAX GAMMA 0.9";
+  // A 1ms wall deadline can trip inside the degradable skyline step (206),
+  // before it in a non-degradable phase (408), or — on a fast machine —
+  // not at all (200). All three are contract-conforming; what is not
+  // allowed is a 5xx or a hang.
+  ClientResponse r =
+      Exchange(port_, QueryRequest(sql, "X-Galaxy-Timeout-Ms: 1\r\n"));
+  EXPECT_TRUE(r.status == 200 || r.status == 206 || r.status == 408)
+      << r.status;
+  if (r.status == 206) {
+    EXPECT_NE(r.body.find("\"degraded\": true"), std::string::npos);
+  }
+}
+
+TEST_F(ServerE2eTest, CacheHitThenInvalidationAfterUpdate) {
+  StartServer(GroupedTable(3, 3, 7));
+  const std::string sql =
+      "SELECT class, count(*) FROM data GROUP BY class ORDER BY class";
+
+  ClientResponse miss = Exchange(port_, QueryRequest(sql));
+  EXPECT_EQ(miss.status, 200);
+  EXPECT_NE(miss.headers.find("X-Galaxy-Cache: miss"), std::string::npos);
+
+  // Same statement, different whitespace/case: still a hit.
+  ClientResponse hit = Exchange(
+      port_,
+      QueryRequest("select   class, COUNT(*) from DATA group by class "
+                   "order by class"));
+  EXPECT_EQ(hit.status, 200);
+  EXPECT_NE(hit.headers.find("X-Galaxy-Cache: hit"), std::string::npos);
+  EXPECT_EQ(hit.body, miss.body);
+
+  // /update bumps the table version; the next lookup must recompute.
+  const std::string row = "g0,0.5,0.5";
+  ClientResponse update = Exchange(
+      port_,
+      "POST /update?table=data&op=insert HTTP/1.1\r\nContent-Length: " +
+          std::to_string(row.size()) + "\r\n\r\n" + row);
+  EXPECT_EQ(update.status, 200);
+  EXPECT_NE(update.body.find("\"version\": "), std::string::npos);
+
+  ClientResponse after = Exchange(port_, QueryRequest(sql));
+  EXPECT_EQ(after.status, 200);
+  EXPECT_NE(after.headers.find("X-Galaxy-Cache: miss"), std::string::npos);
+  EXPECT_NE(after.body.find("[\"g0\", 4]"), std::string::npos);  // 3 -> 4
+
+  ResultCache::Stats stats = server_->cache_stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.invalidations, 1u);
+}
+
+TEST_F(ServerE2eTest, UpdateValidation) {
+  StartServer(GroupedTable(2, 2, 8));
+  // Unknown table.
+  EXPECT_EQ(Exchange(port_,
+                     "POST /update?table=ghost HTTP/1.1\r\n"
+                     "Content-Length: 10\r\n\r\ng0,0.1,0.2")
+                .status,
+            404);
+  // Malformed row (arity).
+  EXPECT_EQ(Exchange(port_,
+                     "POST /update?table=data HTTP/1.1\r\n"
+                     "Content-Length: 6\r\n\r\ng0,0.1")
+                .status,
+            400);
+  // Bad op.
+  EXPECT_EQ(Exchange(port_,
+                     "POST /update?table=data&op=upsert HTTP/1.1\r\n"
+                     "Content-Length: 10\r\n\r\ng0,0.1,0.2")
+                .status,
+            400);
+  // Removing an absent row.
+  EXPECT_EQ(Exchange(port_,
+                     "POST /update?table=data&op=remove HTTP/1.1\r\n"
+                     "Content-Length: 10\r\n\r\nzz,0.9,0.9")
+                .status,
+            404);
+}
+
+TEST_F(ServerE2eTest, SkylineViewMaintainedAcrossUpdates) {
+  StartServer(GroupedTable(3, 5, 9));
+  SkylineViewConfig view;
+  view.table = "data";
+  view.group_column = "class";
+  view.attrs = {"a0", "a1"};
+  view.gamma = 0.6;
+  ASSERT_TRUE(server_->EnableSkylineView(view).ok());
+
+  ClientResponse before = Exchange(port_, "GET /skyline HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(before.status, 200);
+  EXPECT_NE(before.body.find("\"total_records\": 15"), std::string::npos);
+
+  // Insert a group of dominant records; it must enter the skyline.
+  for (int i = 0; i < 3; ++i) {
+    const std::string row = "champ,9.0,9.0";
+    ClientResponse update = Exchange(
+        port_,
+        "POST /update?table=data&op=insert HTTP/1.1\r\nContent-Length: " +
+            std::to_string(row.size()) + "\r\n\r\n" + row);
+    ASSERT_EQ(update.status, 200) << update.body;
+  }
+  ClientResponse after = Exchange(port_, "GET /skyline HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(after.status, 200);
+  EXPECT_NE(after.body.find("\"champ\""), std::string::npos);
+  EXPECT_NE(after.body.find("\"total_records\": 18"), std::string::npos);
+
+  // Removing the inserted records restores the original skyline size.
+  for (int i = 0; i < 3; ++i) {
+    const std::string row = "champ,9.0,9.0";
+    ClientResponse update = Exchange(
+        port_,
+        "POST /update?table=data&op=remove HTTP/1.1\r\nContent-Length: " +
+            std::to_string(row.size()) + "\r\n\r\n" + row);
+    ASSERT_EQ(update.status, 200) << update.body;
+  }
+  ClientResponse restored = Exchange(port_, "GET /skyline HTTP/1.1\r\n\r\n");
+  EXPECT_NE(restored.body.find("\"total_records\": 15"), std::string::npos);
+  EXPECT_EQ(restored.body.find("\"champ\""), std::string::npos);
+}
+
+TEST_F(ServerE2eTest, MetricsEndpointReportsServingCounters) {
+  StartServer(GroupedTable(2, 3, 10));
+  const std::string sql = "SELECT count(*) FROM data";
+  EXPECT_EQ(Exchange(port_, QueryRequest(sql)).status, 200);
+  EXPECT_EQ(Exchange(port_, QueryRequest(sql)).status, 200);  // cache hit
+  EXPECT_EQ(Exchange(port_, QueryRequest("garbage")).status, 400);
+
+  ClientResponse metrics = Exchange(port_, "GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.headers.find("text/plain"), std::string::npos);
+  for (const char* needle :
+       {"galaxy_queries_total 3", "galaxy_cache_hits_total 1",
+        "galaxy_sql_parse_errors_total 1",
+        "galaxy_http_responses_total{code=\"200\"}",
+        "galaxy_http_responses_total{code=\"400\"} 1",
+        "galaxy_query_latency_seconds_bucket",
+        "galaxy_query_latency_seconds_p99", "galaxy_uptime_seconds",
+        "galaxy_skyline_record_comparisons_total"}) {
+    EXPECT_NE(metrics.body.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST_F(ServerE2eTest, KeepAliveServesSequentialRequestsOnOneConnection) {
+  StartServer(GroupedTable(2, 2, 11));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string buffer;
+  char chunk[4096];
+  for (int i = 0; i < 3; ++i) {
+    const std::string request = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+    ASSERT_GT(::send(fd, request.data(), request.size(), MSG_NOSIGNAL), 0);
+    // "ok\n" is 3 bytes; read until the body arrives.
+    while (buffer.find("ok\n") == std::string::npos) {
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      ASSERT_GT(n, 0);
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    buffer.clear();
+  }
+  ::close(fd);
+}
+
+TEST_F(ServerE2eTest, StopUnblocksOpenConnections) {
+  StartServer(GroupedTable(2, 2, 12));
+  // Open a connection, send nothing, then stop the server: Stop() must
+  // return promptly (shutdown unblocks the connection's recv).
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  auto start = std::chrono::steady_clock::now();
+  server_->Stop();
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace galaxy::server

@@ -1,0 +1,485 @@
+// galaxy_bench_client — closed-loop load generator for galaxy_served.
+//
+//   galaxy_bench_client --port 8080 [--host 127.0.0.1]
+//                       [--sql "SELECT ..."] [--connections 4]
+//                       [--requests 1000 | --duration-s 10] [--qps 0]
+//                       [--deadline-ms 0] [--deadline-dist fixed|exp]
+//                       [--update-every 0] [--update-table T]
+//                       [--update-body "csv,row"] [--accept json|csv]
+//                       [--seed 1] [--out results.json]
+//
+// Each connection thread runs a closed loop: send POST /query, wait for
+// the full response, record the latency, repeat — optionally paced to
+// --qps (split evenly across connections) and optionally interleaving a
+// POST /update every --update-every requests (which exercises cache
+// invalidation on the server). --deadline-ms attaches X-Galaxy-Timeout-Ms
+// to each request; with --deadline-dist exp the per-request deadline is
+// drawn from an exponential distribution with that mean, which produces a
+// mix of exact (200) and degraded (206) answers.
+//
+// The JSON report (stdout, or --out) contains per-status counts, latency
+// mean/p50/p90/p99 in milliseconds, and the full power-of-two latency
+// histogram in microseconds — the same bucket layout the server's
+// /metrics histogram uses, and the format scripts/bench_to_csv.py
+// accepts.
+//
+// Exit status: 0 when every request got an HTTP response (any status),
+// 1 on transport errors, 2 on usage errors.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace {
+
+using galaxy::Status;
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        std::string name = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[name] = argv[++i];
+        } else {
+          values_[name] = "true";
+        }
+      } else {
+        error_ = "unexpected argument: " + arg;
+        return;
+      }
+    }
+  }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  bool CheckAllowed(std::initializer_list<const char*> allowed) {
+    std::set<std::string> names(allowed.begin(), allowed.end());
+    for (const auto& [name, value] : values_) {
+      if (names.count(name) == 0) {
+        error_ = "unknown flag: --" + name;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  galaxy::Result<int64_t> GetInt(const std::string& name,
+                                 int64_t fallback) const {
+    if (!Has(name)) return fallback;
+    const std::string& text = values_.at(name);
+    char* end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size() || text.empty()) {
+      return Status::InvalidArgument("--" + name +
+                                     " expects an integer, got: " + text);
+    }
+    return static_cast<int64_t>(v);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+struct BenchConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string sql = "SELECT * FROM data";
+  std::string accept = "application/json";
+  int connections = 4;
+  int64_t requests = 1000;   // total across connections; 0 = duration mode
+  int64_t duration_s = 0;    // 0 = request-count mode
+  double qps = 0;            // 0 = unthrottled
+  int64_t deadline_ms = 0;   // 0 = no deadline header
+  bool deadline_exp = false;
+  int64_t update_every = 0;  // 0 = queries only
+  std::string update_table;
+  std::string update_body;
+  uint64_t seed = 1;
+};
+
+struct WorkerResult {
+  std::map<int, uint64_t> status_counts;
+  std::vector<uint64_t> latencies_us;
+  uint64_t transport_errors = 0;
+  uint64_t cache_hits = 0;
+  uint64_t degraded = 0;
+};
+
+// Blocking connect to the bench target; -1 on failure.
+int Connect(const BenchConfig& config) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads one HTTP response off `fd` using `buffer` as the connection's
+// carry-over. Returns the status code (0 on transport error) and whether
+// the X-Galaxy-Cache / degraded markers were present.
+int ReadResponse(int fd, std::string* buffer, bool* cache_hit,
+                 bool* degraded, bool* close_after) {
+  *cache_hit = false;
+  *degraded = false;
+  *close_after = false;
+  char chunk[8192];
+  while (true) {
+    size_t header_end = buffer->find("\r\n\r\n");
+    if (header_end != std::string::npos) {
+      std::string headers = buffer->substr(0, header_end + 4);
+      if (headers.size() < 12 || headers.compare(0, 5, "HTTP/") != 0) {
+        return 0;
+      }
+      int status = std::atoi(headers.c_str() + 9);
+      size_t content_length = 0;
+      // Case matters not: the server emits canonical header casing.
+      size_t cl = headers.find("Content-Length:");
+      if (cl == std::string::npos) cl = headers.find("content-length:");
+      if (cl != std::string::npos) {
+        content_length = static_cast<size_t>(
+            std::strtoull(headers.c_str() + cl + 15, nullptr, 10));
+      }
+      if (headers.find("X-Galaxy-Cache: hit") != std::string::npos) {
+        *cache_hit = true;
+      }
+      if (status == 206 ||
+          headers.find("approximate-superset") != std::string::npos) {
+        *degraded = true;
+      }
+      if (headers.find("Connection: close") != std::string::npos) {
+        *close_after = true;
+      }
+      size_t total = header_end + 4 + content_length;
+      while (buffer->size() < total) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) return 0;
+        buffer->append(chunk, static_cast<size_t>(n));
+      }
+      buffer->erase(0, total);
+      return status;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return 0;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void RunWorker(const BenchConfig& config, int worker_id,
+               std::atomic<int64_t>* remaining,
+               std::chrono::steady_clock::time_point stop_at,
+               WorkerResult* out) {
+  std::mt19937_64 rng(config.seed * 0x9e3779b97f4a7c15ULL +
+                      static_cast<uint64_t>(worker_id));
+  std::exponential_distribution<double> exp_dist(
+      config.deadline_ms > 0 ? 1.0 / static_cast<double>(config.deadline_ms)
+                             : 1.0);
+
+  double per_worker_qps =
+      config.qps > 0 ? config.qps / config.connections : 0;
+  auto next_send = std::chrono::steady_clock::now();
+
+  int fd = Connect(config);
+  std::string buffer;
+  uint64_t sent_count = 0;
+
+  while (true) {
+    if (config.requests > 0) {
+      if (remaining->fetch_sub(1) <= 0) break;
+    } else if (std::chrono::steady_clock::now() >= stop_at) {
+      break;
+    }
+
+    if (per_worker_qps > 0) {
+      std::this_thread::sleep_until(next_send);
+      next_send += std::chrono::microseconds(
+          static_cast<int64_t>(1e6 / per_worker_qps));
+    }
+
+    if (fd < 0) {
+      fd = Connect(config);
+      if (fd < 0) {
+        ++out->transport_errors;
+        continue;
+      }
+      buffer.clear();
+    }
+
+    bool is_update = config.update_every > 0 && !config.update_table.empty() &&
+                     sent_count > 0 &&
+                     sent_count % static_cast<uint64_t>(config.update_every) ==
+                         0;
+    ++sent_count;
+
+    std::string request;
+    if (is_update) {
+      request = "POST /update?table=" + config.update_table +
+                "&op=insert HTTP/1.1\r\nHost: bench\r\nContent-Length: " +
+                std::to_string(config.update_body.size()) + "\r\n\r\n" +
+                config.update_body;
+    } else {
+      request = "POST /query HTTP/1.1\r\nHost: bench\r\nAccept: " +
+                config.accept + "\r\n";
+      if (config.deadline_ms > 0) {
+        int64_t deadline = config.deadline_ms;
+        if (config.deadline_exp) {
+          deadline = std::max<int64_t>(
+              1, static_cast<int64_t>(exp_dist(rng)));
+        }
+        request += "X-Galaxy-Timeout-Ms: " + std::to_string(deadline) + "\r\n";
+      }
+      request += "Content-Length: " + std::to_string(config.sql.size()) +
+                 "\r\n\r\n" + config.sql;
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    bool cache_hit = false, degraded = false, close_after = false;
+    int status = 0;
+    if (SendAll(fd, request)) {
+      status = ReadResponse(fd, &buffer, &cache_hit, &degraded, &close_after);
+    }
+    auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+
+    if (status == 0) {
+      ++out->transport_errors;
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    ++out->status_counts[status];
+    if (!is_update) {
+      out->latencies_us.push_back(
+          static_cast<uint64_t>(elapsed.count()));
+    }
+    if (cache_hit) ++out->cache_hits;
+    if (degraded) ++out->degraded;
+    if (close_after) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  if (fd >= 0) ::close(fd);
+}
+
+double Quantile(const std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1 - frac) +
+         static_cast<double>(sorted[hi]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  if (!flags.ok() ||
+      !flags.CheckAllowed({"host", "port", "sql", "accept", "connections",
+                           "requests", "duration-s", "qps", "deadline-ms",
+                           "deadline-dist", "update-every", "update-table",
+                           "update-body", "seed", "out"})) {
+    std::fprintf(stderr, "galaxy_bench_client: %s\n", flags.error().c_str());
+    return 2;
+  }
+  if (!flags.Has("port")) {
+    std::fprintf(stderr, "galaxy_bench_client: --port is required\n");
+    return 2;
+  }
+
+  BenchConfig config;
+  config.host = flags.Get("host", "127.0.0.1");
+  config.sql = flags.Get("sql", "SELECT * FROM data");
+  config.accept = flags.Get("accept") == "csv" ? "text/csv"
+                                               : "application/json";
+  config.update_table = flags.Get("update-table");
+  config.update_body = flags.Get("update-body");
+  std::string dist = flags.Get("deadline-dist", "fixed");
+  if (dist != "fixed" && dist != "exp") {
+    std::fprintf(stderr,
+                 "galaxy_bench_client: --deadline-dist must be fixed|exp\n");
+    return 2;
+  }
+  config.deadline_exp = dist == "exp";
+
+  auto port = flags.GetInt("port", 0);
+  auto connections = flags.GetInt("connections", 4);
+  auto requests = flags.GetInt("requests", 1000);
+  auto duration_s = flags.GetInt("duration-s", 0);
+  auto qps = flags.GetInt("qps", 0);
+  auto deadline_ms = flags.GetInt("deadline-ms", 0);
+  auto update_every = flags.GetInt("update-every", 0);
+  auto seed = flags.GetInt("seed", 1);
+  for (const auto* v : {&port, &connections, &requests, &duration_s, &qps,
+                        &deadline_ms, &update_every, &seed}) {
+    if (!v->ok()) {
+      std::fprintf(stderr, "galaxy_bench_client: %s\n",
+                   v->status().message().c_str());
+      return 2;
+    }
+  }
+  if (*port <= 0 || *port > 65535 || *connections <= 0) {
+    std::fprintf(stderr, "galaxy_bench_client: bad --port/--connections\n");
+    return 2;
+  }
+  config.port = static_cast<uint16_t>(*port);
+  config.connections = static_cast<int>(*connections);
+  config.duration_s = *duration_s;
+  config.requests = *duration_s > 0 ? 0 : *requests;
+  config.qps = static_cast<double>(*qps);
+  config.deadline_ms = *deadline_ms;
+  config.update_every = *update_every;
+  config.seed = static_cast<uint64_t>(*seed);
+
+  std::atomic<int64_t> remaining{config.requests};
+  auto start = std::chrono::steady_clock::now();
+  auto stop_at = start + std::chrono::seconds(
+                             config.duration_s > 0 ? config.duration_s : 0);
+
+  std::vector<WorkerResult> results(
+      static_cast<size_t>(config.connections));
+  std::vector<std::thread> workers;
+  for (int i = 0; i < config.connections; ++i) {
+    workers.emplace_back(RunWorker, std::cref(config), i, &remaining, stop_at,
+                         &results[static_cast<size_t>(i)]);
+  }
+  for (std::thread& t : workers) t.join();
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+  // ---- Merge. --------------------------------------------------------------
+  std::map<int, uint64_t> status_counts;
+  std::vector<uint64_t> latencies;
+  uint64_t transport_errors = 0, cache_hits = 0, degraded = 0;
+  for (const WorkerResult& r : results) {
+    for (const auto& [code, n] : r.status_counts) status_counts[code] += n;
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+    transport_errors += r.transport_errors;
+    cache_hits += r.cache_hits;
+    degraded += r.degraded;
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  uint64_t total = 0, sum_us = 0;
+  for (const auto& [code, n] : status_counts) total += n;
+  for (uint64_t us : latencies) sum_us += us;
+
+  // Power-of-two microsecond buckets, the layout server/metrics.h uses.
+  std::map<uint64_t, uint64_t> histogram;
+  for (uint64_t us : latencies) {
+    int bucket = us <= 1 ? 0 : std::bit_width(us - 1);
+    histogram[uint64_t{1} << bucket] += 1;
+  }
+
+  std::string json = "{\n";
+  json += "  \"requests\": " + std::to_string(total) + ",\n";
+  json += "  \"transport_errors\": " + std::to_string(transport_errors) +
+          ",\n";
+  json += "  \"cache_hits\": " + std::to_string(cache_hits) + ",\n";
+  json += "  \"degraded\": " + std::to_string(degraded) + ",\n";
+  json += "  \"duration_s\": " + std::to_string(wall_s) + ",\n";
+  json += "  \"qps\": " +
+          std::to_string(wall_s > 0 ? static_cast<double>(total) / wall_s
+                                    : 0) +
+          ",\n";
+  json += "  \"status\": {";
+  bool first = true;
+  for (const auto& [code, n] : status_counts) {
+    if (!first) json += ", ";
+    first = false;
+    json += "\"" + std::to_string(code) + "\": " + std::to_string(n);
+  }
+  json += "},\n";
+  char num[64];
+  std::snprintf(num, sizeof(num), "%.3f",
+                latencies.empty()
+                    ? 0.0
+                    : static_cast<double>(sum_us) /
+                          static_cast<double>(latencies.size()) / 1000.0);
+  json += "  \"latency_ms\": {\"mean\": " + std::string(num);
+  for (const auto& [name, q] :
+       std::vector<std::pair<const char*, double>>{
+           {"p50", 0.5}, {"p90", 0.9}, {"p99", 0.99}}) {
+    std::snprintf(num, sizeof(num), "%.3f", Quantile(latencies, q) / 1000.0);
+    json += std::string(", \"") + name + "\": " + num;
+  }
+  json += "},\n";
+  json += "  \"histogram_us\": [";
+  first = true;
+  for (const auto& [le, n] : histogram) {
+    if (!first) json += ", ";
+    first = false;
+    json += "{\"le\": " + std::to_string(le) +
+            ", \"count\": " + std::to_string(n) + "}";
+  }
+  json += "]\n}\n";
+
+  if (flags.Has("out")) {
+    std::ofstream out(flags.Get("out"));
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "galaxy_bench_client: cannot write %s\n",
+                   flags.Get("out").c_str());
+      return 1;
+    }
+  } else {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+  }
+  return transport_errors == 0 ? 0 : 1;
+}

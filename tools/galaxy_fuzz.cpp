@@ -1,6 +1,6 @@
 // Fuzzing front-end with three targets:
 //
-//   galaxy_fuzz [--target=diff|sql|faults] [--seed N] [--runs N]
+//   galaxy_fuzz [--target=diff|sql|faults|http] [--seed N] [--runs N]
 //               [--max-seconds S] [--verbose]
 //
 //   diff    (default) drives every aggregate-skyline configuration against
@@ -9,7 +9,10 @@
 //           parser -> executor pipeline, asserting clean Status objects;
 //   faults  injects cancellation / deadline / budget trips at randomized
 //           comparison counts across the differential matrix and checks
-//           the control-plane contract (bounded unwind, sound supersets).
+//           the control-plane contract (bounded unwind, sound supersets);
+//   http    feeds generated/mutated/garbage byte strings through the
+//           serving layer's HTTP request parser, asserting round-trips on
+//           valid requests and definite verdicts everywhere else.
 //
 // Each run derives a per-dataset seed from the base seed, so any failure is
 // replayable in isolation with --seed <dataset seed> --runs 1. On a
@@ -25,6 +28,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "server/http_fuzz.h"
 #include "testing/differential.h"
 #include "testing/fault_injection.h"
 #include "testing/oracle.h"
@@ -43,7 +47,7 @@ struct FuzzOptions {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: galaxy_fuzz [--target=diff|sql|faults] [--seed N] "
+               "usage: galaxy_fuzz [--target=diff|sql|faults|http] [--seed N] "
                "[--runs N] [--max-seconds S] [--verbose]\n");
 }
 
@@ -80,7 +84,7 @@ bool ParseFlags(int argc, char** argv, FuzzOptions* options) {
     }
   }
   if (options->target != "diff" && options->target != "sql" &&
-      options->target != "faults") {
+      options->target != "faults" && options->target != "http") {
     std::fprintf(stderr, "unknown --target: %s\n", options->target.c_str());
     return false;
   }
@@ -131,6 +135,28 @@ int RunFaultsTarget(const FuzzOptions& options) {
   return 0;
 }
 
+int RunHttpTarget(const FuzzOptions& options) {
+  std::printf("galaxy_fuzz: target=http seed=%llu runs=%llu\n",
+              static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(options.runs));
+  galaxy::server::HttpFuzzStats stats;
+  std::string detail = galaxy::server::FuzzHttp(
+      options.seed, static_cast<int>(options.runs), &stats);
+  std::printf(
+      "galaxy_fuzz: %llu inputs (%llu parsed, %llu incomplete, %llu "
+      "rejected)\n",
+      static_cast<unsigned long long>(stats.inputs),
+      static_cast<unsigned long long>(stats.parsed),
+      static_cast<unsigned long long>(stats.need_more),
+      static_cast<unsigned long long>(stats.errors));
+  if (!detail.empty()) {
+    std::printf("\nHTTP FUZZ FAILURE: %s\n", detail.c_str());
+    return 1;
+  }
+  std::printf("galaxy_fuzz: OK — the parser contract held everywhere\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,6 +168,7 @@ int main(int argc, char** argv) {
 
   if (options.target == "sql") return RunSqlTarget(options);
   if (options.target == "faults") return RunFaultsTarget(options);
+  if (options.target == "http") return RunHttpTarget(options);
 
   using Clock = std::chrono::steady_clock;
   const Clock::time_point start = Clock::now();
@@ -189,6 +216,7 @@ int main(int argc, char** argv) {
           divergence.config.Name().c_str(), divergence.detail.c_str());
       galaxy::testing::Reproducer repro =
           galaxy::testing::Shrink(points, gamma, divergence.config);
+      repro.dataset_seed = dataset_seed;
       std::printf("shrunk reproducer (%s):\n\n%s\n",
                   repro.detail.empty() ? "did not re-fail; unshrunk input"
                                        : repro.detail.c_str(),

@@ -1,0 +1,248 @@
+// galaxy_served — the standalone query server (src/server/).
+//
+//   galaxy_served --csv data.csv [--table data] [--host 127.0.0.1]
+//                 [--port 8080] [--max-concurrent N] [--queue-capacity N]
+//                 [--queue-timeout-ms N] [--cache-entries N]
+//                 [--default-timeout-ms N]
+//                 [--view table:group_col:attrs[:gamma]]
+//
+// Loads the CSV into an in-memory catalog, serves POST /query, POST
+// /update, GET /skyline, GET /metrics and GET /healthz (see README
+// "Serving" for the endpoint contract), and runs until SIGINT/SIGTERM.
+//
+// --view installs the incrementally maintained aggregate-skyline view;
+// `attrs` is comma-separated and a leading '-' minimizes that attribute,
+// e.g. --view "movies:Director:Pop,Qual:0.6".
+//
+// Exit status: 0 on clean shutdown, 1 on runtime errors (bad CSV, port in
+// use), 2 on usage errors — the same contract as galaxy_cli.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "relation/csv.h"
+#include "server/server.h"
+#include "sql/catalog.h"
+
+namespace {
+
+using galaxy::Status;
+using galaxy::Table;
+
+// Minimal --flag value parser (same contract as galaxy_cli's).
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        std::string name = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[name] = argv[++i];
+        } else {
+          values_[name] = "true";
+        }
+      } else {
+        error_ = "unexpected argument: " + arg;
+        return;
+      }
+    }
+  }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  bool CheckAllowed(std::initializer_list<const char*> allowed) {
+    std::set<std::string> names(allowed.begin(), allowed.end());
+    for (const auto& [name, value] : values_) {
+      if (names.count(name) == 0) {
+        error_ = "unknown flag: --" + name;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  galaxy::Result<int64_t> GetInt(const std::string& name,
+                                 int64_t fallback) const {
+    if (!Has(name)) return fallback;
+    const std::string& text = values_.at(name);
+    char* end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size() || text.empty()) {
+      return Status::InvalidArgument("--" + name +
+                                     " expects an integer, got: " + text);
+    }
+    return static_cast<int64_t>(v);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: galaxy_served --csv data.csv [--table data]\n"
+      "                     [--host 127.0.0.1] [--port 8080]\n"
+      "                     [--max-concurrent N] [--queue-capacity N]\n"
+      "                     [--queue-timeout-ms N] [--cache-entries N]\n"
+      "                     [--default-timeout-ms N]\n"
+      "                     [--view table:group_col:attrs[:gamma]]\n");
+  return 2;
+}
+
+// Parses "table:group_col:a,b,-c[:gamma]".
+galaxy::Result<galaxy::server::SkylineViewConfig> ParseView(
+    const std::string& spec) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t colon = spec.find(':', start);
+    parts.push_back(spec.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts.size() < 3 || parts.size() > 4) {
+    return Status::InvalidArgument(
+        "--view expects table:group_col:attrs[:gamma], got: " + spec);
+  }
+  galaxy::server::SkylineViewConfig config;
+  config.table = parts[0];
+  config.group_column = parts[1];
+  start = 0;
+  while (start <= parts[2].size()) {
+    size_t comma = parts[2].find(',', start);
+    std::string attr = parts[2].substr(start, comma - start);
+    if (!attr.empty()) config.attrs.push_back(attr);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (config.table.empty() || config.group_column.empty() ||
+      config.attrs.empty()) {
+    return Status::InvalidArgument("--view has empty components: " + spec);
+  }
+  if (parts.size() == 4) {
+    char* end = nullptr;
+    errno = 0;
+    config.gamma = std::strtod(parts[3].c_str(), &end);
+    if (errno != 0 || end != parts[3].c_str() + parts[3].size() ||
+        parts[3].empty()) {
+      return Status::InvalidArgument("--view gamma is not a number: " +
+                                     parts[3]);
+    }
+  }
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  if (!flags.ok() ||
+      !flags.CheckAllowed({"csv", "table", "host", "port", "max-concurrent",
+                           "queue-capacity", "queue-timeout-ms",
+                           "cache-entries", "default-timeout-ms", "view"})) {
+    std::fprintf(stderr, "galaxy_served: %s\n", flags.error().c_str());
+    return Usage();
+  }
+  if (!flags.Has("csv")) {
+    std::fprintf(stderr, "galaxy_served: --csv is required\n");
+    return Usage();
+  }
+
+  auto port = flags.GetInt("port", 8080);
+  auto max_concurrent = flags.GetInt("max-concurrent", 4);
+  auto queue_capacity = flags.GetInt("queue-capacity", 64);
+  auto queue_timeout = flags.GetInt("queue-timeout-ms", 2000);
+  auto cache_entries = flags.GetInt("cache-entries", 256);
+  auto default_timeout = flags.GetInt("default-timeout-ms", 0);
+  for (const auto* v :
+       {&port, &max_concurrent, &queue_capacity, &queue_timeout,
+        &cache_entries, &default_timeout}) {
+    if (!v->ok()) {
+      std::fprintf(stderr, "galaxy_served: %s\n",
+                   v->status().message().c_str());
+      return 2;
+    }
+  }
+  if (*port < 0 || *port > 65535) {
+    std::fprintf(stderr, "galaxy_served: --port out of range\n");
+    return 2;
+  }
+
+  auto table = galaxy::ReadCsvFile(flags.Get("csv"));
+  if (!table.ok()) {
+    std::fprintf(stderr, "galaxy_served: %s\n",
+                 table.status().message().c_str());
+    return 1;
+  }
+  galaxy::sql::Database db;
+  std::string table_name = flags.Get("table", "data");
+  size_t num_rows = table->num_rows();
+  db.Register(table_name, *std::move(table));
+
+  galaxy::server::ServerOptions options;
+  options.host = flags.Get("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(*port);
+  options.admission.max_concurrent = static_cast<size_t>(*max_concurrent);
+  options.admission.queue_capacity = static_cast<size_t>(*queue_capacity);
+  options.admission.queue_timeout = std::chrono::milliseconds(*queue_timeout);
+  options.cache_entries = static_cast<size_t>(*cache_entries);
+  options.default_timeout = std::chrono::milliseconds(*default_timeout);
+
+  galaxy::server::Server server(&db, options);
+  if (flags.Has("view")) {
+    auto view = ParseView(flags.Get("view"));
+    if (!view.ok()) {
+      std::fprintf(stderr, "galaxy_served: %s\n",
+                   view.status().message().c_str());
+      return 2;
+    }
+    Status installed = server.EnableSkylineView(*view);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "galaxy_served: %s\n",
+                   installed.message().c_str());
+      return 1;
+    }
+  }
+
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "galaxy_served: %s\n", started.message().c_str());
+    return 1;
+  }
+  std::printf("galaxy_served listening on %s:%u (table \"%s\", %zu rows)\n",
+              options.host.c_str(), server.port(), table_name.c_str(),
+              num_rows);
+  std::fflush(stdout);
+
+  // Park until SIGINT/SIGTERM; the accept loop runs on its own thread.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+  int got = 0;
+  sigwait(&signals, &got);
+  std::printf("galaxy_served: received signal %d, shutting down\n", got);
+  server.Stop();
+  return 0;
+}
