@@ -1,5 +1,4 @@
-#ifndef GALAXY_BENCH_BENCH_COMMON_H_
-#define GALAXY_BENCH_BENCH_COMMON_H_
+#pragma once
 
 // Shared helpers for the figure-reproduction benchmarks. Each bench binary
 // regenerates one table/figure of the paper: every google-benchmark row is
@@ -25,6 +24,7 @@ namespace galaxy::bench {
 inline const core::GroupedDataset& CachedWorkload(
     const datagen::GroupedWorkloadConfig& config) {
   static auto* cache =
+      // galaxy-lint: allow(naked-new) — intentionally leaked static cache
       new std::map<std::string, core::GroupedDataset>();
   std::string key = std::to_string(config.num_records) + "/" +
                     std::to_string(config.avg_records_per_group) + "/" +
@@ -64,6 +64,7 @@ inline void RunAggregateSkyline(benchmark::State& state,
 inline const std::vector<std::pair<std::string, core::Algorithm>>&
 PaperAlgorithms() {
   static auto* algos =
+      // galaxy-lint: allow(naked-new) — intentionally leaked static cache
       new std::vector<std::pair<std::string, core::Algorithm>>{
           {"NL", core::Algorithm::kNestedLoop},
           {"TR", core::Algorithm::kTransitive},
@@ -78,6 +79,7 @@ PaperAlgorithms() {
 inline const std::vector<std::pair<std::string, datagen::Distribution>>&
 PaperDistributions() {
   static auto* dists =
+      // galaxy-lint: allow(naked-new) — intentionally leaked static cache
       new std::vector<std::pair<std::string, datagen::Distribution>>{
           {"anti", datagen::Distribution::kAntiCorrelated},
           {"indep", datagen::Distribution::kIndependent},
@@ -130,4 +132,3 @@ inline bool WriteBenchJson(const std::string& path, const std::string& schema,
 
 }  // namespace galaxy::bench
 
-#endif  // GALAXY_BENCH_BENCH_COMMON_H_

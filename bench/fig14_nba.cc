@@ -16,6 +16,7 @@ namespace {
 const Table& NbaTable() {
   static const Table* table = [] {
     nba::NbaConfig config;
+    // galaxy-lint: allow(naked-new) — intentionally leaked static cache
     return new Table(nba::ToTable(nba::GenerateLeagueHistory(config)));
   }();
   return *table;
@@ -23,6 +24,7 @@ const Table& NbaTable() {
 
 const core::GroupedDataset& CachedNba(
     const std::vector<std::string>& group_by, size_t num_attrs) {
+  // galaxy-lint: allow(naked-new) — intentionally leaked static cache
   static auto* cache = new std::map<std::string, core::GroupedDataset>();
   std::string key;
   for (const auto& g : group_by) key += g + ",";

@@ -16,12 +16,14 @@ namespace {
 const Table& Corpus() {
   static const Table* table = [] {
     datagen::ImdbConfig config;
+    // galaxy-lint: allow(naked-new) — intentionally leaked static cache
     return new Table(datagen::ToTable(datagen::GenerateImdbCorpus(config)));
   }();
   return *table;
 }
 
 const core::GroupedDataset& CachedGrouping(const std::string& column) {
+  // galaxy-lint: allow(naked-new) — intentionally leaked static cache
   static auto* cache = new std::map<std::string, core::GroupedDataset>();
   auto it = cache->find(column);
   if (it == cache->end()) {

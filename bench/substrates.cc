@@ -14,6 +14,7 @@ namespace {
 
 const std::vector<Point>& CachedPoints(datagen::Distribution dist,
                                        size_t dims, size_t count) {
+  // galaxy-lint: allow(naked-new) — intentionally leaked static cache
   static auto* cache = new std::map<std::string, std::vector<Point>>();
   std::string key = std::string(datagen::DistributionToString(dist)) + "/" +
                     std::to_string(dims) + "/" + std::to_string(count);

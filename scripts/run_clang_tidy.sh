@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Runs clang-tidy with the repository profile (.clang-tidy) against the
+# compilation database exported by CMake.
+#
+# Usage:
+#   scripts/run_clang_tidy.sh [build-dir] [--all]
+#
+# Default mode lints only files changed relative to origin/main (falling
+# back to --all when there is no such ref, e.g. a fresh shallow clone).
+# Exits 0 with a notice when clang-tidy is not installed, so local builds
+# on machines without LLVM are not blocked; CI installs clang-tidy and
+# treats findings as errors per the WarningsAsErrors list in .clang-tidy.
+set -euo pipefail
+
+BUILD_DIR=build
+ALL=0
+for arg in "$@"; do
+  case "$arg" in
+    --all) ALL=1 ;;
+    -*) echo "usage: $0 [build-dir] [--all]" >&2; exit 2 ;;
+    *) BUILD_DIR=$arg ;;
+  esac
+done
+
+cd "$(dirname "$0")/.."
+
+TIDY=
+for cand in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+            clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    TIDY=$cand
+    break
+  fi
+done
+if [[ -z "$TIDY" ]]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping (install" \
+       "LLVM or rely on the CI job)" >&2
+  exit 0
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json missing;" \
+       "configure first: cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+# Pick the files to lint: changed vs origin/main, or the whole tree.
+declare -a FILES
+if [[ "$ALL" == 0 ]] && git rev-parse --verify -q origin/main >/dev/null; then
+  mapfile -t FILES < <(git diff --name-only --diff-filter=ACMR origin/main -- \
+                         'src/*.cc' 'src/*.h' 'tools/*.cc' 'tools/*.cpp' \
+                         'tools/*.h' 'bench/*.cc' 'bench/*.h')
+else
+  mapfile -t FILES < <(git ls-files 'src/*.cc' 'tools/*.cc' 'tools/*.cpp' \
+                         'bench/*.cc')
+fi
+# Headers are covered via HeaderFilterRegex when their including .cc runs;
+# drop them from the direct list (no compile command of their own).
+declare -a TUS
+for f in "${FILES[@]:-}"; do
+  [[ "$f" == *.cc || "$f" == *.cpp ]] && TUS+=("$f")
+done
+
+if [[ ${#TUS[@]} -eq 0 ]]; then
+  echo "run_clang_tidy: no translation units to lint" >&2
+  exit 0
+fi
+
+echo "run_clang_tidy: $TIDY over ${#TUS[@]} file(s)" >&2
+"$TIDY" -p "$BUILD_DIR" --quiet "${TUS[@]}"

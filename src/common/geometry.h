@@ -1,5 +1,4 @@
-#ifndef GALAXY_COMMON_GEOMETRY_H_
-#define GALAXY_COMMON_GEOMETRY_H_
+#pragma once
 
 #include <cstddef>
 #include <limits>
@@ -79,4 +78,3 @@ double IntersectionVolume(const Box& a, const Box& b);
 
 }  // namespace galaxy
 
-#endif  // GALAXY_COMMON_GEOMETRY_H_

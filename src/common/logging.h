@@ -1,5 +1,4 @@
-#ifndef GALAXY_COMMON_LOGGING_H_
-#define GALAXY_COMMON_LOGGING_H_
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -52,4 +51,3 @@ class FatalMessage {
 #define GALAXY_DCHECK(condition) GALAXY_CHECK(condition)
 #endif
 
-#endif  // GALAXY_COMMON_LOGGING_H_

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+/// Annotated mutex wrappers: the capability types that Clang's
+/// -Wthread-safety analysis reasons about. libstdc++'s std::mutex carries
+/// no capability attributes, so raw standard mutexes are invisible to the
+/// analysis; every mutex member in this codebase uses these wrappers
+/// instead (tools/galaxy_lint rule `raw-mutex` enforces it). The wrappers
+/// are zero-cost: each is exactly the standard type plus attributes.
+namespace galaxy::common {
+
+class CondVar;
+
+/// An exclusive capability wrapping std::mutex.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // galaxy-lint: allow(raw-mutex) — the wrapper itself
+};
+
+/// A reader/writer capability wrapping std::shared_mutex.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void ReaderLock() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool ReaderTryLock() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;  // galaxy-lint: allow(raw-mutex) — the wrapper itself
+};
+
+/// RAII exclusive critical section over a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII exclusive (writer) critical section over a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared (reader) critical section over a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable paired with Mutex. There are deliberately no
+/// predicate overloads: the analysis cannot see a capability held across
+/// a lambda boundary, so callers write the standard re-check loop in the
+/// function that visibly holds the Mutex —
+///
+///   MutexLock lock(&mu_);
+///   while (!ready_) cv_.Wait(&mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases *mu, blocks, and re-acquires before returning.
+  /// May wake spuriously — always re-check the condition in a loop.
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's critical section continues
+  }
+
+  /// Wait() with a wakeup deadline. Returns std::cv_status::timeout when
+  /// the deadline passed (the condition must still be re-checked: a slot
+  /// may have been signalled between expiry and re-acquisition).
+  std::cv_status WaitUntil(Mutex* mu,
+                           std::chrono::steady_clock::time_point deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // galaxy-lint: allow(raw-mutex) — the wrapper itself
+  std::condition_variable cv_;
+};
+
+}  // namespace galaxy::common

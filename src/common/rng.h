@@ -1,5 +1,4 @@
-#ifndef GALAXY_COMMON_RNG_H_
-#define GALAXY_COMMON_RNG_H_
+#pragma once
 
 #include <cstdint>
 
@@ -58,4 +57,3 @@ class Rng {
 
 }  // namespace galaxy
 
-#endif  // GALAXY_COMMON_RNG_H_

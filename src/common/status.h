@@ -1,5 +1,4 @@
-#ifndef GALAXY_COMMON_STATUS_H_
-#define GALAXY_COMMON_STATUS_H_
+#pragma once
 
 #include <optional>
 #include <ostream>
@@ -39,7 +38,12 @@ const char* StatusCodeToString(StatusCode code);
 /// A lightweight success-or-error value. An OK status carries no message and
 /// no allocation; error statuses carry a code and a message describing what
 /// went wrong.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status swallows errors, so every
+/// ignored return is a compile warning (-Werror in CI). Consume with
+/// GALAXY_RETURN_IF_ERROR, a check, or an explicit (void) cast plus a
+/// comment for the rare fire-and-forget call.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -103,9 +107,10 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// A value-or-error union: holds either a T (success) or an error Status.
 /// Accessing the value of an errored Result aborts, so callers must check
-/// ok() (or use GALAXY_ASSIGN_OR_RETURN) first.
+/// ok() (or use GALAXY_ASSIGN_OR_RETURN) first. [[nodiscard]] for the same
+/// reason as Status: an ignored Result is a swallowed error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -185,4 +190,3 @@ void Result<T>::AbortIfError() const {
   if (!result.ok()) return result.status();               \
   lhs = std::move(result).value()
 
-#endif  // GALAXY_COMMON_STATUS_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_COMMON_STR_UTIL_H_
-#define GALAXY_COMMON_STR_UTIL_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -36,4 +35,3 @@ std::string FormatDouble(double value, int precision = 6);
 
 }  // namespace galaxy
 
-#endif  // GALAXY_COMMON_STR_UTIL_H_

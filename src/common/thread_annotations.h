@@ -1,0 +1,87 @@
+#pragma once
+
+/// Portable Clang thread-safety-analysis annotations (the Abseil /
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html vocabulary).
+///
+/// Under Clang with -Wthread-safety these expand to the capability
+/// attributes and the locking discipline becomes a compile-time proof
+/// obligation: every access to a GUARDED_BY member must happen with the
+/// named capability held, every REQUIRES function must be called with it
+/// held, and ACQUIRE/RELEASE mismatches are build errors. Under every
+/// other compiler they expand to nothing, so annotated code stays
+/// portable.
+///
+/// Use the wrappers in common/mutex.h rather than raw std::mutex members:
+/// libstdc++'s mutex types carry no attributes, so only the annotated
+/// wrappers give the analysis anything to check (enforced by
+/// tools/galaxy_lint rule `raw-mutex`).
+
+#if defined(__clang__) && !defined(SWIG)
+#define GALAXY_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define GALAXY_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability ("mutex", "shared_mutex", ...).
+#define CAPABILITY(x) GALAXY_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class whose lifetime equals a critical section.
+#define SCOPED_CAPABILITY GALAXY_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Member may only be accessed while `x` is held.
+#define GUARDED_BY(x) GALAXY_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* may only be accessed while `x` is held.
+#define PT_GUARDED_BY(x) GALAXY_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Caller must hold the capabilities exclusively / shared.
+#define REQUIRES(...) \
+  GALAXY_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  GALAXY_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared) and does not
+/// release it before returning.
+#define ACQUIRE(...) \
+  GALAXY_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  GALAXY_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (which the caller must hold).
+#define RELEASE(...) \
+  GALAXY_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  GALAXY_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  GALAXY_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the return value
+/// that signals success.
+#define TRY_ACQUIRE(...) \
+  GALAXY_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  GALAXY_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capabilities (anti-deadlock: non-reentrancy).
+#define EXCLUDES(...) GALAXY_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Capability ordering: this capability must be acquired before / after
+/// the named ones.
+#define ACQUIRED_BEFORE(...) \
+  GALAXY_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  GALAXY_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) GALAXY_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Runtime assertion that the capability is held (tells the analysis so).
+#define ASSERT_CAPABILITY(x) GALAXY_THREAD_ANNOTATION_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  GALAXY_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// Escape hatch for code whose safety argument the analysis cannot see
+/// (e.g. locking both operands of a move in address order). Every use
+/// must carry a comment with the manual proof.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  GALAXY_THREAD_ANNOTATION_(no_thread_safety_analysis)

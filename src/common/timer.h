@@ -1,5 +1,4 @@
-#ifndef GALAXY_COMMON_TIMER_H_
-#define GALAXY_COMMON_TIMER_H_
+#pragma once
 
 #include <chrono>
 
@@ -29,4 +28,3 @@ class WallTimer {
 
 }  // namespace galaxy
 
-#endif  // GALAXY_COMMON_TIMER_H_

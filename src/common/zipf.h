@@ -1,5 +1,4 @@
-#ifndef GALAXY_COMMON_ZIPF_H_
-#define GALAXY_COMMON_ZIPF_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -38,4 +37,3 @@ class ZipfSampler {
 
 }  // namespace galaxy
 
-#endif  // GALAXY_COMMON_ZIPF_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_CORE_ADAPTIVE_H_
-#define GALAXY_CORE_ADAPTIVE_H_
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -54,4 +53,3 @@ AdaptiveChoice ChooseAlgorithm(const WorkloadProfile& profile,
 
 }  // namespace galaxy::core
 
-#endif  // GALAXY_CORE_ADAPTIVE_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_CORE_AGGREGATE_SKYLINE_H_
-#define GALAXY_CORE_AGGREGATE_SKYLINE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -87,4 +86,3 @@ std::vector<RankedGroup> RankByGamma(const GroupedDataset& dataset);
 
 }  // namespace galaxy::core
 
-#endif  // GALAXY_CORE_AGGREGATE_SKYLINE_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_CORE_ALGO_CONTEXT_H_
-#define GALAXY_CORE_ALGO_CONTEXT_H_
+#pragma once
 
 // Internal shared machinery of the aggregate-skyline algorithms. Not part
 // of the public API; include core/aggregate_skyline.h instead.
@@ -80,4 +79,3 @@ void RunIndexed(AlgoContext& ctx);
 
 }  // namespace galaxy::core::internal
 
-#endif  // GALAXY_CORE_ALGO_CONTEXT_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_CORE_ANYTIME_H_
-#define GALAXY_CORE_ANYTIME_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -92,4 +91,3 @@ AnytimeAggregateSkyline::Snapshot ComputeAnytime(
 
 }  // namespace galaxy::core
 
-#endif  // GALAXY_CORE_ANYTIME_H_

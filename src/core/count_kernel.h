@@ -1,5 +1,4 @@
-#ifndef GALAXY_CORE_COUNT_KERNEL_H_
-#define GALAXY_CORE_COUNT_KERNEL_H_
+#pragma once
 
 // Allocation- and span-free counting kernels for the pairwise-domination
 // hot path (the O(|S|·|R|) residual scan inside ClassifyPair). The kernels
@@ -138,4 +137,3 @@ void BuildPrefixMin(const double* rows, size_t n, size_t dims,
 }  // namespace kernel
 }  // namespace galaxy::core
 
-#endif  // GALAXY_CORE_COUNT_KERNEL_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_CORE_DOMINATION_MATRIX_H_
-#define GALAXY_CORE_DOMINATION_MATRIX_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -66,4 +65,3 @@ class DominationMatrix {
 
 }  // namespace galaxy::core
 
-#endif  // GALAXY_CORE_DOMINATION_MATRIX_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_CORE_EXEC_CONTEXT_H_
-#define GALAXY_CORE_EXEC_CONTEXT_H_
+#pragma once
 
 #include <atomic>
 #include <chrono>
@@ -168,4 +167,3 @@ class ScopedReservation {
 
 }  // namespace galaxy::core
 
-#endif  // GALAXY_CORE_EXEC_CONTEXT_H_

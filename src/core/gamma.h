@@ -1,5 +1,4 @@
-#ifndef GALAXY_CORE_GAMMA_H_
-#define GALAXY_CORE_GAMMA_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -172,4 +171,3 @@ bool TryResolveOutcome(uint64_t n12, uint64_t n21, uint64_t resolved,
 
 }  // namespace galaxy::core
 
-#endif  // GALAXY_CORE_GAMMA_H_

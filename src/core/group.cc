@@ -72,6 +72,8 @@ const std::vector<uint32_t>& Group::score_order_desc() const {
   const std::vector<uint32_t>* cached =
       score_order_.load(std::memory_order_acquire);
   if (cached != nullptr) return *cached;
+  // galaxy-lint: allow(naked-new) — lock-free once-publication: ownership
+  // transfers to score_order_ via CAS; the loser deletes its copy below.
   auto* order = new std::vector<uint32_t>();
   std::vector<double> scores;
   kernel::SortByScoreDesc(data_.data(), size_, dims_, order, &scores);

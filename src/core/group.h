@@ -1,5 +1,4 @@
-#ifndef GALAXY_CORE_GROUP_H_
-#define GALAXY_CORE_GROUP_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -112,4 +111,3 @@ class GroupedDataset {
 
 }  // namespace galaxy::core
 
-#endif  // GALAXY_CORE_GROUP_H_

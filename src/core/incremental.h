@@ -1,5 +1,4 @@
-#ifndef GALAXY_CORE_INCREMENTAL_H_
-#define GALAXY_CORE_INCREMENTAL_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -84,4 +83,3 @@ class IncrementalAggregateSkyline {
 
 }  // namespace galaxy::core
 
-#endif  // GALAXY_CORE_INCREMENTAL_H_

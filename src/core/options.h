@@ -1,5 +1,4 @@
-#ifndef GALAXY_CORE_OPTIONS_H_
-#define GALAXY_CORE_OPTIONS_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -139,4 +138,3 @@ struct AggregateSkylineStats {
 
 }  // namespace galaxy::core
 
-#endif  // GALAXY_CORE_OPTIONS_H_

@@ -38,10 +38,8 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
   // Shared dominance marks. Writes are monotone (0 -> 1 only), so relaxed
   // atomics are sufficient: a stale read can only cause extra work, never
   // a wrong mark.
-  std::unique_ptr<std::atomic<uint8_t>[]> dominated(
-      new std::atomic<uint8_t>[n]);
-  std::unique_ptr<std::atomic<uint8_t>[]> strongly(
-      new std::atomic<uint8_t>[n]);
+  auto dominated = std::make_unique<std::atomic<uint8_t>[]>(n);
+  auto strongly = std::make_unique<std::atomic<uint8_t>[]>(n);
   for (uint32_t i = 0; i < n; ++i) {
     dominated[i].store(0, std::memory_order_relaxed);
     strongly[i].store(0, std::memory_order_relaxed);

@@ -1,5 +1,4 @@
-#ifndef GALAXY_CORE_PARALLEL_H_
-#define GALAXY_CORE_PARALLEL_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -52,4 +51,3 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
 
 }  // namespace galaxy::core
 
-#endif  // GALAXY_CORE_PARALLEL_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_CORE_REPRESENTATIVE_H_
-#define GALAXY_CORE_REPRESENTATIVE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -37,4 +36,3 @@ RepresentativeResult SelectRepresentatives(const GroupedDataset& dataset,
 
 }  // namespace galaxy::core
 
-#endif  // GALAXY_CORE_REPRESENTATIVE_H_

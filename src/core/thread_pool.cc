@@ -7,6 +7,8 @@
 
 namespace galaxy::core {
 
+using common::MutexLock;
+
 ThreadPool& ThreadPool::Global() {
   static ThreadPool pool(
       std::max(1u, std::thread::hardware_concurrency()) - 1);
@@ -22,32 +24,32 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
-bool ThreadPool::RunOneSlot(std::unique_lock<std::mutex>& lock) {
+bool ThreadPool::RunOneSlot() {
   for (Job* job : jobs_) {
     if (job->next_slot >= job->parallelism) continue;
     const size_t slot = job->next_slot++;
-    lock.unlock();
+    mutex_.Unlock();
     (*job->body)(slot);
-    lock.lock();
-    if (++job->completed == job->parallelism) job->done_cv.notify_all();
+    mutex_.Lock();
+    if (++job->completed == job->parallelism) job->done_cv.NotifyAll();
     return true;
   }
   return false;
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   while (true) {
-    if (RunOneSlot(lock)) continue;
+    if (RunOneSlot()) continue;
     if (shutdown_) return;
-    work_cv_.wait(lock);
+    work_cv_.Wait(&mutex_);
   }
 }
 
@@ -61,15 +63,15 @@ void ThreadPool::Run(size_t parallelism,
   Job job;
   job.body = &body;
   job.parallelism = parallelism;
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   jobs_.push_back(&job);
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The caller claims slots too (of any queued job — helping a concurrent
   // caller's job is fine and avoids idling while our own slots are all
   // taken but unfinished).
   while (job.completed < job.parallelism) {
-    if (!RunOneSlot(lock)) {
-      job.done_cv.wait(lock);
+    if (!RunOneSlot()) {
+      job.done_cv.Wait(&mutex_);
     }
   }
   jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
@@ -80,14 +82,17 @@ WorkStealingPartition::WorkStealingPartition(uint64_t total,
                                              uint64_t chunk)
     : parallelism_(parallelism),
       chunk_(std::max<uint64_t>(1, chunk)),
-      ranges_(new Range[std::max<size_t>(1, parallelism)]) {
+      ranges_(std::make_unique<Range[]>(std::max<size_t>(1, parallelism))) {
   GALAXY_CHECK_GT(parallelism, 0u);
-  // Initial even split; remainders go to the leading slots.
+  // Initial even split; remainders go to the leading slots. The locks are
+  // uncontended (no other thread sees the partition yet) but keep the
+  // guarded writes visible to the thread-safety analysis.
   const uint64_t base = total / parallelism;
   const uint64_t extra = total % parallelism;
   uint64_t begin = 0;
   for (size_t s = 0; s < parallelism; ++s) {
     const uint64_t len = base + (s < extra ? 1 : 0);
+    MutexLock lock(&ranges_[s].m);
     ranges_[s].begin = begin;
     ranges_[s].end = begin + len;
     begin += len;
@@ -98,7 +103,7 @@ bool WorkStealingPartition::Next(size_t slot, uint64_t* begin,
                                  uint64_t* end) {
   Range& own = ranges_[slot];
   {
-    std::lock_guard<std::mutex> lock(own.m);
+    MutexLock lock(&own.m);
     if (own.begin < own.end) {
       *begin = own.begin;
       *end = std::min(own.end, own.begin + chunk_);
@@ -114,7 +119,7 @@ bool WorkStealingPartition::Next(size_t slot, uint64_t* begin,
     uint64_t steal_begin = 0;
     uint64_t steal_end = 0;
     {
-      std::lock_guard<std::mutex> lock(victim.m);
+      MutexLock lock(&victim.m);
       if (victim.begin < victim.end) {
         const uint64_t mid =
             victim.begin + (victim.end - victim.begin) / 2;
@@ -125,7 +130,7 @@ bool WorkStealingPartition::Next(size_t slot, uint64_t* begin,
     }
     if (steal_begin < steal_end) {
       stolen_.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(own.m);
+      MutexLock lock(&own.m);
       own.begin = steal_begin;
       own.end = steal_end;
       *begin = own.begin;

@@ -1,16 +1,16 @@
-#ifndef GALAXY_CORE_THREAD_POOL_H_
-#define GALAXY_CORE_THREAD_POOL_H_
+#pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace galaxy::core {
 
@@ -45,27 +45,33 @@ class ThreadPool {
   /// blocking until the last slot finished. Safe to call from multiple
   /// threads concurrently; NOT reentrant from inside a body (a body that
   /// calls Run() on the same pool may deadlock).
-  void Run(size_t parallelism, const std::function<void(size_t)>& body);
+  void Run(size_t parallelism, const std::function<void(size_t)>& body)
+      EXCLUDES(mutex_);
 
  private:
+  /// Bookkeeping of one Run() call, owned by the caller's stack frame.
+  /// The fields are guarded by the owning pool's mutex_ (GUARDED_BY
+  /// cannot name another object's member, so the invariant is enforced
+  /// by RunOneSlot/Run both REQUIRES(mutex_) around every access).
   struct Job {
     const std::function<void(size_t)>* body;
     size_t parallelism;
     size_t next_slot = 0;   // next unclaimed slot
     size_t completed = 0;   // finished slots
-    std::condition_variable done_cv;
+    common::CondVar done_cv;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
   // Claims and runs one slot of the front claimable job. The mutex is held
   // on entry and on exit, released while the body runs. Returns false when
   // no job has unclaimed slots.
-  bool RunOneSlot(std::unique_lock<std::mutex>& lock);
+  bool RunOneSlot() REQUIRES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::deque<Job*> jobs_;  // jobs with unclaimed slots (owned by callers)
-  bool shutdown_ = false;
+  common::Mutex mutex_;
+  common::CondVar work_cv_;
+  // Jobs with unclaimed slots (owned by callers).
+  std::deque<Job*> jobs_ GUARDED_BY(mutex_);
+  bool shutdown_ GUARDED_BY(mutex_) = false;
   std::vector<std::thread> threads_;
 };
 
@@ -92,9 +98,9 @@ class WorkStealingPartition {
 
  private:
   struct Range {
-    std::mutex m;
-    uint64_t begin = 0;
-    uint64_t end = 0;
+    common::Mutex m;
+    uint64_t begin GUARDED_BY(m) = 0;
+    uint64_t end GUARDED_BY(m) = 0;
   };
 
   size_t parallelism_;
@@ -115,5 +121,3 @@ struct PairIndex {
 PairIndex PairFromIndex(uint64_t p, uint32_t num_groups);
 
 }  // namespace galaxy::core
-
-#endif  // GALAXY_CORE_THREAD_POOL_H_

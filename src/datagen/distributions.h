@@ -1,5 +1,4 @@
-#ifndef GALAXY_DATAGEN_DISTRIBUTIONS_H_
-#define GALAXY_DATAGEN_DISTRIBUTIONS_H_
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -39,4 +38,3 @@ std::vector<Point> SamplePoints(Distribution distribution, size_t dims,
 
 }  // namespace galaxy::datagen
 
-#endif  // GALAXY_DATAGEN_DISTRIBUTIONS_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_DATAGEN_GROUPS_H_
-#define GALAXY_DATAGEN_GROUPS_H_
+#pragma once
 
 #include <cstdint>
 
@@ -64,4 +63,3 @@ Table GroupedDatasetToTable(const core::GroupedDataset& dataset);
 
 }  // namespace galaxy::datagen
 
-#endif  // GALAXY_DATAGEN_GROUPS_H_

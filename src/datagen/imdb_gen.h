@@ -1,5 +1,4 @@
-#ifndef GALAXY_DATAGEN_IMDB_GEN_H_
-#define GALAXY_DATAGEN_IMDB_GEN_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -45,4 +44,3 @@ Table ToTable(const std::vector<MovieRecord>& movies);
 
 }  // namespace galaxy::datagen
 
-#endif  // GALAXY_DATAGEN_IMDB_GEN_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_DATAGEN_MOVIES_H_
-#define GALAXY_DATAGEN_MOVIES_H_
+#pragma once
 
 #include "core/group.h"
 #include "relation/table.h"
@@ -37,4 +36,3 @@ inline constexpr const char* kJackson = "Jackson";
 
 }  // namespace galaxy::datagen
 
-#endif  // GALAXY_DATAGEN_MOVIES_H_

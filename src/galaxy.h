@@ -1,5 +1,4 @@
-#ifndef GALAXY_GALAXY_H_
-#define GALAXY_GALAXY_H_
+#pragma once
 
 /// Umbrella header for the galaxy library: aggregate skyline queries
 /// ("From Stars to Galaxies: skyline queries on aggregate data",
@@ -29,4 +28,3 @@
 #include "sql/catalog.h"          // IWYU pragma: export
 #include "sql/skyline_query.h"    // IWYU pragma: export
 
-#endif  // GALAXY_GALAXY_H_

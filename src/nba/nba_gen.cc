@@ -77,9 +77,9 @@ std::string PlayerName(size_t index, Rng& rng) {
 }  // namespace
 
 const std::vector<std::string>& StatColumns() {
-  static const std::vector<std::string>* kColumns = new std::vector<std::string>{
+  static const std::vector<std::string> kColumns{
       "pts", "reb", "ast", "stl", "blk", "fg", "ft", "three"};
-  return *kColumns;
+  return kColumns;
 }
 
 std::vector<PlayerSeason> GenerateLeagueHistory(const NbaConfig& config) {

@@ -1,5 +1,4 @@
-#ifndef GALAXY_NBA_NBA_GEN_H_
-#define GALAXY_NBA_NBA_GEN_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -55,4 +54,3 @@ Table ToTable(const std::vector<PlayerSeason>& seasons);
 
 }  // namespace galaxy::nba
 
-#endif  // GALAXY_NBA_NBA_GEN_H_

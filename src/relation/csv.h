@@ -1,5 +1,4 @@
-#ifndef GALAXY_RELATION_CSV_H_
-#define GALAXY_RELATION_CSV_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -51,4 +50,3 @@ Status WriteCsvFile(const Table& table, const std::string& path,
 
 }  // namespace galaxy
 
-#endif  // GALAXY_RELATION_CSV_H_

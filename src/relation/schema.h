@@ -1,5 +1,4 @@
-#ifndef GALAXY_RELATION_SCHEMA_H_
-#define GALAXY_RELATION_SCHEMA_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -50,4 +49,3 @@ class Schema {
 
 }  // namespace galaxy
 
-#endif  // GALAXY_RELATION_SCHEMA_H_

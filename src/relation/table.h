@@ -1,5 +1,4 @@
-#ifndef GALAXY_RELATION_TABLE_H_
-#define GALAXY_RELATION_TABLE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -76,4 +75,3 @@ class TableBuilder {
 
 }  // namespace galaxy
 
-#endif  // GALAXY_RELATION_TABLE_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_RELATION_VALUE_H_
-#define GALAXY_RELATION_VALUE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -88,4 +87,3 @@ struct ValueHash {
 
 }  // namespace galaxy
 
-#endif  // GALAXY_RELATION_VALUE_H_

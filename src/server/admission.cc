@@ -2,11 +2,13 @@
 
 namespace galaxy::server {
 
+using common::MutexLock;
+
 AdmissionController::AdmissionController(const AdmissionOptions& options)
     : options_(options) {}
 
 AdmissionController::Outcome AdmissionController::Acquire() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (active_ < options_.max_concurrent) {
     ++active_;
     return Outcome::kAdmitted;
@@ -17,32 +19,35 @@ AdmissionController::Outcome AdmissionController::Acquire() {
   ++queued_;
   const auto deadline =
       std::chrono::steady_clock::now() + options_.queue_timeout;
-  const bool got_slot = slot_free_.wait_until(lock, deadline, [&] {
-    return active_ < options_.max_concurrent;
-  });
-  --queued_;
-  if (!got_slot) {
-    return Outcome::kTimedOut;
+  // Standard condition re-check loop (the predicate reads guarded state,
+  // so it lives here where the analysis sees the lock, not in a lambda).
+  while (active_ >= options_.max_concurrent) {
+    if (slot_free_.WaitUntil(&mutex_, deadline) == std::cv_status::timeout &&
+        active_ >= options_.max_concurrent) {
+      --queued_;
+      return Outcome::kTimedOut;
+    }
   }
+  --queued_;
   ++active_;
   return Outcome::kAdmitted;
 }
 
 void AdmissionController::Release() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     --active_;
   }
-  slot_free_.notify_one();
+  slot_free_.NotifyOne();
 }
 
 size_t AdmissionController::active() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return active_;
 }
 
 size_t AdmissionController::queued() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return queued_;
 }
 

@@ -1,10 +1,10 @@
-#ifndef GALAXY_SERVER_ADMISSION_H_
-#define GALAXY_SERVER_ADMISSION_H_
+#pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace galaxy::server {
 
@@ -41,22 +41,20 @@ class AdmissionController {
   /// Tries to obtain an execution slot, waiting in the bounded queue if
   /// necessary. Only kAdmitted confers a slot (and the obligation to call
   /// Release()).
-  Outcome Acquire();
+  Outcome Acquire() EXCLUDES(mutex_);
 
   /// Returns an execution slot obtained by a successful Acquire().
-  void Release();
+  void Release() EXCLUDES(mutex_);
 
-  size_t active() const;
-  size_t queued() const;
+  size_t active() const EXCLUDES(mutex_);
+  size_t queued() const EXCLUDES(mutex_);
 
  private:
   const AdmissionOptions options_;
-  mutable std::mutex mutex_;
-  std::condition_variable slot_free_;
-  size_t active_ = 0;
-  size_t queued_ = 0;
+  mutable common::Mutex mutex_;
+  common::CondVar slot_free_;
+  size_t active_ GUARDED_BY(mutex_) = 0;
+  size_t queued_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace galaxy::server
-
-#endif  // GALAXY_SERVER_ADMISSION_H_

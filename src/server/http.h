@@ -1,5 +1,4 @@
-#ifndef GALAXY_SERVER_HTTP_H_
-#define GALAXY_SERVER_HTTP_H_
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -88,4 +87,3 @@ std::string JsonEscape(std::string_view text);
 
 }  // namespace galaxy::server
 
-#endif  // GALAXY_SERVER_HTTP_H_

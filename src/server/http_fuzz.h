@@ -1,5 +1,4 @@
-#ifndef GALAXY_SERVER_HTTP_FUZZ_H_
-#define GALAXY_SERVER_HTTP_FUZZ_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -29,4 +28,3 @@ std::string FuzzHttp(uint64_t seed, int iterations,
 
 }  // namespace galaxy::server
 
-#endif  // GALAXY_SERVER_HTTP_FUZZ_H_

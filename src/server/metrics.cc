@@ -55,7 +55,7 @@ double Histogram::QuantileMicros(double q) const {
 
 Counter* MetricsRegistry::AddCounter(std::string name, std::string help,
                                      std::string labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   counters_.push_back(NamedCounter{std::move(name), std::move(help),
                                    std::move(labels),
                                    std::make_unique<Counter>()});
@@ -64,7 +64,7 @@ Counter* MetricsRegistry::AddCounter(std::string name, std::string help,
 
 Gauge* MetricsRegistry::AddGauge(std::string name, std::string help,
                                  std::string labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   gauges_.push_back(NamedGauge{std::move(name), std::move(help),
                                std::move(labels),
                                std::make_unique<Gauge>()});
@@ -72,14 +72,14 @@ Gauge* MetricsRegistry::AddGauge(std::string name, std::string help,
 }
 
 Histogram* MetricsRegistry::AddHistogram(std::string name, std::string help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   histograms_.push_back(NamedHistogram{std::move(name), std::move(help),
                                        std::make_unique<Histogram>()});
   return histograms_.back().histogram.get();
 }
 
 std::string MetricsRegistry::Render() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   std::string out;
   out.reserve(4096);
 

@@ -1,12 +1,13 @@
-#ifndef GALAXY_SERVER_METRICS_H_
-#define GALAXY_SERVER_METRICS_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace galaxy::server {
 
@@ -82,15 +83,16 @@ class MetricsRegistry {
   /// pre-rendered label set like `{code="200"}` appended to the sample
   /// line, so one logical metric can be registered per label value.
   Counter* AddCounter(std::string name, std::string help,
-                      std::string labels = "");
+                      std::string labels = "") EXCLUDES(mutex_);
   Gauge* AddGauge(std::string name, std::string help,
-                  std::string labels = "");
-  Histogram* AddHistogram(std::string name, std::string help);
+                  std::string labels = "") EXCLUDES(mutex_);
+  Histogram* AddHistogram(std::string name, std::string help)
+      EXCLUDES(mutex_);
 
   /// Renders every metric in Prometheus text format. Histograms emit
   /// cumulative `_bucket{le=...}` series in seconds plus `_sum`/`_count`
   /// and companion `<name>_p50` / `<name>_p99` gauges.
-  std::string Render() const;
+  std::string Render() const EXCLUDES(mutex_);
 
  private:
   struct NamedCounter {
@@ -106,12 +108,10 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mutex_;
-  std::vector<NamedCounter> counters_;
-  std::vector<NamedGauge> gauges_;
-  std::vector<NamedHistogram> histograms_;
+  mutable common::Mutex mutex_;
+  std::vector<NamedCounter> counters_ GUARDED_BY(mutex_);
+  std::vector<NamedGauge> gauges_ GUARDED_BY(mutex_);
+  std::vector<NamedHistogram> histograms_ GUARDED_BY(mutex_);
 };
 
 }  // namespace galaxy::server
-
-#endif  // GALAXY_SERVER_METRICS_H_

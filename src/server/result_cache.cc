@@ -95,7 +95,7 @@ ResultCache::ResultCache(size_t max_entries, size_t max_bytes)
 
 std::shared_ptr<const CachedResponse> ResultCache::Lookup(
     const std::string& key, const sql::Database& db) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -119,7 +119,7 @@ void ResultCache::Insert(const std::string& key,
                          std::vector<std::pair<std::string, uint64_t>> deps,
                          CachedResponse response) {
   if (response.body.size() > max_bytes_) return;  // would evict everything
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   auto it = entries_.find(key);
   if (it != entries_.end()) EraseLocked(it);
   lru_.push_front(key);
@@ -131,12 +131,12 @@ void ResultCache::Insert(const std::string& key,
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return stats_;
 }
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(&mutex_);
   return entries_.size();
 }
 

@@ -1,15 +1,15 @@
-#ifndef GALAXY_SERVER_RESULT_CACHE_H_
-#define GALAXY_SERVER_RESULT_CACHE_H_
+#pragma once
 
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "sql/ast.h"
 #include "sql/catalog.h"
 
@@ -62,15 +62,16 @@ class ResultCache {
   /// drops the entry (miss + invalidation) if any referenced table changed
   /// or disappeared.
   std::shared_ptr<const CachedResponse> Lookup(const std::string& key,
-                                               const sql::Database& db);
+                                               const sql::Database& db)
+      EXCLUDES(mutex_);
 
   /// Inserts a response computed from the given (table, version) pairs.
   void Insert(const std::string& key,
               std::vector<std::pair<std::string, uint64_t>> deps,
-              CachedResponse response);
+              CachedResponse response) EXCLUDES(mutex_);
 
-  Stats stats() const;
-  size_t size() const;
+  Stats stats() const EXCLUDES(mutex_);
+  size_t size() const EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -79,20 +80,19 @@ class ResultCache {
     std::list<std::string>::iterator lru_pos;
   };
 
-  // Callers hold mutex_.
-  void EvictLocked();
-  void EraseLocked(std::map<std::string, Entry>::iterator it);
+  void EvictLocked() REQUIRES(mutex_);
+  void EraseLocked(std::map<std::string, Entry>::iterator it)
+      REQUIRES(mutex_);
 
   const size_t max_entries_;
   const size_t max_bytes_;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recently used
-  size_t total_bytes_ = 0;
-  Stats stats_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mutex_);
+  // Front = most recently used.
+  std::list<std::string> lru_ GUARDED_BY(mutex_);
+  size_t total_bytes_ GUARDED_BY(mutex_) = 0;
+  Stats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace galaxy::server
-
-#endif  // GALAXY_SERVER_RESULT_CACHE_H_

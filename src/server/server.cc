@@ -367,12 +367,12 @@ void Server::Stop() {
   }
   // Unblock every connection thread stuck in recv(), then join them.
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    common::MutexLock lock(&conn_mutex_);
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   std::map<uint64_t, std::thread> connections;
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    common::MutexLock lock(&conn_mutex_);
     connections.swap(connections_);
     finished_.clear();
   }
@@ -401,7 +401,7 @@ void Server::AcceptLoop() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    common::MutexLock lock(&conn_mutex_);
     const uint64_t id = next_conn_id_++;
     conn_fds_.insert(fd);
     connections_.emplace(id,
@@ -437,7 +437,7 @@ void Server::ServeConnection(int fd, uint64_t conn_id) {
   // Forget the fd before closing it so Stop() never shuts down a recycled
   // descriptor number.
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    common::MutexLock lock(&conn_mutex_);
     conn_fds_.erase(fd);
   }
   ::close(fd);
@@ -445,14 +445,14 @@ void Server::ServeConnection(int fd, uint64_t conn_id) {
 }
 
 void Server::FinishConnection(uint64_t conn_id) {
-  std::lock_guard<std::mutex> lock(conn_mutex_);
+  common::MutexLock lock(&conn_mutex_);
   finished_.push_back(conn_id);
 }
 
 void Server::ReapFinished() {
   std::vector<std::thread> done;
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    common::MutexLock lock(&conn_mutex_);
     for (uint64_t id : finished_) {
       auto it = connections_.find(id);
       if (it != connections_.end()) {
@@ -671,7 +671,7 @@ HttpResponse Server::HandleUpdate(const HttpRequest& request) {
 
   // Serialize read-modify-write cycles; concurrent queries keep reading
   // their pinned snapshots meanwhile.
-  std::lock_guard<std::mutex> update_lock(update_mutex_);
+  common::MutexLock update_lock(&update_mutex_);
   Result<std::shared_ptr<const Table>> snapshot = db_->GetTable(*table_name);
   if (!snapshot.ok()) return JsonError(404, snapshot.status());
   const Table& table = **snapshot;
@@ -695,7 +695,7 @@ HttpResponse Server::HandleUpdate(const HttpRequest& request) {
   // the new snapshot, so a failure (e.g. NULL in a skyline attribute)
   // rejects the update instead of desynchronizing view and table.
   {
-    std::lock_guard<std::mutex> view_lock(view_mutex_);
+    common::MutexLock view_lock(&view_mutex_);
     if (view_ != nullptr &&
         view_->config.table == AsciiLower(*table_name)) {
       Status applied = ApplyToView(view_.get(), table, *row, insert);
@@ -767,13 +767,13 @@ Status Server::EnableSkylineView(const SkylineViewConfig& config) {
     GALAXY_RETURN_IF_ERROR(
         ApplyToView(view.get(), table, table.row(r), /*insert=*/true));
   }
-  std::lock_guard<std::mutex> lock(view_mutex_);
+  common::MutexLock lock(&view_mutex_);
   view_ = std::move(view);
   return Status::OK();
 }
 
 HttpResponse Server::HandleSkyline() {
-  std::lock_guard<std::mutex> lock(view_mutex_);
+  common::MutexLock lock(&view_mutex_);
   if (view_ == nullptr) {
     return JsonError(
         404, Status::NotFound(

@@ -1,19 +1,19 @@
-#ifndef GALAXY_SERVER_SERVER_H_
-#define GALAXY_SERVER_SERVER_H_
+#pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/incremental.h"
 #include "server/admission.h"
 #include "server/http.h"
@@ -97,14 +97,15 @@ class Server {
 
   /// Stops accepting, unblocks and joins every connection thread. Safe to
   /// call twice; called by the destructor.
-  void Stop();
+  void Stop() EXCLUDES(conn_mutex_);
 
   /// The bound TCP port (after Start()).
   uint16_t port() const { return port_; }
 
   /// Builds the incremental aggregate-skyline view from the table's
   /// current contents; subsequent /update calls maintain it.
-  Status EnableSkylineView(const SkylineViewConfig& config);
+  Status EnableSkylineView(const SkylineViewConfig& config)
+      EXCLUDES(view_mutex_);
 
   /// Routes one parsed request exactly as a connection would — the
   /// in-process testing seam (no sockets involved).
@@ -123,14 +124,15 @@ class Server {
     std::vector<double> signs;  // +1 max, -1 min per attr
   };
 
-  void AcceptLoop();
-  void ServeConnection(int fd, uint64_t conn_id);
-  void FinishConnection(uint64_t conn_id);
-  void ReapFinished();
+  void AcceptLoop() EXCLUDES(conn_mutex_);
+  void ServeConnection(int fd, uint64_t conn_id) EXCLUDES(conn_mutex_);
+  void FinishConnection(uint64_t conn_id) EXCLUDES(conn_mutex_);
+  void ReapFinished() EXCLUDES(conn_mutex_);
 
   HttpResponse HandleQuery(const HttpRequest& request);
-  HttpResponse HandleUpdate(const HttpRequest& request);
-  HttpResponse HandleSkyline();
+  HttpResponse HandleUpdate(const HttpRequest& request)
+      EXCLUDES(update_mutex_, view_mutex_);
+  HttpResponse HandleSkyline() EXCLUDES(view_mutex_);
   HttpResponse HandleMetrics();
   void CountResponse(const HttpResponse& response);
   /// Applies one parsed update row to the incremental view.
@@ -173,11 +175,12 @@ class Server {
   Counter* responses_other_;
 
   // Serializes read-modify-write /update cycles (the catalog itself only
-  // guards single operations).
-  std::mutex update_mutex_;
+  // guards single operations). Guards a protocol, not members; always
+  // taken before view_mutex_ in HandleUpdate.
+  common::Mutex update_mutex_ ACQUIRED_BEFORE(view_mutex_);
 
-  std::mutex view_mutex_;
-  std::unique_ptr<ViewState> view_;  // guarded by view_mutex_
+  common::Mutex view_mutex_;
+  std::unique_ptr<ViewState> view_ GUARDED_BY(view_mutex_);
 
   // ---- Connection plumbing. ----------------------------------------------
   std::atomic<bool> stopping_{false};
@@ -185,13 +188,11 @@ class Server {
   uint16_t port_ = 0;
   std::thread accept_thread_;
 
-  std::mutex conn_mutex_;
-  uint64_t next_conn_id_ = 0;
-  std::map<uint64_t, std::thread> connections_;  // guarded by conn_mutex_
-  std::set<int> conn_fds_;                       // guarded by conn_mutex_
-  std::vector<uint64_t> finished_;               // guarded by conn_mutex_
+  common::Mutex conn_mutex_;
+  uint64_t next_conn_id_ GUARDED_BY(conn_mutex_) = 0;
+  std::map<uint64_t, std::thread> connections_ GUARDED_BY(conn_mutex_);
+  std::set<int> conn_fds_ GUARDED_BY(conn_mutex_);
+  std::vector<uint64_t> finished_ GUARDED_BY(conn_mutex_);
 };
 
 }  // namespace galaxy::server
-
-#endif  // GALAXY_SERVER_SERVER_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_SKYLINE_DOMINANCE_H_
-#define GALAXY_SKYLINE_DOMINANCE_H_
+#pragma once
 
 #include <span>
 #include <vector>
@@ -56,4 +55,3 @@ double MonotoneScore(std::span<const double> p, const PreferenceList& prefs);
 
 }  // namespace galaxy::skyline
 
-#endif  // GALAXY_SKYLINE_DOMINANCE_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_SKYLINE_SKYLINE_H_
-#define GALAXY_SKYLINE_SKYLINE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -47,4 +46,3 @@ Result<std::vector<size_t>> ComputeOnTable(
 
 }  // namespace galaxy::skyline
 
-#endif  // GALAXY_SKYLINE_SKYLINE_H_

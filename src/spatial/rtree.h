@@ -1,5 +1,4 @@
-#ifndef GALAXY_SPATIAL_RTREE_H_
-#define GALAXY_SPATIAL_RTREE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -81,4 +80,3 @@ class RTree {
 
 }  // namespace galaxy::spatial
 
-#endif  // GALAXY_SPATIAL_RTREE_H_

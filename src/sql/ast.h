@@ -1,5 +1,4 @@
-#ifndef GALAXY_SQL_AST_H_
-#define GALAXY_SQL_AST_H_
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -161,4 +160,3 @@ ExprPtr MakeBinary(BinaryOp op, ExprPtr left, ExprPtr right);
 
 }  // namespace galaxy::sql
 
-#endif  // GALAXY_SQL_AST_H_

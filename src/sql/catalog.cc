@@ -1,6 +1,5 @@
 #include "sql/catalog.h"
 
-#include <mutex>
 #include <utility>
 
 #include "common/str_util.h"
@@ -9,15 +8,26 @@
 
 namespace galaxy::sql {
 
+using common::ReaderMutexLock;
+using common::SharedMutex;
+using common::WriterMutexLock;
+
 Database::Database(Database&& other) noexcept {
-  std::unique_lock lock(other.mutex_);
+  // No lock on *this: the object is being constructed, nobody else can
+  // reference it yet.
+  WriterMutexLock lock(&other.mutex_);
   next_version_ = other.next_version_;
   tables_ = std::move(other.tables_);
 }
 
 Database& Database::operator=(Database&& other) noexcept {
   if (this == &other) return *this;
-  std::scoped_lock lock(mutex_, other.mutex_);
+  // Deterministic address order avoids deadlock if two threads ever move
+  // in opposite directions (moves are documented single-threaded anyway).
+  SharedMutex* first = this < &other ? &mutex_ : &other.mutex_;
+  SharedMutex* second = this < &other ? &other.mutex_ : &mutex_;
+  WriterMutexLock lock_first(first);
+  WriterMutexLock lock_second(second);
   next_version_ = other.next_version_;
   tables_ = std::move(other.tables_);
   return *this;
@@ -25,7 +35,7 @@ Database& Database::operator=(Database&& other) noexcept {
 
 uint64_t Database::Register(const std::string& name, Table table) {
   auto snapshot = std::make_shared<const Table>(std::move(table));
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(&mutex_);
   const uint64_t version = ++next_version_;
   tables_.insert_or_assign(AsciiLower(name),
                            Entry{std::move(snapshot), version});
@@ -33,13 +43,13 @@ uint64_t Database::Register(const std::string& name, Table table) {
 }
 
 void Database::Unregister(const std::string& name) {
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(&mutex_);
   tables_.erase(AsciiLower(name));
 }
 
 Result<std::shared_ptr<const Table>> Database::GetTable(
     const std::string& name) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   auto it = tables_.find(AsciiLower(name));
   if (it == tables_.end()) {
     return Status::NotFound("no table named: " + name);
@@ -48,7 +58,7 @@ Result<std::shared_ptr<const Table>> Database::GetTable(
 }
 
 Result<uint64_t> Database::TableVersion(const std::string& name) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   auto it = tables_.find(AsciiLower(name));
   if (it == tables_.end()) {
     return Status::NotFound("no table named: " + name);
@@ -57,7 +67,7 @@ Result<uint64_t> Database::TableVersion(const std::string& name) const {
 }
 
 std::vector<std::string> Database::TableNames() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, entry] : tables_) names.push_back(name);
@@ -65,7 +75,7 @@ std::vector<std::string> Database::TableNames() const {
 }
 
 size_t Database::num_tables() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return tables_.size();
 }
 

@@ -1,14 +1,14 @@
-#ifndef GALAXY_SQL_CATALOG_H_
-#define GALAXY_SQL_CATALOG_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "relation/table.h"
 
 namespace galaxy::sql {
@@ -45,9 +45,11 @@ class Database {
 
   /// Movable so factories can return a populated database by value. Moving
   /// is NOT thread-safe with respect to concurrent users of either operand
-  /// — move only during single-threaded setup/teardown.
-  Database(Database&& other) noexcept;
-  Database& operator=(Database&& other) noexcept;
+  /// — move only during single-threaded setup/teardown. (Excluded from the
+  /// thread-safety analysis: it locks both operands' mutexes, which the
+  /// analysis cannot express across objects.)
+  Database(Database&& other) noexcept NO_THREAD_SAFETY_ANALYSIS;
+  Database& operator=(Database&& other) noexcept NO_THREAD_SAFETY_ANALYSIS;
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -88,12 +90,10 @@ class Database {
     uint64_t version = 0;
   };
 
-  mutable std::shared_mutex mutex_;
-  uint64_t next_version_ = 0;  // guarded by mutex_
+  mutable common::SharedMutex mutex_;
+  uint64_t next_version_ GUARDED_BY(mutex_) = 0;
   // Keyed by lower-cased name.
-  std::map<std::string, Entry> tables_;
+  std::map<std::string, Entry> tables_ GUARDED_BY(mutex_);
 };
 
 }  // namespace galaxy::sql
-
-#endif  // GALAXY_SQL_CATALOG_H_

@@ -969,8 +969,8 @@ static Result<Table> ExecuteSingleSelect(const Database& db, SelectStmt& stmt,
 
   if (!grouped) {
     // Optional record skyline filter (SKYLINE OF without GROUP BY).
-    std::vector<size_t> selected(passing_rows.size());
-    for (size_t i = 0; i < passing_rows.size(); ++i) selected[i] = i;
+    std::vector<size_t> kept(passing_rows.size());
+    for (size_t i = 0; i < passing_rows.size(); ++i) kept[i] = i;
     if (!stmt.skyline.empty()) {
       std::vector<std::vector<double>> points;
       points.reserve(passing_rows.size());
@@ -987,12 +987,12 @@ static Result<Table> ExecuteSingleSelect(const Database& db, SelectStmt& stmt,
         }
         points.push_back(std::move(p));
       }
-      selected = skyline::Compute(points,
+      kept = skyline::Compute(points,
                                   skyline::AllMax(stmt.skyline.size()),
                                   skyline::Algorithm::kSfs);
     }
     InputRow view(total_slots);
-    for (size_t idx : selected) {
+    for (size_t idx : kept) {
       const std::vector<Value>& r = passing_rows[idx];
       for (size_t i = 0; i < total_slots; ++i) view[i] = &r[i];
       ctx.row = &view;

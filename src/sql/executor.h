@@ -1,5 +1,4 @@
-#ifndef GALAXY_SQL_EXECUTOR_H_
-#define GALAXY_SQL_EXECUTOR_H_
+#pragma once
 
 #include "common/status.h"
 #include "core/exec_context.h"
@@ -68,4 +67,3 @@ Result<Table> ExecuteSelect(const Database& db, SelectStmt& stmt,
 
 }  // namespace galaxy::sql
 
-#endif  // GALAXY_SQL_EXECUTOR_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_SQL_LEXER_H_
-#define GALAXY_SQL_LEXER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -20,4 +19,3 @@ bool IsKeyword(const std::string& upper_word);
 
 }  // namespace galaxy::sql
 
-#endif  // GALAXY_SQL_LEXER_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_SQL_OPTIMIZER_H_
-#define GALAXY_SQL_OPTIMIZER_H_
+#pragma once
 
 #include "sql/ast.h"
 
@@ -35,4 +34,3 @@ ExprPtr ConjoinAll(std::vector<ExprPtr> conjuncts);
 
 }  // namespace galaxy::sql
 
-#endif  // GALAXY_SQL_OPTIMIZER_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_SQL_PARSER_H_
-#define GALAXY_SQL_PARSER_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -16,4 +15,3 @@ Result<std::unique_ptr<SelectStmt>> Parse(const std::string& sql);
 
 }  // namespace galaxy::sql
 
-#endif  // GALAXY_SQL_PARSER_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_SQL_SKYLINE_QUERY_H_
-#define GALAXY_SQL_SKYLINE_QUERY_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -31,4 +30,3 @@ std::string BuildDominancePredicate(const std::vector<std::string>& attributes,
 
 }  // namespace galaxy::sql
 
-#endif  // GALAXY_SQL_SKYLINE_QUERY_H_

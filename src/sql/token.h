@@ -1,5 +1,4 @@
-#ifndef GALAXY_SQL_TOKEN_H_
-#define GALAXY_SQL_TOKEN_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -48,4 +47,3 @@ struct Token {
 
 }  // namespace galaxy::sql
 
-#endif  // GALAXY_SQL_TOKEN_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_SQL_VALUE_OPS_H_
-#define GALAXY_SQL_VALUE_OPS_H_
+#pragma once
 
 #include "common/status.h"
 #include "relation/value.h"
@@ -27,4 +26,3 @@ Result<bool> ValueIsTrue(const Value& v);
 
 }  // namespace galaxy::sql
 
-#endif  // GALAXY_SQL_VALUE_OPS_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_TESTING_DIFFERENTIAL_H_
-#define GALAXY_TESTING_DIFFERENTIAL_H_
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -110,4 +109,3 @@ std::string ReproducerToCpp(const Reproducer& repro);
 
 }  // namespace galaxy::testing
 
-#endif  // GALAXY_TESTING_DIFFERENTIAL_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_TESTING_FAULT_INJECTION_H_
-#define GALAXY_TESTING_FAULT_INJECTION_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -91,4 +90,3 @@ FaultDivergence FuzzFaults(uint64_t seed, int iterations,
 
 }  // namespace galaxy::testing
 
-#endif  // GALAXY_TESTING_FAULT_INJECTION_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_TESTING_ORACLE_H_
-#define GALAXY_TESTING_ORACLE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -46,4 +45,3 @@ OracleResult ComputeOracle(const core::GroupedDataset& dataset,
 
 }  // namespace galaxy::testing
 
-#endif  // GALAXY_TESTING_ORACLE_H_

@@ -1,5 +1,4 @@
-#ifndef GALAXY_TESTING_PROPERTY_GEN_H_
-#define GALAXY_TESTING_PROPERTY_GEN_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -53,4 +52,3 @@ double PickAdversarialGamma(Rng& rng);
 
 }  // namespace galaxy::testing
 
-#endif  // GALAXY_TESTING_PROPERTY_GEN_H_

@@ -30,7 +30,7 @@ const char* kDictionary[] = {
 }  // namespace
 
 const std::vector<std::string>& SqlFuzzCorpus() {
-  static const std::vector<std::string>* corpus = new std::vector<std::string>{
+  static const std::vector<std::string> corpus{
       "SELECT title, pop, score FROM movies SKYLINE OF pop MAX, score MAX",
       "SELECT genre FROM movies GROUP BY genre "
       "SKYLINE OF pop MAX, score MAX GAMMA 0.5",
@@ -52,7 +52,7 @@ const std::vector<std::string>& SqlFuzzCorpus() {
       "SELECT DISTINCT genre, AVG(score) FROM movies GROUP BY genre "
       "SKYLINE OF pop MIN, score MIN GAMMA 0.9",
   };
-  return *corpus;
+  return corpus;
 }
 
 sql::Database MakeSqlFuzzDatabase() {

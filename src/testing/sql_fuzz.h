@@ -1,5 +1,4 @@
-#ifndef GALAXY_TESTING_SQL_FUZZ_H_
-#define GALAXY_TESTING_SQL_FUZZ_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -46,4 +45,3 @@ std::string FuzzSql(uint64_t seed, int iterations,
 
 }  // namespace galaxy::testing
 
-#endif  // GALAXY_TESTING_SQL_FUZZ_H_

@@ -140,7 +140,9 @@ TEST(SortedPrimitivesTest, OrderScoresAndCornersAreConsistent) {
     EXPECT_EQ(scores[i], kernel::RowScore(rows.data() + order[i] * dims, dims));
     if (i > 0) {
       EXPECT_GE(scores[i - 1], scores[i]);
-      if (scores[i - 1] == scores[i]) EXPECT_LT(order[i - 1], order[i]);
+      if (scores[i - 1] == scores[i]) {
+      EXPECT_LT(order[i - 1], order[i]);
+    }
     }
   }
 
@@ -290,7 +292,9 @@ TEST(GroupScoreOrderTest, OrderIsDescendingAndStableUnderConcurrency) {
     double prev = kernel::RowScore(data.data() + order[i - 1] * 4, 4);
     double cur = kernel::RowScore(data.data() + order[i] * 4, 4);
     EXPECT_GE(prev, cur);
-    if (prev == cur) EXPECT_LT(order[i - 1], order[i]);
+    if (prev == cur) {
+      EXPECT_LT(order[i - 1], order[i]);
+    }
   }
 
   // Copies recompute (and agree); moves carry the cache along.

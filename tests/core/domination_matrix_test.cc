@@ -71,7 +71,9 @@ TEST(DominationMatrixTest, BooleanProductIsLowerBoundWitness) {
     DominationMatrix rt = DominationMatrix::Build(r, t);
     for (size_t i = 0; i < rt.rows(); ++i) {
       for (size_t k = 0; k < rt.cols(); ++k) {
-        if (product.at(i, k)) EXPECT_TRUE(rt.at(i, k));
+        if (product.at(i, k)) {
+        EXPECT_TRUE(rt.at(i, k));
+      }
       }
     }
     EXPECT_LE(product.pos(), rt.pos() + 1e-12);

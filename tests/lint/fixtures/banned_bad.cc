@@ -1,0 +1,22 @@
+// Known-bad fixture: every banned call the rule should catch.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+void Bad(char* dst, const char* src) {
+  int r = rand();
+  strcpy(dst, src);
+  sprintf(dst, "%d", r);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+void NotBanned() {
+  // Member calls with banned names are fine: different function.
+  struct Gen {
+    int rand() { return 4; }
+  } gen;
+  (void)gen.rand();
+}

@@ -1,0 +1,20 @@
+// Known-bad fixture: a record-pair kernel with nested loops and no budget
+// evidence. Linted under a synthetic src/core/algorithm_*.cc path.
+
+namespace demo {
+
+int CountPairs(const double* a, const double* b, int n1, int n2, int dims) {
+  int count = 0;
+  for (int i = 0; i < n1; ++i) {
+    for (int j = 0; j < n2; ++j) {
+      bool dominated = true;
+      for (int k = 0; k < dims; ++k) {
+        if (a[i * dims + k] < b[j * dims + k]) dominated = false;
+      }
+      if (dominated) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace demo

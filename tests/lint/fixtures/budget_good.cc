@@ -1,0 +1,21 @@
+// Clean fixture: the same nested-loop shape, but the function charges the
+// ExecutionContext budget per pair.
+
+namespace demo {
+
+struct Ctx {
+  bool Charge(int n);
+};
+
+int CountPairs(Ctx* ctx, const double* a, const double* b, int n1, int n2) {
+  int count = 0;
+  for (int i = 0; i < n1; ++i) {
+    for (int j = 0; j < n2; ++j) {
+      if (!ctx->Charge(1)) return count;
+      if (a[i] >= b[j]) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace demo

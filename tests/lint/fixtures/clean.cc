@@ -1,0 +1,24 @@
+// Fixture: a realistic file no rule should fire on. Banned identifiers in
+// comments (strcpy, new) and strings must be ignored by the lexer.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace demo {
+
+struct Item {
+  std::string name;  // not "new" memory: owned by the vector
+  int weight = 0;
+};
+
+std::unique_ptr<std::vector<Item>> MakeItems() {
+  auto items = std::make_unique<std::vector<Item>>();
+  items->push_back({"strcpy is banned, says this string", 1});
+  for (int i = 0; i < 4; ++i) {
+    items->push_back({std::to_string(i), i});
+  }
+  return items;
+}
+
+}  // namespace demo

@@ -1,0 +1,6 @@
+// Known-bad fixture: <iostream> in a core translation unit. Linted under a
+// synthetic src/core/ path.
+
+#include <iostream>
+
+void Debug(int v) { std::cout << v << "\n"; }

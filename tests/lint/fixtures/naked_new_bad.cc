@@ -1,0 +1,7 @@
+// Known-bad fixture: an unsuppressed naked new.
+
+struct Node {
+  int value = 0;
+};
+
+Node* Make() { return new Node(); }

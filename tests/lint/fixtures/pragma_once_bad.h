@@ -1,0 +1,8 @@
+#ifndef GALAXY_TESTS_LINT_FIXTURES_PRAGMA_ONCE_BAD_H_
+#define GALAXY_TESTS_LINT_FIXTURES_PRAGMA_ONCE_BAD_H_
+
+// Known-bad fixture: a header with an include guard but no #pragma once.
+
+inline int Answer() { return 42; }
+
+#endif  // GALAXY_TESTS_LINT_FIXTURES_PRAGMA_ONCE_BAD_H_

@@ -1,0 +1,17 @@
+#pragma once
+
+// Known-bad fixture: raw std:: synchronization primitives as members.
+
+#include <mutex>
+
+class Registry {
+ public:
+  void Add(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_ = v;
+  }
+
+ private:
+  std::mutex mu_;
+  int last_ = 0;
+};

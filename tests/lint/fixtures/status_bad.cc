@@ -1,0 +1,20 @@
+// Known-bad fixture: a Status-returning function declared in this file is
+// called as a bare statement and the result is dropped.
+
+#include "common/status.h"
+
+namespace demo {
+
+Status Flush(int fd);
+
+void Dropper(int fd) {
+  Flush(fd);
+}
+
+Status Checker(int fd) {
+  Status s = Flush(fd);
+  if (!s.ok()) return s;
+  return Flush(fd);
+}
+
+}  // namespace demo

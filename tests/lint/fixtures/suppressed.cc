@@ -1,0 +1,15 @@
+// Fixture: every suppression form silences the naked-new rule.
+
+struct Node {
+  int value = 0;
+};
+
+Node* SameLine() {
+  return new Node();  // galaxy-lint: allow(naked-new) — ownership documented
+}
+
+Node* PrecedingLine() {
+  // galaxy-lint: allow(naked-new) — the caller adopts this allocation and
+  // the comment block may span several lines above the offending one.
+  return new Node();
+}

@@ -1,0 +1,9 @@
+// Fixture: a file-level suppression disables a rule everywhere in the file.
+// galaxy-lint: allow-file(naked-new)
+
+struct Node {
+  int value = 0;
+};
+
+Node* First() { return new Node(); }
+Node* Second() { return new Node(); }

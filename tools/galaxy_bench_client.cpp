@@ -42,7 +42,6 @@
 #include <fstream>
 #include <initializer_list>
 #include <map>
-#include <mutex>
 #include <random>
 #include <set>
 #include <string>

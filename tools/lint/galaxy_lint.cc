@@ -1,0 +1,103 @@
+// galaxy_lint — repository invariant checker. See tools/lint/lint.h for the
+// rule set and tools/README.md for the catalog.
+//
+// Usage: galaxy_lint [--list-rules] <file-or-directory>...
+// Exit:  0 clean, 1 findings, 2 usage or I/O error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+/// Directory components never linted when walking a directory (explicitly
+/// named files are always linted): build output, VCS metadata, and the lint
+/// test fixtures, which are known-bad on purpose.
+bool SkippedComponent(const fs::path& p) {
+  for (const fs::path& part : p) {
+    const std::string s = part.string();
+    if (s == "build" || s == ".git" || s == "third_party" ||
+        s == "fixtures") {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : galaxy::lint::RuleNames()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: galaxy_lint [--list-rules] <file-or-dir>...\n");
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "galaxy_lint: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+    inputs.push_back(std::move(arg));
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "usage: galaxy_lint [--list-rules] <file-or-dir>...\n");
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (fs::recursive_directory_iterator it(input, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file() && IsSourceFile(it->path()) &&
+            !SkippedComponent(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+      if (ec) {
+        std::fprintf(stderr, "galaxy_lint: error walking %s: %s\n",
+                     input.c_str(), ec.message().c_str());
+        return 2;
+      }
+    } else if (fs::exists(input, ec)) {
+      files.push_back(input);
+    } else {
+      std::fprintf(stderr, "galaxy_lint: no such file or directory: %s\n",
+                   input.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<galaxy::lint::Diagnostic> diags;
+  bool io_ok = true;
+  for (const std::string& file : files) {
+    io_ok &= galaxy::lint::LintPath(file, &diags);
+  }
+  for (const galaxy::lint::Diagnostic& d : diags) {
+    std::printf("%s\n", d.ToString().c_str());
+  }
+  std::fprintf(stderr, "galaxy_lint: %zu file(s), %zu finding(s)\n",
+               files.size(), diags.size());
+  if (!io_ok) return 2;
+  return diags.empty() ? 0 : 1;
+}
