@@ -1,0 +1,191 @@
+// Parallel-scaling benchmark of the aggregate-skyline operator
+// (core/parallel.h): wall time and speedup of 1..8 threads over three
+// workload shapes — uniform group sizes, Zipf-skewed sizes (the shape
+// whose single giant pair serialized the pre-cost-model scheduler,
+// ISSUE 6), and a few-giant-groups shape where three groups hold most of
+// the records. Emits a machine-readable JSON trajectory (default
+// BENCH_parallel.json) consumed by scripts/check_bench_regression.py: the
+// per-thread speedup ratios are compared against the checked-in baseline,
+// and the Zipf d=4 8-thread entry carries a hard >=3x floor that applies
+// only on machines actually exposing >= 8 hardware threads (single-core
+// CI runners legitimately report ~1.0 and are exempt, mirroring the
+// kernel report's parallel_speedup exemption).
+//
+// Usage: parallel_scaling [--quick] [--out=PATH]
+//   --quick   smaller workloads and shorter timing windows (CI smoke mode)
+//   --out     report path; "-" suppresses the file
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/group.h"
+#include "core/parallel.h"
+#include "datagen/groups.h"
+
+namespace galaxy::bench {
+namespace {
+
+uint64_t g_sink = 0;  // defeats dead-code elimination across timed calls
+
+// Mean seconds per call: warm up once, then repeat until the window fills.
+template <typename F>
+double TimeOp(F&& op, double min_seconds) {
+  op();
+  WallTimer timer;
+  int reps = 0;
+  do {
+    op();
+    ++reps;
+  } while (timer.ElapsedSeconds() < min_seconds);
+  return timer.ElapsedSeconds() / reps;
+}
+
+// Few-giant-groups shape: `giants` groups carry `giant_records` records
+// each while `minnows` groups carry `minnow_records` — the worst case for
+// pair-count-based chunking, where a handful of giant-giant pairs hold
+// nearly all the classification cost.
+core::GroupedDataset FewGiantWorkload(size_t giants, size_t giant_records,
+                                      size_t minnows, size_t minnow_records,
+                                      size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Point>> groups;
+  groups.reserve(giants + minnows);
+  for (size_t g = 0; g < giants + minnows; ++g) {
+    const size_t records = g < giants ? giant_records : minnow_records;
+    Point center(dims);
+    for (double& c : center) c = rng.NextDouble();
+    std::vector<Point> group;
+    group.reserve(records);
+    for (size_t r = 0; r < records; ++r) {
+      Point p(dims);
+      for (size_t k = 0; k < dims; ++k) {
+        p[k] = std::clamp(center[k] + rng.Uniform(-0.1, 0.1), 0.0, 1.0);
+      }
+      group.push_back(std::move(p));
+    }
+    groups.push_back(std::move(group));
+  }
+  return core::GroupedDataset::FromPoints(groups);
+}
+
+void PrintEntry(const BenchJsonEntry& entry) {
+  std::printf("%-24s", entry.name.c_str());
+  for (const auto& [key, value] : entry.metrics) {
+    std::printf("  %s=%.4g", key.c_str(), value);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // One end-to-end run is tens of milliseconds, so even quick mode keeps a
+  // window wide enough for several repetitions per point — the speedup
+  // ratios feed a CI gate and must not be scheduling-noise artifacts.
+  const double window = quick ? 0.2 : 0.5;
+  const double hardware =
+      static_cast<double>(std::max(1u, std::thread::hardware_concurrency()));
+  const std::vector<size_t> thread_axis = {1, 2, 4, 8};
+  std::vector<BenchJsonEntry> entries;
+
+  struct Shape {
+    std::string name;
+    const core::GroupedDataset* dataset;
+  };
+  std::vector<Shape> shapes;
+
+  datagen::GroupedWorkloadConfig uniform;
+  uniform.num_records = quick ? 6000 : 40000;
+  uniform.avg_records_per_group = 100;
+  uniform.dims = 4;
+  uniform.distribution = datagen::Distribution::kIndependent;
+  uniform.size_model = datagen::GroupSizeModel::kUniform;
+  uniform.seed = 7;
+  shapes.push_back({"uniform_d4", &CachedWorkload(uniform)});
+
+  // The same workload as kernel_microbench's parallel_zipf_d4 entry, so
+  // the two reports describe the same shape.
+  datagen::GroupedWorkloadConfig zipf = uniform;
+  zipf.size_model = datagen::GroupSizeModel::kZipf;
+  shapes.push_back({"zipf_d4", &CachedWorkload(zipf)});
+
+  static const core::GroupedDataset few_giant =
+      quick ? FewGiantWorkload(3, 1200, 40, 25, 4, 11)
+            : FewGiantWorkload(3, 8000, 100, 40, 4, 11);
+  shapes.push_back({"few_giant_d4", &few_giant});
+
+  for (const Shape& shape : shapes) {
+    // Pool spin-up and cache warm-up before any timed run: the report is
+    // about steady-state scaling, not one-time thread creation.
+    {
+      core::ParallelOptions warm;
+      warm.num_threads = thread_axis.back();
+      g_sink += core::ComputeAggregateSkylineParallel(*shape.dataset, warm)
+                    .skyline.size();
+    }
+    double single_s = 0.0;
+    for (size_t threads : thread_axis) {
+      core::ParallelOptions options;
+      options.num_threads = threads;
+      uint64_t stolen = 0;
+      uint64_t split = 0;
+      double s = TimeOp(
+          [&] {
+            auto result =
+                core::ComputeAggregateSkylineParallel(*shape.dataset, options);
+            g_sink += result.skyline.size();
+            stolen = result.stats.chunks_stolen;
+            split = result.stats.pairs_split;
+          },
+          window);
+      if (threads == 1) single_s = s;
+      BenchJsonEntry e;
+      e.name = "scaling_" + shape.name + "_t" + std::to_string(threads);
+      e.metrics.emplace_back("threads", static_cast<double>(threads));
+      e.metrics.emplace_back("seconds", s);
+      e.metrics.emplace_back("speedup", single_s / s);
+      e.metrics.emplace_back("chunks_stolen", static_cast<double>(stolen));
+      e.metrics.emplace_back("pairs_split", static_cast<double>(split));
+      e.metrics.emplace_back("hardware_threads", hardware);
+      PrintEntry(e);
+      entries.push_back(std::move(e));
+    }
+  }
+
+  if (out_path != "-") {
+    if (!WriteBenchJson(out_path, "galaxy-parallel-bench-v1", quick,
+                        entries)) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+  // The sink must survive to keep every timed call observable.
+  std::printf("checksum %llu\n", static_cast<unsigned long long>(g_sink));
+  return 0;
+}
+
+}  // namespace galaxy::bench
+
+int main(int argc, char** argv) { return galaxy::bench::Main(argc, argv); }

@@ -58,6 +58,7 @@ std::string AggregateSkylineStats::ToString() const {
   out += " stopped_early=" + std::to_string(stopped_early);
   out += " records_preclassified=" + std::to_string(records_preclassified);
   out += " chunks_stolen=" + std::to_string(chunks_stolen);
+  out += " pairs_split=" + std::to_string(pairs_split);
   out += " wall_s=" + std::to_string(wall_seconds);
   return out;
 }

@@ -38,15 +38,16 @@ PairOutcome AlgoContext::Compare(uint32_t id1, uint32_t id2) {
       ClassifyPair(dataset_->group(id1), dataset_->group(id2), thresholds_,
                    pair_options_, &pair_stats);
   if (stats_ != nullptr) {
-    ++stats_->group_pairs_classified;
     stats_->record_comparisons += pair_stats.record_comparisons;
     stats_->records_preclassified += pair_stats.records_preclassified;
     if (pair_stats.mbb_strict_shortcut) ++stats_->mbb_shortcuts;
     if (pair_stats.stopped_early) ++stats_->stopped_early;
   }
   // An aborted classification decided nothing about the pair; recording
-  // its kIncomparable would be a false mark of knowledge.
+  // its kIncomparable would be a false mark of knowledge, and counting it
+  // in group_pairs_classified would inflate the decided-pair tally.
   if (pair_stats.aborted) return outcome;
+  if (stats_ != nullptr) ++stats_->group_pairs_classified;
   switch (outcome) {
     case PairOutcome::kFirstDominatesStrongly:
       strongly_dominated_[id2] = 1;

@@ -119,7 +119,9 @@ struct AggregateSkylineOptions {
 
 /// Work counters accumulated over one aggregate-skyline computation.
 struct AggregateSkylineStats {
-  uint64_t group_pairs_classified = 0;  ///< ClassifyPair invocations
+  uint64_t group_pairs_classified = 0;  ///< decided pair classifications
+                                        ///< (aborted ones decide nothing
+                                        ///< and are not counted)
   uint64_t record_comparisons = 0;      ///< record-level dominance tests
   uint64_t pairs_skipped_strong = 0;    ///< pair comparisons skipped because
                                         ///< a side was strongly dominated
@@ -131,6 +133,8 @@ struct AggregateSkylineStats {
   uint64_t records_preclassified = 0;   ///< records the MBB corner test kept
                                         ///< out of the pairwise scans
   uint64_t chunks_stolen = 0;           ///< parallel: work-stealing rebalances
+  uint64_t pairs_split = 0;             ///< parallel: giant pairs whose tile
+                                        ///< grid was split across workers
   double wall_seconds = 0.0;
 
   std::string ToString() const;

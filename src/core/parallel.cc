@@ -2,21 +2,137 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <numeric>
 #include <thread>
+#include <tuple>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/timer.h"
 #include "core/gamma.h"
 #include "core/thread_pool.h"
+#include "skyline/dominance.h"
 
 namespace galaxy::core {
 
 namespace {
-// Default group pairs per work-stealing claim. Pair costs vary by orders
-// of magnitude (group sizes are skewed), so the chunk stays small; the
-// per-claim mutex is uncontended at this granularity.
-constexpr uint64_t kDefaultPairChunk = 8;
+
+// Resolved defaults of the cost-model knobs (ParallelOptions doc).
+constexpr uint64_t kDefaultChunkCostTarget = 1ull << 16;
+constexpr uint64_t kDefaultSequentialCutoff = 1ull << 21;
+constexpr uint64_t kDefaultGiantPairMinCost = 1ull << 20;
+// At most this many pairs are intra-pair split per run: the split exists
+// to stop the few largest pairs from serializing the tail, and a bounded
+// list keeps the per-worker "visit every giant" sweep cheap. Pairs beyond
+// the cap go through the regular per-pair path (correctness unaffected).
+constexpr size_t kGiantEnumLimit = 4096;
+
+// Estimated classification cost of the triangle's pairs: the record-pair
+// product of the two groups, floored at one per pair (empty groups still
+// cost a call). Prefix sums price whole triangle rows in O(1), so sizing
+// one adaptive chunk costs O(rows touched + pairs of the final row).
+struct PairCostModel {
+  uint32_t n = 0;
+  std::vector<uint64_t> sizes;
+  std::vector<uint64_t> prefix;  // prefix[k] = sizes[0] + ... + sizes[k-1]
+
+  explicit PairCostModel(const GroupedDataset& dataset)
+      : n(static_cast<uint32_t>(dataset.num_groups())),
+        sizes(n),
+        prefix(static_cast<size_t>(n) + 1, 0) {
+    for (uint32_t g = 0; g < n; ++g) {
+      sizes[g] = dataset.group(g).size();
+      prefix[g + 1] = prefix[g] + sizes[g];
+    }
+  }
+
+  // Linear index of the first pair of triangle row r ((r, r+1)).
+  uint64_t RowOffset(uint64_t r) const { return r * n - r * (r + 1) / 2; }
+
+  uint64_t PairCost(uint32_t i, uint32_t j) const {
+    return std::max<uint64_t>(1, sizes[i] * sizes[j]);
+  }
+
+  // Total estimated cost of the whole triangle: the cross products
+  // (T^2 - sum of squares) / 2, floored at the pair count.
+  uint64_t TotalCost(uint64_t total_pairs) const {
+    const uint64_t t = prefix[n];
+    uint64_t sumsq = 0;
+    for (uint32_t g = 0; g < n; ++g) sumsq += sizes[g] * sizes[g];
+    return std::max(total_pairs, (t * t - sumsq) / 2);
+  }
+
+  // End of a claim starting at `begin` carrying roughly `target` cost,
+  // clamped to (begin, limit]. Whole row segments are priced via the
+  // prefix sums; only the final partial row walks individual pairs.
+  uint64_t ChunkEnd(uint64_t begin, uint64_t limit, uint64_t target) const {
+    uint64_t p = begin;
+    uint64_t acc = 0;
+    PairIndex start = PairFromIndex(begin, n);
+    uint64_t r = start.i;
+    uint64_t j = start.j;
+    while (p < limit && acc < target) {
+      const uint64_t seg_end = std::min<uint64_t>(limit, RowOffset(r + 1));
+      const uint64_t seg_count = seg_end - p;
+      const uint64_t seg_cost = std::max(
+          seg_count, sizes[r] * (prefix[j + seg_count] - prefix[j]));
+      if (acc + seg_cost <= target) {
+        acc += seg_cost;
+        p = seg_end;
+        ++r;
+        j = r + 1;
+        continue;
+      }
+      while (p < seg_end && acc < target) {
+        acc += std::max<uint64_t>(1, sizes[r] * sizes[j]);
+        ++p;
+        ++j;
+      }
+      break;
+    }
+    return std::max(p, begin + 1);
+  }
+};
+
+// One giant pair's cooperative tile scan. The first worker to arrive
+// prepares the residual under the pair mutex (settled-skip, control-plane
+// poll, MBB shortcut / preclassification, tile grid); afterwards every
+// worker claims tiles, counts them lock-free with the cache-blocked
+// kernel, and folds its counts back under the mutex. Whichever fold makes
+// the outcome decidable applies the marks — the stop rule's
+// TryResolveOutcome is sound on any resolved-subset state, so the tile
+// interleaving cannot change the outcome, only where the scan stops.
+struct GiantScan {
+  uint32_t i = 0;
+  uint32_t j = 0;
+  uint64_t total = 0;  // |g_i| * |g_j|, constant
+
+  common::Mutex m;
+  bool prepared GUARDED_BY(m) = false;
+  bool done GUARDED_BY(m) = false;  // outcome applied, skipped, or aborted
+  uint64_t next_tile GUARDED_BY(m) = 0;
+  uint64_t n12 GUARDED_BY(m) = 0;
+  uint64_t n21 GUARDED_BY(m) = 0;
+  uint64_t resolved GUARDED_BY(m) = 0;
+
+  // Written once during preparation while holding `m`, read without it by
+  // the tile loop: every reader first observed prepared == true under the
+  // mutex, so the release/acquire hand-off publishes these fields.
+  const double* rows1 = nullptr;
+  const double* rows2 = nullptr;
+  size_t k1 = 0;
+  size_t k2 = 0;
+  size_t tile_rows = 0;
+  size_t tile_cols = 0;
+  uint64_t tile_grid_cols = 0;
+  uint64_t total_tiles = 0;
+  std::vector<double> buf1, buf2;  // backing storage for gathered residuals
+};
+
 }  // namespace
 
 AggregateSkylineResult ComputeAggregateSkylineParallel(
@@ -27,6 +143,20 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
                        ? options.num_threads
                        : std::max(1u, std::thread::hardware_concurrency());
   threads = std::min<size_t>(threads, std::max<uint32_t>(1, n));
+  const uint64_t total_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+  // Never hold more slots than pairs: surplus slots would only contend on
+  // the claim path before exiting empty-handed.
+  threads = std::min<size_t>(threads, std::max<uint64_t>(1, total_pairs));
+
+  const uint64_t chunk_cost_target = options.chunk_cost_target != 0
+                                         ? options.chunk_cost_target
+                                         : kDefaultChunkCostTarget;
+  const uint64_t sequential_cutoff = options.sequential_cutoff_cost != 0
+                                         ? options.sequential_cutoff_cost
+                                         : kDefaultSequentialCutoff;
+  const uint64_t giant_min_cost = options.giant_pair_min_cost != 0
+                                      ? options.giant_pair_min_cost
+                                      : kDefaultGiantPairMinCost;
 
   GammaThresholds thresholds = GammaThresholds::FromGamma(options.gamma);
   PairCompareOptions pair_options;
@@ -34,6 +164,7 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
   pair_options.use_mbb = options.use_mbb;
   pair_options.exec = options.exec;
   pair_options.kernel = options.kernel;
+  ExecutionContext* exec = options.exec;
 
   // Shared dominance marks. Writes are monotone (0 -> 1 only), so relaxed
   // atomics are sufficient: a stale read can only cause extra work, never
@@ -52,76 +183,322 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
     uint64_t stopped_early = 0;
     uint64_t skipped_settled = 0;
     uint64_t records_preclassified = 0;
+    uint64_t pairs_split = 0;
   };
   std::vector<LocalStats> local(threads);
 
-  const uint64_t total_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
-  const uint64_t chunk =
-      options.pair_chunk != 0 ? options.pair_chunk : kDefaultPairChunk;
-  WorkStealingPartition partition(total_pairs, threads, chunk);
-
-  auto worker = [&](size_t slot) {
-    LocalStats& stats = local[slot];
-    uint64_t begin = 0;
-    uint64_t end = 0;
-    while (partition.Next(slot, &begin, &end)) {
-      if (options.exec != nullptr && options.exec->stopped()) return;
-      for (uint64_t p = begin; p < end; ++p) {
-        if (options.exec != nullptr && options.exec->stopped()) return;
-        const PairIndex pair = PairFromIndex(p, n);
-        const uint32_t i = pair.i;
-        const uint32_t j = pair.j;
-        // A pair may only be skipped when classifying it could not change
-        // any mark. Both endpoints being `dominated` is not enough: the
-        // classification could still set a missing `strongly_dominated`
-        // mark, making the parallel strong vector disagree with the
-        // sequential algorithms. A strongly-dominated endpoint has both its
-        // marks set, so requiring strong marks on both sides keeps every
-        // output vector exact.
-        if (options.skip_settled_pairs &&
-            strongly[i].load(std::memory_order_relaxed) != 0 &&
-            strongly[j].load(std::memory_order_relaxed) != 0) {
-          ++stats.skipped_settled;
-          continue;
-        }
-        PairCompareStats pair_stats;
-        PairOutcome outcome =
-            ClassifyPair(dataset.group(i), dataset.group(j), thresholds,
-                         pair_options, &pair_stats);
-        ++stats.pairs;
-        stats.record_comparisons += pair_stats.record_comparisons;
-        stats.records_preclassified += pair_stats.records_preclassified;
-        if (pair_stats.mbb_strict_shortcut) ++stats.mbb_shortcuts;
-        if (pair_stats.stopped_early) ++stats.stopped_early;
-        // An aborted classification decided nothing; recording its outcome
-        // would be a false mark.
-        if (pair_stats.aborted) continue;
-        switch (outcome) {
-          case PairOutcome::kFirstDominatesStrongly:
-            strongly[j].store(1, std::memory_order_relaxed);
-            dominated[j].store(1, std::memory_order_relaxed);
-            break;
-          case PairOutcome::kFirstDominates:
-            dominated[j].store(1, std::memory_order_relaxed);
-            break;
-          case PairOutcome::kSecondDominatesStrongly:
-            strongly[i].store(1, std::memory_order_relaxed);
-            dominated[i].store(1, std::memory_order_relaxed);
-            break;
-          case PairOutcome::kSecondDominates:
-            dominated[i].store(1, std::memory_order_relaxed);
-            break;
-          case PairOutcome::kIncomparable:
-            break;
-        }
-      }
+  auto apply_outcome = [&](uint32_t i, uint32_t j, PairOutcome outcome) {
+    switch (outcome) {
+      case PairOutcome::kFirstDominatesStrongly:
+        strongly[j].store(1, std::memory_order_relaxed);
+        dominated[j].store(1, std::memory_order_relaxed);
+        break;
+      case PairOutcome::kFirstDominates:
+        dominated[j].store(1, std::memory_order_relaxed);
+        break;
+      case PairOutcome::kSecondDominatesStrongly:
+        strongly[i].store(1, std::memory_order_relaxed);
+        dominated[i].store(1, std::memory_order_relaxed);
+        break;
+      case PairOutcome::kSecondDominates:
+        dominated[i].store(1, std::memory_order_relaxed);
+        break;
+      case PairOutcome::kIncomparable:
+        break;
     }
   };
 
-  ThreadPool::Global().Run(threads, worker);
+  // One regular (non-split) pair. Returns false when the control plane
+  // stopped the run mid-classification.
+  auto process_pair = [&](uint32_t i, uint32_t j, LocalStats& stats) {
+    // A pair may only be skipped when classifying it could not change any
+    // mark. Both endpoints being `dominated` is not enough: the
+    // classification could still set a missing `strongly_dominated` mark,
+    // making the parallel strong vector disagree with the sequential
+    // algorithms. A strongly-dominated endpoint has both its marks set, so
+    // requiring strong marks on both sides keeps every output vector
+    // exact.
+    if (options.skip_settled_pairs &&
+        strongly[i].load(std::memory_order_relaxed) != 0 &&
+        strongly[j].load(std::memory_order_relaxed) != 0) {
+      ++stats.skipped_settled;
+      return true;
+    }
+    PairCompareStats pair_stats;
+    PairOutcome outcome =
+        ClassifyPair(dataset.group(i), dataset.group(j), thresholds,
+                     pair_options, &pair_stats);
+    stats.record_comparisons += pair_stats.record_comparisons;
+    stats.records_preclassified += pair_stats.records_preclassified;
+    if (pair_stats.mbb_strict_shortcut) ++stats.mbb_shortcuts;
+    if (pair_stats.stopped_early) ++stats.stopped_early;
+    // An aborted classification decided nothing; recording its outcome
+    // would be a false mark, and counting it would inflate
+    // group_pairs_classified past the decided pairs.
+    if (pair_stats.aborted) return false;
+    ++stats.pairs;
+    apply_outcome(i, j, outcome);
+    return true;
+  };
 
   AggregateSkylineResult result;
   result.algorithm_used = Algorithm::kParallel;
+
+  PairCostModel cost_model(dataset);
+  const uint64_t total_cost = cost_model.TotalCost(total_pairs);
+
+  if (threads <= 1 || total_pairs == 0 || total_cost < sequential_cutoff) {
+    // Below the cutoff the pool wakeup costs more than the classification
+    // work; run inline on the calling thread.
+    LocalStats& stats = local[0];
+    [&] {
+      for (uint32_t i = 0; i < n; ++i) {
+        for (uint32_t j = i + 1; j < n; ++j) {
+          if (exec != nullptr && exec->stopped()) return;
+          if (!process_pair(i, j, stats)) return;
+        }
+      }
+    }();
+  } else {
+    // Giant pairs — cost at or above the split threshold — are scanned
+    // cooperatively, largest first, before the triangle sweep. Enumerate
+    // them by pairing the size-sorted groups (the inner loop breaks at the
+    // first partner below the threshold) and keep the most expensive ones.
+    std::deque<GiantScan> giants;
+    std::vector<uint64_t> giant_linear;  // ascending; the phase-2 skip set
+    {
+      std::vector<uint32_t> by_size(n);
+      std::iota(by_size.begin(), by_size.end(), uint32_t{0});
+      std::sort(by_size.begin(), by_size.end(),
+                [&](uint32_t a, uint32_t b) {
+                  if (cost_model.sizes[a] != cost_model.sizes[b]) {
+                    return cost_model.sizes[a] > cost_model.sizes[b];
+                  }
+                  return a < b;
+                });
+      std::vector<std::tuple<uint64_t, uint32_t, uint32_t>> cand;
+      for (size_t a = 0; a + 1 < by_size.size(); ++a) {
+        bool any = false;
+        for (size_t b = a + 1;
+             b < by_size.size() && cand.size() < kGiantEnumLimit; ++b) {
+          const uint64_t cost =
+              cost_model.sizes[by_size[a]] * cost_model.sizes[by_size[b]];
+          if (cost < giant_min_cost) break;
+          any = true;
+          const uint32_t gi = std::min(by_size[a], by_size[b]);
+          const uint32_t gj = std::max(by_size[a], by_size[b]);
+          cand.emplace_back(cost, gi, gj);
+        }
+        if (!any || cand.size() >= kGiantEnumLimit) break;
+      }
+      const size_t giant_cap = std::max<size_t>(32, 8 * threads);
+      std::sort(cand.begin(), cand.end(), [](const auto& x, const auto& y) {
+        if (std::get<0>(x) != std::get<0>(y)) {
+          return std::get<0>(x) > std::get<0>(y);
+        }
+        return std::tie(std::get<1>(x), std::get<2>(x)) <
+               std::tie(std::get<1>(y), std::get<2>(y));
+      });
+      if (cand.size() > giant_cap) cand.resize(giant_cap);
+      for (const auto& [cost, gi, gj] : cand) {
+        GiantScan& g = giants.emplace_back();
+        g.i = gi;
+        g.j = gj;
+        g.total = cost;
+        giant_linear.push_back(cost_model.RowOffset(gi) + (gj - gi - 1));
+      }
+      std::sort(giant_linear.begin(), giant_linear.end());
+    }
+
+    auto is_giant = [&](uint64_t p) {
+      return std::binary_search(giant_linear.begin(), giant_linear.end(), p);
+    };
+
+    // Decides a giant under its mutex: applies the marks and the stats of
+    // the deciding worker.
+    auto decide_giant = [&](GiantScan& g, PairOutcome outcome,
+                            LocalStats& stats) REQUIRES(g.m) {
+      g.done = true;
+      apply_outcome(g.i, g.j, outcome);
+      ++stats.pairs;
+      if (g.resolved < g.total) ++stats.stopped_early;
+    };
+
+    // First worker on a giant: settle/poll/MBB under the pair mutex, then
+    // lay out the tile grid. Returns with g.done or g.prepared set.
+    auto prepare_giant = [&](GiantScan& g, LocalStats& stats) REQUIRES(g.m) {
+      const Group& g1 = dataset.group(g.i);
+      const Group& g2 = dataset.group(g.j);
+      if (options.skip_settled_pairs &&
+          strongly[g.i].load(std::memory_order_relaxed) != 0 &&
+          strongly[g.j].load(std::memory_order_relaxed) != 0) {
+        ++stats.skipped_settled;
+        g.done = true;
+        return;
+      }
+      if (exec != nullptr && !exec->Charge(0)) {
+        g.done = true;
+        return;
+      }
+      if (options.use_mbb) {
+        const Box& b1 = g1.mbb();
+        const Box& b2 = g2.mbb();
+        // Figure 9(b) corner-only decisions, as in ClassifyPair.
+        if (skyline::Dominates(b2.min, b1.max)) {
+          ++stats.mbb_shortcuts;
+          decide_giant(g, PairOutcome::kSecondDominatesStrongly, stats);
+          return;
+        }
+        if (skyline::Dominates(b1.min, b2.max)) {
+          ++stats.mbb_shortcuts;
+          decide_giant(g, PairOutcome::kFirstDominatesStrongly, stats);
+          return;
+        }
+        internal::MbbPreclassification pre =
+            internal::PreclassifyWithMbb(g1, g2);
+        g.n12 = pre.n12;
+        g.n21 = pre.n21;
+        g.resolved = pre.resolved;
+        const uint64_t corner_tests = 2 * (g1.size() + g2.size());
+        stats.record_comparisons += corner_tests;
+        stats.records_preclassified +=
+            (g1.size() - pre.rest1.size()) + (g2.size() - pre.rest2.size());
+        if (exec != nullptr && !exec->Charge(corner_tests)) {
+          g.done = true;
+          return;
+        }
+        const size_t dims = dataset.dims();
+        kernel::GatherRows(g1.data().data(), pre.rest1.data(),
+                           pre.rest1.size(), dims, &g.buf1);
+        kernel::GatherRows(g2.data().data(), pre.rest2.data(),
+                           pre.rest2.size(), dims, &g.buf2);
+        g.rows1 = g.buf1.data();
+        g.rows2 = g.buf2.data();
+        g.k1 = pre.rest1.size();
+        g.k2 = pre.rest2.size();
+      } else {
+        g.rows1 = g1.data().data();
+        g.rows2 = g2.data().data();
+        g.k1 = g1.size();
+        g.k2 = g2.size();
+      }
+      PairOutcome outcome;
+      // With an empty residual resolved == total, where TryResolveOutcome
+      // always decides (and matches the exhaustive predicates), so reaching
+      // the tile grid implies at least one tile.
+      if ((options.use_stop_rule || g.resolved == g.total) &&
+          internal::TryResolveOutcome(g.n12, g.n21, g.resolved, g.total,
+                                      thresholds, &outcome)) {
+        decide_giant(g, outcome, stats);
+        return;
+      }
+      g.tile_rows = exec != nullptr ? kernel::kBoundedTileEdge
+                                    : kernel::kTileRows;
+      g.tile_cols = exec != nullptr ? kernel::kBoundedTileEdge
+                                    : kernel::kTileCols;
+      g.tile_grid_cols = (g.k2 + g.tile_cols - 1) / g.tile_cols;
+      g.total_tiles =
+          static_cast<uint64_t>((g.k1 + g.tile_rows - 1) / g.tile_rows) *
+          g.tile_grid_cols;
+      g.prepared = true;
+      ++stats.pairs_split;
+    };
+
+    // Cooperates on one giant until it is decided or out of tiles.
+    // Returns false when the control plane stopped the run.
+    auto process_giant = [&](GiantScan& g, LocalStats& stats) {
+      {
+        common::MutexLock lock(&g.m);
+        if (g.done) return true;
+        if (!g.prepared) {
+          prepare_giant(g, stats);
+          if (g.done) return exec == nullptr || !exec->stopped();
+        }
+      }
+      const size_t dims = dataset.dims();
+      while (true) {
+        if (exec != nullptr && exec->stopped()) {
+          common::MutexLock lock(&g.m);
+          g.done = true;
+          return false;
+        }
+        uint64_t tile;
+        {
+          common::MutexLock lock(&g.m);
+          if (g.done || g.next_tile >= g.total_tiles) return true;
+          tile = g.next_tile++;
+        }
+        const size_t i0 =
+            static_cast<size_t>(tile / g.tile_grid_cols) * g.tile_rows;
+        const size_t j0 =
+            static_cast<size_t>(tile % g.tile_grid_cols) * g.tile_cols;
+        const size_t ni = std::min(g.tile_rows, g.k1 - i0);
+        const size_t nj = std::min(g.tile_cols, g.k2 - j0);
+        kernel::KernelCounts c = kernel::CountBlock(
+            g.rows1 + i0 * dims, ni, g.rows2 + j0 * dims, nj, dims);
+        const uint64_t pairs = static_cast<uint64_t>(ni) * nj;
+        stats.record_comparisons += pairs;
+        // One tile is at most one charge batch (kBoundedTileEdge^2 when a
+        // context is attached), so each worker unwinds within the
+        // documented latency once the context stops.
+        const bool charge_ok = exec == nullptr || exec->Charge(pairs);
+        common::MutexLock lock(&g.m);
+        if (!charge_ok) {
+          // The pair stays undecided: recording partial counts as an
+          // outcome (or counting the pair) would fabricate knowledge.
+          g.done = true;
+          return false;
+        }
+        if (g.done) continue;  // decided while this tile was in flight
+        g.n12 += c.n12;
+        g.n21 += c.n21;
+        g.resolved += pairs;
+        PairOutcome outcome;
+        if ((options.use_stop_rule || g.resolved == g.total) &&
+            internal::TryResolveOutcome(g.n12, g.n21, g.resolved, g.total,
+                                        thresholds, &outcome)) {
+          decide_giant(g, outcome, stats);
+          return true;
+        }
+      }
+    };
+
+    const bool adaptive_chunk = options.pair_chunk == 0;
+    const uint64_t fixed_chunk = adaptive_chunk ? 1 : options.pair_chunk;
+    WorkStealingPartition partition(total_pairs, threads, fixed_chunk);
+    const WorkStealingPartition::ChunkSizer sizer =
+        [&](uint64_t begin, uint64_t limit) {
+          return cost_model.ChunkEnd(begin, limit, chunk_cost_target);
+        };
+    const WorkStealingPartition::ChunkSizer* sizer_ptr =
+        adaptive_chunk ? &sizer : nullptr;
+
+    auto worker = [&](size_t slot) {
+      LocalStats& stats = local[slot];
+      // Phase 1: gang up on the giant pairs, most expensive first, so the
+      // costliest scans finish with full parallelism instead of pinning
+      // one worker while the others drain the cheap tail.
+      for (GiantScan& g : giants) {
+        if (!process_giant(g, stats)) return;
+      }
+      // Phase 2: the remaining triangle under cost-adaptive work stealing.
+      uint64_t begin = 0;
+      uint64_t end = 0;
+      while (partition.Next(slot, &begin, &end, sizer_ptr)) {
+        if (exec != nullptr && exec->stopped()) return;
+        for (uint64_t p = begin; p < end; ++p) {
+          if (exec != nullptr && exec->stopped()) return;
+          if (is_giant(p)) continue;  // classified in phase 1
+          const PairIndex pair = PairFromIndex(p, n);
+          if (!process_pair(pair.i, pair.j, stats)) return;
+        }
+      }
+    };
+
+    ThreadPool::Global().Run(threads, worker);
+    result.stats.chunks_stolen = partition.chunks_stolen();
+  }
+
   result.dominated.resize(n);
   result.strongly_dominated.resize(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -136,8 +513,8 @@ AggregateSkylineResult ComputeAggregateSkylineParallel(
     result.stats.stopped_early += stats.stopped_early;
     result.stats.pairs_skipped_strong += stats.skipped_settled;
     result.stats.records_preclassified += stats.records_preclassified;
+    result.stats.pairs_split += stats.pairs_split;
   }
-  result.stats.chunks_stolen = partition.chunks_stolen();
   result.stats.wall_seconds = timer.ElapsedSeconds();
   return result;
 }

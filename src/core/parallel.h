@@ -23,9 +23,27 @@ struct ParallelOptions {
   /// AggregateSkylineOptions::kernel).
   KernelPolicy kernel = KernelPolicy::kAuto;
   /// Group pairs claimed per scheduler interaction (work-stealing chunk).
-  /// Small chunks balance skewed group sizes; large chunks cut locking.
-  /// 0 = default (8).
+  /// 0 = adaptive: chunks are sized by estimated pair cost (the product of
+  /// the two group cardinalities) so one claim carries roughly
+  /// `chunk_cost_target` record pairs — small chunks where groups are
+  /// giant, big chunks across runs of tiny groups. An explicit value fixes
+  /// the legacy constant pair count per claim.
   uint64_t pair_chunk = 0;
+  /// Estimated record pairs per adaptive work-stealing claim (only used
+  /// when pair_chunk == 0). 0 = default (1 << 16).
+  uint64_t chunk_cost_target = 0;
+  /// Total estimated cost (record pairs across the whole triangle, with a
+  /// floor of one per group pair) below which the call runs inline on the
+  /// calling thread without waking the pool: small workloads lose more to
+  /// scheduler wakeups than they gain from parallelism. 0 = default
+  /// (1 << 21); 1 = never run inline (the pool is always used).
+  uint64_t sequential_cutoff_cost = 0;
+  /// Estimated cost from which a single pair's cache-blocked tile grid is
+  /// split across all workers (intra-pair parallelism), so one giant
+  /// Zipf-head pair cannot serialize the run. 0 = default (1 << 20);
+  /// UINT64_MAX disables intra-pair splitting. Split pairs always scan
+  /// with the tiled kernel; the outcome is identical for every kernel.
+  uint64_t giant_pair_min_cost = 0;
   /// When true, threads opportunistically skip pairs whose both endpoints
   /// are already marked strongly dominated (sound: such a pair cannot
   /// change any mark, so the skyline AND the dominated / strongly_dominated

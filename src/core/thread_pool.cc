@@ -82,7 +82,8 @@ WorkStealingPartition::WorkStealingPartition(uint64_t total,
                                              uint64_t chunk)
     : parallelism_(parallelism),
       chunk_(std::max<uint64_t>(1, chunk)),
-      ranges_(std::make_unique<Range[]>(std::max<size_t>(1, parallelism))) {
+      ranges_(std::make_unique<Range[]>(std::max<size_t>(1, parallelism))),
+      remaining_(total) {
   GALAXY_CHECK_GT(parallelism, 0u);
   // Initial even split; remainders go to the leading slots. The locks are
   // uncontended (no other thread sees the partition yet) but keep the
@@ -99,15 +100,27 @@ WorkStealingPartition::WorkStealingPartition(uint64_t total,
   }
 }
 
-bool WorkStealingPartition::Next(size_t slot, uint64_t* begin,
-                                 uint64_t* end) {
+bool WorkStealingPartition::Next(size_t slot, uint64_t* begin, uint64_t* end,
+                                 const ChunkSizer* sizer) {
+  // Lock-free exhaustion gate: once every index has been claimed, slots
+  // return immediately without scanning (and locking) the ranges. This is
+  // what keeps degenerate shapes — more slots than work — from piling up
+  // on the claim mutexes.
+  if (remaining_.load(std::memory_order_acquire) == 0) return false;
+  const auto claim_end = [&](uint64_t claim_begin, uint64_t limit) {
+    uint64_t e = sizer != nullptr ? (*sizer)(claim_begin, limit)
+                                  : claim_begin + chunk_;
+    if (e <= claim_begin) e = claim_begin + 1;
+    return std::min(e, limit);
+  };
   Range& own = ranges_[slot];
   {
     MutexLock lock(&own.m);
     if (own.begin < own.end) {
       *begin = own.begin;
-      *end = std::min(own.end, own.begin + chunk_);
+      *end = claim_end(own.begin, own.end);
       own.begin = *end;
+      remaining_.fetch_sub(*end - *begin, std::memory_order_release);
       return true;
     }
   }
@@ -115,6 +128,7 @@ bool WorkStealingPartition::Next(size_t slot, uint64_t* begin,
   // the victim keeps its cache-warm front and the thief gets a share that
   // still amortizes further steals.
   for (size_t off = 1; off < parallelism_; ++off) {
+    if (remaining_.load(std::memory_order_acquire) == 0) return false;
     Range& victim = ranges_[(slot + off) % parallelism_];
     uint64_t steal_begin = 0;
     uint64_t steal_end = 0;
@@ -134,8 +148,9 @@ bool WorkStealingPartition::Next(size_t slot, uint64_t* begin,
       own.begin = steal_begin;
       own.end = steal_end;
       *begin = own.begin;
-      *end = std::min(own.end, own.begin + chunk_);
+      *end = claim_end(own.begin, own.end);
       own.begin = *end;
+      remaining_.fetch_sub(*end - *begin, std::memory_order_release);
       return true;
     }
   }

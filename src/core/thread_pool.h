@@ -83,13 +83,31 @@ class ThreadPool {
 /// load imbalance is bounded by one chunk per slot.
 class WorkStealingPartition {
  public:
+  /// Variable-size claims: given the contiguous run [begin, limit) still
+  /// owned by a slot, returns the end of the next claim in (begin, limit].
+  /// Invoked under the slot's claim mutex, so it must be cheap and must
+  /// not touch the partition. Lets callers size chunks by estimated cost
+  /// (e.g. group-pair record products) instead of a fixed index count.
+  using ChunkSizer = std::function<uint64_t(uint64_t begin, uint64_t limit)>;
+
   WorkStealingPartition(uint64_t total, size_t parallelism, uint64_t chunk);
 
   /// Claims the next chunk for `slot`. Returns true with [*begin, *end)
   /// a non-empty range of still-unclaimed indices, or false when the whole
   /// partition is exhausted (from this slot's point of view). Each index in
-  /// [0, total) is returned exactly once across all slots.
-  bool Next(size_t slot, uint64_t* begin, uint64_t* end);
+  /// [0, total) is returned exactly once across all slots. Once the
+  /// partition is drained this returns false without touching any claim
+  /// mutex, so slots beyond the work supply (total < parallelism * chunk)
+  /// exit immediately instead of contending on the locks.
+  bool Next(size_t slot, uint64_t* begin, uint64_t* end) {
+    return Next(slot, begin, end, nullptr);
+  }
+
+  /// As above, but when `sizer` is non-null each claim's extent is
+  /// (*sizer)(begin, limit) — clamped into (begin, limit] — instead of the
+  /// fixed `chunk` index count.
+  bool Next(size_t slot, uint64_t* begin, uint64_t* end,
+            const ChunkSizer* sizer);
 
   /// Number of successful steals (one stolen range each).
   uint64_t chunks_stolen() const {
@@ -107,6 +125,12 @@ class WorkStealingPartition {
   uint64_t chunk_;
   std::unique_ptr<Range[]> ranges_;
   std::atomic<uint64_t> stolen_{0};
+  /// Unclaimed indices across all slots; a lock-free exhaustion gate.
+  /// Strictly decreasing, decremented by each claim's size while the
+  /// corresponding range mutex is held, so 0 is only observable after the
+  /// final claim completed — a false "still work" read merely costs one
+  /// locked scan, never a missed index.
+  std::atomic<uint64_t> remaining_{0};
 };
 
 /// An unordered group pair (i < j) in the triangular pair space.

@@ -76,6 +76,16 @@ std::string DifferentialConfig::Name() const {
   if (parallel) {
     out = "PAR threads=" + std::to_string(num_threads) +
           " skip=" + std::to_string(skip_settled_pairs ? 1 : 0);
+    if (pair_chunk != 0) out += " chunk=" + std::to_string(pair_chunk);
+    if (chunk_cost_target != 0) {
+      out += " cost=" + std::to_string(chunk_cost_target);
+    }
+    if (sequential_cutoff_cost != 0) {
+      out += " cutoff=" + std::to_string(sequential_cutoff_cost);
+    }
+    if (giant_pair_min_cost != 0) {
+      out += " giant=" + std::to_string(giant_pair_min_cost);
+    }
   } else {
     out = core::AlgorithmToString(algorithm);
     out += " prune=" + std::to_string(prune_strongly_dominated ? 1 : 0);
@@ -192,6 +202,57 @@ std::vector<DifferentialConfig> AllConfigurations() {
     c.kernel = kernel;
     out.push_back(c);
   }
+
+  // The scheduler's cost-model paths. Adversarial datasets are tiny, so
+  // with default knobs every parallel run would take the inline
+  // (below-cutoff) path; these configurations force the pool
+  // (sequential_cutoff_cost = 1), make every pair a "giant" whose tile
+  // grid is split across workers (giant_pair_min_cost = 1), and shrink the
+  // adaptive chunk to one claim per pair (chunk_cost_target = 1) — the
+  // exact-marks contract must survive all of it.
+  for (auto [mbb, stop] : {std::pair<bool, bool>{false, true},
+                           std::pair<bool, bool>{true, true},
+                           std::pair<bool, bool>{false, false}}) {
+    DifferentialConfig c;
+    c.parallel = true;
+    c.num_threads = 4;
+    c.use_mbb = mbb;
+    c.use_stop_rule = stop;
+    c.sequential_cutoff_cost = 1;
+    c.giant_pair_min_cost = 1;
+    c.chunk_cost_target = 1;
+    out.push_back(c);
+  }
+  // Intra-pair splitting with settled-pair skipping off (every pair must
+  // still be classified exactly once across phases).
+  {
+    DifferentialConfig c;
+    c.parallel = true;
+    c.num_threads = 8;
+    c.skip_settled_pairs = false;
+    c.sequential_cutoff_cost = 1;
+    c.giant_pair_min_cost = 1;
+    out.push_back(c);
+  }
+  // The legacy fixed pair-count chunking, forced through the pool.
+  {
+    DifferentialConfig c;
+    c.parallel = true;
+    c.num_threads = 4;
+    c.pair_chunk = 3;
+    c.sequential_cutoff_cost = 1;
+    out.push_back(c);
+  }
+  // Adaptive chunking alone (no giants): cost-sized claims over the
+  // triangle with the default split threshold out of reach.
+  {
+    DifferentialConfig c;
+    c.parallel = true;
+    c.num_threads = 4;
+    c.sequential_cutoff_cost = 1;
+    c.chunk_cost_target = 2;
+    out.push_back(c);
+  }
   return out;
 }
 
@@ -206,6 +267,10 @@ core::AggregateSkylineResult RunConfiguration(
     options.use_stop_rule = config.use_stop_rule;
     options.skip_settled_pairs = config.skip_settled_pairs;
     options.kernel = config.kernel;
+    options.pair_chunk = config.pair_chunk;
+    options.chunk_cost_target = config.chunk_cost_target;
+    options.sequential_cutoff_cost = config.sequential_cutoff_cost;
+    options.giant_pair_min_cost = config.giant_pair_min_cost;
     return core::ComputeAggregateSkylineParallel(dataset, options);
   }
   core::AggregateSkylineOptions options;
@@ -493,6 +558,22 @@ std::string ReproducerToCpp(const Reproducer& repro) {
     out += "  config.skip_settled_pairs = " +
            std::string(repro.config.skip_settled_pairs ? "true" : "false") +
            ";\n";
+    if (repro.config.pair_chunk != 0) {
+      out += "  config.pair_chunk = " +
+             std::to_string(repro.config.pair_chunk) + ";\n";
+    }
+    if (repro.config.chunk_cost_target != 0) {
+      out += "  config.chunk_cost_target = " +
+             std::to_string(repro.config.chunk_cost_target) + ";\n";
+    }
+    if (repro.config.sequential_cutoff_cost != 0) {
+      out += "  config.sequential_cutoff_cost = " +
+             std::to_string(repro.config.sequential_cutoff_cost) + ";\n";
+    }
+    if (repro.config.giant_pair_min_cost != 0) {
+      out += "  config.giant_pair_min_cost = " +
+             std::to_string(repro.config.giant_pair_min_cost) + ";\n";
+    }
   } else {
     out += "  config.algorithm = " +
            std::string(AlgorithmEnumLiteral(repro.config.algorithm)) + ";\n";

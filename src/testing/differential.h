@@ -24,9 +24,17 @@ struct DifferentialConfig {
   /// Counting kernel for every pairwise residual scan; every policy must
   /// yield identical results (core/count_kernel.h).
   core::KernelPolicy kernel = core::KernelPolicy::kAuto;
-  /// Parallel-only knobs.
+  /// Parallel-only knobs. The cost-model fields mirror ParallelOptions:
+  /// 0 means "library default"; the matrix sets tiny explicit values so the
+  /// pool, adaptive-chunking, and intra-pair-split paths are exercised even
+  /// on the small adversarial datasets (whose total cost would otherwise
+  /// stay below the inline cutoff).
   size_t num_threads = 1;
   bool skip_settled_pairs = true;
+  uint64_t pair_chunk = 0;
+  uint64_t chunk_cost_target = 0;
+  uint64_t sequential_cutoff_cost = 0;
+  uint64_t giant_pair_min_cost = 0;
 
   /// True when the configuration must reproduce the oracle's dominated and
   /// strongly_dominated vectors exactly: BF/NL (which classify every

@@ -7,10 +7,15 @@
 
 #include "testing/fault_injection.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "core/aggregate_skyline.h"
+#include "core/exec_context.h"
 #include "core/gamma.h"
+#include "core/parallel.h"
 #include "testing/differential.h"
 #include "testing/oracle.h"
 #include "testing/property_gen.h"
@@ -116,6 +121,82 @@ TEST(FaultInjectionTest, ParallelConfigSurvivesMidRunCancellation) {
     FaultCheckOutcome outcome =
         RunFaultCheck(f.dataset, f.gamma, config, f.oracle, plan);
     EXPECT_TRUE(outcome.ok) << "trigger " << trigger << ": " << outcome.detail;
+  }
+}
+
+// Two (or three) equal-sized groups whose single classification needs a
+// long exhaustive scan: random d=2 records, 1600 record pairs per group
+// pair, no stop rule — so a fault injected a few hundred comparisons in
+// reliably aborts a classification mid-scan.
+core::GroupedDataset LongScanDataset(size_t num_groups, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Point>> groups(num_groups);
+  for (auto& group : groups) {
+    for (int r = 0; r < 40; ++r) {
+      group.push_back({rng.NextDouble(), rng.NextDouble()});
+    }
+  }
+  return core::GroupedDataset::FromPoints(groups);
+}
+
+TEST(FaultInjectionTest, AbortedPairIsNotCountedSequential) {
+  // Regression: group_pairs_classified used to be incremented before the
+  // aborted check, so a classification the control plane cut short still
+  // counted as "classified" — diverging from the decided-pair semantics.
+  core::GroupedDataset ds = LongScanDataset(2, 201);
+  for (core::Algorithm algorithm :
+       {core::Algorithm::kBruteForce, core::Algorithm::kNestedLoop}) {
+    core::ExecutionContext ctx;
+    ctx.InjectCancelAtComparison(300);  // mid-scan of the only pair
+    core::AggregateSkylineOptions options;
+    options.algorithm = algorithm;
+    options.use_stop_rule = false;
+    options.exec = &ctx;
+    options.allow_approximate = true;  // stats survive degradation
+    auto result = core::ComputeAggregateSkylineBounded(ds, options);
+    ASSERT_TRUE(result.ok()) << core::AlgorithmToString(algorithm);
+    EXPECT_TRUE(ctx.stopped());
+    EXPECT_EQ(result.value().stats.group_pairs_classified, 0u)
+        << core::AlgorithmToString(algorithm)
+        << ": an aborted classification decided nothing";
+  }
+}
+
+TEST(FaultInjectionTest, AbortedPairIsNotCountedParallel) {
+  // Same regression on the parallel operator's inline path (2 groups run
+  // below the cutoff on the calling thread).
+  core::GroupedDataset ds = LongScanDataset(2, 202);
+  core::ExecutionContext ctx;
+  ctx.InjectCancelAtComparison(300);
+  core::ParallelOptions options;
+  options.num_threads = 2;
+  options.use_stop_rule = false;
+  options.exec = &ctx;
+  core::AggregateSkylineResult result =
+      core::ComputeAggregateSkylineParallel(ds, options);
+  EXPECT_TRUE(ctx.stopped());
+  EXPECT_EQ(result.stats.group_pairs_classified, 0u);
+}
+
+TEST(FaultInjectionTest, AbortedPairIsNotCountedParallelPool) {
+  // The pool path (sequential_cutoff_cost = 1) and the intra-pair tile
+  // path (giant_pair_min_cost = 1): no full 1600-comparison scan can
+  // finish before the trigger, so no pair may be reported classified.
+  core::GroupedDataset ds = LongScanDataset(3, 203);
+  for (uint64_t giant_min : {uint64_t{0}, uint64_t{1}}) {
+    core::ExecutionContext ctx;
+    ctx.InjectCancelAtComparison(300);
+    core::ParallelOptions options;
+    options.num_threads = 2;
+    options.use_stop_rule = false;
+    options.exec = &ctx;
+    options.sequential_cutoff_cost = 1;
+    options.giant_pair_min_cost = giant_min;
+    core::AggregateSkylineResult result =
+        core::ComputeAggregateSkylineParallel(ds, options);
+    EXPECT_TRUE(ctx.stopped()) << "giant_min " << giant_min;
+    EXPECT_EQ(result.stats.group_pairs_classified, 0u)
+        << "giant_min " << giant_min;
   }
 }
 

@@ -112,6 +112,108 @@ TEST(ParallelTest, SingleGroup) {
   EXPECT_EQ(result.skyline, (std::vector<uint32_t>{0}));
 }
 
+GroupedDataset SkewedWorkload(uint64_t seed) {
+  // Zipf-head group sizes: the shape whose one giant pair serialized the
+  // pre-cost-model scheduler (ISSUE 6).
+  datagen::GroupedWorkloadConfig config;
+  config.num_records = 4000;
+  config.avg_records_per_group = 100;
+  config.dims = 4;
+  config.size_model = datagen::GroupSizeModel::kZipf;
+  config.zipf_theta = 1.2;
+  config.seed = seed;
+  return datagen::GenerateGrouped(config);
+}
+
+AggregateSkylineResult ExactResult(const GroupedDataset& ds, double gamma) {
+  AggregateSkylineOptions options;
+  options.gamma = gamma;
+  options.algorithm = Algorithm::kBruteForce;
+  return ComputeAggregateSkyline(ds, options);
+}
+
+TEST(ParallelTest, SkewedWorkloadStealsAndSplitsAndStaysExact) {
+  GroupedDataset ds = SkewedWorkload(77);
+  AggregateSkylineResult exact = ExactResult(ds, 0.5);
+  ParallelOptions options;
+  options.num_threads = 8;
+  options.sequential_cutoff_cost = 1;   // never run inline
+  options.giant_pair_min_cost = 1000;   // Zipf-head pairs split into tiles
+  options.chunk_cost_target = 256;      // small cost-sized claims
+  AggregateSkylineResult result = ComputeAggregateSkylineParallel(ds, options);
+  EXPECT_EQ(result.dominated, exact.dominated);
+  EXPECT_EQ(result.strongly_dominated, exact.strongly_dominated);
+  EXPECT_GT(result.stats.chunks_stolen, 0u);
+  EXPECT_GT(result.stats.pairs_split, 0u);
+}
+
+TEST(ParallelTest, CostModelConfigsAllMatchExactMarks) {
+  // The cutoff, chunking, and intra-pair-split axes of the differential
+  // matrix: every combination must reproduce the exact mark vectors.
+  GroupedDataset ds = SkewedWorkload(78);
+  AggregateSkylineResult exact = ExactResult(ds, 0.5);
+  for (uint64_t cutoff : {uint64_t{0}, uint64_t{1}}) {
+    for (uint64_t giant : {uint64_t{0}, uint64_t{1000}, UINT64_MAX}) {
+      for (uint64_t cost_target : {uint64_t{0}, uint64_t{64}}) {
+        for (uint64_t chunk : {uint64_t{0}, uint64_t{4}}) {
+          ParallelOptions options;
+          options.num_threads = 4;
+          options.sequential_cutoff_cost = cutoff;
+          options.giant_pair_min_cost = giant;
+          options.chunk_cost_target = cost_target;
+          options.pair_chunk = chunk;
+          AggregateSkylineResult result =
+              ComputeAggregateSkylineParallel(ds, options);
+          EXPECT_EQ(result.dominated, exact.dominated)
+              << "cutoff " << cutoff << " giant " << giant << " cost "
+              << cost_target << " chunk " << chunk;
+          EXPECT_EQ(result.strongly_dominated, exact.strongly_dominated)
+              << "cutoff " << cutoff << " giant " << giant << " cost "
+              << cost_target << " chunk " << chunk;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelTest, SplitPairsAreClassifiedExactlyOnce) {
+  // With settled-pair skipping off every unordered pair must be decided
+  // exactly once, whether it went through the giant tile phase or the
+  // triangle sweep.
+  GroupedDataset ds = SkewedWorkload(79);
+  ParallelOptions options;
+  options.num_threads = 8;
+  options.skip_settled_pairs = false;
+  options.sequential_cutoff_cost = 1;
+  options.giant_pair_min_cost = 1;  // every pair is a "giant" candidate
+  AggregateSkylineResult result = ComputeAggregateSkylineParallel(ds, options);
+  const uint64_t n = ds.num_groups();
+  EXPECT_EQ(result.stats.group_pairs_classified, n * (n - 1) / 2);
+  EXPECT_GT(result.stats.pairs_split, 0u);
+  EXPECT_EQ(AsSet(result.skyline), AsSet(ExactResult(ds, 0.5).skyline));
+}
+
+TEST(ParallelTest, InlineCutoffMatchesPoolResult) {
+  // The same workload below and above the cutoff: identical marks, and
+  // the inline path reports no scheduler activity.
+  GroupedDataset ds = TestWorkload(16);
+  ParallelOptions inline_opts;
+  inline_opts.num_threads = 4;
+  inline_opts.sequential_cutoff_cost = UINT64_MAX - 1;  // force inline
+  AggregateSkylineResult inline_result =
+      ComputeAggregateSkylineParallel(ds, inline_opts);
+  EXPECT_EQ(inline_result.stats.chunks_stolen, 0u);
+  EXPECT_EQ(inline_result.stats.pairs_split, 0u);
+
+  ParallelOptions pool_opts;
+  pool_opts.num_threads = 4;
+  pool_opts.sequential_cutoff_cost = 1;  // force the pool
+  AggregateSkylineResult pool_result =
+      ComputeAggregateSkylineParallel(ds, pool_opts);
+  EXPECT_EQ(inline_result.dominated, pool_result.dominated);
+  EXPECT_EQ(inline_result.strongly_dominated, pool_result.strongly_dominated);
+}
+
 TEST(ParallelTest, DeterministicResultUnderRepetition) {
   // The result set must not depend on thread interleavings: run several
   // times and compare.

@@ -1,5 +1,6 @@
 #include "core/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <thread>
@@ -99,6 +100,101 @@ TEST(WorkStealingPartitionTest, EmptyRangeYieldsNothing) {
   uint64_t begin = 0, end = 0;
   EXPECT_FALSE(partition.Next(0, &begin, &end));
   EXPECT_FALSE(partition.Next(2, &begin, &end));
+}
+
+TEST(WorkStealingPartitionTest, FewerIndicesThanSlotsStillCoversAll) {
+  // Degenerate shape: total < parallelism * chunk — most slots start with
+  // an empty (or missing) share and must exit without work.
+  const uint64_t total = 3;
+  const size_t parallelism = 8;
+  WorkStealingPartition partition(total, parallelism, 16);
+  std::vector<int> seen(total, 0);
+  uint64_t begin = 0, end = 0;
+  for (size_t slot = 0; slot < parallelism; ++slot) {
+    while (partition.Next(slot, &begin, &end)) {
+      ASSERT_LE(end, total);
+      for (uint64_t p = begin; p < end; ++p) ++seen[p];
+    }
+  }
+  for (uint64_t p = 0; p < total; ++p) EXPECT_EQ(seen[p], 1) << p;
+}
+
+TEST(WorkStealingPartitionTest, DrainedPartitionAnswersWithoutLocking) {
+  // After the last claim every further Next must return false from the
+  // lock-free remaining_ gate — cheap for surplus slots arriving late.
+  WorkStealingPartition partition(5, 4, 8);
+  uint64_t begin = 0, end = 0;
+  while (partition.Next(0, &begin, &end)) {
+  }
+  for (size_t slot = 0; slot < 4; ++slot) {
+    for (int rep = 0; rep < 3; ++rep) {
+      EXPECT_FALSE(partition.Next(slot, &begin, &end)) << slot;
+    }
+  }
+}
+
+TEST(WorkStealingPartitionTest, SingleIndexSingleSlot) {
+  WorkStealingPartition partition(1, 1, 64);
+  uint64_t begin = 0, end = 0;
+  ASSERT_TRUE(partition.Next(0, &begin, &end));
+  EXPECT_EQ(begin, 0u);
+  EXPECT_EQ(end, 1u);
+  EXPECT_FALSE(partition.Next(0, &begin, &end));
+}
+
+TEST(WorkStealingPartitionTest, ChunkSizerControlsClaimExtent) {
+  // A sizer returning begin + 3 must produce 3-wide claims, clamped at the
+  // range limit, and still cover every index exactly once.
+  const uint64_t total = 10;
+  WorkStealingPartition partition(total, 1, 1);
+  WorkStealingPartition::ChunkSizer sizer =
+      [](uint64_t begin, uint64_t limit) {
+        return std::min(begin + 3, limit);
+      };
+  std::vector<int> seen(total, 0);
+  std::vector<uint64_t> widths;
+  uint64_t begin = 0, end = 0;
+  while (partition.Next(0, &begin, &end, &sizer)) {
+    widths.push_back(end - begin);
+    for (uint64_t p = begin; p < end; ++p) ++seen[p];
+  }
+  for (uint64_t p = 0; p < total; ++p) EXPECT_EQ(seen[p], 1) << p;
+  EXPECT_EQ(widths, (std::vector<uint64_t>{3, 3, 3, 1}));
+}
+
+TEST(WorkStealingPartitionTest, MisbehavingSizerIsClampedToProgress) {
+  // Sizers returning <= begin (or past the limit) must still yield a
+  // non-empty in-range claim: the partition guarantees forward progress.
+  const uint64_t total = 4;
+  WorkStealingPartition partition(total, 1, 1);
+  WorkStealingPartition::ChunkSizer bad =
+      [](uint64_t begin, uint64_t) { return begin; };
+  std::vector<int> seen(total, 0);
+  uint64_t begin = 0, end = 0;
+  while (partition.Next(0, &begin, &end, &bad)) {
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end, total);
+    for (uint64_t p = begin; p < end; ++p) ++seen[p];
+  }
+  for (uint64_t p = 0; p < total; ++p) EXPECT_EQ(seen[p], 1) << p;
+}
+
+TEST(WorkStealingPartitionTest, SizerAppliesToStolenRangesToo) {
+  // Slot 1 owns nothing; it steals from slot 0 and the stolen range's
+  // claims must also be sizer-shaped.
+  WorkStealingPartition partition(100, 2, 8);
+  WorkStealingPartition::ChunkSizer sizer =
+      [](uint64_t begin, uint64_t limit) {
+        return std::min(begin + 5, limit);
+      };
+  uint64_t begin = 0, end = 0;
+  uint64_t claimed = 0;
+  while (partition.Next(1, &begin, &end, &sizer)) {
+    EXPECT_LE(end - begin, 5u);
+    claimed += end - begin;
+  }
+  EXPECT_EQ(claimed, 100u);
+  EXPECT_GT(partition.chunks_stolen(), 0u);
 }
 
 TEST(WorkStealingPartitionTest, IdleSlotStealsFromLoadedOne) {
