@@ -1,0 +1,196 @@
+// Sustained-update throughput of the durability subsystem: POST /update
+// driven through the in-process Server::Handle seam (no sockets, so the
+// numbers isolate WAL + catalog + view cost from network noise) against a
+// real on-disk data directory, one run per fsync policy plus a
+// no-durability baseline. Also times a single snapshot rotation of the
+// grown table. Emits BENCH_durability.json (schema
+// galaxy-durability-bench-v1); the absolute updates/sec depend on the
+// machine's fsync latency, so the report is recorded, not gated.
+//
+// Usage: durability_bench [--quick] [--out=PATH]
+//   --quick   fewer updates per policy (CI smoke mode)
+//   --out     report path; "-" suppresses the file
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "relation/csv.h"
+#include "relation/schema.h"
+#include "relation/table.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "sql/catalog.h"
+#include "storage/durability.h"
+#include "storage/env.h"
+
+namespace galaxy::bench {
+namespace {
+
+Schema BenchSchema() {
+  return Schema({ColumnDef{"g", ValueType::kString},
+                 ColumnDef{"x", ValueType::kInt64},
+                 ColumnDef{"y", ValueType::kDouble}});
+}
+
+Table SeedTable() {
+  TableBuilder builder(BenchSchema());
+  auto parsed = ParseCsvRowForSchema(BenchSchema(), "seed,0,0.5");
+  if (parsed.ok()) builder.AddRow(*std::move(parsed));
+  return builder.Build();
+}
+
+server::HttpRequest InsertRequest(uint64_t i) {
+  const std::string row = "g" + std::to_string(i % 8) + "," +
+                          std::to_string(i) + ",1.5";
+  server::HttpRequest request;
+  const server::HttpParseResult parsed = server::ParseHttpRequest(
+      "POST /update?table=t&op=insert HTTP/1.1\r\nContent-Length: " +
+          std::to_string(row.size()) + "\r\n\r\n" + row,
+      &request);
+  if (parsed.state != server::ParseState::kDone) std::abort();
+  return request;
+}
+
+void RemoveTree(storage::Env* env, const std::string& dir) {
+  auto entries = env->ListDir(dir);
+  if (!entries.ok()) return;
+  for (const std::string& name : *entries) {
+    (void)env->RemoveFile(dir + "/" + name);
+  }
+}
+
+struct RunResult {
+  double seconds = 0;
+  double snapshot_seconds = 0;
+  uint64_t wal_bytes = 0;
+};
+
+// Applies `updates` inserts through /update. `policy` empty = durability
+// disabled (in-memory baseline).
+RunResult RunPolicy(const std::string& policy, uint64_t updates) {
+  storage::Env* env = storage::Env::Default();
+  const std::string dir = "/tmp/galaxy_durability_bench_" +
+                          std::to_string(::getpid()) + "_" +
+                          (policy.empty() ? "none" : policy);
+  RemoveTree(env, dir);
+
+  sql::Database db;
+  server::Server server(&db, server::ServerOptions{});
+  std::unique_ptr<storage::DurabilityManager> durability;
+  if (!policy.empty()) {
+    storage::DurabilityOptions options;
+    auto parsed = storage::ParseFsyncPolicy(policy);
+    if (!parsed.ok()) std::abort();
+    options.wal.policy = *parsed;
+    auto opened = storage::DurabilityManager::Open(
+        env, dir, &db, options, server.DurabilityHooks());
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", dir.c_str(),
+                   opened.status().ToString().c_str());
+      std::abort();
+    }
+    durability = std::move(*opened);
+  }
+  db.Register("t", SeedTable());
+  if (durability != nullptr) {
+    if (!durability->Bootstrap().ok()) std::abort();
+    server.AttachDurability(durability.get());
+  }
+
+  RunResult result;
+  WallTimer timer;
+  for (uint64_t i = 0; i < updates; ++i) {
+    if (server.Handle(InsertRequest(i)).status != 200) std::abort();
+  }
+  result.seconds = timer.ElapsedSeconds();
+
+  if (durability != nullptr) {
+    auto size = env->FileSize(durability->dir() + "/wal-" +
+                              std::to_string(durability->generation()) +
+                              ".log");
+    result.wal_bytes = size.ok() ? *size : 0;
+    WallTimer snap;
+    if (!durability->Snapshot().ok()) std::abort();
+    result.snapshot_seconds = snap.ElapsedSeconds();
+  }
+
+  durability.reset();
+  RemoveTree(env, dir);
+  return result;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_durability.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  struct Config {
+    std::string name;    // entry suffix
+    std::string policy;  // "" = durability off
+    uint64_t updates;
+  };
+  const uint64_t heavy = quick ? 2000 : 20000;
+  const std::vector<Config> configs = {
+      {"baseline_no_wal", "", heavy},
+      {"fsync_never", "never", heavy},
+      {"fsync_interval", "interval", heavy},
+      // Every update pays a real fdatasync, so this run is much smaller.
+      {"fsync_always", "always", quick ? 200 : 2000},
+  };
+
+  std::vector<BenchJsonEntry> entries;
+  for (const Config& config : configs) {
+    const RunResult result = RunPolicy(config.policy, config.updates);
+    BenchJsonEntry e;
+    e.name = "updates_" + config.name;
+    e.metrics.emplace_back("updates", static_cast<double>(config.updates));
+    e.metrics.emplace_back("seconds", result.seconds);
+    e.metrics.emplace_back("updates_per_sec",
+                           static_cast<double>(config.updates) /
+                               result.seconds);
+    if (!config.policy.empty()) {
+      e.metrics.emplace_back("wal_bytes",
+                             static_cast<double>(result.wal_bytes));
+      e.metrics.emplace_back("snapshot_seconds", result.snapshot_seconds);
+    }
+    std::printf("%-28s", e.name.c_str());
+    for (const auto& [key, value] : e.metrics) {
+      std::printf("  %s=%.4g", key.c_str(), value);
+    }
+    std::printf("\n");
+    entries.push_back(std::move(e));
+  }
+
+  if (out_path != "-") {
+    if (!WriteBenchJson(out_path, "galaxy-durability-bench-v1", quick,
+                        entries)) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace galaxy::bench
+
+int main(int argc, char** argv) { return galaxy::bench::Main(argc, argv); }

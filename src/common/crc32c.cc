@@ -1,0 +1,70 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace galaxy::common {
+
+namespace {
+
+/// 8 tables of 256 entries, built once at startup: table[0] is the plain
+/// byte-at-a-time table for the reflected Castagnoli polynomial; table[k]
+/// advances a CRC past k additional zero bytes, which is what lets the hot
+/// loop fold 8 input bytes per iteration (slicing-by-8).
+struct Tables {
+  uint32_t t[8][256];
+
+  Tables() {
+    constexpr uint32_t kPoly = 0x82f63b78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xff];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const Tables& tab = tables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Align to 8 bytes so the 64-bit loads below are aligned.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = tab.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, p, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    word = __builtin_bswap64(word);
+#endif
+    word ^= crc;
+    crc = tab.t[7][word & 0xff] ^ tab.t[6][(word >> 8) & 0xff] ^
+          tab.t[5][(word >> 16) & 0xff] ^ tab.t[4][(word >> 24) & 0xff] ^
+          tab.t[3][(word >> 32) & 0xff] ^ tab.t[2][(word >> 40) & 0xff] ^
+          tab.t[1][(word >> 48) & 0xff] ^ tab.t[0][(word >> 56) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = tab.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace galaxy::common

@@ -1,6 +1,7 @@
 #include "relation/csv.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -273,6 +274,100 @@ void WriteField(std::ostream& output, const std::string& s, char delimiter) {
 
 }  // namespace
 
+Result<std::vector<std::string>> SplitCsvRecord(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      ++i;
+      continue;
+    }
+    field += c;
+    ++i;
+  }
+  if (quoted) {
+    return Status::ParseError("unterminated quote in update row");
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+Result<Row> ParseCsvRowForSchema(const Schema& schema, std::string_view body) {
+  std::string_view line = StrTrim(body);
+  GALAXY_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          SplitCsvRecord(line));
+  if (fields.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "update row has " + std::to_string(fields.size()) +
+        " fields; table has " + std::to_string(schema.num_columns()) +
+        " columns");
+  }
+  Row row;
+  row.reserve(fields.size());
+  for (size_t c = 0; c < fields.size(); ++c) {
+    const std::string& field = fields[c];
+    const ColumnDef& col = schema.column(c);
+    if (field.empty() || field == "NULL") {
+      row.push_back(Value::Null());
+      continue;
+    }
+    switch (col.type) {
+      case ValueType::kInt64: {
+        char* end = nullptr;
+        errno = 0;
+        long long v = std::strtoll(field.c_str(), &end, 10);
+        if (errno != 0 || end != field.c_str() + field.size()) {
+          return Status::TypeError("column " + col.name +
+                                   " expects INT64, got: " + field);
+        }
+        row.push_back(Value(static_cast<int64_t>(v)));
+        break;
+      }
+      case ValueType::kDouble: {
+        char* end = nullptr;
+        errno = 0;
+        double v = std::strtod(field.c_str(), &end);
+        if (errno != 0 || end != field.c_str() + field.size()) {
+          return Status::TypeError("column " + col.name +
+                                   " expects DOUBLE, got: " + field);
+        }
+        row.push_back(Value(v));
+        break;
+      }
+      case ValueType::kString:
+      case ValueType::kNull:
+        row.push_back(Value(field));
+        break;
+    }
+  }
+  return row;
+}
+
 Status WriteCsv(const Table& table, std::ostream& output, char delimiter) {
   for (size_t c = 0; c < table.num_columns(); ++c) {
     if (c > 0) output << delimiter;
@@ -295,6 +390,9 @@ Status WriteCsv(const Table& table, std::ostream& output, char delimiter) {
 
 Status WriteCsvFile(const Table& table, const std::string& path,
                     char delimiter) {
+  // CSV export of query results, not durable server state — crash safety
+  // is not part of this file's contract, so it stays off the Env seam.
+  // galaxy-lint: allow(raw-file-io)
   std::ofstream stream(path);
   if (!stream) {
     return Status::InvalidArgument("cannot open file for writing: " + path);

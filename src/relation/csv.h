@@ -2,6 +2,8 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "relation/table.h"
@@ -38,6 +40,17 @@ Result<Table> ReadCsvString(const std::string& text,
 /// Reads a CSV file from disk.
 Result<Table> ReadCsvFile(const std::string& path,
                           const CsvReadOptions& options = {});
+
+/// Splits one CSV record (double-quote quoting, "" escapes) into raw
+/// fields. No type conversion; comma delimiter only.
+Result<std::vector<std::string>> SplitCsvRecord(std::string_view line);
+
+/// Parses one CSV record into a typed Row matching `schema` — the /update
+/// request-body format, shared by the HTTP server and WAL recovery replay
+/// (both sides MUST interpret a logged row identically). Surrounding
+/// whitespace is trimmed; empty fields and the literal NULL become SQL
+/// NULLs; numeric fields must parse in full.
+Result<Row> ParseCsvRowForSchema(const Schema& schema, std::string_view body);
 
 /// Writes a table as CSV (header row + data rows; strings are quoted when
 /// they contain the delimiter, quotes or newlines; NULLs are empty).

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -108,104 +109,6 @@ Result<std::string> TableToCsv(const Table& table) {
   std::ostringstream out;
   GALAXY_RETURN_IF_ERROR(WriteCsv(table, out));
   return out.str();
-}
-
-/// Splits one CSV record (double-quote quoting, "" escapes) into fields.
-Result<std::vector<std::string>> SplitCsvRecord(std::string_view line) {
-  std::vector<std::string> fields;
-  std::string field;
-  bool quoted = false;
-  size_t i = 0;
-  while (i < line.size()) {
-    char c = line[i];
-    if (quoted) {
-      if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          field += '"';
-          i += 2;
-          continue;
-        }
-        quoted = false;
-        ++i;
-        continue;
-      }
-      field += c;
-      ++i;
-      continue;
-    }
-    if (c == '"' && field.empty()) {
-      quoted = true;
-      ++i;
-      continue;
-    }
-    if (c == ',') {
-      fields.push_back(std::move(field));
-      field.clear();
-      ++i;
-      continue;
-    }
-    field += c;
-    ++i;
-  }
-  if (quoted) {
-    return Status::ParseError("unterminated quote in update row");
-  }
-  fields.push_back(std::move(field));
-  return fields;
-}
-
-/// Parses one CSV record into a typed Row matching `schema`. Empty fields
-/// (and the literal NULL) become SQL NULLs; numeric fields must parse in
-/// full.
-Result<Row> ParseRowForSchema(const Schema& schema, std::string_view body) {
-  std::string_view line = StrTrim(body);
-  GALAXY_ASSIGN_OR_RETURN(std::vector<std::string> fields,
-                          SplitCsvRecord(line));
-  if (fields.size() != schema.num_columns()) {
-    return Status::InvalidArgument(
-        "update row has " + std::to_string(fields.size()) +
-        " fields; table has " + std::to_string(schema.num_columns()) +
-        " columns");
-  }
-  Row row;
-  row.reserve(fields.size());
-  for (size_t c = 0; c < fields.size(); ++c) {
-    const std::string& field = fields[c];
-    const ColumnDef& col = schema.column(c);
-    if (field.empty() || field == "NULL") {
-      row.push_back(Value::Null());
-      continue;
-    }
-    switch (col.type) {
-      case ValueType::kInt64: {
-        char* end = nullptr;
-        errno = 0;
-        long long v = std::strtoll(field.c_str(), &end, 10);
-        if (errno != 0 || end != field.c_str() + field.size()) {
-          return Status::TypeError("column " + col.name +
-                                   " expects INT64, got: " + field);
-        }
-        row.push_back(Value(static_cast<int64_t>(v)));
-        break;
-      }
-      case ValueType::kDouble: {
-        char* end = nullptr;
-        errno = 0;
-        double v = std::strtod(field.c_str(), &end);
-        if (errno != 0 || end != field.c_str() + field.size()) {
-          return Status::TypeError("column " + col.name +
-                                   " expects DOUBLE, got: " + field);
-        }
-        row.push_back(Value(v));
-        break;
-      }
-      case ValueType::kString:
-      case ValueType::kNull:
-        row.push_back(Value(field));
-        break;
-    }
-  }
-  return row;
 }
 
 bool SendAll(int fd, const std::string& data) {
@@ -309,6 +212,54 @@ Server::Server(sql::Database* db, const ServerOptions& options)
       metrics_.AddGauge("galaxy_uptime_seconds", "seconds since start");
   qps_ = metrics_.AddGauge("galaxy_qps",
                            "average requests per second since start");
+  wal_appends_total_ = metrics_.AddCounter(
+      "galaxy_wal_appends_total", "update records made durable in the WAL");
+  wal_bytes_total_ = metrics_.AddCounter(
+      "galaxy_wal_bytes_total", "bytes of durable WAL records (headers included)");
+  durability_errors_total_ = metrics_.AddCounter(
+      "galaxy_durability_errors_total",
+      "updates refused (503) because the WAL could not be written, plus "
+      "failed snapshot rotations");
+  view_refreshes_total_ = metrics_.AddCounter(
+      "galaxy_view_refreshes_total",
+      "incremental skyline-view maintenance passes (one per read that "
+      "found pending deltas, however many it drained)");
+  view_deltas_total_ = metrics_.AddCounter(
+      "galaxy_view_deltas_total", "update deltas queued for the skyline view");
+  wal_fsync_seconds_ = metrics_.AddHistogram(
+      "galaxy_wal_fsync_seconds", "WAL fdatasync latency");
+  snapshot_duration_seconds_ = metrics_.AddHistogram(
+      "galaxy_snapshot_duration_seconds",
+      "snapshot rotation latency (encode, write, fsync, rename, cleanup)");
+  recovery_replayed_records_ = metrics_.AddGauge(
+      "galaxy_recovery_replayed_records",
+      "WAL records replayed by the last crash recovery");
+  view_pending_deltas_ = metrics_.AddGauge(
+      "galaxy_view_pending_deltas",
+      "update deltas queued but not yet applied to the skyline view");
+}
+
+void Server::AttachDurability(storage::DurabilityManager* durability) {
+  durability_ = durability;
+  if (durability_ != nullptr) {
+    recovery_replayed_records_->Set(static_cast<int64_t>(
+        durability_->recovery_info().replayed_records));
+  }
+}
+
+storage::DurabilityMetricsHooks Server::DurabilityHooks() {
+  storage::DurabilityMetricsHooks hooks;
+  hooks.on_wal_append = [this](uint64_t bytes) {
+    wal_appends_total_->Inc();
+    wal_bytes_total_->Inc(bytes);
+  };
+  hooks.on_wal_fsync = [this](double seconds) {
+    wal_fsync_seconds_->Observe(static_cast<uint64_t>(seconds * 1e6));
+  };
+  hooks.on_snapshot = [this](double seconds) {
+    snapshot_duration_seconds_->Observe(static_cast<uint64_t>(seconds * 1e6));
+  };
+  return hooks;
 }
 
 Server::~Server() { Stop(); }
@@ -676,7 +627,7 @@ HttpResponse Server::HandleUpdate(const HttpRequest& request) {
   if (!snapshot.ok()) return JsonError(404, snapshot.status());
   const Table& table = **snapshot;
 
-  Result<Row> row = ParseRowForSchema(table.schema(), request.body);
+  Result<Row> row = ParseCsvRowForSchema(table.schema(), request.body);
   if (!row.ok()) return JsonError(400, row.status());
 
   std::vector<Row> rows = table.rows();
@@ -691,21 +642,66 @@ HttpResponse Server::HandleUpdate(const HttpRequest& request) {
     rows.erase(it);
   }
 
-  // Route the change through the incremental maintainer BEFORE installing
-  // the new snapshot, so a failure (e.g. NULL in a skyline attribute)
-  // rejects the update instead of desynchronizing view and table.
+  // Validate the change against the incremental view BEFORE logging or
+  // installing anything, so a failure (e.g. NULL in a skyline attribute)
+  // rejects the update instead of desynchronizing view and table. Only
+  // the O(d) validation runs now; the O(records · d) maintenance is
+  // deferred to the next reader (DrainViewDeltas), so the delta is queued
+  // only after the durable ack below.
+  std::optional<PendingDelta> delta;
   {
     common::MutexLock view_lock(&view_mutex_);
     if (view_ != nullptr &&
         view_->config.table == AsciiLower(*table_name)) {
-      Status applied = ApplyToView(view_.get(), table, *row, insert);
-      if (!applied.ok()) return JsonError(400, applied);
+      Result<PendingDelta> validated = ValidateViewDelta(*view_, *row, insert);
+      if (!validated.ok()) return JsonError(400, validated.status());
+      delta = std::move(*validated);
+    }
+  }
+
+  // The durable ack: the row reaches the WAL (per the fsync policy)
+  // before the client hears 200. On any durability failure the update is
+  // refused and nothing is applied — the WAL stays poisoned, so every
+  // later update is refused too until an operator restarts the server
+  // (recovery then truncates the torn tail and serving resumes clean).
+  if (durability_ != nullptr) {
+    storage::UpdateRecord record;
+    record.table = AsciiLower(*table_name);
+    record.insert = insert;
+    record.row_csv = request.body;
+    Status logged = durability_->LogUpdate(record);
+    if (!logged.ok()) {
+      durability_errors_total_->Inc();
+      return JsonError(503, logged);
+    }
+  }
+
+  if (delta.has_value()) {
+    common::MutexLock view_lock(&view_mutex_);
+    if (view_ != nullptr &&
+        view_->config.table == AsciiLower(*table_name)) {
+      view_->pending.push_back(std::move(*delta));
+      view_deltas_total_->Inc();
+      view_pending_deltas_->Set(static_cast<int64_t>(view_->pending.size()));
     }
   }
 
   const size_t num_rows = rows.size();
   const uint64_t version =
       db_->Register(*table_name, Table(table.schema(), std::move(rows)));
+
+  if (durability_ != nullptr && options_.snapshot_every > 0 &&
+      ++updates_since_snapshot_ >= options_.snapshot_every) {
+    // Inline rotation: bounded WAL growth in exchange for one slow update
+    // per window. Failure (disk full, ...) keeps the previous generation
+    // intact and appends continue against the old WAL.
+    Status rotated = durability_->Snapshot();
+    if (rotated.ok()) {
+      updates_since_snapshot_ = 0;
+    } else {
+      durability_errors_total_->Inc();
+    }
+  }
 
   std::string body = "{\"table\": \"" + JsonEscape(AsciiLower(*table_name)) +
                      "\", \"op\": \"" + op +
@@ -736,6 +732,59 @@ Status Server::ApplyToView(ViewState* view, const Table& table,
   }
   if (insert) return view->inc.AddRecord(it->second, point);
   return view->inc.RemoveRecord(it->second, point);
+}
+
+Result<Server::PendingDelta> Server::ValidateViewDelta(const ViewState& view,
+                                                       const Row& row,
+                                                       bool insert) {
+  PendingDelta delta;
+  delta.label = row[view.group_col].ToString();
+  delta.insert = insert;
+  delta.point.resize(view.attr_cols.size());
+  for (size_t a = 0; a < view.attr_cols.size(); ++a) {
+    GALAXY_ASSIGN_OR_RETURN(double v, row[view.attr_cols[a]].ToDouble());
+    delta.point[a] = v * view.signs[a];
+  }
+  // No eager group-existence check for removes: a remove only reaches
+  // here after matching a live table row, and every live row's group is
+  // (or, once earlier deltas drain, will be) in the view — the view
+  // mirrors the table's update history exactly.
+  return delta;
+}
+
+Status Server::DrainViewDeltas(ViewState* view) {
+  if (view->pending.empty()) return Status::OK();
+  for (size_t i = 0; i < view->pending.size(); ++i) {
+    const PendingDelta& delta = view->pending[i];
+    Status applied;
+    auto it = view->group_ids.find(delta.label);
+    if (it == view->group_ids.end() && !delta.insert) {
+      // Unreachable for acked updates (see ValidateViewDelta); means the
+      // view and table have desynchronized.
+      applied = Status::Internal("view drain: no group " + delta.label);
+    } else {
+      if (it == view->group_ids.end()) {
+        it = view->group_ids
+                 .emplace(delta.label, view->inc.AddGroup(delta.label))
+                 .first;
+      }
+      applied = delta.insert ? view->inc.AddRecord(it->second, delta.point)
+                             : view->inc.RemoveRecord(it->second, delta.point);
+    }
+    if (!applied.ok()) {
+      // Keep the applied prefix out and drop the poisoned delta so a
+      // retry does not re-apply earlier records.
+      view->pending.erase(view->pending.begin(),
+                          view->pending.begin() + static_cast<ptrdiff_t>(i) +
+                              1);
+      view_pending_deltas_->Set(static_cast<int64_t>(view->pending.size()));
+      return applied;
+    }
+  }
+  view->pending.clear();
+  view_refreshes_total_->Inc();
+  view_pending_deltas_->Set(0);
+  return Status::OK();
 }
 
 Status Server::EnableSkylineView(const SkylineViewConfig& config) {
@@ -779,6 +828,10 @@ HttpResponse Server::HandleSkyline() {
         404, Status::NotFound(
                  "no skyline view configured (galaxy_served --view ...)"));
   }
+  // Deferred maintenance: apply whatever /update queued since the last
+  // read, as one refresh pass.
+  Status drained = DrainViewDeltas(view_.get());
+  if (!drained.ok()) return JsonError(500, drained);
   std::string body = "{\"table\": \"" + JsonEscape(view_->config.table) +
                      "\", \"group_column\": \"" +
                      JsonEscape(view_->config.group_column) +

@@ -20,6 +20,7 @@
 #include "server/metrics.h"
 #include "server/result_cache.h"
 #include "sql/catalog.h"
+#include "storage/durability.h"
 
 namespace galaxy::server {
 
@@ -49,6 +50,10 @@ struct ServerOptions {
   std::chrono::milliseconds default_timeout{0};
   /// Receive timeout of idle keep-alive connections.
   std::chrono::seconds idle_timeout{10};
+  /// With durability attached: rotate to a fresh snapshot + WAL after this
+  /// many logged updates (inline, on the update that crosses the
+  /// threshold). 0 = never snapshot automatically.
+  uint64_t snapshot_every = 0;
 };
 
 /// The serving layer: a minimal dependency-free HTTP/1.1 front end over a
@@ -107,6 +112,20 @@ class Server {
   Status EnableSkylineView(const SkylineViewConfig& config)
       EXCLUDES(view_mutex_);
 
+  /// Attaches the write-ahead durability layer (storage/durability.h):
+  /// from here on POST /update acks only after the mutation is logged
+  /// (503 on any durability failure), and every
+  /// ServerOptions::snapshot_every updates the server rotates the data
+  /// directory inline. Call after DurabilityManager::Open recovered into
+  /// the database and before Start(); the manager must outlive the server.
+  /// Also publishes the recovery gauges.
+  void AttachDurability(storage::DurabilityManager* durability);
+
+  /// Metrics hooks to pass to DurabilityManager::Open so WAL appends,
+  /// fsyncs and snapshots land in this server's registry. Valid for the
+  /// server's lifetime.
+  storage::DurabilityMetricsHooks DurabilityHooks();
+
   /// Routes one parsed request exactly as a connection would — the
   /// in-process testing seam (no sockets involved).
   HttpResponse Handle(const HttpRequest& request);
@@ -115,6 +134,17 @@ class Server {
   ResultCache::Stats cache_stats() const { return cache_.stats(); }
 
  private:
+  /// One /update's effect on the view, validated eagerly (O(d): label and
+  /// point extracted, non-numeric attributes already rejected) but applied
+  /// lazily: the O(records · d) incremental-maintenance work runs when a
+  /// reader next asks for the skyline, so an update burst between reads
+  /// costs one refresh, not one per update.
+  struct PendingDelta {
+    std::string label;
+    std::vector<double> point;  // signs already applied
+    bool insert = true;
+  };
+
   struct ViewState {
     SkylineViewConfig config;
     core::IncrementalAggregateSkyline inc;
@@ -122,6 +152,7 @@ class Server {
     size_t group_col = 0;
     std::vector<size_t> attr_cols;
     std::vector<double> signs;  // +1 max, -1 min per attr
+    std::vector<PendingDelta> pending;
   };
 
   void AcceptLoop() EXCLUDES(conn_mutex_);
@@ -138,6 +169,14 @@ class Server {
   /// Applies one parsed update row to the incremental view.
   Status ApplyToView(ViewState* view, const Table& table, const Row& row,
                      bool insert);
+  /// Validates the row against the view (label extracted, attributes
+  /// numeric) and builds the PendingDelta — without queueing it, so the
+  /// caller can reject the update before anything durable happens.
+  Result<PendingDelta> ValidateViewDelta(const ViewState& view,
+                                         const Row& row, bool insert);
+  /// Replays queued deltas into the incremental maintainer; one call is
+  /// one "view refresh" no matter how many deltas it drains.
+  Status DrainViewDeltas(ViewState* view);
 
   sql::Database* const db_;
   const ServerOptions options_;
@@ -171,13 +210,28 @@ class Server {
   Gauge* cache_invalidations_;
   Gauge* uptime_seconds_;
   Gauge* qps_;
+  Counter* wal_appends_total_;
+  Counter* wal_bytes_total_;
+  Counter* durability_errors_total_;
+  Counter* view_refreshes_total_;
+  Counter* view_deltas_total_;
+  Histogram* wal_fsync_seconds_;
+  Histogram* snapshot_duration_seconds_;
+  Gauge* recovery_replayed_records_;
+  Gauge* view_pending_deltas_;
   std::map<int, Counter*> responses_by_code_;
   Counter* responses_other_;
 
+  /// Non-owning; null until AttachDurability. Written before Start, read
+  /// by connection threads afterwards.
+  storage::DurabilityManager* durability_ = nullptr;
+
   // Serializes read-modify-write /update cycles (the catalog itself only
-  // guards single operations). Guards a protocol, not members; always
-  // taken before view_mutex_ in HandleUpdate.
+  // guards single operations) — and with them WAL appends vs. snapshot
+  // rotation, which DurabilityManager requires. Always taken before
+  // view_mutex_ in HandleUpdate.
   common::Mutex update_mutex_ ACQUIRED_BEFORE(view_mutex_);
+  uint64_t updates_since_snapshot_ GUARDED_BY(update_mutex_) = 0;
 
   common::Mutex view_mutex_;
   std::unique_ptr<ViewState> view_ GUARDED_BY(view_mutex_);

@@ -74,6 +74,15 @@ std::vector<std::string> Database::TableNames() const {
   return names;
 }
 
+std::vector<std::pair<std::string, std::shared_ptr<const Table>>>
+Database::SnapshotTables() const {
+  ReaderMutexLock lock(&mutex_);
+  std::vector<std::pair<std::string, std::shared_ptr<const Table>>> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) out.emplace_back(name, entry.table);
+  return out;
+}
+
 size_t Database::num_tables() const {
   ReaderMutexLock lock(&mutex_);
   return tables_.size();

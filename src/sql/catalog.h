@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
@@ -71,6 +72,13 @@ class Database {
 
   /// Lower-cased names of all registered tables, ascending.
   std::vector<std::string> TableNames() const;
+
+  /// One named snapshot per registered table, taken under a single lock
+  /// acquisition — a consistent point-in-time listing (TableNames +
+  /// GetTable in a loop could interleave with a concurrent Register).
+  /// The durability layer serializes this as the snapshot file.
+  std::vector<std::pair<std::string, std::shared_ptr<const Table>>>
+  SnapshotTables() const;
 
   /// Parses and executes one SELECT statement.
   Result<Table> Query(const std::string& sql) const;

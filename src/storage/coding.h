@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace galaxy::storage {
+
+/// Little-endian fixed-width encoding shared by the WAL and snapshot
+/// formats. Byte-order is fixed (not host) so data directories can move
+/// between machines.
+
+inline void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+inline uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+inline void PutLengthPrefixed(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// A bounds-checked sequential reader over untrusted bytes. Every Read*
+/// method returns false (and reads nothing) once the input is exhausted or
+/// a declared length runs past the end; callers check once per field.
+class CodedReader {
+ public:
+  explicit CodedReader(std::string_view data) : data_(data) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (data_.size() - off_ < 1) return false;
+    *v = static_cast<uint8_t>(data_[off_]);
+    off_ += 1;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (data_.size() - off_ < 4) return false;
+    *v = GetU32(data_.data() + off_);
+    off_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (data_.size() - off_ < 8) return false;
+    *v = GetU64(data_.data() + off_);
+    off_ += 8;
+    return true;
+  }
+
+  bool ReadDouble(double* v) {
+    uint64_t bits = 0;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  bool ReadLengthPrefixed(std::string_view* s) {
+    uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (data_.size() - off_ < len) return false;
+    *s = data_.substr(off_, len);
+    off_ += len;
+    return true;
+  }
+
+  bool AtEnd() const { return off_ == data_.size(); }
+  size_t offset() const { return off_; }
+
+ private:
+  std::string_view data_;
+  size_t off_ = 0;
+};
+
+inline void PutDouble(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(v));
+  PutU64(out, bits);
+}
+
+}  // namespace galaxy::storage

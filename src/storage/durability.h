@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/catalog.h"
+#include "storage/env.h"
+#include "storage/wal.h"
+
+namespace galaxy::storage {
+
+/// The durability manager ties the WAL and snapshots into a crash-safe
+/// persistence scheme for a sql::Database:
+///
+///   data dir:  snapshot-<N>.gal   full typed dump of every table
+///              wal-<N>.log        updates applied since snapshot N
+///
+/// State = snapshot-N + replay(wal-N). Generation 0 has no snapshot file
+/// (the catalog starts from whatever the caller bootstraps) and wal-0.log.
+///
+/// Rotation (Snapshot()) writes snapshot-(N+1) atomically (tmp + fsync +
+/// rename + directory sync), switches appends to a fresh wal-(N+1), then
+/// deletes generation N. A crash at ANY step leaves a recoverable
+/// directory: recovery picks the highest generation whose snapshot
+/// decodes, treats a missing WAL as empty, truncates a torn WAL tail at
+/// the first bad checksum, and sweeps files of other generations.
+///
+/// Thread safety: LogUpdate and Snapshot must be externally serialized
+/// (the HTTP server calls both under its update mutex). The WalWriter
+/// underneath is internally thread-safe, so concurrent LogUpdate calls
+/// alone would be fine — it is LogUpdate racing Snapshot's WAL swap that
+/// the caller must prevent.
+
+/// One catalog mutation, exactly as the /update endpoint validates it.
+/// `row_csv` stays in the request's CSV surface form; replay re-parses it
+/// against the table schema with the same parser the server used
+/// (relation/csv.h ParseCsvRowForSchema), so both sides agree.
+struct UpdateRecord {
+  std::string table;
+  bool insert = true;
+  std::string row_csv;
+};
+
+/// WAL payload codec for kUpdate records.
+std::string EncodeUpdateRecord(const UpdateRecord& record);
+Result<UpdateRecord> DecodeUpdateRecord(std::string_view payload);
+
+/// Applies one logged update to the catalog with the serving path's exact
+/// semantics: insert appends the row; remove erases the first equal row
+/// (NotFound if none — acked updates always matched, so this means
+/// corruption or a bug).
+Status ApplyUpdateRecord(sql::Database* db, const UpdateRecord& record);
+
+/// What recovery found and did; constant after Open.
+struct RecoveryInfo {
+  uint64_t generation = 0;          ///< generation recovered into
+  size_t tables_restored = 0;       ///< tables loaded from the snapshot
+  uint64_t replayed_records = 0;    ///< WAL records re-applied
+  bool wal_tail_truncated = false;  ///< a torn/corrupt tail was dropped
+  /// Non-fatal oddities (corrupt newest snapshot skipped, stale files
+  /// swept, ...) for the operator's log.
+  std::vector<std::string> warnings;
+};
+
+struct DurabilityOptions {
+  WalWriterOptions wal;
+};
+
+/// Observability callbacks (see WalMetricsHooks for the WAL pair).
+struct DurabilityMetricsHooks {
+  std::function<void(uint64_t bytes)> on_wal_append;
+  std::function<void(double seconds)> on_wal_fsync;
+  std::function<void(double seconds)> on_snapshot;  ///< per Snapshot(), timed
+};
+
+class DurabilityManager {
+ public:
+  /// Opens (creating if needed) the data directory, recovers the persisted
+  /// state INTO `db` — which must be empty — and leaves a WAL open for
+  /// appends. `env` and `db` must outlive the manager.
+  static Result<std::unique_ptr<DurabilityManager>> Open(
+      Env* env, std::string dir, sql::Database* db, DurabilityOptions options,
+      DurabilityMetricsHooks hooks = {});
+
+  /// Persists the caller's initial tables (loaded from CSV flags on first
+  /// start) by taking an immediate snapshot. Call once, after Open on an
+  /// empty directory and after registering the seed tables.
+  Status Bootstrap();
+
+  /// Durably logs one update per the fsync policy. The caller must not ack
+  /// (nor apply) the update unless this returns OK. Once any append fails
+  /// the WAL is poisoned and every later LogUpdate fails until restart.
+  Status LogUpdate(const UpdateRecord& record);
+
+  /// Rotates: snapshot of the database's current state, fresh WAL, old
+  /// generation deleted. On failure (e.g. disk full) the previous
+  /// generation stays intact and appends continue against the old WAL.
+  Status Snapshot();
+
+  /// Forces an fdatasync of the WAL regardless of policy.
+  Status SyncWal();
+
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+  const std::string& dir() const { return dir_; }
+  uint64_t generation() const { return generation_; }
+
+  ~DurabilityManager();
+
+ private:
+  DurabilityManager(Env* env, std::string dir, sql::Database* db,
+                    DurabilityOptions options, DurabilityMetricsHooks hooks);
+
+  Status Recover();
+  std::string SnapshotPath(uint64_t generation) const;
+  std::string WalPath(uint64_t generation) const;
+  /// Best-effort removal of every file not belonging to `keep`.
+  void SweepStaleFiles(uint64_t keep);
+  WalMetricsHooks MakeWalHooks() const;
+
+  Env* const env_;
+  const std::string dir_;
+  sql::Database* const db_;
+  const DurabilityOptions options_;
+  const DurabilityMetricsHooks hooks_;
+
+  uint64_t generation_ = 0;
+  std::unique_ptr<WalWriter> wal_;
+  RecoveryInfo recovery_;
+};
+
+}  // namespace galaxy::storage

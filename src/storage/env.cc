@@ -1,0 +1,318 @@
+#include "storage/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace galaxy::storage {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::Internal(op + "(" + path + "): " + std::strerror(errno));
+}
+
+// ---- Posix ----------------------------------------------------------------
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    // Deliberately no flush-on-destroy: an abandoned file (error paths,
+    // simulated crashes in tests) must leave exactly the bytes that
+    // successful Appends covered.
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  const std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override {
+    int flags = O_WRONLY | O_CREAT | O_CLOEXEC;
+    flags |= (mode == WriteMode::kTruncate) ? O_TRUNC : O_APPEND;
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return ErrnoStatus("open", path);
+    }
+    std::string out;
+    char buf[1 << 16];
+    while (true) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status status = ErrnoStatus("read", path);
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Result<bool> FileExists(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) return true;
+    if (errno == ENOENT || errno == ENOTDIR) return false;
+    return ErrnoStatus("stat", path);
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return ErrnoStatus("stat", path);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path);
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate", path);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    if (path.empty()) return Status::InvalidArgument("empty directory path");
+    std::string partial;
+    size_t start = 0;
+    while (start <= path.size()) {
+      size_t slash = path.find('/', start);
+      size_t end = (slash == std::string::npos) ? path.size() : slash;
+      partial = path.substr(0, end);
+      if (!partial.empty()) {
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+          return ErrnoStatus("mkdir", partial);
+        }
+      }
+      if (slash == std::string::npos) break;
+      start = slash + 1;
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return ErrnoStatus("opendir", path);
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(dir)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(std::move(name));
+    }
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", path);
+    Status status;
+    if (::fsync(fd) != 0) status = ErrnoStatus("fsync", path);
+    ::close(fd);
+    return status;
+  }
+};
+
+// ---- In-memory ------------------------------------------------------------
+
+struct MemState {
+  common::Mutex mutex;
+  std::map<std::string, std::string> files GUARDED_BY(mutex);
+};
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(std::shared_ptr<MemState> state, std::string path)
+      : state_(std::move(state)), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    common::MutexLock lock(&state_->mutex);
+    auto it = state_->files.find(path_);
+    if (it == state_->files.end()) {
+      return Status::NotFound("file removed while open: " + path_);
+    }
+    it->second.append(data);
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<MemState> state_;
+  const std::string path_;
+};
+
+class MemEnv : public Env {
+ public:
+  MemEnv() : state_(std::make_shared<MemState>()) {}
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override {
+    common::MutexLock lock(&state_->mutex);
+    auto it = state_->files.find(path);
+    if (it == state_->files.end()) {
+      state_->files.emplace(path, "");
+    } else if (mode == WriteMode::kTruncate) {
+      it->second.clear();
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<MemWritableFile>(state_, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    common::MutexLock lock(&state_->mutex);
+    auto it = state_->files.find(path);
+    if (it == state_->files.end()) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return it->second;
+  }
+
+  Result<bool> FileExists(const std::string& path) override {
+    common::MutexLock lock(&state_->mutex);
+    return state_->files.count(path) > 0;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    common::MutexLock lock(&state_->mutex);
+    auto it = state_->files.find(path);
+    if (it == state_->files.end()) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return static_cast<uint64_t>(it->second.size());
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    common::MutexLock lock(&state_->mutex);
+    auto it = state_->files.find(from);
+    if (it == state_->files.end()) {
+      return Status::NotFound("no such file: " + from);
+    }
+    state_->files[to] = std::move(it->second);
+    state_->files.erase(it);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    common::MutexLock lock(&state_->mutex);
+    if (state_->files.erase(path) == 0) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    common::MutexLock lock(&state_->mutex);
+    auto it = state_->files.find(path);
+    if (it == state_->files.end()) {
+      return Status::NotFound("no such file: " + path);
+    }
+    if (size < it->second.size()) it->second.resize(size);
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string&) override { return Status::OK(); }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    std::string prefix = path;
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    common::MutexLock lock(&state_->mutex);
+    std::vector<std::string> names;
+    for (const auto& [file, contents] : state_->files) {
+      if (file.compare(0, prefix.size(), prefix) != 0) continue;
+      std::string rest = file.substr(prefix.size());
+      if (rest.find('/') != std::string::npos) continue;  // nested dir
+      names.push_back(std::move(rest));
+    }
+    return names;  // map iteration order is already sorted
+  }
+
+  Status SyncDir(const std::string&) override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<MemState> state_;
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  // Leaked singleton: destruction order with file-scope users is otherwise
+  // undefined at exit.
+  static PosixEnv* env = new PosixEnv;  // galaxy-lint: allow(naked-new)
+  return env;
+}
+
+std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
+
+}  // namespace galaxy::storage

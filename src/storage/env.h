@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace galaxy::storage {
+
+/// A sequentially writable file. Append issues the write immediately (no
+/// user-space buffer), so after a process crash — kill -9 included —
+/// everything a successful Append covered is in the OS page cache and
+/// survives. Sync() additionally forces it to stable media (fdatasync),
+/// which is what the WAL's fsync policy controls.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  /// Flushes file data to stable storage (fdatasync semantics).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// The file-system abstraction every durability component goes through
+/// (cf. LevelDB's Env). Production uses the Posix implementation behind
+/// Env::Default(); tests and the crash-torture harness substitute
+/// FaultInjectionEnv (storage/fault_env.h) or MemEnv to inject short
+/// writes, EIO, disk-full, and crash points. tools/galaxy_lint rule
+/// `raw-file-io` bans raw fopen/open/write/fsync outside src/storage/ so
+/// this seam stays the only file-I/O path.
+class Env {
+ public:
+  enum class WriteMode {
+    kTruncate,  ///< create or truncate
+    kAppend,    ///< create or append to existing contents
+  };
+
+  virtual ~Env() = default;
+
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) = 0;
+
+  /// Reads the entire file into a string.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  virtual Result<bool> FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  /// Truncates an existing file to exactly `size` bytes.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Creates the directory (and missing parents). OK if it already exists.
+  virtual Status CreateDirs(const std::string& path) = 0;
+  /// Base names of directory entries, ascending ("." / ".." excluded).
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+  /// fsyncs the directory itself, making renames/creations durable.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  /// The process-wide Posix environment (never destroyed).
+  static Env* Default();
+};
+
+/// An in-memory Env for tests and the WAL fuzz target: files are strings
+/// in a map, directories are implicit, every operation is cheap and
+/// hermetic. Thread-safe.
+std::unique_ptr<Env> NewMemEnv();
+
+}  // namespace galaxy::storage

@@ -1,0 +1,160 @@
+#include "storage/fault_env.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace galaxy::storage {
+
+// Named (not anonymous-namespace) so the friend declaration in the header
+// grants it access to Count/Crash/ChargeDiskBudget.
+class FaultInjectedWritableFile : public WritableFile {
+ public:
+  FaultInjectedWritableFile(FaultInjectionEnv* env,
+                            std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* const env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+void FaultInjectionEnv::InjectFault(const Fault& fault) {
+  common::MutexLock lock(&mutex_);
+  faults_.push_back(fault);
+}
+
+void FaultInjectionEnv::SetDiskFullAfterBytes(uint64_t bytes) {
+  common::MutexLock lock(&mutex_);
+  disk_full_armed_ = true;
+  disk_budget_bytes_ = bytes;
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  common::MutexLock lock(&mutex_);
+  faults_.clear();
+  disk_full_armed_ = false;
+  disk_budget_bytes_ = 0;
+}
+
+FaultInjectionEnv::Trigger FaultInjectionEnv::Count(Op op) {
+  const uint64_t n =
+      counts_[static_cast<size_t>(op)].fetch_add(1, std::memory_order_relaxed) +
+      1;
+  Trigger trigger;
+  common::MutexLock lock(&mutex_);
+  for (auto it = faults_.begin(); it != faults_.end(); ++it) {
+    if (it->op == op && it->nth == n) {
+      trigger.fired = true;
+      trigger.crash = it->crash;
+      trigger.partial_bytes = it->partial_bytes;
+      trigger.error = it->error;
+      faults_.erase(it);
+      break;
+    }
+  }
+  return trigger;
+}
+
+void FaultInjectionEnv::Crash() { ::_exit(kCrashExitStatus); }
+
+size_t FaultInjectionEnv::ChargeDiskBudget(size_t want) {
+  common::MutexLock lock(&mutex_);
+  if (!disk_full_armed_) return want;
+  const size_t granted =
+      want <= disk_budget_bytes_ ? want : static_cast<size_t>(disk_budget_bytes_);
+  disk_budget_bytes_ -= granted;
+  return granted;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, WriteMode mode) {
+  Trigger trigger = Count(Op::kCreate);
+  if (trigger.fired) {
+    if (trigger.crash) Crash();
+    return trigger.error;
+  }
+  GALAXY_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                          base_->NewWritableFile(path, mode));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectedWritableFile>(this, std::move(base)));
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  Trigger trigger = Count(Op::kRename);
+  if (trigger.fired) {
+    if (trigger.crash) Crash();
+    return trigger.error;
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  Trigger trigger = Count(Op::kRemove);
+  if (trigger.fired) {
+    if (trigger.crash) Crash();
+    return trigger.error;
+  }
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  Trigger trigger = Count(Op::kTruncate);
+  if (trigger.fired) {
+    if (trigger.crash) Crash();
+    return trigger.error;
+  }
+  return base_->TruncateFile(path, size);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& path) {
+  Trigger trigger = Count(Op::kSyncDir);
+  if (trigger.fired) {
+    if (trigger.crash) Crash();
+    return trigger.error;
+  }
+  return base_->SyncDir(path);
+}
+
+Status FaultInjectedWritableFile::Append(std::string_view data) {
+  FaultInjectionEnv::Trigger trigger =
+      env_->Count(FaultInjectionEnv::Op::kAppend);
+  if (trigger.fired) {
+    // A short write reaches the base env before the fault lands — exactly
+    // what a torn write or a crash mid-write leaves on disk.
+    const size_t partial =
+        trigger.partial_bytes < data.size() ? trigger.partial_bytes
+                                            : data.size();
+    if (partial > 0) {
+      GALAXY_RETURN_IF_ERROR(base_->Append(data.substr(0, partial)));
+    }
+    if (trigger.crash) FaultInjectionEnv::Crash();
+    return trigger.error;
+  }
+  const size_t granted = env_->ChargeDiskBudget(data.size());
+  if (granted < data.size()) {
+    if (granted > 0) {
+      GALAXY_RETURN_IF_ERROR(base_->Append(data.substr(0, granted)));
+    }
+    return Status::ResourceExhausted("injected disk full");
+  }
+  return base_->Append(data);
+}
+
+Status FaultInjectedWritableFile::Sync() {
+  FaultInjectionEnv::Trigger trigger =
+      env_->Count(FaultInjectionEnv::Op::kSync);
+  if (trigger.fired) {
+    if (trigger.crash) FaultInjectionEnv::Crash();
+    return trigger.error;
+  }
+  return base_->Sync();
+}
+
+}  // namespace galaxy::storage

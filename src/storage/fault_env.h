@@ -1,0 +1,123 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "storage/env.h"
+
+namespace galaxy::storage {
+
+/// An Env decorator that injects disk faults and crash points: short
+/// writes, EIO, disk-full, and — for the crash-torture harness — process
+/// death (_exit) in the middle of an operation sequence. Every file-system
+/// operation the durability layer performs is counted per kind, so a test
+/// can arm "fail the 3rd fdatasync with EIO" or "write 7 bytes of the 5th
+/// append, then die".
+///
+/// The base Env must outlive this wrapper. Thread-safe.
+class FaultInjectionEnv : public Env {
+ public:
+  /// Operation kinds that can be counted and targeted.
+  enum class Op {
+    kCreate = 0,  ///< NewWritableFile
+    kAppend,
+    kSync,
+    kRename,
+    kRemove,
+    kTruncate,
+    kSyncDir,
+    kNumOps,
+  };
+
+  /// Exit status used by crash-point faults, chosen to be distinguishable
+  /// from clean exits and common signals in waitpid results.
+  static constexpr int kCrashExitStatus = 86;
+
+  struct Fault {
+    Op op = Op::kAppend;
+    /// 1-based occurrence of `op` (counted since the last ClearFaults /
+    /// construction) that triggers.
+    uint64_t nth = 1;
+    /// Returned to the caller (ignored when `crash` is set).
+    Status error = Status::Internal("injected fault");
+    /// For kAppend: bytes written through to the base env before the fault
+    /// fires — a short (torn) write.
+    size_t partial_bytes = 0;
+    /// Instead of returning an error, terminate the process with
+    /// _exit(kCrashExitStatus) — after any partial_bytes reached the base
+    /// env. This models kill -9 at the worst possible instant.
+    bool crash = false;
+  };
+
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  void InjectFault(const Fault& fault);
+  /// Appends (across all files) beyond this many further bytes fail with
+  /// kResourceExhausted after a short write of the remaining budget —
+  /// disk-full semantics. Cleared by ClearFaults.
+  void SetDiskFullAfterBytes(uint64_t bytes);
+  void ClearFaults();
+
+  uint64_t op_count(Op op) const {
+    return counts_[static_cast<size_t>(op)].load(std::memory_order_relaxed);
+  }
+
+  // ---- Env ----------------------------------------------------------------
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override;
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    return base_->ReadFileToString(path);
+  }
+  Result<bool> FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Result<uint64_t> FileSize(const std::string& path) override {
+    return base_->FileSize(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status CreateDirs(const std::string& path) override {
+    return base_->CreateDirs(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    return base_->ListDir(path);
+  }
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  friend class FaultInjectedWritableFile;
+
+  struct Trigger {
+    bool fired = false;        ///< a fault matched this operation
+    bool crash = false;        ///< the fault is a crash point
+    size_t partial_bytes = 0;  ///< short-write allowance for appends
+    Status error;
+  };
+
+  /// Counts one operation of `op` and returns the fault to apply, if any.
+  /// Crash faults do NOT exit here — the caller applies partial bytes
+  /// first, then calls Crash().
+  Trigger Count(Op op);
+  [[noreturn]] static void Crash();
+
+  /// Charges `want` bytes against the disk-full budget; returns how many
+  /// may be written (the rest fail).
+  size_t ChargeDiskBudget(size_t want);
+
+  Env* const base_;
+  std::atomic<uint64_t> counts_[static_cast<size_t>(Op::kNumOps)] = {};
+
+  mutable common::Mutex mutex_;
+  std::vector<Fault> faults_ GUARDED_BY(mutex_);
+  bool disk_full_armed_ GUARDED_BY(mutex_) = false;
+  uint64_t disk_budget_bytes_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace galaxy::storage

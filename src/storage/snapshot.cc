@@ -1,0 +1,194 @@
+#include "storage/snapshot.h"
+
+#include <utility>
+
+#include "common/crc32c.h"
+#include "storage/coding.h"
+
+namespace galaxy::storage {
+
+namespace {
+
+constexpr std::string_view kMagic = "GALSNAP1";
+constexpr size_t kHeaderBytes = 8 + 8;  // magic + u64 body length
+constexpr size_t kFooterBytes = 4;      // masked crc32c
+
+// Cell value tags. kNull doubles as the tag for NULL cells of any column
+// type; the column type byte reuses ValueType's numeric values.
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInt64 = 1;
+constexpr uint8_t kTagDouble = 2;
+constexpr uint8_t kTagString = 3;
+
+void EncodeTable(const SnapshotTable& entry, std::string* body) {
+  PutLengthPrefixed(body, entry.name);
+  const Schema& schema = entry.table.schema();
+  PutU32(body, static_cast<uint32_t>(schema.num_columns()));
+  for (const ColumnDef& col : schema.columns()) {
+    PutLengthPrefixed(body, col.name);
+    body->push_back(static_cast<char>(col.type));
+  }
+  PutU64(body, entry.table.num_rows());
+  for (const Row& row : entry.table.rows()) {
+    for (const Value& cell : row) {
+      switch (cell.type()) {
+        case ValueType::kNull:
+          body->push_back(static_cast<char>(kTagNull));
+          break;
+        case ValueType::kInt64:
+          body->push_back(static_cast<char>(kTagInt64));
+          PutU64(body, static_cast<uint64_t>(cell.AsInt64()));
+          break;
+        case ValueType::kDouble:
+          body->push_back(static_cast<char>(kTagDouble));
+          PutDouble(body, cell.AsDouble());
+          break;
+        case ValueType::kString:
+          body->push_back(static_cast<char>(kTagString));
+          PutLengthPrefixed(body, cell.AsString());
+          break;
+      }
+    }
+  }
+}
+
+Result<SnapshotTable> DecodeTable(CodedReader* reader) {
+  const Status corrupt = Status::ParseError("corrupt snapshot table");
+  SnapshotTable entry;
+  std::string_view name;
+  if (!reader->ReadLengthPrefixed(&name)) return corrupt;
+  entry.name.assign(name);
+
+  uint32_t num_columns = 0;
+  if (!reader->ReadU32(&num_columns)) return corrupt;
+  std::vector<ColumnDef> columns;
+  columns.reserve(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    std::string_view col_name;
+    uint8_t type = 0;
+    if (!reader->ReadLengthPrefixed(&col_name) || !reader->ReadU8(&type)) {
+      return corrupt;
+    }
+    if (type > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::ParseError("corrupt snapshot: unknown column type " +
+                                std::to_string(type));
+    }
+    columns.push_back(
+        ColumnDef{std::string(col_name), static_cast<ValueType>(type)});
+  }
+
+  uint64_t num_rows = 0;
+  if (!reader->ReadU64(&num_rows)) return corrupt;
+  TableBuilder builder{Schema(std::move(columns))};
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    Row row;
+    row.reserve(num_columns);
+    for (uint32_t c = 0; c < num_columns; ++c) {
+      uint8_t tag = 0;
+      if (!reader->ReadU8(&tag)) return corrupt;
+      switch (tag) {
+        case kTagNull:
+          row.push_back(Value::Null());
+          break;
+        case kTagInt64: {
+          uint64_t v = 0;
+          if (!reader->ReadU64(&v)) return corrupt;
+          row.push_back(Value(static_cast<int64_t>(v)));
+          break;
+        }
+        case kTagDouble: {
+          double v = 0;
+          if (!reader->ReadDouble(&v)) return corrupt;
+          row.push_back(Value(v));
+          break;
+        }
+        case kTagString: {
+          std::string_view s;
+          if (!reader->ReadLengthPrefixed(&s)) return corrupt;
+          row.push_back(Value(std::string(s)));
+          break;
+        }
+        default:
+          return Status::ParseError("corrupt snapshot: unknown value tag " +
+                                    std::to_string(tag));
+      }
+    }
+    GALAXY_RETURN_IF_ERROR(builder.TryAddRow(std::move(row)));
+  }
+  entry.table = builder.Build();
+  return entry;
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const std::vector<SnapshotTable>& tables) {
+  std::string body;
+  PutU32(&body, static_cast<uint32_t>(tables.size()));
+  for (const SnapshotTable& entry : tables) EncodeTable(entry, &body);
+
+  std::string out;
+  out.reserve(kHeaderBytes + body.size() + kFooterBytes);
+  out.append(kMagic);
+  PutU64(&out, body.size());
+  out.append(body);
+  PutU32(&out, common::Crc32cMask(common::Crc32c(body)));
+  return out;
+}
+
+Result<std::vector<SnapshotTable>> DecodeSnapshot(std::string_view data) {
+  if (data.size() < kHeaderBytes + kFooterBytes ||
+      data.substr(0, kMagic.size()) != kMagic) {
+    return Status::ParseError("not a snapshot file (bad magic or too short)");
+  }
+  const uint64_t body_len = GetU64(data.data() + kMagic.size());
+  if (body_len != data.size() - kHeaderBytes - kFooterBytes) {
+    return Status::ParseError("corrupt snapshot: truncated body");
+  }
+  std::string_view body = data.substr(kHeaderBytes, body_len);
+  const uint32_t stored_crc = GetU32(data.data() + kHeaderBytes + body_len);
+  if (common::Crc32cUnmask(stored_crc) != common::Crc32c(body)) {
+    return Status::ParseError("corrupt snapshot: checksum mismatch");
+  }
+
+  CodedReader reader(body);
+  uint32_t num_tables = 0;
+  if (!reader.ReadU32(&num_tables)) {
+    return Status::ParseError("corrupt snapshot: missing table count");
+  }
+  std::vector<SnapshotTable> tables;
+  tables.reserve(num_tables);
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    GALAXY_ASSIGN_OR_RETURN(SnapshotTable entry, DecodeTable(&reader));
+    tables.push_back(std::move(entry));
+  }
+  if (!reader.AtEnd()) {
+    return Status::ParseError("corrupt snapshot: trailing bytes in body");
+  }
+  return tables;
+}
+
+Status WriteSnapshotFile(Env* env, const std::string& dir,
+                         const std::string& filename,
+                         const std::vector<SnapshotTable>& tables) {
+  const std::string path = dir + "/" + filename;
+  const std::string tmp = path + ".tmp";
+  const std::string image = EncodeSnapshot(tables);
+  {
+    GALAXY_ASSIGN_OR_RETURN(
+        std::unique_ptr<WritableFile> file,
+        env->NewWritableFile(tmp, Env::WriteMode::kTruncate));
+    GALAXY_RETURN_IF_ERROR(file->Append(image));
+    GALAXY_RETURN_IF_ERROR(file->Sync());
+    GALAXY_RETURN_IF_ERROR(file->Close());
+  }
+  GALAXY_RETURN_IF_ERROR(env->RenameFile(tmp, path));
+  return env->SyncDir(dir);
+}
+
+Result<std::vector<SnapshotTable>> ReadSnapshotFile(Env* env,
+                                                    const std::string& path) {
+  GALAXY_ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(path));
+  return DecodeSnapshot(data);
+}
+
+}  // namespace galaxy::storage

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/table.h"
+#include "storage/env.h"
+
+namespace galaxy::storage {
+
+/// Snapshot file format: a full, typed dump of every registered table.
+///
+///   "GALSNAP1" [u64 body length] [body] [u32 masked crc32c of body]
+///
+/// The body serializes each table as its name, explicit column schema and
+/// typed cell values (no CSV round-trip — CSV type inference could turn a
+/// DOUBLE column that happens to hold integral values back into INT64, and
+/// recovery must reproduce the catalog exactly). Integers are
+/// little-endian; doubles are IEEE-754 bit patterns.
+///
+/// A snapshot is valid only if the magic, length and checksum all verify;
+/// recovery treats anything else as a torn write and falls back to the
+/// previous snapshot generation.
+
+struct SnapshotTable {
+  std::string name;
+  Table table;
+};
+
+/// Serializes tables into the full file image (header + body + checksum).
+std::string EncodeSnapshot(const std::vector<SnapshotTable>& tables);
+
+/// Parses and verifies a snapshot image. Any structural damage — bad
+/// magic, short body, checksum mismatch, unknown value tag, type-mismatched
+/// cell — fails; a successful decode is byte-exact.
+Result<std::vector<SnapshotTable>> DecodeSnapshot(std::string_view data);
+
+/// Writes a snapshot atomically: encode to `path`.tmp, fsync, rename over
+/// `path`, fsync the parent directory. A crash at any point leaves either
+/// no `path` or a fully valid one — never a torn file at `path`.
+Status WriteSnapshotFile(Env* env, const std::string& dir,
+                         const std::string& filename,
+                         const std::vector<SnapshotTable>& tables);
+
+/// Reads and decodes `path`; NotFound if absent, ParseError on corruption.
+Result<std::vector<SnapshotTable>> ReadSnapshotFile(Env* env,
+                                                    const std::string& path);
+
+}  // namespace galaxy::storage

@@ -1,0 +1,195 @@
+#include "storage/wal.h"
+
+#include <utility>
+
+#include "common/crc32c.h"
+#include "storage/coding.h"
+
+namespace galaxy::storage {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 9;  // u32 crc + u32 len + u8 type
+/// Upper bound on one record's payload; anything larger in a header is
+/// corruption, not data (and guards the decoder against absurd allocations).
+constexpr uint32_t kMaxPayload = 1u << 30;
+
+}  // namespace
+
+void EncodeWalRecord(WalRecordType type, std::string_view payload,
+                     std::string* out) {
+  std::string body;
+  body.reserve(5 + payload.size());
+  PutU32(&body, static_cast<uint32_t>(payload.size()));
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  PutU32(out, common::Crc32cMask(common::Crc32c(body)));
+  out->append(body);
+}
+
+WalDecodeResult DecodeWal(std::string_view data) {
+  WalDecodeResult result;
+  size_t off = 0;
+  while (data.size() - off >= kHeaderBytes) {
+    const char* header = data.data() + off;
+    const uint32_t stored_crc = GetU32(header);
+    const uint32_t len = GetU32(header + 4);
+    if (len > kMaxPayload || len > data.size() - off - kHeaderBytes) {
+      break;  // torn trailing record or corrupt length
+    }
+    const uint32_t actual =
+        common::Crc32c(header + 4, 5 + static_cast<size_t>(len));
+    if (common::Crc32cUnmask(stored_crc) != actual) break;
+    WalRecord record;
+    record.type = static_cast<WalRecordType>(header[8]);
+    record.payload.assign(header + kHeaderBytes, len);
+    result.records.push_back(std::move(record));
+    off += kHeaderBytes + len;
+  }
+  result.valid_bytes = off;
+  result.truncated_tail = off < data.size();
+  return result;
+}
+
+Result<FsyncPolicy> ParseFsyncPolicy(std::string_view name) {
+  if (name == "always") return FsyncPolicy::kAlways;
+  if (name == "interval") return FsyncPolicy::kInterval;
+  if (name == "never") return FsyncPolicy::kNever;
+  return Status::InvalidArgument("fsync policy must be always|interval|never, got: " +
+                                 std::string(name));
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kInterval:
+      return "interval";
+    case FsyncPolicy::kNever:
+      return "never";
+  }
+  return "?";
+}
+
+WalWriter::WalWriter(Env* env, std::string path, WalWriterOptions options,
+                     WalMetricsHooks hooks, std::unique_ptr<WritableFile> file)
+    : env_(env),
+      path_(std::move(path)),
+      options_(options),
+      hooks_(std::move(hooks)),
+      file_(std::move(file)),
+      last_sync_(std::chrono::steady_clock::now()) {
+  (void)env_;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env, std::string path,
+                                                   WalWriterOptions options,
+                                                   WalMetricsHooks hooks) {
+  GALAXY_ASSIGN_OR_RETURN(
+      std::unique_ptr<WritableFile> file,
+      env->NewWritableFile(path, Env::WriteMode::kAppend));
+  return std::unique_ptr<WalWriter>(new WalWriter(  // galaxy-lint: allow(naked-new) — private ctor, ownership moves straight into unique_ptr
+      env, std::move(path), options, std::move(hooks), std::move(file)));
+}
+
+bool WalWriter::ShouldSync(std::chrono::steady_clock::time_point now) const {
+  switch (options_.policy) {
+    case FsyncPolicy::kAlways:
+      return true;
+    case FsyncPolicy::kInterval:
+      return now - last_sync_ >= options_.fsync_interval;
+    case FsyncPolicy::kNever:
+      return false;
+  }
+  return true;
+}
+
+Status WalWriter::CommitPending(bool force_sync) {
+  writing_ = true;
+  std::string batch;
+  batch.swap(pending_);
+  const uint64_t batch_seq = pending_max_seq_;
+  const bool sync = force_sync || ShouldSync(std::chrono::steady_clock::now());
+  WritableFile* file = file_.get();
+
+  mutex_.Unlock();
+  Status committed =
+      batch.empty() ? Status::OK() : file->Append(batch);
+  double sync_seconds = 0.0;
+  if (committed.ok() && sync) {
+    const auto sync_begin = std::chrono::steady_clock::now();
+    committed = file->Sync();
+    sync_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - sync_begin)
+                       .count();
+  }
+  mutex_.Lock();
+
+  writing_ = false;
+  if (!committed.ok()) {
+    poison_ = committed;
+    cv_.NotifyAll();
+    return committed;
+  }
+  if (batch_seq > durable_seq_) durable_seq_ = batch_seq;
+  if (sync) {
+    last_sync_ = std::chrono::steady_clock::now();
+    if (hooks_.on_fsync) hooks_.on_fsync(sync_seconds);
+  }
+  cv_.NotifyAll();
+  return Status::OK();
+}
+
+Status WalWriter::Append(WalRecordType type, std::string_view payload) {
+  std::string record;
+  EncodeWalRecord(type, payload, &record);
+
+  common::MutexLock lock(&mutex_);
+  if (!poison_.ok()) return poison_;
+  if (file_ == nullptr) return Status::Internal("wal closed");
+  const uint64_t seq = ++next_seq_;
+  pending_ += record;
+  pending_max_seq_ = seq;
+
+  while (true) {
+    if (!poison_.ok()) return poison_;
+    if (durable_seq_ >= seq) {
+      if (hooks_.on_append) hooks_.on_append(record.size());
+      return Status::OK();
+    }
+    if (writing_) {
+      // Another append is the leader for a batch that includes us (or our
+      // batch is next); wait for it to finish.
+      cv_.Wait(&mutex_);
+      continue;
+    }
+    // Become the leader: take the whole pending batch out and commit it.
+    GALAXY_RETURN_IF_ERROR(CommitPending(/*force_sync=*/false));
+  }
+}
+
+Status WalWriter::Sync() {
+  common::MutexLock lock(&mutex_);
+  if (!poison_.ok()) return poison_;
+  if (file_ == nullptr) return Status::Internal("wal closed");
+  // Wait out any in-flight leader so the sync covers a quiescent file.
+  while (writing_) cv_.Wait(&mutex_);
+  if (!poison_.ok()) return poison_;
+  return CommitPending(/*force_sync=*/true);
+}
+
+Status WalWriter::Close() {
+  common::MutexLock lock(&mutex_);
+  while (writing_) cv_.Wait(&mutex_);
+  if (file_ == nullptr) return Status::OK();
+  Status closed = file_->Close();
+  file_.reset();
+  return closed;
+}
+
+Status WalWriter::status() const {
+  common::MutexLock lock(&mutex_);
+  return poison_;
+}
+
+}  // namespace galaxy::storage

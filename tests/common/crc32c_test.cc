@@ -1,0 +1,53 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace galaxy::common {
+namespace {
+
+TEST(Crc32c, StandardVectors) {
+  // The canonical CRC-32C check value.
+  EXPECT_EQ(Crc32c("123456789"), 0xe3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  // 32 zero bytes (iSCSI test vector, RFC 3720 B.4).
+  unsigned char zeros[32] = {};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8a9136aau);
+  unsigned char ones[32];
+  std::memset(ones, 0xff, sizeof(ones));
+  EXPECT_EQ(Crc32c(ones, sizeof(ones)), 0x62a8ab43u);
+}
+
+TEST(Crc32c, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32c(data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, SensitiveToEveryBit) {
+  std::string data = "payload under test";
+  const uint32_t base = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32c(data), base) << "byte " << i << " bit " << bit;
+      data[i] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+TEST(Crc32c, MaskRoundTripsAndDiffers) {
+  for (uint32_t crc : {0u, 1u, 0xe3069283u, 0xffffffffu, 0xdeadbeefu}) {
+    EXPECT_EQ(Crc32cUnmask(Crc32cMask(crc)), crc);
+    EXPECT_NE(Crc32cMask(crc), crc);
+  }
+}
+
+}  // namespace
+}  // namespace galaxy::common

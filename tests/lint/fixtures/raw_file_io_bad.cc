@@ -1,0 +1,46 @@
+// Known-bad fixture: write-side file I/O the raw-file-io rule must catch
+// outside src/storage/.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+void BadSyscalls(const std::string& path, const char* data, size_t size) {
+  int fd = open(path.c_str(), O_WRONLY | O_CREAT, 0644);  // flagged
+  (void)::write(fd, data, size);                          // flagged
+  (void)fsync(fd);                                        // flagged
+  (void)fdatasync(fd);                                    // flagged
+  (void)ftruncate(fd, 0);                                 // flagged
+  close(fd);
+}
+
+void BadStdio(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");  // flagged
+  if (f != nullptr) std::fclose(f);
+}
+
+void BadStreams(const std::string& path) {
+  std::ofstream out(path);  // flagged
+  out << "x";
+}
+
+void NotFlagged(const std::string& path) {
+  // Read-side I/O is unrestricted.
+  std::ifstream in(path);
+  // Member calls named like syscalls are a different function.
+  in.open(path);
+  struct Sink {
+    void write(const char*, size_t) {}
+  } sink;
+  sink.write("x", 1);
+}
+
+namespace reviewed {
+// A reviewed suppression on the offending line.
+void Allowed(int fd, const char* data, size_t size) {
+  (void)::write(fd, data, size);  // galaxy-lint: allow(raw-file-io)
+}
+}  // namespace reviewed

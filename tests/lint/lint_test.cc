@@ -88,6 +88,23 @@ TEST(LintRules, SleepForAllowedInTestsAndBench) {
   EXPECT_EQ(CountRule(diags, "banned-call"), 3u);
 }
 
+TEST(LintRules, RawFileIoFlagsWriteSideCalls) {
+  auto diags =
+      LintFixture("raw_file_io_bad.cc", "src/server/raw_file_io_bad.cc");
+  // open, ::write, fsync, fdatasync, ftruncate, std::fopen, std::ofstream —
+  // not the read-side ifstream, member calls, or the suppressed ::write.
+  EXPECT_EQ(CountRule(diags, "raw-file-io"), 7u);
+}
+
+TEST(LintRules, RawFileIoExemptsStorageTestsAndBench) {
+  for (const char* path : {"src/storage/raw_file_io_bad.cc",
+                           "tests/storage/raw_file_io_bad.cc",
+                           "bench/raw_file_io_bad.cc"}) {
+    auto diags = LintFixture("raw_file_io_bad.cc", path);
+    EXPECT_EQ(CountRule(diags, "raw-file-io"), 0u) << path;
+  }
+}
+
 TEST(LintRules, NakedNewFlagged) {
   auto diags = LintFixture("naked_new_bad.cc", "src/core/naked_new_bad.cc");
   EXPECT_EQ(CountRule(diags, "naked-new"), 1u);
@@ -167,7 +184,7 @@ TEST(LintLexer, DiagnosticFormat) {
 
 TEST(LintApi, RuleNamesStable) {
   auto names = RuleNames();
-  EXPECT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.size(), 8u);
 }
 
 }  // namespace

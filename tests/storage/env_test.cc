@@ -1,0 +1,174 @@
+// Contract tests run against both Env implementations (posix + in-memory):
+// the durability layer must behave identically over either, and MemEnv is
+// what the fault-injection and fuzz tests build on.
+
+#include "storage/env.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+
+namespace galaxy::storage {
+namespace {
+
+class EnvTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == 0) {
+      owned_ = NewMemEnv();
+      env_ = owned_.get();
+      root_ = "envtest";
+    } else {
+      env_ = Env::Default();
+      root_ = ::testing::TempDir() + "galaxy_env_test_" +
+              std::to_string(::getpid());
+    }
+    ASSERT_TRUE(env_->CreateDirs(root_).ok());
+  }
+
+  void TearDown() override {
+    auto entries = env_->ListDir(root_);
+    if (entries.ok()) {
+      for (const std::string& name : *entries) {
+        (void)env_->RemoveFile(root_ + "/" + name);
+      }
+    }
+  }
+
+  std::string Path(const std::string& name) const { return root_ + "/" + name; }
+
+  std::unique_ptr<Env> owned_;
+  Env* env_ = nullptr;
+  std::string root_;
+};
+
+INSTANTIATE_TEST_SUITE_P(MemAndPosix, EnvTest, ::testing::Values(0, 1),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return info.param == 0 ? "Mem" : "Posix";
+                         });
+
+TEST_P(EnvTest, WriteReadRoundTrip) {
+  auto file = env_->NewWritableFile(Path("a"), Env::WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto content = env_->ReadFileToString(Path("a"));
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello world");
+  auto size = env_->FileSize(Path("a"));
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11u);
+}
+
+TEST_P(EnvTest, AppendModePreservesExistingBytes) {
+  {
+    auto file = env_->NewWritableFile(Path("a"), Env::WriteMode::kTruncate);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("one").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  {
+    auto file = env_->NewWritableFile(Path("a"), Env::WriteMode::kAppend);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("+two").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto content = env_->ReadFileToString(Path("a"));
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "one+two");
+
+  // kTruncate drops the old contents.
+  auto file = env_->NewWritableFile(Path("a"), Env::WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  content = env_->ReadFileToString(Path("a"));
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "");
+}
+
+TEST_P(EnvTest, ExistsRenameRemove) {
+  auto exists = env_->FileExists(Path("a"));
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+  EXPECT_FALSE(env_->ReadFileToString(Path("a")).ok());
+
+  auto file = env_->NewWritableFile(Path("a"), Env::WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("x").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  ASSERT_TRUE(env_->RenameFile(Path("a"), Path("b")).ok());
+  exists = env_->FileExists(Path("a"));
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+  exists = env_->FileExists(Path("b"));
+  ASSERT_TRUE(exists.ok());
+  EXPECT_TRUE(*exists);
+
+  ASSERT_TRUE(env_->RemoveFile(Path("b")).ok());
+  exists = env_->FileExists(Path("b"));
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+  EXPECT_FALSE(env_->RemoveFile(Path("b")).ok());
+}
+
+TEST_P(EnvTest, RenameReplacesExistingTarget) {
+  for (const char* name : {"from", "to"}) {
+    auto file = env_->NewWritableFile(Path(name), Env::WriteMode::kTruncate);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(name).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  ASSERT_TRUE(env_->RenameFile(Path("from"), Path("to")).ok());
+  auto content = env_->ReadFileToString(Path("to"));
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "from");
+}
+
+TEST_P(EnvTest, TruncateShortensInPlace) {
+  auto file = env_->NewWritableFile(Path("a"), Env::WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("0123456789").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  ASSERT_TRUE(env_->TruncateFile(Path("a"), 4).ok());
+  auto content = env_->ReadFileToString(Path("a"));
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "0123");
+}
+
+TEST_P(EnvTest, ListDirSortedBasenames) {
+  for (const char* name : {"c", "a", "b"}) {
+    auto file = env_->NewWritableFile(Path(name), Env::WriteMode::kTruncate);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto entries = env_->ListDir(root_);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0], "a");
+  EXPECT_EQ((*entries)[1], "b");
+  EXPECT_EQ((*entries)[2], "c");
+  EXPECT_TRUE(env_->SyncDir(root_).ok());
+}
+
+TEST(MemEnv, IsHermetic) {
+  std::unique_ptr<Env> a = NewMemEnv();
+  std::unique_ptr<Env> b = NewMemEnv();
+  ASSERT_TRUE(a->CreateDirs("d").ok());
+  auto file = a->NewWritableFile("d/x", Env::WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  auto exists = b->FileExists("d/x");
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+}
+
+}  // namespace
+}  // namespace galaxy::storage

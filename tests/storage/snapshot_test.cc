@@ -1,0 +1,124 @@
+#include "storage/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/table.h"
+#include "relation/value.h"
+#include "storage/env.h"
+#include "storage/fault_env.h"
+
+namespace galaxy::storage {
+namespace {
+
+using galaxy::ColumnDef;
+using galaxy::Schema;
+using galaxy::Table;
+using galaxy::TableBuilder;
+using galaxy::Value;
+using galaxy::ValueType;
+
+std::vector<SnapshotTable> SampleTables() {
+  TableBuilder movies(Schema({ColumnDef{"title", ValueType::kString},
+                              ColumnDef{"year", ValueType::kInt64},
+                              ColumnDef{"score", ValueType::kDouble}}));
+  movies.AddRow({Value("with, comma"), Value(int64_t{1994}), Value(9.0)});
+  movies.AddRow({Value("quote \"inside\""), Value(int64_t{2001}),
+                 Value(7.25)});
+  movies.AddRow({Value::Null(), Value::Null(), Value(3.0)});
+
+  TableBuilder empty(Schema({ColumnDef{"only", ValueType::kInt64}}));
+
+  std::vector<SnapshotTable> tables;
+  tables.push_back({"movies", movies.Build()});
+  tables.push_back({"empty", empty.Build()});
+  return tables;
+}
+
+TEST(SnapshotCodec, RoundTripPreservesTypesExactly) {
+  const std::string image = EncodeSnapshot(SampleTables());
+  auto decoded = DecodeSnapshot(image);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 2u);
+
+  const Table& movies = (*decoded)[0].table;
+  EXPECT_EQ((*decoded)[0].name, "movies");
+  ASSERT_EQ(movies.num_rows(), 3u);
+  EXPECT_EQ(movies.rows()[0][0].AsString(), "with, comma");
+  EXPECT_EQ(movies.rows()[1][1].AsInt64(), 2001);
+  // A double that happens to hold an integral value must stay a double —
+  // the CSV surface form would lose this (type inference reads 9 as
+  // INT64); the snapshot's typed cells must not.
+  EXPECT_EQ(movies.rows()[0][2].type(), ValueType::kDouble);
+  EXPECT_EQ(movies.rows()[0][2].AsDouble(), 9.0);
+  EXPECT_TRUE(movies.rows()[2][0].is_null());
+
+  EXPECT_EQ((*decoded)[1].name, "empty");
+  EXPECT_EQ((*decoded)[1].table.num_rows(), 0u);
+  EXPECT_EQ((*decoded)[1].table.schema().num_columns(), 1u);
+}
+
+TEST(SnapshotCodec, EveryCorruptionIsDetected) {
+  const std::string image = EncodeSnapshot(SampleTables());
+
+  // Bad magic.
+  std::string bad = image;
+  bad[0] ^= 0x01;
+  EXPECT_FALSE(DecodeSnapshot(bad).ok());
+
+  // Every truncation point fails (torn write).
+  for (size_t cut : {size_t{0}, size_t{7}, image.size() / 2,
+                     image.size() - 1}) {
+    EXPECT_FALSE(DecodeSnapshot(std::string_view(image).substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+
+  // A single flipped body bit fails the checksum.
+  bad = image;
+  bad[image.size() / 2] ^= 0x10;
+  EXPECT_FALSE(DecodeSnapshot(bad).ok());
+
+  // Trailing garbage is rejected too (the file is the image, exactly).
+  bad = image + "junk";
+  EXPECT_FALSE(DecodeSnapshot(bad).ok());
+}
+
+TEST(SnapshotFile, WriteIsAtomicUnderRenameFailure) {
+  std::unique_ptr<Env> base = NewMemEnv();
+  FaultInjectionEnv env(base.get());
+  ASSERT_TRUE(env.CreateDirs("data").ok());
+
+  FaultInjectionEnv::Fault fault;
+  fault.op = FaultInjectionEnv::Op::kRename;
+  fault.nth = 1;
+  fault.error = Status::Internal("injected rename failure");
+  env.InjectFault(fault);
+
+  EXPECT_FALSE(
+      WriteSnapshotFile(&env, "data", "snapshot-1.gal", SampleTables()).ok());
+  // The target must not exist — only the tmp file may linger.
+  auto exists = base->FileExists("data/snapshot-1.gal");
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+
+  // Without the fault the write lands and reads back.
+  ASSERT_TRUE(
+      WriteSnapshotFile(&env, "data", "snapshot-1.gal", SampleTables()).ok());
+  auto decoded = ReadSnapshotFile(base.get(), "data/snapshot-1.gal");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 2u);
+}
+
+TEST(SnapshotFile, ReadMissingIsNotFound) {
+  std::unique_ptr<Env> env = NewMemEnv();
+  auto decoded = ReadSnapshotFile(env.get(), "nope.gal");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace galaxy::storage

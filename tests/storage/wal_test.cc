@@ -1,0 +1,211 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/env.h"
+#include "storage/fault_env.h"
+
+namespace galaxy::storage {
+namespace {
+
+std::string Image(const std::vector<std::string>& payloads) {
+  std::string image;
+  for (const std::string& payload : payloads) {
+    EncodeWalRecord(WalRecordType::kUpdate, payload, &image);
+  }
+  return image;
+}
+
+TEST(WalCodec, RoundTrip) {
+  const std::vector<std::string> payloads = {"", "a", std::string(300, 'x'),
+                                             std::string("\x00\xff\n", 3)};
+  const WalDecodeResult decoded = DecodeWal(Image(payloads));
+  EXPECT_FALSE(decoded.truncated_tail);
+  ASSERT_EQ(decoded.records.size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(decoded.records[i].type, WalRecordType::kUpdate);
+    EXPECT_EQ(decoded.records[i].payload, payloads[i]);
+  }
+}
+
+TEST(WalCodec, TornTailIsTruncatedNotFatal) {
+  std::string image = Image({"first", "second"});
+  const size_t full = image.size();
+  std::string torn;
+  EncodeWalRecord(WalRecordType::kUpdate, "half-written", &torn);
+  image += torn.substr(0, torn.size() / 2);
+
+  const WalDecodeResult decoded = DecodeWal(image);
+  EXPECT_TRUE(decoded.truncated_tail);
+  EXPECT_EQ(decoded.valid_bytes, full);
+  ASSERT_EQ(decoded.records.size(), 2u);
+  EXPECT_EQ(decoded.records[1].payload, "second");
+}
+
+TEST(WalCodec, BadChecksumStopsTheScan) {
+  std::string image = Image({"first", "second", "third"});
+  // Corrupt one payload byte of the second record: everything from there
+  // on is untrusted, even though the third record is intact.
+  const size_t second_start = Image({"first"}).size();
+  image[second_start + 9] ^= 0x40;
+
+  const WalDecodeResult decoded = DecodeWal(image);
+  EXPECT_TRUE(decoded.truncated_tail);
+  EXPECT_EQ(decoded.valid_bytes, second_start);
+  ASSERT_EQ(decoded.records.size(), 1u);
+  EXPECT_EQ(decoded.records[0].payload, "first");
+}
+
+TEST(WalCodec, GarbageOnlyDecodesToNothing) {
+  std::string junk(57, '\x5a');
+  const WalDecodeResult decoded = DecodeWal(junk);
+  EXPECT_TRUE(decoded.records.empty());
+  EXPECT_EQ(decoded.valid_bytes, 0u);
+  EXPECT_TRUE(decoded.truncated_tail);
+}
+
+TEST(WalWriter, AppendsAreDurableAndReopenable) {
+  std::unique_ptr<Env> env = NewMemEnv();
+  {
+    auto wal = WalWriter::Open(env.get(), "wal.log", WalWriterOptions{});
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kUpdate, "one").ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kUpdate, "two").ok());
+    ASSERT_TRUE((*wal)->Close().ok());
+  }
+  // Reopen appends after the existing records, like recovery does.
+  {
+    auto wal = WalWriter::Open(env.get(), "wal.log", WalWriterOptions{});
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kUpdate, "three").ok());
+    ASSERT_TRUE((*wal)->Close().ok());
+  }
+  auto image = env->ReadFileToString("wal.log");
+  ASSERT_TRUE(image.ok());
+  const WalDecodeResult decoded = DecodeWal(*image);
+  ASSERT_EQ(decoded.records.size(), 3u);
+  EXPECT_EQ(decoded.records[2].payload, "three");
+}
+
+TEST(WalWriter, ConcurrentAppendsAllSurviveGroupCommit) {
+  std::unique_ptr<Env> env = NewMemEnv();
+  auto wal = WalWriter::Open(env.get(), "wal.log", WalWriterOptions{});
+  ASSERT_TRUE(wal.ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&wal, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string payload =
+            "t" + std::to_string(t) + "-" + std::to_string(i);
+        ASSERT_TRUE((*wal)->Append(WalRecordType::kUpdate, payload).ok());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_TRUE((*wal)->Close().ok());
+
+  auto image = env->ReadFileToString("wal.log");
+  ASSERT_TRUE(image.ok());
+  const WalDecodeResult decoded = DecodeWal(*image);
+  EXPECT_FALSE(decoded.truncated_tail);
+  EXPECT_EQ(decoded.records.size(),
+            static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(WalWriter, FsyncPolicyGovernsSyncCalls) {
+  std::unique_ptr<Env> base = NewMemEnv();
+  FaultInjectionEnv env(base.get());
+
+  WalWriterOptions always;
+  always.policy = FsyncPolicy::kAlways;
+  {
+    auto wal = WalWriter::Open(&env, "a.log", always);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kUpdate, "x").ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kUpdate, "y").ok());
+    ASSERT_TRUE((*wal)->Close().ok());
+  }
+  const uint64_t always_syncs = env.op_count(FaultInjectionEnv::Op::kSync);
+  EXPECT_GE(always_syncs, 2u);
+
+  WalWriterOptions never;
+  never.policy = FsyncPolicy::kNever;
+  {
+    auto wal = WalWriter::Open(&env, "b.log", never);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kUpdate, "x").ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kUpdate, "y").ok());
+    ASSERT_TRUE((*wal)->Close().ok());
+  }
+  EXPECT_EQ(env.op_count(FaultInjectionEnv::Op::kSync), always_syncs);
+}
+
+TEST(WalWriter, PoisonedAfterWriteFailure) {
+  std::unique_ptr<Env> base = NewMemEnv();
+  FaultInjectionEnv env(base.get());
+  auto wal = WalWriter::Open(&env, "wal.log", WalWriterOptions{});
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(WalRecordType::kUpdate, "good").ok());
+
+  FaultInjectionEnv::Fault fault;
+  fault.op = FaultInjectionEnv::Op::kAppend;
+  fault.nth = env.op_count(FaultInjectionEnv::Op::kAppend) + 1;
+  fault.error = Status::Internal("injected EIO");
+  fault.partial_bytes = 3;  // a torn record reached the file
+  env.InjectFault(fault);
+
+  EXPECT_FALSE((*wal)->Append(WalRecordType::kUpdate, "torn").ok());
+  // Sticky: later appends must fail even though the disk works again —
+  // appending past a torn record would orphan everything behind it.
+  EXPECT_FALSE((*wal)->Append(WalRecordType::kUpdate, "after").ok());
+  EXPECT_FALSE((*wal)->status().ok());
+
+  // The file holds the good record plus the torn fragment; decode must
+  // recover exactly the acked prefix.
+  auto image = base->ReadFileToString("wal.log");
+  ASSERT_TRUE(image.ok());
+  const WalDecodeResult decoded = DecodeWal(*image);
+  EXPECT_TRUE(decoded.truncated_tail);
+  ASSERT_EQ(decoded.records.size(), 1u);
+  EXPECT_EQ(decoded.records[0].payload, "good");
+}
+
+TEST(WalWriter, FsyncFailureFailsTheAppend) {
+  std::unique_ptr<Env> base = NewMemEnv();
+  FaultInjectionEnv env(base.get());
+  WalWriterOptions options;
+  options.policy = FsyncPolicy::kAlways;
+  auto wal = WalWriter::Open(&env, "wal.log", options);
+  ASSERT_TRUE(wal.ok());
+
+  FaultInjectionEnv::Fault fault;
+  fault.op = FaultInjectionEnv::Op::kSync;
+  fault.nth = env.op_count(FaultInjectionEnv::Op::kSync) + 1;
+  fault.error = Status::Internal("injected fsync EIO");
+  env.InjectFault(fault);
+
+  // fsync EIO means the bytes may not be on stable media: the append must
+  // NOT report success (no ack), and the log is poisoned.
+  EXPECT_FALSE((*wal)->Append(WalRecordType::kUpdate, "unacked").ok());
+  EXPECT_FALSE((*wal)->Append(WalRecordType::kUpdate, "after").ok());
+}
+
+TEST(WalOptions, ParseFsyncPolicyNames) {
+  for (const char* name : {"always", "interval", "never"}) {
+    auto policy = ParseFsyncPolicy(name);
+    ASSERT_TRUE(policy.ok()) << name;
+    EXPECT_STREQ(FsyncPolicyName(*policy), name);
+  }
+  EXPECT_FALSE(ParseFsyncPolicy("sometimes").ok());
+}
+
+}  // namespace
+}  // namespace galaxy::storage

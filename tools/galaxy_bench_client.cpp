@@ -470,6 +470,8 @@ int main(int argc, char** argv) {
   json += "]\n}\n";
 
   if (flags.Has("out")) {
+    // Benchmark result JSON, not durable server state.
+    // galaxy-lint: allow(raw-file-io)
     std::ofstream out(flags.Get("out"));
     out << json;
     if (!out) {

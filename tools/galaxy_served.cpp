@@ -5,6 +5,8 @@
 //                 [--queue-timeout-ms N] [--cache-entries N]
 //                 [--default-timeout-ms N]
 //                 [--view table:group_col:attrs[:gamma]]
+//                 [--data-dir DIR] [--fsync always|interval|never]
+//                 [--fsync-interval-ms N] [--snapshot-every N]
 //
 // Loads the CSV into an in-memory catalog, serves POST /query, POST
 // /update, GET /skyline, GET /metrics and GET /healthz (see README
@@ -13,6 +15,11 @@
 // --view installs the incrementally maintained aggregate-skyline view;
 // `attrs` is comma-separated and a leading '-' minimizes that attribute,
 // e.g. --view "movies:Director:Pop,Qual:0.6".
+//
+// --data-dir makes /update durable (README "Durability"): on a fresh
+// directory the CSV seeds the catalog and is snapshotted; on restart the
+// directory is recovered (latest snapshot + WAL replay, --csv then
+// ignored) and every acked update is guaranteed present.
 //
 // Exit status: 0 on clean shutdown, 1 on runtime errors (bad CSV, port in
 // use), 2 on usage errors — the same contract as galaxy_cli.
@@ -31,6 +38,9 @@
 #include "relation/csv.h"
 #include "server/server.h"
 #include "sql/catalog.h"
+#include "storage/durability.h"
+#include "storage/env.h"
+#include "storage/wal.h"
 
 namespace {
 
@@ -105,7 +115,10 @@ int Usage() {
       "                     [--max-concurrent N] [--queue-capacity N]\n"
       "                     [--queue-timeout-ms N] [--cache-entries N]\n"
       "                     [--default-timeout-ms N]\n"
-      "                     [--view table:group_col:attrs[:gamma]]\n");
+      "                     [--view table:group_col:attrs[:gamma]]\n"
+      "                     [--data-dir DIR] "
+      "[--fsync always|interval|never]\n"
+      "                     [--fsync-interval-ms N] [--snapshot-every N]\n");
   return 2;
 }
 
@@ -159,13 +172,23 @@ int main(int argc, char** argv) {
   if (!flags.ok() ||
       !flags.CheckAllowed({"csv", "table", "host", "port", "max-concurrent",
                            "queue-capacity", "queue-timeout-ms",
-                           "cache-entries", "default-timeout-ms", "view"})) {
+                           "cache-entries", "default-timeout-ms", "view",
+                           "data-dir", "fsync", "fsync-interval-ms",
+                           "snapshot-every"})) {
     std::fprintf(stderr, "galaxy_served: %s\n", flags.error().c_str());
     return Usage();
   }
-  if (!flags.Has("csv")) {
+  // Without a data directory the CSV is the only source of tables; with
+  // one a restart recovers them from disk instead.
+  if (!flags.Has("csv") && !flags.Has("data-dir")) {
     std::fprintf(stderr, "galaxy_served: --csv is required\n");
     return Usage();
+  }
+  for (const char* name : {"fsync", "fsync-interval-ms", "snapshot-every"}) {
+    if (flags.Has(name) && !flags.Has("data-dir")) {
+      std::fprintf(stderr, "galaxy_served: --%s requires --data-dir\n", name);
+      return Usage();
+    }
   }
 
   auto port = flags.GetInt("port", 8080);
@@ -174,9 +197,11 @@ int main(int argc, char** argv) {
   auto queue_timeout = flags.GetInt("queue-timeout-ms", 2000);
   auto cache_entries = flags.GetInt("cache-entries", 256);
   auto default_timeout = flags.GetInt("default-timeout-ms", 0);
+  auto fsync_interval = flags.GetInt("fsync-interval-ms", 100);
+  auto snapshot_every = flags.GetInt("snapshot-every", 0);
   for (const auto* v :
        {&port, &max_concurrent, &queue_capacity, &queue_timeout,
-        &cache_entries, &default_timeout}) {
+        &cache_entries, &default_timeout, &fsync_interval, &snapshot_every}) {
     if (!v->ok()) {
       std::fprintf(stderr, "galaxy_served: %s\n",
                    v->status().message().c_str());
@@ -187,17 +212,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "galaxy_served: --port out of range\n");
     return 2;
   }
-
-  auto table = galaxy::ReadCsvFile(flags.Get("csv"));
-  if (!table.ok()) {
-    std::fprintf(stderr, "galaxy_served: %s\n",
-                 table.status().message().c_str());
-    return 1;
+  if (*fsync_interval < 0 || *snapshot_every < 0) {
+    std::fprintf(stderr,
+                 "galaxy_served: --fsync-interval-ms/--snapshot-every must "
+                 "be non-negative\n");
+    return 2;
   }
+  galaxy::storage::DurabilityOptions durability_options;
+  if (flags.Has("fsync")) {
+    auto policy = galaxy::storage::ParseFsyncPolicy(flags.Get("fsync"));
+    if (!policy.ok()) {
+      std::fprintf(stderr, "galaxy_served: %s\n",
+                   policy.status().message().c_str());
+      return 2;
+    }
+    durability_options.wal.policy = *policy;
+  }
+  durability_options.wal.fsync_interval =
+      std::chrono::milliseconds(*fsync_interval);
+
   galaxy::sql::Database db;
   std::string table_name = flags.Get("table", "data");
-  size_t num_rows = table->num_rows();
-  db.Register(table_name, *std::move(table));
 
   galaxy::server::ServerOptions options;
   options.host = flags.Get("host", "127.0.0.1");
@@ -207,8 +242,75 @@ int main(int argc, char** argv) {
   options.admission.queue_timeout = std::chrono::milliseconds(*queue_timeout);
   options.cache_entries = static_cast<size_t>(*cache_entries);
   options.default_timeout = std::chrono::milliseconds(*default_timeout);
+  options.snapshot_every = static_cast<uint64_t>(*snapshot_every);
 
+  // Declared before the server so it outlives it (connection threads read
+  // the attached pointer until Stop()).
+  std::unique_ptr<galaxy::storage::DurabilityManager> durability;
   galaxy::server::Server server(&db, options);
+
+  size_t num_rows = 0;
+  if (flags.Has("data-dir")) {
+    auto opened = galaxy::storage::DurabilityManager::Open(
+        galaxy::storage::Env::Default(), flags.Get("data-dir"), &db,
+        durability_options, server.DurabilityHooks());
+    if (!opened.ok()) {
+      std::fprintf(stderr, "galaxy_served: opening --data-dir: %s\n",
+                   opened.status().message().c_str());
+      return 1;
+    }
+    durability = std::move(*opened);
+    const galaxy::storage::RecoveryInfo& info = durability->recovery_info();
+    for (const std::string& warning : info.warnings) {
+      std::fprintf(stderr, "galaxy_served: recovery: %s\n", warning.c_str());
+    }
+    if (db.num_tables() == 0) {
+      // Fresh directory: seed from --csv (if given) and persist the seed
+      // as the first snapshot so the next start recovers it.
+      if (flags.Has("csv")) {
+        auto table = galaxy::ReadCsvFile(flags.Get("csv"));
+        if (!table.ok()) {
+          std::fprintf(stderr, "galaxy_served: %s\n",
+                       table.status().message().c_str());
+          return 1;
+        }
+        num_rows = table->num_rows();
+        db.Register(table_name, *std::move(table));
+      }
+      Status bootstrapped = durability->Bootstrap();
+      if (!bootstrapped.ok()) {
+        std::fprintf(stderr, "galaxy_served: bootstrap snapshot: %s\n",
+                     bootstrapped.message().c_str());
+        return 1;
+      }
+    } else {
+      std::printf(
+          "galaxy_served: recovered generation %llu (%zu tables, %llu WAL "
+          "records replayed%s)\n",
+          static_cast<unsigned long long>(info.generation),
+          info.tables_restored,
+          static_cast<unsigned long long>(info.replayed_records),
+          info.wal_tail_truncated ? ", torn tail truncated" : "");
+      if (flags.Has("csv")) {
+        std::fprintf(stderr,
+                     "galaxy_served: --csv ignored (tables recovered from "
+                     "--data-dir)\n");
+      }
+      auto recovered = db.GetTable(table_name);
+      if (recovered.ok()) num_rows = (*recovered)->num_rows();
+    }
+    server.AttachDurability(durability.get());
+  } else {
+    auto table = galaxy::ReadCsvFile(flags.Get("csv"));
+    if (!table.ok()) {
+      std::fprintf(stderr, "galaxy_served: %s\n",
+                   table.status().message().c_str());
+      return 1;
+    }
+    num_rows = table->num_rows();
+    db.Register(table_name, *std::move(table));
+  }
+
   if (flags.Has("view")) {
     auto view = ParseView(flags.Get("view"));
     if (!view.ok()) {

@@ -313,6 +313,7 @@ struct PathInfo {
   bool in_tests = false;
   bool in_bench = false;
   bool in_src_core = false;
+  bool in_storage = false;
   bool is_mutex_wrapper = false;
   bool is_header = false;
 };
@@ -329,6 +330,7 @@ PathInfo ClassifyPath(const std::string& path) {
   info.in_tests = p.find("tests/") != std::string::npos;
   info.in_bench = p.find("bench/") != std::string::npos;
   info.in_src_core = p.find("src/core/") != std::string::npos;
+  info.in_storage = p.find("src/storage/") != std::string::npos;
   info.is_mutex_wrapper = p.find("common/mutex.h") != std::string::npos;
   info.is_header = p.size() >= 2 && p.compare(p.size() - 2, 2, ".h") == 0;
   return info;
@@ -350,6 +352,7 @@ class Linter {
   std::vector<Diagnostic> Run() {
     RawMutex();
     BannedCall();
+    RawFileIo();
     NakedNew();
     StatusConsumed();
     PragmaOnce();
@@ -477,6 +480,70 @@ class Linter {
                "sleep_for() outside tests/bench; wait on a "
                "common::CondVar or a deadline instead of sleeping");
       }
+    }
+  }
+
+  // ---- raw-file-io ------------------------------------------------------
+  // Durable state must be written through the storage Env seam
+  // (src/storage/env.h): a raw write-side syscall / FILE* / ofstream
+  // anywhere else bypasses the WAL's crash-safety contract and the fault
+  // injection the torture tests rely on. Read-side I/O (ifstream, fread)
+  // stays unrestricted; tests/ and bench/ are exempt.
+  void RawFileIo() {
+    if (info_.in_storage || info_.in_tests || info_.in_bench) return;
+    static const char* kWriteCalls[] = {
+        "fopen",  "freopen", "open",      "openat",    "creat", "write",
+        "pwrite", "writev",  "pwritev",   "fsync",     "fdatasync",
+        "ftruncate"};
+    for (size_t i = 0; i < toks().size(); ++i) {
+      if (!IsIdent(i)) continue;
+      const std::string& name = toks()[i].text;
+
+      // std::ofstream / std::fstream as a type is already a violation —
+      // the object exists only to write a file.
+      if (name == "ofstream" || name == "fstream") {
+        size_t prev = Prev(i);
+        if (IsPunct(prev, "::") && IsIdent(Prev(prev), "std")) {
+          Report(toks()[i].line, "raw-file-io",
+                 "std::" + name +
+                     " outside src/storage/; write files through the "
+                     "storage Env seam (storage/env.h) so crash safety "
+                     "and fault injection apply");
+        }
+        continue;
+      }
+
+      bool banned = false;
+      for (const char* call : kWriteCalls) {
+        if (name == call) {
+          banned = true;
+          break;
+        }
+      }
+      if (!banned) continue;
+      size_t next = Next(i);
+      if (!IsPunct(next, "(")) continue;
+      size_t prev = Prev(i);
+      // Member calls (stream.write(...), file->open(...)) are a different
+      // function; flagged only via their ofstream/fstream type above.
+      if (IsPunct(prev, ".") || IsPunct(prev, "->")) continue;
+      // `ssize_t write(...)` is a declaration, not a call.
+      if (IsIdent(prev) && !IsIdent(prev, "return") &&
+          !IsIdent(prev, "throw")) {
+        continue;
+      }
+      if (IsPunct(prev, "::")) {
+        // `SomeClass::write(` is a different function; `::write(` (global
+        // scope — no identifier before ::) and `std::fopen(` are the real
+        // syscall / libc call.
+        size_t qualifier = Prev(prev);
+        if (IsIdent(qualifier) && !IsIdent(qualifier, "std")) continue;
+      }
+      Report(toks()[i].line, "raw-file-io",
+             name +
+                 "() outside src/storage/; go through the storage Env "
+                 "seam (storage/env.h) so durability, crash recovery and "
+                 "fault injection see the write");
     }
   }
 
@@ -741,8 +808,9 @@ bool LintPath(const std::string& path, std::vector<Diagnostic>* out) {
 }
 
 std::vector<std::string> RuleNames() {
-  return {"raw-mutex",   "budget-charge",   "banned-call", "naked-new",
-          "status-consumed", "pragma-once", "iostream-core"};
+  return {"raw-mutex",       "budget-charge", "banned-call",
+          "raw-file-io",     "naked-new",     "status-consumed",
+          "pragma-once",     "iostream-core"};
 }
 
 }  // namespace galaxy::lint

@@ -18,6 +18,10 @@
 ///                    charging the ExecutionContext budget.
 ///   banned-call      rand, strcpy, strcat, sprintf, vsprintf, gets; plus
 ///                    std::this_thread::sleep_for outside tests/ and bench/.
+///   raw-file-io      write-side file I/O (fopen/open/write/fsync/...,
+///                    std::ofstream/std::fstream) outside src/storage/ —
+///                    durable writes must go through the storage Env seam.
+///                    tests/ and bench/ are exempt.
 ///   naked-new        a `new` expression (own memory with containers or
 ///                    std::make_unique instead).
 ///   status-consumed  a statement that calls a Status-returning function
