@@ -1,80 +1,207 @@
-// Figure 8: scalability of the direct SQL implementation (Algorithm 1)
-// executed by the from-scratch SQL engine (the paper used sqlite; the
-// quadratic self-join blow-up is a property of the query shape, not the
-// engine). For contrast each size also reports the native nested-loop
-// operator on the same data — the gap is the paper's two orders of
-// magnitude.
+// Figure 8 + SQL-engine scalability: end-to-end latency of the SQL layer.
+//
+// Two sections share one report (schema galaxy-sql-bench-v1, default
+// BENCH_sql.json, gated by scripts/check_bench_regression.py):
+//
+//  * sql_* shapes — scan, filtered scan, GROUP BY aggregation and grouped
+//    skyline queries over one generated table, each timed twice in the
+//    same process: through the batch columnar pipeline (default) and
+//    through the tuple-at-a-time reference (ExecOptions::force_scalar).
+//    The speedup_vs_scalar ratios are cross-machine-stable and carry hard
+//    >=2x floors on the scan- and GROUP-BY-dominated shapes — the ISSUE 8
+//    acceptance criterion.
+//
+//  * fig08_* — the paper's Figure 8 reproduction: the quadratic
+//    self-join SQL of Algorithm 1 versus the native nested-loop operator
+//    on the same data (the paper used sqlite; the blow-up is a property
+//    of the query shape, not the engine). Reported as informational
+//    seconds — the gap is the paper's two orders of magnitude.
+//
+// Usage: fig08_sql_scalability [--quick] [--out=PATH]
+//   --quick   smaller workloads and shorter timing windows (CI smoke mode)
+//   --out     report path; "-" suppresses the file
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "common/timer.h"
+#include "datagen/groups.h"
 #include "sql/catalog.h"
+#include "sql/executor.h"
 #include "sql/skyline_query.h"
 
 namespace galaxy::bench {
 namespace {
 
-datagen::GroupedWorkloadConfig ConfigFor(size_t records) {
-  datagen::GroupedWorkloadConfig config;
-  config.num_records = records;
-  config.avg_records_per_group = 25;
-  config.dims = 2;
-  config.distribution = datagen::Distribution::kIndependent;
-  config.spread = 0.2;
-  config.seed = 42;
-  return config;
+uint64_t g_sink = 0;  // defeats dead-code elimination across timed calls
+
+// Mean seconds per call: warm up once, then repeat until the window fills.
+template <typename F>
+double TimeOp(F&& op, double min_seconds) {
+  op();
+  WallTimer timer;
+  int reps = 0;
+  do {
+    op();
+    ++reps;
+  } while (timer.ElapsedSeconds() < min_seconds);
+  return timer.ElapsedSeconds() / reps;
 }
 
-void BM_Sql(benchmark::State& state) {
-  size_t records = static_cast<size_t>(state.range(0));
-  const core::GroupedDataset& dataset = CachedWorkload(ConfigFor(records));
-  Table table = datagen::GroupedDatasetToTable(dataset);
-  sql::Database db;
-  db.Register("data", table);
-  std::string query =
-      sql::BuildAggregateSkylineSql("data", "class", "num", {"a0", "a1"}, 0.5);
-  size_t rows = 0;
-  for (auto _ : state) {
-    auto result = db.Query(query);
-    if (!result.ok()) {
-      state.SkipWithError(result.status().ToString().c_str());
-      return;
-    }
-    rows = result->num_rows();
-    benchmark::DoNotOptimize(rows);
+void PrintEntry(const BenchJsonEntry& entry) {
+  std::printf("%-24s", entry.name.c_str());
+  for (const auto& [key, value] : entry.metrics) {
+    std::printf("  %s=%.4g", key.c_str(), value);
   }
-  state.counters["skyline"] = static_cast<double>(rows);
+  std::printf("\n");
 }
 
-void BM_Native(benchmark::State& state) {
-  size_t records = static_cast<size_t>(state.range(0));
-  const core::GroupedDataset& dataset = CachedWorkload(ConfigFor(records));
-  core::AggregateSkylineOptions options;
-  options.gamma = 0.5;
-  options.algorithm = core::Algorithm::kNestedLoop;
-  RunAggregateSkyline(state, dataset, options);
+// Times one query in the given mode, accumulating result rows into the
+// sink; exits on query failure (a bench over a broken query is a bug).
+double TimeQuery(const sql::Database& db, const std::string& name,
+                 const std::string& query, bool force_scalar, double window) {
+  sql::ExecOptions options;
+  options.force_scalar = force_scalar;
+  return TimeOp(
+      [&] {
+        auto result = db.Query(query, options);
+        if (!result.ok()) {
+          std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                       result.status().ToString().c_str());
+          std::exit(1);
+        }
+        g_sink += result->num_rows();
+      },
+      window);
 }
 
 }  // namespace
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_sql.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  const double window = quick ? 0.1 : 0.5;
+  std::vector<BenchJsonEntry> entries;
+
+  // ---- Section 1: batch vs scalar pipeline on one table -----------------
+  datagen::GroupedWorkloadConfig config;
+  config.num_records = quick ? 8000 : 50000;
+  config.avg_records_per_group = 100;
+  config.dims = 4;
+  config.distribution = datagen::Distribution::kIndependent;
+  config.spread = 0.2;
+  config.seed = 42;
+  sql::Database db;
+  db.Register("data", datagen::GroupedDatasetToTable(CachedWorkload(config)));
+
+  struct Shape {
+    const char* name;
+    std::string query;
+    // Gated shapes report the batch/scalar ratio as speedup_vs_scalar (a
+    // ratio key the regression checker compares with 25% tolerance).
+    // Ungated shapes report it as handoff_ratio, informational only.
+    bool gated;
+  };
+  const Shape shapes[] = {
+      {"sql_scan_project", "SELECT a0, a1 FROM data", true},
+      {"sql_scan_filter",
+       "SELECT a0, a1 FROM data WHERE a0 > 0.5 AND a1 > 0.25", true},
+      {"sql_scan_star_filter", "SELECT * FROM data WHERE a0 > 0.9", true},
+      {"sql_group_agg",
+       "SELECT class, COUNT(*), AVG(a0), MAX(a1), SUM(num) FROM data "
+       "GROUP BY class",
+       true},
+      // Grouped skyline: end-to-end time is dominated by the dominance
+      // kernels, so the ratio here measures the substrate handoff, not
+      // the kernels — expected near 1x and too noise-bound to gate.
+      {"sql_group_skyline",
+       "SELECT class FROM data GROUP BY class "
+       "SKYLINE OF a0 MAX, a1 MAX, a2 MAX, a3 MAX GAMMA 0.5",
+       false},
+  };
+  for (const Shape& shape : shapes) {
+    const double vec = TimeQuery(db, shape.name, shape.query,
+                                 /*force_scalar=*/false, window);
+    const double scalar = TimeQuery(db, shape.name, shape.query,
+                                    /*force_scalar=*/true, window);
+    BenchJsonEntry e;
+    e.name = shape.name;
+    e.metrics.emplace_back("seconds", vec);
+    e.metrics.emplace_back("scalar_seconds", scalar);
+    e.metrics.emplace_back(shape.gated ? "speedup_vs_scalar"
+                                       : "handoff_ratio",
+                           scalar / vec);
+    PrintEntry(e);
+    entries.push_back(std::move(e));
+  }
+
+  // ---- Section 2: Figure 8 — Algorithm 1 SQL vs native operator ---------
+  const std::vector<size_t> sizes =
+      quick ? std::vector<size_t>{250, 500, 1000}
+            : std::vector<size_t>{250, 500, 1000, 2000, 4000};
+  for (size_t records : sizes) {
+    datagen::GroupedWorkloadConfig f8;
+    f8.num_records = records;
+    f8.avg_records_per_group = 25;
+    f8.dims = 2;
+    f8.distribution = datagen::Distribution::kIndependent;
+    f8.spread = 0.2;
+    f8.seed = 42;
+    const core::GroupedDataset& dataset = CachedWorkload(f8);
+    sql::Database db8;
+    db8.Register("data", datagen::GroupedDatasetToTable(dataset));
+    const std::string alg1 = sql::BuildAggregateSkylineSql(
+        "data", "class", "num", {"a0", "a1"}, 0.5);
+    // The self-join touches multiple FROM tables, so it runs on the scalar
+    // pipeline in both modes; one measurement suffices.
+    const double sql_s =
+        TimeQuery(db8, "fig08_sql", alg1, /*force_scalar=*/false, window);
+
+    core::AggregateSkylineOptions options;
+    options.gamma = 0.5;
+    options.algorithm = core::Algorithm::kNestedLoop;
+    const double native_s = TimeOp(
+        [&] {
+          g_sink += core::ComputeAggregateSkyline(dataset, options)
+                        .skyline.size();
+        },
+        window);
+
+    BenchJsonEntry e;
+    e.name = "fig08_n" + std::to_string(records);
+    e.metrics.emplace_back("sql_seconds", sql_s);
+    e.metrics.emplace_back("native_seconds", native_s);
+    e.metrics.emplace_back("sql_over_native", sql_s / native_s);
+    PrintEntry(e);
+    entries.push_back(std::move(e));
+  }
+
+  if (out_path != "-") {
+    if (!WriteBenchJson(out_path, "galaxy-sql-bench-v1", quick, entries)) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+  // The sink must survive to keep every timed call observable.
+  std::printf("checksum %llu\n", static_cast<unsigned long long>(g_sink));
+  return 0;
+}
+
 }  // namespace galaxy::bench
 
-BENCHMARK(galaxy::bench::BM_Sql)
-    ->Name("fig08/sql-algorithm1")
-    ->Arg(250)
-    ->Arg(500)
-    ->Arg(1000)
-    ->Arg(2000)
-    ->Arg(4000)
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
-
-BENCHMARK(galaxy::bench::BM_Native)
-    ->Name("fig08/native-NL")
-    ->Arg(250)
-    ->Arg(500)
-    ->Arg(1000)
-    ->Arg(2000)
-    ->Arg(4000)
-    ->Unit(benchmark::kMillisecond);
-
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return galaxy::bench::Main(argc, argv); }

@@ -4,19 +4,23 @@
 Usage:
     python3 scripts/check_bench_regression.py BASELINE.json CANDIDATE.json
 
-Both files are bench reports of the same schema — either the kernel
-microbenchmark (galaxy-kernel-bench-v1, bench/kernel_microbench) or the
+Both files are bench reports of the same schema — the kernel
+microbenchmark (galaxy-kernel-bench-v1, bench/kernel_microbench), the
 parallel-scaling trajectory (galaxy-parallel-bench-v1,
-bench/parallel_scaling). Only *ratio* metrics are compared — speedups of
+bench/parallel_scaling) or the SQL end-to-end latency report
+(galaxy-sql-bench-v1, bench/fig08_sql_scalability). Only *ratio* metrics
+are compared — speedups of
 one code path over another measured in the same process — because they are
 stable across machines, unlike absolute times or pairs/sec. A candidate
 fails when:
 
   * a ratio metric drops more than TOLERANCE below the baseline value, or
   * an absolute floor is violated: >= 3x single-thread counting throughput
-    on independent d=4 data (kernel schema), and >= 3x parallel speedup at
-    8 threads on the Zipf d=4 shape (parallel schema) — the ISSUE 6
-    acceptance criterion.
+    on independent d=4 data (kernel schema), >= 3x parallel speedup at
+    8 threads on the Zipf d=4 shape (parallel schema, the ISSUE 6
+    acceptance criterion), and >= 2x batch-over-scalar speedup on the
+    scan- and GROUP-BY-dominated SQL shapes (sql schema, the ISSUE 8
+    acceptance criterion).
 
 Parallel-speedup ratios depend on the machine's core count, so in the
 parallel schema both the baseline comparison and the floors are
@@ -61,6 +65,20 @@ SCHEMAS = {
         "ratio_keys": {"speedup"},
         "floors": [
             ("scaling_zipf_d4_t8", "speedup", 3.0, 8),
+        ],
+    },
+    "galaxy-sql-bench-v1": {
+        # In-process ratio of the scalar tuple-at-a-time pipeline over the
+        # batch columnar pipeline on the same query (bench/
+        # fig08_sql_scalability). sql_over_native is deliberately absent:
+        # it shrinks whenever the SQL engine improves, which must never
+        # trip a regression gate.
+        "ratio_keys": {"speedup_vs_scalar"},
+        "floors": [
+            # ISSUE 8 acceptance: >=2x end-to-end on a scan-dominated and
+            # a GROUP-BY-dominated shape, on any hardware.
+            ("sql_scan_filter", "speedup_vs_scalar", 2.0, 0),
+            ("sql_group_agg", "speedup_vs_scalar", 2.0, 0),
         ],
     },
 }

@@ -115,6 +115,16 @@ Result<GroupedDataset> GroupedDataset::FromTable(
     value_idx.push_back(idx);
   }
 
+  // The value columns come out as contiguous double slices (zero-copy for
+  // kDouble storage), checked for NULLs and non-numeric types up front.
+  std::vector<std::string> value_names;
+  value_names.reserve(value_idx.size());
+  for (size_t idx : value_idx) {
+    value_names.push_back(table.schema().column(idx).name);
+  }
+  GALAXY_ASSIGN_OR_RETURN(Table::NumericColumns values,
+                          table.ExtractNumericColumns(value_names));
+
   // First pass: assign rows to groups by composite key, in order of first
   // occurrence.
   std::unordered_map<std::string, size_t> key_to_group;
@@ -122,14 +132,15 @@ Result<GroupedDataset> GroupedDataset::FromTable(
   std::vector<std::vector<double>> buffers;
   const size_t d = value_columns.size();
 
+  std::string key;
   for (size_t r = 0; r < table.num_rows(); ++r) {
     // Map key: length-prefixed parts, so composite keys cannot collide
     // (("a|b", "c") vs ("a", "b|c")). The human-readable label joins the
     // parts with '|'.
-    std::string key;
+    key.clear();
     std::string label;
     for (size_t k = 0; k < group_idx.size(); ++k) {
-      std::string part = table.at(r, group_idx[k]).ToString();
+      std::string part = table.column(group_idx[k]).GetValue(r).ToString();
       key += std::to_string(part.size());
       key += ':';
       key += part;
@@ -143,7 +154,7 @@ Result<GroupedDataset> GroupedDataset::FromTable(
     }
     std::vector<double>& buf = buffers[it->second];
     for (size_t k = 0; k < d; ++k) {
-      GALAXY_ASSIGN_OR_RETURN(double v, table.at(r, value_idx[k]).ToDouble());
+      double v = values.slices[k][r];
       if (effective_prefs[k] == skyline::Preference::kMin) v = -v;
       buf.push_back(v);
     }
@@ -156,6 +167,22 @@ Result<GroupedDataset> GroupedDataset::FromTable(
                         std::move(buffers[g]), d);
   }
   return GroupedDataset(d, std::move(groups));
+}
+
+GroupedDataset GroupedDataset::FromDenseBuffers(
+    size_t dims, std::vector<std::vector<double>> buffers,
+    std::vector<std::string> labels) {
+  GALAXY_CHECK_GT(dims, 0u);
+  GALAXY_CHECK(labels.empty() || labels.size() == buffers.size());
+  std::vector<Group> out;
+  out.reserve(buffers.size());
+  for (size_t g = 0; g < buffers.size(); ++g) {
+    std::string label =
+        labels.empty() ? "g" + std::to_string(g) : std::move(labels[g]);
+    out.emplace_back(static_cast<uint32_t>(g), std::move(label),
+                     std::move(buffers[g]), dims);
+  }
+  return GroupedDataset(dims, std::move(out));
 }
 
 GroupedDataset GroupedDataset::FromPoints(

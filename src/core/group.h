@@ -93,6 +93,14 @@ class GroupedDataset {
       const std::vector<std::vector<Point>>& groups,
       const std::vector<std::string>& labels = {});
 
+  /// Builds a dataset from per-group dense row-major buffers
+  /// (`buffers[g].size() == n_g * dims`), already MAX-oriented. Labels
+  /// default to "g<id>". This is the zero-densify handoff used by the
+  /// batch SQL executor: column data gathered once, no Point boxing.
+  static GroupedDataset FromDenseBuffers(
+      size_t dims, std::vector<std::vector<double>> buffers,
+      std::vector<std::string> labels = {});
+
   size_t dims() const { return dims_; }
   size_t num_groups() const { return groups_.size(); }
   const Group& group(size_t i) const { return groups_[i]; }

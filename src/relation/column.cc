@@ -1,0 +1,183 @@
+#include "relation/column.h"
+
+#include "common/logging.h"
+
+namespace galaxy {
+
+void Column::Reserve(size_t n) {
+  switch (type_) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      ints_.reserve(n);
+      break;
+    case ValueType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case ValueType::kString:
+      strings_.reserve(n);
+      break;
+  }
+}
+
+void Column::PushValidBit(bool valid) {
+  if (valid_.empty()) {
+    if (valid) return;  // stay in the implicit all-valid representation
+    // First NULL: materialize the bitmap, backfilling ones for every row
+    // appended so far.
+    valid_.assign((size_ + 64) / 64 + 1, 0);
+    for (size_t i = 0; i < size_; ++i) {
+      valid_[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+  size_t word = size_ >> 6;
+  if (word >= valid_.size()) valid_.resize(word + 1, 0);
+  if (valid) valid_[word] |= uint64_t{1} << (size_ & 63);
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      ints_.push_back(0);
+      break;
+    case ValueType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case ValueType::kString:
+      strings_.emplace_back();
+      break;
+  }
+  PushValidBit(false);
+  ++null_count_;
+  ++size_;
+}
+
+void Column::AppendInt64(int64_t v) {
+  GALAXY_CHECK(type_ == ValueType::kInt64);
+  ints_.push_back(v);
+  PushValidBit(true);
+  ++size_;
+}
+
+void Column::AppendDouble(double v) {
+  GALAXY_CHECK(type_ == ValueType::kDouble);
+  doubles_.push_back(v);
+  PushValidBit(true);
+  ++size_;
+}
+
+void Column::AppendString(std::string v) {
+  GALAXY_CHECK(type_ == ValueType::kString);
+  strings_.push_back(std::move(v));
+  PushValidBit(true);
+  ++size_;
+}
+
+void Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  if (type_ == ValueType::kDouble && v.type() == ValueType::kInt64) {
+    AppendDouble(static_cast<double>(v.AsInt64()));
+    return;
+  }
+  switch (v.type()) {
+    case ValueType::kInt64:
+      AppendInt64(v.AsInt64());
+      return;
+    case ValueType::kDouble:
+      AppendDouble(v.AsDouble());
+      return;
+    case ValueType::kString:
+      AppendString(v.AsString());
+      return;
+    case ValueType::kNull:
+      return;  // handled above
+  }
+}
+
+Value Column::GetValue(size_t i) const {
+  if (is_null(i) || type_ == ValueType::kNull) return Value::Null();
+  switch (type_) {
+    case ValueType::kInt64:
+      return Value(ints_[i]);
+    case ValueType::kDouble:
+      return Value(doubles_[i]);
+    case ValueType::kString:
+      return Value(strings_[i]);
+    case ValueType::kNull:
+      break;
+  }
+  return Value::Null();
+}
+
+const std::vector<int64_t>& Column::ints() const {
+  GALAXY_CHECK(type_ == ValueType::kInt64);
+  return ints_;
+}
+
+const std::vector<double>& Column::doubles() const {
+  GALAXY_CHECK(type_ == ValueType::kDouble);
+  return doubles_;
+}
+
+const std::vector<std::string>& Column::strings() const {
+  GALAXY_CHECK(type_ == ValueType::kString);
+  return strings_;
+}
+
+Status ValueColumnBuilder::Append(const Value& v) {
+  if (v.is_null()) {
+    column_.AppendNull();
+    return Status::OK();
+  }
+  if (column_.type() == ValueType::kNull) {
+    // First non-null value fixes the column type; re-box the NULL prefix.
+    Column typed{v.type()};
+    typed.Reserve(column_.size() + 1);
+    for (size_t i = 0; i < column_.size(); ++i) typed.AppendNull();
+    column_ = std::move(typed);
+    column_.AppendValue(v);
+    return Status::OK();
+  }
+  if (column_.type() == ValueType::kInt64 && v.type() == ValueType::kDouble) {
+    // Widen the whole column to double, preserving the validity bitmap.
+    Column widened{ValueType::kDouble};
+    widened.Reserve(column_.size() + 1);
+    const std::vector<int64_t>& ints = column_.ints();
+    for (size_t i = 0; i < column_.size(); ++i) {
+      if (column_.is_null(i)) {
+        widened.AppendNull();
+      } else {
+        widened.AppendDouble(static_cast<double>(ints[i]));
+      }
+    }
+    column_ = std::move(widened);
+    column_.AppendDouble(v.AsDouble());
+    return Status::OK();
+  }
+  bool accepts =
+      column_.type() == v.type() ||
+      (column_.type() == ValueType::kDouble && v.type() == ValueType::kInt64);
+  if (!accepts) {
+    return Status::TypeError("column '" + name_ + "' expects " +
+                             ValueTypeToString(column_.type()) + ", got " +
+                             ValueTypeToString(v.type()));
+  }
+  column_.AppendValue(v);
+  return Status::OK();
+}
+
+Column ValueColumnBuilder::Build(ValueType fallback_type) && {
+  if (column_.type() != ValueType::kNull || fallback_type == ValueType::kNull) {
+    return std::move(column_);
+  }
+  Column typed{fallback_type};
+  for (size_t i = 0; i < column_.size(); ++i) typed.AppendNull();
+  return typed;
+}
+
+}  // namespace galaxy

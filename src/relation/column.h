@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/value.h"
+
+namespace galaxy {
+
+/// A typed column vector: the storage unit of the column-major (SoA)
+/// relation::Table. Cells live in one dense typed array selected by
+/// `type()`; NULLs occupy a zero/empty slot in that array and are marked in
+/// a validity bitmap (bit set = valid). The bitmap is materialized lazily on
+/// the first NULL, so fully-valid columns carry no per-row overhead. A
+/// column whose type is kNull holds only NULLs and stores no typed payload.
+///
+/// Scans read the typed arrays directly (`doubles()`, `ints()`,
+/// `strings()`) — this is what the batch executor and the dominance-kernel
+/// gather paths are built on. `GetValue` materializes a single cell as a
+/// boxed Value for the scalar paths.
+class Column {
+ public:
+  Column() = default;
+  explicit Column(ValueType type) : type_(type) {}
+
+  ValueType type() const { return type_; }
+  size_t size() const { return size_; }
+  size_t null_count() const { return null_count_; }
+  bool has_nulls() const { return null_count_ > 0; }
+
+  /// True when row `i` is NULL.
+  bool is_null(size_t i) const {
+    if (null_count_ == 0) return false;
+    return (valid_[i >> 6] & (uint64_t{1} << (i & 63))) == 0;
+  }
+
+  void Reserve(size_t n);
+
+  /// Typed appends. The caller must match the column type (checked).
+  void AppendNull();
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+
+  /// Appends a boxed value. NULL is always accepted; kInt64 widens into
+  /// kDouble columns. Any other mismatch aborts (programming error — use
+  /// TableBuilder::TryAddRow for untrusted input).
+  void AppendValue(const Value& v);
+
+  /// Materializes cell `i` as a boxed Value (copies strings).
+  Value GetValue(size_t i) const;
+
+  /// Dense typed payloads; valid only for the matching type(). NULL slots
+  /// hold 0 / 0.0 / "" and must be masked with is_null().
+  const std::vector<int64_t>& ints() const;
+  const std::vector<double>& doubles() const;
+  const std::vector<std::string>& strings() const;
+
+ private:
+  void PushValidBit(bool valid);
+
+  ValueType type_ = ValueType::kNull;
+  size_t size_ = 0;
+  size_t null_count_ = 0;
+  std::vector<uint64_t> valid_;  // empty = all rows valid
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+/// Accumulates dynamically typed output values into a Column, inferring the
+/// type incrementally: the first non-null value fixes the type, an
+/// int/double mix widens the column (rewriting already-appended ints) and
+/// any other mix is a TypeError. This replaces the executor's old two-pass
+/// result materialization (a full O(rows x cols) InferType scan followed by
+/// a row-by-row TableBuilder rebuild) with a single append pass.
+class ValueColumnBuilder {
+ public:
+  /// `name` is used in TypeError messages only.
+  explicit ValueColumnBuilder(std::string name) : name_(std::move(name)) {}
+
+  Status Append(const Value& v);
+
+  /// Type inferred so far (kNull until the first non-null value).
+  ValueType type() const { return column_.type(); }
+  size_t size() const { return column_.size(); }
+
+  /// Finalizes the column; an all-null column takes `fallback_type`.
+  Column Build(ValueType fallback_type) &&;
+
+ private:
+  std::string name_;
+  Column column_;
+};
+
+}  // namespace galaxy

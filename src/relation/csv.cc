@@ -201,41 +201,44 @@ Result<Table> ReadCsv(std::istream& input, const CsvReadOptions& options) {
     if (t == ValueType::kNull) t = ValueType::kString;  // all-null column
   }
 
+  // Build the typed columns directly from the string records — the
+  // column-major table needs no row materialization on the load path.
   std::vector<ColumnDef> defs;
   defs.reserve(columns);
+  std::vector<Column> cols;
+  cols.reserve(columns);
   for (size_t c = 0; c < columns; ++c) {
     defs.push_back({header[c], types[c]});
+    Column col{types[c]};
+    col.Reserve(records.size());
+    cols.push_back(std::move(col));
   }
-  TableBuilder builder{Schema(std::move(defs))};
   for (const auto& record : records) {
-    Row row;
-    row.reserve(columns);
     for (size_t c = 0; c < columns; ++c) {
       const std::string& s = record[c];
       if (is_null(s)) {
-        row.push_back(Value::Null());
+        cols[c].AppendNull();
         continue;
       }
       switch (types[c]) {
         case ValueType::kInt64: {
           int64_t v = 0;
           ParsesAsInt(s, &v);
-          row.push_back(Value(v));
+          cols[c].AppendInt64(v);
           break;
         }
         case ValueType::kDouble: {
           double v = 0;
           ParsesAsDouble(s, &v);
-          row.push_back(Value(v));
+          cols[c].AppendDouble(v);
           break;
         }
         default:
-          row.push_back(Value(s));
+          cols[c].AppendString(s);
       }
     }
-    GALAXY_RETURN_IF_ERROR(builder.TryAddRow(std::move(row)));
   }
-  return builder.Build();
+  return Table(Schema(std::move(defs)), std::move(cols));
 }
 
 Result<Table> ReadCsvString(const std::string& text,

@@ -4,27 +4,27 @@
 
 namespace galaxy {
 
-Result<size_t> Schema::IndexOf(const std::string& name) const {
-  size_t found = columns_.size();
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  index_.reserve(columns_.size());
   for (size_t i = 0; i < columns_.size(); ++i) {
-    if (EqualsIgnoreCase(columns_[i].name, name)) {
-      if (found != columns_.size()) {
-        return Status::InvalidArgument("ambiguous column name: " + name);
-      }
-      found = i;
-    }
+    auto [it, inserted] = index_.try_emplace(AsciiLower(columns_[i].name), i);
+    if (!inserted) it->second = kAmbiguous;
   }
-  if (found == columns_.size()) {
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(AsciiLower(name));
+  if (it == index_.end()) {
     return Status::NotFound("no column named: " + name);
   }
-  return found;
+  if (it->second == kAmbiguous) {
+    return Status::InvalidArgument("ambiguous column name: " + name);
+  }
+  return it->second;
 }
 
 bool Schema::Contains(const std::string& name) const {
-  for (const ColumnDef& c : columns_) {
-    if (EqualsIgnoreCase(c.name, name)) return true;
-  }
-  return false;
+  return index_.contains(AsciiLower(name));
 }
 
 std::string Schema::ToString() const {

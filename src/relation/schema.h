@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -20,11 +21,12 @@ struct ColumnDef {
 
 /// An ordered list of column definitions. Column names are matched
 /// case-insensitively (SQL identifier semantics) but stored as declared.
+/// Name lookup is a precomputed lowercase-name -> index hash map, so
+/// IndexOf/Contains are O(1) instead of a linear scan per cell access.
 class Schema {
  public:
   Schema() = default;
-  explicit Schema(std::vector<ColumnDef> columns)
-      : columns_(std::move(columns)) {}
+  explicit Schema(std::vector<ColumnDef> columns);
 
   size_t num_columns() const { return columns_.size(); }
   const ColumnDef& column(size_t i) const { return columns_[i]; }
@@ -45,7 +47,10 @@ class Schema {
 
  private:
   std::vector<ColumnDef> columns_;
+  // Lowercased name -> column index; names declared more than once map to
+  // kAmbiguous so IndexOf can keep reporting the ambiguity.
+  static constexpr size_t kAmbiguous = static_cast<size_t>(-1);
+  std::unordered_map<std::string, size_t> index_;
 };
 
 }  // namespace galaxy
-

@@ -7,13 +7,137 @@
 
 namespace galaxy {
 
+namespace {
+
+bool TypeAccepts(ValueType column, ValueType value) {
+  if (value == ValueType::kNull) return true;
+  if (column == value) return true;
+  if (column == ValueType::kDouble && value == ValueType::kInt64) return true;
+  return false;
+}
+
+Status CheckRowAgainstSchema(const Schema& schema, const Row& row) {
+  if (row.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        schema.ToString());
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (!TypeAccepts(schema.column(c).type, row[c].type())) {
+      return Status::TypeError("column '" + schema.column(c).name +
+                               "' expects " +
+                               ValueTypeToString(schema.column(c).type) +
+                               ", got " + ValueTypeToString(row[c].type()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Table::Table(Schema schema, std::vector<Column> columns)
+    : schema_(std::move(schema)), columns_(std::move(columns)) {
+  GALAXY_CHECK_EQ(columns_.size(), schema_.num_columns());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    GALAXY_CHECK(columns_[c].type() == schema_.column(c).type)
+        << "column '" << schema_.column(c).name << "' storage type mismatch";
+    if (c == 0) {
+      num_rows_ = columns_[c].size();
+    } else {
+      GALAXY_CHECK_EQ(columns_[c].size(), num_rows_);
+    }
+  }
+}
+
+Table::Table(Schema schema, const std::vector<Row>& rows)
+    : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    Column col{schema_.column(c).type};
+    col.Reserve(rows.size());
+    columns_.push_back(std::move(col));
+  }
+  for (const Row& row : rows) {
+    Status s = CheckRowAgainstSchema(schema_, row);
+    GALAXY_CHECK(s.ok()) << s.ToString();
+    for (size_t c = 0; c < row.size(); ++c) {
+      columns_[c].AppendValue(row[c]);
+    }
+  }
+  num_rows_ = rows.size();
+}
+
 Result<Value> Table::at(size_t row, const std::string& column) const {
-  if (row >= rows_.size()) {
+  if (row >= num_rows_) {
     return Status::OutOfRange("row index " + std::to_string(row) +
                               " out of range");
   }
   GALAXY_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
-  return rows_[row][col];
+  return columns_[col].GetValue(row);
+}
+
+Row Table::MaterializeRow(size_t i) const {
+  Row row;
+  row.reserve(columns_.size());
+  for (const Column& col : columns_) {
+    row.push_back(col.GetValue(i));
+  }
+  return row;
+}
+
+std::vector<Row> Table::DebugRows() const {
+  std::vector<Row> rows;
+  rows.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    rows.push_back(MaterializeRow(r));
+  }
+  return rows;
+}
+
+std::optional<size_t> Table::FindRow(const Row& row) const {
+  if (row.size() != columns_.size()) return std::nullopt;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    bool match = true;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (!(columns_[c].GetValue(r) == row[c])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return r;
+  }
+  return std::nullopt;
+}
+
+Result<Table> Table::CopyWithAppended(const Row& row) const {
+  GALAXY_RETURN_IF_ERROR(CheckRowAgainstSchema(schema_, row));
+  std::vector<Column> columns = columns_;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    columns[c].AppendValue(row[c]);
+  }
+  return Table(schema_, std::move(columns));
+}
+
+Result<Table> Table::CopyWithRemoved(const Row& row) const {
+  std::optional<size_t> target = FindRow(row);
+  if (!target.has_value()) {
+    return Status::NotFound("no row matching the remove body");
+  }
+  // Columns have no erase primitive (they are append-only); rebuild each
+  // column skipping the removed row. Same O(rows) as the old row-vector
+  // erase, without boxing cells.
+  std::vector<Column> columns;
+  columns.reserve(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    Column col{columns_[c].type()};
+    col.Reserve(num_rows_ - 1);
+    for (size_t r = 0; r < num_rows_; ++r) {
+      if (r == *target) continue;
+      col.AppendValue(columns_[c].GetValue(r));
+    }
+    columns.push_back(std::move(col));
+  }
+  return Table(schema_, std::move(columns));
 }
 
 Result<std::vector<std::vector<double>>> Table::ExtractNumeric(
@@ -25,20 +149,60 @@ Result<std::vector<std::vector<double>>> Table::ExtractNumeric(
     indexes.push_back(idx);
   }
   std::vector<std::vector<double>> out;
-  out.reserve(rows_.size());
-  for (size_t r = 0; r < rows_.size(); ++r) {
+  out.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
     std::vector<double> point(indexes.size());
     for (size_t k = 0; k < indexes.size(); ++k) {
-      GALAXY_ASSIGN_OR_RETURN(point[k], rows_[r][indexes[k]].ToDouble());
+      GALAXY_ASSIGN_OR_RETURN(point[k],
+                              columns_[indexes[k]].GetValue(r).ToDouble());
     }
     out.push_back(std::move(point));
   }
   return out;
 }
 
+Result<Table::NumericColumns> Table::ExtractNumericColumns(
+    const std::vector<std::string>& columns) const {
+  NumericColumns out;
+  out.slices.reserve(columns.size());
+  // Reserve so `owned` never reallocates under an aliasing span.
+  out.owned.reserve(columns.size());
+  for (const std::string& name : columns) {
+    GALAXY_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(name));
+    const Column& col = columns_[idx];
+    if (num_rows_ == 0) {
+      // An empty relation extracts as empty slices whatever the declared
+      // types — matching the row-major path, which never inspects a cell.
+      out.slices.emplace_back();
+      continue;
+    }
+    if (col.has_nulls() || col.type() == ValueType::kNull) {
+      return Status::TypeError("cannot convert NULL to double");
+    }
+    switch (col.type()) {
+      case ValueType::kDouble:
+        out.slices.emplace_back(col.doubles().data(), col.doubles().size());
+        break;
+      case ValueType::kInt64: {
+        std::vector<double> converted(col.ints().begin(), col.ints().end());
+        out.owned.push_back(std::move(converted));
+        out.slices.emplace_back(out.owned.back().data(),
+                                out.owned.back().size());
+        break;
+      }
+      case ValueType::kNull:
+        out.slices.emplace_back();  // empty column
+        break;
+      case ValueType::kString:
+        return Status::TypeError("cannot convert STRING to double");
+    }
+  }
+  return out;
+}
+
 std::string Table::ToString(size_t max_rows) const {
   // Compute column widths over header and the printed rows.
-  size_t n = std::min(max_rows, rows_.size());
+  size_t n = std::min(max_rows, num_rows_);
   std::vector<size_t> width(schema_.num_columns());
   for (size_t c = 0; c < schema_.num_columns(); ++c) {
     width[c] = schema_.column(c).name.size();
@@ -47,7 +211,7 @@ std::string Table::ToString(size_t max_rows) const {
   for (size_t r = 0; r < n; ++r) {
     cells[r].resize(schema_.num_columns());
     for (size_t c = 0; c < schema_.num_columns(); ++c) {
-      cells[r][c] = rows_[r][c].ToString();
+      cells[r][c] = columns_[c].GetValue(r).ToString();
       width[c] = std::max(width[c], cells[r][c].size());
     }
   }
@@ -76,22 +240,18 @@ std::string Table::ToString(size_t max_rows) const {
     os << "\n";
   }
   rule();
-  if (n < rows_.size()) {
-    os << "... " << (rows_.size() - n) << " more rows\n";
+  if (n < num_rows_) {
+    os << "... " << (num_rows_ - n) << " more rows\n";
   }
   return os.str();
 }
 
-namespace {
-
-bool TypeAccepts(ValueType column, ValueType value) {
-  if (value == ValueType::kNull) return true;
-  if (column == value) return true;
-  if (column == ValueType::kDouble && value == ValueType::kInt64) return true;
-  return false;
+TableBuilder::TableBuilder(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    columns_.emplace_back(schema_.column(c).type);
+  }
 }
-
-}  // namespace
 
 TableBuilder& TableBuilder::AddRow(Row row) {
   Status s = TryAddRow(std::move(row));
@@ -100,30 +260,17 @@ TableBuilder& TableBuilder::AddRow(Row row) {
 }
 
 Status TableBuilder::TryAddRow(Row row) {
-  if (row.size() != schema_.num_columns()) {
-    return Status::InvalidArgument(
-        "row arity " + std::to_string(row.size()) + " does not match schema " +
-        schema_.ToString());
-  }
+  GALAXY_RETURN_IF_ERROR(CheckRowAgainstSchema(schema_, row));
   for (size_t c = 0; c < row.size(); ++c) {
-    if (!TypeAccepts(schema_.column(c).type, row[c].type())) {
-      return Status::TypeError("column '" + schema_.column(c).name +
-                               "' expects " +
-                               ValueTypeToString(schema_.column(c).type) +
-                               ", got " + ValueTypeToString(row[c].type()));
-    }
-    // Widen ints stored in double columns so downstream readers see one type.
-    if (schema_.column(c).type == ValueType::kDouble &&
-        row[c].type() == ValueType::kInt64) {
-      row[c] = Value(static_cast<double>(row[c].AsInt64()));
-    }
+    columns_[c].AppendValue(row[c]);
   }
-  rows_.push_back(std::move(row));
+  ++num_rows_;
   return Status::OK();
 }
 
 Table TableBuilder::Build() {
-  return Table(schema_, std::move(rows_));
+  num_rows_ = 0;
+  return Table(schema_, std::move(columns_));
 }
 
 }  // namespace galaxy

@@ -630,16 +630,15 @@ HttpResponse Server::HandleUpdate(const HttpRequest& request) {
   Result<Row> row = ParseCsvRowForSchema(table.schema(), request.body);
   if (!row.ok()) return JsonError(400, row.status());
 
-  std::vector<Row> rows = table.rows();
-  if (insert) {
-    rows.push_back(*row);
-  } else {
-    auto it = std::find(rows.begin(), rows.end(), *row);
-    if (it == rows.end()) {
-      return JsonError(404,
-                       Status::NotFound("no row matching the remove body"));
-    }
-    rows.erase(it);
+  // Copy-on-write install at column granularity: the new snapshot clones
+  // the typed column vectors with one row appended/removed, never boxing
+  // the table through rows.
+  Result<Table> next_table =
+      insert ? table.CopyWithAppended(*row) : table.CopyWithRemoved(*row);
+  if (!next_table.ok()) {
+    int code =
+        next_table.status().code() == StatusCode::kNotFound ? 404 : 400;
+    return JsonError(code, next_table.status());
   }
 
   // Validate the change against the incremental view BEFORE logging or
@@ -686,9 +685,8 @@ HttpResponse Server::HandleUpdate(const HttpRequest& request) {
     }
   }
 
-  const size_t num_rows = rows.size();
-  const uint64_t version =
-      db_->Register(*table_name, Table(table.schema(), std::move(rows)));
+  const size_t num_rows = next_table->num_rows();
+  const uint64_t version = db_->Register(*table_name, std::move(*next_table));
 
   if (durability_ != nullptr && options_.snapshot_every > 0 &&
       ++updates_since_snapshot_ >= options_.snapshot_every) {
@@ -813,8 +811,11 @@ Status Server::EnableSkylineView(const SkylineViewConfig& config) {
     view->signs.push_back(minimize ? -1.0 : 1.0);
   }
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    GALAXY_RETURN_IF_ERROR(
-        ApplyToView(view.get(), table, table.row(r), /*insert=*/true));
+    // One-time view seeding, not a query hot path: boxing each row keeps
+    // ApplyToView's row-shaped delta interface.
+    // galaxy-lint: allow(row-major-access)
+    GALAXY_RETURN_IF_ERROR(ApplyToView(view.get(), table, table.MaterializeRow(r),
+                                       /*insert=*/true));
   }
   common::MutexLock lock(&view_mutex_);
   view_ = std::move(view);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string_view>
 #include <cctype>
 #include <unordered_map>
@@ -13,6 +15,7 @@
 #include "common/str_util.h"
 #include "core/aggregate_skyline.h"
 #include "core/group.h"
+#include "relation/column.h"
 #include "skyline/skyline.h"
 #include "sql/optimizer.h"
 #include "sql/value_ops.h"
@@ -21,9 +24,21 @@ namespace galaxy::sql {
 
 namespace {
 
-// A row assembled from the FROM cross product: borrowed pointers into the
-// base tables (no copying on the join hot path).
-using InputRow = std::vector<const Value*>;
+// A row as the expression evaluator sees it. Two modes:
+//  - values mode: a materialized slot array (group first-rows, passing rows);
+//  - cursor mode: slots resolve through the owning base table's current row,
+//    boxing one cell on demand — the FROM product never copies whole rows.
+struct RowView {
+  const Value* values = nullptr;                 // values mode when non-null
+  const Column* const* slot_columns = nullptr;   // cursor mode: slot -> column
+  const size_t* slot_table = nullptr;            // slot -> owning table index
+  const size_t* cursors = nullptr;               // per-table current row
+
+  Value Get(int slot) const {
+    if (values != nullptr) return values[slot];
+    return slot_columns[slot]->GetValue(cursors[slot_table[slot]]);
+  }
+};
 
 struct SlotInfo {
   std::string table_alias;  // effective alias of the owning table
@@ -210,7 +225,7 @@ struct SubqueryCache {
 
 struct EvalContext {
   const Database* db = nullptr;
-  const InputRow* row = nullptr;            // slot source
+  const RowView* row = nullptr;             // slot source
   const std::vector<Value>* aggs = nullptr; // aggregate results (grouped)
   std::map<const Expr*, SubqueryCache>* subqueries = nullptr;
   std::map<const Expr*, bool>* exists_cache = nullptr;
@@ -260,11 +275,11 @@ Result<const SubqueryCache*> MaterializeSubquery(const Expr* e,
   }
   SubqueryCache cache;
   for (size_t r = 0; r < result.num_rows(); ++r) {
-    const Value& v = result.at(r, 0);
+    Value v = result.at(r, 0);
     if (v.is_null()) {
       cache.has_null = true;
     } else {
-      cache.values.insert(v);
+      cache.values.insert(std::move(v));
     }
   }
   auto [ins, _] = ctx.subqueries->emplace(e, std::move(cache));
@@ -293,7 +308,7 @@ Result<Value> Eval(const Expr* e, EvalContext& ctx) {
     case ExprKind::kColumnRef: {
       GALAXY_CHECK_GE(e->bound_slot, 0) << "unbound column " << e->column;
       GALAXY_CHECK(ctx.row != nullptr);
-      return *(*ctx.row)[e->bound_slot];
+      return ctx.row->Get(e->bound_slot);
     }
     case ExprKind::kUnary: {
       GALAXY_ASSIGN_OR_RETURN(Value v, Eval(e->left.get(), ctx));
@@ -472,6 +487,93 @@ struct AggState {
   }
 };
 
+// Replays AggState::Accumulate over a typed column slice without boxing.
+// Must reproduce the scalar semantics exactly: `rows` counts every input
+// (including NULLs), sums stay integral until a double shows up, min/max
+// follow Value comparison order (so NaN behaves the same), and string
+// columns contribute min/max but leave the sums untouched.
+void FoldColumnAgg(const Column& col, const std::vector<uint32_t>& rows,
+                   AggState* st) {
+  st->rows += rows.size();
+  switch (col.type()) {
+    case ValueType::kNull:
+      return;
+    case ValueType::kInt64: {
+      const std::vector<int64_t>& v = col.ints();
+      bool any = false;
+      int64_t mn = 0, mx = 0, sum = 0;
+      uint64_t nn = 0;
+      for (uint32_t r : rows) {
+        if (col.is_null(r)) continue;
+        const int64_t x = v[r];
+        if (!any) {
+          mn = mx = x;
+          any = true;
+        } else {
+          if (x < mn) mn = x;
+          if (mx < x) mx = x;
+        }
+        sum += x;
+        ++nn;
+      }
+      if (nn == 0) return;
+      st->non_null += nn;
+      st->isum += sum;  // a fresh state is always still integral here
+      st->min = Value(mn);
+      st->max = Value(mx);
+      return;
+    }
+    case ValueType::kDouble: {
+      const std::vector<double>& v = col.doubles();
+      bool any = false;
+      double mn = 0.0, mx = 0.0, sum = 0.0;
+      uint64_t nn = 0;
+      for (uint32_t r : rows) {
+        if (col.is_null(r)) continue;
+        const double x = v[r];
+        if (!any) {
+          mn = mx = x;
+          any = true;
+        } else {
+          if (x < mn) mn = x;
+          if (mx < x) mx = x;
+        }
+        sum += x;
+        ++nn;
+      }
+      if (nn == 0) return;
+      st->non_null += nn;
+      st->sum_is_int = false;
+      st->dsum = static_cast<double>(st->isum) + sum;
+      st->min = Value(mn);
+      st->max = Value(mx);
+      return;
+    }
+    case ValueType::kString: {
+      const std::vector<std::string>& v = col.strings();
+      const std::string* mn = nullptr;
+      const std::string* mx = nullptr;
+      uint64_t nn = 0;
+      for (uint32_t r : rows) {
+        if (col.is_null(r)) continue;
+        const std::string& x = v[r];
+        if (mn == nullptr) {
+          mn = mx = &x;
+        } else {
+          if (x < *mn) mn = &x;
+          if (*mx < x) mx = &x;
+        }
+        ++nn;
+      }
+      if (nn == 0) return;
+      st->non_null += nn;
+      st->min = Value(*mn);
+      st->max = Value(*mx);
+      return;
+    }
+  }
+}
+
 // Hash of a vector<Value> grouping key.
 struct KeyHash {
   size_t operator()(const std::vector<Value>& key) const {
@@ -484,10 +586,238 @@ struct KeyHash {
 };
 
 struct GroupAccum {
-  std::vector<Value> first_row;     // materialized first input row
+  std::vector<Value> first_row;  // materialized first input row
   std::vector<AggState> agg_states;
-  std::vector<Point> skyline_points;  // per-record skyline attributes
+  // Per-record skyline attributes, flattened row-major (dims per record):
+  // the dense buffer hands off to core::Group without re-densifying.
+  std::vector<double> skyline_buf;
 };
+
+// ---------------------------------------------------------------------------
+// Vectorized WHERE: conjuncts compiled to typed selection kernels.
+// ---------------------------------------------------------------------------
+
+// One comparison or null test over column storage, applied to a selection
+// vector without boxing. Only shapes whose scalar evaluation cannot differ
+// are compiled (numeric-vs-numeric or string-vs-string comparisons with
+// non-null literals); everything else falls back to per-row Eval.
+struct ColumnPredicate {
+  enum class Kind { kCmpConst, kCmpCol, kIsNull, kIsNotNull };
+  Kind kind = Kind::kCmpConst;
+  BinaryOp op = BinaryOp::kEq;
+  size_t lhs = 0;  // column index
+  size_t rhs = 0;  // kCmpCol only
+  Value constant;  // kCmpConst only
+};
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNotEq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLtEq:
+    case BinaryOp::kGt:
+    case BinaryOp::kGtEq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLtEq:
+      return BinaryOp::kGtEq;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGtEq:
+      return BinaryOp::kLtEq;
+    default:
+      return op;  // kEq / kNotEq are symmetric
+  }
+}
+
+bool IsNumericType(ValueType t) {
+  return t == ValueType::kInt64 || t == ValueType::kDouble;
+}
+
+std::optional<ColumnPredicate> CompilePredicate(const Expr* e,
+                                                const Table& table) {
+  auto column_of = [&](const Expr* x) -> std::optional<size_t> {
+    if (x != nullptr && x->kind == ExprKind::kColumnRef && x->bound_slot >= 0 &&
+        static_cast<size_t>(x->bound_slot) < table.num_columns()) {
+      return static_cast<size_t>(x->bound_slot);
+    }
+    return std::nullopt;
+  };
+  if (e->kind == ExprKind::kIsNull) {
+    std::optional<size_t> c = column_of(e->left.get());
+    if (!c.has_value()) return std::nullopt;
+    ColumnPredicate p;
+    p.kind = e->negated ? ColumnPredicate::Kind::kIsNotNull
+                        : ColumnPredicate::Kind::kIsNull;
+    p.lhs = *c;
+    return p;
+  }
+  if (e->kind != ExprKind::kBinary || !IsComparisonOp(e->binary_op)) {
+    return std::nullopt;
+  }
+  auto comparable = [](ValueType a, ValueType b) {
+    return (IsNumericType(a) && IsNumericType(b)) ||
+           (a == ValueType::kString && b == ValueType::kString);
+  };
+  std::optional<size_t> lc = column_of(e->left.get());
+  std::optional<size_t> rc = column_of(e->right.get());
+  if (lc.has_value() && rc.has_value()) {
+    if (!comparable(table.column(*lc).type(), table.column(*rc).type())) {
+      return std::nullopt;
+    }
+    ColumnPredicate p;
+    p.kind = ColumnPredicate::Kind::kCmpCol;
+    p.op = e->binary_op;
+    p.lhs = *lc;
+    p.rhs = *rc;
+    return p;
+  }
+  ColumnPredicate p;
+  p.kind = ColumnPredicate::Kind::kCmpConst;
+  if (lc.has_value() && e->right->kind == ExprKind::kLiteral) {
+    p.op = e->binary_op;
+    p.lhs = *lc;
+    p.constant = e->right->literal;
+  } else if (rc.has_value() && e->left->kind == ExprKind::kLiteral) {
+    p.op = FlipComparison(e->binary_op);  // literal on the left: flip
+    p.lhs = *rc;
+    p.constant = e->left->literal;
+  } else {
+    return std::nullopt;
+  }
+  if (p.constant.is_null()) return std::nullopt;
+  if (!comparable(table.column(p.lhs).type(), p.constant.type())) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+// Derives lt/gt/eq exactly like value_ops Comparison(): eq is !(lt||gt), so
+// NaN compares "equal" to everything — the kernels must keep that quirk
+// rather than using operator==.
+template <typename T>
+bool ComparePass(BinaryOp op, const T& a, const T& b) {
+  const bool lt = a < b;
+  const bool gt = b < a;
+  switch (op) {
+    case BinaryOp::kEq:
+      return !lt && !gt;
+    case BinaryOp::kNotEq:
+      return lt || gt;
+    case BinaryOp::kLt:
+      return lt;
+    case BinaryOp::kLtEq:
+      return !gt;  // lt || eq
+    case BinaryOp::kGt:
+      return gt;
+    case BinaryOp::kGtEq:
+      return !lt;  // gt || eq
+    default:
+      return false;
+  }
+}
+
+void ApplyPredicate(const ColumnPredicate& p, const Table& table,
+                    std::vector<uint32_t>* sel) {
+  std::vector<uint32_t>& s = *sel;
+  size_t w = 0;
+  const Column& l = table.column(p.lhs);
+  switch (p.kind) {
+    case ColumnPredicate::Kind::kIsNull:
+      for (uint32_t r : s) {
+        if (l.is_null(r)) s[w++] = r;
+      }
+      break;
+    case ColumnPredicate::Kind::kIsNotNull:
+      for (uint32_t r : s) {
+        if (!l.is_null(r)) s[w++] = r;
+      }
+      break;
+    case ColumnPredicate::Kind::kCmpConst: {
+      if (l.type() == ValueType::kString) {
+        const std::string& lit = p.constant.AsString();
+        const std::vector<std::string>& v = l.strings();
+        for (uint32_t r : s) {
+          if (!l.is_null(r) && ComparePass(p.op, v[r], lit)) s[w++] = r;
+        }
+      } else if (l.type() == ValueType::kInt64 &&
+                 p.constant.type() == ValueType::kInt64) {
+        // int-vs-int compares integrally (Value semantics: no promotion).
+        const int64_t lit = p.constant.AsInt64();
+        const std::vector<int64_t>& v = l.ints();
+        for (uint32_t r : s) {
+          if (!l.is_null(r) && ComparePass(p.op, v[r], lit)) s[w++] = r;
+        }
+      } else {
+        const double lit = p.constant.type() == ValueType::kInt64
+                               ? static_cast<double>(p.constant.AsInt64())
+                               : p.constant.AsDouble();
+        if (l.type() == ValueType::kInt64) {
+          const std::vector<int64_t>& v = l.ints();
+          for (uint32_t r : s) {
+            if (!l.is_null(r) &&
+                ComparePass(p.op, static_cast<double>(v[r]), lit)) {
+              s[w++] = r;
+            }
+          }
+        } else {
+          const std::vector<double>& v = l.doubles();
+          for (uint32_t r : s) {
+            if (!l.is_null(r) && ComparePass(p.op, v[r], lit)) s[w++] = r;
+          }
+        }
+      }
+      break;
+    }
+    case ColumnPredicate::Kind::kCmpCol: {
+      const Column& rc = table.column(p.rhs);
+      if (l.type() == ValueType::kString) {  // both string (checked above)
+        const std::vector<std::string>& a = l.strings();
+        const std::vector<std::string>& b = rc.strings();
+        for (uint32_t r : s) {
+          if (!l.is_null(r) && !rc.is_null(r) &&
+              ComparePass(p.op, a[r], b[r])) {
+            s[w++] = r;
+          }
+        }
+      } else if (l.type() == ValueType::kInt64 &&
+                 rc.type() == ValueType::kInt64) {
+        const std::vector<int64_t>& a = l.ints();
+        const std::vector<int64_t>& b = rc.ints();
+        for (uint32_t r : s) {
+          if (!l.is_null(r) && !rc.is_null(r) &&
+              ComparePass(p.op, a[r], b[r])) {
+            s[w++] = r;
+          }
+        }
+      } else {
+        // Mixed numeric: promote both sides to double per Value semantics.
+        auto cell = [](const Column& c, uint32_t r) {
+          return c.type() == ValueType::kInt64
+                     ? static_cast<double>(c.ints()[r])
+                     : c.doubles()[r];
+        };
+        for (uint32_t r : s) {
+          if (!l.is_null(r) && !rc.is_null(r) &&
+              ComparePass(p.op, cell(l, r), cell(rc, r))) {
+            s[w++] = r;
+          }
+        }
+      }
+      break;
+    }
+  }
+  s.resize(w);
+}
 
 // ---------------------------------------------------------------------------
 // Output assembly helpers.
@@ -499,26 +829,6 @@ struct OutputColumn {
   int star_slot = -1;
 };
 
-ValueType InferType(const std::vector<Row>& rows, size_t col,
-                    ValueType fallback) {
-  ValueType type = ValueType::kNull;
-  for (const Row& r : rows) {
-    if (r[col].is_null()) continue;
-    ValueType vt = r[col].type();
-    if (type == ValueType::kNull) {
-      type = vt;
-    } else if (type != vt) {
-      // Mixed int/double columns widen to double; anything else is caught
-      // by the TableBuilder type check.
-      if ((type == ValueType::kInt64 && vt == ValueType::kDouble) ||
-          (type == ValueType::kDouble && vt == ValueType::kInt64)) {
-        type = ValueType::kDouble;
-      }
-    }
-  }
-  return type == ValueType::kNull ? fallback : type;
-}
-
 struct RowHash {
   size_t operator()(const Row& row) const {
     size_t h = 14695981039346656037ULL;
@@ -528,6 +838,80 @@ struct RowHash {
     return h;
   }
 };
+
+// Gathers `rows` of `src` into a new owned column — the single copy in the
+// columnar projection path.
+Column GatherColumn(const Column& src, const std::vector<uint32_t>& rows) {
+  Column out{src.type()};
+  out.Reserve(rows.size());
+  switch (src.type()) {
+    case ValueType::kNull:
+      for (size_t i = 0; i < rows.size(); ++i) out.AppendNull();
+      break;
+    case ValueType::kInt64: {
+      const std::vector<int64_t>& v = src.ints();
+      for (uint32_t r : rows) {
+        if (src.is_null(r)) {
+          out.AppendNull();
+        } else {
+          out.AppendInt64(v[r]);
+        }
+      }
+      break;
+    }
+    case ValueType::kDouble: {
+      const std::vector<double>& v = src.doubles();
+      for (uint32_t r : rows) {
+        if (src.is_null(r)) {
+          out.AppendNull();
+        } else {
+          out.AppendDouble(v[r]);
+        }
+      }
+      break;
+    }
+    case ValueType::kString: {
+      const std::vector<std::string>& v = src.strings();
+      for (uint32_t r : rows) {
+        if (src.is_null(r)) {
+          out.AppendNull();
+        } else {
+          out.AppendString(v[r]);
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+// Single-pass output materialization: one ValueColumnBuilder per column
+// replaces the old full-scan InferType plus row-at-a-time TableBuilder
+// rebuild. All-null columns take the per-column fallback type.
+Result<Table> RowsToTable(const std::vector<std::string>& names,
+                          const std::vector<ValueType>& fallbacks,
+                          std::vector<Row> rows) {
+  std::vector<ValueColumnBuilder> builders;
+  builders.reserve(names.size());
+  for (const std::string& name : names) builders.emplace_back(name);
+  for (const Row& row : rows) {
+    for (size_t c = 0; c < builders.size(); ++c) {
+      GALAXY_RETURN_IF_ERROR(builders[c].Append(row[c]));
+    }
+  }
+  std::vector<ColumnDef> defs;
+  std::vector<Column> columns;
+  defs.reserve(names.size());
+  columns.reserve(names.size());
+  for (size_t c = 0; c < builders.size(); ++c) {
+    const ValueType type = builders[c].type() == ValueType::kNull
+                               ? fallbacks[c]
+                               : builders[c].type();
+    defs.push_back({names[c], type});
+    columns.push_back(std::move(builders[c]).Build(fallbacks[c]));
+  }
+  return Table(Schema(std::move(defs)), std::move(columns));
+}
 
 // Collects the bound input slots referenced by an expression (subquery
 // bodies excluded: they bind in their own scope).
@@ -563,6 +947,52 @@ void CollectSlots(const Expr* e, std::vector<int>* slots) {
     default:
       return;
   }
+}
+
+// Charges `n` streamed rows to the control plane in batch-sized chunks, so
+// the vectorized pipeline trips within the same tolerance as the per-row
+// scalar loop without a branch per row.
+Status ChargeRows(core::ExecutionContext* exec, uint64_t n) {
+  if (exec == nullptr) return Status::OK();
+  while (n > 0) {
+    const uint64_t step =
+        std::min<uint64_t>(n, core::ExecutionContext::kChargeBatch);
+    if (!exec->Charge(step)) return exec->status();
+    n -= step;
+  }
+  return Status::OK();
+}
+
+// Applies the aggregate-skyline step (Definition 2 / GAMMA RANK) to groups
+// given as dense per-group attribute buffers. Returns the surviving indices
+// into `bufs`, in output order. Shared by the scalar and batch pipelines.
+Result<std::vector<size_t>> AggregateSkylineFilter(
+    size_t dims, std::vector<std::vector<double>> bufs, bool rank,
+    std::optional<double> gamma, const ExecOptions& exec_options,
+    ExecStats* stats) {
+  core::GroupedDataset dataset =
+      core::GroupedDataset::FromDenseBuffers(dims, std::move(bufs));
+  std::vector<size_t> filtered;
+  if (rank) {
+    for (const core::RankedGroup& rg : core::RankByGamma(dataset)) {
+      if (!rg.always_dominated) filtered.push_back(rg.id);
+    }
+    return filtered;
+  }
+  core::AggregateSkylineOptions options;
+  options.gamma = gamma.value_or(0.5);
+  options.algorithm = core::Algorithm::kNestedLoop;
+  options.exec = exec_options.exec;
+  options.allow_approximate = exec_options.allow_approximate;
+  GALAXY_ASSIGN_OR_RETURN(core::AggregateSkylineResult sky,
+                          core::ComputeAggregateSkylineBounded(dataset,
+                                                               options));
+  if (stats != nullptr) {
+    stats->skyline_quality = sky.quality;
+    stats->skyline_stats = sky.stats;
+  }
+  for (uint32_t id : sky.skyline) filtered.push_back(id);
+  return filtered;
 }
 
 }  // namespace
@@ -746,173 +1176,6 @@ static Result<Table> ExecuteSingleSelect(const Database& db, SelectStmt& stmt,
     stmt.where = ConjoinAll(std::move(residual));
   }
 
-  // Per-table candidate row lists (all rows unless a filter was pushed).
-  std::vector<std::vector<size_t>> selected(num_tables);
-  {
-    InputRow scratch(total_slots, nullptr);
-    for (size_t t = 0; t < num_tables; ++t) {
-      selected[t].reserve(tables[t]->num_rows());
-      for (size_t r = 0; r < tables[t]->num_rows(); ++r) {
-        if (exec != nullptr && !exec->Charge(1)) return exec->status();
-        if (!pushed[t].empty()) {
-          const Row& base_row = tables[t]->row(r);
-          for (size_t c = 0; c < base_row.size(); ++c) {
-            scratch[table_first_slot[t] + c] = &base_row[c];
-          }
-          ctx.row = &scratch;
-          bool pass = true;
-          for (const ExprPtr& predicate : pushed[t]) {
-            GALAXY_ASSIGN_OR_RETURN(Value keep, Eval(predicate.get(), ctx));
-            if (keep.is_null()) {
-              pass = false;
-              break;
-            }
-            GALAXY_ASSIGN_OR_RETURN(pass, ValueIsTrue(keep));
-            if (!pass) break;
-          }
-          if (!pass) {
-            if (stats != nullptr) ++stats->base_rows_filtered;
-            continue;
-          }
-        }
-        selected[t].push_back(r);
-      }
-    }
-  }
-
-  // ---- Stream the (filtered) FROM cross product through WHERE. ----------
-  std::vector<size_t> cursor(num_tables, 0);
-  InputRow row(total_slots);
-
-  bool empty_product = false;
-  for (size_t t = 0; t < num_tables; ++t) {
-    if (selected[t].empty()) empty_product = true;
-  }
-
-  // Row consumers fill one of these.
-  std::vector<std::vector<Value>> passing_rows;  // non-grouped path
-  std::unordered_map<std::vector<Value>, GroupAccum, KeyHash> groups;
-  std::vector<const std::vector<Value>*> group_order;  // stable output order
-  const std::vector<Expr*>& agg_exprs = binder.aggregates();
-
-  auto consume_row = [&]() -> Status {
-    // One work unit per streamed row; trips surface here so the join loops
-    // unwind through the usual error path within one row.
-    if (exec != nullptr && !exec->Charge(1)) return exec->status();
-    ctx.row = &row;
-    if (stmt.where != nullptr) {
-      GALAXY_ASSIGN_OR_RETURN(Value keep, Eval(stmt.where.get(), ctx));
-      if (keep.is_null()) return Status::OK();
-      GALAXY_ASSIGN_OR_RETURN(bool pass, ValueIsTrue(keep));
-      if (!pass) return Status::OK();
-    }
-    if (!grouped) {
-      std::vector<Value> copy(total_slots);
-      for (size_t i = 0; i < total_slots; ++i) copy[i] = *row[i];
-      passing_rows.push_back(std::move(copy));
-      return Status::OK();
-    }
-    // Grouped: evaluate the key and accumulate.
-    std::vector<Value> key;
-    key.reserve(stmt.group_by.size());
-    for (const ExprPtr& g : stmt.group_by) {
-      GALAXY_ASSIGN_OR_RETURN(Value v, Eval(g.get(), ctx));
-      key.push_back(std::move(v));
-    }
-    auto [it, inserted] = groups.try_emplace(std::move(key));
-    GroupAccum& accum = it->second;
-    if (inserted) {
-      group_order.push_back(&it->first);
-      accum.first_row.resize(total_slots);
-      for (size_t i = 0; i < total_slots; ++i) accum.first_row[i] = *row[i];
-      accum.agg_states.resize(agg_exprs.size());
-    }
-    for (size_t a = 0; a < agg_exprs.size(); ++a) {
-      const Expr* agg = agg_exprs[a];
-      if (agg->star_arg) {
-        accum.agg_states[a].Accumulate(Value(int64_t{1}));
-      } else {
-        GALAXY_ASSIGN_OR_RETURN(Value v, Eval(agg->args[0].get(), ctx));
-        accum.agg_states[a].Accumulate(v);
-      }
-    }
-    if (!stmt.skyline.empty()) {
-      Point p(stmt.skyline.size());
-      for (size_t k = 0; k < stmt.skyline.size(); ++k) {
-        GALAXY_ASSIGN_OR_RETURN(Value v, Eval(stmt.skyline[k].expr.get(), ctx));
-        GALAXY_ASSIGN_OR_RETURN(double d, v.ToDouble());
-        p[k] = stmt.skyline[k].maximize ? d : -d;
-      }
-      accum.skyline_points.push_back(std::move(p));
-    }
-    return Status::OK();
-  };
-
-  if (!empty_product && join_key != nullptr) {
-    // Hash equi-join: build on table 1, probe with table 0.
-    if (stats != nullptr) ++stats->hash_joins;
-    int slot_l = join_key->left->bound_slot;
-    int slot_r = join_key->right->bound_slot;
-    size_t slot0 = static_cast<size_t>(
-        static_cast<size_t>(slot_l) < table_first_slot[1] ? slot_l : slot_r);
-    size_t slot1 = static_cast<size_t>(
-        static_cast<size_t>(slot_l) < table_first_slot[1] ? slot_r : slot_l);
-    size_t col0 = slot0;
-    size_t col1 = slot1 - table_first_slot[1];
-
-    std::unordered_map<Value, std::vector<size_t>, ValueHash> build;
-    for (size_t r1 : selected[1]) {
-      const Value& key = tables[1]->at(r1, col1);
-      if (!key.is_null()) build[key].push_back(r1);
-    }
-    for (size_t r0 : selected[0]) {
-      const Value& key = tables[0]->at(r0, col0);
-      if (key.is_null()) continue;
-      auto it = build.find(key);
-      if (it == build.end()) continue;
-      const Row& left_row = tables[0]->row(r0);
-      for (size_t c = 0; c < left_row.size(); ++c) row[c] = &left_row[c];
-      for (size_t r1 : it->second) {
-        const Row& right_row = tables[1]->row(r1);
-        for (size_t c = 0; c < right_row.size(); ++c) {
-          row[table_first_slot[1] + c] = &right_row[c];
-        }
-        if (stats != nullptr) ++stats->cross_product_rows;
-        GALAXY_RETURN_IF_ERROR(consume_row());
-      }
-    }
-  } else if (!empty_product) {
-    while (true) {
-      // Assemble the current combination.
-      size_t slot = 0;
-      for (size_t t = 0; t < num_tables; ++t) {
-        const Row& r = tables[t]->row(selected[t][cursor[t]]);
-        for (size_t c = 0; c < r.size(); ++c) row[slot++] = &r[c];
-      }
-      if (stats != nullptr) ++stats->cross_product_rows;
-      GALAXY_RETURN_IF_ERROR(consume_row());
-      // Advance the odometer; stop when the most significant digit wraps.
-      bool done = false;
-      size_t t = num_tables;
-      while (t > 0) {
-        --t;
-        if (++cursor[t] < selected[t].size()) break;
-        cursor[t] = 0;
-        if (t == 0) done = true;
-      }
-      if (done) break;
-    }
-  }
-
-  // Global aggregate with no GROUP BY: one group over everything (even if
-  // the input is empty).
-  if (grouped && stmt.group_by.empty() && groups.empty()) {
-    auto [it, _] = groups.try_emplace(std::vector<Value>{});
-    it->second.agg_states.resize(agg_exprs.size());
-    it->second.first_row.assign(total_slots, Value::Null());
-    group_order.push_back(&it->first);
-  }
-
   // ---- Build the output column list. -------------------------------------
   std::vector<OutputColumn> out_columns;
   for (const SelectItem& item : stmt.items) {
@@ -933,18 +1196,17 @@ static Result<Table> ExecuteSingleSelect(const Database& db, SelectStmt& stmt,
     }
   }
 
-  // ---- Produce output rows (plus ORDER BY sort keys). ---------------------
+  // ---- Output rows (plus ORDER BY sort keys) and the projector. ----------
   std::vector<Row> out_rows;
   std::vector<std::vector<Value>> sort_keys;
   const bool need_sort = !stmt.order_by.empty();
 
-  auto project = [&](EvalContext& rowctx,
-                     const std::vector<Value>* materialized) -> Status {
+  auto project = [&](EvalContext& rowctx) -> Status {
     Row out;
     out.reserve(out_columns.size());
     for (const OutputColumn& col : out_columns) {
       if (col.star_slot >= 0) {
-        out.push_back((*materialized)[col.star_slot]);
+        out.push_back(rowctx.row->Get(col.star_slot));
       } else {
         GALAXY_ASSIGN_OR_RETURN(Value v, Eval(col.expr, rowctx));
         out.push_back(std::move(v));
@@ -967,117 +1229,651 @@ static Result<Table> ExecuteSingleSelect(const Database& db, SelectStmt& stmt,
     return Status::OK();
   };
 
-  if (!grouped) {
-    // Optional record skyline filter (SKYLINE OF without GROUP BY).
-    std::vector<size_t> kept(passing_rows.size());
-    for (size_t i = 0; i < passing_rows.size(); ++i) kept[i] = i;
-    if (!stmt.skyline.empty()) {
-      std::vector<std::vector<double>> points;
-      points.reserve(passing_rows.size());
-      InputRow view(total_slots);
-      for (const std::vector<Value>& r : passing_rows) {
-        for (size_t i = 0; i < total_slots; ++i) view[i] = &r[i];
-        ctx.row = &view;
-        std::vector<double> p(stmt.skyline.size());
+  // ---- Cursor-mode row view over the base tables. ------------------------
+  std::vector<const Column*> slot_cols;
+  std::vector<size_t> slot_table(total_slots);
+  std::vector<size_t> current(num_tables, 0);
+  slot_cols.reserve(total_slots);
+  {
+    size_t slot = 0;
+    for (size_t t = 0; t < num_tables; ++t) {
+      for (size_t c = 0; c < tables[t]->num_columns(); ++c, ++slot) {
+        slot_cols.push_back(&tables[t]->column(c));
+        slot_table[slot] = t;
+      }
+    }
+  }
+  RowView scan_view;
+  scan_view.slot_columns = slot_cols.data();
+  scan_view.slot_table = slot_table.data();
+  scan_view.cursors = current.data();
+
+  const std::vector<Expr*>& agg_exprs = binder.aggregates();
+  const bool vectorized = num_tables == 1 && !exec_options.force_scalar;
+
+  if (vectorized) {
+    // =======================================================================
+    // Batch pipeline (single-table FROM): selection vectors over column
+    // storage instead of per-row boxed evaluation. Behavior must be
+    // indistinguishable from the scalar pipeline below (which still serves
+    // multi-table FROMs and ExecOptions::force_scalar).
+    // =======================================================================
+    const Table& t0 = *tables[0];
+    const size_t nrows = t0.num_rows();
+    if (stats != nullptr) stats->cross_product_rows += nrows;
+    // Charge parity with the scalar pipeline: one unit per scanned row plus
+    // one per row streamed into WHERE.
+    GALAXY_RETURN_IF_ERROR(ChargeRows(exec, nrows));
+    GALAXY_RETURN_IF_ERROR(ChargeRows(exec, nrows));
+
+    std::vector<uint32_t> sel(nrows);
+    for (size_t i = 0; i < nrows; ++i) sel[i] = static_cast<uint32_t>(i);
+
+    // WHERE: compiled conjuncts shrink the selection vector in place; the
+    // rest evaluate per surviving row. Sequential conjunct filtering is
+    // equivalent to per-row AND short-circuiting.
+    if (stmt.where != nullptr) {
+      for (ExprPtr& conjunct : SplitConjuncts(std::move(stmt.where))) {
+        std::optional<ColumnPredicate> p =
+            CompilePredicate(conjunct.get(), t0);
+        if (p.has_value()) {
+          ApplyPredicate(*p, t0, &sel);
+          if (stats != nullptr) ++stats->vectorized_predicates;
+          continue;
+        }
+        std::vector<uint32_t> out;
+        out.reserve(sel.size());
+        for (uint32_t r : sel) {
+          current[0] = r;
+          ctx.row = &scan_view;
+          GALAXY_ASSIGN_OR_RETURN(Value keep, Eval(conjunct.get(), ctx));
+          if (keep.is_null()) continue;
+          GALAXY_ASSIGN_OR_RETURN(bool pass, ValueIsTrue(keep));
+          if (pass) out.push_back(r);
+        }
+        sel = std::move(out);
+      }
+    }
+
+    // Evaluates one SKYLINE OF dimension over the selection into a dense
+    // array (negated for MIN dimensions). Plain numeric columns copy
+    // without boxing; NULL/string cells box per cell so the conversion
+    // error text matches the scalar pipeline.
+    auto eval_skyline_dim =
+        [&](const SkylineItem& item) -> Result<std::vector<double>> {
+      std::vector<double> out(sel.size());
+      const Expr* e = item.expr.get();
+      if (e->kind == ExprKind::kColumnRef && e->bound_slot >= 0) {
+        const Column& col = t0.column(static_cast<size_t>(e->bound_slot));
+        if (col.type() == ValueType::kDouble && !col.has_nulls()) {
+          const std::vector<double>& v = col.doubles();
+          for (size_t i = 0; i < sel.size(); ++i) out[i] = v[sel[i]];
+        } else if (col.type() == ValueType::kInt64 && !col.has_nulls()) {
+          const std::vector<int64_t>& v = col.ints();
+          for (size_t i = 0; i < sel.size(); ++i) {
+            out[i] = static_cast<double>(v[sel[i]]);
+          }
+        } else {
+          for (size_t i = 0; i < sel.size(); ++i) {
+            GALAXY_ASSIGN_OR_RETURN(out[i],
+                                    col.GetValue(sel[i]).ToDouble());
+          }
+        }
+      } else {
+        for (size_t i = 0; i < sel.size(); ++i) {
+          current[0] = sel[i];
+          ctx.row = &scan_view;
+          GALAXY_ASSIGN_OR_RETURN(Value v, Eval(e, ctx));
+          GALAXY_ASSIGN_OR_RETURN(out[i], v.ToDouble());
+        }
+      }
+      if (!item.maximize) {
+        for (double& x : out) x = -x;
+      }
+      return out;
+    };
+
+    if (!grouped) {
+      // Optional record skyline filter (SKYLINE OF without GROUP BY).
+      if (!stmt.skyline.empty()) {
+        const size_t d = stmt.skyline.size();
+        std::vector<std::vector<double>> dims(d);
+        for (size_t k = 0; k < d; ++k) {
+          GALAXY_ASSIGN_OR_RETURN(dims[k], eval_skyline_dim(stmt.skyline[k]));
+        }
+        std::vector<std::vector<double>> points(sel.size(),
+                                                std::vector<double>(d));
+        for (size_t i = 0; i < sel.size(); ++i) {
+          for (size_t k = 0; k < d; ++k) points[i][k] = dims[k][i];
+        }
+        std::vector<size_t> keep = skyline::Compute(
+            points, skyline::AllMax(d), skyline::Algorithm::kSfs);
+        std::vector<uint32_t> filtered;
+        filtered.reserve(keep.size());
+        for (size_t idx : keep) filtered.push_back(sel[idx]);
+        sel = std::move(filtered);
+      }
+
+      // Columnar projection gather: when every output is a plain column and
+      // no DISTINCT/ORDER BY reshapes the result, the output table is a
+      // per-column gather — no boxed rows at all. LIMIT truncates the
+      // selection first (a column gather cannot error, so this is safe).
+      bool gatherable = !stmt.distinct && !need_sort;
+      for (const OutputColumn& col : out_columns) {
+        if (col.star_slot >= 0) continue;
+        if (col.expr->kind != ExprKind::kColumnRef ||
+            col.expr->bound_slot < 0) {
+          gatherable = false;
+          break;
+        }
+      }
+      if (gatherable) {
+        if (stmt.limit.has_value() && *stmt.limit >= 0 &&
+            sel.size() > static_cast<size_t>(*stmt.limit)) {
+          sel.resize(static_cast<size_t>(*stmt.limit));
+        }
+        if (stats != nullptr) ++stats->columnar_projections;
+        std::vector<ColumnDef> defs;
+        std::vector<Column> cols;
+        defs.reserve(out_columns.size());
+        cols.reserve(out_columns.size());
+        for (const OutputColumn& col : out_columns) {
+          const size_t src = col.star_slot >= 0
+                                 ? static_cast<size_t>(col.star_slot)
+                                 : static_cast<size_t>(col.expr->bound_slot);
+          Column gathered = GatherColumn(t0.column(src), sel);
+          // Typing parity with the scalar output path: an expression column
+          // with no non-null output cells falls back to INT64.
+          if (col.star_slot < 0 &&
+              gathered.null_count() == gathered.size() &&
+              gathered.type() != ValueType::kInt64) {
+            Column conformed{ValueType::kInt64};
+            for (size_t i = 0; i < gathered.size(); ++i) {
+              conformed.AppendNull();
+            }
+            gathered = std::move(conformed);
+          }
+          defs.push_back({col.name, gathered.type()});
+          cols.push_back(std::move(gathered));
+        }
+        return Table(Schema(std::move(defs)), std::move(cols));
+      }
+
+      for (uint32_t r : sel) {
+        current[0] = r;
+        ctx.row = &scan_view;
+        GALAXY_RETURN_IF_ERROR(project(ctx));
+      }
+    } else {
+      // ---- Grouping: dense group ids over the selection. ----------------
+      std::vector<std::vector<uint32_t>> group_rows;
+      std::vector<uint32_t> row_gid(sel.size(), 0);
+      if (stmt.group_by.empty()) {
+        // Global aggregate: one group over everything (even when empty).
+        group_rows.emplace_back(sel.begin(), sel.end());
+      } else {
+        const Expr* single =
+            stmt.group_by.size() == 1 &&
+                    stmt.group_by[0]->kind == ExprKind::kColumnRef &&
+                    stmt.group_by[0]->bound_slot >= 0
+                ? stmt.group_by[0].get()
+                : nullptr;
+        const ValueType key_type =
+            single != nullptr ? t0.column(single->bound_slot).type()
+                              : ValueType::kNull;
+        if (single != nullptr && key_type == ValueType::kString) {
+          const Column& col = t0.column(single->bound_slot);
+          const std::vector<std::string>& v = col.strings();
+          std::unordered_map<std::string_view, uint32_t> gids;
+          uint32_t null_gid = UINT32_MAX;
+          for (size_t i = 0; i < sel.size(); ++i) {
+            const uint32_t r = sel[i];
+            uint32_t gid;
+            if (col.is_null(r)) {
+              if (null_gid == UINT32_MAX) {
+                null_gid = static_cast<uint32_t>(group_rows.size());
+                group_rows.emplace_back();
+              }
+              gid = null_gid;
+            } else {
+              auto [it, inserted] = gids.try_emplace(
+                  std::string_view(v[r]),
+                  static_cast<uint32_t>(group_rows.size()));
+              if (inserted) group_rows.emplace_back();
+              gid = it->second;
+            }
+            group_rows[gid].push_back(r);
+            row_gid[i] = gid;
+          }
+        } else if (single != nullptr && key_type == ValueType::kInt64) {
+          const Column& col = t0.column(single->bound_slot);
+          const std::vector<int64_t>& v = col.ints();
+          std::unordered_map<int64_t, uint32_t> gids;
+          uint32_t null_gid = UINT32_MAX;
+          for (size_t i = 0; i < sel.size(); ++i) {
+            const uint32_t r = sel[i];
+            uint32_t gid;
+            if (col.is_null(r)) {
+              if (null_gid == UINT32_MAX) {
+                null_gid = static_cast<uint32_t>(group_rows.size());
+                group_rows.emplace_back();
+              }
+              gid = null_gid;
+            } else {
+              auto [it, inserted] = gids.try_emplace(
+                  v[r], static_cast<uint32_t>(group_rows.size()));
+              if (inserted) group_rows.emplace_back();
+              gid = it->second;
+            }
+            group_rows[gid].push_back(r);
+            row_gid[i] = gid;
+          }
+        } else {
+          // Generic fallback (expressions, composite or double keys): boxed
+          // composite keys — bit-for-bit the scalar pipeline's grouping,
+          // including int/double cross-type equality and NULL keys.
+          std::unordered_map<std::vector<Value>, uint32_t, KeyHash> gids;
+          std::vector<Value> key;
+          for (size_t i = 0; i < sel.size(); ++i) {
+            const uint32_t r = sel[i];
+            key.clear();
+            for (const ExprPtr& g : stmt.group_by) {
+              if (g->kind == ExprKind::kColumnRef && g->bound_slot >= 0) {
+                key.push_back(t0.column(g->bound_slot).GetValue(r));
+              } else {
+                current[0] = r;
+                ctx.row = &scan_view;
+                GALAXY_ASSIGN_OR_RETURN(Value v, Eval(g.get(), ctx));
+                key.push_back(std::move(v));
+              }
+            }
+            auto [it, inserted] = gids.try_emplace(
+                key, static_cast<uint32_t>(group_rows.size()));
+            if (inserted) group_rows.emplace_back();
+            group_rows[it->second].push_back(r);
+            row_gid[i] = it->second;
+          }
+        }
+      }
+      const size_t num_groups = group_rows.size();
+
+      // First row of each group (all-NULL for the synthetic global group):
+      // one boxed row per group feeds HAVING and projection; the per-row
+      // hot path stays columnar.
+      std::vector<Row> first_rows(num_groups);
+      for (size_t g = 0; g < num_groups; ++g) {
+        if (group_rows[g].empty()) {
+          first_rows[g].assign(total_slots, Value::Null());
+        } else {
+          // galaxy-lint: allow(row-major-access)
+          first_rows[g] = t0.MaterializeRow(group_rows[g][0]);
+        }
+      }
+
+      // Aggregates: typed folds over column slices where the argument is a
+      // plain column; everything else replays the scalar Accumulate.
+      std::vector<std::vector<AggState>> agg_states(
+          num_groups, std::vector<AggState>(agg_exprs.size()));
+      for (size_t a = 0; a < agg_exprs.size(); ++a) {
+        const Expr* agg = agg_exprs[a];
+        if (agg->star_arg) {
+          for (size_t g = 0; g < num_groups; ++g) {
+            AggState& st = agg_states[g][a];
+            const uint64_t n = group_rows[g].size();
+            st.rows += n;
+            st.non_null += n;
+            st.isum += static_cast<int64_t>(n);
+          }
+          if (stats != nullptr) stats->vectorized_folds += num_groups;
+          continue;
+        }
+        const Expr* arg = agg->args[0].get();
+        if (arg->kind == ExprKind::kColumnRef && arg->bound_slot >= 0) {
+          const Column& col = t0.column(arg->bound_slot);
+          for (size_t g = 0; g < num_groups; ++g) {
+            FoldColumnAgg(col, group_rows[g], &agg_states[g][a]);
+          }
+          if (stats != nullptr) stats->vectorized_folds += num_groups;
+          continue;
+        }
+        for (size_t g = 0; g < num_groups; ++g) {
+          for (uint32_t r : group_rows[g]) {
+            current[0] = r;
+            ctx.row = &scan_view;
+            GALAXY_ASSIGN_OR_RETURN(Value v, Eval(arg, ctx));
+            agg_states[g][a].Accumulate(v);
+          }
+        }
+      }
+
+      // SKYLINE OF attributes, gathered into dense per-group buffers before
+      // HAVING (scalar order: attribute conversion errors surface for every
+      // streamed row, HAVING or not).
+      std::vector<std::vector<double>> group_bufs;
+      if (!stmt.skyline.empty()) {
+        const size_t d = stmt.skyline.size();
+        std::vector<std::vector<double>> dims(d);
+        for (size_t k = 0; k < d; ++k) {
+          GALAXY_ASSIGN_OR_RETURN(dims[k], eval_skyline_dim(stmt.skyline[k]));
+        }
+        group_bufs.resize(num_groups);
+        for (size_t g = 0; g < num_groups; ++g) {
+          group_bufs[g].reserve(group_rows[g].size() * d);
+        }
+        for (size_t i = 0; i < sel.size(); ++i) {
+          std::vector<double>& buf = group_bufs[row_gid[i]];
+          for (size_t k = 0; k < d; ++k) buf.push_back(dims[k][i]);
+        }
+        if (stats != nullptr) stats->group_gather_cells += sel.size() * d;
+      }
+
+      // Finish aggregates per group.
+      std::vector<std::vector<Value>> agg_values(num_groups);
+      for (size_t g = 0; g < num_groups; ++g) {
+        agg_values[g].reserve(agg_exprs.size());
+        for (size_t a = 0; a < agg_exprs.size(); ++a) {
+          GALAXY_ASSIGN_OR_RETURN(
+              Value v, agg_states[g][a].Finish(agg_exprs[a]->function,
+                                               agg_exprs[a]->star_arg));
+          agg_values[g].push_back(std::move(v));
+        }
+      }
+
+      // HAVING filter.
+      std::vector<uint32_t> surviving;
+      RowView group_view;
+      for (size_t g = 0; g < num_groups; ++g) {
+        group_view.values = first_rows[g].data();
+        ctx.row = &group_view;
+        ctx.aggs = &agg_values[g];
+        if (stmt.having != nullptr) {
+          GALAXY_ASSIGN_OR_RETURN(Value keep, Eval(stmt.having.get(), ctx));
+          if (keep.is_null()) continue;
+          GALAXY_ASSIGN_OR_RETURN(bool pass, ValueIsTrue(keep));
+          if (!pass) continue;
+        }
+        surviving.push_back(static_cast<uint32_t>(g));
+      }
+
+      // Aggregate skyline over the surviving groups.
+      if (!stmt.skyline.empty() && !surviving.empty()) {
+        std::vector<std::vector<double>> bufs;
+        bufs.reserve(surviving.size());
+        for (uint32_t g : surviving) bufs.push_back(std::move(group_bufs[g]));
+        GALAXY_ASSIGN_OR_RETURN(
+            std::vector<size_t> filtered,
+            AggregateSkylineFilter(stmt.skyline.size(), std::move(bufs),
+                                   stmt.skyline_rank, stmt.skyline_gamma,
+                                   exec_options, stats));
+        std::vector<uint32_t> next;
+        next.reserve(filtered.size());
+        for (size_t id : filtered) next.push_back(surviving[id]);
+        surviving = std::move(next);
+      }
+
+      for (uint32_t g : surviving) {
+        group_view.values = first_rows[g].data();
+        ctx.row = &group_view;
+        ctx.aggs = &agg_values[g];
+        GALAXY_RETURN_IF_ERROR(project(ctx));
+      }
+      ctx.aggs = nullptr;
+    }
+  } else {
+    // =======================================================================
+    // Scalar (tuple-at-a-time) pipeline: multi-table FROMs and the
+    // force_scalar reference mode.
+    // =======================================================================
+
+    // Per-table candidate row lists (all rows unless a filter was pushed).
+    std::vector<std::vector<size_t>> selected(num_tables);
+    for (size_t t = 0; t < num_tables; ++t) {
+      selected[t].reserve(tables[t]->num_rows());
+      for (size_t r = 0; r < tables[t]->num_rows(); ++r) {
+        if (exec != nullptr && !exec->Charge(1)) return exec->status();
+        if (!pushed[t].empty()) {
+          current[t] = r;
+          ctx.row = &scan_view;
+          bool pass = true;
+          for (const ExprPtr& predicate : pushed[t]) {
+            GALAXY_ASSIGN_OR_RETURN(Value keep, Eval(predicate.get(), ctx));
+            if (keep.is_null()) {
+              pass = false;
+              break;
+            }
+            GALAXY_ASSIGN_OR_RETURN(pass, ValueIsTrue(keep));
+            if (!pass) break;
+          }
+          if (!pass) {
+            if (stats != nullptr) ++stats->base_rows_filtered;
+            continue;
+          }
+        }
+        selected[t].push_back(r);
+      }
+    }
+
+    // ---- Stream the (filtered) FROM cross product through WHERE. --------
+    std::vector<size_t> cursor(num_tables, 0);  // positions into selected[t]
+
+    bool empty_product = false;
+    for (size_t t = 0; t < num_tables; ++t) {
+      if (selected[t].empty()) empty_product = true;
+    }
+
+    // Row consumers fill one of these.
+    std::vector<std::vector<Value>> passing_rows;  // non-grouped path
+    std::unordered_map<std::vector<Value>, GroupAccum, KeyHash> groups;
+    std::vector<const std::vector<Value>*> group_order;  // stable order
+
+    auto consume_row = [&]() -> Status {
+      // One work unit per streamed row; trips surface here so the join
+      // loops unwind through the usual error path within one row.
+      if (exec != nullptr && !exec->Charge(1)) return exec->status();
+      ctx.row = &scan_view;
+      if (stmt.where != nullptr) {
+        GALAXY_ASSIGN_OR_RETURN(Value keep, Eval(stmt.where.get(), ctx));
+        if (keep.is_null()) return Status::OK();
+        GALAXY_ASSIGN_OR_RETURN(bool pass, ValueIsTrue(keep));
+        if (!pass) return Status::OK();
+      }
+      if (!grouped) {
+        std::vector<Value> copy(total_slots);
+        for (size_t i = 0; i < total_slots; ++i) {
+          copy[i] = scan_view.Get(static_cast<int>(i));
+        }
+        passing_rows.push_back(std::move(copy));
+        return Status::OK();
+      }
+      // Grouped: evaluate the key and accumulate.
+      std::vector<Value> key;
+      key.reserve(stmt.group_by.size());
+      for (const ExprPtr& g : stmt.group_by) {
+        GALAXY_ASSIGN_OR_RETURN(Value v, Eval(g.get(), ctx));
+        key.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      GroupAccum& accum = it->second;
+      if (inserted) {
+        group_order.push_back(&it->first);
+        accum.first_row.resize(total_slots);
+        for (size_t i = 0; i < total_slots; ++i) {
+          accum.first_row[i] = scan_view.Get(static_cast<int>(i));
+        }
+        accum.agg_states.resize(agg_exprs.size());
+      }
+      for (size_t a = 0; a < agg_exprs.size(); ++a) {
+        const Expr* agg = agg_exprs[a];
+        if (agg->star_arg) {
+          accum.agg_states[a].Accumulate(Value(int64_t{1}));
+        } else {
+          GALAXY_ASSIGN_OR_RETURN(Value v, Eval(agg->args[0].get(), ctx));
+          accum.agg_states[a].Accumulate(v);
+        }
+      }
+      if (!stmt.skyline.empty()) {
         for (size_t k = 0; k < stmt.skyline.size(); ++k) {
           GALAXY_ASSIGN_OR_RETURN(Value v,
                                   Eval(stmt.skyline[k].expr.get(), ctx));
           GALAXY_ASSIGN_OR_RETURN(double d, v.ToDouble());
-          p[k] = stmt.skyline[k].maximize ? d : -d;
+          accum.skyline_buf.push_back(stmt.skyline[k].maximize ? d : -d);
         }
-        points.push_back(std::move(p));
       }
-      kept = skyline::Compute(points,
-                                  skyline::AllMax(stmt.skyline.size()),
-                                  skyline::Algorithm::kSfs);
-    }
-    InputRow view(total_slots);
-    for (size_t idx : kept) {
-      const std::vector<Value>& r = passing_rows[idx];
-      for (size_t i = 0; i < total_slots; ++i) view[i] = &r[i];
-      ctx.row = &view;
-      GALAXY_RETURN_IF_ERROR(project(ctx, &r));
-    }
-  } else {
-    // Finish aggregates per group.
-    std::unordered_map<const std::vector<Value>*, std::vector<Value>>
-        agg_values;
-    for (const std::vector<Value>* key : group_order) {
-      GroupAccum& accum = groups.find(*key)->second;
-      std::vector<Value> vals;
-      vals.reserve(agg_exprs.size());
-      for (size_t a = 0; a < agg_exprs.size(); ++a) {
-        GALAXY_ASSIGN_OR_RETURN(
-            Value v,
-            accum.agg_states[a].Finish(agg_exprs[a]->function,
-                                       agg_exprs[a]->star_arg));
-        vals.push_back(std::move(v));
+      return Status::OK();
+    };
+
+    if (!empty_product && join_key != nullptr) {
+      // Hash equi-join: build on table 1, probe with table 0.
+      if (stats != nullptr) ++stats->hash_joins;
+      int slot_l = join_key->left->bound_slot;
+      int slot_r = join_key->right->bound_slot;
+      size_t slot0 = static_cast<size_t>(
+          static_cast<size_t>(slot_l) < table_first_slot[1] ? slot_l : slot_r);
+      size_t slot1 = static_cast<size_t>(
+          static_cast<size_t>(slot_l) < table_first_slot[1] ? slot_r : slot_l);
+      size_t col0 = slot0;
+      size_t col1 = slot1 - table_first_slot[1];
+
+      std::unordered_map<Value, std::vector<size_t>, ValueHash> build;
+      for (size_t r1 : selected[1]) {
+        Value key = tables[1]->at(r1, col1);
+        if (!key.is_null()) build[std::move(key)].push_back(r1);
       }
-      agg_values.emplace(key, std::move(vals));
+      for (size_t r0 : selected[0]) {
+        Value key = tables[0]->at(r0, col0);
+        if (key.is_null()) continue;
+        auto it = build.find(key);
+        if (it == build.end()) continue;
+        current[0] = r0;
+        for (size_t r1 : it->second) {
+          current[1] = r1;
+          if (stats != nullptr) ++stats->cross_product_rows;
+          GALAXY_RETURN_IF_ERROR(consume_row());
+        }
+      }
+    } else if (!empty_product) {
+      while (true) {
+        // Position each table's cursor at the current combination.
+        for (size_t t = 0; t < num_tables; ++t) {
+          current[t] = selected[t][cursor[t]];
+        }
+        if (stats != nullptr) ++stats->cross_product_rows;
+        GALAXY_RETURN_IF_ERROR(consume_row());
+        // Advance the odometer; stop when the most significant digit wraps.
+        bool done = false;
+        size_t t = num_tables;
+        while (t > 0) {
+          --t;
+          if (++cursor[t] < selected[t].size()) break;
+          cursor[t] = 0;
+          if (t == 0) done = true;
+        }
+        if (done) break;
+      }
     }
 
-    // HAVING filter.
-    std::vector<const std::vector<Value>*> surviving;
-    InputRow view(total_slots);
-    for (const std::vector<Value>* key : group_order) {
-      GroupAccum& accum = groups.find(*key)->second;
-      for (size_t i = 0; i < total_slots; ++i) view[i] = &accum.first_row[i];
-      ctx.row = &view;
-      ctx.aggs = &agg_values.find(key)->second;
-      if (stmt.having != nullptr) {
-        GALAXY_ASSIGN_OR_RETURN(Value keep, Eval(stmt.having.get(), ctx));
-        if (keep.is_null()) continue;
-        GALAXY_ASSIGN_OR_RETURN(bool pass, ValueIsTrue(keep));
-        if (!pass) continue;
-      }
-      surviving.push_back(key);
+    // Global aggregate with no GROUP BY: one group over everything (even if
+    // the input is empty).
+    if (grouped && stmt.group_by.empty() && groups.empty()) {
+      auto [it, _] = groups.try_emplace(std::vector<Value>{});
+      it->second.agg_states.resize(agg_exprs.size());
+      it->second.first_row.assign(total_slots, Value::Null());
+      group_order.push_back(&it->first);
     }
 
-    // Aggregate skyline over the surviving groups (SKYLINE OF + GROUP BY):
-    // Definition 2 applied to the per-group record sets. GAMMA RANK instead
-    // emits every group admissible at some γ, ordered by minimal γ
-    // (Section 2.2's parameter-free mode).
-    if (!stmt.skyline.empty()) {
-      std::vector<std::vector<Point>> group_points;
-      group_points.reserve(surviving.size());
-      for (const std::vector<Value>* key : surviving) {
-        group_points.push_back(groups.find(*key)->second.skyline_points);
-      }
-      if (!group_points.empty()) {
-        core::GroupedDataset dataset =
-            core::GroupedDataset::FromPoints(group_points);
-        std::vector<const std::vector<Value>*> filtered;
-        if (stmt.skyline_rank) {
-          for (const core::RankedGroup& rg : core::RankByGamma(dataset)) {
-            if (!rg.always_dominated) filtered.push_back(surviving[rg.id]);
+    if (!grouped) {
+      // Optional record skyline filter (SKYLINE OF without GROUP BY).
+      std::vector<size_t> kept(passing_rows.size());
+      for (size_t i = 0; i < passing_rows.size(); ++i) kept[i] = i;
+      if (!stmt.skyline.empty()) {
+        std::vector<std::vector<double>> points;
+        points.reserve(passing_rows.size());
+        RowView row_view;
+        for (const std::vector<Value>& r : passing_rows) {
+          row_view.values = r.data();
+          ctx.row = &row_view;
+          std::vector<double> p(stmt.skyline.size());
+          for (size_t k = 0; k < stmt.skyline.size(); ++k) {
+            GALAXY_ASSIGN_OR_RETURN(Value v,
+                                    Eval(stmt.skyline[k].expr.get(), ctx));
+            GALAXY_ASSIGN_OR_RETURN(double d, v.ToDouble());
+            p[k] = stmt.skyline[k].maximize ? d : -d;
           }
-        } else {
-          core::AggregateSkylineOptions options;
-          options.gamma = stmt.skyline_gamma.value_or(0.5);
-          options.algorithm = core::Algorithm::kNestedLoop;
-          options.exec = exec;
-          options.allow_approximate = exec_options.allow_approximate;
+          points.push_back(std::move(p));
+        }
+        kept = skyline::Compute(points, skyline::AllMax(stmt.skyline.size()),
+                                skyline::Algorithm::kSfs);
+      }
+      RowView row_view;
+      for (size_t idx : kept) {
+        row_view.values = passing_rows[idx].data();
+        ctx.row = &row_view;
+        GALAXY_RETURN_IF_ERROR(project(ctx));
+      }
+    } else {
+      // Finish aggregates per group.
+      std::unordered_map<const std::vector<Value>*, std::vector<Value>>
+          agg_values;
+      for (const std::vector<Value>* key : group_order) {
+        GroupAccum& accum = groups.find(*key)->second;
+        std::vector<Value> vals;
+        vals.reserve(agg_exprs.size());
+        for (size_t a = 0; a < agg_exprs.size(); ++a) {
           GALAXY_ASSIGN_OR_RETURN(
-              core::AggregateSkylineResult sky,
-              core::ComputeAggregateSkylineBounded(dataset, options));
-          if (stats != nullptr) {
-            stats->skyline_quality = sky.quality;
-            stats->skyline_stats = sky.stats;
-          }
-          for (uint32_t id : sky.skyline) {
-            filtered.push_back(surviving[id]);
-          }
+              Value v,
+              accum.agg_states[a].Finish(agg_exprs[a]->function,
+                                         agg_exprs[a]->star_arg));
+          vals.push_back(std::move(v));
         }
-        surviving = std::move(filtered);
+        agg_values.emplace(key, std::move(vals));
       }
-    }
 
-    for (const std::vector<Value>* key : surviving) {
-      GroupAccum& accum = groups.find(*key)->second;
-      for (size_t i = 0; i < total_slots; ++i) view[i] = &accum.first_row[i];
-      ctx.row = &view;
-      ctx.aggs = &agg_values.find(key)->second;
-      GALAXY_RETURN_IF_ERROR(project(ctx, &accum.first_row));
+      // HAVING filter.
+      std::vector<const std::vector<Value>*> surviving;
+      RowView group_view;
+      for (const std::vector<Value>* key : group_order) {
+        GroupAccum& accum = groups.find(*key)->second;
+        group_view.values = accum.first_row.data();
+        ctx.row = &group_view;
+        ctx.aggs = &agg_values.find(key)->second;
+        if (stmt.having != nullptr) {
+          GALAXY_ASSIGN_OR_RETURN(Value keep, Eval(stmt.having.get(), ctx));
+          if (keep.is_null()) continue;
+          GALAXY_ASSIGN_OR_RETURN(bool pass, ValueIsTrue(keep));
+          if (!pass) continue;
+        }
+        surviving.push_back(key);
+      }
+
+      // Aggregate skyline over the surviving groups (SKYLINE OF + GROUP
+      // BY): Definition 2 applied to the per-group record sets. GAMMA RANK
+      // instead emits every group admissible at some γ, ordered by minimal
+      // γ (Section 2.2's parameter-free mode).
+      if (!stmt.skyline.empty() && !surviving.empty()) {
+        std::vector<std::vector<double>> bufs;
+        bufs.reserve(surviving.size());
+        for (const std::vector<Value>* key : surviving) {
+          bufs.push_back(std::move(groups.find(*key)->second.skyline_buf));
+        }
+        GALAXY_ASSIGN_OR_RETURN(
+            std::vector<size_t> filtered,
+            AggregateSkylineFilter(stmt.skyline.size(), std::move(bufs),
+                                   stmt.skyline_rank, stmt.skyline_gamma,
+                                   exec_options, stats));
+        std::vector<const std::vector<Value>*> next;
+        next.reserve(filtered.size());
+        for (size_t id : filtered) next.push_back(surviving[id]);
+        surviving = std::move(next);
+      }
+
+      for (const std::vector<Value>* key : surviving) {
+        GroupAccum& accum = groups.find(*key)->second;
+        group_view.values = accum.first_row.data();
+        ctx.row = &group_view;
+        ctx.aggs = &agg_values.find(key)->second;
+        GALAXY_RETURN_IF_ERROR(project(ctx));
+      }
+      ctx.aggs = nullptr;
     }
   }
 
@@ -1121,21 +1917,17 @@ static Result<Table> ExecuteSingleSelect(const Database& db, SelectStmt& stmt,
   }
 
   // ---- Output schema. -------------------------------------------------------
-  std::vector<ColumnDef> defs;
-  defs.reserve(out_columns.size());
-  for (size_t c = 0; c < out_columns.size(); ++c) {
-    ValueType fallback = out_columns[c].star_slot >= 0
-                             ? binder.slots()[out_columns[c].star_slot].type
-                             : ValueType::kInt64;
-    defs.push_back({out_columns[c].name, InferType(out_rows, c, fallback)});
+  std::vector<std::string> names;
+  std::vector<ValueType> fallbacks;
+  names.reserve(out_columns.size());
+  fallbacks.reserve(out_columns.size());
+  for (const OutputColumn& col : out_columns) {
+    names.push_back(col.name);
+    fallbacks.push_back(col.star_slot >= 0
+                            ? binder.slots()[col.star_slot].type
+                            : ValueType::kInt64);
   }
-  // Normalize int-typed cells appearing in double columns and vice versa is
-  // handled by TableBuilder widening; rebuild through it for type safety.
-  TableBuilder builder{Schema(std::move(defs))};
-  for (Row& r : out_rows) {
-    GALAXY_RETURN_IF_ERROR(builder.TryAddRow(std::move(r)));
-  }
-  return builder.Build();
+  return RowsToTable(names, fallbacks, std::move(out_rows));
 }
 
 Result<Table> ExecuteSelect(const Database& db, SelectStmt& stmt,
@@ -1153,7 +1945,9 @@ Result<Table> ExecuteSelect(const Database& db, SelectStmt& stmt,
 
   // Left-associative UNION evaluation: combine member by member, applying
   // duplicate elimination at every non-ALL link (standard SQL semantics).
-  std::vector<Row> rows = result.rows();
+  // UNION links deduplicate whole tuples, which is inherently row-shaped;
+  // the boxing here is off the single-member hot path.
+  std::vector<Row> rows = result.DebugRows();  // galaxy-lint: allow(row-major-access)
   bool pending_all = stmt.union_all;
   for (SelectStmt* member = stmt.union_next.get(); member != nullptr;
        member = member->union_next.get()) {
@@ -1163,7 +1957,9 @@ Result<Table> ExecuteSelect(const Database& db, SelectStmt& stmt,
       return Status::InvalidArgument(
           "UNION members must have the same number of columns");
     }
-    for (const Row& r : next.rows()) rows.push_back(r);
+    for (size_t r = 0; r < next.num_rows(); ++r) {
+      rows.push_back(next.MaterializeRow(r));  // galaxy-lint: allow(row-major-access)
+    }
     if (!pending_all) {
       std::unordered_set<Row, RowHash> seen;
       std::vector<Row> unique_rows;
@@ -1177,18 +1973,16 @@ Result<Table> ExecuteSelect(const Database& db, SelectStmt& stmt,
   }
 
   // Column names come from the first member; types are re-inferred over
-  // the combined rows (int/double widening via the table builder).
-  std::vector<ColumnDef> defs;
-  defs.reserve(result.num_columns());
+  // the combined rows (int/double widening via the column builders).
+  std::vector<std::string> names;
+  std::vector<ValueType> fallbacks;
+  names.reserve(result.num_columns());
+  fallbacks.reserve(result.num_columns());
   for (size_t c = 0; c < result.num_columns(); ++c) {
-    defs.push_back({result.schema().column(c).name,
-                    InferType(rows, c, result.schema().column(c).type)});
+    names.push_back(result.schema().column(c).name);
+    fallbacks.push_back(result.schema().column(c).type);
   }
-  TableBuilder builder{Schema(std::move(defs))};
-  for (Row& r : rows) {
-    GALAXY_RETURN_IF_ERROR(builder.TryAddRow(std::move(r)));
-  }
-  return builder.Build();
+  return RowsToTable(names, fallbacks, std::move(rows));
 }
 
 }  // namespace galaxy::sql

@@ -23,6 +23,12 @@ struct ExecOptions {
   /// reports kApproximateSuperset. Trips outside that step still error:
   /// a half-streamed WHERE has no sound partial answer.
   bool allow_approximate = false;
+  /// Forces tuple-at-a-time evaluation, disabling the single-table batch
+  /// paths (selection-vector predicates, typed aggregate folds, columnar
+  /// projection gather). The scalar pipeline is the behavioral reference
+  /// the batch engine is differentially tested against; results must be
+  /// identical either way.
+  bool force_scalar = false;
 };
 
 /// Optimizer/executor counters (for tests and tuning).
@@ -38,6 +44,18 @@ struct ExecStats {
   /// Two-table FROMs executed as a hash equi-join instead of a cross
   /// product (an A.x = B.y conjunct became the join key).
   uint64_t hash_joins = 0;
+  /// WHERE conjuncts executed as vectorized selection kernels over column
+  /// slices (single-table scans only).
+  uint64_t vectorized_predicates = 0;
+  /// Aggregate accumulations folded over typed column arrays instead of
+  /// per-row boxed evaluation (one count per aggregate per group batch).
+  uint64_t vectorized_folds = 0;
+  /// Projections materialized by columnar gather, bypassing per-row
+  /// expression evaluation and output re-inference.
+  uint64_t columnar_projections = 0;
+  /// Double cells gathered into dense per-group skyline buffers (the
+  /// executor -> core::Group handoff is a single copy per cell).
+  uint64_t group_gather_cells = 0;
   /// Quality of the aggregate-skyline step, if the query had one:
   /// kApproximateSuperset after a graceful degradation (see ExecOptions).
   core::ResultQuality skyline_quality = core::ResultQuality::kExact;

@@ -67,18 +67,18 @@ Status ApplyUpdateRecord(sql::Database* db, const UpdateRecord& record) {
   const Table& table = *snapshot;
   GALAXY_ASSIGN_OR_RETURN(Row row,
                           ParseCsvRowForSchema(table.schema(), record.row_csv));
-  std::vector<Row> rows = table.rows();
-  if (record.insert) {
-    rows.push_back(std::move(row));
-  } else {
-    auto it = std::find(rows.begin(), rows.end(), row);
-    if (it == rows.end()) {
+  // Copy-on-write at column granularity: clone the column vectors with the
+  // row appended/removed instead of re-boxing every cell through rows.
+  Result<Table> next = record.insert ? table.CopyWithAppended(row)
+                                     : table.CopyWithRemoved(row);
+  if (!next.ok()) {
+    if (next.status().code() == StatusCode::kNotFound) {
       return Status::NotFound("replayed remove matches no row in table " +
                               record.table);
     }
-    rows.erase(it);
+    return next.status();
   }
-  db->Register(record.table, Table(table.schema(), std::move(rows)));
+  db->Register(record.table, std::move(*next));
   return Status::OK();
 }
 

@@ -29,23 +29,30 @@ void EncodeTable(const SnapshotTable& entry, std::string* body) {
     body->push_back(static_cast<char>(col.type));
   }
   PutU64(body, entry.table.num_rows());
-  for (const Row& row : entry.table.rows()) {
-    for (const Value& cell : row) {
-      switch (cell.type()) {
+  // The on-disk byte format is row-major tagged cells (unchanged across the
+  // columnar storage refactor, so old snapshots stay readable); iterate the
+  // typed columns in row order without boxing cells.
+  for (size_t r = 0; r < entry.table.num_rows(); ++r) {
+    for (size_t c = 0; c < entry.table.num_columns(); ++c) {
+      const Column& col = entry.table.column(c);
+      if (col.is_null(r) || col.type() == ValueType::kNull) {
+        body->push_back(static_cast<char>(kTagNull));
+        continue;
+      }
+      switch (col.type()) {
         case ValueType::kNull:
-          body->push_back(static_cast<char>(kTagNull));
-          break;
+          break;  // handled above
         case ValueType::kInt64:
           body->push_back(static_cast<char>(kTagInt64));
-          PutU64(body, static_cast<uint64_t>(cell.AsInt64()));
+          PutU64(body, static_cast<uint64_t>(col.ints()[r]));
           break;
         case ValueType::kDouble:
           body->push_back(static_cast<char>(kTagDouble));
-          PutDouble(body, cell.AsDouble());
+          PutDouble(body, col.doubles()[r]);
           break;
         case ValueType::kString:
           body->push_back(static_cast<char>(kTagString));
-          PutLengthPrefixed(body, cell.AsString());
+          PutLengthPrefixed(body, col.strings()[r]);
           break;
       }
     }

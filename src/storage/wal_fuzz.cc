@@ -122,7 +122,7 @@ std::string CheckRecovery(const Schema& schema, const std::string& wal_image,
   const std::string dir = "fuzz-data";
   if (!env->CreateDirs(dir).ok()) return "mem env CreateDirs failed";
   if (!WriteSnapshotFile(env.get(), dir, "snapshot-1.gal",
-                         {SnapshotTable{"t", Table(schema, {})}})
+                         {SnapshotTable{"t", Table(schema, std::vector<Row>{})}})
            .ok()) {
     return "planting the seed snapshot failed";
   }

@@ -1,0 +1,25 @@
+// Fixture for the row-major-access rule: boxed row materialization on an
+// execution path. Both calls below must be flagged outside src/relation/
+// and tests/; the suppressed one must not.
+#include "relation/table.h"
+
+namespace demo {
+
+galaxy::Value First(const galaxy::Table& t) {
+  galaxy::Row row = t.MaterializeRow(0);  // flagged
+  return row[0];
+}
+
+size_t CountCells(const galaxy::Table& t) {
+  size_t n = 0;
+  for (const galaxy::Row& row : t.DebugRows()) n += row.size();  // flagged
+  return n;
+}
+
+size_t Seed(const galaxy::Table& t) {
+  // One-time seeding, off the hot path.
+  // galaxy-lint: allow(row-major-access)
+  return t.MaterializeRow(0).size();
+}
+
+}  // namespace demo

@@ -105,6 +105,22 @@ TEST(LintRules, RawFileIoExemptsStorageTestsAndBench) {
   }
 }
 
+TEST(LintRules, RowMajorAccessFlagsBoxedRowCalls) {
+  auto diags = LintFixture("row_major_bad.cc", "src/sql/row_major_bad.cc");
+  // MaterializeRow + DebugRows; the suppressed seeding call is exempt.
+  EXPECT_EQ(CountRule(diags, "row-major-access"), 2u);
+  EXPECT_TRUE(LinesOfRule(diags, "row-major-access").count(9));
+  EXPECT_TRUE(LinesOfRule(diags, "row-major-access").count(15));
+}
+
+TEST(LintRules, RowMajorAccessExemptsRelationAndTests) {
+  for (const char* path : {"src/relation/row_major_bad.cc",
+                           "tests/sql/row_major_bad.cc"}) {
+    auto diags = LintFixture("row_major_bad.cc", path);
+    EXPECT_EQ(CountRule(diags, "row-major-access"), 0u) << path;
+  }
+}
+
 TEST(LintRules, NakedNewFlagged) {
   auto diags = LintFixture("naked_new_bad.cc", "src/core/naked_new_bad.cc");
   EXPECT_EQ(CountRule(diags, "naked-new"), 1u);
@@ -184,7 +200,7 @@ TEST(LintLexer, DiagnosticFormat) {
 
 TEST(LintApi, RuleNamesStable) {
   auto names = RuleNames();
-  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.size(), 9u);
 }
 
 }  // namespace

@@ -1,0 +1,227 @@
+// Round-trip and storage-layout tests for the column-major (SoA) Table:
+// builder -> table -> CSV -> table equality including NULLs and int->double
+// widening, validity-bitmap behavior across word boundaries, incremental
+// type inference in ValueColumnBuilder, and the zero-copy contract of
+// ExtractNumericColumns (double slices alias column storage directly).
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "relation/column.h"
+#include "relation/csv.h"
+#include "relation/table.h"
+
+namespace galaxy {
+namespace {
+
+// Cell-by-cell table equality with type identity (Value::operator== treats
+// int 3 == double 3.0, which would mask widening bugs).
+void ExpectTablesIdentical(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    EXPECT_EQ(a.schema().column(c).name, b.schema().column(c).name);
+    EXPECT_EQ(a.schema().column(c).type, b.schema().column(c).type)
+        << "column " << a.schema().column(c).name;
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      Value va = a.at(r, c);
+      Value vb = b.at(r, c);
+      EXPECT_EQ(va.type(), vb.type()) << "cell " << r << "," << c;
+      EXPECT_EQ(va, vb) << "cell " << r << "," << c;
+    }
+  }
+}
+
+TEST(ColumnarRoundTrip, BuilderToTableStoresTypedColumns) {
+  TableBuilder b{Schema({{"i", ValueType::kInt64},
+                         {"d", ValueType::kDouble},
+                         {"s", ValueType::kString}})};
+  b.AddRow({1, 1.5, "a"})
+      .AddRow({Value::Null(), 2.5, "b"})
+      .AddRow({3, Value::Null(), Value::Null()});
+  Table t = b.Build();
+
+  const Column& i = t.column(0);
+  EXPECT_EQ(i.type(), ValueType::kInt64);
+  ASSERT_EQ(i.size(), 3u);
+  EXPECT_EQ(i.null_count(), 1u);
+  EXPECT_FALSE(i.is_null(0));
+  EXPECT_TRUE(i.is_null(1));
+  EXPECT_EQ(i.ints()[0], 1);
+  EXPECT_EQ(i.ints()[2], 3);
+
+  const Column& d = t.column(1);
+  EXPECT_EQ(d.type(), ValueType::kDouble);
+  EXPECT_EQ(d.doubles()[1], 2.5);
+  EXPECT_TRUE(d.is_null(2));
+
+  const Column& s = t.column(2);
+  EXPECT_EQ(s.type(), ValueType::kString);
+  EXPECT_EQ(s.strings()[1], "b");
+  EXPECT_TRUE(s.is_null(2));
+}
+
+TEST(ColumnarRoundTrip, BuilderWidensIntIntoDoubleColumn) {
+  TableBuilder b{Schema({{"d", ValueType::kDouble}})};
+  b.AddRow({7}).AddRow({2.5});
+  Table t = b.Build();
+  EXPECT_EQ(t.column(0).type(), ValueType::kDouble);
+  EXPECT_EQ(t.at(0, size_t{0}), Value(7.0));
+  EXPECT_EQ(t.at(0, size_t{0}).type(), ValueType::kDouble);
+}
+
+TEST(ColumnarRoundTrip, CsvRoundTripPreservesCellsNullsAndTypes) {
+  TableBuilder b{Schema({{"name", ValueType::kString},
+                         {"year", ValueType::kInt64},
+                         {"score", ValueType::kDouble}})};
+  // score needs a non-integral double so the reader re-infers kDouble (the
+  // CSV text for 9.0 is "9", which reads back as an int column).
+  b.AddRow({"with, comma", 2001, 9.5})
+      .AddRow({"plain", Value::Null(), 2})  // widened by the builder
+      .AddRow({Value::Null(), 1999, Value::Null()});
+  Table original = b.Build();
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(original, out).ok());
+  auto reread = ReadCsvString(out.str());
+  ASSERT_TRUE(reread.ok()) << reread.status();
+  ExpectTablesIdentical(original, *reread);
+}
+
+TEST(ColumnarRoundTrip, CsvRoundTripAllNullColumnSurvives) {
+  // A column with no non-null cells has no payload to infer a type from;
+  // both the builder (kNull fallback is the schema type) and the CSV
+  // reader must agree the cells are NULL after the trip.
+  TableBuilder b{Schema({{"x", ValueType::kInt64}, {"y", ValueType::kInt64}})};
+  b.AddRow({1, Value::Null()}).AddRow({2, Value::Null()});
+  Table original = b.Build();
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(original, out).ok());
+  auto reread = ReadCsvString(out.str());
+  ASSERT_TRUE(reread.ok()) << reread.status();
+  ASSERT_EQ(reread->num_rows(), 2u);
+  EXPECT_TRUE(reread->at(0, size_t{1}).is_null());
+  EXPECT_TRUE(reread->at(1, size_t{1}).is_null());
+}
+
+TEST(ColumnarRoundTrip, ValidityBitmapAcrossWordBoundary) {
+  // 130 rows spans three 64-bit validity words; every third row is NULL.
+  Column col{ValueType::kInt64};
+  size_t nulls = 0;
+  for (size_t i = 0; i < 130; ++i) {
+    if (i % 3 == 2) {
+      col.AppendNull();
+      ++nulls;
+    } else {
+      col.AppendInt64(static_cast<int64_t>(i));
+    }
+  }
+  EXPECT_EQ(col.size(), 130u);
+  EXPECT_EQ(col.null_count(), nulls);
+  for (size_t i = 0; i < 130; ++i) {
+    EXPECT_EQ(col.is_null(i), i % 3 == 2) << "row " << i;
+    if (i % 3 != 2) {
+      EXPECT_EQ(col.GetValue(i), Value(static_cast<int64_t>(i)));
+    }
+  }
+}
+
+TEST(ColumnarRoundTrip, LateFirstNullBackfillsValidity) {
+  // The bitmap materializes lazily on the first NULL; earlier rows must
+  // read back as valid, including past the first word.
+  Column col{ValueType::kDouble};
+  for (size_t i = 0; i < 70; ++i) col.AppendDouble(1.0);
+  col.AppendNull();
+  for (size_t i = 0; i < 70; ++i) EXPECT_FALSE(col.is_null(i)) << i;
+  EXPECT_TRUE(col.is_null(70));
+}
+
+TEST(ColumnarRoundTrip, ValueColumnBuilderInfersFromFirstNonNull) {
+  // NULL prefix, then a double: the prefix reboxes into the typed column.
+  ValueColumnBuilder b{"c"};
+  ASSERT_TRUE(b.Append(Value::Null()).ok());
+  ASSERT_TRUE(b.Append(Value(2.5)).ok());
+  EXPECT_EQ(b.type(), ValueType::kDouble);
+  Column col = std::move(b).Build(ValueType::kInt64);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_TRUE(col.is_null(0));
+  EXPECT_EQ(col.GetValue(1), Value(2.5));
+}
+
+TEST(ColumnarRoundTrip, ValueColumnBuilderWidensIntToDouble) {
+  ValueColumnBuilder b{"c"};
+  ASSERT_TRUE(b.Append(Value(1)).ok());
+  ASSERT_TRUE(b.Append(Value::Null()).ok());
+  ASSERT_TRUE(b.Append(Value(0.5)).ok());
+  EXPECT_EQ(b.type(), ValueType::kDouble);
+  Column col = std::move(b).Build(ValueType::kInt64);
+  EXPECT_EQ(col.GetValue(0), Value(1.0));
+  EXPECT_EQ(col.GetValue(0).type(), ValueType::kDouble);
+  EXPECT_TRUE(col.is_null(1));
+  EXPECT_EQ(col.GetValue(2), Value(0.5));
+}
+
+TEST(ColumnarRoundTrip, ValueColumnBuilderRejectsMixedTypes) {
+  ValueColumnBuilder b{"tag"};
+  ASSERT_TRUE(b.Append(Value("a")).ok());
+  Status s = b.Append(Value(3));
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("tag"), std::string::npos) << s;
+}
+
+TEST(ColumnarRoundTrip, ValueColumnBuilderAllNullTakesFallback) {
+  ValueColumnBuilder b{"c"};
+  ASSERT_TRUE(b.Append(Value::Null()).ok());
+  ASSERT_TRUE(b.Append(Value::Null()).ok());
+  Column col = std::move(b).Build(ValueType::kString);
+  EXPECT_EQ(col.type(), ValueType::kString);
+  EXPECT_EQ(col.null_count(), 2u);
+}
+
+// --- Zero-copy contract of the batch extraction path ---------------------
+
+TEST(ExtractNumericColumns, DoubleSlicesAliasColumnStorage) {
+  TableBuilder b{Schema({{"a", ValueType::kDouble},
+                         {"n", ValueType::kInt64},
+                         {"b", ValueType::kDouble}})};
+  b.AddRow({1.0, 10, 4.0}).AddRow({2.0, 20, 5.0}).AddRow({3.0, 30, 6.0});
+  Table t = b.Build();
+
+  auto cols = t.ExtractNumericColumns({"a", "b", "n"});
+  ASSERT_TRUE(cols.ok()) << cols.status();
+  ASSERT_EQ(cols->slices.size(), 3u);
+
+  // kDouble columns: the span must point INTO the table's own storage —
+  // this is the property that makes the executor -> kernel handoff copyless.
+  EXPECT_EQ(cols->slices[0].data(), t.column(0).doubles().data());
+  EXPECT_EQ(cols->slices[1].data(), t.column(2).doubles().data());
+  EXPECT_EQ(cols->slices[0].size(), t.num_rows());
+
+  // kInt64 columns are converted exactly once into the owned backing store.
+  EXPECT_NE(cols->slices[2].data(), nullptr);
+  ASSERT_EQ(cols->owned.size(), 1u);
+  EXPECT_EQ(cols->slices[2].data(), cols->owned[0].data());
+  EXPECT_EQ(cols->slices[2][1], 20.0);
+}
+
+TEST(ExtractNumericColumns, EmptyTableYieldsEmptySlices) {
+  Table t{Schema({{"a", ValueType::kDouble}}), std::vector<Row>{}};
+  auto cols = t.ExtractNumericColumns({"a"});
+  ASSERT_TRUE(cols.ok()) << cols.status();
+  ASSERT_EQ(cols->slices.size(), 1u);
+  EXPECT_EQ(cols->slices[0].size(), 0u);
+}
+
+TEST(ExtractNumericColumns, NullAndStringCellsFail) {
+  TableBuilder b{Schema({{"a", ValueType::kDouble}, {"s", ValueType::kString}})};
+  b.AddRow({1.0, "x"}).AddRow({Value::Null(), "y"});
+  Table t = b.Build();
+  EXPECT_FALSE(t.ExtractNumericColumns({"a"}).ok());  // NULL cell
+  EXPECT_FALSE(t.ExtractNumericColumns({"s"}).ok());  // string column
+  EXPECT_FALSE(t.ExtractNumericColumns({"zz"}).ok());  // unknown name
+}
+
+}  // namespace
+}  // namespace galaxy

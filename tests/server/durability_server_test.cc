@@ -110,7 +110,7 @@ class DurabilityServerTest : public ::testing::Test {
     std::vector<std::string> out;
     auto table = db.GetTable("t");
     if (!table.ok()) return out;
-    for (const Row& row : (*table)->rows()) {
+    for (const Row& row : (*table)->DebugRows()) {
       out.push_back(row[0].AsString() + "," +
                     std::to_string(row[1].AsInt64()));
     }

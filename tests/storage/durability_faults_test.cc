@@ -42,7 +42,7 @@ std::vector<std::string> TableRows(const sql::Database& db) {
   std::vector<std::string> out;
   auto table = db.GetTable("t");
   if (!table.ok()) return out;
-  for (const Row& row : (*table)->rows()) {
+  for (const Row& row : (*table)->DebugRows()) {
     out.push_back(row[0].AsString() + "," + std::to_string(row[1].AsInt64()));
   }
   return out;

@@ -48,14 +48,14 @@ TEST(SnapshotCodec, RoundTripPreservesTypesExactly) {
   const Table& movies = (*decoded)[0].table;
   EXPECT_EQ((*decoded)[0].name, "movies");
   ASSERT_EQ(movies.num_rows(), 3u);
-  EXPECT_EQ(movies.rows()[0][0].AsString(), "with, comma");
-  EXPECT_EQ(movies.rows()[1][1].AsInt64(), 2001);
+  EXPECT_EQ(movies.at(0, 0).AsString(), "with, comma");
+  EXPECT_EQ(movies.at(1, 1).AsInt64(), 2001);
   // A double that happens to hold an integral value must stay a double —
   // the CSV surface form would lose this (type inference reads 9 as
   // INT64); the snapshot's typed cells must not.
-  EXPECT_EQ(movies.rows()[0][2].type(), ValueType::kDouble);
-  EXPECT_EQ(movies.rows()[0][2].AsDouble(), 9.0);
-  EXPECT_TRUE(movies.rows()[2][0].is_null());
+  EXPECT_EQ(movies.at(0, 2).type(), ValueType::kDouble);
+  EXPECT_EQ(movies.at(0, 2).AsDouble(), 9.0);
+  EXPECT_TRUE(movies.at(2, 0).is_null());
 
   EXPECT_EQ((*decoded)[1].name, "empty");
   EXPECT_EQ((*decoded)[1].table.num_rows(), 0u);

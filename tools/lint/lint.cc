@@ -314,6 +314,7 @@ struct PathInfo {
   bool in_bench = false;
   bool in_src_core = false;
   bool in_storage = false;
+  bool in_relation = false;
   bool is_mutex_wrapper = false;
   bool is_header = false;
 };
@@ -331,6 +332,7 @@ PathInfo ClassifyPath(const std::string& path) {
   info.in_bench = p.find("bench/") != std::string::npos;
   info.in_src_core = p.find("src/core/") != std::string::npos;
   info.in_storage = p.find("src/storage/") != std::string::npos;
+  info.in_relation = p.find("src/relation/") != std::string::npos;
   info.is_mutex_wrapper = p.find("common/mutex.h") != std::string::npos;
   info.is_header = p.size() >= 2 && p.compare(p.size() - 2, 2, ".h") == 0;
   return info;
@@ -353,6 +355,7 @@ class Linter {
     RawMutex();
     BannedCall();
     RawFileIo();
+    RowMajorAccess();
     NakedNew();
     StatusConsumed();
     PragmaOnce();
@@ -544,6 +547,28 @@ class Linter {
                  "() outside src/storage/; go through the storage Env "
                  "seam (storage/env.h) so durability, crash recovery and "
                  "fault injection see the write");
+    }
+  }
+
+  // ---- row-major-access -------------------------------------------------
+  // MaterializeRow()/DebugRows() box every cell they touch; since the
+  // Table moved to column-major storage they exist only for debug, test
+  // and seeding paths. Outside src/relation/ (the implementation) and
+  // tests/ a call means new code is being written against the old
+  // row-major interface — hot paths must read typed columns
+  // (Table::column + ints()/doubles()/strings()) instead.
+  void RowMajorAccess() {
+    if (info_.in_relation || info_.in_tests) return;
+    for (size_t i = 0; i < toks().size(); ++i) {
+      if (!IsIdent(i)) continue;
+      const std::string& name = toks()[i].text;
+      if (name != "MaterializeRow" && name != "DebugRows") continue;
+      if (!IsPunct(Next(i), "(")) continue;
+      Report(toks()[i].line, "row-major-access",
+             name +
+                 "() boxes whole rows; read typed columns "
+                 "(Table::column) on execution paths, or suppress with a "
+                 "comment explaining why boxing is off the hot path");
     }
   }
 
@@ -808,9 +833,9 @@ bool LintPath(const std::string& path, std::vector<Diagnostic>* out) {
 }
 
 std::vector<std::string> RuleNames() {
-  return {"raw-mutex",       "budget-charge", "banned-call",
-          "raw-file-io",     "naked-new",     "status-consumed",
-          "pragma-once",     "iostream-core"};
+  return {"raw-mutex",       "budget-charge",    "banned-call",
+          "raw-file-io",     "row-major-access", "naked-new",
+          "status-consumed", "pragma-once",      "iostream-core"};
 }
 
 }  // namespace galaxy::lint

@@ -22,6 +22,10 @@
 ///                    std::ofstream/std::fstream) outside src/storage/ —
 ///                    durable writes must go through the storage Env seam.
 ///                    tests/ and bench/ are exempt.
+///   row-major-access Table::MaterializeRow / Table::DebugRows outside
+///                    src/relation/ and tests/ — the Table is column-major;
+///                    execution paths must read typed columns, not boxed
+///                    rows.
 ///   naked-new        a `new` expression (own memory with containers or
 ///                    std::make_unique instead).
 ///   status-consumed  a statement that calls a Status-returning function
