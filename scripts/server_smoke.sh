@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the serving layer.
 #
-# Starts galaxy_served on the bundled movie dataset, drives a short
-# closed-loop burst with galaxy_bench_client (repeated skyline queries
-# plus periodic /update inserts), scrapes /metrics, and asserts:
+# For EACH serving mode (event, threaded): starts galaxy_served on the
+# bundled movie dataset, drives a short closed-loop burst with
+# galaxy_bench_client (repeated skyline queries plus periodic /update
+# inserts), scrapes /metrics, and asserts:
 #   - the bench client saw zero transport errors and zero 5xx responses,
 #   - the result cache produced hits (galaxy_cache_hits_total > 0),
 #   - the server shuts down cleanly on SIGTERM.
@@ -16,6 +17,11 @@ SERVED="$BUILD_DIR/tools/galaxy_served"
 CLIENT="$BUILD_DIR/tools/galaxy_bench_client"
 CSV="galaxy_movies.csv"
 
+# The bundled dataset is generated, not checked in; build it on demand.
+if [[ ! -e "$CSV" && -x "$BUILD_DIR/examples/csv_workflow" ]]; then
+  "$BUILD_DIR/examples/csv_workflow" > /dev/null
+fi
+
 for f in "$SERVED" "$CLIENT" "$CSV"; do
   if [[ ! -e "$f" ]]; then
     echo "server_smoke: missing $f (build the tools and run from the repo root)" >&2
@@ -24,8 +30,6 @@ for f in "$SERVED" "$CLIENT" "$CSV"; do
 done
 
 WORK_DIR="$(mktemp -d)"
-SERVER_LOG="$WORK_DIR/served.log"
-REPORT="$WORK_DIR/report.json"
 SERVER_PID=""
 
 cleanup() {
@@ -37,9 +41,15 @@ cleanup() {
 }
 trap cleanup EXIT
 
+run_mode() {
+local MODE="$1"
+local SERVER_LOG="$WORK_DIR/served_$MODE.log"
+local REPORT="$WORK_DIR/report_$MODE.json"
+
 # --port 0 binds an ephemeral port; parse it from the startup line.
 "$SERVED" --csv "$CSV" --table movies --port 0 \
-  --view "movies:Director:Pop,Qual:0.6" >"$SERVER_LOG" 2>&1 &
+  --view "movies:Director:Pop,Qual:0.6" \
+  --serving-mode "$MODE" >"$SERVER_LOG" 2>&1 &
 SERVER_PID=$!
 
 PORT=""
@@ -58,7 +68,7 @@ if [[ -z "$PORT" ]]; then
   cat "$SERVER_LOG" >&2
   exit 1
 fi
-echo "server_smoke: galaxy_served up on port $PORT"
+echo "server_smoke: galaxy_served up on port $PORT ($MODE mode)"
 
 http_get() {
   python3 - "$1" <<'EOF'
@@ -126,7 +136,12 @@ wait "$SERVER_PID"
 STATUS=$?
 SERVER_PID=""
 if [[ "$STATUS" -ne 0 ]]; then
-  echo "server_smoke: server exited with status $STATUS on SIGTERM" >&2
+  echo "server_smoke: $MODE server exited with status $STATUS on SIGTERM" >&2
   exit 1
 fi
+echo "server_smoke: $MODE mode ok"
+}
+
+run_mode event
+run_mode threaded
 echo "server_smoke: PASS"

@@ -232,6 +232,15 @@ const char* HttpStatusText(int status) {
   }
 }
 
+HttpResponse JsonErrorResponse(int http_status, const Status& status) {
+  HttpResponse response;
+  response.status = http_status;
+  response.body = std::string("{\"error\": \"") + JsonEscape(status.message()) +
+                  "\", \"code\": \"" + StatusCodeToString(status.code()) +
+                  "\"}\n";
+  return response;
+}
+
 std::string SerializeResponse(const HttpResponse& response) {
   std::string out;
   out.reserve(response.body.size() + 256);

@@ -73,6 +73,12 @@ struct HttpResponse {
 /// Standard reason phrase for the status codes the server emits.
 const char* HttpStatusText(int status);
 
+/// The server's uniform JSON error envelope:
+/// {"error": "...", "code": "InvalidArgument"}. Shared between the request
+/// router and the connection layers (both serving modes reject malformed
+/// requests with the same body shape).
+HttpResponse JsonErrorResponse(int http_status, const Status& status);
+
 /// Renders status line + headers (Content-Type, Content-Length, extras,
 /// Connection) + body.
 std::string SerializeResponse(const HttpResponse& response);

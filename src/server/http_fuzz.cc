@@ -1,10 +1,12 @@
 #include "server/http_fuzz.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "server/connection.h"
 #include "server/http.h"
 
 namespace galaxy::server {
@@ -149,6 +151,146 @@ std::string Garbage(Rng& rng) {
 }
 
 }  // namespace
+
+std::string FuzzConnection(uint64_t seed, int iterations,
+                           ConnFuzzStats* stats) {
+  Rng rng(seed ^ 0x436f6e6eULL);  // "Conn"
+  ConnFuzzStats local;
+  ConnFuzzStats* s = stats != nullptr ? stats : &local;
+
+  auto fail = [](const std::string& what, std::string_view input) {
+    return what + " stream=\"" + EscapeForReport(input) + "\"";
+  };
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    ++s->streams;
+
+    // A pipeline of valid requests, optionally ending in adversarial bytes
+    // whose framing the machine must refuse to guess past.
+    size_t num_valid = rng.Below(4);
+    std::vector<GeneratedRequest> expected;
+    std::string stream;
+    for (size_t i = 0; i < num_valid; ++i) {
+      expected.push_back(GenerateValid(rng));
+      stream += expected.back().wire;
+    }
+    enum class Tail { kClean, kPartial, kAdversarial };
+    Tail tail = static_cast<Tail>(rng.Below(3));
+    std::string partial;
+    if (tail == Tail::kPartial) {
+      GeneratedRequest next = GenerateValid(rng);
+      partial = next.wire.substr(0, rng.Below(next.wire.size()));
+      stream += partial;
+    } else if (tail == Tail::kAdversarial) {
+      // Mutated request or raw garbage; may still parse, may poison.
+      stream += rng.Below(2) == 0 ? Mutate(rng, GenerateValid(rng).wire)
+                                  : Garbage(rng);
+    }
+
+    // Feed the stream across randomized read boundaries: mostly small
+    // chunks, frequently single bytes — the splits a slow peer or a
+    // 1-byte-at-a-time test produces.
+    ConnectionMachine machine(/*max_buffered_bytes=*/1 << 20);
+    size_t offset = 0;
+    size_t extracted = 0;
+    bool saw_error = false;
+    while (offset < stream.size() || offset == 0) {
+      size_t chunk_len = rng.Below(3) == 0
+                             ? 1
+                             : 1 + rng.Below(64);
+      chunk_len = std::min(chunk_len, stream.size() - offset);
+      machine.Append(std::string_view(stream).substr(offset, chunk_len));
+      offset += chunk_len;
+      ++s->chunks;
+
+      // Drain everything extractable at this boundary, like the event
+      // loop's dispatch cycle does.
+      for (;;) {
+        HttpRequest req;
+        ConnectionMachine::Next next = machine.TakeRequest(&req);
+        if (next == ConnectionMachine::Next::kNeedMore) {
+          if (machine.poisoned()) {
+            return fail("kNeedMore from a poisoned machine", stream);
+          }
+          break;
+        }
+        if (next == ConnectionMachine::Next::kError) {
+          saw_error = true;
+          ++s->poisoned;
+          if (!machine.poisoned()) {
+            return fail("kError without poisoning", stream);
+          }
+          if (machine.error_status().ok()) {
+            return fail("kError with ok Status", stream);
+          }
+          if (machine.http_status() < 400 || machine.http_status() > 599) {
+            return fail("kError with non-4xx/5xx status", stream);
+          }
+          break;
+        }
+        ++s->requests;
+        if (extracted < expected.size()) {
+          const GeneratedRequest& want = expected[extracted];
+          if (req.method != want.method ||
+              req.path != "/" + want.path_component ||
+              req.body != want.body) {
+            return fail("pipelined request #" + std::to_string(extracted) +
+                            " extracted out of order or corrupted",
+                        stream);
+          }
+        }
+        ++extracted;
+      }
+      if (saw_error || stream.empty()) break;
+    }
+
+    if (!saw_error && extracted < expected.size()) {
+      return fail("only " + std::to_string(extracted) + " of " +
+                      std::to_string(expected.size()) +
+                      " pipelined requests extracted",
+                  stream);
+    }
+    if (tail == Tail::kClean && !saw_error && extracted != expected.size()) {
+      return fail("clean stream fabricated an extra request", stream);
+    }
+    if (tail == Tail::kPartial && !saw_error &&
+        machine.buffered_bytes() != partial.size()) {
+      return fail("partial tail not held back intact", stream);
+    }
+
+    // Stickiness: once poisoned, every further interaction must keep
+    // reporting the same error — pipelined bytes after a framing error
+    // are unreachable by design.
+    if (saw_error) {
+      int status = machine.http_status();
+      machine.Append("GET / HTTP/1.1\r\n\r\n");
+      HttpRequest req;
+      if (machine.TakeRequest(&req) != ConnectionMachine::Next::kError) {
+        return fail("poisoned machine accepted new bytes", stream);
+      }
+      if (machine.http_status() != status) {
+        return fail("poisoned machine changed its status code", stream);
+      }
+    }
+  }
+
+  // Overflow backstop: a terminator-free flood past the cap must poison
+  // with 413 rather than buffer without bound.
+  {
+    ++s->streams;
+    ConnectionMachine machine(/*max_buffered_bytes=*/4096);
+    std::string flood(8192, 'A');
+    machine.Append(flood);
+    HttpRequest req;
+    if (machine.TakeRequest(&req) != ConnectionMachine::Next::kError ||
+        machine.http_status() != 413) {
+      return fail("input overflow did not poison with 413", flood);
+    }
+    ++s->poisoned;
+  }
+
+  return "";
+}
 
 std::string FuzzHttp(uint64_t seed, int iterations, HttpFuzzStats* stats) {
   Rng rng(seed ^ 0x48747470ULL);  // "Http"

@@ -26,5 +26,28 @@ struct HttpFuzzStats {
 std::string FuzzHttp(uint64_t seed, int iterations,
                      HttpFuzzStats* stats = nullptr);
 
+/// Counters of one connection-state-machine fuzz campaign.
+struct ConnFuzzStats {
+  uint64_t streams = 0;    ///< byte streams fed to a fresh machine
+  uint64_t chunks = 0;     ///< Append calls (randomized read boundaries)
+  uint64_t requests = 0;   ///< complete requests extracted
+  uint64_t poisoned = 0;   ///< streams that poisoned the machine
+};
+
+/// Feeds `iterations` randomized byte streams through ConnectionMachine,
+/// the event engine's pure per-connection state machine. Each stream is a
+/// pipeline of generated valid requests — optionally with a mutated or
+/// garbage tail — delivered across randomized read-boundary splits (down
+/// to one byte per Append). Asserts: the requests before any malformed
+/// bytes are extracted intact and in pipeline order regardless of how the
+/// stream was chunked; TakeRequest never fabricates a request from a
+/// partial prefix; a parse error or input-buffer overflow poisons the
+/// machine with a 4xx/5xx status and poisoning is sticky (bytes after a
+/// framing error are never reinterpreted). Deterministic in `seed`.
+/// Returns "" when the contract held everywhere, else a description of
+/// the first violation.
+std::string FuzzConnection(uint64_t seed, int iterations,
+                           ConnFuzzStats* stats = nullptr);
+
 }  // namespace galaxy::server
 

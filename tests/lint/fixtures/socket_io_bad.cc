@@ -1,0 +1,38 @@
+// Known-bad fixture: raw socket I/O the blocking-socket-io rule must
+// catch outside src/server/event_loop.*.
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cstddef>
+
+void BadSocketCalls(int fd, char* buf, size_t size, const sockaddr* addr,
+                    socklen_t len) {
+  (void)::recv(fd, buf, size, 0);       // flagged
+  (void)::send(fd, buf, size, 0);       // flagged
+  (void)recvfrom(fd, buf, size, 0, nullptr, nullptr);  // flagged
+  (void)sendto(fd, buf, size, 0, addr, len);           // flagged
+  (void)::accept(fd, nullptr, nullptr);                // flagged
+  (void)::connect(fd, addr, len);                      // flagged
+}
+
+void NotFlagged(int fd, const char* data, size_t size) {
+  // Member calls named like syscalls are a different function.
+  struct Channel {
+    void send(const char*, size_t) {}
+    void connect(int) {}
+  } chan;
+  chan.send(data, size);
+  chan.connect(fd);
+}
+
+// `ssize_t recv(...)` is a declaration, not a call.
+ssize_t recv(int fd, void* buf, size_t len, int flags);
+
+namespace reviewed {
+// A reviewed suppression on the offending line: the fd is non-blocking
+// and drained until EAGAIN under the event loop.
+void Allowed(int fd, char* buf, size_t size) {
+  (void)::recv(fd, buf, size, 0);  // galaxy-lint: allow(blocking-socket-io)
+}
+}  // namespace reviewed

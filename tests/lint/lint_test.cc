@@ -105,6 +105,22 @@ TEST(LintRules, RawFileIoExemptsStorageTestsAndBench) {
   }
 }
 
+TEST(LintRules, BlockingSocketIoFlagsRawSocketCalls) {
+  auto diags = LintFixture("socket_io_bad.cc", "src/server/socket_io_bad.cc");
+  // ::recv, ::send, recvfrom, sendto, ::accept, ::connect — not the member
+  // calls, the declaration, or the suppressed ::recv.
+  EXPECT_EQ(CountRule(diags, "blocking-socket-io"), 6u);
+}
+
+TEST(LintRules, BlockingSocketIoExemptsEventLoopTestsAndBench) {
+  for (const char* path : {"src/server/event_loop.cc",
+                           "tests/server/socket_io_bad.cc",
+                           "bench/socket_io_bad.cc"}) {
+    auto diags = LintFixture("socket_io_bad.cc", path);
+    EXPECT_EQ(CountRule(diags, "blocking-socket-io"), 0u) << path;
+  }
+}
+
 TEST(LintRules, RowMajorAccessFlagsBoxedRowCalls) {
   auto diags = LintFixture("row_major_bad.cc", "src/sql/row_major_bad.cc");
   // MaterializeRow + DebugRows; the suppressed seeding call is exempt.
@@ -200,7 +216,7 @@ TEST(LintLexer, DiagnosticFormat) {
 
 TEST(LintApi, RuleNamesStable) {
   auto names = RuleNames();
-  EXPECT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.size(), 10u);
 }
 
 }  // namespace

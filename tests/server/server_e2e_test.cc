@@ -1,10 +1,16 @@
 // End-to-end serving-layer tests over real loopback sockets: round trips,
 // admission-control rejection, deterministic graceful degradation (206),
 // result-cache hits and their invalidation by /update, the incremental
-// skyline view, and the metrics endpoint.
+// skyline view, the metrics endpoint, and the idle/slowloris guard.
+//
+// The whole suite is parameterized over ServingMode and runs once against
+// the event-driven engine and once against the legacy thread-per-
+// connection path — the two models must be behaviorally indistinguishable
+// from the wire.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,6 +19,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -110,11 +117,12 @@ Table GroupedTable(int groups, int per_group, uint64_t seed) {
   return Table(schema, std::move(rows));
 }
 
-class ServerE2eTest : public ::testing::Test {
+class ServerE2eTest : public ::testing::TestWithParam<ServingMode> {
  protected:
   void StartServer(Table table, ServerOptions options = {}) {
     db_.Register("data", std::move(table));
     options.port = 0;  // ephemeral
+    options.mode = GetParam();
     server_ = std::make_unique<Server>(&db_, options);
     ASSERT_TRUE(server_->Start().ok());
     port_ = server_->port();
@@ -126,7 +134,14 @@ class ServerE2eTest : public ::testing::Test {
   uint16_t port_ = 0;
 };
 
-TEST_F(ServerE2eTest, HealthzAndUnknownRoutes) {
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ServerE2eTest,
+    ::testing::Values(ServingMode::kEvent, ServingMode::kThreaded),
+    [](const ::testing::TestParamInfo<ServingMode>& info) {
+      return info.param == ServingMode::kEvent ? "Event" : "Threaded";
+    });
+
+TEST_P(ServerE2eTest, HealthzAndUnknownRoutes) {
   StartServer(GroupedTable(2, 2, 1));
   ClientResponse health =
       Exchange(port_, "GET /healthz HTTP/1.1\r\n\r\n");
@@ -140,7 +155,7 @@ TEST_F(ServerE2eTest, HealthzAndUnknownRoutes) {
   EXPECT_EQ(Exchange(port_, "BAD\r\n\r\n").status, 400);
 }
 
-TEST_F(ServerE2eTest, QueryRoundTripJsonAndCsv) {
+TEST_P(ServerE2eTest, QueryRoundTripJsonAndCsv) {
   StartServer(GroupedTable(3, 4, 2));
   const std::string sql =
       "SELECT class, count(*) FROM data GROUP BY class ORDER BY class";
@@ -161,7 +176,7 @@ TEST_F(ServerE2eTest, QueryRoundTripJsonAndCsv) {
   EXPECT_NE(csv.body.find("g0,4"), std::string::npos);
 }
 
-TEST_F(ServerE2eTest, BadSqlIs400AndEmptyBodyIs400) {
+TEST_P(ServerE2eTest, BadSqlIs400AndEmptyBodyIs400) {
   StartServer(GroupedTable(2, 2, 3));
   EXPECT_EQ(Exchange(port_, QueryRequest("SELECT FROM nothing")).status, 400);
   EXPECT_EQ(Exchange(port_, QueryRequest("SELECT * FROM missing")).status,
@@ -171,7 +186,7 @@ TEST_F(ServerE2eTest, BadSqlIs400AndEmptyBodyIs400) {
   EXPECT_EQ(empty.status, 400);
 }
 
-TEST_F(ServerE2eTest, OverloadReturns429) {
+TEST_P(ServerE2eTest, OverloadReturns429) {
   ServerOptions options;
   options.admission.max_concurrent = 1;
   options.admission.queue_capacity = 0;
@@ -202,7 +217,7 @@ TEST_F(ServerE2eTest, OverloadReturns429) {
   EXPECT_EQ(other.load(), 0);
 }
 
-TEST_F(ServerE2eTest, ComparisonBudgetDegradesTo206) {
+TEST_P(ServerE2eTest, ComparisonBudgetDegradesTo206) {
   StartServer(GroupedTable(50, 100, 5));
   const std::string sql =
       "SELECT class FROM data GROUP BY class "
@@ -237,7 +252,7 @@ TEST_F(ServerE2eTest, ComparisonBudgetDegradesTo206) {
   }
 }
 
-TEST_F(ServerE2eTest, TinyWallDeadlineIsBoundedAndSound) {
+TEST_P(ServerE2eTest, TinyWallDeadlineIsBoundedAndSound) {
   StartServer(GroupedTable(40, 60, 6));
   const std::string sql =
       "SELECT class FROM data GROUP BY class "
@@ -255,7 +270,7 @@ TEST_F(ServerE2eTest, TinyWallDeadlineIsBoundedAndSound) {
   }
 }
 
-TEST_F(ServerE2eTest, CacheHitThenInvalidationAfterUpdate) {
+TEST_P(ServerE2eTest, CacheHitThenInvalidationAfterUpdate) {
   StartServer(GroupedTable(3, 3, 7));
   const std::string sql =
       "SELECT class, count(*) FROM data GROUP BY class ORDER BY class";
@@ -292,7 +307,7 @@ TEST_F(ServerE2eTest, CacheHitThenInvalidationAfterUpdate) {
   EXPECT_GE(stats.invalidations, 1u);
 }
 
-TEST_F(ServerE2eTest, UpdateValidation) {
+TEST_P(ServerE2eTest, UpdateValidation) {
   StartServer(GroupedTable(2, 2, 8));
   // Unknown table.
   EXPECT_EQ(Exchange(port_,
@@ -320,7 +335,7 @@ TEST_F(ServerE2eTest, UpdateValidation) {
             404);
 }
 
-TEST_F(ServerE2eTest, SkylineViewMaintainedAcrossUpdates) {
+TEST_P(ServerE2eTest, SkylineViewMaintainedAcrossUpdates) {
   StartServer(GroupedTable(3, 5, 9));
   SkylineViewConfig view;
   view.table = "data";
@@ -361,7 +376,7 @@ TEST_F(ServerE2eTest, SkylineViewMaintainedAcrossUpdates) {
   EXPECT_EQ(restored.body.find("\"champ\""), std::string::npos);
 }
 
-TEST_F(ServerE2eTest, MetricsEndpointReportsServingCounters) {
+TEST_P(ServerE2eTest, MetricsEndpointReportsServingCounters) {
   StartServer(GroupedTable(2, 3, 10));
   const std::string sql = "SELECT count(*) FROM data";
   EXPECT_EQ(Exchange(port_, QueryRequest(sql)).status, 200);
@@ -383,7 +398,7 @@ TEST_F(ServerE2eTest, MetricsEndpointReportsServingCounters) {
   }
 }
 
-TEST_F(ServerE2eTest, KeepAliveServesSequentialRequestsOnOneConnection) {
+TEST_P(ServerE2eTest, KeepAliveServesSequentialRequestsOnOneConnection) {
   StartServer(GroupedTable(2, 2, 11));
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   ASSERT_GE(fd, 0);
@@ -409,7 +424,136 @@ TEST_F(ServerE2eTest, KeepAliveServesSequentialRequestsOnOneConnection) {
   ::close(fd);
 }
 
-TEST_F(ServerE2eTest, StopUnblocksOpenConnections) {
+TEST_P(ServerE2eTest, PipelinedRequestsAnsweredInOrder) {
+  StartServer(GroupedTable(2, 2, 13));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // Three requests in one write, no waiting in between: a liveness probe,
+  // a query, and an unknown route. HTTP/1.1 pipelining requires the
+  // responses back in exactly that order.
+  const std::string sql = "SELECT count(*) FROM data";
+  const std::string batch = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n" +
+                            QueryRequest(sql) +
+                            "GET /nowhere HTTP/1.1\r\nHost: t\r\n\r\n";
+  size_t sent = 0;
+  while (sent < batch.size()) {
+    ssize_t n =
+        ::send(fd, batch.data() + sent, batch.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string buffer;
+  char chunk[8192];
+  std::vector<int> statuses;
+  std::vector<std::string> bodies;
+  while (statuses.size() < 3) {
+    size_t header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) {
+      std::string headers = buffer.substr(0, header_end + 4);
+      size_t content_length = 0;
+      size_t cl = headers.find("Content-Length:");
+      if (cl != std::string::npos) {
+        content_length = static_cast<size_t>(
+            std::strtoull(headers.c_str() + cl + 15, nullptr, 10));
+      }
+      size_t total = header_end + 4 + content_length;
+      if (buffer.size() >= total) {
+        statuses.push_back(std::atoi(headers.c_str() + 9));
+        bodies.push_back(buffer.substr(header_end + 4, content_length));
+        buffer.erase(0, total);
+        continue;
+      }
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0) << "connection closed after " << statuses.size()
+                    << " responses";
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_EQ(statuses[0], 200);
+  EXPECT_EQ(bodies[0], "ok\n");
+  EXPECT_EQ(statuses[1], 200);
+  EXPECT_NE(bodies[1].find("\"rows\""), std::string::npos);
+  EXPECT_EQ(statuses[2], 404);
+}
+
+TEST_P(ServerE2eTest, RequestSplitIntoSingleByteWritesParses) {
+  StartServer(GroupedTable(2, 2, 14));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // Worst-case read fragmentation: every byte of the request is its own
+  // TCP segment. The incremental parser must reassemble it exactly.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const std::string request = QueryRequest("SELECT count(*) FROM data");
+  for (char c : request) {
+    ASSERT_EQ(::send(fd, &c, 1, MSG_NOSIGNAL), 1);
+  }
+  std::string buffer;
+  char chunk[8192];
+  while (buffer.find("\"rows\"") == std::string::npos) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0);
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  EXPECT_NE(buffer.find("HTTP/1.1 200"), std::string::npos);
+  ::close(fd);
+}
+
+TEST_P(ServerE2eTest, StalledHalfRequestIsIdleClosedAndCounted) {
+  ServerOptions options;
+  options.idle_timeout = std::chrono::milliseconds(200);
+  StartServer(GroupedTable(2, 2, 15), options);
+
+  // A slowloris-style client: half a request, then silence. The server
+  // must close the connection after the idle window and count it.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string half = "POST /query HTTP/1.1\r\nContent-Le";
+  ASSERT_GT(::send(fd, half.data(), half.size(), MSG_NOSIGNAL), 0);
+
+  // recv returns 0 (EOF) when the server closes; block until it does. The
+  // 200ms window plus scheduling slack stays far under the test timeout.
+  char chunk[256];
+  ssize_t n;
+  do {
+    n = ::recv(fd, chunk, sizeof(chunk), 0);
+  } while (n > 0);
+  EXPECT_EQ(n, 0) << "expected clean server-side close, got errno " << errno;
+  ::close(fd);
+
+  ClientResponse metrics = Exchange(port_, "GET /metrics HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(metrics.status, 200);
+  // Anchor at line start: a bare find() would land on the # HELP line.
+  size_t pos = metrics.body.find("\ngalaxy_connections_idle_closed ");
+  ASSERT_NE(pos, std::string::npos);
+  int closed = std::atoi(metrics.body.c_str() + pos +
+                         std::strlen("\ngalaxy_connections_idle_closed "));
+  EXPECT_GE(closed, 1);
+}
+
+TEST_P(ServerE2eTest, StopUnblocksOpenConnections) {
   StartServer(GroupedTable(2, 2, 12));
   // Open a connection, send nothing, then stop the server: Stop() must
   // return promptly (shutdown unblocks the connection's recv).

@@ -1,4 +1,4 @@
-// galaxy_bench_client — closed-loop load generator for galaxy_served.
+// galaxy_bench_client — load generator for galaxy_served.
 //
 //   galaxy_bench_client --port 8080 [--host 127.0.0.1]
 //                       [--sql "SELECT ..."] [--connections 4]
@@ -6,16 +6,32 @@
 //                       [--deadline-ms 0] [--deadline-dist fixed|exp]
 //                       [--update-every 0] [--update-table T]
 //                       [--update-body "csv,row"] [--accept json|csv]
+//                       [--open-loop] [--ramp-batch 512]
 //                       [--seed 1] [--out results.json]
 //
-// Each connection thread runs a closed loop: send POST /query, wait for
-// the full response, record the latency, repeat — optionally paced to
-// --qps (split evenly across connections) and optionally interleaving a
-// POST /update every --update-every requests (which exercises cache
-// invalidation on the server). --deadline-ms attaches X-Galaxy-Timeout-Ms
-// to each request; with --deadline-dist exp the per-request deadline is
-// drawn from an exponential distribution with that mean, which produces a
-// mix of exact (200) and degraded (206) answers.
+// Reviewed: a load generator lives on raw sockets by definition — the
+// closed-loop workers block on purpose (one request outstanding each) and
+// the open-loop engine runs every socket non-blocking under poll(2).
+// galaxy-lint: allow-file(blocking-socket-io)
+//
+// Default (closed-loop) mode: each connection gets a thread running send
+// POST /query, wait for the full response, record the latency, repeat —
+// optionally paced to --qps (split evenly across connections) and
+// optionally interleaving a POST /update every --update-every requests
+// (which exercises cache invalidation on the server). --deadline-ms
+// attaches X-Galaxy-Timeout-Ms to each request; with --deadline-dist exp
+// the per-request deadline is drawn from an exponential distribution with
+// that mean, which produces a mix of exact (200) and degraded (206)
+// answers.
+//
+// --open-loop holds --connections (10k+ works) concurrent sockets from a
+// SINGLE thread: non-blocking connects ramped --ramp-batch at a time (so
+// the SYN burst never overruns the server's listen backlog), a poll(2)
+// readiness loop, and a per-connection send/read state machine issuing
+// back-to-back requests. This is the C10K harness for
+// `galaxy_served --serving-mode=event`; thread-per-connection clients
+// cannot reach these counts. Open-loop requires --duration-s and ignores
+// --qps/--update-every/--requests.
 //
 // The JSON report (stdout, or --out) contains per-status counts, latency
 // mean/p50/p90/p99 in milliseconds, and the full power-of-two latency
@@ -27,8 +43,11 @@
 // 1 on transport errors, 2 on usage errors.
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -43,6 +62,7 @@
 #include <initializer_list>
 #include <map>
 #include <random>
+#include <string_view>
 #include <set>
 #include <string>
 #include <thread>
@@ -127,6 +147,8 @@ struct BenchConfig {
   int64_t update_every = 0;  // 0 = queries only
   std::string update_table;
   std::string update_body;
+  bool open_loop = false;
+  int64_t ramp_batch = 512;  // open-loop: concurrent connect attempts
   uint64_t seed = 1;
 };
 
@@ -136,6 +158,7 @@ struct WorkerResult {
   uint64_t transport_errors = 0;
   uint64_t cache_hits = 0;
   uint64_t degraded = 0;
+  size_t peak_open = 0;  // open-loop only: connections open at run end
 };
 
 // Blocking connect to the bench target; -1 on failure.
@@ -313,6 +336,255 @@ void RunWorker(const BenchConfig& config, int worker_id,
   if (fd >= 0) ::close(fd);
 }
 
+// Non-blocking variant of ReadResponse's scan: if `buffer` starts with one
+// complete response, consumes it and returns true.
+bool TryConsumeResponse(std::string* buffer, int* status, bool* cache_hit,
+                        bool* degraded, bool* close_after) {
+  size_t header_end = buffer->find("\r\n\r\n");
+  if (header_end == std::string::npos) return false;
+  std::string_view headers(buffer->data(), header_end + 4);
+  if (headers.size() < 12 || headers.compare(0, 5, "HTTP/") != 0) {
+    *status = 0;  // Garbage on the wire; caller treats as transport error.
+    return true;
+  }
+  size_t content_length = 0;
+  size_t cl = headers.find("Content-Length:");
+  if (cl != std::string::npos) {
+    content_length = static_cast<size_t>(
+        std::strtoull(buffer->c_str() + cl + 15, nullptr, 10));
+  }
+  size_t total = header_end + 4 + content_length;
+  if (buffer->size() < total) return false;
+  *status = std::atoi(buffer->c_str() + 9);
+  *cache_hit = headers.find("X-Galaxy-Cache: hit") != std::string_view::npos;
+  *degraded = *status == 206 ||
+              headers.find("approximate-superset") != std::string_view::npos;
+  *close_after = headers.find("Connection: close") != std::string_view::npos;
+  buffer->erase(0, total);
+  return true;
+}
+
+// Raises RLIMIT_NOFILE to the hard cap so 10k+ sockets fit. Best effort.
+void RaiseFdLimit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  if (lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+  }
+}
+
+// ---- Open-loop engine ------------------------------------------------------
+//
+// One thread, N non-blocking sockets, poll(2) readiness. Each connection
+// cycles kConnecting -> kSending -> kReading -> kSending ... issuing
+// back-to-back requests; latency is measured from first request byte to
+// last response byte. Failed or server-closed connections reconnect, so
+// the target concurrency is held for the whole run.
+struct OpenConn {
+  enum class State { kIdle, kConnecting, kSending, kReading };
+  int fd = -1;
+  State state = State::kIdle;
+  size_t send_offset = 0;
+  std::string inbuf;
+  std::chrono::steady_clock::time_point sent_at;
+};
+
+void OpenConnClose(OpenConn* conn) {
+  if (conn->fd >= 0) ::close(conn->fd);
+  conn->fd = -1;
+  conn->state = OpenConn::State::kIdle;
+  conn->send_offset = 0;
+  conn->inbuf.clear();
+}
+
+// Starts a non-blocking connect; the poll loop completes it via POLLOUT.
+bool OpenConnStart(const BenchConfig& config, const sockaddr_in& addr,
+                   OpenConn* conn) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return false;
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  (void)config;
+  conn->fd = fd;
+  conn->state = OpenConn::State::kConnecting;
+  conn->send_offset = 0;
+  conn->inbuf.clear();
+  return true;
+}
+
+void RunOpenLoop(const BenchConfig& config, const std::string& request,
+                 std::chrono::steady_clock::time_point stop_at,
+                 WorkerResult* out) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1) {
+    ++out->transport_errors;
+    return;
+  }
+
+  const size_t target = static_cast<size_t>(config.connections);
+  std::vector<OpenConn> conns(target);
+  std::vector<pollfd> pfds;
+  pfds.reserve(target);
+  out->latencies_us.reserve(1 << 20);
+
+  auto now = std::chrono::steady_clock::now();
+  while (now < stop_at) {
+    // Ramp: keep at most --ramp-batch connects in flight so the SYN burst
+    // stays inside the server's listen backlog.
+    size_t connecting = 0;
+    for (const OpenConn& c : conns) {
+      if (c.state == OpenConn::State::kConnecting) ++connecting;
+    }
+    for (OpenConn& c : conns) {
+      if (connecting >= static_cast<size_t>(config.ramp_batch)) break;
+      if (c.state != OpenConn::State::kIdle) continue;
+      if (OpenConnStart(config, addr, &c)) {
+        ++connecting;
+      } else {
+        ++out->transport_errors;
+      }
+    }
+
+    pfds.clear();
+    for (OpenConn& c : conns) {
+      if (c.fd < 0) continue;
+      short events = 0;
+      switch (c.state) {
+        case OpenConn::State::kConnecting:
+          events = POLLOUT;
+          break;
+        case OpenConn::State::kSending:
+          events = POLLOUT;
+          break;
+        case OpenConn::State::kReading:
+          events = POLLIN;
+          break;
+        case OpenConn::State::kIdle:
+          continue;
+      }
+      pfds.push_back(pollfd{c.fd, events, 0});
+    }
+    if (pfds.empty()) {
+      ++out->transport_errors;
+      return;  // Nothing connectable at all — give up instead of spinning.
+    }
+    ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/100);
+
+    // Index connections by fd for the (sparse) ready subset.
+    std::map<int, OpenConn*> by_fd;
+    for (OpenConn& c : conns) {
+      if (c.fd >= 0) by_fd[c.fd] = &c;
+    }
+    for (const pollfd& p : pfds) {
+      if (p.revents == 0) continue;
+      OpenConn* c = by_fd[p.fd];
+      if (c == nullptr) continue;
+      if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          c->state == OpenConn::State::kConnecting) {
+        ++out->transport_errors;
+        OpenConnClose(c);
+        continue;
+      }
+      if (c->state == OpenConn::State::kConnecting) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(c->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+          ++out->transport_errors;
+          OpenConnClose(c);
+          continue;
+        }
+        c->state = OpenConn::State::kSending;
+        c->sent_at = std::chrono::steady_clock::now();
+      }
+      if (c->state == OpenConn::State::kSending &&
+          (p.revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+        while (c->send_offset < request.size()) {
+          ssize_t n = ::send(c->fd, request.data() + c->send_offset,
+                             request.size() - c->send_offset, MSG_NOSIGNAL);
+          if (n > 0) {
+            c->send_offset += static_cast<size_t>(n);
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          ++out->transport_errors;
+          OpenConnClose(c);
+          break;
+        }
+        if (c->fd >= 0 && c->send_offset == request.size()) {
+          c->state = OpenConn::State::kReading;
+        }
+      }
+      if (c->fd >= 0 && c->state == OpenConn::State::kReading &&
+          (p.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        char chunk[8192];
+        bool closed = false;
+        for (;;) {
+          ssize_t n = ::recv(c->fd, chunk, sizeof(chunk), 0);
+          if (n > 0) {
+            c->inbuf.append(chunk, static_cast<size_t>(n));
+            if (static_cast<size_t>(n) < sizeof(chunk)) break;
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          closed = true;
+          break;
+        }
+        int status = 0;
+        bool cache_hit = false, degraded = false, close_after = false;
+        if (TryConsumeResponse(&c->inbuf, &status, &cache_hit, &degraded,
+                               &close_after)) {
+          if (status == 0) {
+            ++out->transport_errors;
+            OpenConnClose(c);
+            continue;
+          }
+          auto elapsed =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - c->sent_at);
+          out->latencies_us.push_back(static_cast<uint64_t>(elapsed.count()));
+          ++out->status_counts[status];
+          if (cache_hit) ++out->cache_hits;
+          if (degraded) ++out->degraded;
+          if (close_after) {
+            OpenConnClose(c);  // Reconnects on the next ramp pass.
+          } else {
+            // Next request, back to back.
+            c->state = OpenConn::State::kSending;
+            c->send_offset = 0;
+            c->sent_at = std::chrono::steady_clock::now();
+          }
+          continue;
+        }
+        if (closed) {
+          // EOF mid-response (idle-closed by the server under overload, or
+          // shutdown): a dropped in-flight request is a transport error.
+          if (c->send_offset > 0) ++out->transport_errors;
+          OpenConnClose(c);
+        }
+      }
+    }
+    now = std::chrono::steady_clock::now();
+  }
+  size_t still_open = 0;
+  for (OpenConn& c : conns) {
+    if (c.fd >= 0) ++still_open;
+    OpenConnClose(&c);
+  }
+  out->peak_open = still_open;
+}
+
 double Quantile(const std::vector<uint64_t>& sorted, double q) {
   if (sorted.empty()) return 0;
   double pos = q * static_cast<double>(sorted.size() - 1);
@@ -331,7 +603,8 @@ int main(int argc, char** argv) {
       !flags.CheckAllowed({"host", "port", "sql", "accept", "connections",
                            "requests", "duration-s", "qps", "deadline-ms",
                            "deadline-dist", "update-every", "update-table",
-                           "update-body", "seed", "out"})) {
+                           "update-body", "seed", "out", "open-loop",
+                           "ramp-batch"})) {
     std::fprintf(stderr, "galaxy_bench_client: %s\n", flags.error().c_str());
     return 2;
   }
@@ -363,8 +636,9 @@ int main(int argc, char** argv) {
   auto deadline_ms = flags.GetInt("deadline-ms", 0);
   auto update_every = flags.GetInt("update-every", 0);
   auto seed = flags.GetInt("seed", 1);
+  auto ramp_batch = flags.GetInt("ramp-batch", 512);
   for (const auto* v : {&port, &connections, &requests, &duration_s, &qps,
-                        &deadline_ms, &update_every, &seed}) {
+                        &deadline_ms, &update_every, &seed, &ramp_batch}) {
     if (!v->ok()) {
       std::fprintf(stderr, "galaxy_bench_client: %s\n",
                    v->status().message().c_str());
@@ -383,20 +657,43 @@ int main(int argc, char** argv) {
   config.deadline_ms = *deadline_ms;
   config.update_every = *update_every;
   config.seed = static_cast<uint64_t>(*seed);
+  config.open_loop = flags.Has("open-loop") && flags.Get("open-loop") != "false";
+  config.ramp_batch = *ramp_batch;
+  if (config.ramp_batch <= 0) {
+    std::fprintf(stderr, "galaxy_bench_client: --ramp-batch must be > 0\n");
+    return 2;
+  }
+  if (config.open_loop && config.duration_s <= 0) {
+    std::fprintf(stderr,
+                 "galaxy_bench_client: --open-loop requires --duration-s\n");
+    return 2;
+  }
 
   std::atomic<int64_t> remaining{config.requests};
   auto start = std::chrono::steady_clock::now();
   auto stop_at = start + std::chrono::seconds(
                              config.duration_s > 0 ? config.duration_s : 0);
 
-  std::vector<WorkerResult> results(
-      static_cast<size_t>(config.connections));
-  std::vector<std::thread> workers;
-  for (int i = 0; i < config.connections; ++i) {
-    workers.emplace_back(RunWorker, std::cref(config), i, &remaining, stop_at,
-                         &results[static_cast<size_t>(i)]);
+  std::vector<WorkerResult> results;
+  if (config.open_loop) {
+    RaiseFdLimit();
+    // A thread per connection does not scale to C10K; the open-loop engine
+    // multiplexes every socket on one poll(2) loop instead.
+    results.resize(1);
+    std::string request =
+        "POST /query HTTP/1.1\r\nHost: bench\r\nAccept: " + config.accept +
+        "\r\nContent-Length: " + std::to_string(config.sql.size()) + "\r\n\r\n" +
+        config.sql;
+    RunOpenLoop(config, request, stop_at, &results[0]);
+  } else {
+    results.resize(static_cast<size_t>(config.connections));
+    std::vector<std::thread> workers;
+    for (int i = 0; i < config.connections; ++i) {
+      workers.emplace_back(RunWorker, std::cref(config), i, &remaining,
+                           stop_at, &results[static_cast<size_t>(i)]);
+    }
+    for (std::thread& t : workers) t.join();
   }
-  for (std::thread& t : workers) t.join();
   double wall_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
@@ -427,6 +724,9 @@ int main(int argc, char** argv) {
   }
 
   std::string json = "{\n";
+  json += std::string("  \"mode\": \"") +
+          (config.open_loop ? "open-loop" : "closed-loop") + "\",\n";
+  json += "  \"connections\": " + std::to_string(config.connections) + ",\n";
   json += "  \"requests\": " + std::to_string(total) + ",\n";
   json += "  \"transport_errors\": " + std::to_string(transport_errors) +
           ",\n";
@@ -454,7 +754,7 @@ int main(int argc, char** argv) {
   json += "  \"latency_ms\": {\"mean\": " + std::string(num);
   for (const auto& [name, q] :
        std::vector<std::pair<const char*, double>>{
-           {"p50", 0.5}, {"p90", 0.9}, {"p99", 0.99}}) {
+           {"p50", 0.5}, {"p90", 0.9}, {"p99", 0.99}, {"p999", 0.999}}) {
     std::snprintf(num, sizeof(num), "%.3f", Quantile(latencies, q) / 1000.0);
     json += std::string(", \"") + name + "\": " + num;
   }

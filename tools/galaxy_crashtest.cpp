@@ -18,6 +18,11 @@
 //
 // Exit status: 0 when every cycle verified, 1 on the first divergence
 // (with a dump of both states), 2 on usage errors.
+//
+// Reviewed: the torture harness speaks loopback HTTP to its child over
+// plain blocking sockets — a stalled child is itself a failure the
+// per-request SO_RCVTIMEO converts into a divergence report.
+// galaxy-lint: allow-file(blocking-socket-io)
 
 #include <sys/wait.h>
 #include <unistd.h>

@@ -1,7 +1,7 @@
 // Fuzzing front-end with three targets:
 //
-//   galaxy_fuzz [--target=diff|sql|faults|http|wal] [--seed N] [--runs N]
-//               [--max-seconds S] [--verbose]
+//   galaxy_fuzz [--target=diff|sql|faults|http|conn|wal] [--seed N]
+//               [--runs N] [--max-seconds S] [--verbose]
 //
 //   diff    (default) drives every aggregate-skyline configuration against
 //           the exhaustive oracle on adversarial generated datasets;
@@ -13,6 +13,11 @@
 //   http    feeds generated/mutated/garbage byte strings through the
 //           serving layer's HTTP request parser, asserting round-trips on
 //           valid requests and definite verdicts everywhere else;
+//   conn    feeds pipelined request streams through the event engine's
+//           per-connection state machine across randomized read-boundary
+//           splits, asserting in-order extraction, no fabricated requests
+//           from partial prefixes, and sticky poisoning after a framing
+//           error;
 //   wal     feeds clean/truncated/flipped/garbage log images through the
 //           write-ahead-log decoder and full crash recovery, asserting the
 //           decoder never accepts a record whose checksum failed and
@@ -52,7 +57,7 @@ struct FuzzOptions {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: galaxy_fuzz [--target=diff|sql|faults|http|wal] "
+               "usage: galaxy_fuzz [--target=diff|sql|faults|http|conn|wal] "
                "[--seed N] [--runs N] [--max-seconds S] [--verbose]\n");
 }
 
@@ -90,7 +95,7 @@ bool ParseFlags(int argc, char** argv, FuzzOptions* options) {
   }
   if (options->target != "diff" && options->target != "sql" &&
       options->target != "faults" && options->target != "http" &&
-      options->target != "wal") {
+      options->target != "conn" && options->target != "wal") {
     std::fprintf(stderr, "unknown --target: %s\n", options->target.c_str());
     return false;
   }
@@ -163,6 +168,30 @@ int RunHttpTarget(const FuzzOptions& options) {
   return 0;
 }
 
+int RunConnTarget(const FuzzOptions& options) {
+  std::printf("galaxy_fuzz: target=conn seed=%llu runs=%llu\n",
+              static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(options.runs));
+  galaxy::server::ConnFuzzStats stats;
+  std::string detail = galaxy::server::FuzzConnection(
+      options.seed, static_cast<int>(options.runs), &stats);
+  std::printf(
+      "galaxy_fuzz: %llu streams in %llu chunks (%llu requests extracted, "
+      "%llu poisoned)\n",
+      static_cast<unsigned long long>(stats.streams),
+      static_cast<unsigned long long>(stats.chunks),
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.poisoned));
+  if (!detail.empty()) {
+    std::printf("\nCONN FUZZ FAILURE: %s\n", detail.c_str());
+    return 1;
+  }
+  std::printf(
+      "galaxy_fuzz: OK — the connection state machine contract held "
+      "everywhere\n");
+  return 0;
+}
+
 int RunWalTarget(const FuzzOptions& options) {
   std::printf("galaxy_fuzz: target=wal seed=%llu runs=%llu\n",
               static_cast<unsigned long long>(options.seed),
@@ -198,6 +227,7 @@ int main(int argc, char** argv) {
   if (options.target == "sql") return RunSqlTarget(options);
   if (options.target == "faults") return RunFaultsTarget(options);
   if (options.target == "http") return RunHttpTarget(options);
+  if (options.target == "conn") return RunConnTarget(options);
   if (options.target == "wal") return RunWalTarget(options);
 
   using Clock = std::chrono::steady_clock;

@@ -1,7 +1,9 @@
 // galaxy_served — the standalone query server (src/server/).
 //
 //   galaxy_served --csv data.csv [--table data] [--host 127.0.0.1]
-//                 [--port 8080] [--max-concurrent N] [--queue-capacity N]
+//                 [--port 8080] [--serving-mode event|threaded]
+//                 [--io-workers N] [--idle-timeout-ms N]
+//                 [--max-concurrent N] [--queue-capacity N]
 //                 [--queue-timeout-ms N] [--cache-entries N]
 //                 [--default-timeout-ms N]
 //                 [--view table:group_col:attrs[:gamma]]
@@ -24,6 +26,8 @@
 // Exit status: 0 on clean shutdown, 1 on runtime errors (bad CSV, port in
 // use), 2 on usage errors — the same contract as galaxy_cli.
 
+#include <sys/resource.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +36,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/str_util.h"
@@ -107,11 +112,24 @@ class Flags {
   std::string error_;
 };
 
+// Event mode holds one fd per open connection; at C10K the default soft
+// limit (often 1024) exhausts immediately, so raise it to the hard cap.
+void RaiseFdLimit() {
+  struct rlimit limit;
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur < limit.rlim_max) {
+    limit.rlim_cur = limit.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &limit);
+  }
+}
+
 int Usage() {
   std::fprintf(
       stderr,
       "usage: galaxy_served --csv data.csv [--table data]\n"
       "                     [--host 127.0.0.1] [--port 8080]\n"
+      "                     [--serving-mode event|threaded] [--io-workers N]\n"
+      "                     [--idle-timeout-ms N]\n"
       "                     [--max-concurrent N] [--queue-capacity N]\n"
       "                     [--queue-timeout-ms N] [--cache-entries N]\n"
       "                     [--default-timeout-ms N]\n"
@@ -170,7 +188,8 @@ galaxy::Result<galaxy::server::SkylineViewConfig> ParseView(
 int main(int argc, char** argv) {
   Flags flags(argc, argv, 1);
   if (!flags.ok() ||
-      !flags.CheckAllowed({"csv", "table", "host", "port", "max-concurrent",
+      !flags.CheckAllowed({"csv", "table", "host", "port", "serving-mode",
+                           "io-workers", "idle-timeout-ms", "max-concurrent",
                            "queue-capacity", "queue-timeout-ms",
                            "cache-entries", "default-timeout-ms", "view",
                            "data-dir", "fsync", "fsync-interval-ms",
@@ -192,6 +211,14 @@ int main(int argc, char** argv) {
   }
 
   auto port = flags.GetInt("port", 8080);
+  // Event-mode worker default scales with the machine: extra workers on a
+  // small core count only add context switches between the loop thread and
+  // the pool (measurably so at 1k+ connections on one core).
+  unsigned hw = std::thread::hardware_concurrency();
+  int64_t default_workers =
+      static_cast<int64_t>(hw == 0 ? 4 : (hw < 4 ? hw : 4));
+  auto io_workers = flags.GetInt("io-workers", default_workers);
+  auto idle_timeout = flags.GetInt("idle-timeout-ms", 10000);
   auto max_concurrent = flags.GetInt("max-concurrent", 4);
   auto queue_capacity = flags.GetInt("queue-capacity", 64);
   auto queue_timeout = flags.GetInt("queue-timeout-ms", 2000);
@@ -200,8 +227,9 @@ int main(int argc, char** argv) {
   auto fsync_interval = flags.GetInt("fsync-interval-ms", 100);
   auto snapshot_every = flags.GetInt("snapshot-every", 0);
   for (const auto* v :
-       {&port, &max_concurrent, &queue_capacity, &queue_timeout,
-        &cache_entries, &default_timeout, &fsync_interval, &snapshot_every}) {
+       {&port, &io_workers, &idle_timeout, &max_concurrent, &queue_capacity,
+        &queue_timeout, &cache_entries, &default_timeout, &fsync_interval,
+        &snapshot_every}) {
     if (!v->ok()) {
       std::fprintf(stderr, "galaxy_served: %s\n",
                    v->status().message().c_str());
@@ -210,6 +238,19 @@ int main(int argc, char** argv) {
   }
   if (*port < 0 || *port > 65535) {
     std::fprintf(stderr, "galaxy_served: --port out of range\n");
+    return 2;
+  }
+  if (*io_workers <= 0 || *idle_timeout <= 0) {
+    std::fprintf(stderr,
+                 "galaxy_served: --io-workers/--idle-timeout-ms must be "
+                 "positive\n");
+    return 2;
+  }
+  auto mode = galaxy::server::ParseServingMode(
+      flags.Get("serving-mode", "event"));
+  if (!mode.ok()) {
+    std::fprintf(stderr, "galaxy_served: %s\n",
+                 mode.status().message().c_str());
     return 2;
   }
   if (*fsync_interval < 0 || *snapshot_every < 0) {
@@ -234,9 +275,14 @@ int main(int argc, char** argv) {
   galaxy::sql::Database db;
   std::string table_name = flags.Get("table", "data");
 
+  RaiseFdLimit();
+
   galaxy::server::ServerOptions options;
   options.host = flags.Get("host", "127.0.0.1");
   options.port = static_cast<uint16_t>(*port);
+  options.mode = *mode;
+  options.io_workers = static_cast<size_t>(*io_workers);
+  options.idle_timeout = std::chrono::milliseconds(*idle_timeout);
   options.admission.max_concurrent = static_cast<size_t>(*max_concurrent);
   options.admission.queue_capacity = static_cast<size_t>(*queue_capacity);
   options.admission.queue_timeout = std::chrono::milliseconds(*queue_timeout);
@@ -331,9 +377,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "galaxy_served: %s\n", started.message().c_str());
     return 1;
   }
-  std::printf("galaxy_served listening on %s:%u (table \"%s\", %zu rows)\n",
-              options.host.c_str(), server.port(), table_name.c_str(),
-              num_rows);
+  std::printf(
+      "galaxy_served listening on %s:%u (table \"%s\", %zu rows, %s mode)\n",
+      options.host.c_str(), server.port(), table_name.c_str(), num_rows,
+      galaxy::server::ServingModeName(options.mode));
   std::fflush(stdout);
 
   // Park until SIGINT/SIGTERM; the accept loop runs on its own thread.

@@ -316,6 +316,7 @@ struct PathInfo {
   bool in_storage = false;
   bool in_relation = false;
   bool is_mutex_wrapper = false;
+  bool is_event_loop = false;
   bool is_header = false;
 };
 
@@ -334,6 +335,7 @@ PathInfo ClassifyPath(const std::string& path) {
   info.in_storage = p.find("src/storage/") != std::string::npos;
   info.in_relation = p.find("src/relation/") != std::string::npos;
   info.is_mutex_wrapper = p.find("common/mutex.h") != std::string::npos;
+  info.is_event_loop = p.find("src/server/event_loop.") != std::string::npos;
   info.is_header = p.size() >= 2 && p.compare(p.size() - 2, 2, ".h") == 0;
   return info;
 }
@@ -355,6 +357,7 @@ class Linter {
     RawMutex();
     BannedCall();
     RawFileIo();
+    BlockingSocketIo();
     RowMajorAccess();
     NakedNew();
     StatusConsumed();
@@ -547,6 +550,55 @@ class Linter {
                  "() outside src/storage/; go through the storage Env "
                  "seam (storage/env.h) so durability, crash recovery and "
                  "fault injection see the write");
+    }
+  }
+
+  // ---- blocking-socket-io ------------------------------------------------
+  // Socket I/O belongs on the event loop: a raw recv/send/accept call site
+  // anywhere else is either a blocking call that can stall a whole thread
+  // on one slow peer, or a second hand-rolled readiness loop drifting from
+  // the reactor's semantics. The event engine's own (non-blocking) call
+  // sites and the reviewed legacy threaded path carry allow-file
+  // suppressions justifying themselves; tests/ and bench/ are exempt.
+  void BlockingSocketIo() {
+    if (info_.in_tests || info_.in_bench || info_.is_event_loop) return;
+    static const char* kSocketCalls[] = {
+        "recv",    "recvfrom", "recvmsg", "send",   "sendto",
+        "sendmsg", "accept",   "accept4", "connect"};
+    for (size_t i = 0; i < toks().size(); ++i) {
+      if (!IsIdent(i)) continue;
+      const std::string& name = toks()[i].text;
+      bool banned = false;
+      for (const char* call : kSocketCalls) {
+        if (name == call) {
+          banned = true;
+          break;
+        }
+      }
+      if (!banned) continue;
+      size_t next = Next(i);
+      if (!IsPunct(next, "(")) continue;
+      size_t prev = Prev(i);
+      // Member calls (socket.send(...), sig.connect(...)) are a different
+      // function.
+      if (IsPunct(prev, ".") || IsPunct(prev, "->")) continue;
+      // `ssize_t recv(...)` is a declaration, not a call.
+      if (IsIdent(prev) && !IsIdent(prev, "return") &&
+          !IsIdent(prev, "throw")) {
+        continue;
+      }
+      if (IsPunct(prev, "::")) {
+        // `SomeClass::connect(` is a different function; `::recv(` (global
+        // scope) is the real syscall.
+        size_t qualifier = Prev(prev);
+        if (IsIdent(qualifier)) continue;
+      }
+      Report(toks()[i].line, "blocking-socket-io",
+             name +
+                 "() outside src/server/event_loop; socket I/O must run "
+                 "non-blocking on the EventLoop (server/event_loop.h), or "
+                 "carry a reviewed suppression explaining why this call "
+                 "site cannot stall");
     }
   }
 
@@ -833,9 +885,10 @@ bool LintPath(const std::string& path, std::vector<Diagnostic>* out) {
 }
 
 std::vector<std::string> RuleNames() {
-  return {"raw-mutex",       "budget-charge",    "banned-call",
-          "raw-file-io",     "row-major-access", "naked-new",
-          "status-consumed", "pragma-once",      "iostream-core"};
+  return {"raw-mutex",          "budget-charge",    "banned-call",
+          "raw-file-io",        "blocking-socket-io", "row-major-access",
+          "naked-new",          "status-consumed",  "pragma-once",
+          "iostream-core"};
 }
 
 }  // namespace galaxy::lint

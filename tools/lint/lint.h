@@ -22,6 +22,13 @@
 ///                    std::ofstream/std::fstream) outside src/storage/ —
 ///                    durable writes must go through the storage Env seam.
 ///                    tests/ and bench/ are exempt.
+///   blocking-socket-io
+///                    raw socket calls (recv/send/accept/connect families)
+///                    outside src/server/event_loop.* — socket I/O must run
+///                    non-blocking on the EventLoop; the event engine's own
+///                    call sites and the legacy threaded path carry
+///                    reviewed allow-file suppressions. tests/ and bench/
+///                    are exempt.
 ///   row-major-access Table::MaterializeRow / Table::DebugRows outside
 ///                    src/relation/ and tests/ — the Table is column-major;
 ///                    execution paths must read typed columns, not boxed
