@@ -7,10 +7,12 @@ Usage:
 Both files are bench reports of the same schema — the kernel
 microbenchmark (galaxy-kernel-bench-v1, bench/kernel_microbench), the
 parallel-scaling trajectory (galaxy-parallel-bench-v1,
-bench/parallel_scaling), the SQL end-to-end latency report
-(galaxy-sql-bench-v1, bench/fig08_sql_scalability) or the serving
-connection-scaling report (galaxy-serving-bench-v1,
-scripts/serving_bench.sh). Only *ratio* metrics
+bench/parallel_scaling) or the SQL end-to-end latency report
+(galaxy-sql-bench-v1, bench/fig08_sql_scalability). The serving
+connection-scaling report (galaxy-serving-bench-v2,
+scripts/serving_bench.sh) is deliberately not gated: with the legacy
+thread-per-connection path retired it carries only absolute qps/latency,
+which does not transfer between machines. Only *ratio* metrics
 are compared — speedups of
 one code path over another measured in the same process — because they are
 stable across machines, unlike absolute times or pairs/sec. A candidate
@@ -69,25 +71,6 @@ SCHEMAS = {
             ("scaling_zipf_d4_t8", "speedup", 3.0, 8),
         ],
     },
-    "galaxy-serving-bench-v1": {
-        # Throughput of the event-driven serving path over the legacy
-        # thread-per-connection path at the same concurrency, measured by
-        # scripts/serving_bench.sh against the same server binary on the
-        # same machine. Absolute qps/latency entries are informational —
-        # only the in-run ratio is gated. Like thread scaling, the ratio
-        # is hardware-conditional: on a single core both paths saturate
-        # the CPU on handler work and the ratio is scheduling noise
-        # around parity (the reactor's win there shows only at 10k
-        # connections, where thread-per-connection collapses).
-        "ratio_keys": {"event_over_threaded"},
-        "floors": [
-            # ISSUE 9 acceptance: at 1k connections the reactor must at
-            # least match the thread-per-connection model wherever the
-            # machine is big enough for the comparison to carry signal.
-            ("serving_event_vs_threaded_c1000", "event_over_threaded",
-             1.0, 2),
-        ],
-    },
     "galaxy-sql-bench-v1": {
         # In-process ratio of the scalar tuple-at-a-time pipeline over the
         # batch columnar pipeline on the same query (bench/
@@ -133,10 +116,9 @@ def main():
     config = SCHEMAS[base_schema]
     ratio_keys = config["ratio_keys"]
 
-    # Thread-scaling and serving-mode ratios only transfer between
-    # same-sized machines, and carry no signal at all on a single core.
-    hardware_gated = base_schema in ("galaxy-parallel-bench-v1",
-                                     "galaxy-serving-bench-v1")
+    # Thread-scaling ratios only transfer between same-sized machines,
+    # and carry no signal at all on a single core.
+    hardware_gated = base_schema == "galaxy-parallel-bench-v1"
     base_hw = hardware_threads(baseline)
     cand_hw = hardware_threads(candidate)
     compare_ratios = not hardware_gated or (base_hw == cand_hw

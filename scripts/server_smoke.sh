@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the serving layer.
 #
-# For EACH serving mode (event, threaded): starts galaxy_served on the
-# bundled movie dataset, drives a short closed-loop burst with
-# galaxy_bench_client (repeated skyline queries plus periodic /update
-# inserts), scrapes /metrics, and asserts:
+# Starts galaxy_served (event-driven engine) on the bundled movie dataset,
+# drives a short closed-loop burst with galaxy_bench_client (repeated
+# skyline queries plus periodic /update inserts), scrapes /metrics, and
+# asserts:
 #   - the bench client saw zero transport errors and zero 5xx responses,
 #   - the result cache produced hits (galaxy_cache_hits_total > 0),
 #   - the server shuts down cleanly on SIGTERM.
@@ -41,15 +41,12 @@ cleanup() {
 }
 trap cleanup EXIT
 
-run_mode() {
-local MODE="$1"
-local SERVER_LOG="$WORK_DIR/served_$MODE.log"
-local REPORT="$WORK_DIR/report_$MODE.json"
+SERVER_LOG="$WORK_DIR/served.log"
+REPORT="$WORK_DIR/report.json"
 
 # --port 0 binds an ephemeral port; parse it from the startup line.
 "$SERVED" --csv "$CSV" --table movies --port 0 \
-  --view "movies:Director:Pop,Qual:0.6" \
-  --serving-mode "$MODE" >"$SERVER_LOG" 2>&1 &
+  --view "movies:Director:Pop,Qual:0.6" >"$SERVER_LOG" 2>&1 &
 SERVER_PID=$!
 
 PORT=""
@@ -68,7 +65,7 @@ if [[ -z "$PORT" ]]; then
   cat "$SERVER_LOG" >&2
   exit 1
 fi
-echo "server_smoke: galaxy_served up on port $PORT ($MODE mode)"
+echo "server_smoke: galaxy_served up on port $PORT"
 
 http_get() {
   python3 - "$1" <<'EOF'
@@ -136,12 +133,7 @@ wait "$SERVER_PID"
 STATUS=$?
 SERVER_PID=""
 if [[ "$STATUS" -ne 0 ]]; then
-  echo "server_smoke: $MODE server exited with status $STATUS on SIGTERM" >&2
+  echo "server_smoke: server exited with status $STATUS on SIGTERM" >&2
   exit 1
 fi
-echo "server_smoke: $MODE mode ok"
-}
-
-run_mode event
-run_mode threaded
 echo "server_smoke: PASS"

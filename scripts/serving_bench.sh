@@ -1,20 +1,12 @@
 #!/usr/bin/env bash
 # Connection-scaling benchmark for the serving layer.
 #
-# Boots galaxy_served once per serving mode (threaded, event) on the
-# bundled movie dataset, drives an open-loop galaxy_bench_client run at
-# each connection count, and merges the per-run reports into
-# BENCH_serving.json (schema galaxy-serving-bench-v1):
+# Boots galaxy_served (event-driven engine) on the bundled movie dataset,
+# drives an open-loop galaxy_bench_client run at each connection count, and
+# merges the per-run reports into BENCH_serving.json (schema
+# galaxy-serving-bench-v2):
 #
-#   serving_<mode>_c<N>              — qps, p50/p99/p999 ms, errors
-#   serving_event_vs_threaded_c1000  — event_over_threaded qps ratio,
-#                                      the metric CI gates on
-#                                      (scripts/check_bench_regression.py)
-#
-# The threaded model spawns a thread per connection, so its 10k point can
-# legitimately fail on small machines (thread exhaustion is the reason the
-# event path exists); a failed run is recorded with qps 0 and
-# "failed": true instead of aborting the bench.
+#   serving_event_c<N>  — qps, p50/p99/p999 ms, errors
 #
 # Usage: scripts/serving_bench.sh [quick|full] [build_dir]
 #   quick: 100/1000 connections, 5 s per point   (CI)
@@ -31,7 +23,7 @@ OUT="BENCH_serving.json"
 
 # Each point runs TRIALS times and the merge keeps the best-throughput
 # trial: open-loop qps on a shared machine is noisy (scheduler, cache),
-# and the gated ratio would otherwise flap around its floor.
+# and gated floors would otherwise flap.
 case "$PROFILE" in
   quick) CONNS=(100 1000); DURATION=5; TRIALS=2 ;;
   full)  CONNS=(100 1000 10000); DURATION=10; TRIALS=2 ;;
@@ -58,23 +50,22 @@ cleanup() {
 trap cleanup EXIT
 
 start_server() {
-  local mode="$1" log="$WORK_DIR/served_$mode.log"
+  local log="$WORK_DIR/served.log"
   "$SERVED" --csv "$CSV" --table movies --port 0 \
-    --view "movies:Director:Pop,Qual:0.6" \
-    --serving-mode "$mode" >"$log" 2>&1 &
+    --view "movies:Director:Pop,Qual:0.6" >"$log" 2>&1 &
   SERVER_PID=$!
   local port=""
   for _ in $(seq 1 100); do
     port="$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' "$log")"
     [[ -n "$port" ]] && break
     if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-      echo "serving_bench: galaxy_served ($mode) exited during startup:" >&2
+      echo "serving_bench: galaxy_served exited during startup:" >&2
       cat "$log" >&2
       return 1
     fi
     sleep 0.1
   done
-  [[ -n "$port" ]] || { echo "serving_bench: no port from $mode server" >&2; return 1; }
+  [[ -n "$port" ]] || { echo "serving_bench: no port from server" >&2; return 1; }
   echo "$port"
 }
 
@@ -84,24 +75,22 @@ stop_server() {
   SERVER_PID=""
 }
 
-for mode in threaded event; do
-  PORT="$(start_server "$mode")" || exit 1
-  echo "serving_bench: $mode mode up on port $PORT" >&2
-  for conns in "${CONNS[@]}"; do
-    for trial in $(seq 1 "$TRIALS"); do
-      report="$WORK_DIR/${mode}_c${conns}_t${trial}.json"
-      echo "serving_bench: $mode x $conns connections, ${DURATION}s (trial $trial/$TRIALS) ..." >&2
-      if ! "$CLIENT" --port "$PORT" --open-loop --connections "$conns" \
-          --duration-s "$DURATION" --sql "$SQL" --out "$report"; then
-        # Report written with transport errors, or the run collapsed
-        # entirely: keep going, the merge step records the failure.
-        echo "serving_bench: $mode x $conns trial $trial reported errors" >&2
-        [[ -s "$report" ]] || echo '{"qps": 0, "failed": true}' >"$report"
-      fi
-    done
+PORT="$(start_server)" || exit 1
+echo "serving_bench: server up on port $PORT" >&2
+for conns in "${CONNS[@]}"; do
+  for trial in $(seq 1 "$TRIALS"); do
+    report="$WORK_DIR/event_c${conns}_t${trial}.json"
+    echo "serving_bench: $conns connections, ${DURATION}s (trial $trial/$TRIALS) ..." >&2
+    if ! "$CLIENT" --port "$PORT" --open-loop --connections "$conns" \
+        --duration-s "$DURATION" --sql "$SQL" --out "$report"; then
+      # Report written with transport errors, or the run collapsed
+      # entirely: keep going, the merge step records the failure.
+      echo "serving_bench: $conns connections trial $trial reported errors" >&2
+      [[ -s "$report" ]] || echo '{"qps": 0, "failed": true}' >"$report"
+    fi
   done
-  stop_server
 done
+stop_server
 
 python3 - "$WORK_DIR" "$OUT" "$PROFILE" "$TRIALS" "${CONNS[@]}" <<'EOF'
 import json, os, sys
@@ -116,42 +105,27 @@ def effective_qps(report):
     return report.get("qps", 0.0)
 
 entries = []
-qps = {}
-for mode in ("threaded", "event"):
-    for c in conns:
-        reports = [
-            json.load(open(os.path.join(work_dir, f"{mode}_c{c}_t{t}.json")))
-            for t in range(1, trials + 1)
-        ]
-        report = max(reports, key=effective_qps)  # best trial
-        failed = effective_qps(report) == 0.0
-        lat = report.get("latency_ms", {})
-        entry = {
-            "name": f"serving_{mode}_c{c}",
-            "qps": effective_qps(report),
-            "p50_ms": lat.get("p50", 0.0),
-            "p99_ms": lat.get("p99", 0.0),
-            "p999_ms": lat.get("p999", 0.0),
-            "transport_errors": report.get("transport_errors", 0),
-        }
-        if failed:
-            entry["failed"] = True
-        entries.append(entry)
-        qps[(mode, c)] = entry["qps"]
-
-# hardware_threads makes the gate's hardware conditioning work: the
-# event-over-threaded ratio is compared (and floored) only on machines
-# with more than one core — see scripts/check_bench_regression.py.
-hw = os.cpu_count() or 0
 for c in conns:
-    t, e = qps[("threaded", c)], qps[("event", c)]
-    entries.append({
-        "name": f"serving_event_vs_threaded_c{c}",
-        "event_over_threaded": (e / t) if t > 0 else 0.0,
-        "hardware_threads": hw,
-    })
+    reports = [
+        json.load(open(os.path.join(work_dir, f"event_c{c}_t{t}.json")))
+        for t in range(1, trials + 1)
+    ]
+    report = max(reports, key=effective_qps)  # best trial
+    failed = effective_qps(report) == 0.0
+    lat = report.get("latency_ms", {})
+    entry = {
+        "name": f"serving_event_c{c}",
+        "qps": effective_qps(report),
+        "p50_ms": lat.get("p50", 0.0),
+        "p99_ms": lat.get("p99", 0.0),
+        "p999_ms": lat.get("p999", 0.0),
+        "transport_errors": report.get("transport_errors", 0),
+    }
+    if failed:
+        entry["failed"] = True
+    entries.append(entry)
 
-json.dump({"schema": "galaxy-serving-bench-v1",
+json.dump({"schema": "galaxy-serving-bench-v2",
            "quick": profile == "quick",
            "entries": entries},
           open(out_path, "w"), indent=2)

@@ -1,0 +1,132 @@
+// galaxy-lint: allow-file(raw-mutex) — the validator guards its own graph
+// and cannot instrument itself (the hooks would recurse).
+#include "common/lock_order.h"
+
+#ifdef GALAXY_DEBUG_LOCK_ORDER
+
+#include <execinfo.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace galaxy::common::lock_order {
+namespace {
+
+constexpr int kMaxFrames = 32;
+
+/// The backtrace of the acquisition that first recorded an edge.
+struct Stack {
+  void* frames[kMaxFrames];
+  int depth = 0;
+
+  void Capture() { depth = backtrace(frames, kMaxFrames); }
+  void Print() const { backtrace_symbols_fd(frames, depth, /*fd=*/2); }
+};
+
+/// before -> after -> stack of the acquisition of `after` while `before`
+/// was held. First writer wins: the stored stack is the edge's first
+/// occurrence, which is what the report should show.
+using Graph = std::map<const void*, std::map<const void*, Stack>>;
+
+/// The graph guard cannot be a common::Mutex — the hooks would recurse
+/// into themselves. Both globals are leaked deliberately: hooks run from
+/// static destructors of other TUs, after which a destroyed guard would
+/// be UB (the static-destruction-order fiasco).
+std::mutex& GraphMu() {
+  // Intentional leak (see above); never deleted.
+  // galaxy-lint: allow(naked-new)
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+Graph& GetGraph() {
+  // Intentional leak (see above); never deleted.
+  // galaxy-lint: allow(naked-new)
+  static Graph* g = new Graph;
+  return *g;
+}
+
+std::vector<const void*>& Held() {
+  thread_local std::vector<const void*> held;
+  return held;
+}
+
+/// Depth-first search for `target` following edges out of `from`.
+/// Returns true and fills `path` (edge list from -> ... -> target).
+bool FindPath(const Graph& g, const void* from, const void* target,
+              std::vector<std::pair<const void*, const void*>>* path) {
+  auto it = g.find(from);
+  if (it == g.end()) return false;
+  for (const auto& [next, stack] : it->second) {
+    path->emplace_back(from, next);
+    if (next == target || FindPath(g, next, target, path)) return true;
+    path->pop_back();
+  }
+  return false;
+}
+
+[[noreturn]] void Die(const char* what, const void* a, const void* b,
+                      const Stack* prior) {
+  std::fprintf(stderr, "lock-order: %s: %p -> %p\n", what, a, b);
+  std::fprintf(stderr, "lock-order: acquisition recording the new edge:\n");
+  Stack here;
+  here.Capture();
+  here.Print();
+  if (prior != nullptr) {
+    std::fprintf(stderr,
+                 "lock-order: first acquisition on the conflicting path:\n");
+    prior->Print();
+  }
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu) {
+  std::vector<const void*>& held = Held();
+  for (const void* h : held) {
+    if (h == mu) Die("recursive acquisition", mu, mu, nullptr);
+  }
+  if (!held.empty()) {
+    std::lock_guard<std::mutex> guard(GraphMu());
+    Graph& g = GetGraph();
+    for (const void* h : held) {
+      auto& out = g[h];
+      if (out.find(mu) != out.end()) continue;  // edge known; keep 1st stack
+      // A path mu -> ... -> h plus the new h -> mu closes a cycle: report
+      // before inserting so the graph never holds a cyclic state.
+      std::vector<std::pair<const void*, const void*>> path;
+      if (FindPath(g, mu, h, &path)) {
+        Die("acquisition-order cycle", h, mu, &g[path[0].first][path[0].second]);
+      }
+      out[mu].Capture();
+    }
+  }
+  held.push_back(mu);
+}
+
+void OnRelease(const void* mu) {
+  std::vector<const void*>& held = Held();
+  // Locks are not always released LIFO (std::scoped_lock, manual Unlock):
+  // drop the most recent matching entry wherever it sits.
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (*it == mu) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void OnDestroy(const void* mu) {
+  std::lock_guard<std::mutex> guard(GraphMu());
+  Graph& g = GetGraph();
+  g.erase(mu);
+  for (auto& [from, out] : g) out.erase(mu);
+}
+
+}  // namespace galaxy::common::lock_order
+
+#endif  // GALAXY_DEBUG_LOCK_ORDER

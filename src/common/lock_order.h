@@ -1,0 +1,34 @@
+#pragma once
+
+/// Runtime lock-order validator (the dynamic counterpart of
+/// galaxy_analyze's static `lock-order` rule). Compiled in only under
+/// -DGALAXY_DEBUG_LOCK_ORDER=ON; otherwise every hook is an empty inline
+/// and the mutex wrappers stay zero-cost.
+///
+/// Each thread keeps a stack of the locks it currently holds. Acquiring a
+/// lock records an edge held -> acquired (with the acquiring backtrace)
+/// into a global acquisition-order graph keyed by mutex address. An edge
+/// that would close a cycle — or a recursive acquisition of a
+/// non-recursive mutex — aborts the process, printing the backtrace of the
+/// new edge and of the first recorded edge on the conflicting path. Unlike
+/// a deadlock, an *ordering* violation is caught on the first run that
+/// exercises both sides, even if the threads never actually collide; CI
+/// runs the TSan job with the validator on to cross-check the static rule.
+namespace galaxy::common::lock_order {
+
+#ifdef GALAXY_DEBUG_LOCK_ORDER
+/// Called before blocking on `mu` (and after a successful TryLock).
+/// Aborts on a recursive acquisition or an order cycle.
+void OnAcquire(const void* mu);
+/// Called before releasing `mu`; removes it from the thread's held stack.
+void OnRelease(const void* mu);
+/// Called from the mutex destructor; purges the node so a later object at
+/// the same address cannot inherit stale edges.
+void OnDestroy(const void* mu);
+#else
+inline void OnAcquire(const void*) {}
+inline void OnRelease(const void*) {}
+inline void OnDestroy(const void*) {}
+#endif
+
+}  // namespace galaxy::common::lock_order

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/lock_order.h"
 #include "common/thread_annotations.h"
 
 /// Annotated mutex wrappers: the capability types that Clang's
@@ -12,7 +13,13 @@
 /// no capability attributes, so raw standard mutexes are invisible to the
 /// analysis; every mutex member in this codebase uses these wrappers
 /// instead (tools/galaxy_lint rule `raw-mutex` enforces it). The wrappers
-/// are zero-cost: each is exactly the standard type plus attributes.
+/// are zero-cost: each is exactly the standard type plus attributes —
+/// except under -DGALAXY_DEBUG_LOCK_ORDER=ON, where every acquisition
+/// also feeds the runtime lock-order validator (common/lock_order.h).
+/// The validator hooks run *before* blocking, so an ordering violation
+/// aborts with a report instead of hanging in a real deadlock. Shared
+/// (reader) acquisitions feed the same order graph: reader/writer cycles
+/// deadlock just like exclusive ones.
 namespace galaxy::common {
 
 class CondVar;
@@ -21,12 +28,23 @@ class CondVar;
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  ~Mutex() { lock_order::OnDestroy(this); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    lock_order::OnAcquire(this);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    lock_order::OnRelease(this);
+    mu_.unlock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+    if (acquired) lock_order::OnAcquire(this);
+    return acquired;
+  }
 
  private:
   friend class CondVar;
@@ -37,17 +55,36 @@ class CAPABILITY("mutex") Mutex {
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  ~SharedMutex() { lock_order::OnDestroy(this); }
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    lock_order::OnAcquire(this);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    lock_order::OnRelease(this);
+    mu_.unlock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+    if (acquired) lock_order::OnAcquire(this);
+    return acquired;
+  }
 
-  void ReaderLock() ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void ReaderUnlock() RELEASE_SHARED() { mu_.unlock_shared(); }
+  void ReaderLock() ACQUIRE_SHARED() {
+    lock_order::OnAcquire(this);
+    mu_.lock_shared();
+  }
+  void ReaderUnlock() RELEASE_SHARED() {
+    lock_order::OnRelease(this);
+    mu_.unlock_shared();
+  }
   bool ReaderTryLock() TRY_ACQUIRE_SHARED(true) {
-    return mu_.try_lock_shared();
+    const bool acquired = mu_.try_lock_shared();
+    if (acquired) lock_order::OnAcquire(this);
+    return acquired;
   }
 
  private:

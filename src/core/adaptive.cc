@@ -18,7 +18,7 @@ std::string WorkloadProfile::ToString() const {
 }
 
 WorkloadProfile ProfileWorkload(const GroupedDataset& dataset,
-                                size_t sample_size) {
+                                size_t sample_size, ExecutionContext* exec) {
   WorkloadProfile profile;
   profile.num_groups = dataset.num_groups();
   profile.total_records = dataset.total_records();
@@ -43,6 +43,9 @@ WorkloadProfile ProfileWorkload(const GroupedDataset& dataset,
   uint64_t considered = 0;
   const size_t dims = dataset.dims();
   for (size_t s = 0; s < samples; ++s) {
+    // One window-containment check per group ≈ one charged comparison; a
+    // trip truncates the sample, it does not invalidate the estimate.
+    if (exec != nullptr && !exec->Charge(profile.num_groups)) break;
     size_t probe = samples == profile.num_groups
                        ? s
                        : static_cast<size_t>(rng.UniformInt(

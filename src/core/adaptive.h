@@ -31,8 +31,13 @@ struct WorkloadProfile {
 
 /// Profiles the dataset; `sample_size` probe groups are used to estimate
 /// the window selectivity (cost O(sample_size * num_groups * dims)).
+/// When `exec` is set, each probe's group scan is charged to the budget
+/// control plane; on a trip the sampling loop stops early and the profile
+/// built so far is returned — the profile only steers the planner, so a
+/// truncated estimate degrades the algorithm choice, never correctness.
 WorkloadProfile ProfileWorkload(const GroupedDataset& dataset,
-                                size_t sample_size = 64);
+                                size_t sample_size = 64,
+                                ExecutionContext* exec = nullptr);
 
 /// Decision of the adaptive planner.
 struct AdaptiveChoice {

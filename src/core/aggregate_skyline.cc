@@ -84,7 +84,8 @@ AggregateSkylineOptions ResolveAlgorithm(
     const GroupedDataset& dataset, const AggregateSkylineOptions& options) {
   AggregateSkylineOptions effective = options;
   if (options.algorithm == Algorithm::kAuto) {
-    AdaptiveChoice choice = ChooseAlgorithm(ProfileWorkload(dataset));
+    AdaptiveChoice choice = ChooseAlgorithm(
+        ProfileWorkload(dataset, /*sample_size=*/64, options.exec));
     effective.algorithm = choice.algorithm;
     effective.ordering = choice.ordering;
   }
@@ -202,6 +203,11 @@ Result<AggregateSkylineResult> ComputeAggregateSkylineBounded(
 }
 
 std::vector<RankedGroup> RankByGamma(const GroupedDataset& dataset) {
+  return std::move(RankByGammaBounded(dataset, nullptr)).value();
+}
+
+Result<std::vector<RankedGroup>> RankByGammaBounded(
+    const GroupedDataset& dataset, ExecutionContext* exec) {
   const size_t n = dataset.num_groups();
   std::vector<RankedGroup> out;
   out.reserve(n);
@@ -215,6 +221,12 @@ std::vector<RankedGroup> RankByGamma(const GroupedDataset& dataset) {
     rg.strongest_probability = 0.0;
     for (uint32_t j = 0; j < n; ++j) {
       if (j == i) continue;
+      const uint64_t pair_cost = std::max<uint64_t>(
+          1, static_cast<uint64_t>(dataset.group(j).size()) *
+                 dataset.group(i).size());
+      if (exec != nullptr && !exec->Charge(pair_cost)) {
+        return exec->status();
+      }
       double p = DominationProbability(dataset.group(j), dataset.group(i));
       if (p > rg.strongest_probability) {
         rg.strongest_probability = p;

@@ -84,5 +84,15 @@ struct RankedGroup {
 /// Cost is one exact domination probability per ordered group pair.
 std::vector<RankedGroup> RankByGamma(const GroupedDataset& dataset);
 
+/// Budget-aware RankByGamma: charges each pair's |S|·|R| record
+/// comparisons to `exec` before scanning it and fails with the trip status
+/// once the control plane stops. A partial ranking is never returned — the
+/// ordering is only meaningful over the full pair matrix. The unwind
+/// latency is one pair product (an exact probability is an atomic unit),
+/// coarser than the kChargeBatch slice of the counting kernels. A null
+/// `exec` is unbounded.
+Result<std::vector<RankedGroup>> RankByGammaBounded(
+    const GroupedDataset& dataset, ExecutionContext* exec);
+
 }  // namespace galaxy::core
 

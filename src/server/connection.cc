@@ -86,6 +86,7 @@ Connection::Connection(EventEngine* engine, uint64_t id, int fd,
     : engine_(engine), id_(id), fd_(fd), machine_(max_input) {}
 
 void Connection::OnReadable() {
+  ClaimLoopThreadRole();  // FdHandler callbacks run on the loop thread.
   if (closing_) return;
   char chunk[16384];
   bool peer_closed = false;
@@ -113,11 +114,13 @@ void Connection::OnReadable() {
 }
 
 void Connection::OnWritable() {
+  ClaimLoopThreadRole();  // FdHandler callbacks run on the loop thread.
   if (closing_) return;
   Flush();
 }
 
 void Connection::OnHangup() {
+  ClaimLoopThreadRole();  // FdHandler callbacks run on the loop thread.
   if (closing_) return;
   engine_->CloseConnection(id_, /*idle_close=*/false);
 }
@@ -257,8 +260,13 @@ Status EventEngine::Start(int listen_fd) {
   listen_fd_ = listen_fd;
   GALAXY_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
   GALAXY_RETURN_IF_ERROR(loop_.Init());
-  loop_.SetTimerCallback([this](uint64_t id) { OnTimer(id); });
-  // The loop thread is not running yet, so touching its state is safe.
+  // The loop thread does not exist yet, so this thread is (vacuously) the
+  // reactor: the pre-start registrations below are race-free.
+  ClaimLoopThreadRole();
+  loop_.SetTimerCallback([this](uint64_t id) {
+    ClaimLoopThreadRole();  // Timer callbacks run on the loop thread.
+    OnTimer(id);
+  });
   GALAXY_RETURN_IF_ERROR(loop_.AddFd(listen_fd_, &acceptor_,
                                      /*want_read=*/true,
                                      /*want_write=*/false));
@@ -279,6 +287,9 @@ void EventEngine::Stop() {
   // stopped loop and are dropped, which is fine — every connection below
   // is about to be closed anyway.
   workers_.Stop();
+  // The loop thread is joined and the workers are gone: this thread is the
+  // sole owner of the connection registry for the teardown below.
+  ClaimLoopThreadRole();
   for (auto& [id, conn] : connections_) {
     (void)id;
     conn->closing_ = true;
@@ -291,7 +302,10 @@ void EventEngine::Stop() {
   listen_fd_ = -1;  // Owned (and closed) by the caller.
 }
 
-void EventEngine::Acceptor::OnReadable() { engine_->AcceptReady(); }
+void EventEngine::Acceptor::OnReadable() {
+  ClaimLoopThreadRole();  // FdHandler callbacks run on the loop thread.
+  engine_->AcceptReady();
+}
 
 void EventEngine::AcceptReady() {
   for (;;) {
@@ -330,6 +344,7 @@ void EventEngine::Dispatch(uint64_t conn_id, HttpRequest request) {
     const bool close_after = response.close;
     std::string bytes = SerializeResponse(response);
     loop_.Post([this, conn_id, bytes = std::move(bytes), close_after]() mutable {
+      ClaimLoopThreadRole();  // Posted closures run on the loop thread.
       CompleteRequest(conn_id, std::move(bytes), close_after);
     });
   });

@@ -98,49 +98,56 @@ class Connection final : public EventLoop::FdHandler {
  public:
   Connection(EventEngine* engine, uint64_t id, int fd, size_t max_input);
 
-  // EventLoop::FdHandler:
+  // EventLoop::FdHandler (loop thread; bodies claim the role):
   void OnReadable() override;
   void OnWritable() override;
   void OnHangup() override;
 
   /// Queues a serialized response and starts flushing. `close_after` marks
   /// the connection for teardown once the buffer drains.
-  void EnqueueResponse(std::string bytes, bool close_after);
+  void EnqueueResponse(std::string bytes, bool close_after)
+      REQUIRES(loop_thread_role);
 
   uint64_t id() const { return id_; }
   int fd() const { return fd_; }
-  bool request_in_flight() const { return request_in_flight_; }
-  size_t output_bytes() const { return output_.size() - output_offset_; }
+  bool request_in_flight() const REQUIRES(loop_thread_role) {
+    return request_in_flight_;
+  }
+  size_t output_bytes() const REQUIRES(loop_thread_role) {
+    return output_.size() - output_offset_;
+  }
 
  private:
   friend class EventEngine;
 
   /// Extracts + dispatches the next pipelined request if none is in flight
   /// and output is below the backpressure threshold.
-  void MaybeDispatch();
+  void MaybeDispatch() REQUIRES(loop_thread_role);
   /// Writes buffered output until EAGAIN/empty; manages EPOLLOUT interest,
   /// stall timing, and close-after-flush.
-  void Flush();
+  void Flush() REQUIRES(loop_thread_role);
   /// Recomputes poller interest from buffer state (read paused while the
   /// peer is not draining output).
-  void UpdateInterest();
+  void UpdateInterest() REQUIRES(loop_thread_role);
 
   EventEngine* const engine_;
   const uint64_t id_;
   const int fd_;
-  ConnectionMachine machine_;
+  ConnectionMachine machine_ GUARDED_BY(loop_thread_role);
 
-  std::string output_;
-  size_t output_offset_ = 0;
-  bool want_read_ = true;
-  bool want_write_ = false;
-  bool request_in_flight_ = false;
-  bool close_after_flush_ = false;
-  bool peer_half_closed_ = false;
-  bool closing_ = false;
+  std::string output_ GUARDED_BY(loop_thread_role);
+  size_t output_offset_ GUARDED_BY(loop_thread_role) = 0;
+  bool want_read_ GUARDED_BY(loop_thread_role) = true;
+  bool want_write_ GUARDED_BY(loop_thread_role) = false;
+  bool request_in_flight_ GUARDED_BY(loop_thread_role) = false;
+  bool close_after_flush_ GUARDED_BY(loop_thread_role) = false;
+  bool peer_half_closed_ GUARDED_BY(loop_thread_role) = false;
+  bool closing_ GUARDED_BY(loop_thread_role) = false;
   /// Set while the last write hit EAGAIN with data pending (peer stalled).
-  std::chrono::steady_clock::time_point stall_started_{};
-  bool stalled_ = false;
+  /// Default-constructed to the clock's epoch.
+  std::chrono::steady_clock::time_point stall_started_
+      GUARDED_BY(loop_thread_role);
+  bool stalled_ GUARDED_BY(loop_thread_role) = false;
 };
 
 /// The event-driven serving engine: an EventLoop on a dedicated thread
@@ -187,19 +194,21 @@ class EventEngine {
     EventEngine* const engine_;
   };
 
-  void AcceptReady();
+  void AcceptReady() REQUIRES(loop_thread_role);
   /// Hands a parsed request to the worker pool; the response is posted
   /// back to the loop and lands in CompleteRequest.
-  void Dispatch(uint64_t conn_id, HttpRequest request);
+  void Dispatch(uint64_t conn_id, HttpRequest request)
+      REQUIRES(loop_thread_role);
   /// Loop thread: delivers a worker-computed response to the connection
   /// (dropped silently if it closed in the meantime).
   void CompleteRequest(uint64_t conn_id, std::string response_bytes,
-                       bool close_after);
+                       bool close_after) REQUIRES(loop_thread_role);
   /// Loop thread: tears down one connection.
-  void CloseConnection(uint64_t conn_id, bool idle_close);
+  void CloseConnection(uint64_t conn_id, bool idle_close)
+      REQUIRES(loop_thread_role);
   /// Re-arms the idle deadline (on accept and on each complete request).
-  void TouchIdleDeadline(uint64_t conn_id);
-  void OnTimer(uint64_t conn_id);
+  void TouchIdleDeadline(uint64_t conn_id) REQUIRES(loop_thread_role);
+  void OnTimer(uint64_t conn_id) REQUIRES(loop_thread_role);
 
   const EventEngineOptions options_;
   const Handler handler_;
@@ -214,9 +223,11 @@ class EventEngine {
   bool started_ = false;
   bool stopped_ = false;
 
-  // Loop-thread-only.
-  uint64_t next_conn_id_ = 1;
-  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+  // The connection registry is loop-thread-only; the role capability makes
+  // clang prove it (a worker touching connections_ is a build error).
+  uint64_t next_conn_id_ GUARDED_BY(loop_thread_role) = 1;
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_
+      GUARDED_BY(loop_thread_role);
 };
 
 }  // namespace galaxy::server

@@ -441,6 +441,8 @@ const char* EventLoop::poller_name() const {
 }
 
 void EventLoop::Run() {
+  // Run's thread IS the reactor thread for the rest of this function.
+  ClaimLoopThreadRole();
   GALAXY_CHECK(poller_ != nullptr) << "EventLoop::Init not called";
   std::vector<ReadyEvent> events;
   std::vector<uint64_t> expired;

@@ -132,21 +132,44 @@ class WorkerPool {
   std::vector<std::thread> threads_;
 };
 
+/// Annotation-only capability standing for "this code runs on the reactor
+/// (EventLoop::Run) thread". There is nothing to lock at runtime: the
+/// reactor claims the role where it holds by construction, loop-thread-only
+/// state is GUARDED_BY(loop_thread_role), and loop-thread-only methods are
+/// REQUIRES(loop_thread_role) — so clang -Wthread-safety proves that no
+/// worker or external thread reaches them, the same way it proves mutex
+/// discipline. A single process-wide token suffices: one call chain never
+/// services two loops' fds.
+class CAPABILITY("reactor thread") LoopThreadRole {};
+
+/// The token named by every reactor-thread annotation.
+inline LoopThreadRole loop_thread_role;
+
+/// Tells the analysis the current context is the reactor thread. Only call
+/// where that is true by construction: the top of EventLoop::Run, inside
+/// closures handed to Post/SetTimerCallback (they execute on the loop
+/// thread), or while the loop thread provably does not exist (before the
+/// loop starts, after it is joined).
+inline void ClaimLoopThreadRole() ASSERT_CAPABILITY(loop_thread_role) {}
+
 /// The reactor: one thread multiplexing every connection's readiness
 /// through a Poller, with cross-thread task posting (wakeup pipe) and a
 /// timer wheel for connection deadlines.
 ///
 /// Threading model: Run() executes on a dedicated thread; AddFd/UpdateFd/
 /// RemoveFd/ScheduleTimer/CancelTimer and handler callbacks all happen on
-/// that thread only. Post() and Stop() may be called from any thread —
-/// they enqueue under a mutex and wake the loop through the pipe. Worker
-/// threads therefore never touch connection state directly; they Post a
-/// closure that the loop runs.
+/// that thread only (enforced via loop_thread_role). Post() and Stop() may
+/// be called from any thread — they enqueue under a mutex and wake the
+/// loop through the pipe. Worker threads therefore never touch connection
+/// state directly; they Post a closure that the loop runs.
 class EventLoop {
  public:
   /// Per-fd callbacks. Implemented by connections and the acceptor.
   /// Callbacks run on the loop thread; a handler may RemoveFd + close its
   /// own fd inside a callback (the dispatch loop re-checks registration).
+  /// Callbacks always fire on the loop thread; implementations claim the
+  /// thread role in their bodies (ClaimLoopThreadRole) rather than via a
+  /// REQUIRES on these virtuals, so overrides stay attribute-free.
   class FdHandler {
    public:
     virtual void OnReadable() = 0;
@@ -185,15 +208,19 @@ class EventLoop {
   void Post(std::function<void()> fn) EXCLUDES(post_mutex_);
 
   // ---- Loop-thread-only API. ---------------------------------------------
-  Status AddFd(int fd, FdHandler* handler, bool want_read, bool want_write);
-  Status UpdateFd(int fd, bool want_read, bool want_write);
-  void RemoveFd(int fd);
+  Status AddFd(int fd, FdHandler* handler, bool want_read, bool want_write)
+      REQUIRES(loop_thread_role);
+  Status UpdateFd(int fd, bool want_read, bool want_write)
+      REQUIRES(loop_thread_role);
+  void RemoveFd(int fd) REQUIRES(loop_thread_role);
 
   /// Arms (or re-arms) timer `id`; on expiry the timer callback runs on
   /// the loop thread.
-  void ScheduleTimer(uint64_t id, TimerWheel::Clock::time_point deadline);
-  void CancelTimer(uint64_t id);
-  void SetTimerCallback(std::function<void(uint64_t)> cb);
+  void ScheduleTimer(uint64_t id, TimerWheel::Clock::time_point deadline)
+      REQUIRES(loop_thread_role);
+  void CancelTimer(uint64_t id) REQUIRES(loop_thread_role);
+  void SetTimerCallback(std::function<void(uint64_t)> cb)
+      REQUIRES(loop_thread_role);
 
   const char* poller_name() const;
 
@@ -203,9 +230,9 @@ class EventLoop {
 
   const Options options_;
   std::unique_ptr<Poller> poller_;
-  TimerWheel timers_;
-  std::function<void(uint64_t)> timer_callback_;
-  std::map<int, FdHandler*> handlers_;
+  TimerWheel timers_ GUARDED_BY(loop_thread_role);
+  std::function<void(uint64_t)> timer_callback_ GUARDED_BY(loop_thread_role);
+  std::map<int, FdHandler*> handlers_ GUARDED_BY(loop_thread_role);
 
   int wakeup_read_fd_ = -1;
   int wakeup_write_fd_ = -1;

@@ -1,15 +1,7 @@
 #include "server/server.h"
 
-// Reviewed: the legacy --serving-mode=threaded path (AcceptLoop /
-// ServeConnection) blocks a dedicated thread per connection by design,
-// with poll()-bounded reads and SO_SNDTIMEO so no peer can pin a thread
-// forever. New socket I/O belongs on the EventEngine instead.
-// galaxy-lint: allow-file(blocking-socket-io)
-
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -109,20 +101,6 @@ Result<std::string> TableToCsv(const Table& table) {
   return out.str();
 }
 
-bool SendAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
 Result<uint64_t> ParseUintHeader(const HttpRequest& request,
                                  std::string_view name) {
   const std::string* raw = request.FindHeader(name);
@@ -138,17 +116,6 @@ Result<uint64_t> ParseUintHeader(const HttpRequest& request,
 }
 
 }  // namespace
-
-Result<ServingMode> ParseServingMode(std::string_view name) {
-  if (name == "event") return ServingMode::kEvent;
-  if (name == "threaded") return ServingMode::kThreaded;
-  return Status::InvalidArgument("serving mode must be event or threaded, got " +
-                                 std::string(name));
-}
-
-const char* ServingModeName(ServingMode mode) {
-  return mode == ServingMode::kEvent ? "event" : "threaded";
-}
 
 Server::Server(sql::Database* db, const ServerOptions& options)
     : db_(db),
@@ -326,37 +293,33 @@ Status Server::Start() {
   listen_fd_ = fd;
   stopping_.store(false, std::memory_order_relaxed);
 
-  if (options_.mode == ServingMode::kEvent) {
-    EventEngineOptions engine_options;
-    engine_options.workers = options_.io_workers;
-    engine_options.use_epoll = options_.use_epoll;
-    engine_options.idle_timeout = options_.idle_timeout;
-    engine_options.max_output_buffer = options_.max_output_buffer;
-    ConnectionMetrics conn_metrics;
-    conn_metrics.connections_open = connections_open_;
-    conn_metrics.connections_total = connections_total_;
-    conn_metrics.idle_closed = connections_idle_closed_;
-    conn_metrics.read_stall_seconds = read_stall_seconds_;
-    engine_ = std::make_unique<EventEngine>(
-        engine_options,
-        [this](const HttpRequest& request) { return Handle(request); },
-        [this](const HttpResponse& response) { CountResponse(response); },
-        conn_metrics);
-    Status started = engine_->Start(listen_fd_);
-    if (!started.ok()) {
-      engine_.reset();
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return started;
-    }
-    return Status::OK();
+  EventEngineOptions engine_options;
+  engine_options.workers = options_.io_workers;
+  engine_options.use_epoll = options_.use_epoll;
+  engine_options.idle_timeout = options_.idle_timeout;
+  engine_options.max_output_buffer = options_.max_output_buffer;
+  ConnectionMetrics conn_metrics;
+  conn_metrics.connections_open = connections_open_;
+  conn_metrics.connections_total = connections_total_;
+  conn_metrics.idle_closed = connections_idle_closed_;
+  conn_metrics.read_stall_seconds = read_stall_seconds_;
+  engine_ = std::make_unique<EventEngine>(
+      engine_options,
+      [this](const HttpRequest& request) { return Handle(request); },
+      [this](const HttpResponse& response) { CountResponse(response); },
+      conn_metrics);
+  Status started = engine_->Start(listen_fd_);
+  if (!started.ok()) {
+    engine_.reset();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return started;
   }
-  accept_thread_ = std::thread(&Server::AcceptLoop, this);
   return Status::OK();
 }
 
 void Server::Stop() {
-  if (listen_fd_ < 0 && !accept_thread_.joinable() && engine_ == nullptr) {
+  if (listen_fd_ < 0 && engine_ == nullptr) {
     return;
   }
   stopping_.store(true, std::memory_order_relaxed);
@@ -364,139 +327,9 @@ void Server::Stop() {
     engine_->Stop();
     engine_.reset();
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
-  }
-  // Unblock every connection thread stuck in recv(), then join them.
-  {
-    common::MutexLock lock(&conn_mutex_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  std::map<uint64_t, std::thread> connections;
-  {
-    common::MutexLock lock(&conn_mutex_);
-    connections.swap(connections_);
-    finished_.clear();
-  }
-  for (auto& [id, thread] : connections) {
-    if (thread.joinable()) thread.join();
-  }
-}
-
-void Server::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    ReapFinished();
-    if (ready <= 0) continue;
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) {
-        continue;
-      }
-      break;  // listener closed or fatal error
-    }
-    connections_total_->Inc();
-    connections_open_->Add(1);
-    // Write-side stall guard: a peer that stops reading mid-response
-    // unblocks send() after the idle window instead of pinning the thread.
-    // The read side uses an explicit poll() deadline in ServeConnection —
-    // SO_RCVTIMEO alone resets on every byte, so a slowloris trickle would
-    // defeat it.
-    timeval timeout{};
-    timeout.tv_sec = static_cast<time_t>(options_.idle_timeout.count() / 1000);
-    timeout.tv_usec =
-        static_cast<suseconds_t>((options_.idle_timeout.count() % 1000) * 1000);
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-    common::MutexLock lock(&conn_mutex_);
-    const uint64_t id = next_conn_id_++;
-    conn_fds_.insert(fd);
-    connections_.emplace(id,
-                         std::thread(&Server::ServeConnection, this, fd, id));
-  }
-}
-
-void Server::ServeConnection(int fd, uint64_t conn_id) {
-  std::string buffer;
-  // The idle deadline re-arms only when a *complete* request is served:
-  // a client trickling one byte per second never resets it, so slowloris
-  // half-requests die after one window just like silent connections.
-  auto deadline = std::chrono::steady_clock::now() + options_.idle_timeout;
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    HttpRequest request;
-    HttpParseResult parsed = ParseHttpRequest(buffer, &request);
-    if (parsed.state == ParseState::kDone) {
-      buffer.erase(0, parsed.consumed);
-      HttpResponse response = Handle(request);
-      response.close = response.close || request.WantsClose();
-      if (!SendAll(fd, SerializeResponse(response))) break;
-      if (response.close) break;
-      deadline = std::chrono::steady_clock::now() + options_.idle_timeout;
-      continue;
-    }
-    if (parsed.state == ParseState::kError) {
-      HttpResponse response = JsonError(parsed.http_status, parsed.error);
-      response.close = true;
-      CountResponse(response);
-      SendAll(fd, SerializeResponse(response));
-      break;
-    }
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) {
-      connections_idle_closed_->Inc();
-      break;
-    }
-    // Bounded poll (<=100ms slices) so Stop() and the deadline are both
-    // honored promptly even while the peer is silent.
-    const auto remaining =
-        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
-    pollfd pfd{fd, POLLIN, 0};
-    int ready = ::poll(
-        &pfd, 1,
-        static_cast<int>(std::min<int64_t>(remaining.count() + 1, 100)));
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) continue;
-    char chunk[4096];
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;  // EOF, error, or Stop()'s shutdown
-    buffer.append(chunk, static_cast<size_t>(n));
-  }
-  // Forget the fd before closing it so Stop() never shuts down a recycled
-  // descriptor number.
-  {
-    common::MutexLock lock(&conn_mutex_);
-    conn_fds_.erase(fd);
-  }
-  ::close(fd);
-  connections_open_->Add(-1);
-  FinishConnection(conn_id);
-}
-
-void Server::FinishConnection(uint64_t conn_id) {
-  common::MutexLock lock(&conn_mutex_);
-  finished_.push_back(conn_id);
-}
-
-void Server::ReapFinished() {
-  std::vector<std::thread> done;
-  {
-    common::MutexLock lock(&conn_mutex_);
-    for (uint64_t id : finished_) {
-      auto it = connections_.find(id);
-      if (it != connections_.end()) {
-        done.push_back(std::move(it->second));
-        connections_.erase(it);
-      }
-    }
-    finished_.clear();
-  }
-  for (std::thread& thread : done) {
-    if (thread.joinable()) thread.join();
   }
 }
 

@@ -6,10 +6,8 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <vector>
 
 #include "common/mutex.h"
@@ -25,21 +23,6 @@
 #include "storage/durability.h"
 
 namespace galaxy::server {
-
-/// How the server multiplexes connections.
-enum class ServingMode {
-  /// Event-driven (the default): one epoll/poll reactor thread owns every
-  /// socket; queries run on a small worker pool. Scales to tens of
-  /// thousands of open connections.
-  kEvent,
-  /// Legacy thread-per-connection: one blocking-I/O thread per open
-  /// connection. Kept for one release as a differential/fallback path.
-  kThreaded,
-};
-
-/// "event"/"threaded" -> ServingMode; error on anything else.
-Result<ServingMode> ParseServingMode(std::string_view name);
-const char* ServingModeName(ServingMode mode);
 
 /// Configuration of the incrementally maintained aggregate-skyline view
 /// (core/incremental.h): /update routes record changes through it so the
@@ -59,7 +42,6 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
   uint16_t port = 0;
-  ServingMode mode = ServingMode::kEvent;
   AdmissionOptions admission;
   size_t cache_entries = 256;
   size_t cache_bytes = 64 * 1024 * 1024;
@@ -69,15 +51,14 @@ struct ServerOptions {
   /// A connection is closed (and counted in
   /// galaxy_connections_idle_closed) when no *complete* request arrives
   /// within this window. Trickling partial bytes does not reset it, so a
-  /// slowloris client cannot pin a connection past one window. Applies to
-  /// both serving modes.
+  /// slowloris client cannot pin a connection past one window.
   std::chrono::milliseconds idle_timeout{10000};
-  /// Event mode: query-execution worker threads (the reactor itself never
-  /// executes queries).
+  /// Query-execution worker threads (the reactor itself never executes
+  /// queries).
   size_t io_workers = 4;
-  /// Event mode: prefer epoll over the portable poll(2) backend.
+  /// Prefer epoll over the portable poll(2) backend.
   bool use_epoll = true;
-  /// Event mode: per-connection output-buffer backpressure threshold.
+  /// Per-connection output-buffer backpressure threshold.
   size_t max_output_buffer = 1 << 20;
   /// With durability attached: rotate to a fresh snapshot + WAL after this
   /// many logged updates (inline, on the update that crosses the
@@ -105,7 +86,7 @@ struct ServerOptions {
 ///   GET  /metrics  Prometheus text format.
 ///   GET  /healthz  Liveness probe.
 ///
-/// Threading model (ServingMode::kEvent, the default): a single reactor
+/// Threading model: a single reactor
 /// thread (server/event_loop.h) owns the listen socket and every
 /// connection — non-blocking reads feed per-connection incremental-parse
 /// state machines (server/connection.h), complete requests are handed to a
@@ -117,11 +98,6 @@ struct ServerOptions {
 /// executes on it, so queries must not originate there. Admission control
 /// (server/admission.h) still bounds concurrent query execution.
 ///
-/// ServingMode::kThreaded is the legacy model — a dedicated accept thread
-/// hands each connection its own blocking-I/O thread — kept as a
-/// differential/fallback path for one release. Both modes enforce the
-/// idle/slowloris timeout.
-///
 /// The Database outlives the server and may also be read/updated directly
 /// by the embedding process (it is internally synchronized).
 class Server {
@@ -132,13 +108,13 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens and starts the accept thread. Fails with
-  /// InvalidArgument/Internal on bad host or occupied port.
+  /// Binds, listens and starts the event engine (reactor + worker pool).
+  /// Fails with InvalidArgument/Internal on bad host or occupied port.
   Status Start();
 
-  /// Stops accepting, unblocks and joins every connection thread. Safe to
-  /// call twice; called by the destructor.
-  void Stop() EXCLUDES(conn_mutex_);
+  /// Stops the event engine and closes the listener. Safe to call twice;
+  /// called by the destructor.
+  void Stop();
 
   /// The bound TCP port (after Start()).
   uint16_t port() const { return port_; }
@@ -190,11 +166,6 @@ class Server {
     std::vector<double> signs;  // +1 max, -1 min per attr
     std::vector<PendingDelta> pending;
   };
-
-  void AcceptLoop() EXCLUDES(conn_mutex_);
-  void ServeConnection(int fd, uint64_t conn_id) EXCLUDES(conn_mutex_);
-  void FinishConnection(uint64_t conn_id) EXCLUDES(conn_mutex_);
-  void ReapFinished() EXCLUDES(conn_mutex_);
 
   HttpResponse HandleQuery(const HttpRequest& request);
   HttpResponse HandleUpdate(const HttpRequest& request)
@@ -279,16 +250,7 @@ class Server {
   std::atomic<bool> stopping_{false};
   int listen_fd_ = -1;
   uint16_t port_ = 0;
-  /// Event mode only.
   std::unique_ptr<EventEngine> engine_;
-  /// Threaded mode only.
-  std::thread accept_thread_;
-
-  common::Mutex conn_mutex_;
-  uint64_t next_conn_id_ GUARDED_BY(conn_mutex_) = 0;
-  std::map<uint64_t, std::thread> connections_ GUARDED_BY(conn_mutex_);
-  std::set<int> conn_fds_ GUARDED_BY(conn_mutex_);
-  std::vector<uint64_t> finished_ GUARDED_BY(conn_mutex_);
 };
 
 }  // namespace galaxy::server

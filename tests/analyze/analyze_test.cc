@@ -1,0 +1,185 @@
+// Whole-program analyzer tests (tools/analyze/analyze.h). Every scenario
+// here is cross-TU on purpose: fixtures are analyzed in pairs under
+// synthetic paths, so the rules must flow facts through the linked call
+// graph, not just within one file. The fixtures in fixtures/ are never
+// compiled — they only need to satisfy the extractor's token grammar.
+#include "analyze.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace galaxy::analyze {
+namespace {
+
+using lint::Diagnostic;
+
+std::string ReadFixture(const std::string& name) {
+  std::string path = std::string(GALAXY_ANALYZE_FIXTURES) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Analyzes fixtures as one program: (fixture file, synthetic path) pairs.
+std::vector<Diagnostic> AnalyzeFixtures(
+    const std::vector<std::pair<std::string, std::string>>& named) {
+  std::vector<std::pair<std::string, std::string>> inputs;
+  for (const auto& [fixture, path] : named) {
+    inputs.emplace_back(path, ReadFixture(fixture));
+  }
+  return AnalyzeFiles(inputs);
+}
+
+size_t CountRule(const std::vector<Diagnostic>& diags,
+                 const std::string& rule) {
+  size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule) ++n;
+  }
+  return n;
+}
+
+bool AnyMessageContains(const std::vector<Diagnostic>& diags,
+                        const std::string& rule, const std::string& text) {
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule && d.message.find(text) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- lock-order -----------------------------------------------------------
+
+TEST(LockOrderRule, CrossTuCycleDetected) {
+  auto diags = AnalyzeFixtures({
+      {"lock_cycle_a.cc", "src/server/lock_cycle_a.cc"},
+      {"lock_cycle_b.cc", "src/server/lock_cycle_b.cc"},
+  });
+  EXPECT_GE(CountRule(diags, "lock-order"), 1u);
+  EXPECT_TRUE(AnyMessageContains(diags, "lock-order", "g_first"));
+  EXPECT_TRUE(AnyMessageContains(diags, "lock-order", "g_second"));
+}
+
+TEST(LockOrderRule, EitherHalfAloneIsClean) {
+  // The cycle only exists in the linked program; each TU in isolation
+  // must be clean (no same-file inversion exists).
+  for (const char* f : {"lock_cycle_a.cc", "lock_cycle_b.cc"}) {
+    auto diags = AnalyzeFixtures({{f, std::string("src/server/") + f}});
+    EXPECT_EQ(CountRule(diags, "lock-order"), 0u) << f;
+  }
+}
+
+TEST(LockOrderRule, ConsistentCrossTuOrderIsClean) {
+  auto diags = AnalyzeFixtures({
+      {"lock_clean_a.cc", "src/server/lock_clean_a.cc"},
+      {"lock_clean_b.cc", "src/server/lock_clean_b.cc"},
+  });
+  EXPECT_EQ(CountRule(diags, "lock-order"), 0u);
+}
+
+TEST(LockOrderRule, DeclaredOrderContradictionDetected) {
+  auto diags =
+      AnalyzeFixtures({{"order_mismatch.cc", "src/server/order_mismatch.cc"}});
+  EXPECT_GE(CountRule(diags, "lock-order"), 1u);
+  EXPECT_TRUE(AnyMessageContains(diags, "lock-order", "fast_mu_"));
+}
+
+TEST(LockOrderRule, DeclaredOrderRespectedIsClean) {
+  auto diags =
+      AnalyzeFixtures({{"order_match.cc", "src/server/order_match.cc"}});
+  EXPECT_EQ(CountRule(diags, "lock-order"), 0u);
+}
+
+// ---- reactor-blocking -----------------------------------------------------
+
+TEST(ReactorBlockingRule, BlockingTwoCallsDeepAcrossTus) {
+  auto diags = AnalyzeFixtures({
+      {"blocking_entry.cc", "src/server/slow_sink.cc"},
+      {"blocking_deep.cc", "src/server/slow_stages.cc"},
+  });
+  // Exactly one finding: OnReadable -> StageOne -> StageTwo -> fsync. The
+  // OnHangup path hands the same work to a worker via Submit and must NOT
+  // be reported — worker threads may block.
+  EXPECT_EQ(CountRule(diags, "reactor-blocking"), 1u);
+  EXPECT_TRUE(AnyMessageContains(diags, "reactor-blocking", "fsync"));
+  EXPECT_TRUE(AnyMessageContains(diags, "reactor-blocking", "OnReadable"));
+  EXPECT_FALSE(AnyMessageContains(diags, "reactor-blocking", "OnHangup"));
+}
+
+TEST(ReactorBlockingRule, HelpersAloneAreClean) {
+  // Without a reactor entry in the program, blocking helpers are fine.
+  auto diags =
+      AnalyzeFixtures({{"blocking_deep.cc", "src/server/slow_stages.cc"}});
+  EXPECT_EQ(CountRule(diags, "reactor-blocking"), 0u);
+}
+
+// ---- budget-reach ---------------------------------------------------------
+
+TEST(BudgetReachRule, UnchargedLoopsReachableAcrossTus) {
+  auto diags = AnalyzeFixtures({
+      {"budget_deep_bad.cc", "src/core/algorithm_fixture.cc"},
+      {"budget_helper_bad.cc", "src/skyline/pair_block.cc"},
+  });
+  EXPECT_GE(CountRule(diags, "budget-reach"), 1u);
+  // The cross-TU half: the helper's loop must be reported even though its
+  // own file is not an entry point.
+  EXPECT_TRUE(AnyMessageContains(diags, "budget-reach", "CountPairBlock"));
+}
+
+TEST(BudgetReachRule, HelperAloneIsClean) {
+  auto diags =
+      AnalyzeFixtures({{"budget_helper_bad.cc", "src/skyline/pair_block.cc"}});
+  EXPECT_EQ(CountRule(diags, "budget-reach"), 0u);
+}
+
+TEST(BudgetReachRule, ChargeInCalleeSatisfiesTheRule) {
+  auto diags = AnalyzeFixtures(
+      {{"budget_callee_good.cc", "src/core/algorithm_charged.cc"}});
+  EXPECT_EQ(CountRule(diags, "budget-reach"), 0u);
+}
+
+// ---- suppressions ---------------------------------------------------------
+
+TEST(Suppressions, CommentBlockAboveTheDiagnosedLine) {
+  auto diags = AnalyzeFixtures(
+      {{"suppress_line.cc", "src/core/algorithm_suppressed.cc"}});
+  EXPECT_EQ(CountRule(diags, "budget-reach"), 0u);
+}
+
+TEST(Suppressions, FileLevelAllow) {
+  auto diags = AnalyzeFixtures(
+      {{"suppress_file.cc", "src/core/algorithm_file_suppressed.cc"}});
+  EXPECT_EQ(CountRule(diags, "budget-reach"), 0u);
+}
+
+TEST(Suppressions, UnsuppressedTwinStillFires) {
+  // Guards against the suppression tests passing vacuously: the same loop
+  // without the allow comment must fire.
+  auto diags = AnalyzeFixtures(
+      {{"budget_deep_bad.cc", "src/core/algorithm_fixture.cc"},
+       {"budget_helper_bad.cc", "src/skyline/pair_block.cc"}});
+  EXPECT_GE(CountRule(diags, "budget-reach"), 1u);
+}
+
+// ---- plumbing -------------------------------------------------------------
+
+TEST(Plumbing, RuleNamesAreStable) {
+  std::vector<std::string> names = RuleNames();
+  EXPECT_EQ(names.size(), 3u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "lock-order"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "reactor-blocking"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "budget-reach"),
+            names.end());
+}
+
+}  // namespace
+}  // namespace galaxy::analyze

@@ -1,0 +1,9 @@
+// Fixture: helpers for blocking_entry.cc — the blocking fsync sits two
+// hops from the reactor entry, in a different TU.
+void StageTwo(int fd) {
+  fsync(fd);
+}
+
+void StageOne() {
+  StageTwo(3);
+}

@@ -1,0 +1,20 @@
+// Fixture: a reactor entry point (FdHandler-shaped OnReadable) that
+// reaches a blocking primitive two calls deep, across TUs (the helpers
+// live in blocking_deep.cc). OnHangup stays clean: the slow work escapes
+// to a worker via Submit, so it never runs on the loop thread.
+class SlowSink {
+ public:
+  void OnReadable();
+  void OnHangup();
+
+ private:
+  WorkerPool* pool_ = nullptr;
+};
+
+void SlowSink::OnReadable() {
+  StageOne();
+}
+
+void SlowSink::OnHangup() {
+  pool_->Submit([] { StageOne(); });
+}

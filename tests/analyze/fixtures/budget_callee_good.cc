@@ -1,0 +1,15 @@
+// Fixture: the nested scan itself never calls Charge, but every inner
+// iteration goes through AccumulatePair, which does — charging in the
+// callee satisfies the budget rule.
+void AccumulatePair(ExecutionContext* exec, int i, int j) {
+  if (!exec->Charge(1)) return;
+  Consume(i, j);
+}
+
+void ScanCharged(ExecutionContext* exec, int n) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      AccumulatePair(exec, i, j);
+    }
+  }
+}

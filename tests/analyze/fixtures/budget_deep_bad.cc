@@ -1,0 +1,11 @@
+// Fixture: analyzed under a src/core/algorithm_* path, so ScanAllPairs is
+// a budget entry point. The nested loop reaches CountPairBlock — which has
+// its own depth-2 loop and never charges — along a charge-free path that
+// crosses into budget_helper_bad.cc.
+void ScanAllPairs(int n) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      CountPairBlock(i, j);
+    }
+  }
+}

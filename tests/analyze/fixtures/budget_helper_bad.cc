@@ -1,0 +1,12 @@
+// Fixture: cross-TU callee of budget_deep_bad.cc with an uncharged
+// depth-2 loop. Not an entry file itself — only reachability from the
+// algorithm entry makes it reportable.
+int CountPairBlock(int a, int b) {
+  int count = 0;
+  for (int i = 0; i < a; ++i) {
+    for (int j = 0; j < b; ++j) {
+      count += i * j;
+    }
+  }
+  return count;
+}

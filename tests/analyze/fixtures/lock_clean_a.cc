@@ -1,0 +1,10 @@
+// Fixture: two TUs nesting the same locks in a CONSISTENT order; the
+// linked acquisition graph is acyclic and must produce no finding.
+#include "common/mutex.h"
+
+common::Mutex g_outer;
+
+void OuterThenInnerDirect() {
+  common::MutexLock lock(&g_outer);
+  InnerOnly();
+}

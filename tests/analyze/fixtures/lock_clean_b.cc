@@ -1,0 +1,13 @@
+// Fixture: consistent-order partner of lock_clean_a.cc.
+#include "common/mutex.h"
+
+common::Mutex g_inner;
+
+void InnerOnly() {
+  common::MutexLock lock(&g_inner);
+}
+
+void OuterThenInnerAgain() {
+  common::MutexLock lock(&g_outer);
+  common::MutexLock inner(&g_inner);
+}

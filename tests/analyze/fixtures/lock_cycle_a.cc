@@ -1,0 +1,16 @@
+// Fixture: one half of a cross-TU lock-order cycle. This TU takes
+// g_first, then calls into lock_cycle_b.cc while holding it; the other TU
+// takes g_second before calling back into TakeFirstInner. Neither file is
+// a deadlock on its own — only the linked graph shows the cycle.
+#include "common/mutex.h"
+
+common::Mutex g_first;
+
+void TakeFirstThenSecond() {
+  common::MutexLock lock(&g_first);
+  SecondUnderFirst();
+}
+
+void TakeFirstInner() {
+  common::MutexLock lock(&g_first);
+}

@@ -1,0 +1,13 @@
+// Fixture: the other half of the cross-TU cycle (see lock_cycle_a.cc).
+#include "common/mutex.h"
+
+common::Mutex g_second;
+
+void SecondUnderFirst() {
+  common::MutexLock lock(&g_second);
+}
+
+void TakeSecondThenFirst() {
+  common::MutexLock lock(&g_second);
+  TakeFirstInner();
+}

@@ -1,0 +1,17 @@
+// Fixture: declared ACQUIRED_BEFORE order respected by the body; no
+// finding.
+#include "common/mutex.h"
+
+class Ledger {
+ public:
+  void Update();
+
+ private:
+  common::Mutex first_mu_ ACQUIRED_BEFORE(second_mu_);
+  common::Mutex second_mu_;
+};
+
+void Ledger::Update() {
+  common::MutexLock first(&first_mu_);
+  common::MutexLock second(&second_mu_);
+}

@@ -1,0 +1,18 @@
+// Fixture: the body contradicts the declared ACQUIRED_BEFORE order — the
+// derived edge slow_mu_ -> fast_mu_ closes a cycle with the declared
+// fast_mu_ -> slow_mu_ edge.
+#include "common/mutex.h"
+
+class Registry {
+ public:
+  void Update();
+
+ private:
+  common::Mutex fast_mu_ ACQUIRED_BEFORE(slow_mu_);
+  common::Mutex slow_mu_;
+};
+
+void Registry::Update() {
+  common::MutexLock slow(&slow_mu_);
+  common::MutexLock fast(&fast_mu_);
+}

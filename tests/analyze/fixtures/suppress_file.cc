@@ -1,0 +1,10 @@
+// Fixture: file-level suppression of the budget rule.
+// galaxy-analyze: allow-file(budget-reach)
+void ScanFileSuppressed(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      acc += i * j;
+    }
+  }
+}

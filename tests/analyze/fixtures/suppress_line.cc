@@ -1,0 +1,13 @@
+// Fixture: the same uncharged nested loop as budget_deep_bad.cc, but the
+// finding is suppressed by a comment block directly above the diagnosed
+// (inner-loop) line.
+void ScanSuppressed(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    // Bounded by a constant in the real-code analogue of this fixture.
+    // galaxy-analyze: allow(budget-reach)
+    for (int j = 0; j < n; ++j) {
+      acc += i * j;
+    }
+  }
+}

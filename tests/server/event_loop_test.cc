@@ -287,14 +287,17 @@ TEST_F(EventLoopTest, TimerCallbackFiresOnTheLoopThread) {
   std::condition_variable cv;
   uint64_t fired_id = 0;
   std::thread::id fired_on;
-  loop_->SetTimerCallback([&](uint64_t id) {
-    std::lock_guard<std::mutex> lock(mutex);
-    fired_id = id;
-    fired_on = std::this_thread::get_id();
-    cv.notify_one();
-  });
-  // ScheduleTimer is loop-thread-only; reach it through Post.
+  // SetTimerCallback and ScheduleTimer are loop-thread-only; reach them
+  // through Post. (Setting the callback directly here would race with the
+  // running loop's reads of it — the thread-role annotation rejects it.)
   loop_->Post([&] {
+    ClaimLoopThreadRole();  // Posted closures run on the loop thread.
+    loop_->SetTimerCallback([&](uint64_t id) {
+      std::lock_guard<std::mutex> lock(mutex);
+      fired_id = id;
+      fired_on = std::this_thread::get_id();
+      cv.notify_one();
+    });
     loop_->ScheduleTimer(42, TimerWheel::Clock::now() + milliseconds(20));
   });
   std::unique_lock<std::mutex> lock(mutex);
@@ -329,7 +332,6 @@ TEST(PollFallbackServerTest, QueryRoundTripsOverARealSocket) {
 
   ServerOptions options;
   options.port = 0;
-  options.mode = ServingMode::kEvent;
   options.use_epoll = false;
   Server server(&db, options);
   ASSERT_TRUE(server.Start().ok());

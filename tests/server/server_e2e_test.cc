@@ -1,12 +1,8 @@
 // End-to-end serving-layer tests over real loopback sockets: round trips,
 // admission-control rejection, deterministic graceful degradation (206),
 // result-cache hits and their invalidation by /update, the incremental
-// skyline view, the metrics endpoint, and the idle/slowloris guard.
-//
-// The whole suite is parameterized over ServingMode and runs once against
-// the event-driven engine and once against the legacy thread-per-
-// connection path — the two models must be behaviorally indistinguishable
-// from the wire.
+// skyline view, the metrics endpoint, and the idle/slowloris guard — all
+// against the event-driven engine (the only serving model).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -117,12 +113,11 @@ Table GroupedTable(int groups, int per_group, uint64_t seed) {
   return Table(schema, std::move(rows));
 }
 
-class ServerE2eTest : public ::testing::TestWithParam<ServingMode> {
+class ServerE2eTest : public ::testing::Test {
  protected:
   void StartServer(Table table, ServerOptions options = {}) {
     db_.Register("data", std::move(table));
     options.port = 0;  // ephemeral
-    options.mode = GetParam();
     server_ = std::make_unique<Server>(&db_, options);
     ASSERT_TRUE(server_->Start().ok());
     port_ = server_->port();
@@ -134,14 +129,7 @@ class ServerE2eTest : public ::testing::TestWithParam<ServingMode> {
   uint16_t port_ = 0;
 };
 
-INSTANTIATE_TEST_SUITE_P(
-    Modes, ServerE2eTest,
-    ::testing::Values(ServingMode::kEvent, ServingMode::kThreaded),
-    [](const ::testing::TestParamInfo<ServingMode>& info) {
-      return info.param == ServingMode::kEvent ? "Event" : "Threaded";
-    });
-
-TEST_P(ServerE2eTest, HealthzAndUnknownRoutes) {
+TEST_F(ServerE2eTest, HealthzAndUnknownRoutes) {
   StartServer(GroupedTable(2, 2, 1));
   ClientResponse health =
       Exchange(port_, "GET /healthz HTTP/1.1\r\n\r\n");
@@ -155,7 +143,7 @@ TEST_P(ServerE2eTest, HealthzAndUnknownRoutes) {
   EXPECT_EQ(Exchange(port_, "BAD\r\n\r\n").status, 400);
 }
 
-TEST_P(ServerE2eTest, QueryRoundTripJsonAndCsv) {
+TEST_F(ServerE2eTest, QueryRoundTripJsonAndCsv) {
   StartServer(GroupedTable(3, 4, 2));
   const std::string sql =
       "SELECT class, count(*) FROM data GROUP BY class ORDER BY class";
@@ -176,7 +164,7 @@ TEST_P(ServerE2eTest, QueryRoundTripJsonAndCsv) {
   EXPECT_NE(csv.body.find("g0,4"), std::string::npos);
 }
 
-TEST_P(ServerE2eTest, BadSqlIs400AndEmptyBodyIs400) {
+TEST_F(ServerE2eTest, BadSqlIs400AndEmptyBodyIs400) {
   StartServer(GroupedTable(2, 2, 3));
   EXPECT_EQ(Exchange(port_, QueryRequest("SELECT FROM nothing")).status, 400);
   EXPECT_EQ(Exchange(port_, QueryRequest("SELECT * FROM missing")).status,
@@ -186,7 +174,7 @@ TEST_P(ServerE2eTest, BadSqlIs400AndEmptyBodyIs400) {
   EXPECT_EQ(empty.status, 400);
 }
 
-TEST_P(ServerE2eTest, OverloadReturns429) {
+TEST_F(ServerE2eTest, OverloadReturns429) {
   ServerOptions options;
   options.admission.max_concurrent = 1;
   options.admission.queue_capacity = 0;
@@ -217,7 +205,7 @@ TEST_P(ServerE2eTest, OverloadReturns429) {
   EXPECT_EQ(other.load(), 0);
 }
 
-TEST_P(ServerE2eTest, ComparisonBudgetDegradesTo206) {
+TEST_F(ServerE2eTest, ComparisonBudgetDegradesTo206) {
   StartServer(GroupedTable(50, 100, 5));
   const std::string sql =
       "SELECT class FROM data GROUP BY class "
@@ -252,7 +240,7 @@ TEST_P(ServerE2eTest, ComparisonBudgetDegradesTo206) {
   }
 }
 
-TEST_P(ServerE2eTest, TinyWallDeadlineIsBoundedAndSound) {
+TEST_F(ServerE2eTest, TinyWallDeadlineIsBoundedAndSound) {
   StartServer(GroupedTable(40, 60, 6));
   const std::string sql =
       "SELECT class FROM data GROUP BY class "
@@ -270,7 +258,7 @@ TEST_P(ServerE2eTest, TinyWallDeadlineIsBoundedAndSound) {
   }
 }
 
-TEST_P(ServerE2eTest, CacheHitThenInvalidationAfterUpdate) {
+TEST_F(ServerE2eTest, CacheHitThenInvalidationAfterUpdate) {
   StartServer(GroupedTable(3, 3, 7));
   const std::string sql =
       "SELECT class, count(*) FROM data GROUP BY class ORDER BY class";
@@ -307,7 +295,7 @@ TEST_P(ServerE2eTest, CacheHitThenInvalidationAfterUpdate) {
   EXPECT_GE(stats.invalidations, 1u);
 }
 
-TEST_P(ServerE2eTest, UpdateValidation) {
+TEST_F(ServerE2eTest, UpdateValidation) {
   StartServer(GroupedTable(2, 2, 8));
   // Unknown table.
   EXPECT_EQ(Exchange(port_,
@@ -335,7 +323,7 @@ TEST_P(ServerE2eTest, UpdateValidation) {
             404);
 }
 
-TEST_P(ServerE2eTest, SkylineViewMaintainedAcrossUpdates) {
+TEST_F(ServerE2eTest, SkylineViewMaintainedAcrossUpdates) {
   StartServer(GroupedTable(3, 5, 9));
   SkylineViewConfig view;
   view.table = "data";
@@ -376,7 +364,7 @@ TEST_P(ServerE2eTest, SkylineViewMaintainedAcrossUpdates) {
   EXPECT_EQ(restored.body.find("\"champ\""), std::string::npos);
 }
 
-TEST_P(ServerE2eTest, MetricsEndpointReportsServingCounters) {
+TEST_F(ServerE2eTest, MetricsEndpointReportsServingCounters) {
   StartServer(GroupedTable(2, 3, 10));
   const std::string sql = "SELECT count(*) FROM data";
   EXPECT_EQ(Exchange(port_, QueryRequest(sql)).status, 200);
@@ -398,7 +386,7 @@ TEST_P(ServerE2eTest, MetricsEndpointReportsServingCounters) {
   }
 }
 
-TEST_P(ServerE2eTest, KeepAliveServesSequentialRequestsOnOneConnection) {
+TEST_F(ServerE2eTest, KeepAliveServesSequentialRequestsOnOneConnection) {
   StartServer(GroupedTable(2, 2, 11));
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   ASSERT_GE(fd, 0);
@@ -424,7 +412,7 @@ TEST_P(ServerE2eTest, KeepAliveServesSequentialRequestsOnOneConnection) {
   ::close(fd);
 }
 
-TEST_P(ServerE2eTest, PipelinedRequestsAnsweredInOrder) {
+TEST_F(ServerE2eTest, PipelinedRequestsAnsweredInOrder) {
   StartServer(GroupedTable(2, 2, 13));
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   ASSERT_GE(fd, 0);
@@ -486,7 +474,7 @@ TEST_P(ServerE2eTest, PipelinedRequestsAnsweredInOrder) {
   EXPECT_EQ(statuses[2], 404);
 }
 
-TEST_P(ServerE2eTest, RequestSplitIntoSingleByteWritesParses) {
+TEST_F(ServerE2eTest, RequestSplitIntoSingleByteWritesParses) {
   StartServer(GroupedTable(2, 2, 14));
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   ASSERT_GE(fd, 0);
@@ -515,7 +503,7 @@ TEST_P(ServerE2eTest, RequestSplitIntoSingleByteWritesParses) {
   ::close(fd);
 }
 
-TEST_P(ServerE2eTest, StalledHalfRequestIsIdleClosedAndCounted) {
+TEST_F(ServerE2eTest, StalledHalfRequestIsIdleClosedAndCounted) {
   ServerOptions options;
   options.idle_timeout = std::chrono::milliseconds(200);
   StartServer(GroupedTable(2, 2, 15), options);
@@ -553,7 +541,7 @@ TEST_P(ServerE2eTest, StalledHalfRequestIsIdleClosedAndCounted) {
   EXPECT_GE(closed, 1);
 }
 
-TEST_P(ServerE2eTest, StopUnblocksOpenConnections) {
+TEST_F(ServerE2eTest, StopUnblocksOpenConnections) {
   StartServer(GroupedTable(2, 2, 12));
   // Open a connection, send nothing, then stop the server: Stop() must
   // return promptly (shutdown unblocks the connection's recv).

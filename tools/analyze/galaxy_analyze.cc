@@ -1,0 +1,112 @@
+// galaxy_analyze — whole-program static analyzer CLI.
+//
+//   galaxy_analyze [paths...]     analyze files / directory trees together
+//   galaxy_analyze --list-rules   print rule names
+//
+// All named files form ONE program: per-TU models are linked into a
+// cross-TU call graph before the rules run, so findings can span files.
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourceFile(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+/// Directory-walk skip list: build trees, VCS metadata, vendored code, and
+/// the deliberately-broken analyzer/lint test fixtures.
+bool SkippedComponent(const fs::path& p) {
+  for (const auto& part : p) {
+    std::string s = part.string();
+    if (s == "build" || s == ".git" || s == "third_party" ||
+        s == "fixtures" || s.rfind("build-", 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: galaxy_analyze [--list-rules] [paths...]\n"
+               "       analyzes the named files/trees as one program\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& r : galaxy::analyze::RuleNames()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') return Usage();
+    roots.push_back(arg);
+  }
+  if (roots.empty()) return Usage();
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file() && IsSourceFile(it->path()) &&
+            !SkippedComponent(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+      if (ec) {
+        std::fprintf(stderr, "galaxy_analyze: error walking %s: %s\n",
+                     root.c_str(), ec.message().c_str());
+        return 2;
+      }
+    } else {
+      files.push_back(root);  // explicitly named files are always analyzed
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<std::pair<std::string, std::string>> inputs;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      std::fprintf(stderr, "galaxy_analyze: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    inputs.emplace_back(path, buf.str());
+  }
+
+  std::vector<galaxy::lint::Diagnostic> diags =
+      galaxy::analyze::AnalyzeFiles(inputs);
+  for (const auto& d : diags) {
+    std::printf("%s\n", d.ToString().c_str());
+  }
+  std::fprintf(stderr, "galaxy_analyze: %zu file(s), %zu finding(s)\n",
+               inputs.size(), diags.size());
+  return diags.empty() ? 0 : 1;
+}

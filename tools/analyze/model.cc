@@ -1,0 +1,798 @@
+#include "analyze.h"
+
+#include <algorithm>
+#include <set>
+
+/// Model extraction: one linear walk over the galaxy_lint token stream with
+/// an explicit scope stack (namespace / class / function / loop / control
+/// blocks), speculative function-header scanning at class and namespace
+/// scope, and RAII / explicit lock-scope tracking inside function bodies.
+/// This is a heuristic token parser, not a compiler: macros are not
+/// expanded, and anything it cannot shape-match it skips conservatively
+/// (see the limits note in analyze.h).
+namespace galaxy::analyze {
+namespace {
+
+using lint::LexedFile;
+using lint::Token;
+using lint::TokenKind;
+
+bool IsIdent(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+bool IsPunct(const Token& t, const char* s) {
+  return t.kind == TokenKind::kPunct && t.text == s;
+}
+
+const std::set<std::string>& RaiiLockTypes() {
+  static const std::set<std::string> kTypes = {
+      "MutexLock", "WriterMutexLock", "ReaderMutexLock", "SharedMutexLock"};
+  return kTypes;
+}
+
+/// Identifiers that look like calls but are statements/operators.
+const std::set<std::string>& NonCallKeywords() {
+  static const std::set<std::string> kWords = {
+      "if",       "for",     "while",    "switch",   "catch",  "return",
+      "sizeof",   "alignof", "decltype", "typeid",   "new",    "delete",
+      "throw",    "case",    "goto",     "else",     "do",     "co_return",
+      "co_await", "static_assert"};
+  return kWords;
+}
+
+/// Evidence that a function participates in ExecutionContext budgeting —
+/// the same set galaxy_lint's local budget-charge rule accepts.
+const std::set<std::string>& ChargeEvidence() {
+  static const std::set<std::string> kNames = {
+      "Charge",      "ChargeBatched",  "Compare", "CheckInterrupt",
+      "interrupted", "stopped",        "ShouldStop"};
+  return kNames;
+}
+
+/// Qualifier-ish tokens allowed between a function header's `)` and its
+/// body / terminating `;`.
+const std::set<std::string>& HeaderQualifiers() {
+  static const std::set<std::string> kWords = {"const", "noexcept", "override",
+                                               "final", "mutable", "try"};
+  return kWords;
+}
+
+/// Thread-safety macros that may trail a function header. REQUIRES /
+/// REQUIRES_SHARED arguments are captured; the rest are skipped.
+const std::set<std::string>& HeaderAnnotations() {
+  static const std::set<std::string> kWords = {
+      "REQUIRES",        "REQUIRES_SHARED",  "EXCLUDES",
+      "ACQUIRE",         "ACQUIRE_SHARED",   "RELEASE",
+      "RELEASE_SHARED",  "RELEASE_GENERIC",  "TRY_ACQUIRE",
+      "TRY_ACQUIRE_SHARED", "RETURN_CAPABILITY",
+      "NO_THREAD_SAFETY_ANALYSIS", "ASSERT_CAPABILITY"};
+  return kWords;
+}
+
+/// Thread-safety macros that trail a member declaration.
+const std::set<std::string>& MemberAnnotations() {
+  static const std::set<std::string> kWords = {
+      "ACQUIRED_BEFORE", "ACQUIRED_AFTER", "GUARDED_BY", "PT_GUARDED_BY"};
+  return kWords;
+}
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kFunction, kLoop, kControl, kPlain };
+  Kind kind = kPlain;
+  std::string name;      ///< class name for kClass
+  int func = -1;         ///< funcs_ index for kFunction
+  size_t held_base = 0;  ///< held-lock stack size on entry
+};
+
+struct ParenInfo {
+  enum Kind { kCall, kControl, kLoopHead, kGroup };
+  Kind kind = kGroup;
+  std::string call_name;
+};
+
+struct HeldLock {
+  std::string lock;
+  size_t func_depth = 0;  ///< #function scopes on the stack at acquisition
+};
+
+class Extractor {
+ public:
+  Extractor(std::string path, const std::string& content) {
+    model_.path = std::move(path);
+    std::replace(model_.path.begin(), model_.path.end(), '\\', '/');
+    model_.lexed = lint::Lex(content);
+  }
+
+  FileModel Run() {
+    const std::vector<Token>& toks = model_.lexed.tokens;
+    for (i_ = 0; i_ < toks.size(); ++i_) {
+      const Token& t = toks[i_];
+      if (t.kind == TokenKind::kPreproc) continue;
+      if (IsPunct(t, "{")) {
+        OpenBrace(t);
+        continue;
+      }
+      if (IsPunct(t, "}")) {
+        CloseBrace();
+        continue;
+      }
+      if (IsPunct(t, "(")) {
+        if (InClassScope() && CurFunc() == nullptr) member_buf_.push_back(t);
+        OpenParen();
+        continue;
+      }
+      if (IsPunct(t, ")")) {
+        if (InClassScope() && CurFunc() == nullptr) member_buf_.push_back(t);
+        CloseParen();
+        continue;
+      }
+      if (IsPunct(t, ";") && parens_.empty()) {
+        pending_ = Pending::kNone;
+        FlushMemberDecl();
+        continue;
+      }
+      if (IsPunct(t, "[") && CurFunc() != nullptr) {
+        MaybeLambda();
+        continue;
+      }
+      if (IsIdent(t)) {
+        HandleIdent(t);
+      }
+      if (InClassScope() && CurFunc() == nullptr) member_buf_.push_back(t);
+    }
+    return std::move(model_);
+  }
+
+ private:
+  enum class Pending { kNone, kNamespace, kClass, kLoop, kControl, kFunction };
+
+  const std::vector<Token>& Toks() const { return model_.lexed.tokens; }
+
+  /// Previous non-preproc token before index `at` (or `i_`).
+  const Token* Prev(size_t back = 1) const {
+    size_t seen = 0;
+    for (size_t j = i_; j > 0; --j) {
+      const Token& t = Toks()[j - 1];
+      if (t.kind == TokenKind::kPreproc) continue;
+      if (++seen == back) return &t;
+    }
+    return nullptr;
+  }
+
+  Function* CurFunc() {
+    if (func_stack_.empty()) return nullptr;
+    return &model_.functions[func_stack_.back()];
+  }
+
+  bool InClassScope() const {
+    return !scopes_.empty() && scopes_.back().kind == Scope::kClass;
+  }
+
+  std::string EnclosingClass() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kClass) return it->name;
+      if (it->kind == Scope::kFunction) break;  // member fns carry their own
+    }
+    if (!func_stack_.empty()) return model_.functions[func_stack_.back()].cls;
+    return "";
+  }
+
+  size_t LoopDepth() const {
+    size_t depth = 0;
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kFunction) break;
+      if (it->kind == Scope::kLoop) ++depth;
+    }
+    return depth;
+  }
+
+  std::vector<std::string> HeldNow() const {
+    std::vector<std::string> out;
+    for (const HeldLock& h : held_) {
+      if (h.func_depth == func_stack_.size()) out.push_back(h.lock);
+    }
+    return out;
+  }
+
+  /// Canonical lock id for a receiver/argument expression: strips `&` and
+  /// `this->`, and qualifies by the enclosing class so `mutex_` in two
+  /// classes stays two distinct locks.
+  std::string CanonLock(std::string expr) const {
+    if (!expr.empty() && expr.front() == '&') expr.erase(0, 1);
+    if (expr.rfind("this->", 0) == 0) expr.erase(0, 6);
+    if (expr.empty()) return expr;
+    std::string cls = EnclosingClass();
+    if (cls.empty()) return expr;
+    return cls + "::" + expr;
+  }
+
+  // ---- braces / scopes ----------------------------------------------------
+
+  void OpenBrace(const Token& t) {
+    Scope s;
+    s.held_base = held_.size();
+    switch (pending_) {
+      case Pending::kNamespace:
+        s.kind = Scope::kNamespace;
+        break;
+      case Pending::kClass:
+        s.kind = Scope::kClass;
+        s.name = pending_name_;
+        break;
+      case Pending::kLoop: {
+        s.kind = Scope::kLoop;
+        break;
+      }
+      case Pending::kControl:
+        s.kind = Scope::kControl;
+        break;
+      case Pending::kFunction:
+        s.kind = Scope::kFunction;
+        s.func = pending_func_;
+        break;
+      case Pending::kNone:
+        s.kind = Scope::kPlain;
+        break;
+    }
+    pending_ = Pending::kNone;
+    pending_name_.clear();
+    scopes_.push_back(s);
+    if (s.kind == Scope::kFunction) func_stack_.push_back(s.func);
+    if (s.kind == Scope::kLoop) {
+      if (Function* f = CurFunc()) {
+        size_t depth = LoopDepth();
+        f->max_loop_depth = std::max(f->max_loop_depth, depth);
+        if (depth >= 2 && f->deep_loop_line == 0) f->deep_loop_line = t.line;
+      }
+    }
+    member_buf_.clear();
+  }
+
+  void CloseBrace() {
+    if (scopes_.empty()) return;
+    Scope s = scopes_.back();
+    scopes_.pop_back();
+    held_.resize(std::min(held_.size(), s.held_base));
+    if (s.kind == Scope::kFunction && !func_stack_.empty()) {
+      func_stack_.pop_back();
+    }
+    member_buf_.clear();
+    pending_ = Pending::kNone;
+  }
+
+  // ---- identifiers --------------------------------------------------------
+
+  void HandleIdent(const Token& t) {
+    const std::string& s = t.text;
+    if (s == "namespace") {
+      pending_ = Pending::kNamespace;
+      return;
+    }
+    if (s == "class" || s == "struct") {
+      const Token* p = Prev();
+      if (p != nullptr && IsIdent(*p) && p->text == "enum") return;
+      pending_ = Pending::kClass;
+      pending_name_.clear();
+      return;
+    }
+    if (pending_ == Pending::kClass && pending_name_.empty()) {
+      pending_name_ = s;
+      return;
+    }
+    if (s == "do") {
+      pending_ = Pending::kLoop;
+      return;
+    }
+    if (s == "else" || s == "try") {
+      pending_ = Pending::kControl;
+      return;
+    }
+    if (Function* f = CurFunc()) {
+      if (ChargeEvidence().count(s) != 0) f->has_charge = true;
+    }
+  }
+
+  // ---- parens: control heads, calls, lock scopes, function headers --------
+
+  void OpenParen() {
+    const Token* p = Prev();
+    ParenInfo info;
+    if (p != nullptr && IsIdent(*p)) {
+      const std::string& name = p->text;
+      if (name == "if" || name == "switch" || name == "catch") {
+        info.kind = ParenInfo::kControl;
+      } else if (name == "for" || name == "while") {
+        info.kind = ParenInfo::kLoopHead;
+      } else if (NonCallKeywords().count(name) != 0 ||
+                 HeaderAnnotations().count(name) != 0 ||
+                 MemberAnnotations().count(name) != 0) {
+        // Member annotations would otherwise speculative-parse as a method
+        // declaration named ACQUIRED_BEFORE / GUARDED_BY, swallowing the
+        // member declaration they belong to.
+        info.kind = ParenInfo::kGroup;
+      } else if (CurFunc() == nullptr) {
+        if (TryFunctionHeader()) return;  // consumed through body `{` or `;`
+        info.kind = ParenInfo::kGroup;
+      } else {
+        const Token* pp = Prev(2);
+        // `LockType var(&mu)` — a RAII lock scope declaration.
+        if (pp != nullptr && IsIdent(*pp) &&
+            RaiiLockTypes().count(pp->text) != 0) {
+          RaiiLockDecl(p->line);
+          return;  // consumed through the matching `)`
+        }
+        // `Type var(args)` — local declaration; remember the type.
+        if (pp != nullptr && IsIdent(*pp) &&
+            NonCallKeywords().count(pp->text) == 0) {
+          CurFunc()->var_types[name] = pp->text;
+          info.kind = ParenInfo::kGroup;
+        } else {
+          info.kind = ParenInfo::kCall;
+          info.call_name = name;
+          RecordCall(*p);
+        }
+      }
+    }
+    parens_.push_back(info);
+  }
+
+  void CloseParen() {
+    if (parens_.empty()) return;
+    ParenInfo info = parens_.back();
+    parens_.pop_back();
+    if (info.kind == ParenInfo::kControl) pending_ = Pending::kControl;
+    if (info.kind == ParenInfo::kLoopHead) pending_ = Pending::kLoop;
+  }
+
+  /// Walks back from a call-name token collecting a `a->b.c` receiver chain.
+  /// Returns the receiver expression ("" for a free call) and the explicit
+  /// `Cls::` qualification, if any.
+  void ReceiverOf(size_t name_idx, std::string* receiver, std::string* cls) {
+    receiver->clear();
+    cls->clear();
+    size_t j = name_idx;
+    const std::vector<Token>& toks = Toks();
+    if (j >= 1 && IsPunct(toks[j - 1], "::")) {
+      if (j >= 2 && IsIdent(toks[j - 2])) *cls = toks[j - 2].text;
+      return;
+    }
+    // Chain `a->b.name(`: pairs of (separator, identifier) walking left; the
+    // separator nearest the call name is dropped from the receiver text.
+    std::vector<std::pair<std::string, std::string>> parts;
+    while (j >= 2 &&
+           (IsPunct(toks[j - 1], ".") || IsPunct(toks[j - 1], "->")) &&
+           IsIdent(toks[j - 2])) {
+      parts.emplace_back(toks[j - 1].text, toks[j - 2].text);
+      j -= 2;
+    }
+    for (size_t k = parts.size(); k > 0; --k) {
+      *receiver += parts[k - 1].second;
+      if (k > 1) *receiver += parts[k - 1].first;
+    }
+  }
+
+  void RecordCall(const Token& name_tok) {
+    Function* f = CurFunc();
+    if (f == nullptr) return;
+    Call c;
+    c.name = name_tok.text;
+    c.line = name_tok.line;
+    c.loop_depth = LoopDepth();
+    c.held = HeldNow();
+    size_t name_idx = i_ - 1;
+    while (name_idx > 0 && Toks()[name_idx].kind == TokenKind::kPreproc) {
+      --name_idx;
+    }
+    ReceiverOf(name_idx, &c.receiver, &c.cls);
+    // Explicit lock / unlock calls become lock-scope events as well.
+    if (!c.receiver.empty()) {
+      const std::string& expr = c.receiver;
+      if (c.name == "Lock" || c.name == "ReaderLock" || c.name == "TryLock" ||
+          c.name == "ReaderTryLock" || c.name == "WriterLock") {
+        std::string id = CanonLock(expr);
+        Acquire a{id, c.line, HeldNow()};
+        f->acquires.push_back(a);
+        held_.push_back({id, func_stack_.size()});
+      } else if (c.name == "Unlock" || c.name == "ReaderUnlock" ||
+                 c.name == "WriterUnlock") {
+        ReleaseLock(CanonLock(expr));
+      }
+    }
+    f->calls.push_back(std::move(c));
+  }
+
+  void ReleaseLock(const std::string& id) {
+    for (size_t j = held_.size(); j > 0; --j) {
+      if (held_[j - 1].lock == id &&
+          held_[j - 1].func_depth == func_stack_.size()) {
+        held_.erase(held_.begin() + static_cast<long>(j - 1));
+        return;
+      }
+    }
+  }
+
+  /// At `LockType var(` — consumes through the matching `)`, records the
+  /// acquisition, and holds the lock until the enclosing scope closes.
+  void RaiiLockDecl(size_t line) {
+    const std::vector<Token>& toks = Toks();
+    std::string expr;
+    size_t depth = 1;
+    size_t j = i_ + 1;
+    for (; j < toks.size() && depth > 0; ++j) {
+      const Token& t = toks[j];
+      if (IsPunct(t, "(")) ++depth;
+      if (IsPunct(t, ")") && --depth == 0) break;
+      if (IsPunct(t, ",") && depth == 1) break;  // first ctor arg only
+      expr += t.text;
+    }
+    while (j < toks.size() && !IsPunct(toks[j], ")")) ++j;  // skip extra args
+    i_ = j;
+    Function* f = CurFunc();
+    if (f == nullptr || expr.empty()) return;
+    std::string id = CanonLock(expr);
+    f->acquires.push_back({id, line, HeldNow()});
+    held_.push_back({id, func_stack_.size()});
+  }
+
+  // ---- function headers at class / namespace scope ------------------------
+
+  /// Speculatively parses `Name(params) quals... {` / `;` starting at the
+  /// current `(`. On success records the function (and consumes tokens up
+  /// to the body `{`, which the main loop then opens, or past the `;`) and
+  /// returns true. On failure consumes nothing.
+  bool TryFunctionHeader() {
+    const std::vector<Token>& toks = Toks();
+    size_t name_idx = i_ - 1;
+    const Token& name_tok = toks[name_idx];
+    Function fn;
+    fn.unqualified = name_tok.text;
+    fn.file = model_.path;
+    fn.line = name_tok.line;
+    size_t j = name_idx;
+    if (j >= 1 && IsPunct(toks[j - 1], "~")) fn.unqualified = "~" + fn.unqualified;
+    // `Cls::Name` (possibly `ns::Cls::Name`): the nearest qualifier is the
+    // class.
+    if (j >= 2 && IsPunct(toks[j - 1], "::") && IsIdent(toks[j - 2])) {
+      fn.cls = toks[j - 2].text;
+    } else {
+      fn.cls = EnclosingClass();
+    }
+    // Parameter list: match the parens, remember `Type name` pairs.
+    size_t depth = 1;
+    size_t k = i_ + 1;
+    std::vector<Token> param;
+    auto flush_param = [&]() {
+      std::vector<std::string> idents;
+      for (const Token& t : param) {
+        if (IsIdent(t) && t.text != "const" && t.text != "struct") {
+          idents.push_back(t.text);
+        }
+      }
+      if (idents.size() >= 2) {
+        fn.var_types[idents.back()] = idents[idents.size() - 2];
+      }
+      param.clear();
+    };
+    for (; k < toks.size() && depth > 0; ++k) {
+      const Token& t = toks[k];
+      if (t.kind == TokenKind::kPreproc) continue;
+      if (IsPunct(t, "(")) ++depth;
+      if (IsPunct(t, ")")) {
+        if (--depth == 0) break;
+      }
+      if (IsPunct(t, ",") && depth == 1) {
+        flush_param();
+        continue;
+      }
+      param.push_back(t);
+    }
+    if (k >= toks.size()) return false;
+    flush_param();
+    // Qualifiers / annotations / ctor-initializers until `{` or `;`.
+    size_t q = k + 1;
+    bool is_def = false;
+    while (q < toks.size()) {
+      const Token& t = toks[q];
+      if (t.kind == TokenKind::kPreproc) {
+        ++q;
+        continue;
+      }
+      if (IsPunct(t, "{")) {
+        is_def = true;
+        break;
+      }
+      if (IsPunct(t, ";")) break;
+      if (IsIdent(t) && HeaderQualifiers().count(t.text) != 0) {
+        ++q;
+        continue;
+      }
+      if (IsIdent(t) && HeaderAnnotations().count(t.text) != 0) {
+        bool is_requires =
+            t.text == "REQUIRES" || t.text == "REQUIRES_SHARED";
+        ++q;
+        if (q < toks.size() && IsPunct(toks[q], "(")) {
+          size_t d = 1;
+          std::string arg;
+          for (++q; q < toks.size() && d > 0; ++q) {
+            if (IsPunct(toks[q], "(")) ++d;
+            if (IsPunct(toks[q], ")") && --d == 0) break;
+            if (IsPunct(toks[q], ",") && d == 1) {
+              if (is_requires && !arg.empty()) {
+                fn.requires_locks.push_back(QualifyAnnotationLock(arg, fn.cls));
+              }
+              arg.clear();
+              continue;
+            }
+            arg += toks[q].text;
+          }
+          if (is_requires && !arg.empty()) {
+            fn.requires_locks.push_back(QualifyAnnotationLock(arg, fn.cls));
+          }
+          ++q;  // past `)`
+        }
+        continue;
+      }
+      if (IsPunct(t, "=")) {  // `= default`, `= delete`, `= 0`
+        while (q < toks.size() && !IsPunct(toks[q], ";")) ++q;
+        break;
+      }
+      if (IsPunct(t, ":")) {  // ctor initializer list
+        size_t body = FindCtorBody(q + 1);
+        if (body == 0) return false;
+        is_def = true;
+        q = body;
+        break;
+      }
+      if (IsPunct(t, "->") || IsPunct(t, "::") || IsPunct(t, "*") ||
+          IsPunct(t, "&") || IsIdent(t)) {  // trailing return type
+        ++q;
+        continue;
+      }
+      return false;  // not a function header after all
+    }
+    if (q >= toks.size()) return false;
+    fn.is_definition = is_def;
+    if (!fn.cls.empty()) fn.name = fn.cls + "::" + fn.unqualified;
+    else fn.name = fn.unqualified;
+    model_.functions.push_back(fn);
+    member_buf_.clear();
+    if (is_def) {
+      pending_ = Pending::kFunction;
+      pending_func_ = static_cast<int>(model_.functions.size() - 1);
+      i_ = q - 1;  // main loop advances onto the `{`
+    } else {
+      i_ = q;  // past the `;`
+      pending_ = Pending::kNone;
+    }
+    return true;
+  }
+
+  /// From just past the `:` of a ctor initializer list, returns the index
+  /// of the body `{` (0 when the shape cannot be a ctor). Braced member
+  /// inits `b_{2}` follow an identifier or `>`; the body brace does not.
+  size_t FindCtorBody(size_t from) {
+    const std::vector<Token>& toks = Toks();
+    size_t pdepth = 0;
+    for (size_t j = from; j < toks.size(); ++j) {
+      const Token& t = toks[j];
+      if (IsPunct(t, "(")) ++pdepth;
+      if (IsPunct(t, ")") && pdepth > 0) --pdepth;
+      if (IsPunct(t, ";") && pdepth == 0) return 0;
+      if (IsPunct(t, "{") && pdepth == 0) {
+        const Token& before = toks[j - 1];
+        if (IsIdent(before) || IsPunct(before, ">")) {
+          size_t bd = 1;
+          for (++j; j < toks.size() && bd > 0; ++j) {
+            if (IsPunct(toks[j], "{")) ++bd;
+            if (IsPunct(toks[j], "}")) --bd;
+          }
+          --j;
+          continue;
+        }
+        return j;
+      }
+    }
+    return 0;
+  }
+
+  std::string QualifyAnnotationLock(const std::string& arg,
+                                    const std::string& cls) const {
+    std::string a = arg;
+    if (!a.empty() && a.front() == '&') a.erase(0, 1);
+    if (a.rfind("this->", 0) == 0) a.erase(0, 6);
+    bool simple = !a.empty();
+    for (char ch : a) {
+      if (!(std::isalnum(static_cast<unsigned char>(ch)) || ch == '_')) {
+        simple = false;
+        break;
+      }
+    }
+    if (simple && !cls.empty()) return cls + "::" + a;
+    return a;
+  }
+
+  // ---- class-scope member declarations ------------------------------------
+
+  /// Flushes the buffered class-scope declaration at a `;`: records the
+  /// member's inferred type and any declared ACQUIRED_BEFORE/AFTER edges.
+  void FlushMemberDecl() {
+    std::vector<Token> buf;
+    buf.swap(member_buf_);
+    if (!InClassScope() || buf.empty()) return;
+    std::string cls = scopes_.back().name;
+    if (cls.empty()) return;
+    // Locate annotation macros and the member name (the identifier before
+    // the first annotation, `=`, or the `;`).
+    size_t first_ann = buf.size();
+    for (size_t j = 0; j < buf.size(); ++j) {
+      if (IsIdent(buf[j]) && MemberAnnotations().count(buf[j].text) != 0) {
+        first_ann = j;
+        break;
+      }
+      if (IsPunct(buf[j], "=")) {
+        first_ann = j;
+        break;
+      }
+    }
+    std::string member;
+    std::string type;
+    for (size_t j = first_ann; j > 0; --j) {
+      if (IsIdent(buf[j - 1])) {
+        if (member.empty()) {
+          member = buf[j - 1].text;
+        } else if (type.empty()) {
+          const std::string& s = buf[j - 1].text;
+          if (s != "const" && s != "static" && s != "mutable" &&
+              s != "inline" && s != "constexpr") {
+            type = s;
+          }
+        }
+        if (!member.empty() && !type.empty()) break;
+      }
+    }
+    if (member.empty()) return;
+    if (!type.empty()) model_.members[cls][member] = type;
+    // Declared ordering edges.
+    for (size_t j = first_ann; j < buf.size(); ++j) {
+      if (!IsIdent(buf[j])) continue;
+      bool before = buf[j].text == "ACQUIRED_BEFORE";
+      bool after = buf[j].text == "ACQUIRED_AFTER";
+      if (!before && !after) continue;
+      size_t line = buf[j].line;
+      if (j + 1 >= buf.size() || !IsPunct(buf[j + 1], "(")) continue;
+      size_t d = 1;
+      std::string arg;
+      auto emit = [&]() {
+        if (arg.empty()) return;
+        DeclaredEdge e;
+        std::string other = cls + "::" + arg;
+        std::string self = cls + "::" + member;
+        e.before = before ? self : other;
+        e.after = before ? other : self;
+        e.file = model_.path;
+        e.line = line;
+        model_.declared_order.push_back(e);
+        arg.clear();
+      };
+      for (size_t k = j + 2; k < buf.size() && d > 0; ++k) {
+        if (IsPunct(buf[k], "(")) ++d;
+        if (IsPunct(buf[k], ")") && --d == 0) break;
+        if (IsPunct(buf[k], ",") && d == 1) {
+          emit();
+          continue;
+        }
+        arg += buf[k].text;
+      }
+      emit();
+    }
+  }
+
+  // ---- lambdas ------------------------------------------------------------
+
+  /// At `[` inside a function: if this is a lambda introducer, consumes the
+  /// capture list / params / specifiers and opens a synthetic function for
+  /// the body. The innermost pending call decides how the lambda runs:
+  /// an argument to `Submit` escapes to the worker pool, an argument to
+  /// `Post` / `SetTimerCallback` re-enters the loop thread, anything else
+  /// is modeled as a direct call from the enclosing function.
+  void MaybeLambda() {
+    const std::vector<Token>& toks = Toks();
+    const Token* p = Prev();
+    if (p != nullptr) {
+      bool callable_before =
+          (IsIdent(*p) && NonCallKeywords().count(p->text) == 0) ||
+          IsPunct(*p, ")") || IsPunct(*p, "]");
+      if (callable_before) return;  // subscript
+    }
+    if (i_ + 1 < toks.size() && IsPunct(toks[i_ + 1], "[")) return;  // [[attr]]
+    // Capture list.
+    size_t d = 1;
+    size_t j = i_ + 1;
+    for (; j < toks.size() && d > 0; ++j) {
+      if (IsPunct(toks[j], "[")) ++d;
+      if (IsPunct(toks[j], "]")) --d;
+    }
+    if (d != 0) return;
+    Function fn;
+    Function* outer = CurFunc();
+    fn.unqualified = "<lambda:" + std::to_string(toks[i_].line) + ">";
+    fn.name = outer->name + "::" + fn.unqualified;
+    fn.cls = outer->cls;
+    fn.file = model_.path;
+    fn.line = toks[i_].line;
+    fn.is_definition = true;
+    // Optional parameter list.
+    if (j < toks.size() && IsPunct(toks[j], "(")) {
+      size_t pd = 1;
+      std::vector<std::string> idents;
+      auto flush = [&]() {
+        if (idents.size() >= 2) {
+          fn.var_types[idents.back()] = idents[idents.size() - 2];
+        }
+        idents.clear();
+      };
+      for (++j; j < toks.size() && pd > 0; ++j) {
+        if (IsPunct(toks[j], "(")) ++pd;
+        if (IsPunct(toks[j], ")") && --pd == 0) break;
+        if (IsPunct(toks[j], ",") && pd == 1) {
+          flush();
+          continue;
+        }
+        if (IsIdent(toks[j]) && toks[j].text != "const") {
+          idents.push_back(toks[j].text);
+        }
+      }
+      flush();
+      ++j;  // past `)`
+    }
+    // Specifiers / trailing return until the body `{` (or give up).
+    while (j < toks.size() && !IsPunct(toks[j], "{")) {
+      const Token& t = toks[j];
+      if (IsIdent(t) || IsPunct(t, "->") || IsPunct(t, "::") ||
+          IsPunct(t, "*") || IsPunct(t, "&")) {
+        ++j;
+        continue;
+      }
+      return;  // not a lambda body after all
+    }
+    if (j >= toks.size()) return;
+    fn.lambda_role = LambdaRole::kPlain;
+    for (auto it = parens_.rbegin(); it != parens_.rend(); ++it) {
+      if (it->kind != ParenInfo::kCall) continue;
+      if (it->call_name == "Submit") fn.lambda_role = LambdaRole::kWorker;
+      else if (it->call_name == "Post" || it->call_name == "SetTimerCallback") {
+        fn.lambda_role = LambdaRole::kReactor;
+      }
+      break;
+    }
+    if (fn.lambda_role == LambdaRole::kPlain) {
+      Call c;
+      c.name = fn.name;  // qualified; linked by exact name within this file
+      c.line = fn.line;
+      c.loop_depth = LoopDepth();
+      c.held = HeldNow();
+      outer->calls.push_back(c);
+    }
+    model_.functions.push_back(fn);
+    pending_ = Pending::kFunction;
+    pending_func_ = static_cast<int>(model_.functions.size() - 1);
+    i_ = j - 1;  // main loop advances onto the `{`
+  }
+
+  FileModel model_;
+  size_t i_ = 0;
+  std::vector<Scope> scopes_;
+  std::vector<int> func_stack_;
+  std::vector<ParenInfo> parens_;
+  std::vector<HeldLock> held_;
+  std::vector<Token> member_buf_;
+  Pending pending_ = Pending::kNone;
+  std::string pending_name_;
+  int pending_func_ = -1;
+};
+
+}  // namespace
+
+FileModel ExtractModel(const std::string& path, const std::string& content) {
+  return Extractor(path, content).Run();
+}
+
+}  // namespace galaxy::analyze

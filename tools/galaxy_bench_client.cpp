@@ -28,9 +28,9 @@
 // SINGLE thread: non-blocking connects ramped --ramp-batch at a time (so
 // the SYN burst never overruns the server's listen backlog), a poll(2)
 // readiness loop, and a per-connection send/read state machine issuing
-// back-to-back requests. This is the C10K harness for
-// `galaxy_served --serving-mode=event`; thread-per-connection clients
-// cannot reach these counts. Open-loop requires --duration-s and ignores
+// back-to-back requests. This is the C10K harness for `galaxy_served`'s
+// event engine; thread-per-connection clients cannot reach these
+// counts. Open-loop requires --duration-s and ignores
 // --qps/--update-every/--requests.
 //
 // The JSON report (stdout, or --out) contains per-status counts, latency

@@ -1,7 +1,7 @@
 // galaxy_served — the standalone query server (src/server/).
 //
 //   galaxy_served --csv data.csv [--table data] [--host 127.0.0.1]
-//                 [--port 8080] [--serving-mode event|threaded]
+//                 [--port 8080]
 //                 [--io-workers N] [--idle-timeout-ms N]
 //                 [--max-concurrent N] [--queue-capacity N]
 //                 [--queue-timeout-ms N] [--cache-entries N]
@@ -128,8 +128,7 @@ int Usage() {
       stderr,
       "usage: galaxy_served --csv data.csv [--table data]\n"
       "                     [--host 127.0.0.1] [--port 8080]\n"
-      "                     [--serving-mode event|threaded] [--io-workers N]\n"
-      "                     [--idle-timeout-ms N]\n"
+      "                     [--io-workers N] [--idle-timeout-ms N]\n"
       "                     [--max-concurrent N] [--queue-capacity N]\n"
       "                     [--queue-timeout-ms N] [--cache-entries N]\n"
       "                     [--default-timeout-ms N]\n"
@@ -188,7 +187,7 @@ galaxy::Result<galaxy::server::SkylineViewConfig> ParseView(
 int main(int argc, char** argv) {
   Flags flags(argc, argv, 1);
   if (!flags.ok() ||
-      !flags.CheckAllowed({"csv", "table", "host", "port", "serving-mode",
+      !flags.CheckAllowed({"csv", "table", "host", "port",
                            "io-workers", "idle-timeout-ms", "max-concurrent",
                            "queue-capacity", "queue-timeout-ms",
                            "cache-entries", "default-timeout-ms", "view",
@@ -246,13 +245,6 @@ int main(int argc, char** argv) {
                  "positive\n");
     return 2;
   }
-  auto mode = galaxy::server::ParseServingMode(
-      flags.Get("serving-mode", "event"));
-  if (!mode.ok()) {
-    std::fprintf(stderr, "galaxy_served: %s\n",
-                 mode.status().message().c_str());
-    return 2;
-  }
   if (*fsync_interval < 0 || *snapshot_every < 0) {
     std::fprintf(stderr,
                  "galaxy_served: --fsync-interval-ms/--snapshot-every must "
@@ -280,7 +272,6 @@ int main(int argc, char** argv) {
   galaxy::server::ServerOptions options;
   options.host = flags.Get("host", "127.0.0.1");
   options.port = static_cast<uint16_t>(*port);
-  options.mode = *mode;
   options.io_workers = static_cast<size_t>(*io_workers);
   options.idle_timeout = std::chrono::milliseconds(*idle_timeout);
   options.admission.max_concurrent = static_cast<size_t>(*max_concurrent);
@@ -378,12 +369,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf(
-      "galaxy_served listening on %s:%u (table \"%s\", %zu rows, %s mode)\n",
+      "galaxy_served listening on %s:%u (table \"%s\", %zu rows, "
+      "%zu workers)\n",
       options.host.c_str(), server.port(), table_name.c_str(), num_rows,
-      galaxy::server::ServingModeName(options.mode));
+      options.io_workers);
   std::fflush(stdout);
 
-  // Park until SIGINT/SIGTERM; the accept loop runs on its own thread.
+  // Park until SIGINT/SIGTERM; the event engine runs on its own threads.
   sigset_t signals;
   sigemptyset(&signals);
   sigaddset(&signals, SIGINT);

@@ -26,9 +26,11 @@ bool IsIdentChar(char c) {
 /// Scans one comment's text for `galaxy-lint: allow(...)` /
 /// `allow-file(...)` annotations. `first_line` is the line the comment
 /// starts on; annotations inside multi-line comments attach to the line
-/// they appear on.
-void ScanCommentForAllows(const std::string& text, size_t first_line,
-                          LexedFile* out) {
+/// they appear on. The whole-program analyzer (`tools/galaxy_analyze`)
+/// shares the lexer, so its `galaxy-analyze:` tag feeds the same allow
+/// tables; rule names are globally unique across the two tools.
+void ScanCommentForAllowsTag(const std::string& tag, const std::string& text,
+                             size_t first_line, LexedFile* out) {
   size_t line = first_line;
   size_t pos = 0;
   while (pos <= text.size()) {
@@ -36,8 +38,8 @@ void ScanCommentForAllows(const std::string& text, size_t first_line,
     std::string row = text.substr(
         pos, eol == std::string::npos ? std::string::npos : eol - pos);
     size_t at = 0;
-    while ((at = row.find("galaxy-lint:", at)) != std::string::npos) {
-      size_t p = at + std::string("galaxy-lint:").size();
+    while ((at = row.find(tag, at)) != std::string::npos) {
+      size_t p = at + tag.size();
       while (p < row.size() && row[p] == ' ') ++p;
       bool file_scope = false;
       if (row.compare(p, 11, "allow-file(") == 0) {
@@ -76,6 +78,12 @@ void ScanCommentForAllows(const std::string& text, size_t first_line,
     pos = eol + 1;
     ++line;
   }
+}
+
+void ScanCommentForAllows(const std::string& text, size_t first_line,
+                          LexedFile* out) {
+  ScanCommentForAllowsTag("galaxy-lint:", text, first_line, out);
+  ScanCommentForAllowsTag("galaxy-analyze:", text, first_line, out);
 }
 
 void MarkLines(std::vector<bool>* lines, size_t from, size_t to) {
@@ -281,8 +289,6 @@ LexedFile Lex(const std::string& content) {
   return out;
 }
 
-namespace {
-
 /// True when the diagnostic at `line` for `rule` is suppressed: file-level
 /// allow, same-line allow, or an allow in the comment block directly above.
 bool Suppressed(const LexedFile& lexed, size_t line, const std::string& rule) {
@@ -306,6 +312,8 @@ bool Suppressed(const LexedFile& lexed, size_t line, const std::string& rule) {
   }
   return false;
 }
+
+namespace {
 
 struct PathInfo {
   std::string normalized;  ///< forward slashes
@@ -558,8 +566,8 @@ class Linter {
   // anywhere else is either a blocking call that can stall a whole thread
   // on one slow peer, or a second hand-rolled readiness loop drifting from
   // the reactor's semantics. The event engine's own (non-blocking) call
-  // sites and the reviewed legacy threaded path carry allow-file
-  // suppressions justifying themselves; tests/ and bench/ are exempt.
+  // sites carry reviewed allow-file suppressions justifying themselves;
+  // tests/ and bench/ are exempt.
   void BlockingSocketIo() {
     if (info_.in_tests || info_.in_bench || info_.is_event_loop) return;
     static const char* kSocketCalls[] = {

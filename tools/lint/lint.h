@@ -26,9 +26,8 @@
 ///                    raw socket calls (recv/send/accept/connect families)
 ///                    outside src/server/event_loop.* — socket I/O must run
 ///                    non-blocking on the EventLoop; the event engine's own
-///                    call sites and the legacy threaded path carry
-///                    reviewed allow-file suppressions. tests/ and bench/
-///                    are exempt.
+///                    call sites carry reviewed allow-file suppressions.
+///                    tests/ and bench/ are exempt.
 ///   row-major-access Table::MaterializeRow / Table::DebugRows outside
 ///                    src/relation/ and tests/ — the Table is column-major;
 ///                    execution paths must read typed columns, not boxed
@@ -92,6 +91,12 @@ struct LexedFile {
 
 /// Lexes `content` (the text of the file at `path`).
 LexedFile Lex(const std::string& content);
+
+/// True when a diagnostic at `line` for `rule` is suppressed in `lexed`:
+/// file-level allow, same-line allow, or an allow in the comment block
+/// directly above. Shared with tools/galaxy_analyze, whose
+/// `galaxy-analyze:` comment tag feeds the same allow tables.
+bool Suppressed(const LexedFile& lexed, size_t line, const std::string& rule);
 
 /// Runs every applicable rule over one file. `path` should be the path as
 /// the user named it; rules that scope by location match on its normalized
